@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) of the analysis machinery itself:
+// interference-table construction, single WCRT analyses per policy, and the
+// full 7-variant schedulability battery, at several system sizes. These are
+// engineering numbers (analysis cost), not paper artifacts.
+#include "analysis/interference.hpp"
+#include "analysis/schedulability.hpp"
+#include "benchdata/generator.hpp"
+#include "experiments/sweep.hpp"
+#include "util/units.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/set_mask.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace cpa;
+
+tasks::TaskSet make_set(std::size_t cores, std::size_t tasks_per_core,
+                        double utilization)
+{
+    benchdata::GenerationConfig generation;
+    generation.num_cores = cores;
+    generation.tasks_per_core = tasks_per_core;
+    generation.cache_sets = 256;
+    generation.per_core_utilization = utilization;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 256);
+    util::Rng rng(7);
+    return benchdata::generate_task_set(rng, generation, pool);
+}
+
+analysis::PlatformConfig platform_for(std::size_t cores)
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = cores;
+    platform.cache_sets = 256;
+    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.slot_size = 2;
+    return platform;
+}
+
+void BM_InterferenceTables(benchmark::State& state)
+{
+    const auto cores = static_cast<std::size_t>(state.range(0));
+    const tasks::TaskSet ts = make_set(cores, 8, 0.3);
+    for (auto _ : state) {
+        analysis::InterferenceTables tables(ts,
+                                            analysis::CrpdMethod::kEcbUnion);
+        benchmark::DoNotOptimize(tables.gamma(ts.size() - 1, 0));
+    }
+}
+BENCHMARK(BM_InterferenceTables)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WcrtPerPolicy(benchmark::State& state)
+{
+    const auto policy = static_cast<analysis::BusPolicy>(state.range(0));
+    const tasks::TaskSet ts = make_set(4, 8, 0.3);
+    const auto platform = platform_for(4);
+    const analysis::InterferenceTables tables(
+        ts, analysis::CrpdMethod::kEcbUnion);
+    analysis::AnalysisConfig config;
+    config.policy = policy;
+    config.persistence_aware = true;
+    for (auto _ : state) {
+        const auto result =
+            analysis::compute_wcrt(ts, platform, config, tables);
+        benchmark::DoNotOptimize(result.schedulable);
+    }
+}
+BENCHMARK(BM_WcrtPerPolicy)
+    ->Arg(static_cast<int>(analysis::BusPolicy::kFixedPriority))
+    ->Arg(static_cast<int>(analysis::BusPolicy::kRoundRobin))
+    ->Arg(static_cast<int>(analysis::BusPolicy::kTdma));
+
+void BM_FullVariantBattery(benchmark::State& state)
+{
+    const auto utilization = static_cast<double>(state.range(0)) / 10.0;
+    const tasks::TaskSet ts = make_set(4, 8, utilization);
+    const auto platform = platform_for(4);
+    const auto variants = experiments::standard_variants();
+    for (auto _ : state) {
+        const analysis::InterferenceTables tables(
+            ts, analysis::CrpdMethod::kEcbUnion);
+        int schedulable = 0;
+        for (const auto& variant : variants) {
+            schedulable += analysis::is_schedulable(ts, platform,
+                                                    variant.config, tables)
+                               ? 1
+                               : 0;
+        }
+        benchmark::DoNotOptimize(schedulable);
+    }
+}
+BENCHMARK(BM_FullVariantBattery)->Arg(2)->Arg(5)->Arg(8);
+
+void BM_TaskSetGeneration(benchmark::State& state)
+{
+    benchdata::GenerationConfig generation;
+    generation.per_core_utilization = 0.5;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 256);
+    util::Rng rng(11);
+    for (auto _ : state) {
+        const auto ts = benchdata::generate_task_set(rng, generation, pool);
+        benchmark::DoNotOptimize(ts.size());
+    }
+}
+BENCHMARK(BM_TaskSetGeneration);
+
+void BM_SetMaskIntersectionCount(benchmark::State& state)
+{
+    const auto universe = static_cast<std::size_t>(state.range(0));
+    util::SetMask a(universe);
+    util::SetMask b(universe);
+    a.insert_wrapped_range(3, universe / 2);
+    b.insert_wrapped_range(universe / 3, universe / 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.intersection_count(b));
+    }
+}
+BENCHMARK(BM_SetMaskIntersectionCount)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SimulatorHyperperiodSlice(benchmark::State& state)
+{
+    const tasks::TaskSet ts = make_set(2, 4, 0.3);
+    analysis::PlatformConfig platform = platform_for(2);
+    util::Cycles max_period = 0;
+    for (const auto& task : ts.tasks()) {
+        max_period = std::max(max_period, task.period);
+    }
+    sim::SimConfig config;
+    config.policy = analysis::BusPolicy::kRoundRobin;
+    config.horizon = 2 * max_period;
+    config.stop_on_deadline_miss = false;
+    for (auto _ : state) {
+        const auto result = sim::simulate(ts, platform, config);
+        benchmark::DoNotOptimize(result.bus_accesses.front());
+    }
+}
+BENCHMARK(BM_SimulatorHyperperiodSlice);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Shared configuration and output helpers for the reproduction benches.
+// Every binary prints the series of one paper artifact (Fig. 2, Fig. 3a-d,
+// Table I) using the paper's default parameters:
+//   4 cores, 8 tasks/core, 256-set 32 B/line L1 I-cache, d_mem = 5 µs,
+//   RR/TDMA slot size s = 2, deadline-monotonic priorities, UUnifast
+//   utilizations, T = D = (PD + MD)/U.
+// The paper uses 1000 task sets per utilization point; the defaults below
+// are smaller so `for b in build/bench/*; do $b; done` finishes in minutes.
+// Set CPA_TASKSETS to override (e.g. CPA_TASKSETS=1000 for paper-scale).
+#pragma once
+
+#include "analysis/config.hpp"
+#include "benchdata/generator.hpp"
+#include "experiments/sweep.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace cpa::bench {
+
+// When CPA_CSV_DIR is set, every printed table is also written there as
+// <slug>.csv for re-plotting.
+inline void maybe_write_csv(const std::string& slug,
+                            const util::TextTable& table)
+{
+    const char* dir = std::getenv("CPA_CSV_DIR");
+    if (dir == nullptr) {
+        return;
+    }
+    std::filesystem::create_directories(dir);
+    std::ofstream out(std::filesystem::path(dir) / (slug + ".csv"));
+    table.print_csv(out);
+}
+
+// Lower-cases and hyphenates a title into a file slug.
+inline std::string slugify(const std::string& title)
+{
+    std::string slug;
+    for (const char ch : title) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) {
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        } else if (!slug.empty() && slug.back() != '-') {
+            slug += '-';
+        }
+        if (slug.size() >= 48) {
+            break;
+        }
+    }
+    while (!slug.empty() && slug.back() == '-') {
+        slug.pop_back();
+    }
+    return slug.empty() ? "table" : slug;
+}
+
+inline analysis::PlatformConfig default_platform()
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = 4;
+    platform.cache_sets = 256;
+    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.slot_size = 2;
+    return platform;
+}
+
+inline benchdata::GenerationConfig default_generation()
+{
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 4;
+    gen.tasks_per_core = 8;
+    gen.cache_sets = 256;
+    gen.priority = benchdata::PriorityAssignment::kDeadlineMonotonic;
+    return gen;
+}
+
+// Utilization grid of Fig. 2: 0.05 .. 1.00 in steps of 0.05.
+inline experiments::SweepConfig fig2_sweep(std::size_t task_sets)
+{
+    experiments::SweepConfig sweep;
+    sweep.u_min = 0.05;
+    sweep.u_max = 1.0;
+    sweep.u_step = 0.05;
+    sweep.task_sets_per_point = task_sets;
+    return sweep;
+}
+
+// Coarser grid for the weighted-schedulability sweeps of Fig. 3 (the
+// measure integrates over utilization, so a 0.1 grid is adequate).
+inline experiments::SweepConfig weighted_sweep(std::size_t task_sets)
+{
+    experiments::SweepConfig sweep;
+    sweep.u_min = 0.1;
+    sweep.u_max = 1.0;
+    sweep.u_step = 0.1;
+    sweep.task_sets_per_point = task_sets;
+    return sweep;
+}
+
+// Prints one utilization-sweep table: a row per utilization, a column per
+// variant with the count of schedulable task sets.
+inline void print_sweep(const std::string& title,
+                        const experiments::UtilizationSweep& sweep)
+{
+    std::cout << "== " << title << " ==\n";
+    std::cout << "(task sets per point: " << sweep.task_sets_per_point
+              << ")\n";
+    std::vector<std::string> header{"U/core"};
+    for (const auto& variant : sweep.variants) {
+        header.push_back(variant.label);
+    }
+    util::TextTable table(header);
+    for (const auto& point : sweep.points) {
+        std::vector<std::string> row{util::TextTable::num(point.utilization,
+                                                          2)};
+        for (const std::size_t count : point.schedulable) {
+            row.push_back(std::to_string(count));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    maybe_write_csv(slugify(title), table);
+    std::cout << '\n';
+}
+
+// Prints a weighted-schedulability table: a row per parameter value, a
+// column per variant.
+inline void
+print_weighted(const std::string& title, const std::string& parameter_name,
+               const std::vector<std::string>& parameter_values,
+               const std::vector<experiments::UtilizationSweep>& sweeps)
+{
+    std::cout << "== " << title << " ==\n";
+    if (sweeps.empty()) {
+        return;
+    }
+    std::vector<std::string> header{parameter_name};
+    for (const auto& variant : sweeps.front().variants) {
+        header.push_back(variant.label);
+    }
+    util::TextTable table(header);
+    for (std::size_t p = 0; p < sweeps.size(); ++p) {
+        std::vector<std::string> row{parameter_values[p]};
+        for (std::size_t v = 0; v < sweeps[p].variants.size(); ++v) {
+            row.push_back(util::TextTable::num(
+                experiments::weighted_schedulability(sweeps[p], v), 3));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    maybe_write_csv(slugify(title), table);
+    std::cout << '\n';
+}
+
+} // namespace cpa::bench

@@ -1,0 +1,101 @@
+// Extension bench (the paper's future-work direction): how does cache
+// associativity change the persistence picture? The bus-contention analysis
+// is associativity-agnostic — it consumes (MD, MDʳ, ECB, UCB, PCB) — so we
+// re-extract those parameters from the synthetic benchmark programs on LRU
+// caches of 1..4 ways (same total capacity is NOT held constant: the
+// set count stays at 256, so more ways = more capacity, isolating the
+// conflict-miss effect) and rerun the schedulability analysis.
+//
+// Expected: associativity removes self-conflicts (fdct, nsichneu,
+// statemate), growing both the persistent footprint and schedulability —
+// persistence-aware analysis benefits disproportionately.
+#include "analysis/schedulability.hpp"
+#include "program/extract.hpp"
+#include "program/synthetic.hpp"
+#include "common.hpp"
+
+#include <iostream>
+
+int main()
+{
+    using namespace cpa;
+
+    const std::size_t task_sets = experiments::task_sets_from_env(100);
+    const auto platform = bench::default_platform();
+
+    // Extract the synthetic suite per associativity.
+    std::cout << "== Extension: parameters vs associativity (256 sets) ==\n";
+    util::TextTable extraction(
+        {"ways", "program", "MD", "MDr", "|PCB|", "|ECB|"});
+    std::vector<std::vector<program::ExtractedParams>> pools;
+    for (const std::size_t ways : {1u, 2u, 4u}) {
+        std::vector<program::ExtractedParams> pool;
+        for (const auto& p : program::synthetic_suite()) {
+            pool.push_back(
+                program::extract_parameters(p, {256, 32, ways}));
+            const auto& e = pool.back();
+            extraction.add_row({std::to_string(ways), e.name,
+                                std::to_string(e.md),
+                                std::to_string(e.md_residual),
+                                std::to_string(e.pcb.count()),
+                                std::to_string(e.ecb.count())});
+        }
+        pools.push_back(std::move(pool));
+    }
+    extraction.print(std::cout);
+    bench::maybe_write_csv("extension-associativity-extraction", extraction);
+
+    // Schedulability: 2 cores x 3 tasks drawn from the extracted suite,
+    // random rotation placement, T = D = 3..8x the isolated demand.
+    std::cout << "\n== Extension: schedulable sets vs associativity "
+                 "(FP bus, 2 cores x 3 tasks) ==\n(task sets per point: "
+              << task_sets << ")\n";
+    util::TextTable table({"ways", "FP-CP", "FP-NoCP"});
+
+    analysis::PlatformConfig small = platform;
+    small.num_cores = 2;
+
+    for (std::size_t w = 0; w < pools.size(); ++w) {
+        const auto& pool = pools[w];
+        std::size_t with = 0;
+        std::size_t without = 0;
+        util::Rng rng(606);
+        for (std::size_t n = 0; n < task_sets; ++n) {
+            tasks::TaskSet ts(2, 256);
+            for (std::size_t core = 0; core < 2; ++core) {
+                for (int k = 0; k < 3; ++k) {
+                    const auto& params =
+                        pool[rng.uniform_index(pool.size())];
+                    const auto offset = rng.uniform_index(256);
+                    tasks::Task task = program::to_task(
+                        params, core,
+                        (params.pd + params.md * small.d_mem) *
+                            rng.uniform_int(3, 8));
+                    task.ecb = params.ecb.rotated(offset);
+                    task.ucb = params.ucb.rotated(offset);
+                    task.pcb = params.pcb.rotated(offset);
+                    ts.add_task(std::move(task));
+                }
+            }
+            ts.assign_priorities_deadline_monotonic();
+            ts.validate();
+
+            const analysis::InterferenceTables tables(
+                ts, analysis::CrpdMethod::kEcbUnion);
+            analysis::AnalysisConfig cp;
+            cp.policy = analysis::BusPolicy::kFixedPriority;
+            cp.persistence_aware = true;
+            analysis::AnalysisConfig nocp = cp;
+            nocp.persistence_aware = false;
+            with += analysis::is_schedulable(ts, small, cp, tables) ? 1 : 0;
+            without +=
+                analysis::is_schedulable(ts, small, nocp, tables) ? 1 : 0;
+        }
+        const std::size_t ways = w == 0 ? 1 : (w == 1 ? 2 : 4);
+        table.add_row({std::to_string(ways), std::to_string(with),
+                       std::to_string(without)});
+    }
+    table.print(std::cout);
+    bench::maybe_write_csv("extension-associativity-schedulability", table);
+    return 0;
+}

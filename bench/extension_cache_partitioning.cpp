@@ -1,0 +1,102 @@
+// Extension bench: cache partitioning vs cache sharing — the trade the
+// paper's own companion work (ref [10], RTNS'18) studies, evaluated with
+// the bus-contention analysis.
+//
+// Partitioned mode gives each task a private slice of the 256-set cache
+// (sets/tasks_per_core per task): no inter-task evictions (γ = 0, CPRO = 0,
+// every persistent block survives), but each task sees a much smaller
+// cache, so its own parameters degrade (more conflict misses, fewer PCBs —
+// recomputed with the region layout model at the slice size). Shared mode
+// is the paper's default.
+//
+// Expected: partitioning wins for small-footprint task sets (their
+// parameters survive the slicing and they gain full persistence) and loses
+// when footprints exceed the slice (self-conflict misses explode) — the
+// crossover is the interesting output.
+#include "analysis/schedulability.hpp"
+#include "benchdata/generator.hpp"
+#include "common.hpp"
+
+int main()
+{
+    using namespace cpa;
+
+    const std::size_t task_sets = experiments::task_sets_from_env(120);
+    const auto platform = bench::default_platform();
+    auto generation = bench::default_generation();
+
+    // Shared-cache pool at 256 sets; partitioned pool at 256/8 = 32 sets
+    // (each task's parameters re-derived for its slice).
+    const auto shared_pool = benchdata::derive_all(
+        benchdata::full_benchmark_table(), generation.cache_sets);
+    const std::size_t slice_sets =
+        generation.cache_sets / generation.tasks_per_core;
+    const auto sliced_pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), slice_sets);
+
+    analysis::AnalysisConfig config;
+    config.policy = analysis::BusPolicy::kFixedPriority;
+    config.persistence_aware = true;
+
+    std::cout << "== Extension: per-task cache partitioning vs sharing "
+                 "(FP bus, persistence aware, slice = "
+              << slice_sets << " sets) ==\n(task sets per point: "
+              << task_sets << ")\n";
+    util::TextTable table({"U/core", "shared", "partitioned"});
+
+    for (double u = 0.05; u <= 1.0 + 1e-9; u += 0.05) {
+        generation.per_core_utilization = u;
+        std::size_t shared_count = 0;
+        std::size_t partitioned_count = 0;
+
+        util::Rng master(31415);
+        for (std::size_t n = 0; n < task_sets; ++n) {
+            const auto seed_state = master.fork().engine()();
+            {
+                util::Rng rng(seed_state);
+                const tasks::TaskSet ts =
+                    benchdata::generate_task_set(rng, generation,
+                                                 shared_pool);
+                shared_count +=
+                    analysis::is_schedulable(ts, platform, config) ? 1 : 0;
+            }
+            {
+                // Partitioned: draw with slice-sized parameters, then remap
+                // each task's footprint into its own private slice of the
+                // 256-set cache (slice k occupies sets [k*32, (k+1)*32)).
+                benchdata::GenerationConfig sliced = generation;
+                sliced.cache_sets = slice_sets;
+                util::Rng rng(seed_state);
+                const tasks::TaskSet drawn =
+                    benchdata::generate_task_set(rng, sliced, sliced_pool);
+                tasks::TaskSet ts(generation.num_cores,
+                                  generation.cache_sets);
+                std::vector<std::size_t> next_slice(generation.num_cores, 0);
+                for (const tasks::Task& original : drawn.tasks()) {
+                    tasks::Task task = original;
+                    const std::size_t slice = next_slice[task.core]++;
+                    const auto widen = [&](const util::SetMask& mask) {
+                        util::SetMask out(generation.cache_sets);
+                        for (const std::size_t s : mask.to_indices()) {
+                            out.insert(slice * slice_sets + s);
+                        }
+                        return out;
+                    };
+                    task.ecb = widen(original.ecb);
+                    task.ucb = widen(original.ucb);
+                    task.pcb = widen(original.pcb);
+                    ts.add_task(std::move(task));
+                }
+                ts.validate();
+                partitioned_count +=
+                    analysis::is_schedulable(ts, platform, config) ? 1 : 0;
+            }
+        }
+        table.add_row({util::TextTable::num(u, 2),
+                       std::to_string(shared_count),
+                       std::to_string(partitioned_count)});
+    }
+    table.print(std::cout);
+    bench::maybe_write_csv("extension-cache-partitioning", table);
+    return 0;
+}

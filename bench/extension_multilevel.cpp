@@ -1,0 +1,101 @@
+// Extension bench (the paper's future work): schedulability with a shared
+// L2 behind the private L1s, for several L2 sizes, against the paper's
+// single-level analysis. The L2 trades a per-request lookup latency d_l2
+// for L2-persistent blocks that stop consuming the memory bus at all.
+//
+// Expected shape: a small shared L2 (heavily contended by 32 tasks) barely
+// helps — or even hurts, through the added lookup latency — while a large
+// one substantially extends the persistence benefit.
+#include "analysis/multilevel.hpp"
+#include "analysis/schedulability.hpp"
+#include "benchdata/generator.hpp"
+#include "common.hpp"
+
+int main()
+{
+    using namespace cpa;
+
+    const std::size_t task_sets = experiments::task_sets_from_env(100);
+    const auto platform = bench::default_platform();
+    const auto generation = bench::default_generation();
+    const auto pool = benchdata::derive_all(
+        benchdata::full_benchmark_table(), generation.cache_sets);
+
+    analysis::AnalysisConfig config;
+    config.policy = analysis::BusPolicy::kFixedPriority;
+    config.persistence_aware = true;
+
+    const std::vector<std::size_t> l2_sizes = {512, 1024, 2048, 4096};
+
+    std::cout << "== Extension: shared L2 vs single-level analysis "
+                 "(FP bus, persistence aware, d_l2 = 1 us) ==\n"
+                 "(task sets per point: "
+              << task_sets << ")\n";
+    std::vector<std::string> header{"U/core", "L1-only"};
+    for (const std::size_t sets : l2_sizes) {
+        header.push_back("L2/" + std::to_string(sets));
+    }
+    header.push_back("idealL2/4096"); // d_l2 = 0: pure persistence effect
+    util::TextTable table(header);
+
+    analysis::L2Config l2;
+    l2.d_l2 = util::cycles_from_microseconds(1);
+
+    for (double u = 0.2; u <= 0.9 + 1e-9; u += 0.1) {
+        benchdata::GenerationConfig gen = generation;
+        gen.per_core_utilization = u;
+
+        std::size_t single = 0;
+        std::size_t ideal = 0;
+        std::vector<std::size_t> multi(l2_sizes.size(), 0);
+
+        util::Rng master(77777);
+        for (std::size_t n = 0; n < task_sets; ++n) {
+            util::Rng child = master.fork();
+            const tasks::TaskSet ts =
+                benchdata::generate_task_set(child, gen, pool);
+            const analysis::InterferenceTables tables(
+                ts, analysis::CrpdMethod::kEcbUnion);
+            single +=
+                analysis::is_schedulable(ts, platform, config, tables) ? 1
+                                                                       : 0;
+            for (std::size_t s = 0; s < l2_sizes.size(); ++s) {
+                util::Rng placement(n);
+                const auto footprints = benchdata::attach_l2_footprints(
+                    placement, ts, benchdata::full_benchmark_table(),
+                    l2_sizes[s]);
+                analysis::L2Config sized = l2;
+                sized.sets = l2_sizes[s];
+                const analysis::L2InterferenceTables l2_tables(ts,
+                                                               footprints);
+                multi[s] += analysis::compute_wcrt_multilevel(
+                                ts, platform, config, sized, footprints,
+                                tables, l2_tables)
+                                    .schedulable
+                                ? 1
+                                : 0;
+                if (s + 1 == l2_sizes.size()) {
+                    analysis::L2Config free_lookup = sized;
+                    free_lookup.d_l2 = 0;
+                    ideal += analysis::compute_wcrt_multilevel(
+                                 ts, platform, config, free_lookup,
+                                 footprints, tables, l2_tables)
+                                     .schedulable
+                                 ? 1
+                                 : 0;
+                }
+            }
+        }
+
+        std::vector<std::string> row{util::TextTable::num(u, 1),
+                                     std::to_string(single)};
+        for (const std::size_t count : multi) {
+            row.push_back(std::to_string(count));
+        }
+        row.push_back(std::to_string(ideal));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    bench::maybe_write_csv("extension-multilevel", table);
+    return 0;
+}

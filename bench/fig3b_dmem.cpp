@@ -1,0 +1,28 @@
+// Reproduces Fig. 3b: weighted schedulability vs. memory reload time d_mem
+// (2..10 µs in steps of 2 µs). Expected shape: all curves decrease as d_mem
+// grows; the persistence gap is largest for small d_mem.
+#include "common.hpp"
+
+int main()
+{
+    using namespace cpa;
+
+    const std::size_t task_sets = experiments::task_sets_from_env(80);
+    const auto variants = experiments::standard_variants();
+
+    std::vector<experiments::UtilizationSweep> sweeps;
+    std::vector<std::string> labels;
+    for (std::int64_t us = 2; us <= 10; us += 2) {
+        auto platform = bench::default_platform();
+        platform.d_mem = util::cycles_from_microseconds(us);
+        sweeps.push_back(experiments::run_utilization_sweep(
+            bench::default_generation(), platform, variants,
+            bench::weighted_sweep(task_sets)));
+        labels.push_back(std::to_string(us) + "us");
+    }
+
+    bench::print_weighted(
+        "Fig. 3b: weighted schedulability vs memory reload time d_mem",
+        "d_mem", labels, sweeps);
+    return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Fig. 3c: weighted schedulability vs. L1 cache size (32..1024
+// sets). Benchmark parameters are rescaled to each geometry via the region
+// layout model (DESIGN.md §3.2). Expected shape: persistence-aware curves
+// improve with cache size, and faster than the persistence-oblivious ones
+// (more cache -> more PCBs).
+#include "common.hpp"
+
+int main()
+{
+    using namespace cpa;
+
+    const std::size_t task_sets = experiments::task_sets_from_env(80);
+    const auto variants = experiments::standard_variants();
+
+    std::vector<experiments::UtilizationSweep> sweeps;
+    std::vector<std::string> labels;
+    for (std::size_t sets = 32; sets <= 1024; sets *= 2) {
+        auto generation = bench::default_generation();
+        generation.cache_sets = sets;
+        auto platform = bench::default_platform();
+        platform.cache_sets = sets;
+        sweeps.push_back(experiments::run_utilization_sweep(
+            generation, platform, variants, bench::weighted_sweep(task_sets)));
+        labels.push_back(std::to_string(sets));
+    }
+
+    bench::print_weighted(
+        "Fig. 3c: weighted schedulability vs cache size (sets)",
+        "cache sets", labels, sweeps);
+    return 0;
+}

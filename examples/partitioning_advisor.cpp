@@ -1,0 +1,85 @@
+// Scenario: choosing a task-to-core placement for a fixed workload.
+//
+// Given 24 tasks for a 4-core platform, compares three partitioning
+// heuristics — first-fit and worst-fit (load only) and the cache-aware
+// placement that keeps overlapping footprints apart — under the
+// persistence-aware FP-bus analysis. The punchline ties back to the paper:
+// CPRO (Eq. 14) charges only SAME-core evictions of persistent blocks, so a
+// placement with less same-core footprint overlap keeps more persistence
+// and schedules at higher load.
+//
+//   $ ./build/examples/partitioning_advisor
+#include "analysis/schedulability.hpp"
+#include "benchdata/generator.hpp"
+#include "tasks/partition.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace cpa;
+
+int main()
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = 4;
+    platform.cache_sets = 256;
+    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.slot_size = 2;
+
+    benchdata::GenerationConfig generation;
+    generation.num_cores = 4;
+    generation.tasks_per_core = 6;
+    generation.cache_sets = 256;
+
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 256);
+
+    analysis::AnalysisConfig config;
+    config.policy = analysis::BusPolicy::kFixedPriority;
+    config.persistence_aware = true;
+
+    const std::vector<std::pair<std::string, tasks::PartitionHeuristic>>
+        heuristics = {
+            {"first-fit", tasks::PartitionHeuristic::kFirstFit},
+            {"worst-fit", tasks::PartitionHeuristic::kWorstFit},
+            {"cache-aware", tasks::PartitionHeuristic::kCacheAware},
+        };
+
+    std::cout << "24 tasks on 4 cores, FP bus, persistence-aware analysis.\n"
+                 "For each heuristic: same-core footprint overlap and the\n"
+                 "highest total utilization the placement sustains.\n\n";
+
+    util::TextTable table({"heuristic", "overlap@U=1.6",
+                           "breakdown U (total)", "schedulable at 1.6?"});
+    for (const auto& [name, heuristic] : heuristics) {
+        // Breakdown: scan total utilization; same seed for comparability.
+        double breakdown = 0.0;
+        bool at_16 = false;
+        std::size_t overlap_at_16 = 0;
+        for (double total_u = 0.4; total_u <= 3.2 + 1e-9; total_u += 0.2) {
+            benchdata::GenerationConfig gen = generation;
+            gen.per_core_utilization = total_u / 4.0;
+            util::Rng rng(99);
+            const tasks::TaskSet ts = benchdata::generate_task_set_partitioned(
+                rng, gen, pool, heuristic);
+            const bool ok = analysis::is_schedulable(ts, platform, config);
+            if (ok) {
+                breakdown = total_u;
+            }
+            if (std::abs(total_u - 1.6) < 1e-9) {
+                at_16 = ok;
+                overlap_at_16 =
+                    tasks::same_core_overlap(ts.tasks(), 4);
+            }
+        }
+        table.add_row({name, std::to_string(overlap_at_16),
+                       util::TextTable::num(breakdown, 1),
+                       at_16 ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLower same-core overlap preserves persistent cache "
+                 "blocks (smaller CPRO),\nwhich the persistence-aware bus "
+                 "analysis converts into schedulability.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+// Scenario: extracting cache-persistence parameters from source structure.
+//
+// A developer models a control loop (sensor read, filter cascade, actuation)
+// as a structured program, extracts (PD, MD, MDr, ECB, UCB, PCB) for three
+// candidate cache geometries with the built-in static cache analysis — the
+// role Heptane plays in the paper — and feeds the result straight into the
+// persistence-aware schedulability analysis.
+//
+//   $ ./examples/wcet_extraction
+#include "analysis/wcrt.hpp"
+#include "program/extract.hpp"
+#include "program/program.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace cpa;
+
+namespace {
+
+// A 60-block control application: init, a 500-iteration filter cascade
+// (whose two stages alias each other in small caches), and actuation code.
+program::Program control_loop()
+{
+    program::ProgramBuilder b("control_loop");
+    b.straight(0, 8); // init + sensor read
+    b.begin_loop(500);
+    b.straight(8, 20);        // filter stage A (blocks 8..27)
+    b.straight(8 + 128, 20);  // filter stage B: aliases stage A at 128 sets
+    b.end_loop();
+    b.straight(28, 12); // actuation + logging
+    return std::move(b).build();
+}
+
+} // namespace
+
+int main()
+{
+    const program::Program app = control_loop();
+    std::cout << "Extracting parameters for '" << app.name() << "' ("
+              << app.reference_trace().size() << " block fetches)\n\n";
+
+    util::TextTable table({"cache sets", "PD (cyc)", "MD", "MDr", "|ECB|",
+                           "|PCB|", "|UCB|"});
+    for (const std::size_t sets : {64u, 128u, 256u}) {
+        const auto params = program::extract_parameters(app, {sets, 32});
+        table.add_row({std::to_string(sets), std::to_string(params.pd),
+                       std::to_string(params.md),
+                       std::to_string(params.md_residual),
+                       std::to_string(params.ecb.count()),
+                       std::to_string(params.pcb.count()),
+                       std::to_string(params.ucb.count())});
+    }
+    table.print(std::cout);
+    std::cout << "\nAt 128 sets the two filter stages alias: persistence "
+                 "collapses (PCBs drop)\nand the residual demand MDr stays "
+                 "near MD. At 256 sets the whole loop is\npersistent: jobs "
+                 "after the first pay almost nothing on the bus.\n\n";
+
+    // Deploy the control loop on core 0 next to an extracted data logger on
+    // core 1 (compute-heavy, long deadline). The logger's response window
+    // spans many control-loop jobs, so the persistence-aware other-core
+    // bound (Lemma 2) pays the control loop's footprint only once instead
+    // of per job.
+    constexpr std::size_t kSets = 256;
+    const auto control = program::extract_parameters(app, {kSets, 32});
+
+    program::ProgramBuilder logger_builder("logger");
+    logger_builder.straight(1000, 6);
+    logger_builder.begin_loop(20000);
+    logger_builder.straight(1006, 10); // tight formatting loop
+    logger_builder.end_loop();
+    const program::Program logger_app = std::move(logger_builder).build();
+    const auto logger = program::extract_parameters(logger_app, {kSets, 32});
+
+    tasks::TaskSet ts(2, kSets);
+    ts.add_task(program::to_task(control, 0, 2 * control.pd));
+    ts.add_task(program::to_task(logger, 1, 3 * logger.pd));
+    ts.validate();
+
+    analysis::PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = kSets;
+    platform.d_mem = 100;
+    platform.slot_size = 2;
+
+    std::cout << "Control loop (T = " << ts[0].period
+              << " cyc) on core 0, logger (T = " << ts[1].period
+              << " cyc) on core 1, FP bus, d_mem = 100 cyc:\n";
+    for (const bool persistence : {false, true}) {
+        analysis::AnalysisConfig config;
+        config.policy = analysis::BusPolicy::kFixedPriority;
+        config.persistence_aware = persistence;
+        const auto wcrt = analysis::compute_wcrt(ts, platform, config);
+        std::cout << (persistence ? "  with persistence:    "
+                                  : "  without persistence: ")
+                  << "logger WCRT = " << wcrt.response[1] << " cycles ("
+                  << (wcrt.schedulable ? "schedulable" : "NOT schedulable")
+                  << ")\n";
+    }
+    std::cout << "The gap is the control-loop refetch traffic that Lemma 2 "
+                 "proves away.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Plot the reproduction figures from the benches' CSV dumps.
+
+Usage:
+    CPA_CSV_DIR=results ./build/bench/fig2_core_utilization
+    CPA_CSV_DIR=results ./build/bench/fig3a_cores   # ... etc.
+    python3 scripts/plot_figures.py results plots/
+
+Reads every CSV in the input directory (first column = x axis, remaining
+columns = one line each) and writes a PNG per CSV. Requires matplotlib;
+the C++ side has no plotting dependency by design.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def plot_csv(csv_path: pathlib.Path, out_dir: pathlib.Path) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with csv_path.open() as handle:
+        rows = list(csv.reader(handle))
+    if len(rows) < 2:
+        print(f"skipping {csv_path.name}: no data rows")
+        return
+    header, data = rows[0], rows[1:]
+
+    def as_number(text: str) -> float:
+        try:
+            return float(text.rstrip("us"))
+        except ValueError:
+            return float("nan")
+
+    xs = [as_number(row[0]) for row in data]
+    figure, axis = plt.subplots(figsize=(7, 4.5))
+    for column in range(1, len(header)):
+        ys = [as_number(row[column]) for row in data]
+        style = "--" if "NoCP" in header[column] else "-"
+        axis.plot(xs, ys, style, marker="o", markersize=3,
+                  label=header[column])
+    axis.set_xlabel(header[0])
+    axis.set_ylabel("schedulable task sets / weighted schedulability")
+    axis.set_title(csv_path.stem.replace("-", " "))
+    axis.legend(fontsize=7)
+    axis.grid(True, alpha=0.3)
+    figure.tight_layout()
+    out_path = out_dir / (csv_path.stem + ".png")
+    figure.savefig(out_path, dpi=150)
+    plt.close(figure)
+    print(f"wrote {out_path}")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    in_dir = pathlib.Path(sys.argv[1])
+    out_dir = pathlib.Path(sys.argv[2])
+    out_dir.mkdir(parents=True, exist_ok=True)
+    csvs = sorted(in_dir.glob("*.csv"))
+    if not csvs:
+        print(f"no CSV files in {in_dir}")
+        return 1
+    for csv_path in csvs:
+        plot_csv(csv_path, out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,198 @@
+#include "analysis/bus_bounds.hpp"
+
+#include "analysis/demand.hpp"
+#include "util/math.hpp"
+
+#include <algorithm>
+
+namespace cpa::analysis {
+
+using util::ceil_div;
+using util::ceil_div_signed;
+using util::clamp_non_negative;
+using util::floor_div;
+
+BusContentionAnalysis::BusContentionAnalysis(const tasks::TaskSet& ts,
+                                             const PlatformConfig& platform,
+                                             const AnalysisConfig& config,
+                                             const InterferenceTables& tables)
+    : ts_(ts), platform_(platform), config_(config), tables_(tables)
+{
+}
+
+std::int64_t BusContentionAnalysis::cpro_reload_bound(std::size_t j,
+                                                      std::size_t level,
+                                                      std::int64_t n_jobs,
+                                                      Cycles t) const
+{
+    const std::int64_t by_union = tables_.rho_hat(j, level, n_jobs);
+    if (config_.cpro == CproMethod::kUnion || by_union == 0) {
+        return by_union;
+    }
+    // Each job of an evicting task τ_s displaces at most |PCB_j ∩ ECB_s|
+    // persistent blocks; at most ⌈t/T_s⌉ + 1 jobs of τ_s (one carry-in) can
+    // execute in any window of length t.
+    std::int64_t by_jobs = 0;
+    for (const std::size_t s : ts_.tasks_on_core(ts_[j].core)) {
+        if (s > level) {
+            break; // evictors are Γ ∩ hep(level) \ {j}
+        }
+        if (s == j) {
+            continue;
+        }
+        by_jobs += (ceil_div(t + ts_[s].jitter, ts_[s].period) + 1) *
+                   tables_.pair_overlap(j, s);
+    }
+    return std::min(by_union, by_jobs);
+}
+
+std::int64_t BusContentionAnalysis::bas(std::size_t i, Cycles t) const
+{
+    const tasks::Task& task = ts_[i];
+    std::int64_t total = task.md;
+    for (const std::size_t j : ts_.tasks_on_core(task.core)) {
+        if (j >= i) {
+            break; // per-core lists are in priority order; only hp(i) counts
+        }
+        const tasks::Task& hp_task = ts_[j];
+        // E_j(t) with release jitter: ceil((t + J_j)/T_j).
+        const std::int64_t jobs =
+            ceil_div(t + hp_task.jitter, hp_task.period);
+        const std::int64_t isolation = jobs * hp_task.md;
+        std::int64_t demand = isolation;
+        if (config_.persistence_aware) {
+            // Lemma 1: cap by M̂D_j(E_j) + ρ̂_{j,i,x}(E_j).
+            demand = std::min(isolation,
+                              md_hat(hp_task, jobs) +
+                                  cpro_reload_bound(j, i, jobs, t));
+        }
+        total += demand + jobs * tables_.gamma(i, j);
+    }
+    return total;
+}
+
+std::int64_t BusContentionAnalysis::other_core_task_accesses(
+    std::size_t k, std::size_t l, Cycles t,
+    const std::vector<Cycles>& response) const
+{
+    const tasks::Task& task = ts_[l];
+    const std::int64_t gamma = tables_.gamma(k, l);
+    const std::int64_t per_job = task.md + gamma;
+    const Cycles r_l = response[l];
+
+    // Eq. (6): jobs that fully execute inside the window, assuming the first
+    // job finishes as late as possible (just before R_l) and later jobs run
+    // as early as possible.
+    const std::int64_t n_full = clamp_non_negative(floor_div(
+        t + r_l + task.jitter - per_job * platform_.d_mem, task.period));
+
+    // Eq. (4) / Eq. (18): accesses of the fully-executed jobs.
+    std::int64_t w_full = n_full * per_job;
+    if (config_.persistence_aware) {
+        const std::int64_t capped = std::min(
+            n_full * task.md,
+            md_hat(task, n_full) + cpro_reload_bound(l, k, n_full, t));
+        w_full = capped + n_full * gamma;
+    }
+
+    // Eq. (5): accesses of the carry-out job, clamped to [0, MD + γ].
+    const Cycles leftover = t + r_l + task.jitter -
+                            per_job * platform_.d_mem -
+                            n_full * task.period;
+    const std::int64_t w_cout = std::clamp(
+        ceil_div_signed(leftover, platform_.d_mem), std::int64_t{0}, per_job);
+
+    return w_full + w_cout;
+}
+
+std::int64_t BusContentionAnalysis::bao(std::size_t core, std::size_t k,
+                                        Cycles t,
+                                        const std::vector<Cycles>& response) const
+{
+    std::int64_t total = 0;
+    for (const std::size_t l : ts_.tasks_on_core(core)) {
+        if (l > k) {
+            break; // only Γ_core ∩ hep(k)
+        }
+        total += other_core_task_accesses(k, l, t, response);
+    }
+    return total;
+}
+
+std::int64_t
+BusContentionAnalysis::bao_lower(std::size_t core, std::size_t i, Cycles t,
+                                 const std::vector<Cycles>& response) const
+{
+    std::int64_t total = 0;
+    for (const std::size_t l : ts_.tasks_on_core(core)) {
+        if (l <= i) {
+            continue; // only Γ_core ∩ lp(i)
+        }
+        total += other_core_task_accesses(i, l, t, response);
+    }
+    return total;
+}
+
+bool BusContentionAnalysis::has_lower_priority_on_core(std::size_t i) const
+{
+    const auto& on_core = ts_.tasks_on_core(ts_[i].core);
+    return !on_core.empty() && on_core.back() > i;
+}
+
+std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
+                                        const std::vector<Cycles>& response) const
+{
+    const std::int64_t same_core = bas(i, t);
+    const std::size_t my_core = ts_[i].core;
+    const std::int64_t blocking = has_lower_priority_on_core(i) ? 1 : 0;
+
+    switch (config_.policy) {
+    case BusPolicy::kPerfect:
+        // No contention: only the access time of the core's own demand.
+        return same_core;
+
+    case BusPolicy::kFixedPriority: {
+        // Eq. (7): all higher-or-equal priority other-core accesses delay
+        // τ_i; each of τ_i's window accesses can additionally be blocked by
+        // one in-flight lower-priority access.
+        std::int64_t higher = 0;
+        std::int64_t lower = 0;
+        for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+            if (core == my_core) {
+                continue;
+            }
+            higher += bao(core, i, t, response);
+            lower += bao_lower(core, i, t, response);
+        }
+        return same_core + higher + blocking + std::min(same_core, lower);
+    }
+
+    case BusPolicy::kRoundRobin: {
+        // Eq. (8): per other core, at most s slots per own access, and never
+        // more than that core's total demand (BAO at the lowest priority
+        // level n, i.e., all tasks of the core).
+        const std::size_t lowest = ts_.size() - 1;
+        std::int64_t other = 0;
+        for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+            if (core == my_core) {
+                continue;
+            }
+            other += std::min(bao(core, lowest, t, response),
+                              platform_.slot_size * same_core);
+        }
+        return same_core + other + blocking;
+    }
+
+    case BusPolicy::kTdma: {
+        // Eq. (9): non-work-conserving; every own access can wait for the
+        // remaining (L-1)*s slots of the TDMA cycle (L = number of cores).
+        const auto cycle_cores =
+            static_cast<std::int64_t>(platform_.num_cores);
+        return same_core +
+               (cycle_cores - 1) * platform_.slot_size * same_core + blocking;
+    }
+    }
+    return same_core;
+}
+
+} // namespace cpa::analysis

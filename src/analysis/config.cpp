@@ -1,0 +1,44 @@
+#include "analysis/config.hpp"
+
+namespace cpa::analysis {
+
+std::string to_string(BusPolicy policy)
+{
+    switch (policy) {
+    case BusPolicy::kFixedPriority:
+        return "FP";
+    case BusPolicy::kRoundRobin:
+        return "RR";
+    case BusPolicy::kTdma:
+        return "TDMA";
+    case BusPolicy::kPerfect:
+        return "PerfectBus";
+    }
+    return "unknown";
+}
+
+std::string to_string(CrpdMethod method)
+{
+    switch (method) {
+    case CrpdMethod::kEcbUnion:
+        return "ECB-union";
+    case CrpdMethod::kUcbOnly:
+        return "UCB-only";
+    case CrpdMethod::kEcbOnly:
+        return "ECB-only";
+    }
+    return "unknown";
+}
+
+std::string to_string(CproMethod method)
+{
+    switch (method) {
+    case CproMethod::kUnion:
+        return "CPRO-union";
+    case CproMethod::kJobBound:
+        return "CPRO-job-bound";
+    }
+    return "unknown";
+}
+
+} // namespace cpa::analysis

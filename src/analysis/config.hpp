@@ -1,0 +1,64 @@
+// Platform and analysis configuration shared by all bound computations.
+#pragma once
+
+#include "util/units.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace cpa::analysis {
+
+using util::Cycles;
+
+// Memory-bus arbitration policies analyzed in the paper (Eq. (7)-(9)), plus
+// the "perfect bus" upper-bound baseline from Fig. 2.
+enum class BusPolicy {
+    kFixedPriority, // Eq. (7): accesses inherit the priority of their task
+    kRoundRobin,    // Eq. (8): work-conserving RR with s slots per core
+    kTdma,          // Eq. (9): non-work-conserving TDMA, cycle length L*s
+    kPerfect,       // no bus interference while bus utilization <= 1
+};
+
+// CRPD bounding method. The paper uses ECB-union (Eq. (2), from Altmeyer et
+// al. RTSS'11); the other two are classic cruder bounds kept for the ablation
+// bench.
+enum class CrpdMethod {
+    kEcbUnion, // Eq. (2): max over affected tasks of |UCB_g ∩ ∪ ECB|
+    kUcbOnly,  // max over affected tasks of |UCB_g|
+    kEcbOnly,  // |∪_{h ∈ hep(j)} ECB_h| (every evicted set reloads)
+};
+
+// CPRO bounding method. The paper states "CPRO can be calculated using any
+// of the approaches presented in [3], [4]" and picks CPRO-union (Eq. (14)).
+// kJobBound additionally caps the reload count by how often the evicting
+// tasks can actually run in the window: a job of τ_s can evict
+// |PCB_j ∩ ECB_s| persistent blocks at most once, so
+//   ρ̂ <= Σ_s (⌈t/T_s⌉ + 1) · |PCB_j ∩ ECB_s|
+// (the +1 covers a carry-in job). The minimum with Eq. (14) is taken, so
+// kJobBound always dominates kUnion.
+enum class CproMethod {
+    kUnion,    // Eq. (14): (n_j - 1) · |PCB_j ∩ ∪ ECB|
+    kJobBound, // min(Eq. (14), per-evictor job-count cap)
+};
+
+struct PlatformConfig {
+    std::size_t num_cores = 4;
+    std::size_t cache_sets = 256;
+    Cycles d_mem = 10;       // worst-case main-memory access time (cycles);
+                             // default 5 us at 2 cycles/us (DESIGN.md §3.3)
+    std::int64_t slot_size = 2; // s: bus slots per core for RR/TDMA
+    // TDMA cycle length is L*s with L = num_cores (one slot group per core).
+};
+
+struct AnalysisConfig {
+    BusPolicy policy = BusPolicy::kFixedPriority;
+    bool persistence_aware = true; // use Lemmas 1-2 instead of Eq. (1)/(3)
+    CrpdMethod crpd = CrpdMethod::kEcbUnion;
+    CproMethod cpro = CproMethod::kUnion; // the paper's choice
+};
+
+[[nodiscard]] std::string to_string(BusPolicy policy);
+[[nodiscard]] std::string to_string(CrpdMethod method);
+[[nodiscard]] std::string to_string(CproMethod method);
+
+} // namespace cpa::analysis

@@ -1,0 +1,72 @@
+// Pre-computed cache-interference tables: CRPD (γ, Eq. (2)) and the CPRO
+// eviction overlap used by Eq. (14).
+//
+// Both tables depend only on the task set's cache footprints and priority
+// order — not on the bus policy, the window length or whether persistence is
+// enabled — so one table pair is computed per task set and shared by all
+// analyses, which is what makes the large schedulability sweeps affordable.
+//
+// Index conventions (see tasks::TaskSet): tasks are stored in priority order,
+// index 0 = highest priority τ_1. Hence hp(i) = [0, i), hep(i) = [0, i],
+// lp(j) = (j, n), and aff(i, j) = hep(i) ∩ lp(j) = (j, i].
+#pragma once
+
+#include "analysis/config.hpp"
+#include "tasks/task.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace cpa::analysis {
+
+class InterferenceTables {
+public:
+    // Builds the tables for `ts` with the requested CRPD method.
+    InterferenceTables(const tasks::TaskSet& ts, CrpdMethod method);
+
+    // γ_{i,j}: bound on the number of additional bus accesses (UCB reloads)
+    // each job of preempting task τ_j causes, during the response time of a
+    // priority-i window, on τ_j's own core (Eq. (2) for kEcbUnion).
+    // Zero when j is not higher-priority than i (aff(i, j) empty) and when
+    // i == j.
+    [[nodiscard]] std::int64_t gamma(std::size_t i, std::size_t j) const
+    {
+        return gamma_[i][j];
+    }
+
+    // |PCB_j ∩ ∪_{s ∈ Γ_core(j) ∩ hep(i) \ {j}} ECB_s|: the per-rerun CPRO
+    // cost of τ_j inside a priority-i window (the multiplier of Eq. (14)).
+    [[nodiscard]] std::int64_t cpro_overlap(std::size_t j, std::size_t i) const
+    {
+        return cpro_[j][i];
+    }
+
+    // ρ̂_{j,i}(n): additional bus accesses caused by CPRO across n successive
+    // jobs of τ_j inside a priority-i window (Eq. (14)); 0 for n <= 1.
+    [[nodiscard]] std::int64_t rho_hat(std::size_t j, std::size_t i,
+                                       std::int64_t n_jobs) const
+    {
+        if (n_jobs <= 1) {
+            return 0;
+        }
+        return (n_jobs - 1) * cpro_[j][i];
+    }
+
+    // |PCB_j ∩ ECB_s| for two tasks on the SAME core (0 otherwise): the
+    // per-job eviction potential of τ_s against τ_j's persistent blocks,
+    // used by the job-bounded CPRO refinement (CproMethod::kJobBound).
+    [[nodiscard]] std::int64_t pair_overlap(std::size_t j,
+                                            std::size_t s) const
+    {
+        return pair_overlap_[j][s];
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return gamma_.size(); }
+
+private:
+    std::vector<std::vector<std::int64_t>> gamma_;
+    std::vector<std::vector<std::int64_t>> cpro_;
+    std::vector<std::vector<std::int64_t>> pair_overlap_;
+};
+
+} // namespace cpa::analysis

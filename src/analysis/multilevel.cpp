@@ -1,0 +1,322 @@
+#include "analysis/multilevel.hpp"
+
+#include "analysis/demand.hpp"
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpa::analysis {
+
+using util::ceil_div;
+using util::ceil_div_signed;
+using util::clamp_non_negative;
+using util::floor_div;
+using util::SetMask;
+
+L2InterferenceTables::L2InterferenceTables(
+    const tasks::TaskSet& ts, const std::vector<L2Footprint>& footprints)
+{
+    if (footprints.size() != ts.size()) {
+        throw std::invalid_argument(
+            "L2InterferenceTables: footprint count mismatch");
+    }
+    const std::size_t n = ts.size();
+    overlap_.assign(n, std::vector<std::int64_t>(n, 0));
+    // The L2 is shared: every task of hep(i), on any core, can evict. For
+    // fixed j the union over hep(i)\{j} grows with i -> ascending sweep.
+    for (std::size_t j = 0; j < n; ++j) {
+        SetMask evictors(footprints[j].ecb2.universe());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i != j) {
+                evictors |= footprints[i].ecb2;
+            }
+            overlap_[j][i] = static_cast<std::int64_t>(
+                footprints[j].pcb2.intersection_count(evictors));
+        }
+    }
+}
+
+namespace {
+
+// Two-level analogue of BusContentionAnalysis: request bounds (for the d_l2
+// lookup term) and bus-access bounds (for the per-policy BAT combination).
+class MultilevelBounds {
+public:
+    MultilevelBounds(const tasks::TaskSet& ts,
+                     const PlatformConfig& platform,
+                     const AnalysisConfig& config,
+                     const std::vector<L2Footprint>& footprints,
+                     const InterferenceTables& tables,
+                     const L2InterferenceTables& l2_tables)
+        : ts_(ts), platform_(platform), config_(config),
+          footprints_(footprints), tables_(tables), l2_tables_(l2_tables)
+    {
+    }
+
+    // B̂(n): bus accesses of n jobs of τ_j inside a priority-`level` window.
+    [[nodiscard]] std::int64_t bus_demand(std::size_t j, std::size_t level,
+                                          std::int64_t n_jobs) const
+    {
+        const tasks::Task& task = ts_[j];
+        const std::int64_t raw = n_jobs * task.md;
+        if (!config_.persistence_aware || n_jobs <= 0) {
+            return std::max<std::int64_t>(raw, 0);
+        }
+        const L2Footprint& fp = footprints_[j];
+        const std::int64_t warm =
+            n_jobs * fp.md_residual_l2 +
+            static_cast<std::int64_t>(task.pcb.count()) +
+            static_cast<std::int64_t>(fp.pcb2.count()) +
+            tables_.rho_hat(j, level, n_jobs) +
+            l2_tables_.rho2_hat(j, level, n_jobs);
+        return std::min(raw, warm);
+    }
+
+    // R̂(n): L1-miss requests (each costs d_l2) — the paper's Lemma 1
+    // ingredients, unchanged by the L2.
+    [[nodiscard]] std::int64_t request_demand(std::size_t j,
+                                              std::size_t level,
+                                              std::int64_t n_jobs) const
+    {
+        const std::int64_t raw = n_jobs * ts_[j].md;
+        if (!config_.persistence_aware || n_jobs <= 0) {
+            return std::max<std::int64_t>(raw, 0);
+        }
+        return std::min(raw, md_hat(ts_[j], n_jobs) +
+                                 tables_.rho_hat(j, level, n_jobs));
+    }
+
+    // Same-core requests in a window of length t (for the lookup term).
+    [[nodiscard]] std::int64_t reqs(std::size_t i, Cycles t) const
+    {
+        std::int64_t total = ts_[i].md;
+        for (const std::size_t j : ts_.tasks_on_core(ts_[i].core)) {
+            if (j >= i) {
+                break;
+            }
+            const std::int64_t jobs =
+                ceil_div(t + ts_[j].jitter, ts_[j].period);
+            total += request_demand(j, i, jobs) + jobs * tables_.gamma(i, j);
+        }
+        return total;
+    }
+
+    // Same-core bus accesses (two-level Lemma 1).
+    [[nodiscard]] std::int64_t bas(std::size_t i, Cycles t) const
+    {
+        std::int64_t total = ts_[i].md;
+        for (const std::size_t j : ts_.tasks_on_core(ts_[i].core)) {
+            if (j >= i) {
+                break;
+            }
+            const std::int64_t jobs =
+                ceil_div(t + ts_[j].jitter, ts_[j].period);
+            total += bus_demand(j, i, jobs) + jobs * tables_.gamma(i, j);
+        }
+        return total;
+    }
+
+    // Other-core bus accesses (two-level Lemma 2): Eq. (5)-(6) carry-out
+    // and job-count machinery, with B̂ replacing Ŵ's demand cap.
+    [[nodiscard]] std::int64_t
+    other_core_task(std::size_t k, std::size_t l, Cycles t,
+                    const std::vector<Cycles>& response) const
+    {
+        const tasks::Task& task = ts_[l];
+        const std::int64_t gamma = tables_.gamma(k, l);
+        const std::int64_t per_job = task.md + gamma;
+        const std::int64_t n_full = clamp_non_negative(floor_div(
+            t + response[l] + task.jitter - per_job * platform_.d_mem,
+            task.period));
+        const std::int64_t w_full =
+            bus_demand(l, k, n_full) + n_full * gamma;
+        const Cycles leftover = t + response[l] + task.jitter -
+                                per_job * platform_.d_mem -
+                                n_full * task.period;
+        const std::int64_t w_cout =
+            std::clamp(ceil_div_signed(leftover, platform_.d_mem),
+                       std::int64_t{0}, per_job);
+        return w_full + w_cout;
+    }
+
+    [[nodiscard]] std::int64_t bao(std::size_t core, std::size_t k, Cycles t,
+                                   const std::vector<Cycles>& response) const
+    {
+        std::int64_t total = 0;
+        for (const std::size_t l : ts_.tasks_on_core(core)) {
+            if (l > k) {
+                break;
+            }
+            total += other_core_task(k, l, t, response);
+        }
+        return total;
+    }
+
+    [[nodiscard]] std::int64_t
+    bao_lower(std::size_t core, std::size_t i, Cycles t,
+              const std::vector<Cycles>& response) const
+    {
+        std::int64_t total = 0;
+        for (const std::size_t l : ts_.tasks_on_core(core)) {
+            if (l <= i) {
+                continue;
+            }
+            total += other_core_task(i, l, t, response);
+        }
+        return total;
+    }
+
+    // Per-policy total (the paper's Eq. (7)-(9) with two-level bounds).
+    [[nodiscard]] std::int64_t bat(std::size_t i, Cycles t,
+                                   const std::vector<Cycles>& response) const
+    {
+        const std::int64_t same_core = bas(i, t);
+        const std::size_t my_core = ts_[i].core;
+        const auto& on_core = ts_.tasks_on_core(my_core);
+        const std::int64_t blocking =
+            (!on_core.empty() && on_core.back() > i) ? 1 : 0;
+
+        switch (config_.policy) {
+        case BusPolicy::kPerfect:
+            return same_core;
+        case BusPolicy::kFixedPriority: {
+            std::int64_t higher = 0;
+            std::int64_t lower = 0;
+            for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+                if (core == my_core) {
+                    continue;
+                }
+                higher += bao(core, i, t, response);
+                lower += bao_lower(core, i, t, response);
+            }
+            return same_core + higher + blocking +
+                   std::min(same_core, lower);
+        }
+        case BusPolicy::kRoundRobin: {
+            const std::size_t lowest = ts_.size() - 1;
+            std::int64_t other = 0;
+            for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+                if (core == my_core) {
+                    continue;
+                }
+                other += std::min(bao(core, lowest, t, response),
+                                  platform_.slot_size * same_core);
+            }
+            return same_core + other + blocking;
+        }
+        case BusPolicy::kTdma: {
+            const auto cores = static_cast<std::int64_t>(ts_.num_cores());
+            return same_core + (cores - 1) * platform_.slot_size * same_core +
+                   blocking;
+        }
+        }
+        return same_core;
+    }
+
+private:
+    const tasks::TaskSet& ts_;
+    PlatformConfig platform_;
+    AnalysisConfig config_;
+    const std::vector<L2Footprint>& footprints_;
+    const InterferenceTables& tables_;
+    const L2InterferenceTables& l2_tables_;
+};
+
+} // namespace
+
+WcrtResult
+compute_wcrt_multilevel(const tasks::TaskSet& ts,
+                        const PlatformConfig& platform,
+                        const AnalysisConfig& config, const L2Config& l2,
+                        const std::vector<L2Footprint>& footprints,
+                        const InterferenceTables& tables,
+                        const L2InterferenceTables& l2_tables)
+{
+    if (footprints.size() != ts.size()) {
+        throw std::invalid_argument(
+            "compute_wcrt_multilevel: footprint count mismatch");
+    }
+    if (ts.num_cores() > platform.num_cores) {
+        throw std::invalid_argument(
+            "compute_wcrt_multilevel: task set uses more cores than the "
+            "platform has");
+    }
+    constexpr std::size_t kMaxOuter = 256;
+    constexpr std::size_t kMaxInner = 100000;
+
+    WcrtResult result;
+    const std::size_t n = ts.size();
+    result.response.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.response[i] =
+            ts[i].pd + ts[i].md * (platform.d_mem + l2.d_l2);
+    }
+
+    const MultilevelBounds bounds(ts, platform, config, footprints, tables,
+                                  l2_tables);
+
+    for (std::size_t outer = 0; outer < kMaxOuter; ++outer) {
+        result.outer_iterations = outer + 1;
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            Cycles r = std::max<Cycles>(result.response[i], 1);
+            for (std::size_t iter = 0; iter < kMaxInner; ++iter) {
+                Cycles rhs = ts[i].pd;
+                for (const std::size_t j : ts.tasks_on_core(ts[i].core)) {
+                    if (j >= i) {
+                        break;
+                    }
+                    rhs += ceil_div(r, ts[j].period) * ts[j].pd;
+                }
+                rhs += bounds.reqs(i, r) * l2.d_l2;
+                rhs += bounds.bat(i, r, result.response) * platform.d_mem;
+                if (rhs <= r) {
+                    break;
+                }
+                r = rhs;
+                if (r > ts[i].effective_deadline()) {
+                    break;
+                }
+            }
+            if (r > ts[i].effective_deadline()) {
+                result.schedulable = false;
+                result.failed_task = i;
+                result.response[i] = r;
+                return result;
+            }
+            if (r != result.response[i]) {
+                result.response[i] = r;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            result.schedulable = true;
+            return result;
+        }
+    }
+    result.schedulable = false;
+    return result;
+}
+
+bool is_schedulable_multilevel(const tasks::TaskSet& ts,
+                               const PlatformConfig& platform,
+                               const AnalysisConfig& config,
+                               const L2Config& l2,
+                               const std::vector<L2Footprint>& footprints)
+{
+    if (ts.empty()) {
+        return true;
+    }
+    if (config.policy == BusPolicy::kPerfect &&
+        ts.bus_utilization(platform.d_mem) > 1.0) {
+        return false;
+    }
+    const InterferenceTables tables(ts, config.crpd);
+    const L2InterferenceTables l2_tables(ts, footprints);
+    return compute_wcrt_multilevel(ts, platform, config, l2, footprints,
+                                   tables, l2_tables)
+        .schedulable;
+}
+
+} // namespace cpa::analysis

@@ -1,0 +1,96 @@
+// Multilevel extension: cache persistence with a SHARED L2 behind the
+// private L1s — the paper's stated future work ("we plan to extend the
+// proposed analysis to multilevel shared caches").
+//
+// Model M2 (extends the paper's Section II):
+//  * each core keeps its private direct-mapped L1 I-cache; all cores share
+//    one direct-mapped L2; the memory bus sits behind the L2;
+//  * a fetch either hits L1 (cost inside PD), misses L1 and hits L2 (cost
+//    d_l2, no bus traffic), or misses both (one bus access of d_mem);
+//  * every L1 miss performs an L2 lookup, so each *request* additionally
+//    costs d_l2 on its own core regardless of where it is served.
+//
+// Per-task parameters on top of the paper's: the L2 footprint (ECB2/PCB2
+// over the L2 sets) and MDʳ² — the residual BUS demand of a job when both
+// the L1 and the L2 persistent blocks are warm (MDʳ² <= MDʳ <= MD).
+//
+// Bounds for n successive jobs of τ_j inside a priority-i window:
+//  * requests (L1 misses):  R̂(n) = min(n·MD ; n·MDʳ + |PCB1|) + ρ̂1(n)
+//    — exactly the paper's Lemma 1 ingredients (Eq. (10) + (14));
+//  * bus accesses: B̂(n) = min(n·MD ;
+//        n·MDʳ² + |PCB1| + |PCB2| + ρ̂1(n) + ρ̂2(n))
+//    — warm jobs pay MDʳ², the two persistent footprints warm up once, an
+//    evicted L1-PCB reload is conservatively charged as a bus access, and
+//    ρ̂2 covers shared-L2 evictions. Because the L2 is SHARED, the eviction
+//    union of ρ̂2 spans hep(i) tasks on EVERY core, not just τ_j's own:
+//        ρ̂2_{j,i}(n) = (n-1) · |PCB2_j ∩ ∪_{s ∈ hep(i)\{j}} ECB2_s|.
+//
+// The WCRT recurrence gains the lookup term:
+//    R_i = PD_i + Σ ⌈R/T_j⌉·PD_j + REQS_i(R)·d_l2 + BAT_i(R)·d_mem
+// where REQS is BAS evaluated with R̂ and BAT is the paper's per-policy
+// combination evaluated with B̂.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/wcrt.hpp"
+#include "tasks/task.hpp"
+#include "util/set_mask.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace cpa::analysis {
+
+struct L2Config {
+    std::size_t sets = 1024; // shared L2, direct-mapped, 32 B lines
+    Cycles d_l2 = 2;         // L2 lookup/hit service time (1 us default)
+};
+
+// Per-task shared-cache footprint, parallel to tasks::TaskSet order.
+struct L2Footprint {
+    util::SetMask ecb2; // L2 sets the task can touch
+    util::SetMask pcb2; // L2 sets persistent against the task itself
+    std::int64_t md_residual_l2 = 0; // bus demand with both levels warm
+};
+
+// Pre-computed shared-L2 interference: the ρ̂2 eviction overlaps.
+class L2InterferenceTables {
+public:
+    L2InterferenceTables(const tasks::TaskSet& ts,
+                         const std::vector<L2Footprint>& footprints);
+
+    // |PCB2_j ∩ ∪_{s ∈ hep(i)\{j}} ECB2_s| over ALL cores.
+    [[nodiscard]] std::int64_t overlap(std::size_t j, std::size_t i) const
+    {
+        return overlap_[j][i];
+    }
+
+    [[nodiscard]] std::int64_t rho2_hat(std::size_t j, std::size_t i,
+                                        std::int64_t n_jobs) const
+    {
+        return n_jobs <= 1 ? 0 : (n_jobs - 1) * overlap_[j][i];
+    }
+
+private:
+    std::vector<std::vector<std::int64_t>> overlap_;
+};
+
+// Two-level WCRT analysis. Reuses the paper's CRPD/CPRO tables for the L1
+// and the per-policy BAT combinations; only the per-task demand bounds and
+// the d_l2 lookup term differ from compute_wcrt().
+[[nodiscard]] WcrtResult
+compute_wcrt_multilevel(const tasks::TaskSet& ts,
+                        const PlatformConfig& platform,
+                        const AnalysisConfig& config, const L2Config& l2,
+                        const std::vector<L2Footprint>& footprints,
+                        const InterferenceTables& tables,
+                        const L2InterferenceTables& l2_tables);
+
+[[nodiscard]] bool
+is_schedulable_multilevel(const tasks::TaskSet& ts,
+                          const PlatformConfig& platform,
+                          const AnalysisConfig& config, const L2Config& l2,
+                          const std::vector<L2Footprint>& footprints);
+
+} // namespace cpa::analysis

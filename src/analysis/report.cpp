@@ -1,0 +1,51 @@
+#include "analysis/report.hpp"
+
+#include "analysis/bus_bounds.hpp"
+#include "util/math.hpp"
+
+namespace cpa::analysis {
+
+std::vector<ResponseBreakdown>
+explain_responses(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                  const AnalysisConfig& config,
+                  const InterferenceTables& tables)
+{
+    const WcrtResult wcrt = compute_wcrt(ts, platform, config, tables);
+    const BusContentionAnalysis bounds(ts, platform, config, tables);
+
+    std::vector<ResponseBreakdown> breakdowns(ts.size());
+    const std::size_t analyzable =
+        wcrt.schedulable ? ts.size() : wcrt.failed_task + 1;
+
+    for (std::size_t i = 0; i < analyzable && i < ts.size(); ++i) {
+        const tasks::Task& task = ts[i];
+        const Cycles r = wcrt.response[i];
+        ResponseBreakdown& b = breakdowns[i];
+        b.analyzed = true;
+        b.response = r;
+        b.meets_deadline = r <= task.effective_deadline();
+        b.cpu_self = task.pd;
+        for (const std::size_t j : ts.tasks_on_core(task.core)) {
+            if (j >= i) {
+                break;
+            }
+            b.cpu_preemption += util::ceil_div(r, ts[j].period) * ts[j].pd;
+        }
+        b.bas_accesses = bounds.bas(i, r);
+        b.bat_accesses = bounds.bat(i, r, wcrt.response);
+        b.bus_same_core = b.bas_accesses * platform.d_mem;
+        b.bus_cross_core =
+            (b.bat_accesses - b.bas_accesses) * platform.d_mem;
+    }
+    return breakdowns;
+}
+
+std::vector<ResponseBreakdown>
+explain_responses(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                  const AnalysisConfig& config)
+{
+    const InterferenceTables tables(ts, config.crpd);
+    return explain_responses(ts, platform, config, tables);
+}
+
+} // namespace cpa::analysis

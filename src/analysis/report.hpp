@@ -1,0 +1,52 @@
+// Response-time decomposition: explains WHERE a task's worst-case response
+// time goes. Eq. (19) is a sum of four effects; evaluating each term at the
+// converged fixed point attributes the response to processor demand,
+// same-core preemption, same-core bus traffic and cross-core bus
+// contention — the numbers a system designer acts on (move a task to
+// another core? change the arbiter? shrink a footprint?).
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/wcrt.hpp"
+#include "tasks/task.hpp"
+
+#include <vector>
+
+namespace cpa::analysis {
+
+struct ResponseBreakdown {
+    bool analyzed = false;   // false when the WCRT iteration diverged before
+                             // reaching this task (no fixed point to explain)
+    bool meets_deadline = false;
+    Cycles response = 0;
+
+    Cycles cpu_self = 0;       // PD_i
+    Cycles cpu_preemption = 0; // Σ ⌈R/T_j⌉ · PD_j over same-core hp(i)
+    Cycles bus_same_core = 0;  // BAS_i(R) · d_mem (own + hp memory traffic)
+    Cycles bus_cross_core = 0; // (BAT_i(R) - BAS_i(R)) · d_mem
+
+    std::int64_t bas_accesses = 0; // BAS_i(R)
+    std::int64_t bat_accesses = 0; // BAT_i(R)
+
+    // The four components always sum to `response` when analyzed.
+    [[nodiscard]] Cycles total() const
+    {
+        return cpu_self + cpu_preemption + bus_same_core + bus_cross_core;
+    }
+};
+
+// Runs the WCRT analysis and decomposes every task's converged response.
+// For an unschedulable set, tasks up to and including the failing one are
+// still explained at their last iterate (the failing task's breakdown shows
+// what blew the deadline); later tasks have analyzed == false.
+[[nodiscard]] std::vector<ResponseBreakdown>
+explain_responses(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                  const AnalysisConfig& config,
+                  const InterferenceTables& tables);
+
+[[nodiscard]] std::vector<ResponseBreakdown>
+explain_responses(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                  const AnalysisConfig& config);
+
+} // namespace cpa::analysis

@@ -1,0 +1,26 @@
+#include "analysis/schedulability.hpp"
+
+namespace cpa::analysis {
+
+bool is_schedulable(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                    const AnalysisConfig& config,
+                    const InterferenceTables& tables)
+{
+    if (ts.empty()) {
+        return true;
+    }
+    if (config.policy == BusPolicy::kPerfect &&
+        ts.bus_utilization(platform.d_mem) > 1.0) {
+        return false;
+    }
+    return compute_wcrt(ts, platform, config, tables).schedulable;
+}
+
+bool is_schedulable(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                    const AnalysisConfig& config)
+{
+    const InterferenceTables tables(ts, config.crpd);
+    return is_schedulable(ts, platform, config, tables);
+}
+
+} // namespace cpa::analysis

@@ -1,0 +1,23 @@
+// Task-set level schedulability tests used by the experimental evaluation.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/wcrt.hpp"
+#include "tasks/task.hpp"
+
+namespace cpa::analysis {
+
+// True when every task meets its deadline under `config`. For
+// BusPolicy::kPerfect the test additionally requires the total bus
+// utilization to be at most 1, per the paper's "perfect bus" definition.
+[[nodiscard]] bool is_schedulable(const tasks::TaskSet& ts,
+                                  const PlatformConfig& platform,
+                                  const AnalysisConfig& config,
+                                  const InterferenceTables& tables);
+
+[[nodiscard]] bool is_schedulable(const tasks::TaskSet& ts,
+                                  const PlatformConfig& platform,
+                                  const AnalysisConfig& config);
+
+} // namespace cpa::analysis

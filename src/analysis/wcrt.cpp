@@ -1,0 +1,114 @@
+#include "analysis/wcrt.hpp"
+
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpa::analysis {
+
+namespace {
+
+constexpr std::size_t kMaxOuterIterations = 256;
+constexpr std::size_t kMaxInnerIterations = 100000;
+
+// Solves the per-task recurrence of Eq. (19) for τ_i with the other tasks'
+// response-time estimates frozen in `response`. Returns the first r with
+// rhs(r) <= r, or the first value exceeding D_i (the caller treats any
+// value > D_i as a failure). rhs(t) upper-bounds the work that can delay
+// τ_i in ANY window of length t, so rhs(r) <= r ends the busy window and r
+// is a sound response-time bound even though the persistence-aware rhs is
+// not perfectly monotone (Lemma 2's carry-out re-pricing; see
+// bus_bounds_test.cpp, Lemma2CarryOutDipIsPossible).
+Cycles inner_fixed_point(const tasks::TaskSet& ts,
+                         const PlatformConfig& platform,
+                         const BusContentionAnalysis& bounds, std::size_t i,
+                         const std::vector<Cycles>& response)
+{
+    const tasks::Task& task = ts[i];
+    const Cycles start = std::max(response[i], task.isolated_demand(platform.d_mem));
+    Cycles r = std::max<Cycles>(start, 1);
+
+    for (std::size_t iter = 0; iter < kMaxInnerIterations; ++iter) {
+        Cycles rhs = task.pd;
+        for (const std::size_t j : ts.tasks_on_core(task.core)) {
+            if (j >= i) {
+                break;
+            }
+            rhs += util::ceil_div(r, ts[j].period) * ts[j].pd;
+        }
+        rhs += bounds.bat(i, r, response) * platform.d_mem;
+
+        if (rhs <= r) {
+            return r; // busy window closed: all delaying work fits in r
+        }
+        r = rhs;
+        if (r > task.effective_deadline()) {
+            return r; // deadline already missed; no need to converge
+        }
+    }
+    // Did not converge within the iteration budget: report a value that the
+    // caller will classify as a deadline miss (conservative).
+    return task.effective_deadline() + 1;
+}
+
+} // namespace
+
+WcrtResult compute_wcrt(const tasks::TaskSet& ts,
+                        const PlatformConfig& platform,
+                        const AnalysisConfig& config,
+                        const InterferenceTables& tables)
+{
+    if (ts.num_cores() > platform.num_cores) {
+        throw std::invalid_argument(
+            "compute_wcrt: task set uses more cores than the platform has");
+    }
+    WcrtResult result;
+    const std::size_t n = ts.size();
+    result.response.resize(n);
+
+    // Initialization prescribed by the paper: R_i = PD_i + MD_i * d_mem.
+    for (std::size_t i = 0; i < n; ++i) {
+        result.response[i] = ts[i].isolated_demand(platform.d_mem);
+    }
+
+    const BusContentionAnalysis bounds(ts, platform, config, tables);
+
+    for (std::size_t outer = 0; outer < kMaxOuterIterations; ++outer) {
+        result.outer_iterations = outer + 1;
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Cycles updated =
+                inner_fixed_point(ts, platform, bounds, i, result.response);
+            if (updated > ts[i].effective_deadline()) {
+                result.schedulable = false;
+                result.failed_task = i;
+                result.response[i] = updated;
+                return result;
+            }
+            if (updated != result.response[i]) {
+                result.response[i] = updated;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            result.schedulable = true;
+            return result;
+        }
+    }
+
+    // Outer loop failed to reach a global fixed point within the budget;
+    // declare the set unschedulable (conservative).
+    result.schedulable = false;
+    return result;
+}
+
+WcrtResult compute_wcrt(const tasks::TaskSet& ts,
+                        const PlatformConfig& platform,
+                        const AnalysisConfig& config)
+{
+    const InterferenceTables tables(ts, config.crpd);
+    return compute_wcrt(ts, platform, config, tables);
+}
+
+} // namespace cpa::analysis

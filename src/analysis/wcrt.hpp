@@ -1,0 +1,46 @@
+// Worst-case response time computation (Eq. (19)).
+//
+// R_i = PD_i + Σ_{τ_j ∈ Γ_x ∩ hp(i)} ⌈R_i/T_j⌉ · PD_j + BAT_i(R_i) · d_mem
+//
+// Because the other-core bound BAO depends on the response times R_l of the
+// tasks on other cores, the paper wraps the per-task fixed point in an outer
+// loop over the whole task set; response times grow monotonically across
+// outer iterations and the loops stop at a global fixed point or as soon as
+// some R_i exceeds D_i.
+#pragma once
+
+#include "analysis/bus_bounds.hpp"
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "tasks/task.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace cpa::analysis {
+
+struct WcrtResult {
+    bool schedulable = false;
+    // Response time per task (cycles); only meaningful when schedulable,
+    // except response[failed_task] which holds the first value found to
+    // exceed its deadline.
+    std::vector<Cycles> response;
+    std::size_t outer_iterations = 0;
+    // Index of the first task whose response exceeded its deadline, or
+    // SIZE_MAX when schedulable.
+    std::size_t failed_task = static_cast<std::size_t>(-1);
+};
+
+// Computes WCRTs for every task of `ts`, sharing pre-computed interference
+// tables (so several AnalysisConfigs can reuse one table pair per task set).
+[[nodiscard]] WcrtResult compute_wcrt(const tasks::TaskSet& ts,
+                                      const PlatformConfig& platform,
+                                      const AnalysisConfig& config,
+                                      const InterferenceTables& tables);
+
+// Convenience overload that builds the tables itself.
+[[nodiscard]] WcrtResult compute_wcrt(const tasks::TaskSet& ts,
+                                      const PlatformConfig& platform,
+                                      const AnalysisConfig& config);
+
+} // namespace cpa::analysis

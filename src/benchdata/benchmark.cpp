@@ -1,0 +1,231 @@
+#include "benchdata/benchmark.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpa::benchdata {
+
+namespace {
+
+// Demand-model constants (DESIGN.md §3.2): κ scales how strongly the
+// conflict share drives recurring misses; the floor keeps MD positive even
+// when a large cache removes every conflict.
+constexpr double kConflictSlope = 1.5;
+constexpr double kMdFloorFraction = 0.1;
+
+std::vector<BenchmarkSpec> make_published()
+{
+    // Table I of the paper, verbatim (PD/MD/MDʳ in cycles at 256 sets).
+    // Region layouts are calibrated so the derived ECB/PCB counts at 256
+    // sets equal the printed |ECB|/|PCB| (see header comment).
+    std::vector<BenchmarkSpec> specs;
+    specs.push_back({"lcdnum", 984, 1440, 192, {{0, 20}}, 20.0 / 20.0, true});
+    specs.push_back(
+        {"bsort100", 710289, 89893, 88907, {{0, 20}}, 18.0 / 20.0, true});
+    specs.push_back(
+        {"ludcmp", 27036, 8607, 3545, {{0, 98}}, 98.0 / 98.0, true});
+    // fdct: 106 occupied sets of which 22 single-occupancy -> two regions,
+    // the second one cache-aliasing onto sets [22, 106).
+    specs.push_back(
+        {"fdct", 6550, 6017, 819, {{0, 106}, {278, 84}}, 58.0 / 106.0, true});
+    // nsichneu: code far larger than the cache; 1374 blocks -> every set
+    // multiply occupied at 256 sets (PCB = 0).
+    specs.push_back(
+        {"nsichneu", 22009, 147200, 147200, {{0, 1374}}, 1.0, true});
+    // statemate: 476 blocks -> sets [0, 220) doubly occupied, [220, 256)
+    // single -> PCB = 36.
+    specs.push_back({"statemate", 10586, 18257, 3891, {{0, 476}}, 1.0, true});
+    return specs;
+}
+
+std::vector<BenchmarkSpec> make_full()
+{
+    // Published rows first, then calibrated rows for the rest of the suite
+    // (the paper's full table is in its ref [4]; these values are synthetic,
+    // patterned on the suite's code sizes and loop structure).
+    std::vector<BenchmarkSpec> specs = make_published();
+    specs.push_back({"bs", 446, 1280, 320, {{0, 16}}, 12.0 / 16.0, false});
+    specs.push_back({"crc", 36159, 4800, 1440, {{0, 42}}, 38.0 / 42.0, false});
+    specs.push_back(
+        {"expint", 8058, 2240, 640, {{0, 24}}, 20.0 / 24.0, false});
+    specs.push_back({"fibcall", 442, 960, 288, {{0, 12}}, 8.0 / 12.0, false});
+    specs.push_back(
+        {"insertsort", 2218, 1120, 336, {{0, 14}}, 12.0 / 14.0, false});
+    specs.push_back({"jfdctint", 5388, 5440, 1630, {{0, 96}, {284, 68}},
+                     64.0 / 96.0, false});
+    specs.push_back(
+        {"matmult", 163420, 12800, 11200, {{0, 48}}, 44.0 / 48.0, false});
+    specs.push_back({"minver", 12758, 7040, 2880, {{0, 124}, {342, 38}},
+                     102.0 / 124.0, false});
+    specs.push_back({"ns", 10436, 2560, 768, {{0, 26}}, 22.0 / 26.0, false});
+    specs.push_back(
+        {"qurt", 5535, 3360, 1010, {{0, 52}, {296, 12}}, 44.0 / 52.0, false});
+    specs.push_back({"sqrt", 1105, 1600, 480, {{0, 18}}, 14.0 / 18.0, false});
+    specs.push_back(
+        {"ud", 15627, 6080, 2400, {{0, 88}, {328, 16}}, 80.0 / 88.0, false});
+    specs.push_back({"adpcm", 118090, 26400, 8000, {{0, 200}, {426, 64}},
+                     180.0 / 234.0, false});
+    specs.push_back({"cnt", 4087, 2200, 660, {{0, 20}}, 16.0 / 20.0, false});
+    specs.push_back(
+        {"compress", 27403, 9500, 2850, {{0, 95}}, 82.0 / 95.0, false});
+    specs.push_back(
+        {"cover", 8794, 14000, 11000, {{0, 140}}, 126.0 / 140.0, false});
+    specs.push_back({"duff", 2118, 3100, 930, {{0, 30}}, 24.0 / 30.0, false});
+    specs.push_back(
+        {"edn", 85399, 15500, 4650, {{0, 150}}, 132.0 / 150.0, false});
+    specs.push_back({"fac", 301, 800, 240, {{0, 8}}, 6.0 / 8.0, false});
+    specs.push_back({"fir", 6247, 2100, 630, {{0, 20}}, 16.0 / 20.0, false});
+    specs.push_back(
+        {"janne_complex", 553, 1100, 330, {{0, 10}}, 8.0 / 10.0, false});
+    specs.push_back(
+        {"ndes", 55003, 16000, 4800, {{0, 150}}, 138.0 / 150.0, false});
+    specs.push_back({"prime", 4198, 1000, 300, {{0, 10}}, 8.0 / 10.0, false});
+    specs.push_back(
+        {"qsort_exam", 19007, 6400, 1920, {{0, 62}}, 54.0 / 62.0, false});
+    specs.push_back(
+        {"select", 4912, 6100, 1830, {{0, 60}}, 52.0 / 60.0, false});
+    return specs;
+}
+
+struct Occupancy {
+    std::vector<std::size_t> per_set;
+    std::size_t ecb = 0;          // occupied sets
+    std::size_t pcb = 0;          // single-occupancy sets
+    std::size_t conflicting = 0;  // blocks in multiply occupied sets (X)
+    std::size_t total_blocks = 0; // B
+};
+
+Occupancy compute_occupancy(const BenchmarkSpec& spec, std::size_t cache_sets)
+{
+    Occupancy occ;
+    occ.per_set.assign(cache_sets, 0);
+    for (const Region& region : spec.regions) {
+        for (std::size_t b = 0; b < region.length; ++b) {
+            occ.per_set[(region.base_block + b) % cache_sets] += 1;
+        }
+        occ.total_blocks += region.length;
+    }
+    for (const std::size_t count : occ.per_set) {
+        if (count > 0) {
+            occ.ecb += 1;
+        }
+        if (count == 1) {
+            occ.pcb += 1;
+        }
+        if (count >= 2) {
+            occ.conflicting += count;
+        }
+    }
+    return occ;
+}
+
+std::int64_t to_access_count(Cycles md_cycles)
+{
+    return (md_cycles + util::kExtractionLatencyCycles - 1) /
+           util::kExtractionLatencyCycles;
+}
+
+} // namespace
+
+const std::vector<BenchmarkSpec>& published_benchmarks()
+{
+    static const std::vector<BenchmarkSpec> specs = make_published();
+    return specs;
+}
+
+const std::vector<BenchmarkSpec>& full_benchmark_table()
+{
+    static const std::vector<BenchmarkSpec> specs = make_full();
+    return specs;
+}
+
+BenchmarkParams derive_params(const BenchmarkSpec& spec,
+                              std::size_t cache_sets)
+{
+    if (cache_sets == 0) {
+        throw std::invalid_argument("derive_params: cache_sets must be > 0");
+    }
+    if (spec.regions.empty()) {
+        throw std::invalid_argument("derive_params: benchmark has no code");
+    }
+
+    const Occupancy occ = compute_occupancy(spec, cache_sets);
+    const Occupancy ref = compute_occupancy(spec, kReferenceCacheSets);
+
+    const double blocks = static_cast<double>(occ.total_blocks);
+    const double q = static_cast<double>(occ.conflicting) / blocks;
+    const double q_ref = static_cast<double>(ref.conflicting) / blocks;
+
+    const std::int64_t md_ref = to_access_count(spec.md_cycles);
+    const std::int64_t mdr_ref =
+        std::min(md_ref, to_access_count(spec.mdr_cycles));
+
+    // Monotone demand model: recurring misses scale with the conflict share
+    // q(N) relative to the reference geometry.
+    const auto md_floor = std::max<std::int64_t>(
+        1, std::llround(kMdFloorFraction * static_cast<double>(md_ref)));
+    const std::int64_t md_scaled = std::llround(
+        static_cast<double>(md_ref) * (1.0 + kConflictSlope * (q - q_ref)));
+    const std::int64_t md = std::max(md_floor, md_scaled);
+
+    // Residual demand: the residual share shrinks as the persistent share of
+    // the footprint grows (more PCBs -> more of the demand is one-off).
+    const double residual_ratio =
+        md_ref > 0 ? static_cast<double>(mdr_ref) / static_cast<double>(md_ref)
+                   : 0.0;
+    const double pshare =
+        occ.ecb > 0
+            ? static_cast<double>(occ.pcb) / static_cast<double>(occ.ecb)
+            : 0.0;
+    const double pshare_ref =
+        ref.ecb > 0
+            ? static_cast<double>(ref.pcb) / static_cast<double>(ref.ecb)
+            : 0.0;
+    const std::int64_t mdr = std::clamp<std::int64_t>(
+        std::llround(static_cast<double>(md) * residual_ratio *
+                     (1.0 - (pshare - pshare_ref))),
+        0, md);
+
+    BenchmarkParams params;
+    params.name = spec.name;
+    params.pd = spec.pd;
+    params.md = md;
+    params.md_residual = mdr;
+    params.ecb_count = occ.ecb;
+    params.pcb_count = occ.pcb;
+    params.ucb_count = std::min(
+        occ.ecb, static_cast<std::size_t>(std::llround(
+                     spec.ucb_fraction * static_cast<double>(occ.ecb))));
+    params.occupancy = occ.per_set;
+    return params;
+}
+
+FootprintMasks place_footprint(const BenchmarkParams& params,
+                               std::size_t cache_sets, std::size_t offset)
+{
+    if (params.occupancy.size() != cache_sets) {
+        throw std::invalid_argument(
+            "place_footprint: params derived for a different cache size");
+    }
+    FootprintMasks masks{SetMask(cache_sets), SetMask(cache_sets),
+                         SetMask(cache_sets)};
+    std::size_t ucb_placed = 0;
+    for (std::size_t s = 0; s < cache_sets; ++s) {
+        if (params.occupancy[s] == 0) {
+            continue;
+        }
+        const std::size_t rotated = (s + offset) % cache_sets;
+        masks.ecb.insert(rotated);
+        if (params.occupancy[s] == 1) {
+            masks.pcb.insert(rotated);
+        }
+        if (ucb_placed < params.ucb_count) {
+            masks.ucb.insert(rotated);
+            ++ucb_placed;
+        }
+    }
+    return masks;
+}
+
+} // namespace cpa::benchdata

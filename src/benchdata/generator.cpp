@@ -1,0 +1,206 @@
+#include "benchdata/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpa::benchdata {
+
+namespace {
+
+// Builds one task from a random pool entry at utilization `u`; the core is
+// left for the caller to assign.
+tasks::Task draw_task(util::Rng& rng, const GenerationConfig& config,
+                      const std::vector<BenchmarkParams>& pool, double u)
+{
+    const BenchmarkParams& params = pool[rng.uniform_index(pool.size())];
+
+    tasks::Task task;
+    task.name = params.name;
+    task.pd = params.pd;
+    task.md = params.md;
+    task.md_residual = params.md_residual;
+    task.utilization = u;
+
+    // T = D = (PD + MD)/U in the table's cycle units.
+    const auto cost = static_cast<double>(params.generation_cost());
+    util::Cycles period = 1'000'000'000'000'000; // cap for near-zero u
+    if (u > 0.0) {
+        period = static_cast<util::Cycles>(
+            std::llround(std::min(cost / u, static_cast<double>(period))));
+    }
+    period = std::max<util::Cycles>(period, params.generation_cost());
+    task.period = period;
+    task.deadline = std::max<util::Cycles>(
+        1, static_cast<util::Cycles>(std::llround(
+               config.deadline_ratio * static_cast<double>(period))));
+    task.jitter = std::min<util::Cycles>(
+        static_cast<util::Cycles>(std::llround(
+            config.jitter_fraction * static_cast<double>(period))),
+        period - task.deadline);
+
+    const auto offset =
+        static_cast<std::size_t>(rng.uniform_index(config.cache_sets));
+    FootprintMasks masks = place_footprint(params, config.cache_sets, offset);
+    task.ecb = std::move(masks.ecb);
+    task.ucb = std::move(masks.ucb);
+    task.pcb = std::move(masks.pcb);
+    return task;
+}
+
+void check_generation_inputs(const GenerationConfig& config,
+                             const std::vector<BenchmarkParams>& pool)
+{
+    if (pool.empty()) {
+        throw std::invalid_argument("generate_task_set: empty benchmark pool");
+    }
+    if (config.tasks_per_core == 0) {
+        throw std::invalid_argument(
+            "generate_task_set: tasks_per_core must be > 0");
+    }
+    if (config.deadline_ratio <= 0.0 || config.deadline_ratio > 1.0) {
+        throw std::invalid_argument(
+            "generate_task_set: deadline_ratio must be in (0, 1]");
+    }
+    if (config.jitter_fraction < 0.0 || config.jitter_fraction >= 1.0) {
+        throw std::invalid_argument(
+            "generate_task_set: jitter_fraction must be in [0, 1)");
+    }
+    for (const BenchmarkParams& params : pool) {
+        if (params.occupancy.size() != config.cache_sets) {
+            throw std::invalid_argument(
+                "generate_task_set: pool derived for a different cache size");
+        }
+    }
+}
+
+void finalize(tasks::TaskSet& ts, const GenerationConfig& config)
+{
+    switch (config.priority) {
+    case PriorityAssignment::kDeadlineMonotonic:
+        ts.assign_priorities_deadline_monotonic();
+        break;
+    case PriorityAssignment::kRateMonotonic:
+        ts.assign_priorities_rate_monotonic();
+        break;
+    }
+    ts.validate();
+}
+
+} // namespace
+
+std::vector<BenchmarkParams>
+derive_all(const std::vector<BenchmarkSpec>& table, std::size_t cache_sets)
+{
+    std::vector<BenchmarkParams> pool;
+    pool.reserve(table.size());
+    for (const BenchmarkSpec& spec : table) {
+        pool.push_back(derive_params(spec, cache_sets));
+    }
+    return pool;
+}
+
+tasks::TaskSet generate_task_set(util::Rng& rng,
+                                 const GenerationConfig& config,
+                                 const std::vector<BenchmarkParams>& pool)
+{
+    check_generation_inputs(config, pool);
+
+    tasks::TaskSet ts(config.num_cores, config.cache_sets);
+    for (std::size_t core = 0; core < config.num_cores; ++core) {
+        const std::vector<double> utilizations = util::uunifast(
+            rng, config.tasks_per_core, config.per_core_utilization);
+        for (const double u : utilizations) {
+            tasks::Task task = draw_task(rng, config, pool, u);
+            task.core = core;
+            ts.add_task(std::move(task));
+        }
+    }
+    finalize(ts, config);
+    return ts;
+}
+
+tasks::TaskSet
+generate_task_set_partitioned(util::Rng& rng, const GenerationConfig& config,
+                              const std::vector<BenchmarkParams>& pool,
+                              tasks::PartitionHeuristic heuristic)
+{
+    check_generation_inputs(config, pool);
+
+    const std::size_t n = config.num_cores * config.tasks_per_core;
+    const double total =
+        config.per_core_utilization * static_cast<double>(config.num_cores);
+
+    // UUnifast-discard: redraw until no single task exceeds utilization 1
+    // (only relevant when the total exceeds 1).
+    std::vector<double> utilizations;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        utilizations = util::uunifast(rng, n, total);
+        if (std::all_of(utilizations.begin(), utilizations.end(),
+                        [](double u) { return u <= 1.0; })) {
+            break;
+        }
+        utilizations.clear();
+    }
+    if (utilizations.empty()) {
+        throw std::runtime_error(
+            "generate_task_set_partitioned: UUnifast-discard failed (total "
+            "utilization too high for the task count)");
+    }
+
+    std::vector<tasks::Task> drawn;
+    drawn.reserve(n);
+    for (const double u : utilizations) {
+        drawn.push_back(draw_task(rng, config, pool, u));
+    }
+    tasks::partition_tasks(drawn, config.num_cores, heuristic,
+                           util::kExtractionLatencyCycles);
+
+    tasks::TaskSet ts(config.num_cores, config.cache_sets);
+    for (tasks::Task& task : drawn) {
+        ts.add_task(std::move(task));
+    }
+    finalize(ts, config);
+    return ts;
+}
+
+std::vector<analysis::L2Footprint>
+attach_l2_footprints(util::Rng& rng, const tasks::TaskSet& ts,
+                     const std::vector<BenchmarkSpec>& table,
+                     std::size_t l2_sets)
+{
+    if (l2_sets == 0) {
+        throw std::invalid_argument("attach_l2_footprints: l2_sets == 0");
+    }
+    // Derive each distinct benchmark once at the L2 geometry.
+    std::vector<analysis::L2Footprint> footprints;
+    footprints.reserve(ts.size());
+    for (const tasks::Task& task : ts.tasks()) {
+        const BenchmarkSpec* spec = nullptr;
+        for (const BenchmarkSpec& candidate : table) {
+            if (candidate.name == task.name) {
+                spec = &candidate;
+                break;
+            }
+        }
+        if (spec == nullptr) {
+            throw std::invalid_argument(
+                "attach_l2_footprints: unknown benchmark '" + task.name +
+                "'");
+        }
+        const BenchmarkParams at_l2 = derive_params(*spec, l2_sets);
+        FootprintMasks masks = place_footprint(
+            at_l2, l2_sets, rng.uniform_index(l2_sets));
+
+        analysis::L2Footprint footprint;
+        footprint.ecb2 = std::move(masks.ecb);
+        footprint.pcb2 = std::move(masks.pcb);
+        // Both levels warm can never cost more than one level warm.
+        footprint.md_residual_l2 =
+            std::min(task.md_residual, at_l2.md_residual);
+        footprints.push_back(std::move(footprint));
+    }
+    return footprints;
+}
+
+} // namespace cpa::benchdata

@@ -1,0 +1,59 @@
+#include "cache/direct_mapped.hpp"
+
+namespace cpa::cache {
+
+DirectMappedCache::DirectMappedCache(CacheGeometry geometry)
+    : geometry_(geometry), lines_(geometry.sets)
+{
+    if (geometry_.sets == 0) {
+        throw std::invalid_argument("DirectMappedCache: zero sets");
+    }
+}
+
+bool DirectMappedCache::access(std::size_t block_address)
+{
+    std::optional<std::size_t>& line = lines_[geometry_.set_of(block_address)];
+    if (line == block_address) {
+        return true;
+    }
+    line = block_address;
+    return false;
+}
+
+bool DirectMappedCache::contains(std::size_t block_address) const
+{
+    return lines_[geometry_.set_of(block_address)] == block_address;
+}
+
+void DirectMappedCache::preload(std::size_t block_address)
+{
+    lines_[geometry_.set_of(block_address)] = block_address;
+}
+
+void DirectMappedCache::flush()
+{
+    for (auto& line : lines_) {
+        line.reset();
+    }
+}
+
+void DirectMappedCache::invalidate_set(std::size_t set_index)
+{
+    if (set_index >= lines_.size()) {
+        throw std::out_of_range("DirectMappedCache::invalidate_set");
+    }
+    lines_[set_index].reset();
+}
+
+std::size_t DirectMappedCache::occupied() const
+{
+    std::size_t count = 0;
+    for (const auto& line : lines_) {
+        if (line.has_value()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace cpa::cache

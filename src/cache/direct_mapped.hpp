@@ -1,0 +1,49 @@
+// Concrete direct-mapped cache state. In a direct-mapped cache replacement is
+// deterministic (each block has exactly one candidate set), so simulating a
+// reference trace yields the *exact* miss count — this is what makes the
+// extraction of MD/MDʳ in src/program exact rather than an abstract bound.
+#pragma once
+
+#include "cache/geometry.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace cpa::cache {
+
+class DirectMappedCache {
+public:
+    explicit DirectMappedCache(CacheGeometry geometry);
+
+    [[nodiscard]] const CacheGeometry& geometry() const noexcept
+    {
+        return geometry_;
+    }
+
+    // References `block_address`; installs it on a miss. Returns true on hit.
+    bool access(std::size_t block_address);
+
+    // True when `block_address` is currently cached.
+    [[nodiscard]] bool contains(std::size_t block_address) const;
+
+    // Loads `block_address` without counting an access (used to pre-load
+    // PCBs when measuring the residual demand MDʳ).
+    void preload(std::size_t block_address);
+
+    // Invalidates every line.
+    void flush();
+
+    // Invalidates the line of set `set_index` (models an eviction by another
+    // task's ECB).
+    void invalidate_set(std::size_t set_index);
+
+    // Number of valid lines.
+    [[nodiscard]] std::size_t occupied() const;
+
+private:
+    CacheGeometry geometry_;
+    std::vector<std::optional<std::size_t>> lines_; // block address per set
+};
+
+} // namespace cpa::cache

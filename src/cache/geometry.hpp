@@ -1,0 +1,31 @@
+// Cache geometry of the modeled platform: a private, single-level,
+// direct-mapped instruction cache per core (paper Section II). Addresses are
+// handled at cache-block granularity throughout (the paper's 32 B lines only
+// fix the block size; all analyses operate on block/set indices).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace cpa::cache {
+
+struct CacheGeometry {
+    std::size_t sets = 256;
+    std::size_t block_bytes = 32;
+    // Associativity. The paper's platform is direct-mapped (ways = 1); the
+    // LRU extension (src/cache/lru.hpp) supports ways > 1 for the paper's
+    // future-work direction.
+    std::size_t ways = 1;
+
+    [[nodiscard]] std::size_t set_of(std::size_t block_address) const
+    {
+        if (sets == 0) {
+            throw std::invalid_argument("CacheGeometry: zero sets");
+        }
+        return block_address % sets;
+    }
+
+    [[nodiscard]] std::size_t size_bytes() const { return sets * block_bytes; }
+};
+
+} // namespace cpa::cache

@@ -1,0 +1,73 @@
+#include "cache/lru.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpa::cache {
+
+LruCache::LruCache(CacheGeometry geometry)
+    : geometry_(geometry), lines_(geometry.sets)
+{
+    if (geometry_.sets == 0) {
+        throw std::invalid_argument("LruCache: zero sets");
+    }
+    if (geometry_.ways == 0) {
+        throw std::invalid_argument("LruCache: zero ways");
+    }
+    for (auto& set : lines_) {
+        set.reserve(geometry_.ways);
+    }
+}
+
+bool LruCache::access(std::size_t block_address)
+{
+    auto& set = lines_[geometry_.set_of(block_address)];
+    const auto it = std::find(set.begin(), set.end(), block_address);
+    if (it != set.end()) {
+        std::rotate(set.begin(), it, it + 1); // move to MRU position
+        return true;
+    }
+    if (set.size() == geometry_.ways) {
+        set.pop_back(); // evict LRU
+    }
+    set.insert(set.begin(), block_address);
+    return false;
+}
+
+bool LruCache::contains(std::size_t block_address) const
+{
+    const auto& set = lines_[geometry_.set_of(block_address)];
+    return std::find(set.begin(), set.end(), block_address) != set.end();
+}
+
+void LruCache::preload(std::size_t block_address)
+{
+    auto& set = lines_[geometry_.set_of(block_address)];
+    const auto it = std::find(set.begin(), set.end(), block_address);
+    if (it != set.end()) {
+        std::rotate(set.begin(), it, it + 1);
+        return;
+    }
+    if (set.size() == geometry_.ways) {
+        set.pop_back();
+    }
+    set.insert(set.begin(), block_address);
+}
+
+void LruCache::flush()
+{
+    for (auto& set : lines_) {
+        set.clear();
+    }
+}
+
+std::size_t LruCache::occupied() const
+{
+    std::size_t count = 0;
+    for (const auto& set : lines_) {
+        count += set.size();
+    }
+    return count;
+}
+
+} // namespace cpa::cache

@@ -1,0 +1,45 @@
+// Set-associative LRU cache. Like the direct-mapped cache, LRU replacement
+// is deterministic, so simulating a reference trace yields exact miss
+// counts. ways = 1 degenerates to the direct-mapped cache. This implements
+// the platform the paper names as future work ("multilevel shared caches"
+// start from associative L1s); the bus-contention analysis itself is
+// agnostic to associativity — it only consumes the extracted parameters.
+#pragma once
+
+#include "cache/geometry.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace cpa::cache {
+
+class LruCache {
+public:
+    explicit LruCache(CacheGeometry geometry);
+
+    [[nodiscard]] const CacheGeometry& geometry() const noexcept
+    {
+        return geometry_;
+    }
+
+    // References `block_address`; installs it (evicting the LRU line of its
+    // set if full) and makes it most-recently used. Returns true on hit.
+    bool access(std::size_t block_address);
+
+    [[nodiscard]] bool contains(std::size_t block_address) const;
+
+    // Installs the block as most-recently used without counting an access.
+    void preload(std::size_t block_address);
+
+    void flush();
+
+    // Number of valid lines across all sets.
+    [[nodiscard]] std::size_t occupied() const;
+
+private:
+    CacheGeometry geometry_;
+    // lines_[set] is ordered most-recently-used first.
+    std::vector<std::vector<std::size_t>> lines_;
+};
+
+} // namespace cpa::cache

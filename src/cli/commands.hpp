@@ -1,0 +1,26 @@
+// Command dispatch of the `cpa` tool. Kept out of main() so the tests can
+// drive the tool in-process with captured streams.
+//
+//   cpa analyze  <file> [--policy fp|rr|tdma|perfect|all] [--no-persistence]
+//                       [--crpd ecb-union|ucb-only|ecb-only]
+//                       [--cpro union|job-bound] [--report]
+//   cpa simulate <file> [--policy fp|rr|tdma|perfect]
+//                       [--horizon-periods N]
+//   cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
+//                [--utilization U] [--seed S]
+//   cpa help
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpa::cli {
+
+// Runs one invocation; returns the process exit code (0 = success; for
+// `analyze`, 0 also means the set was schedulable under every requested
+// policy and 2 means at least one was not).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+} // namespace cpa::cli

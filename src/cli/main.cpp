@@ -1,0 +1,16 @@
+// Entry point of the `cpa` command-line tool; all logic lives in
+// commands.cpp so the tests can drive it in-process.
+#include "cli/commands.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        args.emplace_back(argv[i]);
+    }
+    return cpa::cli::run_cli(args, std::cout, std::cerr);
+}

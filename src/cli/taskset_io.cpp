@@ -1,0 +1,410 @@
+#include "cli/taskset_io.hpp"
+
+#include "util/set_mask.hpp"
+#include "util/units.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cpa::cli {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message)
+{
+    throw std::runtime_error("task-set file, line " + std::to_string(line) +
+                             ": " + message);
+}
+
+std::int64_t parse_int(const std::string& text, std::size_t line,
+                       const std::string& field)
+{
+    try {
+        std::size_t consumed = 0;
+        const long long value = std::stoll(text, &consumed);
+        if (consumed != text.size()) {
+            fail(line, "trailing characters in " + field + ": '" + text +
+                           "'");
+        }
+        return value;
+    } catch (const std::invalid_argument&) {
+        fail(line, "expected an integer for " + field + ", got '" + text +
+                       "'");
+    } catch (const std::out_of_range&) {
+        fail(line, field + " out of range: '" + text + "'");
+    }
+}
+
+// "0-19,42,100-103" -> indices.
+std::vector<std::size_t> parse_ranges(const std::string& text,
+                                      std::size_t line,
+                                      const std::string& field)
+{
+    std::vector<std::size_t> indices;
+    if (text.empty()) {
+        return indices;
+    }
+    std::stringstream stream(text);
+    std::string part;
+    while (std::getline(stream, part, ',')) {
+        const std::size_t dash = part.find('-');
+        if (dash == std::string::npos) {
+            indices.push_back(static_cast<std::size_t>(
+                parse_int(part, line, field)));
+        } else {
+            const auto lo = static_cast<std::size_t>(
+                parse_int(part.substr(0, dash), line, field));
+            const auto hi = static_cast<std::size_t>(
+                parse_int(part.substr(dash + 1), line, field));
+            if (hi < lo) {
+                fail(line, "descending range in " + field + ": '" + part +
+                               "'");
+            }
+            for (std::size_t i = lo; i <= hi; ++i) {
+                indices.push_back(i);
+            }
+        }
+    }
+    return indices;
+}
+
+// Splits "key=value" tokens; the first token without '=' is returned as the
+// positional name (used for the task name).
+struct Fields {
+    std::string positional;
+    std::map<std::string, std::string> values;
+};
+
+Fields split_fields(std::istringstream& stream, std::size_t line)
+{
+    Fields fields;
+    std::string token;
+    while (stream >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            if (!fields.positional.empty()) {
+                fail(line, "unexpected token '" + token + "'");
+            }
+            fields.positional = token;
+        } else {
+            fields.values[token.substr(0, eq)] = token.substr(eq + 1);
+        }
+    }
+    return fields;
+}
+
+std::string take(Fields& fields, const std::string& key, std::size_t line,
+                 bool required, const std::string& fallback = "")
+{
+    const auto it = fields.values.find(key);
+    if (it == fields.values.end()) {
+        if (required) {
+            fail(line, "missing required field '" + key + "'");
+        }
+        return fallback;
+    }
+    std::string value = it->second;
+    fields.values.erase(it);
+    return value;
+}
+
+} // namespace
+
+ParsedSystem parse_task_set(std::istream& in)
+{
+    analysis::PlatformConfig platform;
+    std::optional<analysis::L2Config> l2;
+    bool have_platform = false;
+    std::string priority_mode = "file";
+
+    struct PendingTask {
+        tasks::Task task;
+        std::vector<std::size_t> ecb;
+        std::vector<std::size_t> ucb;
+        std::vector<std::size_t> pcb;
+        std::vector<std::size_t> ecb2;
+        std::vector<std::size_t> pcb2;
+        std::int64_t mdr2 = -1; // -1 = default to mdr
+        std::size_t line = 0;
+    };
+    std::vector<PendingTask> pending;
+
+    std::string raw;
+    std::size_t line_number = 0;
+    while (std::getline(in, raw)) {
+        ++line_number;
+        const std::size_t comment = raw.find('#');
+        if (comment != std::string::npos) {
+            raw.resize(comment);
+        }
+        std::istringstream stream(raw);
+        std::string directive;
+        if (!(stream >> directive)) {
+            continue; // blank
+        }
+
+        if (directive == "platform") {
+            if (have_platform) {
+                fail(line_number, "duplicate platform line");
+            }
+            have_platform = true;
+            Fields fields = split_fields(stream, line_number);
+            platform.num_cores = static_cast<std::size_t>(parse_int(
+                take(fields, "cores", line_number, true), line_number,
+                "cores"));
+            platform.cache_sets = static_cast<std::size_t>(parse_int(
+                take(fields, "cache_sets", line_number, true), line_number,
+                "cache_sets"));
+            const std::string d_mem_us =
+                take(fields, "d_mem_us", line_number, false);
+            const std::string d_mem_cycles =
+                take(fields, "d_mem_cycles", line_number, false);
+            if (!d_mem_us.empty() && !d_mem_cycles.empty()) {
+                fail(line_number, "give d_mem_us or d_mem_cycles, not both");
+            }
+            if (!d_mem_us.empty()) {
+                platform.d_mem = util::cycles_from_microseconds(
+                    parse_int(d_mem_us, line_number, "d_mem_us"));
+            } else if (!d_mem_cycles.empty()) {
+                platform.d_mem =
+                    parse_int(d_mem_cycles, line_number, "d_mem_cycles");
+            }
+            const std::string slot =
+                take(fields, "slot_size", line_number, false);
+            if (!slot.empty()) {
+                platform.slot_size = parse_int(slot, line_number,
+                                               "slot_size");
+            }
+            const std::string l2_sets =
+                take(fields, "l2_sets", line_number, false);
+            if (!l2_sets.empty()) {
+                analysis::L2Config l2_config;
+                l2_config.sets = static_cast<std::size_t>(
+                    parse_int(l2_sets, line_number, "l2_sets"));
+                if (l2_config.sets == 0) {
+                    fail(line_number, "l2_sets must be > 0");
+                }
+                const std::string d_l2_us =
+                    take(fields, "d_l2_us", line_number, false);
+                const std::string d_l2_cycles =
+                    take(fields, "d_l2_cycles", line_number, false);
+                if (!d_l2_us.empty() && !d_l2_cycles.empty()) {
+                    fail(line_number, "give d_l2_us or d_l2_cycles, not both");
+                }
+                if (!d_l2_us.empty()) {
+                    l2_config.d_l2 = util::cycles_from_microseconds(
+                        parse_int(d_l2_us, line_number, "d_l2_us"));
+                } else if (!d_l2_cycles.empty()) {
+                    l2_config.d_l2 =
+                        parse_int(d_l2_cycles, line_number, "d_l2_cycles");
+                }
+                l2 = l2_config;
+            }
+            priority_mode =
+                take(fields, "priority", line_number, false, "file");
+            if (priority_mode != "file" && priority_mode != "dm" &&
+                priority_mode != "rm") {
+                fail(line_number, "priority must be file, dm or rm");
+            }
+            if (!fields.values.empty()) {
+                fail(line_number, "unknown platform field '" +
+                                      fields.values.begin()->first + "'");
+            }
+        } else if (directive == "task") {
+            if (!have_platform) {
+                fail(line_number, "task before platform line");
+            }
+            Fields fields = split_fields(stream, line_number);
+            PendingTask entry;
+            entry.line = line_number;
+            entry.task.name = fields.positional.empty() ? "task" +
+                                      std::to_string(pending.size() + 1)
+                                                        : fields.positional;
+            entry.task.core = static_cast<std::size_t>(parse_int(
+                take(fields, "core", line_number, true), line_number,
+                "core"));
+            entry.task.pd =
+                parse_int(take(fields, "pd", line_number, true),
+                          line_number, "pd");
+            entry.task.md =
+                parse_int(take(fields, "md", line_number, true),
+                          line_number, "md");
+            entry.task.md_residual =
+                parse_int(take(fields, "mdr", line_number, true),
+                          line_number, "mdr");
+            entry.task.period =
+                parse_int(take(fields, "period", line_number, true),
+                          line_number, "period");
+            const std::string deadline =
+                take(fields, "deadline", line_number, false);
+            entry.task.deadline = deadline.empty()
+                                      ? entry.task.period
+                                      : parse_int(deadline, line_number,
+                                                  "deadline");
+            const std::string jitter =
+                take(fields, "jitter", line_number, false);
+            entry.task.jitter =
+                jitter.empty() ? 0
+                               : parse_int(jitter, line_number, "jitter");
+            entry.ecb = parse_ranges(take(fields, "ecb", line_number, false),
+                                     line_number, "ecb");
+            entry.ucb = parse_ranges(take(fields, "ucb", line_number, false),
+                                     line_number, "ucb");
+            entry.pcb = parse_ranges(take(fields, "pcb", line_number, false),
+                                     line_number, "pcb");
+            entry.ecb2 = parse_ranges(
+                take(fields, "ecb2", line_number, false), line_number,
+                "ecb2");
+            entry.pcb2 = parse_ranges(
+                take(fields, "pcb2", line_number, false), line_number,
+                "pcb2");
+            const std::string mdr2 =
+                take(fields, "mdr2", line_number, false);
+            if (!mdr2.empty()) {
+                entry.mdr2 = parse_int(mdr2, line_number, "mdr2");
+            }
+            if (!l2.has_value() &&
+                (!entry.ecb2.empty() || !entry.pcb2.empty() ||
+                 entry.mdr2 >= 0)) {
+                fail(line_number,
+                     "l2 task fields require l2_sets on the platform line");
+            }
+            if (!fields.values.empty()) {
+                fail(line_number, "unknown task field '" +
+                                      fields.values.begin()->first + "'");
+            }
+            pending.push_back(std::move(entry));
+        } else {
+            fail(line_number, "unknown directive '" + directive + "'");
+        }
+    }
+
+    if (!have_platform) {
+        throw std::runtime_error("task-set file: missing platform line");
+    }
+
+    if (l2.has_value() && priority_mode != "file") {
+        throw std::runtime_error(
+            "task-set file: l2 footprints are positional; use priority=file");
+    }
+
+    ParsedSystem parsed;
+    parsed.platform = platform;
+    parsed.l2 = l2;
+    parsed.ts = tasks::TaskSet(platform.num_cores, platform.cache_sets);
+    for (PendingTask& entry : pending) {
+        try {
+            entry.task.ecb = util::SetMask::from_indices(platform.cache_sets,
+                                                         entry.ecb);
+            entry.task.ucb = util::SetMask::from_indices(platform.cache_sets,
+                                                         entry.ucb);
+            entry.task.pcb = util::SetMask::from_indices(platform.cache_sets,
+                                                         entry.pcb);
+            if (l2.has_value()) {
+                analysis::L2Footprint footprint;
+                footprint.ecb2 = util::SetMask::from_indices(l2->sets,
+                                                             entry.ecb2);
+                footprint.pcb2 = util::SetMask::from_indices(l2->sets,
+                                                             entry.pcb2);
+                if (!footprint.pcb2.is_subset_of(footprint.ecb2)) {
+                    throw std::invalid_argument("pcb2 not a subset of ecb2");
+                }
+                footprint.md_residual_l2 = entry.mdr2 >= 0
+                                               ? entry.mdr2
+                                               : entry.task.md_residual;
+                if (footprint.md_residual_l2 > entry.task.md_residual) {
+                    throw std::invalid_argument("mdr2 exceeds mdr");
+                }
+                parsed.l2_footprints.push_back(std::move(footprint));
+            }
+            parsed.ts.add_task(std::move(entry.task));
+        } catch (const std::exception& error) {
+            fail(entry.line, error.what());
+        }
+    }
+    if (priority_mode == "dm") {
+        parsed.ts.assign_priorities_deadline_monotonic();
+    } else if (priority_mode == "rm") {
+        parsed.ts.assign_priorities_rate_monotonic();
+    }
+    try {
+        parsed.ts.validate();
+    } catch (const std::exception& error) {
+        throw std::runtime_error(std::string("task-set file: ") +
+                                 error.what());
+    }
+    return parsed;
+}
+
+ParsedSystem parse_task_set_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("cannot open task-set file: " + path);
+    }
+    return parse_task_set(in);
+}
+
+namespace {
+
+std::string format_ranges(const util::SetMask& mask)
+{
+    const std::vector<std::size_t> indices = mask.to_indices();
+    std::string out;
+    std::size_t i = 0;
+    while (i < indices.size()) {
+        std::size_t j = i;
+        while (j + 1 < indices.size() && indices[j + 1] == indices[j] + 1) {
+            ++j;
+        }
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += std::to_string(indices[i]);
+        if (j > i) {
+            out += '-' + std::to_string(indices[j]);
+        }
+        i = j + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+void write_task_set(std::ostream& out,
+                    const analysis::PlatformConfig& platform,
+                    const tasks::TaskSet& ts)
+{
+    out << "platform cores=" << platform.num_cores
+        << " cache_sets=" << platform.cache_sets
+        << " d_mem_cycles=" << platform.d_mem
+        << " slot_size=" << platform.slot_size << " priority=file\n";
+    for (const tasks::Task& task : ts.tasks()) {
+        out << "task " << task.name << " core=" << task.core
+            << " pd=" << task.pd << " md=" << task.md
+            << " mdr=" << task.md_residual << " period=" << task.period;
+        if (task.deadline != task.period) {
+            out << " deadline=" << task.deadline;
+        }
+        if (task.jitter != 0) {
+            out << " jitter=" << task.jitter;
+        }
+        if (!task.ecb.empty()) {
+            out << " ecb=" << format_ranges(task.ecb);
+        }
+        if (!task.ucb.empty()) {
+            out << " ucb=" << format_ranges(task.ucb);
+        }
+        if (!task.pcb.empty()) {
+            out << " pcb=" << format_ranges(task.pcb);
+        }
+        out << '\n';
+    }
+}
+
+} // namespace cpa::cli

@@ -1,0 +1,57 @@
+// Task-set file format: the interchange format of the `cpa` command-line
+// tool. Line oriented, `#` comments, one `platform` line followed by one
+// `task` line per task (file order = priority order unless the platform
+// line says otherwise):
+//
+//   # engine controller
+//   platform cores=4 cache_sets=256 d_mem_us=5 slot_size=2 priority=file
+//   task ctrl core=0 pd=1000 md=20 mdr=4 period=100000 deadline=80000 \
+//        ecb=0-19 ucb=0-15 pcb=0-19
+//
+// Fields:
+//   platform: cores, cache_sets, d_mem_us (or d_mem_cycles), slot_size,
+//             priority = file | dm | rm  (dm/rm re-sort by deadline/period)
+//   task:     name is the first token; core, pd, md, mdr, period are
+//             required; deadline defaults to the period; jitter defaults to 0;
+//             ecb/ucb/pcb are
+//             comma-separated set indices and inclusive ranges ("0-19,42").
+// Optional shared-L2 extension (src/analysis/multilevel.hpp): the platform
+// line may carry `l2_sets=N` and `d_l2_us=X` (or `d_l2_cycles`); each task
+// line may then carry `ecb2=/pcb2=` ranges over the L2 sets and `mdr2=N`
+// (bus demand with both cache levels warm, defaults to mdr). L2 footprints
+// are positional, so `priority=file` is required when they are present.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/multilevel.hpp"
+#include "tasks/task.hpp"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpa::cli {
+
+struct ParsedSystem {
+    analysis::PlatformConfig platform;
+    tasks::TaskSet ts{1, 1}; // replaced by the parser
+    // Present iff the platform line declares an L2; then l2_footprints has
+    // one entry per task, in task order.
+    std::optional<analysis::L2Config> l2;
+    std::vector<analysis::L2Footprint> l2_footprints;
+};
+
+// Parses a task-set description; throws std::runtime_error with a
+// line-numbered message on malformed input. The returned set is validated.
+[[nodiscard]] ParsedSystem parse_task_set(std::istream& in);
+
+[[nodiscard]] ParsedSystem parse_task_set_file(const std::string& path);
+
+// Writes the system in the same format (round-trips through
+// parse_task_set). Priority mode is emitted as "file" since the set is
+// already in priority order.
+void write_task_set(std::ostream& out, const analysis::PlatformConfig& platform,
+                    const tasks::TaskSet& ts);
+
+} // namespace cpa::cli

@@ -1,0 +1,70 @@
+#include "experiments/sensitivity.hpp"
+
+#include "analysis/schedulability.hpp"
+
+#include <stdexcept>
+
+namespace cpa::experiments {
+
+util::Cycles critical_d_mem(const tasks::TaskSet& ts,
+                            const analysis::PlatformConfig& platform,
+                            const analysis::AnalysisConfig& config,
+                            util::Cycles hi)
+{
+    if (hi < 1) {
+        throw std::invalid_argument("critical_d_mem: hi must be >= 1");
+    }
+    const analysis::InterferenceTables tables(ts, config.crpd);
+    const auto schedulable_at = [&](util::Cycles d_mem) {
+        analysis::PlatformConfig scaled = platform;
+        scaled.d_mem = d_mem;
+        return analysis::is_schedulable(ts, scaled, config, tables);
+    };
+
+    if (!schedulable_at(1)) {
+        return 0;
+    }
+    // Binary search for the largest schedulable latency. Schedulability is
+    // antitone in d_mem on these bounds (every memory term scales up with
+    // it); the sensitivity tests verify this empirically.
+    util::Cycles lo = 1; // schedulable
+    util::Cycles too_high = hi + 1;
+    if (schedulable_at(hi)) {
+        return hi;
+    }
+    while (too_high - lo > 1) {
+        const util::Cycles mid = lo + (too_high - lo) / 2;
+        if (schedulable_at(mid)) {
+            lo = mid;
+        } else {
+            too_high = mid;
+        }
+    }
+    return lo;
+}
+
+double breakdown_utilization(
+    const benchdata::GenerationConfig& generation,
+    const std::vector<benchdata::BenchmarkParams>& pool,
+    const analysis::PlatformConfig& platform,
+    const analysis::AnalysisConfig& config, std::uint64_t seed,
+    double u_step)
+{
+    if (u_step <= 0.0) {
+        throw std::invalid_argument("breakdown_utilization: bad step");
+    }
+    double best = 0.0;
+    for (double u = u_step; u <= 1.0 + 1e-9; u += u_step) {
+        benchdata::GenerationConfig scaled = generation;
+        scaled.per_core_utilization = u;
+        util::Rng rng(seed);
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(rng, scaled, pool);
+        if (analysis::is_schedulable(ts, platform, config)) {
+            best = u;
+        }
+    }
+    return best;
+}
+
+} // namespace cpa::experiments

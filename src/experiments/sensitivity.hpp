@@ -1,0 +1,34 @@
+// Sensitivity analysis on top of the schedulability test: how far can a
+// system be pushed before the analysis stops certifying it? Complements the
+// population-level sweeps (Fig. 2/3) with per-system design margins.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "benchdata/generator.hpp"
+#include "tasks/task.hpp"
+#include "util/rng.hpp"
+
+namespace cpa::experiments {
+
+// Largest memory latency (cycles) at which `ts` stays schedulable under
+// `config`, found by binary search over [1, hi]; 0 when even d_mem = 1
+// fails. Schedulability is antitone in d_mem (every bound scales with it),
+// which makes the binary search exact.
+[[nodiscard]] util::Cycles
+critical_d_mem(const tasks::TaskSet& ts,
+               const analysis::PlatformConfig& platform,
+               const analysis::AnalysisConfig& config, util::Cycles hi);
+
+// Breakdown utilization: the largest per-core utilization on a grid with
+// step `u_step` at which the task set freshly generated from `generation`
+// (same seed, scaled utilization) is schedulable. This is the quantity the
+// bus_policy_selection example reports per arbitration policy.
+[[nodiscard]] double breakdown_utilization(
+    const benchdata::GenerationConfig& generation,
+    const std::vector<benchdata::BenchmarkParams>& pool,
+    const analysis::PlatformConfig& platform,
+    const analysis::AnalysisConfig& config, std::uint64_t seed,
+    double u_step = 0.05);
+
+} // namespace cpa::experiments

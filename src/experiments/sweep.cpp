@@ -1,0 +1,141 @@
+#include "experiments/sweep.hpp"
+
+#include "analysis/interference.hpp"
+#include "analysis/schedulability.hpp"
+#include "benchdata/benchmark.hpp"
+#include "util/rng.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace cpa::experiments {
+
+using analysis::AnalysisConfig;
+using analysis::BusPolicy;
+
+std::vector<AnalysisVariant> standard_variants(bool include_perfect)
+{
+    std::vector<AnalysisVariant> variants;
+    const auto add = [&](const std::string& label, BusPolicy policy,
+                         bool persistence) {
+        AnalysisConfig config;
+        config.policy = policy;
+        config.persistence_aware = persistence;
+        variants.push_back({label, config});
+    };
+    add("FP-CP", BusPolicy::kFixedPriority, true);
+    add("FP-NoCP", BusPolicy::kFixedPriority, false);
+    add("RR-CP", BusPolicy::kRoundRobin, true);
+    add("RR-NoCP", BusPolicy::kRoundRobin, false);
+    add("TDMA-CP", BusPolicy::kTdma, true);
+    add("TDMA-NoCP", BusPolicy::kTdma, false);
+    if (include_perfect) {
+        add("PerfectBus", BusPolicy::kPerfect, true);
+    }
+    return variants;
+}
+
+std::vector<AnalysisVariant> slotted_variants()
+{
+    std::vector<AnalysisVariant> variants = standard_variants(false);
+    std::erase_if(variants, [](const AnalysisVariant& v) {
+        return v.config.policy == BusPolicy::kFixedPriority;
+    });
+    return variants;
+}
+
+UtilizationSweep
+run_utilization_sweep(const benchdata::GenerationConfig& generation,
+                      const analysis::PlatformConfig& platform,
+                      const std::vector<AnalysisVariant>& variants,
+                      const SweepConfig& sweep)
+{
+    if (variants.empty()) {
+        throw std::invalid_argument("run_utilization_sweep: no variants");
+    }
+    if (sweep.u_step <= 0.0 || sweep.u_min <= 0.0 ||
+        sweep.u_max < sweep.u_min) {
+        throw std::invalid_argument("run_utilization_sweep: bad grid");
+    }
+
+    const std::vector<benchdata::BenchmarkParams> pool = benchdata::derive_all(
+        benchdata::full_benchmark_table(), generation.cache_sets);
+
+    UtilizationSweep result;
+    result.variants = variants;
+    result.task_sets_per_point = sweep.task_sets_per_point;
+
+    util::Rng master(sweep.seed);
+
+    for (double u = sweep.u_min; u <= sweep.u_max + 1e-9; u += sweep.u_step) {
+        SweepPoint point;
+        point.utilization = u;
+        point.schedulable.assign(variants.size(), 0);
+
+        benchdata::GenerationConfig gen = generation;
+        gen.per_core_utilization = u;
+
+        for (std::size_t set_index = 0;
+             set_index < sweep.task_sets_per_point; ++set_index) {
+            util::Rng rng = master.fork();
+            const tasks::TaskSet ts =
+                benchdata::generate_task_set(rng, gen, pool);
+
+            // One interference table per CRPD method, shared by every
+            // variant of the same method (tables are policy-independent).
+            std::map<analysis::CrpdMethod, analysis::InterferenceTables>
+                tables;
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                const AnalysisConfig& config = variants[v].config;
+                auto it = tables.find(config.crpd);
+                if (it == tables.end()) {
+                    it = tables
+                             .emplace(config.crpd,
+                                      analysis::InterferenceTables(
+                                          ts, config.crpd))
+                             .first;
+                }
+                if (analysis::is_schedulable(ts, platform, config,
+                                             it->second)) {
+                    point.schedulable[v] += 1;
+                }
+            }
+        }
+        result.points.push_back(std::move(point));
+    }
+    return result;
+}
+
+double weighted_schedulability(const UtilizationSweep& sweep,
+                               std::size_t variant_index)
+{
+    if (variant_index >= sweep.variants.size()) {
+        throw std::out_of_range("weighted_schedulability: bad variant index");
+    }
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (const SweepPoint& point : sweep.points) {
+        const double fraction =
+            sweep.task_sets_per_point == 0
+                ? 0.0
+                : static_cast<double>(point.schedulable[variant_index]) /
+                      static_cast<double>(sweep.task_sets_per_point);
+        numerator += point.utilization * fraction;
+        denominator += point.utilization;
+    }
+    return denominator == 0.0 ? 0.0 : numerator / denominator;
+}
+
+std::size_t task_sets_from_env(std::size_t fallback)
+{
+    const char* raw = std::getenv("CPA_TASKSETS");
+    if (raw == nullptr) {
+        return fallback;
+    }
+    const long value = std::strtol(raw, nullptr, 10);
+    return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+} // namespace cpa::experiments

@@ -1,0 +1,73 @@
+// Experiment harness for the paper's evaluation (Section V): schedulability
+// vs. per-core utilization sweeps, and the weighted-schedulability measure of
+// Bastoni et al. used by Fig. 3.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "benchdata/generator.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpa::experiments {
+
+struct AnalysisVariant {
+    std::string label;
+    analysis::AnalysisConfig config;
+};
+
+// The seven curves of Fig. 2: FP/RR/TDMA each with and without cache
+// persistence, plus the perfect-bus upper bound. `include_perfect` lets the
+// RR/TDMA-only experiments drop the bound curve.
+[[nodiscard]] std::vector<AnalysisVariant>
+standard_variants(bool include_perfect = true);
+
+// Variants restricted to the slotted (RR/TDMA) policies for the Fig. 3d
+// slot-size sweep.
+[[nodiscard]] std::vector<AnalysisVariant> slotted_variants();
+
+struct SweepConfig {
+    double u_min = 0.05;
+    double u_max = 1.0;
+    double u_step = 0.05;
+    std::size_t task_sets_per_point = 100;
+    std::uint64_t seed = 20200309; // DATE 2020 start date
+};
+
+struct SweepPoint {
+    double utilization = 0.0;
+    // schedulable[v] = number of task sets deemed schedulable by variant v.
+    std::vector<std::size_t> schedulable;
+};
+
+struct UtilizationSweep {
+    std::vector<AnalysisVariant> variants;
+    std::vector<SweepPoint> points;
+    std::size_t task_sets_per_point = 0;
+};
+
+// Runs the full utilization sweep: for each utilization level, generates
+// `task_sets_per_point` random task sets (same draws for every variant) and
+// counts how many each variant deems schedulable. Interference tables are
+// shared across variants with the same CRPD method.
+[[nodiscard]] UtilizationSweep
+run_utilization_sweep(const benchdata::GenerationConfig& generation,
+                      const analysis::PlatformConfig& platform,
+                      const std::vector<AnalysisVariant>& variants,
+                      const SweepConfig& sweep);
+
+// Weighted schedulability (Bastoni, Brandenburg & Anderson, OSPERT'10):
+// W = Σ_u u * sched_fraction(u) / Σ_u u over the sweep's utilization grid.
+// Collapses a (parameter, utilization) surface to one number per parameter
+// value, as used throughout Fig. 3.
+[[nodiscard]] double weighted_schedulability(const UtilizationSweep& sweep,
+                                             std::size_t variant_index);
+
+// Reads the CPA_TASKSETS environment variable (task sets per sweep point),
+// falling back to `fallback`. Lets CI run quick passes and users reproduce
+// the paper's 1000-set experiments.
+[[nodiscard]] std::size_t task_sets_from_env(std::size_t fallback);
+
+} // namespace cpa::experiments

@@ -1,0 +1,236 @@
+#include "program/abstract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace cpa::program {
+
+namespace {
+
+using cache::CacheGeometry;
+using util::SetMask;
+
+// Must-cache state: state[s] holds the block that is *definitely* resident
+// in set s, or nullopt when nothing is known about s.
+using MustState = std::vector<std::optional<std::size_t>>;
+
+// Per-set meet: knowledge survives only where both states agree.
+MustState meet(const MustState& a, const MustState& b)
+{
+    MustState result(a.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s].has_value() && a[s] == b[s]) {
+            result[s] = a[s];
+        }
+    }
+    return result;
+}
+
+bool equal(const MustState& a, const MustState& b)
+{
+    return a == b;
+}
+
+class MustAnalysis {
+public:
+    MustAnalysis(const CacheGeometry& geometry,
+                 const std::map<std::string, std::vector<Segment>>& procedures)
+        : geometry_(geometry), procedures_(procedures)
+    {
+    }
+
+    // Returns an upper bound on the misses of one execution of `segments`
+    // starting from `state`; `state` is advanced to a sound outgoing state.
+    std::int64_t run(const std::vector<Segment>& segments, MustState& state)
+    {
+        std::int64_t misses = 0;
+        for (const Segment& segment : segments) {
+            misses += run_segment(segment, state);
+        }
+        return misses;
+    }
+
+private:
+    std::int64_t run_segment(const Segment& segment, MustState& state)
+    {
+        std::int64_t misses = 0;
+        for (const std::size_t block : segment.blocks) {
+            const std::size_t set = geometry_.set_of(block);
+            if (state[set] != block) {
+                ++misses;
+                state[set] = block;
+            }
+        }
+        if (!segment.body.empty() && segment.iterations > 0) {
+            misses += run_loop(segment, state);
+        }
+        if (!segment.branches.empty()) {
+            misses += run_alternative(segment, state);
+        }
+        if (!segment.call.empty()) {
+            misses += run(procedures_.at(segment.call), state);
+        }
+        return misses;
+    }
+
+    std::int64_t run_loop(const Segment& segment, MustState& state)
+    {
+        // First iteration from the incoming state.
+        std::int64_t misses = run(segment.body, state);
+        if (segment.iterations == 1) {
+            return misses;
+        }
+
+        // Loop-invariant entry state for iterations 2..n: meet-iterate the
+        // body transfer function from the state after iteration 1 until it
+        // stabilizes. Knowledge only shrinks, so this terminates within
+        // |sets| + 1 passes.
+        MustState invariant = state;
+        for (std::size_t pass = 0; pass <= geometry_.sets; ++pass) {
+            MustState next = invariant;
+            (void)run(segment.body, next);
+            MustState met = meet(invariant, next);
+            if (equal(met, invariant)) {
+                break;
+            }
+            invariant = std::move(met);
+        }
+
+        // One body pass from the invariant state bounds EVERY later
+        // iteration (least knowledge -> maximal misses), and its outgoing
+        // state under-approximates the knowledge after the real last
+        // iteration.
+        MustState exit_state = invariant;
+        const std::int64_t per_iteration = run(segment.body, exit_state);
+        misses += static_cast<std::int64_t>(segment.iterations - 1) *
+                  per_iteration;
+        state = std::move(exit_state);
+        return misses;
+    }
+
+    std::int64_t run_alternative(const Segment& segment, MustState& state)
+    {
+        std::int64_t worst = 0;
+        std::optional<MustState> joined;
+        for (const auto& branch : segment.branches) {
+            MustState branch_state = state;
+            worst = std::max(worst, run(branch, branch_state));
+            joined = joined.has_value() ? meet(*joined, branch_state)
+                                        : std::move(branch_state);
+        }
+        state = std::move(*joined);
+        return worst;
+    }
+
+    const CacheGeometry& geometry_;
+    const std::map<std::string, std::vector<Segment>>& procedures_;
+};
+
+// Longest-path fetch count (for PD) and a per-block upper bound on the
+// dynamic reference count (for the conservative UCB classification).
+struct PathStats {
+    std::int64_t max_fetches = 0;
+    std::map<std::size_t, std::int64_t> max_count;
+};
+
+void accumulate(const std::vector<Segment>& segments, std::int64_t multiplier,
+                const std::map<std::string, std::vector<Segment>>& procedures,
+                PathStats& stats)
+{
+    for (const Segment& segment : segments) {
+        stats.max_fetches +=
+            multiplier * static_cast<std::int64_t>(segment.blocks.size());
+        for (const std::size_t block : segment.blocks) {
+            stats.max_count[block] += multiplier;
+        }
+        if (!segment.body.empty() && segment.iterations > 0) {
+            accumulate(segment.body,
+                       multiplier *
+                           static_cast<std::int64_t>(segment.iterations),
+                       procedures, stats);
+        }
+        if (!segment.call.empty()) {
+            accumulate(procedures.at(segment.call), multiplier, procedures,
+                       stats);
+        }
+        if (!segment.branches.empty()) {
+            // Longest path takes the worst branch; for reuse counts we sum
+            // all branches (a sound over-approximation of any resolution —
+            // across loop iterations different branches may execute).
+            std::int64_t worst_branch = 0;
+            for (const auto& branch : segment.branches) {
+                PathStats branch_stats;
+                accumulate(branch, multiplier, procedures, branch_stats);
+                worst_branch =
+                    std::max(worst_branch, branch_stats.max_fetches);
+                for (const auto& [block, count] : branch_stats.max_count) {
+                    stats.max_count[block] += count;
+                }
+            }
+            stats.max_fetches += worst_branch;
+        }
+    }
+}
+
+} // namespace
+
+AbstractExtraction analyze_program(const Program& program,
+                                   const CacheGeometry& geometry)
+{
+    if (geometry.ways != 1) {
+        throw std::invalid_argument(
+            "analyze_program: must analysis supports direct-mapped only");
+    }
+
+    AbstractExtraction result;
+    result.name = program.name();
+    result.ecb = SetMask(geometry.sets);
+    result.ucb = SetMask(geometry.sets);
+    result.pcb = SetMask(geometry.sets);
+
+    // Path-independent layout facts: ECB, PCB.
+    const std::vector<std::size_t> blocks = program.distinct_blocks();
+    std::map<std::size_t, std::size_t> distinct_per_set;
+    for (const std::size_t block : blocks) {
+        distinct_per_set[geometry.set_of(block)] += 1;
+    }
+    for (const std::size_t block : blocks) {
+        const std::size_t set = geometry.set_of(block);
+        result.ecb.insert(set);
+        if (distinct_per_set[set] == 1) {
+            result.pcb.insert(set);
+        }
+    }
+
+    // PD and UCB from the path statistics.
+    PathStats stats;
+    accumulate(program.body(), 1, program.procedures(), stats);
+    result.pd = stats.max_fetches * program.cycles_per_fetch();
+    for (const auto& [block, count] : stats.max_count) {
+        if (count >= 2) {
+            result.ucb.insert(geometry.set_of(block));
+        }
+    }
+
+    // Miss bounds via must analysis.
+    MustAnalysis analysis(geometry, program.procedures());
+    {
+        MustState cold(geometry.sets);
+        result.md = analysis.run(program.body(), cold);
+    }
+    {
+        MustState warm(geometry.sets);
+        for (const std::size_t block : blocks) {
+            if (distinct_per_set[geometry.set_of(block)] == 1) {
+                warm[geometry.set_of(block)] = block;
+            }
+        }
+        result.md_residual = analysis.run(program.body(), warm);
+    }
+    return result;
+}
+
+} // namespace cpa::program

@@ -1,0 +1,107 @@
+#include "program/extract.hpp"
+
+#include "cache/lru.hpp"
+
+#include <map>
+#include <vector>
+
+namespace cpa::program {
+
+using cache::CacheGeometry;
+using cache::LruCache;
+using util::SetMask;
+
+ExtractedParams extract_parameters(const Program& program,
+                                   const CacheGeometry& geometry)
+{
+    const std::vector<std::size_t> trace = program.reference_trace();
+    const std::vector<std::size_t> blocks = program.distinct_blocks();
+
+    ExtractedParams params;
+    params.name = program.name();
+    params.pd = static_cast<util::Cycles>(trace.size()) *
+                program.cycles_per_fetch();
+    params.ecb = SetMask(geometry.sets);
+    params.ucb = SetMask(geometry.sets);
+    params.pcb = SetMask(geometry.sets);
+
+    // PCBs: a block can never be evicted by the task itself iff its set
+    // holds at most `ways` distinct program blocks in total (then the set
+    // never overflows). Exact for direct-mapped caches; for LRU a safe
+    // under-approximation (fewer PCBs -> less claimed persistence).
+    std::map<std::size_t, std::size_t> distinct_per_set;
+    for (const std::size_t block : blocks) {
+        distinct_per_set[geometry.set_of(block)] += 1;
+    }
+    for (const std::size_t block : blocks) {
+        const std::size_t set = geometry.set_of(block);
+        params.ecb.insert(set);
+        if (distinct_per_set[set] <= geometry.ways) {
+            params.pcb.insert(set);
+        }
+    }
+
+    // MD: cold-cache misses (exact: LRU replacement is deterministic).
+    // UCB: a hit at position p means the block stayed cached since its
+    // previous access at q — it is useful throughout (q, p]. The +1/-1
+    // event sweep over those intervals yields the per-point maximum.
+    {
+        LruCache cold(geometry);
+        std::map<std::size_t, std::size_t> last_access;
+        std::vector<std::int64_t> delta(trace.size() + 2, 0);
+        for (std::size_t pos = 0; pos < trace.size(); ++pos) {
+            const std::size_t block = trace[pos];
+            if (cold.access(block)) {
+                params.ucb.insert(geometry.set_of(block));
+                delta[last_access[block] + 1] += 1;
+                delta[pos + 1] -= 1;
+            } else {
+                params.md += 1;
+            }
+            last_access[block] = pos;
+        }
+        std::int64_t current = 0;
+        for (const std::int64_t d : delta) {
+            current += d;
+            params.ucb_max_point = std::max(
+                params.ucb_max_point, static_cast<std::size_t>(current));
+        }
+    }
+
+    // MDʳ: misses with every PCB resident. PCB sets never overflow, so the
+    // preload order (hence LRU age) is irrelevant.
+    {
+        LruCache warm(geometry);
+        for (const std::size_t block : blocks) {
+            if (distinct_per_set[geometry.set_of(block)] <= geometry.ways) {
+                warm.preload(block);
+            }
+        }
+        for (const std::size_t block : trace) {
+            if (!warm.access(block)) {
+                params.md_residual += 1;
+            }
+        }
+    }
+
+    return params;
+}
+
+tasks::Task to_task(const ExtractedParams& params, std::size_t core,
+                    util::Cycles period, util::Cycles deadline)
+{
+    tasks::Task task;
+    task.name = params.name;
+    task.core = core;
+    task.pd = params.pd;
+    task.md = params.md;
+    task.md_residual = params.md_residual;
+    task.period = period;
+    task.deadline = deadline > 0 ? deadline : period;
+    task.ecb = params.ecb;
+    task.ucb = params.ucb;
+    task.pcb = params.pcb;
+    return task;
+}
+
+} // namespace cpa::program

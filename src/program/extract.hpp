@@ -1,0 +1,57 @@
+// Parameter extraction: measures (PD, MD, MDʳ, ECB, UCB, PCB) of a Program
+// on an LRU instruction cache (ways = 1 is the paper's direct-mapped L1) —
+// the role Heptane plays in the paper.
+//
+// Because LRU replacement is deterministic, simulating the reference trace
+// gives exact values for a fixed path:
+//   MD  = misses from a cold cache,
+//   PCB = blocks whose set holds at most `ways` distinct program blocks
+//         ("once loaded, never evicted or invalidated by the task itself";
+//         exact for direct-mapped, safely under-approximate for LRU),
+//   MDʳ = misses with all PCBs pre-loaded,
+//   ECB = every set the program touches,
+//   UCB = sets of blocks that are reused while cached (i.e., hit at least
+//         once in the cold simulation).
+//
+// Exact only for programs without alternatives (the default trace takes
+// branch 0); use program/abstract.hpp for sound bounds on branchy programs.
+//
+// Invariant (tested, direct-mapped): MD == MDʳ + |PCB| — each persistent
+// block cold-misses exactly once and pre-loading it removes exactly that
+// miss.
+#pragma once
+
+#include "cache/geometry.hpp"
+#include "program/program.hpp"
+#include "tasks/task.hpp"
+#include "util/set_mask.hpp"
+#include "util/units.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace cpa::program {
+
+struct ExtractedParams {
+    std::string name;
+    util::Cycles pd = 0;          // trace length * cycles_per_fetch
+    std::int64_t md = 0;          // cold-cache misses
+    std::int64_t md_residual = 0; // misses with PCBs pre-loaded
+    util::SetMask ecb;
+    util::SetMask ucb;
+    util::SetMask pcb;
+    // Maximum over all program points of the number of simultaneously useful
+    // blocks (the per-point UCB count used by tighter CRPD formulations).
+    std::size_t ucb_max_point = 0;
+};
+
+[[nodiscard]] ExtractedParams
+extract_parameters(const Program& program, const cache::CacheGeometry& geometry);
+
+// Builds an analysis-ready task from extracted parameters. `period` and
+// `deadline` are in cycles; deadline defaults to the period.
+[[nodiscard]] tasks::Task to_task(const ExtractedParams& params,
+                                  std::size_t core, util::Cycles period,
+                                  util::Cycles deadline = 0);
+
+} // namespace cpa::program

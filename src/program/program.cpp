@@ -1,0 +1,305 @@
+#include "program/program.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cpa::program {
+
+Segment Segment::straight(std::vector<std::size_t> blocks)
+{
+    Segment segment;
+    segment.blocks = std::move(blocks);
+    return segment;
+}
+
+Segment Segment::loop(std::size_t iterations, std::vector<Segment> body)
+{
+    Segment segment;
+    segment.iterations = iterations;
+    segment.body = std::move(body);
+    return segment;
+}
+
+Segment Segment::alternative(std::vector<std::vector<Segment>> branches)
+{
+    Segment segment;
+    segment.branches = std::move(branches);
+    return segment;
+}
+
+Segment Segment::call_procedure(std::string name)
+{
+    Segment segment;
+    segment.call = std::move(name);
+    return segment;
+}
+
+namespace {
+
+using ProcedureMap = std::map<std::string, std::vector<Segment>>;
+
+const std::vector<Segment>& resolve_call(const ProcedureMap& procedures,
+                                         const std::string& name)
+{
+    const auto it = procedures.find(name);
+    if (it == procedures.end()) {
+        throw std::invalid_argument("Program: call to undefined procedure '" +
+                                    name + "'");
+    }
+    return it->second;
+}
+
+// Validates that every call resolves and call chains are acyclic.
+void check_calls(const std::vector<Segment>& segments,
+                 const ProcedureMap& procedures,
+                 std::set<std::string>& stack)
+{
+    for (const Segment& segment : segments) {
+        check_calls(segment.body, procedures, stack);
+        for (const auto& branch : segment.branches) {
+            check_calls(branch, procedures, stack);
+        }
+        if (!segment.call.empty()) {
+            if (stack.count(segment.call) > 0) {
+                throw std::invalid_argument(
+                    "Program: recursive call chain through '" + segment.call +
+                    "'");
+            }
+            stack.insert(segment.call);
+            check_calls(resolve_call(procedures, segment.call), procedures,
+                        stack);
+            stack.erase(segment.call);
+        }
+    }
+}
+
+void flatten(const std::vector<Segment>& segments,
+             const ProcedureMap& procedures, const BranchSelector& selector,
+             std::vector<std::size_t>& trace)
+{
+    for (const Segment& segment : segments) {
+        trace.insert(trace.end(), segment.blocks.begin(),
+                     segment.blocks.end());
+        for (std::size_t i = 0; i < segment.iterations; ++i) {
+            flatten(segment.body, procedures, selector, trace);
+        }
+        if (!segment.branches.empty()) {
+            const std::size_t pick =
+                selector ? selector(segment.branches.size()) : 0;
+            if (pick >= segment.branches.size()) {
+                throw std::out_of_range(
+                    "reference_trace: branch selector out of range");
+            }
+            flatten(segment.branches[pick], procedures, selector, trace);
+        }
+        if (!segment.call.empty()) {
+            flatten(resolve_call(procedures, segment.call), procedures,
+                    selector, trace);
+        }
+    }
+}
+
+void collect_blocks(const std::vector<Segment>& segments,
+                    const ProcedureMap& procedures,
+                    std::vector<std::size_t>& blocks)
+{
+    for (const Segment& segment : segments) {
+        blocks.insert(blocks.end(), segment.blocks.begin(),
+                      segment.blocks.end());
+        collect_blocks(segment.body, procedures, blocks);
+        for (const auto& branch : segment.branches) {
+            collect_blocks(branch, procedures, blocks);
+        }
+        // Call targets are collected via the procedures map below (bodies
+        // may be shared by many call sites).
+    }
+}
+
+bool any_alternatives(const std::vector<Segment>& segments,
+                      const ProcedureMap& procedures)
+{
+    for (const Segment& segment : segments) {
+        if (!segment.branches.empty() ||
+            any_alternatives(segment.body, procedures)) {
+            return true;
+        }
+        if (!segment.call.empty() &&
+            any_alternatives(resolve_call(procedures, segment.call),
+                             procedures)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Program::Program(std::string name, std::vector<Segment> body,
+                 Cycles cycles_per_fetch, ProcedureMap procedures)
+    : name_(std::move(name)), body_(std::move(body)),
+      cycles_per_fetch_(cycles_per_fetch),
+      procedures_(std::move(procedures))
+{
+    if (cycles_per_fetch_ <= 0) {
+        throw std::invalid_argument("Program: cycles_per_fetch must be > 0");
+    }
+    std::set<std::string> stack;
+    check_calls(body_, procedures_, stack);
+    for (const auto& [proc_name, proc_body] : procedures_) {
+        stack.insert(proc_name);
+        check_calls(proc_body, procedures_, stack);
+        stack.erase(proc_name);
+    }
+}
+
+std::vector<std::size_t>
+Program::reference_trace(const BranchSelector& selector) const
+{
+    std::vector<std::size_t> trace;
+    flatten(body_, procedures_, selector, trace);
+    return trace;
+}
+
+std::vector<std::size_t> Program::distinct_blocks() const
+{
+    std::vector<std::size_t> blocks;
+    collect_blocks(body_, procedures_, blocks);
+    for (const auto& [proc_name, proc_body] : procedures_) {
+        (void)proc_name;
+        collect_blocks(proc_body, procedures_, blocks);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    return blocks;
+}
+
+bool Program::has_alternatives() const
+{
+    return any_alternatives(body_, procedures_);
+}
+
+ProgramBuilder::ProgramBuilder(std::string name, Cycles cycles_per_fetch)
+    : name_(std::move(name)), cycles_per_fetch_(cycles_per_fetch)
+{
+    stack_.push_back(Frame{});
+}
+
+ProgramBuilder& ProgramBuilder::straight(std::size_t base, std::size_t count)
+{
+    std::vector<std::size_t> run(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        run[i] = base + i;
+    }
+    return blocks(std::move(run));
+}
+
+ProgramBuilder& ProgramBuilder::blocks(std::vector<std::size_t> run)
+{
+    stack_.back().segments.push_back(Segment::straight(std::move(run)));
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::begin_loop(std::size_t iterations)
+{
+    Frame frame;
+    frame.kind = Frame::Kind::kLoop;
+    frame.iterations = iterations;
+    stack_.push_back(std::move(frame));
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_loop()
+{
+    if (stack_.size() < 2 || stack_.back().kind != Frame::Kind::kLoop) {
+        throw std::logic_error("ProgramBuilder::end_loop: no open loop");
+    }
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    stack_.back().segments.push_back(
+        Segment::loop(frame.iterations, std::move(frame.segments)));
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::begin_alternative()
+{
+    Frame frame;
+    frame.kind = Frame::Kind::kBranch;
+    stack_.push_back(std::move(frame));
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::next_branch()
+{
+    if (stack_.size() < 2 || stack_.back().kind != Frame::Kind::kBranch) {
+        throw std::logic_error(
+            "ProgramBuilder::next_branch: no open alternative");
+    }
+    Frame& frame = stack_.back();
+    frame.finished_branches.push_back(std::move(frame.segments));
+    frame.segments.clear();
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_alternative()
+{
+    if (stack_.size() < 2 || stack_.back().kind != Frame::Kind::kBranch) {
+        throw std::logic_error(
+            "ProgramBuilder::end_alternative: no open alternative");
+    }
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    frame.finished_branches.push_back(std::move(frame.segments));
+    stack_.back().segments.push_back(
+        Segment::alternative(std::move(frame.finished_branches)));
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::begin_procedure(std::string name)
+{
+    if (stack_.size() != 1) {
+        throw std::logic_error(
+            "ProgramBuilder::begin_procedure: procedures cannot nest inside "
+            "other constructs");
+    }
+    if (procedures_.count(name) > 0) {
+        throw std::logic_error("ProgramBuilder::begin_procedure: duplicate "
+                               "procedure '" + name + "'");
+    }
+    Frame frame;
+    frame.kind = Frame::Kind::kProcedure;
+    frame.procedure_name = std::move(name);
+    stack_.push_back(std::move(frame));
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_procedure()
+{
+    if (stack_.size() < 2 || stack_.back().kind != Frame::Kind::kProcedure) {
+        throw std::logic_error(
+            "ProgramBuilder::end_procedure: no open procedure");
+    }
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    procedures_[frame.procedure_name] = std::move(frame.segments);
+    return *this;
+}
+
+ProgramBuilder& ProgramBuilder::call(std::string name)
+{
+    stack_.back().segments.push_back(
+        Segment::call_procedure(std::move(name)));
+    return *this;
+}
+
+Program ProgramBuilder::build() &&
+{
+    if (stack_.size() != 1) {
+        throw std::logic_error(
+            "ProgramBuilder::build: unclosed loop, alternative or procedure");
+    }
+    return Program(std::move(name_), std::move(stack_.front().segments),
+                   cycles_per_fetch_, std::move(procedures_));
+}
+
+} // namespace cpa::program

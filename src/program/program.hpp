@@ -1,0 +1,160 @@
+// Structured program model: the input of the parameter-extraction pipeline
+// that stands in for Heptane + Mälardalen binaries (DESIGN.md §3.1).
+//
+// A program is a tree of segments: straight-line block sequences and
+// counted loops. Flattening the tree yields the instruction-fetch reference
+// trace (one reference per executed block), from which the extraction in
+// extract.hpp measures PD, MD, MDʳ and the UCB/ECB/PCB footprints exactly
+// for a direct-mapped cache.
+#pragma once
+
+#include "util/units.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cpa::program {
+
+using util::Cycles;
+
+struct Segment {
+    // A straight-line run of block fetches (empty for pure loop segments).
+    std::vector<std::size_t> blocks;
+    // Loop: executed `iterations` times around `body` (ignored when body is
+    // empty).
+    std::size_t iterations = 0;
+    std::vector<Segment> body;
+    // Conditional: exactly one of `branches` executes (if/else, switch).
+    std::vector<std::vector<Segment>> branches;
+    // Procedure call: executes the named procedure's body (procedures are
+    // shared between call sites, so their code blocks — and hence their
+    // cache content — are reused across calls). A segment is exactly one of
+    // straight-line, loop, alternative or call.
+    std::string call;
+
+    [[nodiscard]] static Segment straight(std::vector<std::size_t> blocks);
+    [[nodiscard]] static Segment loop(std::size_t iterations,
+                                      std::vector<Segment> body);
+    [[nodiscard]] static Segment
+    alternative(std::vector<std::vector<Segment>> branches);
+    [[nodiscard]] static Segment call_procedure(std::string name);
+};
+
+// Decides which branch each dynamically encountered alternative takes:
+// called with the number of branches, returns the index to execute.
+using BranchSelector = std::function<std::size_t(std::size_t num_branches)>;
+
+class Program {
+public:
+    // `procedures` maps names to bodies; every Segment::call must resolve
+    // and call chains must be acyclic (validated here; throws
+    // std::invalid_argument otherwise).
+    Program(std::string name, std::vector<Segment> body,
+            Cycles cycles_per_fetch = 2,
+            std::map<std::string, std::vector<Segment>> procedures = {});
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    // Cost of executing one block when it hits in the cache; PD is
+    // trace length * this.
+    [[nodiscard]] Cycles cycles_per_fetch() const noexcept
+    {
+        return cycles_per_fetch_;
+    }
+
+    // The full instruction-fetch trace (block addresses, in program order).
+    // `selector` resolves alternatives; the default takes branch 0, so the
+    // no-argument form is exact only for programs without alternatives (the
+    // abstract analysis in abstract.hpp covers the general case).
+    [[nodiscard]] std::vector<std::size_t>
+    reference_trace(const BranchSelector& selector = {}) const;
+
+    // Distinct blocks referenced on ANY path, ascending.
+    [[nodiscard]] std::vector<std::size_t> distinct_blocks() const;
+
+    // True when the program contains at least one alternative segment.
+    [[nodiscard]] bool has_alternatives() const;
+
+    [[nodiscard]] const std::vector<Segment>& body() const noexcept
+    {
+        return body_;
+    }
+
+    [[nodiscard]] const std::map<std::string, std::vector<Segment>>&
+    procedures() const noexcept
+    {
+        return procedures_;
+    }
+
+private:
+    std::string name_;
+    std::vector<Segment> body_;
+    Cycles cycles_per_fetch_;
+    std::map<std::string, std::vector<Segment>> procedures_;
+};
+
+// Fluent helper for building programs in tests/examples:
+//   ProgramBuilder b("demo");
+//   b.straight(0, 4);               // blocks 0..3
+//   b.begin_loop(100);
+//   b.straight(4, 8);               // loop body: blocks 4..11
+//   b.end_loop();
+//   Program p = std::move(b).build();
+class ProgramBuilder {
+public:
+    explicit ProgramBuilder(std::string name, Cycles cycles_per_fetch = 2);
+
+    // Appends blocks base, base+1, ..., base+count-1.
+    ProgramBuilder& straight(std::size_t base, std::size_t count);
+
+    // Appends an explicit block sequence.
+    ProgramBuilder& blocks(std::vector<std::size_t> blocks);
+
+    ProgramBuilder& begin_loop(std::size_t iterations);
+    ProgramBuilder& end_loop();
+
+    // Alternatives (if/else, switch):
+    //   b.begin_alternative();     // opens the construct and its 1st branch
+    //   ...                        // then-branch segments
+    //   b.next_branch();           // closes a branch, opens the next
+    //   ...                        // else-branch segments
+    //   b.end_alternative();
+    ProgramBuilder& begin_alternative();
+    ProgramBuilder& next_branch();
+    ProgramBuilder& end_alternative();
+
+    // Procedures (shared code):
+    //   b.begin_procedure("encode");
+    //   ...                        // the procedure body
+    //   b.end_procedure();
+    //   b.call("encode");          // at any number of call sites
+    // Procedure definitions must be closed before build() and cannot nest.
+    ProgramBuilder& begin_procedure(std::string name);
+    ProgramBuilder& end_procedure();
+    ProgramBuilder& call(std::string name);
+
+    // Finalizes; throws if a loop or alternative is still open.
+    [[nodiscard]] Program build() &&;
+
+private:
+    struct Frame {
+        enum class Kind { kBody, kLoop, kBranch, kProcedure };
+        Kind kind = Kind::kBody;
+        std::size_t iterations = 0;
+        std::vector<Segment> segments;
+        // For kBranch frames: branches completed so far (kBranch frames sit
+        // on the stack one at a time; finished branches accumulate here).
+        std::vector<std::vector<Segment>> finished_branches;
+        std::string procedure_name; // for kProcedure frames
+    };
+
+    std::string name_;
+    Cycles cycles_per_fetch_;
+    std::vector<Frame> stack_; // stack_[0] is the program body
+    std::map<std::string, std::vector<Segment>> procedures_;
+};
+
+} // namespace cpa::program

@@ -1,0 +1,195 @@
+#include "program/synthetic.hpp"
+
+namespace cpa::program {
+
+Program synthetic_lcdnum()
+{
+    // 20 blocks: 6 of setup, a 10-iteration digit loop over 12 blocks, and a
+    // 2-block epilogue. Fits any cache >= 20 sets.
+    ProgramBuilder b("lcdnum");
+    b.straight(0, 6);
+    b.begin_loop(10);
+    b.straight(6, 12);
+    b.end_loop();
+    b.straight(18, 2);
+    return std::move(b).build();
+}
+
+Program synthetic_bsort100()
+{
+    // 20 blocks, dominated by a 100x99 compare/swap double loop over a
+    // 12-block inner body: extreme reuse, fully persistent footprint.
+    ProgramBuilder b("bsort100");
+    b.straight(0, 4);
+    b.begin_loop(100);
+    b.straight(4, 2);
+    b.begin_loop(99);
+    b.straight(6, 12);
+    b.end_loop();
+    b.end_loop();
+    b.straight(18, 2);
+    return std::move(b).build();
+}
+
+Program synthetic_ludcmp()
+{
+    // 98 blocks: elimination and substitution phases with nested loops.
+    ProgramBuilder b("ludcmp");
+    b.straight(0, 10);
+    b.begin_loop(50);
+    b.straight(10, 30); // elimination kernel
+    b.begin_loop(5);
+    b.straight(40, 20); // pivot row update
+    b.end_loop();
+    b.end_loop();
+    b.begin_loop(50);
+    b.straight(60, 30); // back substitution
+    b.end_loop();
+    b.straight(90, 8);
+    return std::move(b).build();
+}
+
+Program synthetic_fdct()
+{
+    // Main region: blocks 0..105. Helper region placed at 278..361, which
+    // aliases onto sets 22..105 of a 256-set cache: the loop alternates
+    // between the aliasing halves, so those sets ping-pong (conflict misses
+    // every iteration) while sets 0..21 stay persistent.
+    ProgramBuilder b("fdct");
+    b.straight(0, 22); // prologue, conflict-free at 256 sets
+    b.begin_loop(8);
+    b.straight(22, 84);  // row pass
+    b.straight(278, 84); // column pass (aliases with the row pass at 256)
+    b.end_loop();
+    return std::move(b).build();
+}
+
+Program synthetic_nsichneu()
+{
+    // 1374 blocks of generated Petri-net code executed in a short outer
+    // loop: the footprint wraps a 256-set cache >5 times, so every set holds
+    // several blocks and no block survives an iteration.
+    ProgramBuilder b("nsichneu");
+    b.begin_loop(2);
+    b.straight(0, 1374);
+    b.end_loop();
+    return std::move(b).build();
+}
+
+Program synthetic_statemate()
+{
+    // 476 blocks: at 256 sets the first 220 sets are doubly occupied and the
+    // tail (sets 220..255) is persistent, as in Table I.
+    ProgramBuilder b("statemate");
+    b.begin_loop(6);
+    b.straight(0, 476);
+    b.end_loop();
+    return std::move(b).build();
+}
+
+Program synthetic_bs()
+{
+    // Binary search: 16 blocks, log-depth loop re-executed per query.
+    ProgramBuilder b("bs");
+    b.straight(0, 4);
+    b.begin_loop(12);
+    b.straight(4, 10);
+    b.end_loop();
+    b.straight(14, 2);
+    return std::move(b).build();
+}
+
+Program synthetic_crc()
+{
+    // CRC: 42 blocks; byte loop over a table-driven kernel.
+    ProgramBuilder b("crc");
+    b.straight(0, 8);
+    b.begin_loop(40);
+    b.straight(8, 30);
+    b.end_loop();
+    b.straight(38, 4);
+    return std::move(b).build();
+}
+
+Program synthetic_matmult()
+{
+    // Matrix multiply: 48 blocks, triple nested loop, extreme reuse.
+    ProgramBuilder b("matmult");
+    b.straight(0, 6);
+    b.begin_loop(20);
+    b.straight(6, 4);
+    b.begin_loop(20);
+    b.straight(10, 4);
+    b.begin_loop(20);
+    b.straight(14, 28); // inner product kernel
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.straight(42, 6);
+    return std::move(b).build();
+}
+
+Program synthetic_jfdctint()
+{
+    // Integer DCT: main region 0..95, helper at 284..351 aliasing sets
+    // 28..95 at 256 sets -> |ECB| = 96, |PCB| = 28.
+    ProgramBuilder b("jfdctint");
+    b.straight(0, 28); // persistent prologue
+    b.begin_loop(8);
+    b.straight(28, 68);  // row pass
+    b.straight(284, 68); // column pass (aliases at 256 sets)
+    b.end_loop();
+    return std::move(b).build();
+}
+
+Program synthetic_minver()
+{
+    // Matrix inversion: kernel 0..123, helper at 342..379 aliasing sets
+    // 86..123 -> |ECB| = 124, |PCB| = 86.
+    ProgramBuilder b("minver");
+    b.straight(0, 86);
+    b.begin_loop(10);
+    b.straight(86, 38);  // elimination tail
+    b.straight(342, 38); // pivot helper (aliases at 256 sets)
+    b.end_loop();
+    return std::move(b).build();
+}
+
+Program synthetic_qurt()
+{
+    // Root solver: kernel 0..51, helper at 296..307 aliasing sets 40..51
+    // -> |ECB| = 52, |PCB| = 40.
+    ProgramBuilder b("qurt");
+    b.straight(0, 40);
+    b.begin_loop(15);
+    b.straight(40, 12);  // iteration tail
+    b.straight(296, 12); // convergence check (aliases at 256 sets)
+    b.end_loop();
+    return std::move(b).build();
+}
+
+std::vector<Program> synthetic_suite()
+{
+    std::vector<Program> suite;
+    suite.push_back(synthetic_lcdnum());
+    suite.push_back(synthetic_bsort100());
+    suite.push_back(synthetic_ludcmp());
+    suite.push_back(synthetic_fdct());
+    suite.push_back(synthetic_nsichneu());
+    suite.push_back(synthetic_statemate());
+    return suite;
+}
+
+std::vector<Program> synthetic_suite_extended()
+{
+    std::vector<Program> suite = synthetic_suite();
+    suite.push_back(synthetic_bs());
+    suite.push_back(synthetic_crc());
+    suite.push_back(synthetic_matmult());
+    suite.push_back(synthetic_jfdctint());
+    suite.push_back(synthetic_minver());
+    suite.push_back(synthetic_qurt());
+    return suite;
+}
+
+} // namespace cpa::program

@@ -1,0 +1,70 @@
+// Synthetic stand-ins for the Mälardalen benchmarks.
+//
+// We cannot ship the original binaries or the Heptane toolchain, so these
+// programs reproduce the *structural* features that drive the paper's
+// parameters: code footprint relative to the cache, loop-dominated reuse,
+// and self-conflicting layouts (code larger than the cache or functions that
+// alias in the cache). Running extract_parameters() on them regenerates a
+// Table-I-shaped parameter table from first principles, at any cache size —
+// which is exactly the role the Heptane extraction plays in the paper.
+#pragma once
+
+#include "program/program.hpp"
+
+#include <vector>
+
+namespace cpa::program {
+
+// Small LCD-digit decoder: tiny straight-line code with a short loop;
+// everything fits in the cache (all blocks persistent).
+[[nodiscard]] Program synthetic_lcdnum();
+
+// Bubble sort: tiny code footprint, dominated by a large nested loop (high
+// reuse, fully persistent footprint).
+[[nodiscard]] Program synthetic_bsort100();
+
+// LU decomposition: medium footprint, triangular nested loops.
+[[nodiscard]] Program synthetic_ludcmp();
+
+// Forward DCT: two code regions that alias in a 256-set cache, so part of
+// the footprint self-conflicts (persistent share < footprint).
+[[nodiscard]] Program synthetic_fdct();
+
+// Petri-net simulator: code far larger than a 256-set cache; every set is
+// multiply occupied, so nothing is persistent at 256 sets and every
+// iteration refetches.
+[[nodiscard]] Program synthetic_nsichneu();
+
+// Statechart code generator output: footprint roughly twice a 256-set cache
+// with a small persistent tail.
+[[nodiscard]] Program synthetic_statemate();
+
+// --- Calibrated stand-ins for extended-table rows ------------------------
+
+// Binary search over a small array: tiny, fully persistent footprint.
+[[nodiscard]] Program synthetic_bs();
+
+// CRC over a buffer: small table-driven loop, moderate reuse.
+[[nodiscard]] Program synthetic_crc();
+
+// Matrix multiply: triple loop over a compact kernel, extreme reuse.
+[[nodiscard]] Program synthetic_matmult();
+
+// Integer JPEG DCT: two passes that alias in a 256-set cache (like fdct,
+// with a persistent prologue of 28 sets).
+[[nodiscard]] Program synthetic_jfdctint();
+
+// Matrix inversion: main kernel plus a helper region aliasing its tail.
+[[nodiscard]] Program synthetic_minver();
+
+// Square-root/quartic solver: small kernel with a helper that aliases its
+// last 12 sets.
+[[nodiscard]] Program synthetic_qurt();
+
+// The six Table I programs, in Table I order.
+[[nodiscard]] std::vector<Program> synthetic_suite();
+
+// Table I programs plus the extended-row stand-ins.
+[[nodiscard]] std::vector<Program> synthetic_suite_extended();
+
+} // namespace cpa::program

@@ -1,0 +1,67 @@
+// Shared memory-bus arbiter used by both simulators (the parameter-level
+// simulator in simulator.cpp and the program-level one in program_sim.cpp).
+//
+// Semantics per policy (matching the analysis assumptions, see
+// simulator.hpp):
+//  * kFixedPriority: non-preemptive service; when the bus frees, the
+//    pending request with the smallest priority value wins.
+//  * kRoundRobin: work-conserving rotation over cores, up to `slot_size`
+//    consecutive grants per turn, skipping cores with nothing pending.
+//  * kTdma: token rotation — core c may start an access at any instant
+//    while holding its `slot_size * d_mem`-cycle token; idle token time is
+//    never reassigned (non-work-conserving). Tokens of different cores are
+//    disjoint, so TDMA needs no shared busy state.
+//  * kPerfect: immediate service, no contention.
+//
+// Each core may have at most one outstanding request (the cores stall on
+// fetches), which both simulators guarantee.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "util/units.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cpa::sim {
+
+class BusArbiter {
+public:
+    BusArbiter(analysis::BusPolicy policy, std::size_t num_cores,
+               util::Cycles d_mem, std::int64_t slot_size);
+
+    // Core `core` requests one access at time `now`; `priority` is the
+    // issuing task's priority index (lower = more urgent; only FP uses it).
+    // Returns the service completion time when service is scheduled
+    // immediately (always for TDMA/Perfect; for FP/RR only when the bus is
+    // idle); otherwise the request is queued and its completion is returned
+    // by a later complete() call.
+    [[nodiscard]] std::optional<util::Cycles>
+    request(std::size_t core, std::size_t priority, util::Cycles now);
+
+    // Notifies that the access of `core` finished at `now` (FP/RR only; a
+    // no-op for TDMA/Perfect). Returns the next grant {core, completion
+    // time}, if any request is pending.
+    [[nodiscard]] std::optional<std::pair<std::size_t, util::Cycles>>
+    complete(std::size_t core, util::Cycles now);
+
+private:
+    [[nodiscard]] util::Cycles tdma_start(std::size_t core,
+                                          util::Cycles from) const;
+    [[nodiscard]] std::optional<std::size_t> pick_next();
+
+    analysis::BusPolicy policy_;
+    std::size_t num_cores_;
+    util::Cycles d_mem_;
+    std::int64_t slot_size_;
+
+    // pending_[core]: priority of the queued request, or nullopt.
+    std::vector<std::optional<std::size_t>> pending_;
+    bool busy_ = false;
+    std::size_t rr_core_ = 0;
+    std::int64_t rr_used_ = 0;
+};
+
+} // namespace cpa::sim

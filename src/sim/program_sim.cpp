@@ -1,0 +1,387 @@
+#include "sim/program_sim.hpp"
+
+#include "cache/direct_mapped.hpp"
+#include "sim/arbiter.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cpa::sim {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+enum class EventType : std::uint8_t {
+    kRelease, // a = task
+    kCpuDone, // a = core, b = generation
+    kBusDone, // a = core
+};
+
+struct Event {
+    Cycles time = 0;
+    std::uint64_t seq = 0;
+    EventType type = EventType::kRelease;
+    std::size_t a = 0;
+    std::uint64_t b = 0;
+
+    [[nodiscard]] int rank() const
+    {
+        return type == EventType::kRelease ? 1 : 0;
+    }
+    bool operator>(const Event& other) const
+    {
+        if (time != other.time) {
+            return time > other.time;
+        }
+        if (rank() != other.rank()) {
+            return rank() > other.rank();
+        }
+        return seq > other.seq;
+    }
+};
+
+struct PJob {
+    std::size_t task = kNone;
+    Cycles release = 0;
+    std::size_t pos = 0;   // next fetch in the trace
+    Cycles partial = 0;    // cycles already spent on the fetch at `pos`
+    bool finished = false;
+    // The compute chunk currently scheduled (hit-run bookkeeping).
+    Cycles chunk_started = 0;
+    Cycles chunk_len = 0;
+    std::size_t chunk_end_pos = 0;
+};
+
+struct PCore {
+    std::vector<std::size_t> ready;
+    std::size_t running = kNone;
+    bool stalled = false;
+    std::uint64_t cpu_generation = 0;
+    std::size_t pending_request = kNone; // job waiting for the bus
+    cache::DirectMappedCache cache;
+
+    explicit PCore(std::size_t sets) : cache({sets, 32}) {}
+};
+
+class ProgramSimulation {
+public:
+    ProgramSimulation(const std::vector<ProgramTask>& workload,
+                      const PlatformConfig& platform,
+                      const ProgramSimConfig& config)
+        : workload_(workload), platform_(platform), config_(config),
+          arbiter_(config.policy, platform.num_cores, platform.d_mem,
+                   platform.slot_size)
+    {
+        if (config.horizon <= 0) {
+            throw std::invalid_argument(
+                "simulate_programs: horizon must be > 0");
+        }
+        cores_.reserve(platform.num_cores);
+        for (std::size_t c = 0; c < platform.num_cores; ++c) {
+            cores_.emplace_back(platform.cache_sets);
+        }
+        traces_.reserve(workload.size());
+        for (const ProgramTask& task : workload_) {
+            if (task.program == nullptr) {
+                throw std::invalid_argument(
+                    "simulate_programs: null program");
+            }
+            if (task.core >= platform.num_cores) {
+                throw std::invalid_argument(
+                    "simulate_programs: bad core index");
+            }
+            if (task.period <= 0) {
+                throw std::invalid_argument(
+                    "simulate_programs: period must be > 0");
+            }
+            std::vector<std::size_t> trace =
+                task.program->reference_trace();
+            for (std::size_t& block : trace) {
+                block += task.address_base;
+            }
+            traces_.push_back(std::move(trace));
+        }
+        result_.max_response.assign(workload.size(), 0);
+        result_.jobs_completed.assign(workload.size(), 0);
+        result_.bus_accesses.assign(workload.size(), 0);
+        result_.cache_hits.assign(workload.size(), 0);
+        fetches_completed_.assign(workload.size(), 0);
+        current_job_of_task_.assign(workload.size(), kNone);
+    }
+
+    ProgramSimResult run()
+    {
+        for (std::size_t i = 0; i < workload_.size(); ++i) {
+            if (workload_[i].offset < config_.horizon) {
+                push(workload_[i].offset, EventType::kRelease, i, 0);
+            }
+        }
+        while (!queue_.empty() && !stopped_) {
+            const Event event = queue_.top();
+            queue_.pop();
+            now_ = event.time;
+            switch (event.type) {
+            case EventType::kRelease:
+                on_release(event.a);
+                break;
+            case EventType::kCpuDone:
+                on_cpu_done(event.a, event.b);
+                break;
+            case EventType::kBusDone:
+                on_bus_done(event.a);
+                break;
+            }
+        }
+        for (std::size_t i = 0; i < workload_.size(); ++i) {
+            result_.cache_hits[i] =
+                fetches_completed_[i] - result_.bus_accesses[i];
+        }
+        return result_;
+    }
+
+private:
+    void push(Cycles time, EventType type, std::size_t a, std::uint64_t b)
+    {
+        queue_.push(Event{time, seq_++, type, a, b});
+    }
+
+    [[nodiscard]] Cycles deadline_of(std::size_t task) const
+    {
+        return workload_[task].deadline > 0 ? workload_[task].deadline
+                                            : workload_[task].period;
+    }
+
+    void record_miss(std::size_t task)
+    {
+        if (!result_.deadline_missed) {
+            result_.deadline_missed = true;
+            result_.missed_task = task;
+        }
+        if (config_.stop_on_deadline_miss) {
+            stopped_ = true;
+        }
+    }
+
+    void on_release(std::size_t task)
+    {
+        if (current_job_of_task_[task] != kNone &&
+            !jobs_[current_job_of_task_[task]].finished) {
+            record_miss(task);
+            if (stopped_) {
+                return;
+            }
+        }
+        PJob job;
+        job.task = task;
+        job.release = now_;
+        const std::size_t job_id = jobs_.size();
+        jobs_.push_back(job);
+        current_job_of_task_[task] = job_id;
+        cores_[workload_[task].core].ready.push_back(job_id);
+        dispatch(workload_[task].core);
+
+        const Cycles next = now_ + workload_[task].period;
+        if (next < config_.horizon) {
+            push(next, EventType::kRelease, task, 0);
+        }
+    }
+
+    void dispatch(std::size_t core_index)
+    {
+        PCore& core = cores_[core_index];
+        if (core.running != kNone && core.stalled) {
+            return;
+        }
+        std::size_t best = kNone;
+        for (const std::size_t job_id : core.ready) {
+            if (best == kNone || jobs_[job_id].task < jobs_[best].task) {
+                best = job_id;
+            }
+        }
+        if (best == kNone) {
+            return;
+        }
+        if (core.running != kNone &&
+            jobs_[core.running].task <= jobs_[best].task) {
+            return;
+        }
+        if (core.running != kNone) {
+            preempt(core_index);
+        }
+        std::erase(core.ready, best);
+        core.running = best;
+        start_run(core_index);
+    }
+
+    // Schedules the next compute chunk of the running job: the maximal run
+    // of fetches that hit the core's cache (hits have no side effects in a
+    // direct-mapped cache, so the lookahead is safe).
+    void start_run(std::size_t core_index)
+    {
+        PCore& core = cores_[core_index];
+        PJob& job = jobs_[core.running];
+        const auto& trace = traces_[job.task];
+        const Cycles cpf = workload_[job.task].program->cycles_per_fetch();
+
+        Cycles len = 0;
+        std::size_t p = job.pos;
+        if (p < trace.size() && core.cache.contains(trace[p])) {
+            len += cpf - job.partial;
+            ++p;
+            while (p < trace.size() && core.cache.contains(trace[p])) {
+                len += cpf;
+                ++p;
+            }
+        } else {
+            // Next fetch misses (or the job is done): any partial progress
+            // on an evicted fetch is discarded — the fetch restarts as a
+            // miss. (Slightly optimistic; never pessimistic, so soundness
+            // comparisons against the analysis remain valid.)
+            job.partial = 0;
+        }
+        job.chunk_started = now_;
+        job.chunk_len = len;
+        job.chunk_end_pos = p;
+        push(now_ + len, EventType::kCpuDone, core_index,
+             core.cpu_generation);
+    }
+
+    void preempt(std::size_t core_index)
+    {
+        PCore& core = cores_[core_index];
+        PJob& job = jobs_[core.running];
+        const auto& trace = traces_[job.task];
+        const Cycles cpf = workload_[job.task].program->cycles_per_fetch();
+        Cycles elapsed =
+            std::min(now_ - job.chunk_started, job.chunk_len);
+
+        // Replay the chunk prefix that actually executed.
+        if (job.pos < job.chunk_end_pos) {
+            const Cycles first_cost = cpf - job.partial;
+            if (elapsed >= first_cost) {
+                elapsed -= first_cost;
+                job.pos += 1;
+                job.partial = 0;
+                fetches_completed_[job.task] += 1;
+                const auto more = std::min<std::size_t>(
+                    static_cast<std::size_t>(elapsed / cpf),
+                    job.chunk_end_pos - job.pos);
+                job.pos += more;
+                fetches_completed_[job.task] +=
+                    static_cast<std::int64_t>(more);
+                elapsed -= static_cast<Cycles>(more) * cpf;
+                job.partial = elapsed;
+            } else {
+                job.partial += elapsed;
+            }
+        }
+        (void)trace;
+
+        core.cpu_generation++;
+        core.ready.push_back(core.running);
+        core.running = kNone;
+    }
+
+    void on_cpu_done(std::size_t core_index, std::uint64_t generation)
+    {
+        PCore& core = cores_[core_index];
+        if (generation != core.cpu_generation || core.running == kNone) {
+            return; // stale
+        }
+        PJob& job = jobs_[core.running];
+        fetches_completed_[job.task] +=
+            static_cast<std::int64_t>(job.chunk_end_pos - job.pos);
+        job.pos = job.chunk_end_pos;
+        job.partial = 0;
+
+        if (job.pos >= traces_[job.task].size()) {
+            complete_job(core_index);
+            return;
+        }
+        // The fetch at job.pos misses: request the bus.
+        core.stalled = true;
+        core.pending_request = core.running;
+        const auto completion =
+            arbiter_.request(core_index, job.task, now_);
+        if (completion.has_value()) {
+            push(*completion, EventType::kBusDone, core_index, 0);
+        }
+    }
+
+    void on_bus_done(std::size_t core_index)
+    {
+        PCore& core = cores_[core_index];
+        const std::size_t job_id = core.pending_request;
+        core.pending_request = kNone;
+        core.stalled = false;
+
+        PJob& job = jobs_[job_id];
+        // Install the fetched block; the fetch itself (cycles_per_fetch)
+        // executes as the head of the job's next compute chunk.
+        (void)core.cache.access(traces_[job.task][job.pos]);
+        result_.bus_accesses[job.task] += 1;
+
+        core.ready.push_back(job_id);
+        core.running = kNone;
+        core.cpu_generation++;
+        dispatch(core_index);
+
+        if (const auto next = arbiter_.complete(core_index, now_);
+            next.has_value()) {
+            push(next->second, EventType::kBusDone, next->first, 0);
+        }
+    }
+
+    void complete_job(std::size_t core_index)
+    {
+        PCore& core = cores_[core_index];
+        PJob& job = jobs_[core.running];
+        job.finished = true;
+        core.running = kNone;
+        core.cpu_generation++;
+
+        const Cycles response = now_ - job.release;
+        result_.max_response[job.task] =
+            std::max(result_.max_response[job.task], response);
+        result_.jobs_completed[job.task] += 1;
+        if (response > deadline_of(job.task)) {
+            record_miss(job.task);
+        }
+        dispatch(core_index);
+    }
+
+    const std::vector<ProgramTask>& workload_;
+    PlatformConfig platform_;
+    ProgramSimConfig config_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::uint64_t seq_ = 0;
+    Cycles now_ = 0;
+    bool stopped_ = false;
+
+    std::vector<std::vector<std::size_t>> traces_;
+    std::vector<PJob> jobs_;
+    std::vector<PCore> cores_;
+    std::vector<std::size_t> current_job_of_task_;
+    std::vector<std::int64_t> fetches_completed_;
+    BusArbiter arbiter_;
+
+    ProgramSimResult result_;
+};
+
+} // namespace
+
+ProgramSimResult simulate_programs(const std::vector<ProgramTask>& workload,
+                                   const PlatformConfig& platform,
+                                   const ProgramSimConfig& config)
+{
+    if (workload.empty()) {
+        return ProgramSimResult{};
+    }
+    ProgramSimulation simulation(workload, platform, config);
+    return simulation.run();
+}
+
+} // namespace cpa::sim

@@ -1,0 +1,441 @@
+#include "sim/simulator.hpp"
+
+#include "sim/arbiter.hpp"
+#include "util/set_mask.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace cpa::sim {
+
+namespace {
+
+using util::SetMask;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+enum class EventType : std::uint8_t {
+    kRelease, // a = task index
+    kCpuDone, // a = core, b = generation (stale-event filter)
+    kBusDone, // a = core
+};
+
+struct Event {
+    Cycles time = 0;
+    std::uint64_t seq = 0; // FIFO tie-break for simultaneous events
+    EventType type = EventType::kRelease;
+    std::size_t a = 0;
+    std::uint64_t b = 0;
+
+    // Completions at time t happen before releases at time t: a job that
+    // finishes exactly when the next one arrives has finished, not been
+    // preempted (standard discrete-event convention; also what the analysis
+    // assumes).
+    [[nodiscard]] int rank() const
+    {
+        return type == EventType::kRelease ? 1 : 0;
+    }
+
+    bool operator>(const Event& other) const
+    {
+        if (time != other.time) {
+            return time > other.time;
+        }
+        if (rank() != other.rank()) {
+            return rank() > other.rank();
+        }
+        return seq > other.seq;
+    }
+};
+
+struct Job {
+    std::size_t task = kNone;
+    Cycles arrival = 0; // deadline reference point
+    Cycles release = 0; // arrival + jitter draw
+    Cycles cpu_left = 0;
+    std::int64_t accesses_left = 0;
+    bool started = false;   // accesses computed at first dispatch
+    bool finished = false;
+    Cycles chunk_started = 0; // when the current compute chunk was scheduled
+    Cycles chunk_len = 0;
+    SetMask evicted; // ECBs of tasks that ran while this job was suspended
+};
+
+struct Core {
+    std::vector<std::size_t> ready; // job ids, any order (picked by priority)
+    std::size_t running = kNone;    // job currently holding the CPU
+    bool stalled = false;           // running job has an outstanding access
+    std::uint64_t cpu_generation = 0;
+    std::vector<std::int32_t> cache_owner; // task id per cache set, -1 empty
+    std::size_t pending_request = kNone;   // job waiting for / using the bus
+};
+
+class Simulation {
+public:
+    Simulation(const tasks::TaskSet& ts, const PlatformConfig& platform,
+               const SimConfig& config)
+        : ts_(ts), platform_(platform), config_(config),
+          cores_(ts.num_cores()),
+          arbiter_(config.policy, ts.num_cores(), platform.d_mem,
+                   platform.slot_size),
+          jitter_rng_(config.jitter_seed)
+    {
+        if (config.horizon <= 0) {
+            throw std::invalid_argument("simulate: horizon must be > 0");
+        }
+        if (config.l2_footprints != nullptr) {
+            if (config.l2_footprints->size() != ts.size()) {
+                throw std::invalid_argument(
+                    "simulate: l2_footprints size mismatch");
+            }
+            l2_owner_.assign(config.l2.sets, -1);
+        }
+        for (Core& core : cores_) {
+            core.cache_owner.assign(ts.cache_sets(), -1);
+        }
+        result_.max_response.assign(ts.size(), 0);
+        result_.jobs_completed.assign(ts.size(), 0);
+        result_.bus_accesses.assign(ts.size(), 0);
+        current_job_of_task_.assign(ts.size(), kNone);
+    }
+
+    SimResult run()
+    {
+        if (!config_.release_offsets.empty() &&
+            config_.release_offsets.size() != ts_.size()) {
+            throw std::invalid_argument(
+                "simulate: release_offsets size mismatch");
+        }
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            const Cycles offset = config_.release_offsets.empty()
+                                      ? 0
+                                      : config_.release_offsets[i];
+            if (offset < 0) {
+                throw std::invalid_argument(
+                    "simulate: negative release offset");
+            }
+            if (offset < config_.horizon) {
+                push(offset + draw_jitter(i), EventType::kRelease, i,
+                     static_cast<std::uint64_t>(offset));
+            }
+        }
+        while (!queue_.empty()) {
+            const Event event = queue_.top();
+            queue_.pop();
+            now_ = event.time;
+            if (stopped_) {
+                break;
+            }
+            switch (event.type) {
+            case EventType::kRelease:
+                on_release(event.a, static_cast<Cycles>(event.b));
+                break;
+            case EventType::kCpuDone:
+                on_cpu_done(event.a, event.b);
+                break;
+            case EventType::kBusDone:
+                on_bus_done(event.a);
+                break;
+            }
+        }
+        return result_;
+    }
+
+private:
+    void push(Cycles time, EventType type, std::size_t a, std::uint64_t b)
+    {
+        queue_.push(Event{time, seq_++, type, a, b});
+    }
+
+    void record_miss(std::size_t task)
+    {
+        if (!result_.deadline_missed) {
+            result_.deadline_missed = true;
+            result_.missed_task = task;
+        }
+        if (config_.stop_on_deadline_miss) {
+            stopped_ = true;
+        }
+    }
+
+    [[nodiscard]] Cycles draw_jitter(std::size_t task_index)
+    {
+        const Cycles jitter = ts_[task_index].jitter;
+        if (jitter <= 0) {
+            return 0;
+        }
+        std::uniform_int_distribution<Cycles> dist(0, jitter);
+        return dist(jitter_rng_);
+    }
+
+    void on_release(std::size_t task_index, Cycles arrival)
+    {
+        const tasks::Task& task = ts_[task_index];
+        // Implicit deadlines (D = T) in the generated sets mean an
+        // unfinished predecessor at the next release is a deadline miss; for
+        // constrained deadlines the miss is detected at completion instead.
+        if (current_job_of_task_[task_index] != kNone &&
+            !jobs_[current_job_of_task_[task_index]].finished) {
+            record_miss(task_index);
+            if (stopped_) {
+                return;
+            }
+        }
+
+        Job job;
+        job.task = task_index;
+        job.arrival = arrival;
+        job.release = now_;
+        job.cpu_left = task.pd;
+        job.evicted = SetMask(ts_.cache_sets());
+        const std::size_t job_id = jobs_.size();
+        jobs_.push_back(std::move(job));
+        current_job_of_task_[task_index] = job_id;
+
+        cores_[task.core].ready.push_back(job_id);
+        dispatch(task.core);
+
+        const Cycles next_arrival = arrival + task.period;
+        if (next_arrival < config_.horizon) {
+            push(next_arrival + draw_jitter(task_index), EventType::kRelease,
+                 task_index, static_cast<std::uint64_t>(next_arrival));
+        }
+    }
+
+    // Picks the highest-priority ready job; preempts the current one if it is
+    // merely computing (an outstanding bus access is non-preemptive and
+    // defers the switch to on_bus_done).
+    void dispatch(std::size_t core_index)
+    {
+        Core& core = cores_[core_index];
+        if (core.running != kNone && core.stalled) {
+            return; // switch happens when the access completes
+        }
+
+        std::size_t best = kNone;
+        for (const std::size_t job_id : core.ready) {
+            if (best == kNone || jobs_[job_id].task < jobs_[best].task) {
+                best = job_id;
+            }
+        }
+        if (best == kNone) {
+            return; // nothing ready; the running job (if any) continues
+        }
+        if (core.running != kNone &&
+            jobs_[core.running].task <= jobs_[best].task) {
+            return; // current job has higher (or equal) priority
+        }
+
+        if (core.running != kNone) {
+            preempt(core_index);
+        }
+        start_job(core_index, best);
+    }
+
+    void preempt(std::size_t core_index)
+    {
+        Core& core = cores_[core_index];
+        Job& job = jobs_[core.running];
+        const Cycles elapsed = now_ - job.chunk_started;
+        job.cpu_left -= std::min(elapsed, job.chunk_len);
+        core.cpu_generation++; // invalidates the scheduled kCpuDone
+        core.ready.push_back(core.running);
+        core.running = kNone;
+    }
+
+    void start_job(std::size_t core_index, std::size_t job_id)
+    {
+        Core& core = cores_[core_index];
+        std::erase(core.ready, job_id);
+        core.running = job_id;
+        Job& job = jobs_[job_id];
+        const tasks::Task& task = ts_[job.task];
+
+        if (!job.started) {
+            job.started = true;
+            std::int64_t missing_pcbs = 0;
+            for (const std::size_t set : task.pcb.to_indices()) {
+                if (core.cache_owner[set] !=
+                    static_cast<std::int32_t>(job.task)) {
+                    ++missing_pcbs;
+                }
+            }
+            const std::int64_t requests =
+                std::min(task.md, task.md_residual + missing_pcbs);
+            job.accesses_left = requests;
+            if (config_.l2_footprints != nullptr) {
+                // Shared-L2 persistence: blocks the task still owns in the
+                // L2 are served there; only the rest reach the bus. Every
+                // L1 miss additionally stalls the core for d_l2.
+                const analysis::L2Footprint& fp =
+                    (*config_.l2_footprints)[job.task];
+                std::int64_t missing_l2 = 0;
+                for (const std::size_t set : fp.pcb2.to_indices()) {
+                    if (l2_owner_[set] !=
+                        static_cast<std::int32_t>(job.task)) {
+                        ++missing_l2;
+                    }
+                }
+                job.accesses_left = std::min(
+                    requests,
+                    fp.md_residual_l2 + missing_pcbs + missing_l2);
+                job.cpu_left += requests * config_.l2.d_l2;
+            }
+        } else {
+            // CRPD reloads: useful blocks evicted while suspended.
+            const std::int64_t reloads = static_cast<std::int64_t>(
+                task.ucb.intersection_count(job.evicted));
+            job.accesses_left += reloads;
+            if (config_.l2_footprints != nullptr) {
+                job.cpu_left += reloads * config_.l2.d_l2;
+            }
+            job.evicted.clear();
+        }
+
+        // Everything this job executes evicts aliased content used by the
+        // other (suspended) jobs of this core.
+        for (const std::size_t other_id : core.ready) {
+            Job& other = jobs_[other_id];
+            if (other.started) {
+                other.evicted |= task.ecb;
+            }
+        }
+
+        schedule_chunk(core_index);
+    }
+
+    void schedule_chunk(std::size_t core_index)
+    {
+        Core& core = cores_[core_index];
+        Job& job = jobs_[core.running];
+        const Cycles chunk =
+            job.accesses_left > 0 ? job.cpu_left / (job.accesses_left + 1)
+                                  : job.cpu_left;
+        job.chunk_started = now_;
+        job.chunk_len = chunk;
+        push(now_ + chunk, EventType::kCpuDone, core_index,
+             core.cpu_generation);
+    }
+
+    void on_cpu_done(std::size_t core_index, std::uint64_t generation)
+    {
+        Core& core = cores_[core_index];
+        if (generation != core.cpu_generation || core.running == kNone) {
+            return; // stale (the job was preempted mid-chunk)
+        }
+        Job& job = jobs_[core.running];
+        job.cpu_left -= job.chunk_len;
+        if (job.accesses_left > 0) {
+            issue_request(core_index);
+        } else {
+            complete_job(core_index);
+        }
+    }
+
+    void issue_request(std::size_t core_index)
+    {
+        Core& core = cores_[core_index];
+        core.stalled = true;
+        core.pending_request = core.running;
+        const auto completion = arbiter_.request(
+            core_index, jobs_[core.running].task, now_);
+        if (completion.has_value()) {
+            push(*completion, EventType::kBusDone, core_index, 0);
+        }
+    }
+
+    void on_bus_done(std::size_t core_index)
+    {
+        Core& core = cores_[core_index];
+        const std::size_t job_id = core.pending_request;
+        core.pending_request = kNone;
+        core.stalled = false;
+
+        Job& job = jobs_[job_id];
+        job.accesses_left -= 1;
+        result_.bus_accesses[job.task] += 1;
+
+        // Give the scheduler a chance to switch to a job released during the
+        // access; otherwise continue with the next compute chunk.
+        core.ready.push_back(job_id);
+        core.running = kNone;
+        core.cpu_generation++;
+        dispatch(core_index);
+
+        if (const auto next = arbiter_.complete(core_index, now_);
+            next.has_value()) {
+            push(next->second, EventType::kBusDone, next->first, 0);
+        }
+    }
+
+    void complete_job(std::size_t core_index)
+    {
+        Core& core = cores_[core_index];
+        const std::size_t job_id = core.running;
+        Job& job = jobs_[job_id];
+        const tasks::Task& task = ts_[job.task];
+
+        job.finished = true;
+        core.running = kNone;
+        core.cpu_generation++;
+
+        const Cycles response = now_ - job.arrival;
+        result_.max_response[job.task] =
+            std::max(result_.max_response[job.task], response);
+        result_.jobs_completed[job.task] += 1;
+        if (response > task.deadline) {
+            record_miss(job.task);
+        }
+
+        // Install the task's footprint: its blocks now own their sets.
+        for (const std::size_t set : task.ecb.to_indices()) {
+            core.cache_owner[set] = static_cast<std::int32_t>(job.task);
+        }
+        if (config_.l2_footprints != nullptr) {
+            for (const std::size_t set :
+                 (*config_.l2_footprints)[job.task].ecb2.to_indices()) {
+                l2_owner_[set] = static_cast<std::int32_t>(job.task);
+            }
+        }
+
+        dispatch(core_index);
+    }
+
+    const tasks::TaskSet& ts_;
+    const PlatformConfig& platform_;
+    const SimConfig& config_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::uint64_t seq_ = 0;
+    Cycles now_ = 0;
+    bool stopped_ = false;
+
+    std::vector<Job> jobs_;
+    std::vector<Core> cores_;
+    std::vector<std::size_t> current_job_of_task_;
+
+    BusArbiter arbiter_;
+    std::mt19937_64 jitter_rng_;
+    std::vector<std::int32_t> l2_owner_; // shared; empty when no L2
+
+    SimResult result_;
+};
+
+} // namespace
+
+SimResult simulate(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                   const SimConfig& config)
+{
+    if (ts.empty()) {
+        return SimResult{};
+    }
+    Simulation simulation(ts, platform, config);
+    return simulation.run();
+}
+
+} // namespace cpa::sim

@@ -1,0 +1,86 @@
+// Discrete-event simulator of the modeled multicore platform.
+//
+// The paper's analysis bounds every legal execution of the system model:
+// partitioned FPPS cores, private direct-mapped I-caches whose content
+// persists across jobs, and a shared memory bus under FP / RR / TDMA
+// arbitration. This simulator *generates* legal executions of that model so
+// property tests can check soundness: for a task set the analysis deems
+// schedulable, no simulated response time may exceed the analytical WCRT.
+//
+// Execution semantics (model level, cycle granular):
+//  * Jobs are released synchronously and periodically (a legal sporadic
+//    behavior). Each core dispatches preemptively by task priority.
+//  * A job needs min(MD, MDʳ + #PCBs currently absent from its core's cache)
+//    bus accesses; its PD cycles of computation are spread evenly between
+//    accesses. The core stalls while an access is outstanding.
+//  * When a preempted job resumes, it first reloads |UCB ∩ (ECBs of tasks
+//    that ran on the core meanwhile)| blocks (the CRPD the analysis charges
+//    via γ).
+//  * A completed job installs its ECBs in the core's cache, evicting
+//    whatever aliased there (this is what makes later jobs of other tasks
+//    miss their PCBs — the CPRO effect).
+//  * The bus serves one access in d_mem cycles. FP picks the pending request
+//    of the highest-priority task (non-preemptive). RR rotates over cores,
+//    up to `slot_size` consecutive accesses per turn, skipping cores with
+//    nothing pending (work conserving). TDMA rotates a bus token through the
+//    cores (`slot_size` slots of d_mem cycles each per core per cycle of
+//    num_cores*slot_size slots); a core may start an access at any instant
+//    while holding its token, and idle token time is never reassigned
+//    (non-work conserving). See tdma_service_start() in the implementation
+//    for why mid-token starts are the semantics Eq. (9) soundly bounds.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/multilevel.hpp"
+#include "tasks/task.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace cpa::sim {
+
+using analysis::BusPolicy;
+using analysis::PlatformConfig;
+using util::Cycles;
+
+struct SimConfig {
+    BusPolicy policy = BusPolicy::kFixedPriority;
+    Cycles horizon = 0;             // simulate releases in [0, horizon)
+    bool stop_on_deadline_miss = true;
+    // First-release offset per task (empty = synchronous release at 0).
+    // Any offset assignment is a legal sporadic behavior, so the analytical
+    // WCRT must bound the simulation for every choice — the soundness tests
+    // exploit this to probe beyond the synchronous case.
+    std::vector<Cycles> release_offsets;
+    // Seed for per-job release-jitter draws (each job of a task with
+    // jitter J is released uniformly within [arrival, arrival + J]).
+    std::uint64_t jitter_seed = 42;
+    // Optional shared-L2 (the multilevel extension). When `l2_footprints`
+    // is set (one entry per task, task order), a job's bus accesses shrink
+    // to min(requests, MDʳ² + missing PCB1 + missing PCB2) — the L2
+    // persistent blocks it still owns are served by the L2 — and every L1
+    // miss additionally stalls the core for l2.d_l2 cycles. A completed job
+    // installs its ECB2s in the shared L2, evicting aliased content of
+    // tasks on ALL cores (the cross-core effect ρ̂2 bounds).
+    const std::vector<analysis::L2Footprint>* l2_footprints = nullptr;
+    analysis::L2Config l2;
+};
+
+struct SimResult {
+    // Worst observed response time per task (0 when no job completed).
+    std::vector<Cycles> max_response;
+    std::vector<std::int64_t> jobs_completed;
+    // Total bus accesses issued per task (including CRPD/CPRO reloads).
+    std::vector<std::int64_t> bus_accesses;
+    bool deadline_missed = false;
+    std::size_t missed_task = static_cast<std::size_t>(-1);
+};
+
+// Runs the simulation. `ts` must be validated and in priority order.
+// BusPolicy::kPerfect serves every access immediately (latency d_mem, no
+// contention) and is supported for completeness.
+[[nodiscard]] SimResult simulate(const tasks::TaskSet& ts,
+                                 const PlatformConfig& platform,
+                                 const SimConfig& config);
+
+} // namespace cpa::sim

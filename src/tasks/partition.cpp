@@ -1,0 +1,137 @@
+#include "tasks/partition.hpp"
+
+#include "util/set_mask.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cpa::tasks {
+
+std::string to_string(PartitionHeuristic heuristic)
+{
+    switch (heuristic) {
+    case PartitionHeuristic::kFirstFit:
+        return "first-fit";
+    case PartitionHeuristic::kWorstFit:
+        return "worst-fit";
+    case PartitionHeuristic::kCacheAware:
+        return "cache-aware";
+    }
+    return "unknown";
+}
+
+namespace {
+
+double load_of(const Task& task, util::Cycles d_mem)
+{
+    return static_cast<double>(task.isolated_demand(d_mem)) /
+           static_cast<double>(task.period);
+}
+
+// Cores whose load is within `slack` of the minimum: the candidate set the
+// cache-aware rule may choose from without unbalancing the system.
+std::vector<std::size_t> near_least_loaded(const std::vector<double>& loads,
+                                           double slack)
+{
+    const double min_load = *std::min_element(loads.begin(), loads.end());
+    std::vector<std::size_t> candidates;
+    for (std::size_t c = 0; c < loads.size(); ++c) {
+        if (loads[c] <= min_load + slack) {
+            candidates.push_back(c);
+        }
+    }
+    return candidates;
+}
+
+} // namespace
+
+void partition_tasks(std::vector<Task>& tasks, std::size_t num_cores,
+                     PartitionHeuristic heuristic, util::Cycles d_mem)
+{
+    if (num_cores == 0) {
+        throw std::invalid_argument("partition_tasks: need at least one core");
+    }
+    if (tasks.empty()) {
+        return;
+    }
+    const std::size_t universe = tasks.front().ecb.universe();
+
+    // Order of consideration: decreasing load (the bin-packing convention).
+    std::vector<std::size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return load_of(tasks[a], d_mem) >
+                                load_of(tasks[b], d_mem);
+                     });
+
+    std::vector<double> loads(num_cores, 0.0);
+    std::vector<util::SetMask> footprints(num_cores,
+                                          util::SetMask(universe));
+
+    for (const std::size_t t : order) {
+        const double load = load_of(tasks[t], d_mem);
+        std::size_t chosen = 0;
+
+        switch (heuristic) {
+        case PartitionHeuristic::kFirstFit: {
+            bool placed = false;
+            for (std::size_t c = 0; c < num_cores; ++c) {
+                if (loads[c] + load <= 1.0) {
+                    chosen = c;
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed) {
+                chosen = static_cast<std::size_t>(
+                    std::min_element(loads.begin(), loads.end()) -
+                    loads.begin());
+            }
+            break;
+        }
+        case PartitionHeuristic::kWorstFit:
+            chosen = static_cast<std::size_t>(
+                std::min_element(loads.begin(), loads.end()) - loads.begin());
+            break;
+        case PartitionHeuristic::kCacheAware: {
+            std::size_t best_overlap =
+                std::numeric_limits<std::size_t>::max();
+            for (const std::size_t c : near_least_loaded(loads, 0.1)) {
+                const std::size_t overlap =
+                    tasks[t].ecb.intersection_count(footprints[c]);
+                if (overlap < best_overlap ||
+                    (overlap == best_overlap &&
+                     loads[c] < loads[chosen])) {
+                    best_overlap = overlap;
+                    chosen = c;
+                }
+            }
+            break;
+        }
+        }
+
+        tasks[t].core = chosen;
+        loads[chosen] += load;
+        footprints[chosen] |= tasks[t].ecb;
+    }
+}
+
+std::size_t same_core_overlap(const std::vector<Task>& tasks,
+                              std::size_t num_cores)
+{
+    std::size_t total = 0;
+    for (std::size_t a = 0; a < tasks.size(); ++a) {
+        for (std::size_t b = a + 1; b < tasks.size(); ++b) {
+            if (tasks[a].core == tasks[b].core &&
+                tasks[a].core < num_cores) {
+                total += tasks[a].ecb.intersection_count(tasks[b].ecb);
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace cpa::tasks

@@ -1,0 +1,123 @@
+#include "tasks/task.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpa::tasks {
+
+TaskSet::TaskSet(std::size_t num_cores, std::size_t cache_sets)
+    : num_cores_(num_cores), cache_sets_(cache_sets), per_core_(num_cores)
+{
+    if (num_cores == 0) {
+        throw std::invalid_argument("TaskSet: need at least one core");
+    }
+    if (cache_sets == 0) {
+        throw std::invalid_argument("TaskSet: need at least one cache set");
+    }
+}
+
+void TaskSet::add_task(Task task)
+{
+    if (task.core >= num_cores_) {
+        throw std::invalid_argument("TaskSet::add_task: invalid core index");
+    }
+    if (task.ecb.universe() != cache_sets_ ||
+        task.ucb.universe() != cache_sets_ ||
+        task.pcb.universe() != cache_sets_) {
+        throw std::invalid_argument(
+            "TaskSet::add_task: footprint universe != cache_sets");
+    }
+    per_core_[task.core].push_back(tasks_.size());
+    tasks_.push_back(std::move(task));
+}
+
+const std::vector<std::size_t>& TaskSet::tasks_on_core(std::size_t core) const
+{
+    if (core >= num_cores_) {
+        throw std::out_of_range("TaskSet::tasks_on_core: invalid core");
+    }
+    return per_core_[core];
+}
+
+double TaskSet::core_utilization(std::size_t core, Cycles d_mem) const
+{
+    double total = 0.0;
+    for (const std::size_t i : tasks_on_core(core)) {
+        const Task& task = tasks_[i];
+        total += static_cast<double>(task.isolated_demand(d_mem)) /
+                 static_cast<double>(task.period);
+    }
+    return total;
+}
+
+double TaskSet::bus_utilization(Cycles d_mem) const
+{
+    double total = 0.0;
+    for (const Task& task : tasks_) {
+        total += static_cast<double>(task.md * d_mem) /
+                 static_cast<double>(task.period);
+    }
+    return total;
+}
+
+void TaskSet::rebuild_core_index()
+{
+    for (auto& list : per_core_) {
+        list.clear();
+    }
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        per_core_[tasks_[i].core].push_back(i);
+    }
+}
+
+void TaskSet::assign_priorities_deadline_monotonic()
+{
+    std::stable_sort(tasks_.begin(), tasks_.end(),
+                     [](const Task& a, const Task& b) {
+                         return a.deadline < b.deadline;
+                     });
+    rebuild_core_index();
+}
+
+void TaskSet::assign_priorities_rate_monotonic()
+{
+    std::stable_sort(tasks_.begin(), tasks_.end(),
+                     [](const Task& a, const Task& b) {
+                         return a.period < b.period;
+                     });
+    rebuild_core_index();
+}
+
+void TaskSet::validate() const
+{
+    for (const Task& task : tasks_) {
+        if (task.pd < 0 || task.md < 0 || task.md_residual < 0) {
+            throw std::invalid_argument("Task: negative demand");
+        }
+        if (task.md_residual > task.md) {
+            throw std::invalid_argument("Task: MDr exceeds MD");
+        }
+        if (task.period <= 0 || task.deadline <= 0) {
+            throw std::invalid_argument("Task: period/deadline must be > 0");
+        }
+        if (task.deadline > task.period) {
+            throw std::invalid_argument(
+                "Task: deadline exceeds period (constrained-deadline model)");
+        }
+        if (task.jitter < 0 || task.jitter + task.deadline > task.period) {
+            throw std::invalid_argument(
+                "Task: jitter must satisfy 0 <= J and J + D <= T");
+        }
+        if (!task.ucb.is_subset_of(task.ecb)) {
+            throw std::invalid_argument("Task: UCB not a subset of ECB");
+        }
+        if (!task.pcb.is_subset_of(task.ecb)) {
+            throw std::invalid_argument("Task: PCB not a subset of ECB");
+        }
+        if (task.core >= num_cores_) {
+            throw std::invalid_argument("Task: invalid core index");
+        }
+    }
+}
+
+} // namespace cpa::tasks

@@ -1,0 +1,120 @@
+// Sporadic task model of the paper (Section II).
+//
+// Each task τ_i is the quadruple (PD_i, MD_i, D_i, T_i) extended with the
+// cache footprint information the persistence-aware analysis needs:
+//   PD_i  — worst-case execution demand assuming every access hits (cycles),
+//   MD_i  — worst-case number of main-memory (bus) accesses in isolation,
+//   MDʳ_i — residual demand: accesses when all PCBs are already cached,
+//   ECB_i — evicting cache blocks: every cache set the task touches,
+//   UCB_i — useful cache blocks (for CRPD, Eq. (2)),
+//   PCB_i — persistent cache blocks (for CPRO/M̂D, Eq. (10) and (14)).
+// Tasks are partitioned: each is statically assigned to one core, and
+// priorities are unique across the whole system (global priority order).
+#pragma once
+
+#include "util/set_mask.hpp"
+#include "util/units.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpa::tasks {
+
+using util::Cycles;
+using util::SetMask;
+
+struct Task {
+    std::string name;       // benchmark the parameters were drawn from
+    std::size_t core = 0;   // index of the core the task is assigned to
+    Cycles pd = 0;          // PD_i: pure processing demand, cycles
+    std::int64_t md = 0;    // MD_i: worst-case #bus accesses in isolation
+    std::int64_t md_residual = 0; // MDʳ_i: accesses with PCBs pre-loaded
+    Cycles deadline = 0;    // D_i, cycles (constrained: D_i <= T_i)
+    Cycles period = 0;      // T_i: minimum inter-arrival time, cycles
+    // Release jitter J_i: a job arriving at time a is released (made ready)
+    // anywhere in [a, a + J_i]. The paper's model has J = 0; the jitter
+    // extension widens every job-count window by J and checks
+    // J_i + R_i <= D_i. Constrained to J_i + D_i <= T_i so at most one job
+    // is active at a time.
+    Cycles jitter = 0;
+    SetMask ecb;            // ECB_i
+    SetMask ucb;            // UCB_i ⊆ ECB_i
+    SetMask pcb;            // PCB_i ⊆ ECB_i
+    double utilization = 0; // generation-time utilization (bookkeeping)
+
+    // Total worst-case demand in isolation for a memory latency d_mem.
+    [[nodiscard]] Cycles isolated_demand(Cycles d_mem) const
+    {
+        return pd + md * d_mem;
+    }
+
+    // Deadline measured from the RELEASE (the WCRT reference point): a job
+    // arriving at a and released up to J later must still finish by a + D,
+    // so its response time may be at most D - J.
+    [[nodiscard]] Cycles effective_deadline() const
+    {
+        return deadline - jitter;
+    }
+};
+
+// A partitioned task set. Tasks are stored in priority order: index 0 is the
+// highest-priority task, matching the paper's convention that τ_1 has the
+// highest priority; hp(i) is therefore exactly the index range [0, i).
+class TaskSet {
+public:
+    TaskSet(std::size_t num_cores, std::size_t cache_sets);
+
+    // Appends a task with the next (lowest) priority. The task's footprint
+    // masks must range over `cache_sets()` and its core must be valid.
+    void add_task(Task task);
+
+    [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+    [[nodiscard]] std::size_t num_cores() const noexcept { return num_cores_; }
+    [[nodiscard]] std::size_t cache_sets() const noexcept { return cache_sets_; }
+
+    [[nodiscard]] const Task& operator[](std::size_t i) const
+    {
+        return tasks_[i];
+    }
+    [[nodiscard]] Task& operator[](std::size_t i) { return tasks_[i]; }
+
+    [[nodiscard]] const std::vector<Task>& tasks() const noexcept
+    {
+        return tasks_;
+    }
+
+    // Indices of the tasks assigned to `core`, in priority order.
+    [[nodiscard]] const std::vector<std::size_t>&
+    tasks_on_core(std::size_t core) const;
+
+    // Total processor utilization of `core`: Σ (PD_i + MD_i·d_mem)/T_i.
+    [[nodiscard]] double core_utilization(std::size_t core,
+                                          Cycles d_mem) const;
+
+    // Total bus utilization: Σ over all tasks of MD_i·d_mem / T_i. The
+    // "perfect bus" baseline of Fig. 2 deems a set unschedulable when this
+    // exceeds 1.
+    [[nodiscard]] double bus_utilization(Cycles d_mem) const;
+
+    // Re-sorts tasks by ascending deadline (Deadline Monotonic) or period
+    // (Rate Monotonic), re-establishing the priority-order invariant.
+    void assign_priorities_deadline_monotonic();
+    void assign_priorities_rate_monotonic();
+
+    // Throws std::invalid_argument if any task violates the model invariants
+    // (MDʳ <= MD, UCB/PCB ⊆ ECB, 0 < D <= T, valid core, mask universes).
+    void validate() const;
+
+private:
+    std::size_t num_cores_;
+    std::size_t cache_sets_;
+    std::vector<Task> tasks_;
+    std::vector<std::vector<std::size_t>> per_core_;
+
+    void rebuild_core_index();
+};
+
+} // namespace cpa::tasks

@@ -1,0 +1,78 @@
+// Small integer helpers shared by the response-time equations. All of the
+// paper's bounds are integer expressions over cycle counts and access counts;
+// keeping them in exact integer arithmetic avoids the rounding hazards of
+// evaluating ceil()/floor() on doubles.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cpa::util {
+
+// ⌈a / b⌉ for a >= 0, b > 0.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b)
+{
+    if (b <= 0) {
+        throw std::invalid_argument("ceil_div: divisor must be positive");
+    }
+    if (a < 0) {
+        throw std::invalid_argument("ceil_div: dividend must be non-negative");
+    }
+    return (a + b - 1) / b;
+}
+
+// ⌊a / b⌋ for b > 0, allowing negative a (Eq. (6) can have a negative
+// numerator early in the fixed-point iteration).
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b)
+{
+    if (b <= 0) {
+        throw std::invalid_argument("floor_div: divisor must be positive");
+    }
+    const std::int64_t quotient = a / b;
+    return (a % b != 0 && a < 0) ? quotient - 1 : quotient;
+}
+
+// ⌈a / b⌉ for b > 0, allowing negative a (Eq. (5)'s numerator can be
+// negative; the result is then clamped by the caller).
+[[nodiscard]] constexpr std::int64_t ceil_div_signed(std::int64_t a,
+                                                     std::int64_t b)
+{
+    if (b <= 0) {
+        throw std::invalid_argument("ceil_div_signed: divisor must be positive");
+    }
+    return -floor_div(-a, b);
+}
+
+[[nodiscard]] constexpr std::int64_t clamp_non_negative(std::int64_t value)
+{
+    return value < 0 ? 0 : value;
+}
+
+[[nodiscard]] constexpr std::int64_t gcd_int(std::int64_t a, std::int64_t b)
+{
+    while (b != 0) {
+        const std::int64_t r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+// lcm of `a` and `b` saturated at `cap` (task-set hyperperiods explode
+// combinatorially; a saturated result means "longer than you want to
+// simulate"). Requires a, b > 0 and cap > 0.
+[[nodiscard]] constexpr std::int64_t
+saturating_lcm(std::int64_t a, std::int64_t b, std::int64_t cap)
+{
+    if (a <= 0 || b <= 0 || cap <= 0) {
+        throw std::invalid_argument("saturating_lcm: inputs must be > 0");
+    }
+    const std::int64_t step = a / gcd_int(a, b);
+    if (step > cap / b) {
+        return cap; // step * b would overflow / exceed the cap
+    }
+    const std::int64_t result = step * b;
+    return result > cap ? cap : result;
+}
+
+} // namespace cpa::util

@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cpa::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi) {
+        throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    }
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+std::size_t Rng::uniform_index(std::size_t n)
+{
+    if (n == 0) {
+        throw std::invalid_argument("Rng::uniform_index: n must be positive");
+    }
+    std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+    return dist(engine_);
+}
+
+double Rng::uniform_real()
+{
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi)
+{
+    if (!(lo < hi)) {
+        throw std::invalid_argument("Rng::uniform_real: lo must be < hi");
+    }
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+Rng Rng::fork()
+{
+    return Rng(engine_());
+}
+
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total_utilization)
+{
+    if (n == 0) {
+        throw std::invalid_argument("uunifast: n must be positive");
+    }
+    if (total_utilization < 0.0) {
+        throw std::invalid_argument("uunifast: utilization must be >= 0");
+    }
+    std::vector<double> utilizations;
+    utilizations.reserve(n);
+    double remaining = total_utilization;
+    for (std::size_t i = 1; i < n; ++i) {
+        const double exponent = 1.0 / static_cast<double>(n - i);
+        const double next = remaining * std::pow(rng.uniform_real(), exponent);
+        utilizations.push_back(remaining - next);
+        remaining = next;
+    }
+    utilizations.push_back(remaining);
+    return utilizations;
+}
+
+} // namespace cpa::util

@@ -1,0 +1,47 @@
+// Deterministic random-number utilities for task-set generation.
+//
+// Every experiment in the paper draws random task sets (UUnifast utilizations,
+// random benchmark assignment, random cache placement). We centralize the
+// generator so experiments are reproducible from a single seed and so tests
+// can re-run a failing draw.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cpa::util {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    // Uniform index in [0, n). Requires n > 0.
+    [[nodiscard]] std::size_t uniform_index(std::size_t n);
+
+    // Uniform real in [0, 1).
+    [[nodiscard]] double uniform_real();
+
+    // Uniform real in [lo, hi).
+    [[nodiscard]] double uniform_real(double lo, double hi);
+
+    // Derives an independent child generator; used to give each task set its
+    // own stream so adding experiments does not perturb earlier draws.
+    [[nodiscard]] Rng fork();
+
+    std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+// UUnifast (Bini & Buttazzo, 2005): draws `n` task utilizations summing to
+// `total_utilization`, uniformly over the n-1 simplex. This is the generator
+// the paper cites ([11]) for per-core utilizations.
+[[nodiscard]] std::vector<double>
+uunifast(Rng& rng, std::size_t n, double total_utilization);
+
+} // namespace cpa::util

@@ -1,0 +1,193 @@
+#include "util/set_mask.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cpa::util {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t universe)
+{
+    return (universe + kWordBits - 1) / kWordBits;
+}
+} // namespace
+
+SetMask::SetMask(std::size_t universe)
+    : universe_(universe), words_(words_for(universe), 0)
+{
+}
+
+std::size_t SetMask::count() const noexcept
+{
+    std::size_t total = 0;
+    for (const std::uint64_t word : words_) {
+        total += static_cast<std::size_t>(std::popcount(word));
+    }
+    return total;
+}
+
+bool SetMask::contains(std::size_t set_index) const
+{
+    if (set_index >= universe_) {
+        throw std::out_of_range("SetMask::contains: index outside universe");
+    }
+    return (words_[set_index / kWordBits] >> (set_index % kWordBits)) & 1U;
+}
+
+void SetMask::insert(std::size_t set_index)
+{
+    if (set_index >= universe_) {
+        throw std::out_of_range("SetMask::insert: index outside universe");
+    }
+    words_[set_index / kWordBits] |= std::uint64_t{1} << (set_index % kWordBits);
+}
+
+void SetMask::erase(std::size_t set_index)
+{
+    if (set_index >= universe_) {
+        throw std::out_of_range("SetMask::erase: index outside universe");
+    }
+    words_[set_index / kWordBits] &=
+        ~(std::uint64_t{1} << (set_index % kWordBits));
+}
+
+void SetMask::clear() noexcept
+{
+    for (std::uint64_t& word : words_) {
+        word = 0;
+    }
+}
+
+void SetMask::insert_wrapped_range(std::size_t first, std::size_t length)
+{
+    if (universe_ == 0) {
+        if (length > 0) {
+            throw std::out_of_range(
+                "SetMask::insert_wrapped_range: empty universe");
+        }
+        return;
+    }
+    if (length >= universe_) {
+        for (std::size_t i = 0; i < universe_; ++i) {
+            insert(i);
+        }
+        return;
+    }
+    std::size_t index = first % universe_;
+    for (std::size_t i = 0; i < length; ++i) {
+        insert(index);
+        index = (index + 1 == universe_) ? 0 : index + 1;
+    }
+}
+
+void SetMask::check_same_universe(const SetMask& other) const
+{
+    if (universe_ != other.universe_) {
+        throw std::invalid_argument("SetMask: universe size mismatch");
+    }
+}
+
+SetMask& SetMask::operator|=(const SetMask& other)
+{
+    check_same_universe(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] |= other.words_[i];
+    }
+    return *this;
+}
+
+SetMask& SetMask::operator&=(const SetMask& other)
+{
+    check_same_universe(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] &= other.words_[i];
+    }
+    return *this;
+}
+
+SetMask& SetMask::operator-=(const SetMask& other)
+{
+    check_same_universe(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] &= ~other.words_[i];
+    }
+    return *this;
+}
+
+std::size_t SetMask::intersection_count(const SetMask& other) const
+{
+    check_same_universe(other);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        total += static_cast<std::size_t>(
+            std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+}
+
+bool SetMask::intersects(const SetMask& other) const
+{
+    check_same_universe(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if ((words_[i] & other.words_[i]) != 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool SetMask::is_subset_of(const SetMask& other) const
+{
+    check_same_universe(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if ((words_[i] & ~other.words_[i]) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool SetMask::operator==(const SetMask& other) const
+{
+    return universe_ == other.universe_ && words_ == other.words_;
+}
+
+std::vector<std::size_t> SetMask::to_indices() const
+{
+    std::vector<std::size_t> indices;
+    indices.reserve(count());
+    for (std::size_t i = 0; i < universe_; ++i) {
+        if (contains(i)) {
+            indices.push_back(i);
+        }
+    }
+    return indices;
+}
+
+SetMask SetMask::rotated(std::size_t offset) const
+{
+    SetMask result(universe_);
+    if (universe_ == 0) {
+        return result;
+    }
+    for (std::size_t i = 0; i < universe_; ++i) {
+        if (contains(i)) {
+            result.insert((i + offset) % universe_);
+        }
+    }
+    return result;
+}
+
+SetMask SetMask::from_indices(std::size_t universe,
+                              const std::vector<std::size_t>& indices)
+{
+    SetMask mask(universe);
+    for (const std::size_t index : indices) {
+        mask.insert(index);
+    }
+    return mask;
+}
+
+} // namespace cpa::util

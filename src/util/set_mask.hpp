@@ -1,0 +1,93 @@
+// SetMask: a fixed-universe bitset over the sets of a direct-mapped cache.
+//
+// The CRPD / CPRO analyses of the paper manipulate sets of cache-set indices
+// (UCBs, ECBs, PCBs) and need fast union / intersection-cardinality
+// operations over universes of 32..4096 cache sets (the Fig. 3c sweep).
+// std::bitset is sized at compile time and std::vector<bool> has no word-level
+// operations, so we provide a small dynamic bitset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cpa::util {
+
+class SetMask {
+public:
+    SetMask() = default;
+
+    // Creates an empty mask over a universe of `universe` cache sets.
+    explicit SetMask(std::size_t universe);
+
+    // Universe size (number of cache sets this mask ranges over).
+    [[nodiscard]] std::size_t universe() const noexcept { return universe_; }
+
+    // Number of elements (cache sets) contained.
+    [[nodiscard]] std::size_t count() const noexcept;
+
+    [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+    [[nodiscard]] bool contains(std::size_t set_index) const;
+
+    void insert(std::size_t set_index);
+    void erase(std::size_t set_index);
+    void clear() noexcept;
+
+    // Inserts `length` consecutive cache sets starting at `first`, wrapping
+    // around the end of the cache (the standard placement used in the CRPD
+    // literature: a task's ECBs occupy contiguous sets modulo cache size).
+    // If length >= universe the mask becomes full.
+    void insert_wrapped_range(std::size_t first, std::size_t length);
+
+    SetMask& operator|=(const SetMask& other);
+    SetMask& operator&=(const SetMask& other);
+    // Removes all elements of `other` from this mask.
+    SetMask& operator-=(const SetMask& other);
+
+    [[nodiscard]] friend SetMask operator|(SetMask lhs, const SetMask& rhs)
+    {
+        lhs |= rhs;
+        return lhs;
+    }
+    [[nodiscard]] friend SetMask operator&(SetMask lhs, const SetMask& rhs)
+    {
+        lhs &= rhs;
+        return lhs;
+    }
+    [[nodiscard]] friend SetMask operator-(SetMask lhs, const SetMask& rhs)
+    {
+        lhs -= rhs;
+        return lhs;
+    }
+
+    // |*this ∩ other| without materializing the intersection. This is the hot
+    // operation of Eq. (2) and Eq. (14).
+    [[nodiscard]] std::size_t intersection_count(const SetMask& other) const;
+
+    [[nodiscard]] bool intersects(const SetMask& other) const;
+
+    // True when every element of *this is also in `other`.
+    [[nodiscard]] bool is_subset_of(const SetMask& other) const;
+
+    [[nodiscard]] bool operator==(const SetMask& other) const;
+
+    // Enumerates contained set indices in increasing order.
+    [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+    // Returns a copy with every element shifted by `offset` modulo the
+    // universe (used to place a fixed footprint at a random cache offset).
+    [[nodiscard]] SetMask rotated(std::size_t offset) const;
+
+    // Convenience factory: mask over `universe` containing exactly `indices`.
+    [[nodiscard]] static SetMask
+    from_indices(std::size_t universe, const std::vector<std::size_t>& indices);
+
+private:
+    void check_same_universe(const SetMask& other) const;
+
+    std::size_t universe_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace cpa::util

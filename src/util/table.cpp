@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpa::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty()) {
+        throw std::invalid_argument("TextTable: header must not be empty");
+    }
+}
+
+void TextTable::add_row(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("TextTable: row width mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        out << "| ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            out << (c + 1 == row.size() ? " |" : " | ");
+        }
+        out << '\n';
+    };
+
+    print_row(header_);
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        out << std::string(widths[c] + 2, '-')
+            << (c + 1 == header_.size() ? "|" : "+");
+    }
+    out << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+namespace {
+std::string csv_escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+        return cell;
+    }
+    std::string escaped = "\"";
+    for (const char ch : cell) {
+        if (ch == '"') {
+            escaped += "\"\"";
+        } else {
+            escaped += ch;
+        }
+    }
+    escaped += '"';
+    return escaped;
+}
+
+void print_csv_row(std::ostream& out, const std::vector<std::string>& row)
+{
+    for (std::size_t c = 0; c < row.size(); ++c) {
+        out << csv_escape(row[c]);
+        if (c + 1 != row.size()) {
+            out << ',';
+        }
+    }
+    out << '\n';
+}
+} // namespace
+
+void TextTable::print_csv(std::ostream& out) const
+{
+    print_csv_row(out, header_);
+    for (const auto& row : rows_) {
+        print_csv_row(out, row);
+    }
+}
+
+std::string TextTable::num(double value, int precision)
+{
+    std::ostringstream stream;
+    stream << std::fixed << std::setprecision(precision) << value;
+    return stream.str();
+}
+
+} // namespace cpa::util

@@ -1,0 +1,38 @@
+// Plain-text table and CSV emission for the benchmark harness. Every bench
+// binary prints the rows/series of the paper artifact it regenerates, both
+// as an aligned ASCII table (for the console) and optionally as CSV (for
+// re-plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpa::util {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    // Appends a data row; must have the same number of cells as the header.
+    void add_row(std::vector<std::string> row);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    // Renders with column alignment and a header separator.
+    void print(std::ostream& out) const;
+
+    // Renders as RFC-4180-ish CSV (cells containing comma/quote/newline are
+    // quoted, quotes doubled).
+    void print_csv(std::ostream& out) const;
+
+    // Formats a double with fixed precision; the shared formatter keeps all
+    // benches consistent.
+    [[nodiscard]] static std::string num(double value, int precision = 3);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cpa::util

@@ -1,0 +1,349 @@
+#include "analysis/bus_bounds.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::fig1_task_set;
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+PlatformConfig fig1_platform()
+{
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 16;
+    platform.d_mem = 1;
+    platform.slot_size = 1;
+    return platform;
+}
+
+AnalysisConfig config_with(bool persistence, BusPolicy policy)
+{
+    AnalysisConfig config;
+    config.policy = policy;
+    config.persistence_aware = persistence;
+    return config;
+}
+
+struct Fig1Fixture {
+    tasks::TaskSet ts = fig1_task_set(/*t1_period=*/10, /*t2_period=*/60,
+                                      /*t3_period=*/6);
+    PlatformConfig platform = fig1_platform();
+    InterferenceTables tables{ts, CrpdMethod::kEcbUnion};
+    // τ3's response-time estimate used by Eq. (5)-(6).
+    std::vector<Cycles> response{10, 60, 6};
+};
+
+TEST(BusBounds, BasWithoutPersistenceMatchesEq12)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
+        f.tables);
+    // E_1(25) = 3 jobs of τ1: 8 + 3*(6+2) = 32 (Eq. (12) of the paper).
+    EXPECT_EQ(bounds.bas(1, 25), 32);
+}
+
+TEST(BusBounds, BasWithPersistenceMatchesEq15)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
+        f.tables);
+    // MD_2 + min(18, M̂D_1(3) + ρ̂_{1,2}(3)) + 3γ = 8 + (8+4) + 6 = 26
+    // (Eq. (15) of the paper).
+    EXPECT_EQ(bounds.bas(1, 25), 26);
+}
+
+TEST(BusBounds, BasOfHighestPriorityTaskIsItsOwnDemand)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
+        f.tables);
+    EXPECT_EQ(bounds.bas(0, 25), 6);
+}
+
+TEST(BusBounds, BaoWithoutPersistenceCountsFullJobsAndCarryOut)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
+        f.tables);
+    // N_{2,3}(25) = floor((25 + 6 - 6)/6) = 4 full jobs -> 24 accesses,
+    // carry-out: ceil((25 + 6 - 6 - 24)/1) = 1.
+    EXPECT_EQ(bounds.bao(1, 2, 25, f.response), 25);
+}
+
+TEST(BusBounds, BaoWithPersistenceMatchesPaperExample)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
+        f.tables);
+    // The paper: MD_3 + 3*MDr_3 = 9 accesses for the four jobs (M̂D_3(4)),
+    // plus the unchanged carry-out of 1.
+    EXPECT_EQ(bounds.bao(1, 2, 25, f.response), 10);
+}
+
+TEST(BusBounds, BaoSkipsLowerPriorityTasks)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
+        f.tables);
+    // At level k = 1 (τ2), core 1 hosts no task of priority 1 or higher.
+    EXPECT_EQ(bounds.bao(1, 1, 25, f.response), 0);
+    // bao_lower at level 1 captures exactly τ3.
+    EXPECT_EQ(bounds.bao_lower(1, 1, 25, f.response), 25);
+}
+
+TEST(BusBounds, BaoZeroForZeroWindowWithZeroResponse)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
+        f.tables);
+    const std::vector<Cycles> response{0, 0, 0};
+    EXPECT_EQ(bounds.bao(1, 2, 0, response), 0);
+}
+
+TEST(BusBounds, BatFixedPriorityCombinesAllTerms)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis baseline(
+        f.ts, f.platform, config_with(false, BusPolicy::kFixedPriority),
+        f.tables);
+    // τ2 is the lowest-priority task of its core -> no +1 blocking term.
+    // 32 (BAS) + 0 (BAO higher) + min(32, 25) (lower-priority accesses).
+    EXPECT_EQ(baseline.bat(1, 25, f.response), 57);
+
+    const BusContentionAnalysis persist(
+        f.ts, f.platform, config_with(true, BusPolicy::kFixedPriority),
+        f.tables);
+    EXPECT_EQ(persist.bat(1, 25, f.response), 26 + 0 + 10);
+}
+
+TEST(BusBounds, BatFixedPriorityAddsBlockingForNonLowestTask)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(false, BusPolicy::kFixedPriority),
+        f.tables);
+    // τ1 has τ2 below it on core 0 -> +1. BAS_1(10) = 6.
+    // BAO at level 0 on core 1: empty. bao_lower: τ3's accesses.
+    const std::int64_t bao_low = bounds.bao_lower(1, 0, 10, f.response);
+    EXPECT_EQ(bounds.bat(0, 10, f.response),
+              6 + 0 + 1 + std::min<std::int64_t>(6, bao_low));
+}
+
+TEST(BusBounds, BatRoundRobinCapsOtherCoreBySlots)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis baseline(
+        f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
+        f.tables);
+    // min(BAO_n = 25, s*BAS = 32) = 25 -> 57.
+    EXPECT_EQ(baseline.bat(1, 25, f.response), 57);
+
+    const BusContentionAnalysis persist(
+        f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
+        f.tables);
+    // min(10, 26) = 10 -> 36.
+    EXPECT_EQ(persist.bat(1, 25, f.response), 36);
+}
+
+TEST(BusBounds, BatTdmaScalesOwnDemandByForeignSlots)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis baseline(
+        f.ts, f.platform, config_with(false, BusPolicy::kTdma), f.tables);
+    // (L-1)*s = 1 foreign slot per own access: 32 + 32 = 64.
+    EXPECT_EQ(baseline.bat(1, 25, f.response), 64);
+
+    const BusContentionAnalysis persist(
+        f.ts, f.platform, config_with(true, BusPolicy::kTdma), f.tables);
+    EXPECT_EQ(persist.bat(1, 25, f.response), 52);
+}
+
+TEST(BusBounds, BatPerfectBusIsJustSameCoreDemand)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(true, BusPolicy::kPerfect), f.tables);
+    EXPECT_EQ(bounds.bat(1, 25, f.response), bounds.bas(1, 25));
+}
+
+// --- Property tests -------------------------------------------------------
+
+class BusBoundsProperty : public ::testing::TestWithParam<BusPolicy> {};
+
+TEST_P(BusBoundsProperty, PersistenceAwareNeverExceedsBaseline)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis baseline(
+        f.ts, f.platform, config_with(false, GetParam()), f.tables);
+    const BusContentionAnalysis persist(
+        f.ts, f.platform, config_with(true, GetParam()), f.tables);
+    for (Cycles t = 0; t <= 200; t += 7) {
+        for (std::size_t i = 0; i < f.ts.size(); ++i) {
+            EXPECT_LE(persist.bas(i, t), baseline.bas(i, t))
+                << "i=" << i << " t=" << t;
+            EXPECT_LE(persist.bat(i, t, f.response),
+                      baseline.bat(i, t, f.response))
+                << "i=" << i << " t=" << t;
+        }
+    }
+}
+
+TEST_P(BusBoundsProperty, BoundsAreMonotoneInWindowLength)
+{
+    // BAS (Eq. (1)/(16)) is monotone in t for both variants. BAT is monotone
+    // whenever its BAO terms are — i.e., for the persistence-oblivious
+    // analysis (any policy) and for TDMA/Perfect (which do not use BAO).
+    // The literal persistence-aware BAO of Lemma 2 is NOT monotone (see the
+    // Lemma2CarryOutDip test below), so FP/RR with persistence are excluded.
+    Fig1Fixture f;
+    for (const bool persistence : {false, true}) {
+        const BusContentionAnalysis bounds(
+            f.ts, f.platform, config_with(persistence, GetParam()), f.tables);
+        const bool bat_monotone =
+            !persistence || GetParam() == BusPolicy::kTdma ||
+            GetParam() == BusPolicy::kPerfect;
+        for (std::size_t i = 0; i < f.ts.size(); ++i) {
+            std::int64_t previous_bas = 0;
+            std::int64_t previous_bat = 0;
+            for (Cycles t = 0; t <= 300; ++t) {
+                const std::int64_t current_bas = bounds.bas(i, t);
+                EXPECT_GE(current_bas, previous_bas) << "i=" << i << " t=" << t;
+                previous_bas = current_bas;
+                if (bat_monotone) {
+                    const std::int64_t current_bat =
+                        bounds.bat(i, t, f.response);
+                    EXPECT_GE(current_bat, previous_bat)
+                        << "i=" << i << " t=" << t;
+                    previous_bat = current_bat;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BusBoundsProperty,
+                         ::testing::Values(BusPolicy::kFixedPriority,
+                                           BusPolicy::kRoundRobin,
+                                           BusPolicy::kTdma,
+                                           BusPolicy::kPerfect));
+
+TEST(BusBounds, JobBoundedCproTightensRareEvictors)
+{
+    // τ1: high-frequency, fully persistent footprint. τ2: rare evictor
+    // whose ECBs cover τ1's PCBs. CPRO-union charges an eviction between
+    // every pair of τ1 jobs; the job-bounded refinement knows τ2 runs at
+    // most twice in the window.
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 2, 4, 0, 10, 0, {1, 2, 3, 4}, {}, {1, 2, 3, 4}},
+            {0, 5, 2, 2, 1000, 0, {1, 2, 3, 4, 5}, {}, {}},
+        });
+    PlatformConfig platform;
+    platform.num_cores = 1;
+    platform.cache_sets = 16;
+    platform.d_mem = 1;
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+
+    AnalysisConfig union_config;
+    union_config.persistence_aware = true;
+    union_config.cpro = CproMethod::kUnion;
+    AnalysisConfig job_config = union_config;
+    job_config.cpro = CproMethod::kJobBound;
+
+    const BusContentionAnalysis by_union(ts, platform, union_config, tables);
+    const BusContentionAnalysis by_jobs(ts, platform, job_config, tables);
+
+    // Window t = 100: E_1 = 10 jobs of τ1.
+    // Union: min(10*4, M̂D(10) + 9*4) = min(40, 4 + 36) = 40 -> no gain.
+    // Job-bounded: τ2 has ⌈100/1000⌉ + 1 = 2 jobs * overlap 4 = 8 ->
+    //              min(40, 4 + 8) = 12.
+    EXPECT_EQ(by_union.bas(1, 100), 2 + 40);
+    EXPECT_EQ(by_jobs.bas(1, 100), 2 + 12);
+}
+
+TEST(BusBounds, JobBoundedCproNeverLooserThanUnion)
+{
+    Fig1Fixture f;
+    AnalysisConfig union_config = config_with(true, BusPolicy::kRoundRobin);
+    AnalysisConfig job_config = union_config;
+    job_config.cpro = CproMethod::kJobBound;
+    const BusContentionAnalysis by_union(f.ts, f.platform, union_config,
+                                         f.tables);
+    const BusContentionAnalysis by_jobs(f.ts, f.platform, job_config,
+                                        f.tables);
+    for (Cycles t = 0; t <= 200; t += 3) {
+        for (std::size_t i = 0; i < f.ts.size(); ++i) {
+            EXPECT_LE(by_jobs.bas(i, t), by_union.bas(i, t));
+            EXPECT_LE(by_jobs.bat(i, t, f.response),
+                      by_union.bat(i, t, f.response));
+        }
+    }
+}
+
+TEST(BusBounds, PairOverlapTableMatchesDefinition)
+{
+    Fig1Fixture f;
+    // |PCB_1 ∩ ECB_2| = |{5,6,7,8,10} ∩ {1..6}| = 2 on core 0; τ3 is on
+    // another core, so all of its pairs are zero.
+    EXPECT_EQ(f.tables.pair_overlap(0, 1), 2);
+    EXPECT_EQ(f.tables.pair_overlap(1, 0),
+              0); // τ2 has no PCBs
+    EXPECT_EQ(f.tables.pair_overlap(0, 2), 0);
+    EXPECT_EQ(f.tables.pair_overlap(2, 0), 0);
+    EXPECT_EQ(f.tables.pair_overlap(0, 0), 0); // a task never evicts itself
+}
+
+// Documents a quirk of the published equations: when a carry-out job of
+// Eq. (5) turns into a "full" job of Eq. (6), Lemma 2 re-prices it from its
+// raw demand MD + γ down to the persistence-capped M̂D increment, so the
+// persistence-aware BAO can *decrease* as the window grows. The WCRT
+// iteration remains well-defined (it finds the smallest solution of
+// Eq. (19) by Kleene iteration from below), but BAO monotonicity must not
+// be assumed — this test pins the behavior so a refactor cannot silently
+// "fix" the equations away from the paper.
+TEST(BusBounds, Lemma2CarryOutDipIsPossible)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
+        f.tables);
+    // τ3: T=6, MD=6, MDr=1, R3=6, d_mem=1. At t=11 the carry-out job is
+    // priced at ceil((11+6-6-6)/1)=5 raw accesses (total 6+5=11); at t=12 it
+    // becomes the second full job and the pair is re-priced at
+    // M̂D(2) = min(12, 2*1+5) = 7.
+    const std::int64_t at_11 = bounds.bao(1, 2, 11, f.response);
+    const std::int64_t at_12 = bounds.bao(1, 2, 12, f.response);
+    EXPECT_EQ(at_11, 11);
+    EXPECT_EQ(at_12, 7);
+}
+
+TEST(BusBounds, BaoMonotoneInResponseEstimates)
+{
+    Fig1Fixture f;
+    const BusContentionAnalysis bounds(
+        f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
+        f.tables);
+    std::int64_t previous = 0;
+    for (Cycles r3 = 0; r3 <= 60; ++r3) {
+        const std::vector<Cycles> response{10, 60, r3};
+        const std::int64_t value = bounds.bao(1, 2, 25, response);
+        EXPECT_GE(value, previous) << "r3=" << r3;
+        previous = value;
+    }
+}
+
+} // namespace
+} // namespace cpa::analysis

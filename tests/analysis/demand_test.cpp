@@ -1,0 +1,100 @@
+#include "analysis/demand.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+tasks::Task demo_task(std::int64_t md, std::int64_t mdr,
+                      std::vector<std::size_t> pcb)
+{
+    tasks::Task task;
+    task.md = md;
+    task.md_residual = mdr;
+    task.pcb = util::SetMask::from_indices(64, std::move(pcb));
+    return task;
+}
+
+TEST(MdHat, ZeroJobsZeroDemand)
+{
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 0), 0);
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), -3), 0);
+}
+
+TEST(MdHat, SingleJobIsWorstCaseDemand)
+{
+    // min(1*6, 1*1 + 5) = 6.
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 1), 6);
+}
+
+TEST(MdHat, MatchesFig1ThreeJobsOfTau1)
+{
+    // The paper: three jobs of τ1 access memory 6 + 1 + 1 = 8 times.
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 3), 8);
+}
+
+TEST(MdHat, MatchesFig1FourJobsOfTau3)
+{
+    // MD_3 + 3*MDr_3 = 9 in the paper's other-core example.
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 4), 9);
+}
+
+TEST(MdHat, NoPersistenceReducesToLinearDemand)
+{
+    // MDr == MD and PCB empty -> n*MD exactly.
+    EXPECT_EQ(md_hat(demo_task(7, 7, {}), 5), 35);
+}
+
+TEST(MdHat, NeverExceedsEitherBound)
+{
+    for (std::int64_t n = 0; n <= 20; ++n) {
+        const tasks::Task task = demo_task(9, 2, {0, 1, 2});
+        const std::int64_t value = md_hat(task, n);
+        EXPECT_LE(value, n * task.md);
+        EXPECT_LE(value, n * task.md_residual + 3);
+    }
+}
+
+TEST(MdHat, MonotoneInJobCount)
+{
+    const tasks::Task task = demo_task(9, 2, {0, 1, 2});
+    std::int64_t previous = 0;
+    for (std::int64_t n = 0; n <= 50; ++n) {
+        const std::int64_t value = md_hat(task, n);
+        EXPECT_GE(value, previous);
+        previous = value;
+    }
+}
+
+// Parameterized sweep: the min() must switch from the linear bound to the
+// residual bound exactly when n*MD >= n*MDr + |PCB|.
+class MdHatCrossover
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                                 std::int64_t>> {};
+
+TEST_P(MdHatCrossover, PicksTheSmallerBound)
+{
+    const auto [md, mdr, pcb_count] = GetParam();
+    std::vector<std::size_t> pcb;
+    for (std::int64_t i = 0; i < pcb_count; ++i) {
+        pcb.push_back(static_cast<std::size_t>(i));
+    }
+    const tasks::Task task = demo_task(md, mdr, pcb);
+    for (std::int64_t n = 1; n <= 10; ++n) {
+        EXPECT_EQ(md_hat(task, n),
+                  std::min(n * md, n * mdr + pcb_count))
+            << "md=" << md << " mdr=" << mdr << " pcb=" << pcb_count
+            << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MdHatCrossover,
+    ::testing::Values(std::tuple{6, 1, 5}, std::tuple{6, 0, 6},
+                      std::tuple{10, 9, 2}, std::tuple{10, 0, 40},
+                      std::tuple{1, 0, 1}, std::tuple{3, 3, 0}));
+
+} // namespace
+} // namespace cpa::analysis

@@ -1,0 +1,249 @@
+// Differential tests: the optimized implementations (incremental prefix
+// unions, running maxima, shared tables) must agree with naive, literal
+// transcriptions of the paper's equations on random task sets.
+#include "analysis/bus_bounds.hpp"
+#include "analysis/demand.hpp"
+#include "analysis/interference.hpp"
+#include "benchdata/generator.hpp"
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using util::SetMask;
+
+// Literal Eq. (2): γ_{i,j} = max_{g ∈ Γ_core(j) ∩ aff(i,j)}
+//                  |UCB_g ∩ ∪_{h ∈ Γ_core(j) ∩ hep(j)} ECB_h|.
+std::int64_t naive_gamma(const tasks::TaskSet& ts, std::size_t i,
+                         std::size_t j)
+{
+    const std::size_t core = ts[j].core;
+    SetMask evicting(ts.cache_sets());
+    for (std::size_t h = 0; h <= j; ++h) {
+        if (ts[h].core == core) {
+            evicting |= ts[h].ecb;
+        }
+    }
+    std::int64_t best = 0;
+    bool any = false;
+    for (std::size_t g = j + 1; g <= i && g < ts.size(); ++g) {
+        if (ts[g].core != core) {
+            continue;
+        }
+        any = true;
+        best = std::max(best, static_cast<std::int64_t>(
+                                  ts[g].ucb.intersection_count(evicting)));
+    }
+    return any ? best : 0;
+}
+
+// Literal Eq. (14) overlap: |PCB_j ∩ ∪_{s ∈ Γ_core(j) ∩ hep(i) \ {j}} ECB_s|.
+std::int64_t naive_cpro_overlap(const tasks::TaskSet& ts, std::size_t j,
+                                std::size_t i)
+{
+    const std::size_t core = ts[j].core;
+    SetMask evictors(ts.cache_sets());
+    for (std::size_t s = 0; s <= i && s < ts.size(); ++s) {
+        if (s != j && ts[s].core == core) {
+            evictors |= ts[s].ecb;
+        }
+    }
+    return static_cast<std::int64_t>(
+        ts[j].pcb.intersection_count(evictors));
+}
+
+// Literal Lemma 1 (Eq. (16)).
+std::int64_t naive_bas_hat(const tasks::TaskSet& ts, std::size_t i,
+                           util::Cycles t)
+{
+    std::int64_t total = ts[i].md;
+    for (std::size_t j = 0; j < i; ++j) {
+        if (ts[j].core != ts[i].core) {
+            continue;
+        }
+        const std::int64_t jobs =
+            util::ceil_div(t + ts[j].jitter, ts[j].period);
+        const std::int64_t rho =
+            jobs <= 1 ? 0 : (jobs - 1) * naive_cpro_overlap(ts, j, i);
+        total += std::min(jobs * ts[j].md, md_hat(ts[j], jobs) + rho) +
+                 jobs * naive_gamma(ts, i, j);
+    }
+    return total;
+}
+
+tasks::TaskSet random_set(std::uint64_t seed, double utilization)
+{
+    util::Rng rng(seed);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 3;
+    gen.tasks_per_core = 4;
+    gen.cache_sets = 128;
+    gen.per_core_utilization = utilization;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 128);
+    return benchdata::generate_task_set(rng, gen, pool);
+}
+
+TEST(Differential, GammaTableMatchesNaiveEq2)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const tasks::TaskSet ts = random_set(seed, 0.3);
+        const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            for (std::size_t j = 0; j < ts.size(); ++j) {
+                if (j >= i) {
+                    continue; // table is only defined for hp preempters
+                }
+                EXPECT_EQ(tables.gamma(i, j), naive_gamma(ts, i, j))
+                    << "seed=" << seed << " i=" << i << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(Differential, CproTableMatchesNaiveEq14)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const tasks::TaskSet ts = random_set(seed, 0.3);
+        const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+        for (std::size_t j = 0; j < ts.size(); ++j) {
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+                EXPECT_EQ(tables.cpro_overlap(j, i),
+                          naive_cpro_overlap(ts, j, i))
+                    << "seed=" << seed << " j=" << j << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(Differential, BasHatMatchesNaiveLemma1)
+{
+    PlatformConfig platform;
+    platform.num_cores = 3;
+    platform.cache_sets = 128;
+    platform.d_mem = 10;
+    AnalysisConfig config;
+    config.persistence_aware = true;
+
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const tasks::TaskSet ts = random_set(seed, 0.3);
+        const InterferenceTables tables(ts, config.crpd);
+        const BusContentionAnalysis bounds(ts, platform, config, tables);
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            for (const util::Cycles t :
+                 {util::Cycles{0}, util::Cycles{1000}, util::Cycles{50000},
+                  ts[i].period}) {
+                EXPECT_EQ(bounds.bas(i, t), naive_bas_hat(ts, i, t))
+                    << "seed=" << seed << " i=" << i << " t=" << t;
+            }
+        }
+    }
+}
+
+// Literal Lemma 2: Σ over Γ_core ∩ hep(k) of Ŵ + W_cout with Eq. (5)-(6).
+std::int64_t naive_bao_hat(const tasks::TaskSet& ts,
+                           const analysis::PlatformConfig& platform,
+                           std::size_t core, std::size_t k, util::Cycles t,
+                           const std::vector<util::Cycles>& response)
+{
+    std::int64_t total = 0;
+    for (std::size_t l = 0; l <= k && l < ts.size(); ++l) {
+        if (ts[l].core != core) {
+            continue;
+        }
+        const std::int64_t gamma = naive_gamma(ts, k, l);
+        const std::int64_t per_job = ts[l].md + gamma;
+        // Eq. (6) with the jitter widening.
+        std::int64_t n_full =
+            util::floor_div(t + response[l] + ts[l].jitter -
+                                per_job * platform.d_mem,
+                            ts[l].period);
+        n_full = std::max<std::int64_t>(n_full, 0);
+        // Eq. (18).
+        const std::int64_t rho =
+            n_full <= 1 ? 0 : (n_full - 1) * naive_cpro_overlap(ts, l, k);
+        const std::int64_t w_full =
+            std::min(n_full * ts[l].md, md_hat(ts[l], n_full) + rho) +
+            n_full * gamma;
+        // Eq. (5).
+        const util::Cycles leftover = t + response[l] + ts[l].jitter -
+                                      per_job * platform.d_mem -
+                                      n_full * ts[l].period;
+        const std::int64_t w_cout =
+            std::clamp(util::ceil_div_signed(leftover, platform.d_mem),
+                       std::int64_t{0}, per_job);
+        total += w_full + w_cout;
+    }
+    return total;
+}
+
+TEST(Differential, BaoHatMatchesNaiveLemma2)
+{
+    PlatformConfig platform;
+    platform.num_cores = 3;
+    platform.cache_sets = 128;
+    platform.d_mem = 10;
+    AnalysisConfig config;
+    config.persistence_aware = true;
+
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const tasks::TaskSet ts = random_set(seed, 0.3);
+        const InterferenceTables tables(ts, config.crpd);
+        const BusContentionAnalysis bounds(ts, platform, config, tables);
+        // Frozen response estimates: the isolated demands.
+        std::vector<util::Cycles> response;
+        for (const tasks::Task& task : ts.tasks()) {
+            response.push_back(task.isolated_demand(platform.d_mem));
+        }
+        for (std::size_t k = 0; k < ts.size(); ++k) {
+            for (std::size_t core = 0; core < ts.num_cores(); ++core) {
+                if (core == ts[k].core) {
+                    continue;
+                }
+                for (const util::Cycles t :
+                     {util::Cycles{0}, util::Cycles{5000}, ts[k].period}) {
+                    EXPECT_EQ(bounds.bao(core, k, t, response),
+                              naive_bao_hat(ts, platform, core, k, t,
+                                            response))
+                        << "seed=" << seed << " k=" << k << " core=" << core
+                        << " t=" << t;
+                }
+            }
+        }
+    }
+}
+
+TEST(Differential, BaselineBasMatchesNaiveEq1)
+{
+    PlatformConfig platform;
+    platform.num_cores = 3;
+    platform.cache_sets = 128;
+    platform.d_mem = 10;
+    AnalysisConfig config;
+    config.persistence_aware = false;
+
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const tasks::TaskSet ts = random_set(seed, 0.3);
+        const InterferenceTables tables(ts, config.crpd);
+        const BusContentionAnalysis bounds(ts, platform, config, tables);
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            // Eq. (1): MD_i + Σ E_j (MD_j + γ).
+            const util::Cycles t = ts[i].period / 2;
+            std::int64_t expected = ts[i].md;
+            for (std::size_t j = 0; j < i; ++j) {
+                if (ts[j].core != ts[i].core) {
+                    continue;
+                }
+                const std::int64_t jobs =
+                    util::ceil_div(t + ts[j].jitter, ts[j].period);
+                expected += jobs * (ts[j].md + naive_gamma(ts, i, j));
+            }
+            EXPECT_EQ(bounds.bas(i, t), expected) << "seed=" << seed;
+        }
+    }
+}
+
+} // namespace
+} // namespace cpa::analysis

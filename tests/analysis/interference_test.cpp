@@ -1,0 +1,150 @@
+#include "analysis/interference.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::fig1_task_set;
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+TEST(Interference, GammaZeroOnDiagonalAndForLowerPriorityPreempter)
+{
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_EQ(tables.gamma(i, i), 0) << i;
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+            EXPECT_EQ(tables.gamma(i, j), 0)
+                << "lower-priority task cannot preempt (" << i << "," << j
+                << ")";
+        }
+    }
+}
+
+TEST(Interference, GammaMatchesFig1Example)
+{
+    // γ_{2,1,x} = |UCB_2 ∩ (ECB_1)| = |{5,6} ∩ {5..10}| = 2 (Eq. (2) with
+    // hep(τ1) = {τ1}).
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    EXPECT_EQ(tables.gamma(1, 0), 2);
+}
+
+TEST(Interference, GammaIgnoresTasksOnOtherCores)
+{
+    // τ3 lives on core 1; there is no task on core 1 that τ3 could preempt,
+    // so γ_{i,3} = 0 for every i, and γ at level 2 w.r.t. core-0 preempters
+    // only sees core-0 tasks.
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_EQ(tables.gamma(i, 2), 0);
+    }
+}
+
+TEST(Interference, GammaTakesMaxOverAffectedTasks)
+{
+    // Three tasks on one core. aff(2, 0) = {1, 2}: the max of
+    // |UCB_1 ∩ ECB_0| = 3 and |UCB_2 ∩ ECB_0| = 1.
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 1, 0, 0, 10, 0, {0, 1, 2, 3}, {}, {}},
+            {0, 1, 0, 0, 20, 0, {1, 2, 3}, {1, 2, 3}, {}},
+            {0, 1, 0, 0, 40, 0, {3, 9}, {3, 9}, {}},
+        });
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    EXPECT_EQ(tables.gamma(1, 0), 3); // only τ1 affected
+    EXPECT_EQ(tables.gamma(2, 0), 3); // max(3, 1)
+    // γ_{2,1}: evicting union = ECB_0 ∪ ECB_1 = {0,1,2,3}; aff = {τ2} ->
+    // |{3,9} ∩ {0..3}| = 1.
+    EXPECT_EQ(tables.gamma(2, 1), 1);
+}
+
+TEST(Interference, UcbOnlyAndEcbOnlyBracketEcbUnion)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 1, 0, 0, 10, 0, {0, 1, 2, 3}, {0}, {}},
+            {0, 1, 0, 0, 20, 0, {2, 3, 4, 5}, {2, 3}, {}},
+            {0, 1, 0, 0, 40, 0, {4, 5, 6}, {4, 5, 6}, {}},
+        });
+    const InterferenceTables ecb_union(ts, CrpdMethod::kEcbUnion);
+    const InterferenceTables ucb_only(ts, CrpdMethod::kUcbOnly);
+    const InterferenceTables ecb_only(ts, CrpdMethod::kEcbOnly);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            EXPECT_LE(ecb_union.gamma(i, j), ucb_only.gamma(i, j));
+            EXPECT_LE(ecb_union.gamma(i, j), ecb_only.gamma(i, j));
+        }
+    }
+    EXPECT_EQ(ucb_only.gamma(2, 0), 3);  // max(|UCB_1|, |UCB_2|)
+    EXPECT_EQ(ecb_only.gamma(2, 0), 4);  // |ECB_0|
+    EXPECT_EQ(ecb_only.gamma(2, 1), 6);  // |ECB_0 ∪ ECB_1|
+}
+
+TEST(Interference, CproOverlapMatchesFig1Example)
+{
+    // |PCB_1 ∩ ECB_2| = |{5,6,7,8,10} ∩ {1..6}| = 2, so
+    // ρ̂_{1,2,x}(3) = (3-1)*2 = 4 as computed in the paper.
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    EXPECT_EQ(tables.cpro_overlap(0, 1), 2);
+    EXPECT_EQ(tables.rho_hat(0, 1, 3), 4);
+}
+
+TEST(Interference, RhoHatZeroForAtMostOneJob)
+{
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    EXPECT_EQ(tables.rho_hat(0, 1, 0), 0);
+    EXPECT_EQ(tables.rho_hat(0, 1, 1), 0);
+}
+
+TEST(Interference, CproExcludesTheTaskItself)
+{
+    // A task alone on its core suffers no CPRO regardless of the level.
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_EQ(tables.cpro_overlap(2, i), 0) << i;
+    }
+}
+
+TEST(Interference, CproGrowsWithAnalysisLevel)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 1, 0, 0, 10, 0, {0, 1, 2, 3}, {}, {0, 1, 2, 3}},
+            {0, 1, 0, 0, 20, 0, {2, 3}, {}, {}},
+            {0, 1, 0, 0, 40, 0, {0, 9}, {}, {}},
+        });
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+    // At level 0 only τ1 itself is in hep -> nothing evicts its PCBs.
+    EXPECT_EQ(tables.cpro_overlap(0, 0), 0);
+    // At level 1, τ2's ECBs {2,3} overlap.
+    EXPECT_EQ(tables.cpro_overlap(0, 1), 2);
+    // At level 2, τ3 adds {0}.
+    EXPECT_EQ(tables.cpro_overlap(0, 2), 3);
+}
+
+TEST(Interference, CproIndependentOfCrpdMethod)
+{
+    const tasks::TaskSet ts = fig1_task_set();
+    const InterferenceTables a(ts, CrpdMethod::kEcbUnion);
+    const InterferenceTables b(ts, CrpdMethod::kEcbOnly);
+    for (std::size_t j = 0; j < ts.size(); ++j) {
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            EXPECT_EQ(a.cpro_overlap(j, i), b.cpro_overlap(j, i));
+        }
+    }
+}
+
+} // namespace
+} // namespace cpa::analysis

@@ -1,0 +1,194 @@
+// Release-jitter extension: every job-count window widens by J and the
+// response budget shrinks to D - J. With J = 0 everything must reduce to
+// the paper's equations (the rest of the suite covers that case).
+#include "analysis/bus_bounds.hpp"
+#include "analysis/wcrt.hpp"
+#include "benchdata/generator.hpp"
+#include "sim/simulator.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+PlatformConfig one_core_platform()
+{
+    PlatformConfig platform;
+    platform.num_cores = 1;
+    platform.cache_sets = 16;
+    platform.d_mem = 2;
+    platform.slot_size = 1;
+    return platform;
+}
+
+TEST(Jitter, ValidateRejectsJitterBeyondSlack)
+{
+    tasks::TaskSet ts(1, 16);
+    tasks::Task task;
+    task.core = 0;
+    task.pd = 1;
+    task.period = 100;
+    task.deadline = 90;
+    task.jitter = 11; // J + D > T
+    task.ecb = util::SetMask(16);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    ts.add_task(task);
+    EXPECT_THROW(ts.validate(), std::invalid_argument);
+    ts[0].jitter = 10; // exactly J + D = T is fine
+    EXPECT_NO_THROW(ts.validate());
+}
+
+TEST(Jitter, WidensPreemptionWindow)
+{
+    // τ1: T=20, J=5. At t=36: without jitter E=2, with jitter
+    // ceil(41/20)=3 -> one more preempting job in BAS.
+    tasks::TaskSet with_jitter = make_task_set(
+        1, 16,
+        {
+            {0, 4, 2, 2, 20, 10, {}, {}, {}},
+            {0, 5, 1, 1, 100, 0, {}, {}, {}},
+        });
+    with_jitter[0].jitter = 5;
+    with_jitter.validate();
+    const tasks::TaskSet without = make_task_set(
+        1, 16,
+        {
+            {0, 4, 2, 2, 20, 10, {}, {}, {}},
+            {0, 5, 1, 1, 100, 0, {}, {}, {}},
+        });
+
+    AnalysisConfig config;
+    const InterferenceTables tables_j(with_jitter, config.crpd);
+    const InterferenceTables tables_n(without, config.crpd);
+    const BusContentionAnalysis bounds_j(with_jitter, one_core_platform(),
+                                         config, tables_j);
+    const BusContentionAnalysis bounds_n(without, one_core_platform(),
+                                         config, tables_n);
+    EXPECT_EQ(bounds_n.bas(1, 36), 1 + 2 * 2);
+    EXPECT_EQ(bounds_j.bas(1, 36), 1 + 3 * 2);
+}
+
+TEST(Jitter, ShrinksResponseBudget)
+{
+    // Task with R = pd + (md+0)*d = 10 + 4 = 14, D = 15: schedulable
+    // without jitter, not with J = 2 (budget 13).
+    tasks::TaskSet ts =
+        make_task_set(1, 16, {{0, 10, 2, 2, 100, 15, {}, {}, {}}});
+    AnalysisConfig config;
+    EXPECT_TRUE(
+        compute_wcrt(ts, one_core_platform(), config).schedulable);
+    ts[0].jitter = 2;
+    ts.validate();
+    const WcrtResult result = compute_wcrt(ts, one_core_platform(), config);
+    EXPECT_FALSE(result.schedulable);
+    EXPECT_EQ(result.failed_task, 0u);
+}
+
+TEST(Jitter, ZeroJitterLeavesFig1Untouched)
+{
+    // Regression guard: the golden Fig. 1 numbers with explicit J = 0.
+    tasks::TaskSet ts = cpa::testing::fig1_task_set(10, 60, 6);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        ts[i].jitter = 0;
+    }
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 16;
+    platform.d_mem = 1;
+    platform.slot_size = 1;
+    AnalysisConfig config;
+    config.policy = BusPolicy::kRoundRobin;
+    config.persistence_aware = false;
+    const InterferenceTables tables(ts, config.crpd);
+    const BusContentionAnalysis bounds(ts, platform, config, tables);
+    EXPECT_EQ(bounds.bas(1, 25), 32);
+}
+
+TEST(Jitter, GeneratorAppliesFraction)
+{
+    util::Rng rng(13);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.2;
+    gen.deadline_ratio = 0.8;
+    gen.jitter_fraction = 0.1;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+    const tasks::TaskSet ts = benchdata::generate_task_set(rng, gen, pool);
+    for (const tasks::Task& task : ts.tasks()) {
+        EXPECT_GT(task.jitter, 0) << task.name;
+        EXPECT_LE(task.jitter + task.deadline, task.period) << task.name;
+    }
+    gen.jitter_fraction = 1.0;
+    util::Rng rng2(13);
+    EXPECT_THROW((void)benchdata::generate_task_set(rng2, gen, pool),
+                 std::invalid_argument);
+}
+
+TEST(Jitter, SoundnessAgainstJitteredSimulation)
+{
+    // The simulator draws per-job release jitter; the jitter-aware WCRT
+    // must still bound the ARRIVAL-relative response J + R.
+    util::Rng rng(991);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.2;
+    gen.deadline_ratio = 0.8;
+    gen.jitter_fraction = 0.1;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+
+    int checked = 0;
+    for (int repeat = 0; repeat < 10; ++repeat) {
+        util::Rng child = rng.fork();
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(child, gen, pool);
+        AnalysisConfig config;
+        config.policy = BusPolicy::kFixedPriority;
+        const WcrtResult wcrt = compute_wcrt(ts, platform, config);
+        if (!wcrt.schedulable) {
+            continue;
+        }
+        ++checked;
+
+        Cycles max_period = 0;
+        for (const tasks::Task& task : ts.tasks()) {
+            max_period = std::max(max_period, task.period);
+        }
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            sim::SimConfig sim_config;
+            sim_config.policy = BusPolicy::kFixedPriority;
+            sim_config.horizon = 4 * max_period;
+            sim_config.jitter_seed = seed;
+            const sim::SimResult observed =
+                sim::simulate(ts, platform, sim_config);
+            EXPECT_FALSE(observed.deadline_missed) << "seed " << seed;
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+                // Arrival-relative observation vs J + R bound.
+                EXPECT_LE(observed.max_response[i],
+                          ts[i].jitter + wcrt.response[i])
+                    << "task " << i << " seed " << seed;
+            }
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+} // namespace
+} // namespace cpa::analysis

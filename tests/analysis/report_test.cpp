@@ -1,0 +1,143 @@
+#include "analysis/report.hpp"
+
+#include "benchdata/generator.hpp"
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+PlatformConfig demo_platform()
+{
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 16;
+    platform.d_mem = 2;
+    platform.slot_size = 1;
+    return platform;
+}
+
+TEST(Report, ComponentsSumToResponseAtFixedPoint)
+{
+    const tasks::TaskSet ts = make_task_set(
+        2, 16,
+        {
+            {0, 4, 2, 2, 50, 0, {1, 2}, {1}, {}},
+            {1, 6, 3, 3, 60, 0, {3, 4}, {3}, {}},
+            {0, 10, 2, 2, 200, 0, {5, 6}, {5}, {}},
+        });
+    AnalysisConfig config;
+    config.policy = BusPolicy::kFixedPriority;
+    const auto breakdowns = explain_responses(ts, demo_platform(), config);
+    ASSERT_EQ(breakdowns.size(), 3u);
+    for (const ResponseBreakdown& b : breakdowns) {
+        ASSERT_TRUE(b.analyzed);
+        EXPECT_TRUE(b.meets_deadline);
+        EXPECT_EQ(b.total(), b.response);
+        EXPECT_GE(b.bat_accesses, b.bas_accesses);
+    }
+}
+
+TEST(Report, SingleTaskIsAllSelfDemand)
+{
+    const tasks::TaskSet ts =
+        make_task_set(2, 16, {{0, 10, 3, 3, 100, 0, {}, {}, {}}});
+    AnalysisConfig config;
+    const auto breakdowns = explain_responses(ts, demo_platform(), config);
+    const ResponseBreakdown& b = breakdowns.at(0);
+    EXPECT_EQ(b.cpu_self, 10);
+    EXPECT_EQ(b.cpu_preemption, 0);
+    EXPECT_EQ(b.bus_same_core, 3 * 2);
+    EXPECT_EQ(b.bus_cross_core, 0);
+    EXPECT_EQ(b.response, 16);
+}
+
+TEST(Report, PreemptionAttributedToCpuComponent)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 4, 2, 2, 20, 0, {}, {}, {}},
+            {0, 5, 1, 1, 50, 0, {}, {}, {}},
+        });
+    AnalysisConfig config;
+    const auto breakdowns = explain_responses(ts, demo_platform(), config);
+    // From wcrt_test: R_2 = 15 = 5 (self) + 4 (preemption) + 6 (bus).
+    const ResponseBreakdown& b = breakdowns.at(1);
+    EXPECT_EQ(b.cpu_self, 5);
+    EXPECT_EQ(b.cpu_preemption, 4);
+    EXPECT_EQ(b.bus_same_core, 6);
+    EXPECT_EQ(b.response, 15);
+}
+
+TEST(Report, CrossCoreComponentReflectsContention)
+{
+    const tasks::TaskSet ts = make_task_set(
+        2, 16,
+        {
+            {0, 10, 4, 4, 200, 0, {}, {}, {}},
+            {1, 10, 8, 8, 100, 0, {}, {}, {}},
+        });
+    AnalysisConfig config;
+    config.policy = BusPolicy::kFixedPriority;
+    const auto breakdowns = explain_responses(ts, demo_platform(), config);
+    // τ2 shares the bus with τ1's higher-priority accesses.
+    EXPECT_GT(breakdowns.at(1).bus_cross_core, 0);
+    EXPECT_EQ(breakdowns.at(1).total(), breakdowns.at(1).response);
+}
+
+TEST(Report, UnschedulableSetExplainsUpToFailingTask)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 50, 5, 5, 100, 65, {}, {}, {}},
+            {0, 50, 5, 5, 100, 70, {}, {}, {}},
+            {0, 10, 1, 1, 100, 100, {}, {}, {}},
+        });
+    AnalysisConfig config;
+    const auto breakdowns = explain_responses(ts, demo_platform(), config);
+    EXPECT_TRUE(breakdowns.at(0).analyzed);
+    EXPECT_TRUE(breakdowns.at(0).meets_deadline);
+    EXPECT_TRUE(breakdowns.at(1).analyzed);
+    EXPECT_FALSE(breakdowns.at(1).meets_deadline);
+    EXPECT_FALSE(breakdowns.at(2).analyzed);
+}
+
+TEST(Report, MatchesComputeWcrtResponses)
+{
+    util::Rng rng(55);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.25;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+    const tasks::TaskSet ts = benchdata::generate_task_set(rng, gen, pool);
+
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+    AnalysisConfig config;
+    config.policy = BusPolicy::kRoundRobin;
+
+    const WcrtResult wcrt = compute_wcrt(ts, platform, config);
+    const auto breakdowns = explain_responses(ts, platform, config);
+    if (wcrt.schedulable) {
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            ASSERT_TRUE(breakdowns[i].analyzed);
+            EXPECT_EQ(breakdowns[i].response, wcrt.response[i]) << i;
+            EXPECT_EQ(breakdowns[i].total(), wcrt.response[i]) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace cpa::analysis

@@ -1,0 +1,145 @@
+#include "analysis/schedulability.hpp"
+
+#include "benchdata/generator.hpp"
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+PlatformConfig default_platform(std::size_t cores = 2,
+                                std::size_t cache_sets = 64)
+{
+    PlatformConfig platform;
+    platform.num_cores = cores;
+    platform.cache_sets = cache_sets;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+    return platform;
+}
+
+TEST(Schedulability, EmptyTaskSetIsSchedulable)
+{
+    const tasks::TaskSet ts(2, 64);
+    AnalysisConfig config;
+    EXPECT_TRUE(is_schedulable(ts, default_platform(), config));
+}
+
+TEST(Schedulability, PerfectBusRejectsOverloadedBus)
+{
+    // One task whose memory demand alone saturates the bus:
+    // MD*d_mem/T = 80*10/500 = 1.6 > 1.
+    const tasks::TaskSet ts =
+        make_task_set(2, 64, {{0, 10, 80, 80, 500, 0, {}, {}, {}}});
+    AnalysisConfig config;
+    config.policy = BusPolicy::kPerfect;
+    EXPECT_FALSE(is_schedulable(ts, default_platform(), config));
+}
+
+TEST(Schedulability, PerfectBusAcceptsLightLoad)
+{
+    const tasks::TaskSet ts =
+        make_task_set(2, 64, {{0, 10, 2, 2, 10000, 0, {}, {}, {}}});
+    AnalysisConfig config;
+    config.policy = BusPolicy::kPerfect;
+    EXPECT_TRUE(is_schedulable(ts, default_platform(), config));
+}
+
+TEST(Schedulability, TrivialSingleTaskSchedulableUnderEveryPolicy)
+{
+    const tasks::TaskSet ts =
+        make_task_set(2, 64, {{0, 10, 2, 2, 10000, 0, {1, 2}, {1}, {1}}});
+    for (const BusPolicy policy :
+         {BusPolicy::kFixedPriority, BusPolicy::kRoundRobin, BusPolicy::kTdma,
+          BusPolicy::kPerfect}) {
+        AnalysisConfig config;
+        config.policy = policy;
+        EXPECT_TRUE(is_schedulable(ts, default_platform(), config))
+            << to_string(policy);
+    }
+}
+
+// Dominance properties on randomly generated task sets. These mirror the
+// claims behind Fig. 2: persistence-aware tests dominate their counterparts,
+// and the perfect bus dominates everything (within a policy, tighter BAT ->
+// tighter WCRT -> more schedulable sets).
+class SchedulabilityDominance : public ::testing::TestWithParam<BusPolicy> {};
+
+TEST_P(SchedulabilityDominance, PersistenceAwareDominatesBaseline)
+{
+    util::Rng rng(4242);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 4;
+    gen.tasks_per_core = 4;
+    gen.cache_sets = 128;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 128);
+    const PlatformConfig platform = default_platform(4, 128);
+
+    for (const double u : {0.2, 0.4, 0.6}) {
+        gen.per_core_utilization = u;
+        for (int repeat = 0; repeat < 15; ++repeat) {
+            util::Rng child = rng.fork();
+            const tasks::TaskSet ts =
+                benchdata::generate_task_set(child, gen, pool);
+            const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+
+            AnalysisConfig baseline;
+            baseline.policy = GetParam();
+            baseline.persistence_aware = false;
+            AnalysisConfig persist = baseline;
+            persist.persistence_aware = true;
+
+            if (is_schedulable(ts, platform, baseline, tables)) {
+                EXPECT_TRUE(is_schedulable(ts, platform, persist, tables))
+                    << to_string(GetParam()) << " u=" << u;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulabilityDominance,
+                         ::testing::Values(BusPolicy::kFixedPriority,
+                                           BusPolicy::kRoundRobin,
+                                           BusPolicy::kTdma));
+
+TEST(Schedulability, FpDominatesTdmaOnRandomSets)
+{
+    // The paper observes FP > RR > TDMA. TDMA's bound (Eq. (9)) is pointwise
+    // at least RR's (Eq. (8)) for equal slot size... not in general, but FP
+    // vs TDMA holds on these workloads; use it as a smoke property.
+    util::Rng rng(777);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+    const PlatformConfig platform = default_platform(2, 64);
+
+    int fp_count = 0;
+    int tdma_count = 0;
+    for (const double u : {0.2, 0.35, 0.5}) {
+        gen.per_core_utilization = u;
+        for (int repeat = 0; repeat < 10; ++repeat) {
+            util::Rng child = rng.fork();
+            const tasks::TaskSet ts =
+                benchdata::generate_task_set(child, gen, pool);
+            const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+            AnalysisConfig fp;
+            fp.policy = BusPolicy::kFixedPriority;
+            AnalysisConfig tdma;
+            tdma.policy = BusPolicy::kTdma;
+            fp_count += is_schedulable(ts, platform, fp, tables) ? 1 : 0;
+            tdma_count += is_schedulable(ts, platform, tdma, tables) ? 1 : 0;
+        }
+    }
+    EXPECT_GE(fp_count, tdma_count);
+}
+
+} // namespace
+} // namespace cpa::analysis

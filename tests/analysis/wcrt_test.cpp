@@ -1,0 +1,212 @@
+#include "analysis/wcrt.hpp"
+
+#include "benchdata/generator.hpp"
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+PlatformConfig small_platform(std::size_t cores, Cycles d_mem)
+{
+    PlatformConfig platform;
+    platform.num_cores = cores;
+    platform.cache_sets = 16;
+    platform.d_mem = d_mem;
+    platform.slot_size = 2;
+    return platform;
+}
+
+AnalysisConfig fp_config(bool persistence = true)
+{
+    AnalysisConfig config;
+    config.policy = BusPolicy::kFixedPriority;
+    config.persistence_aware = persistence;
+    return config;
+}
+
+TEST(Wcrt, RejectsTaskSetWiderThanPlatform)
+{
+    const tasks::TaskSet ts = make_task_set(
+        4, 16, {{3, 10, 3, 3, 100, 0, {}, {}, {}}});
+    EXPECT_THROW((void)compute_wcrt(ts, small_platform(2, 2), fp_config()),
+                 std::invalid_argument);
+}
+
+TEST(Wcrt, SingleTaskResponseIsIsolatedDemand)
+{
+    const tasks::TaskSet ts =
+        make_task_set(1, 16, {{0, 10, 3, 3, 100, 0, {}, {}, {}}});
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(1, 2), fp_config());
+    ASSERT_TRUE(result.schedulable);
+    EXPECT_EQ(result.response[0], 10 + 3 * 2);
+}
+
+TEST(Wcrt, TwoTasksSameCoreClassicPreemption)
+{
+    // τ1: PD=4, MD=2, T=20. τ2: PD=5, MD=1, T=50. d_mem=2, no cache overlap.
+    const tasks::TaskSet ts = make_task_set(1, 16,
+                                            {
+                                                {0, 4, 2, 2, 20, 0, {}, {}, {}},
+                                                {0, 5, 1, 1, 50, 0, {}, {}, {}},
+                                            });
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(1, 2), fp_config());
+    ASSERT_TRUE(result.schedulable);
+    // τ1 has a lower-priority task on its core, so Eq. (7) adds the +1
+    // blocking access: R_1 = 4 + (2 + 1)*2 = 10.
+    EXPECT_EQ(result.response[0], 10);
+    // R_2 = 5 + 1*4 (CPU) + (1 + 1*2) * 2 (bus, no blocking: lowest) = 15.
+    EXPECT_EQ(result.response[1], 15);
+}
+
+TEST(Wcrt, ReportsFirstFailingTask)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            // τ1: R = 50 + (5 + 1 blocking)*2 = 62 <= 65.
+            {0, 50, 5, 5, 100, 65, {}, {}, {}},
+            // τ2: R = 50 + 50 (preemption) + 10*2 = 120 > 70.
+            {0, 50, 5, 5, 100, 70, {}, {}, {}},
+        });
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(1, 2), fp_config());
+    EXPECT_FALSE(result.schedulable);
+    EXPECT_EQ(result.failed_task, 1u);
+    EXPECT_GT(result.response[1], ts[1].deadline);
+}
+
+TEST(Wcrt, CrossCoreContentionRaisesResponse)
+{
+    // Same task alone vs. with a memory-hungry task on the other core.
+    const tasks::TaskSet alone =
+        make_task_set(2, 16, {{0, 10, 4, 4, 200, 0, {}, {}, {}}});
+    const tasks::TaskSet contended =
+        make_task_set(2, 16,
+                      {
+                          {0, 10, 4, 4, 200, 0, {}, {}, {}},
+                          {1, 10, 8, 8, 100, 0, {}, {}, {}},
+                      });
+    const PlatformConfig platform = small_platform(2, 3);
+    const WcrtResult r_alone = compute_wcrt(alone, platform, fp_config());
+    const WcrtResult r_contended =
+        compute_wcrt(contended, platform, fp_config());
+    ASSERT_TRUE(r_alone.schedulable);
+    ASSERT_TRUE(r_contended.schedulable);
+    EXPECT_GT(r_contended.response[0], r_alone.response[0]);
+}
+
+TEST(Wcrt, OuterLoopConvergesOnMutualDependency)
+{
+    // Tasks on two cores whose BAO terms depend on each other's response
+    // times; the outer loop must reach a global fixed point.
+    const tasks::TaskSet ts = make_task_set(
+        2, 16,
+        {
+            {0, 20, 5, 5, 300, 0, {1, 2}, {1, 2}, {}},
+            {1, 20, 5, 5, 300, 0, {3, 4}, {3, 4}, {}},
+            {0, 30, 4, 4, 400, 0, {5, 6}, {5, 6}, {}},
+            {1, 30, 4, 4, 400, 0, {7, 8}, {7, 8}, {}},
+        });
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(2, 2), fp_config());
+    ASSERT_TRUE(result.schedulable);
+    EXPECT_GE(result.outer_iterations, 2u);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_GE(result.response[i],
+                  ts[i].isolated_demand(2)); // at least isolation
+        EXPECT_LE(result.response[i], ts[i].deadline);
+    }
+}
+
+class WcrtPolicyTest : public ::testing::TestWithParam<BusPolicy> {};
+
+TEST_P(WcrtPolicyTest, PersistenceAwareResponseNeverLarger)
+{
+    util::Rng rng(99);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.3;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+
+    for (int repeat = 0; repeat < 20; ++repeat) {
+        util::Rng child = rng.fork();
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(child, gen, pool);
+        AnalysisConfig with = fp_config(true);
+        with.policy = GetParam();
+        AnalysisConfig without = fp_config(false);
+        without.policy = GetParam();
+
+        const WcrtResult r_with = compute_wcrt(ts, platform, with);
+        const WcrtResult r_without = compute_wcrt(ts, platform, without);
+        if (r_without.schedulable) {
+            ASSERT_TRUE(r_with.schedulable) << "dominance violated";
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+                EXPECT_LE(r_with.response[i], r_without.response[i]) << i;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, WcrtPolicyTest,
+                         ::testing::Values(BusPolicy::kFixedPriority,
+                                           BusPolicy::kRoundRobin,
+                                           BusPolicy::kTdma));
+
+TEST(Wcrt, PerfectBusResponseLowerBoundsRealPolicies)
+{
+    util::Rng rng(7);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.25;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+
+    for (int repeat = 0; repeat < 10; ++repeat) {
+        util::Rng child = rng.fork();
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(child, gen, pool);
+        AnalysisConfig perfect = fp_config(true);
+        perfect.policy = BusPolicy::kPerfect;
+        const WcrtResult r_perfect = compute_wcrt(ts, platform, perfect);
+        for (const BusPolicy policy :
+             {BusPolicy::kFixedPriority, BusPolicy::kRoundRobin,
+              BusPolicy::kTdma}) {
+            AnalysisConfig config = fp_config(true);
+            config.policy = policy;
+            const WcrtResult r = compute_wcrt(ts, platform, config);
+            if (r.schedulable && r_perfect.schedulable) {
+                for (std::size_t i = 0; i < ts.size(); ++i) {
+                    EXPECT_LE(r_perfect.response[i], r.response[i]);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace cpa::analysis

@@ -1,0 +1,184 @@
+#include "benchdata/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cpa::benchdata {
+namespace {
+
+const BenchmarkSpec& find(const std::string& name)
+{
+    for (const BenchmarkSpec& spec : full_benchmark_table()) {
+        if (spec.name == name) {
+            return spec;
+        }
+    }
+    throw std::runtime_error("benchmark not found: " + name);
+}
+
+TEST(BenchmarkTable, HasSixPublishedRows)
+{
+    EXPECT_EQ(published_benchmarks().size(), 6u);
+    for (const BenchmarkSpec& spec : published_benchmarks()) {
+        EXPECT_TRUE(spec.published) << spec.name;
+    }
+}
+
+TEST(BenchmarkTable, FullTableExtendsPublished)
+{
+    EXPECT_GE(full_benchmark_table().size(), 18u);
+}
+
+// Table I check: the region layouts must reproduce the printed |ECB| and
+// |PCB| at the 256-set reference geometry.
+struct TableRow {
+    std::string name;
+    std::size_t ecb;
+    std::size_t pcb;
+    std::size_t ucb;
+};
+
+class TableIRow : public ::testing::TestWithParam<TableRow> {};
+
+TEST_P(TableIRow, FootprintCountsMatchPaperAtReferenceCache)
+{
+    const TableRow row = GetParam();
+    const BenchmarkParams params =
+        derive_params(find(row.name), kReferenceCacheSets);
+    EXPECT_EQ(params.ecb_count, row.ecb) << row.name;
+    EXPECT_EQ(params.pcb_count, row.pcb) << row.name;
+    EXPECT_EQ(params.ucb_count, row.ucb) << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedRows, TableIRow,
+    ::testing::Values(TableRow{"lcdnum", 20, 20, 20},
+                      TableRow{"bsort100", 20, 20, 18},
+                      TableRow{"ludcmp", 98, 98, 98},
+                      TableRow{"fdct", 106, 22, 58},
+                      TableRow{"nsichneu", 256, 0, 256},
+                      TableRow{"statemate", 256, 36, 256}));
+
+TEST(BenchmarkTable, ReferenceDemandsMatchTableI)
+{
+    // At the reference geometry MD/MDʳ convert at 10 cycles/access
+    // (util::kExtractionLatencyCycles).
+    const BenchmarkParams lcdnum =
+        derive_params(find("lcdnum"), kReferenceCacheSets);
+    EXPECT_EQ(lcdnum.pd, 984);
+    EXPECT_EQ(lcdnum.md, 144); // ceil(1440/10)
+    EXPECT_EQ(lcdnum.md_residual, 20);
+
+    const BenchmarkParams nsichneu =
+        derive_params(find("nsichneu"), kReferenceCacheSets);
+    EXPECT_EQ(nsichneu.md, 14720);
+    EXPECT_EQ(nsichneu.md_residual, 14720); // no persistence at 256 sets
+
+    // Access counts must cover at least one cold miss per block; this is
+    // what pins the 10-cycle extraction latency (DESIGN.md §3.3).
+    for (const BenchmarkSpec& spec : published_benchmarks()) {
+        std::size_t blocks = 0;
+        for (const Region& region : spec.regions) {
+            blocks += region.length;
+        }
+        const BenchmarkParams params =
+            derive_params(spec, kReferenceCacheSets);
+        EXPECT_GE(params.md, static_cast<std::int64_t>(blocks)) << spec.name;
+    }
+}
+
+TEST(BenchmarkTable, ResidualNeverExceedsDemand)
+{
+    for (const BenchmarkSpec& spec : full_benchmark_table()) {
+        for (const std::size_t sets : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+            const BenchmarkParams params = derive_params(spec, sets);
+            EXPECT_LE(params.md_residual, params.md)
+                << spec.name << " @" << sets;
+            EXPECT_GE(params.md, 1) << spec.name << " @" << sets;
+            EXPECT_LE(params.pcb_count, params.ecb_count)
+                << spec.name << " @" << sets;
+            EXPECT_LE(params.ucb_count, params.ecb_count)
+                << spec.name << " @" << sets;
+            EXPECT_LE(params.ecb_count, sets) << spec.name << " @" << sets;
+        }
+    }
+}
+
+TEST(BenchmarkTable, PersistentShareGrowsWithCacheSize)
+{
+    // The driver of Fig. 3c: larger caches -> more PCBs (weakly).
+    for (const BenchmarkSpec& spec : full_benchmark_table()) {
+        double previous_share = -1.0;
+        for (const std::size_t sets : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+            const BenchmarkParams params = derive_params(spec, sets);
+            const double share =
+                params.ecb_count == 0
+                    ? 0.0
+                    : static_cast<double>(params.pcb_count) /
+                          static_cast<double>(params.ecb_count);
+            EXPECT_GE(share + 1e-12, previous_share)
+                << spec.name << " @" << sets;
+            previous_share = share;
+        }
+    }
+}
+
+TEST(BenchmarkTable, DemandShrinksWithCacheSize)
+{
+    for (const BenchmarkSpec& spec : full_benchmark_table()) {
+        std::int64_t previous_md = std::numeric_limits<std::int64_t>::max();
+        for (const std::size_t sets : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+            const BenchmarkParams params = derive_params(spec, sets);
+            EXPECT_LE(params.md, previous_md) << spec.name << " @" << sets;
+            previous_md = params.md;
+        }
+    }
+}
+
+TEST(BenchmarkTable, DeriveRejectsZeroSets)
+{
+    EXPECT_THROW((void)derive_params(find("lcdnum"), 0),
+                 std::invalid_argument);
+}
+
+TEST(PlaceFootprint, MasksMatchCountsAndSubsetInvariants)
+{
+    const BenchmarkParams params = derive_params(find("fdct"), 256);
+    for (const std::size_t offset : {0u, 1u, 100u, 255u}) {
+        const FootprintMasks masks = place_footprint(params, 256, offset);
+        EXPECT_EQ(masks.ecb.count(), params.ecb_count);
+        EXPECT_EQ(masks.pcb.count(), params.pcb_count);
+        EXPECT_EQ(masks.ucb.count(), params.ucb_count);
+        EXPECT_TRUE(masks.pcb.is_subset_of(masks.ecb));
+        EXPECT_TRUE(masks.ucb.is_subset_of(masks.ecb));
+    }
+}
+
+TEST(PlaceFootprint, RotationShiftsSets)
+{
+    const BenchmarkParams params = derive_params(find("lcdnum"), 256);
+    const FootprintMasks base = place_footprint(params, 256, 0);
+    const FootprintMasks shifted = place_footprint(params, 256, 10);
+    for (const std::size_t set : base.ecb.to_indices()) {
+        EXPECT_TRUE(shifted.ecb.contains((set + 10) % 256));
+    }
+}
+
+TEST(PlaceFootprint, RejectsGeometryMismatch)
+{
+    const BenchmarkParams params = derive_params(find("lcdnum"), 256);
+    EXPECT_THROW((void)place_footprint(params, 128, 0),
+                 std::invalid_argument);
+}
+
+TEST(BenchmarkTable, NamesAreUnique)
+{
+    std::map<std::string, int> seen;
+    for (const BenchmarkSpec& spec : full_benchmark_table()) {
+        EXPECT_EQ(seen[spec.name]++, 0) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace cpa::benchdata

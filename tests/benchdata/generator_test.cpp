@@ -1,0 +1,207 @@
+#include "benchdata/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpa::benchdata {
+namespace {
+
+GenerationConfig default_config(double u = 0.5)
+{
+    GenerationConfig config;
+    config.num_cores = 4;
+    config.tasks_per_core = 8;
+    config.cache_sets = 256;
+    config.per_core_utilization = u;
+    return config;
+}
+
+TEST(Generator, ProducesRequestedShape)
+{
+    util::Rng rng(1);
+    const GenerationConfig config = default_config();
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts = generate_task_set(rng, config, pool);
+    EXPECT_EQ(ts.size(), 32u);
+    EXPECT_EQ(ts.num_cores(), 4u);
+    for (std::size_t core = 0; core < 4; ++core) {
+        EXPECT_EQ(ts.tasks_on_core(core).size(), 8u);
+    }
+}
+
+TEST(Generator, PeriodsFollowGenerationRecipe)
+{
+    // T = D = (PD + MD)/U with MD in the table's cycle units.
+    util::Rng rng(2);
+    const GenerationConfig config = default_config(0.4);
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts = generate_task_set(rng, config, pool);
+    for (const tasks::Task& task : ts.tasks()) {
+        EXPECT_EQ(task.deadline, task.period);
+        if (task.utilization > 1e-6) {
+            const double cost = static_cast<double>(
+                task.pd + task.md * util::kExtractionLatencyCycles);
+            const double expected = cost / task.utilization;
+            EXPECT_NEAR(static_cast<double>(task.period), expected,
+                        expected * 1e-6 + 1.0)
+                << task.name;
+        }
+    }
+}
+
+TEST(Generator, PerCoreGenerationUtilizationMatchesTarget)
+{
+    util::Rng rng(3);
+    const GenerationConfig config = default_config(0.6);
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts = generate_task_set(rng, config, pool);
+    for (std::size_t core = 0; core < config.num_cores; ++core) {
+        double total = 0.0;
+        for (const std::size_t i : ts.tasks_on_core(core)) {
+            total += ts[i].utilization;
+        }
+        EXPECT_NEAR(total, 0.6, 1e-6);
+    }
+}
+
+TEST(Generator, PrioritiesAreDeadlineMonotonic)
+{
+    util::Rng rng(4);
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts = generate_task_set(rng, default_config(), pool);
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        EXPECT_LE(ts[i - 1].deadline, ts[i].deadline);
+    }
+}
+
+TEST(Generator, RateMonotonicOptionSortsByPeriod)
+{
+    util::Rng rng(5);
+    GenerationConfig config = default_config();
+    config.priority = PriorityAssignment::kRateMonotonic;
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts = generate_task_set(rng, config, pool);
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        EXPECT_LE(ts[i - 1].period, ts[i].period);
+    }
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    util::Rng a(99);
+    util::Rng b(99);
+    const tasks::TaskSet ts_a = generate_task_set(a, default_config(), pool);
+    const tasks::TaskSet ts_b = generate_task_set(b, default_config(), pool);
+    ASSERT_EQ(ts_a.size(), ts_b.size());
+    for (std::size_t i = 0; i < ts_a.size(); ++i) {
+        EXPECT_EQ(ts_a[i].name, ts_b[i].name);
+        EXPECT_EQ(ts_a[i].period, ts_b[i].period);
+        EXPECT_EQ(ts_a[i].core, ts_b[i].core);
+        EXPECT_TRUE(ts_a[i].ecb == ts_b[i].ecb);
+    }
+}
+
+TEST(Generator, WorksAtEveryExperimentCacheSize)
+{
+    for (const std::size_t sets : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+        util::Rng rng(6);
+        GenerationConfig config = default_config();
+        config.cache_sets = sets;
+        const auto pool = derive_all(full_benchmark_table(), sets);
+        const tasks::TaskSet ts = generate_task_set(rng, config, pool);
+        EXPECT_EQ(ts.cache_sets(), sets);
+        ts.validate();
+    }
+}
+
+TEST(Generator, RejectsMismatchedPool)
+{
+    util::Rng rng(7);
+    const auto pool = derive_all(full_benchmark_table(), 128);
+    EXPECT_THROW((void)generate_task_set(rng, default_config(), pool),
+                 std::invalid_argument);
+}
+
+TEST(Generator, RejectsEmptyPool)
+{
+    util::Rng rng(8);
+    EXPECT_THROW((void)generate_task_set(rng, default_config(), {}),
+                 std::invalid_argument);
+}
+
+TEST(GeneratorPartitioned, ProducesValidAssignment)
+{
+    util::Rng rng(21);
+    const GenerationConfig config = default_config(0.5);
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    for (const auto heuristic :
+         {tasks::PartitionHeuristic::kFirstFit,
+          tasks::PartitionHeuristic::kWorstFit,
+          tasks::PartitionHeuristic::kCacheAware}) {
+        const tasks::TaskSet ts =
+            generate_task_set_partitioned(rng, config, pool, heuristic);
+        EXPECT_EQ(ts.size(), 32u);
+        ts.validate();
+        // The balancing heuristics spread tasks over every core; first-fit
+        // deliberately packs and may leave cores empty.
+        if (heuristic != tasks::PartitionHeuristic::kFirstFit) {
+            for (std::size_t core = 0; core < 4; ++core) {
+                EXPECT_FALSE(ts.tasks_on_core(core).empty())
+                    << tasks::to_string(heuristic);
+            }
+        }
+    }
+}
+
+TEST(GeneratorPartitioned, TotalUtilizationMatchesGlobalTarget)
+{
+    util::Rng rng(22);
+    const GenerationConfig config = default_config(0.4);
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts = generate_task_set_partitioned(
+        rng, config, pool, tasks::PartitionHeuristic::kWorstFit);
+    double total = 0.0;
+    for (const tasks::Task& task : ts.tasks()) {
+        total += task.utilization;
+    }
+    EXPECT_NEAR(total, 0.4 * 4, 1e-6);
+}
+
+TEST(GeneratorPartitioned, CacheAwareReducesSameCoreOverlap)
+{
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const GenerationConfig config = default_config(0.4);
+    std::size_t aware_wins = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        util::Rng rng_a(seed);
+        util::Rng rng_b(seed);
+        const tasks::TaskSet aware = generate_task_set_partitioned(
+            rng_a, config, pool, tasks::PartitionHeuristic::kCacheAware);
+        const tasks::TaskSet worst = generate_task_set_partitioned(
+            rng_b, config, pool, tasks::PartitionHeuristic::kWorstFit);
+        if (tasks::same_core_overlap(aware.tasks(), 4) <=
+            tasks::same_core_overlap(worst.tasks(), 4)) {
+            ++aware_wins;
+        }
+    }
+    EXPECT_GE(aware_wins, 8u); // dominant, allowing slack-rule ties
+}
+
+TEST(Generator, UtilizationOneKeepsPerTaskUtilizationAtMostOne)
+{
+    util::Rng rng(9);
+    const auto pool = derive_all(full_benchmark_table(), 256);
+    const tasks::TaskSet ts =
+        generate_task_set(rng, default_config(1.0), pool);
+    for (const tasks::Task& task : ts.tasks()) {
+        const double cost = static_cast<double>(
+            task.pd + task.md * util::kExtractionLatencyCycles);
+        EXPECT_LE(cost, static_cast<double>(task.period) * (1.0 + 1e-9))
+            << task.name;
+    }
+}
+
+} // namespace
+} // namespace cpa::benchdata

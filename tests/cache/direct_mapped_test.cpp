@@ -1,0 +1,88 @@
+#include "cache/direct_mapped.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::cache {
+namespace {
+
+TEST(Geometry, SetMappingIsModulo)
+{
+    const CacheGeometry geometry{8, 32};
+    EXPECT_EQ(geometry.set_of(0), 0u);
+    EXPECT_EQ(geometry.set_of(7), 7u);
+    EXPECT_EQ(geometry.set_of(8), 0u);
+    EXPECT_EQ(geometry.set_of(19), 3u);
+    EXPECT_EQ(geometry.size_bytes(), 256u);
+}
+
+TEST(DirectMappedCache, ColdMissThenHit)
+{
+    DirectMappedCache cache({8, 32});
+    EXPECT_FALSE(cache.access(3));
+    EXPECT_TRUE(cache.access(3));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(DirectMappedCache, ConflictingBlocksEvictEachOther)
+{
+    DirectMappedCache cache({8, 32});
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_FALSE(cache.access(9));  // same set (1 mod 8)
+    EXPECT_FALSE(cache.access(1));  // evicted by 9
+    EXPECT_FALSE(cache.contains(9));
+}
+
+TEST(DirectMappedCache, PreloadAvoidsFirstMiss)
+{
+    DirectMappedCache cache({8, 32});
+    cache.preload(5);
+    EXPECT_TRUE(cache.access(5));
+}
+
+TEST(DirectMappedCache, FlushEmptiesEverything)
+{
+    DirectMappedCache cache({8, 32});
+    cache.preload(1);
+    cache.preload(2);
+    EXPECT_EQ(cache.occupied(), 2u);
+    cache.flush();
+    EXPECT_EQ(cache.occupied(), 0u);
+    EXPECT_FALSE(cache.access(1));
+}
+
+TEST(DirectMappedCache, InvalidateSetDropsOnlyThatLine)
+{
+    DirectMappedCache cache({8, 32});
+    cache.preload(1);
+    cache.preload(2);
+    cache.invalidate_set(1);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_THROW(cache.invalidate_set(8), std::out_of_range);
+}
+
+TEST(DirectMappedCache, DeterministicMissCountOnLoopTrace)
+{
+    // 10 blocks looped 5 times in an 8-set cache: blocks 0..7 and 8,9 alias
+    // with 0,1. Per iteration blocks 0,1,8,9 miss (ping-pong), 2..7 hit
+    // after the first iteration.
+    DirectMappedCache cache({8, 32});
+    int misses = 0;
+    for (int iteration = 0; iteration < 5; ++iteration) {
+        for (std::size_t block = 0; block < 10; ++block) {
+            if (!cache.access(block)) {
+                ++misses;
+            }
+        }
+    }
+    // Iteration 1: all 10 miss. Iterations 2..5: 4 misses each.
+    EXPECT_EQ(misses, 10 + 4 * 4);
+}
+
+TEST(DirectMappedCache, ZeroSetsRejected)
+{
+    EXPECT_THROW(DirectMappedCache({0, 32}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cpa::cache

@@ -1,0 +1,124 @@
+#include "cache/lru.hpp"
+
+#include "cache/direct_mapped.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpa::cache {
+namespace {
+
+TEST(LruCache, RejectsDegenerateGeometry)
+{
+    EXPECT_THROW(LruCache({0, 32, 1}), std::invalid_argument);
+    EXPECT_THROW(LruCache({8, 32, 0}), std::invalid_argument);
+}
+
+TEST(LruCache, ColdMissThenHit)
+{
+    LruCache cache({4, 32, 2});
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_TRUE(cache.access(1));
+}
+
+TEST(LruCache, TwoWaysHoldTwoConflictingBlocks)
+{
+    LruCache cache({4, 32, 2});
+    EXPECT_FALSE(cache.access(1));
+    EXPECT_FALSE(cache.access(5)); // same set, second way
+    EXPECT_TRUE(cache.access(1));
+    EXPECT_TRUE(cache.access(5));
+    EXPECT_EQ(cache.occupied(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed)
+{
+    LruCache cache({4, 32, 2});
+    (void)cache.access(1); // set 1: [1]
+    (void)cache.access(5); // set 1: [5, 1]
+    (void)cache.access(1); // set 1: [1, 5]
+    (void)cache.access(9); // evicts 5 (LRU), set 1: [9, 1]
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(5));
+    EXPECT_TRUE(cache.contains(9));
+}
+
+TEST(LruCache, PreloadInstallsWithoutEvictionWhenRoom)
+{
+    LruCache cache({4, 32, 2});
+    cache.preload(2);
+    cache.preload(6);
+    EXPECT_TRUE(cache.access(2));
+    EXPECT_TRUE(cache.access(6));
+}
+
+TEST(LruCache, FlushClearsEverything)
+{
+    LruCache cache({4, 32, 2});
+    (void)cache.access(0);
+    (void)cache.access(1);
+    cache.flush();
+    EXPECT_EQ(cache.occupied(), 0u);
+}
+
+TEST(LruCache, OneWayMatchesDirectMappedOnRandomishTrace)
+{
+    const CacheGeometry geometry{8, 32, 1};
+    LruCache lru(geometry);
+    DirectMappedCache dm({geometry.sets, geometry.block_bytes});
+    const std::vector<std::size_t> trace = {0, 8,  1, 9, 0,  8, 2, 3,
+                                            2, 10, 2, 0, 16, 8, 0, 5};
+    for (const std::size_t block : trace) {
+        EXPECT_EQ(lru.access(block), dm.access(block)) << block;
+    }
+}
+
+// LRU (same set count, growing ways) satisfies the inclusion property:
+// miss counts are non-increasing in associativity.
+class LruInclusion : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LruInclusion, MissesDecreaseWithWays)
+{
+    const std::size_t sets = GetParam();
+    std::vector<std::size_t> trace;
+    for (int round = 0; round < 6; ++round) {
+        for (std::size_t b = 0; b < 3 * sets; b += (round % 2) ? 3 : 1) {
+            trace.push_back(b);
+        }
+    }
+    std::size_t previous = trace.size() + 1;
+    for (const std::size_t ways : {1u, 2u, 4u, 8u}) {
+        LruCache cache({sets, 32, ways});
+        std::size_t misses = 0;
+        for (const std::size_t block : trace) {
+            if (!cache.access(block)) {
+                ++misses;
+            }
+        }
+        EXPECT_LE(misses, previous) << "ways=" << ways;
+        previous = misses;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, LruInclusion, ::testing::Values(4, 8, 16, 64));
+
+TEST(LruCache, PingPongResolvedByTwoWays)
+{
+    // The classic direct-mapped pathology disappears with 2 ways.
+    LruCache one_way({8, 32, 1});
+    LruCache two_way({8, 32, 2});
+    std::size_t misses_1 = 0;
+    std::size_t misses_2 = 0;
+    for (int i = 0; i < 10; ++i) {
+        for (const std::size_t block : {0u, 8u}) {
+            misses_1 += one_way.access(block) ? 0 : 1;
+            misses_2 += two_way.access(block) ? 0 : 1;
+        }
+    }
+    EXPECT_EQ(misses_1, 20u);
+    EXPECT_EQ(misses_2, 2u);
+}
+
+} // namespace
+} // namespace cpa::cache

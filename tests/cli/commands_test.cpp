@@ -1,0 +1,243 @@
+#include "cli/commands.hpp"
+
+#include "cli/taskset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cpa::cli {
+namespace {
+
+// Writes a demo task-set file and removes it on teardown.
+class CommandsTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "cpa_cli_demo.taskset";
+        std::ofstream out(path_);
+        out << R"(platform cores=2 cache_sets=64 d_mem_us=5 slot_size=2
+task ctrl core=0 pd=1000 md=20 mdr=4 period=100000 ecb=0-19 ucb=0-15 pcb=0-19
+task log  core=1 pd=500  md=10 mdr=2 period=200000 ecb=30-39 pcb=30-39
+)";
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    int run(std::initializer_list<std::string> args)
+    {
+        out_.str("");
+        err_.str("");
+        return run_cli(std::vector<std::string>(args), out_, err_);
+    }
+
+    std::string path_;
+    std::ostringstream out_;
+    std::ostringstream err_;
+};
+
+TEST_F(CommandsTest, HelpPrintsUsage)
+{
+    EXPECT_EQ(run({"help"}), 0);
+    EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CommandsTest, NoArgumentsPrintsUsageAndFails)
+{
+    EXPECT_EQ(run({}), 1);
+    EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CommandsTest, UnknownCommandFails)
+{
+    EXPECT_EQ(run({"frobnicate"}), 1);
+    EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CommandsTest, AnalyzeSchedulableSetReturnsZero)
+{
+    EXPECT_EQ(run({"analyze", path_}), 0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("FP bus"), std::string::npos);
+    EXPECT_NE(text.find("TDMA bus"), std::string::npos);
+    EXPECT_NE(text.find("SCHEDULABLE"), std::string::npos);
+    EXPECT_NE(text.find("ctrl"), std::string::npos);
+}
+
+TEST_F(CommandsTest, AnalyzeSinglePolicy)
+{
+    EXPECT_EQ(run({"analyze", path_, "--policy", "rr"}), 0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("RR bus"), std::string::npos);
+    EXPECT_EQ(text.find("TDMA bus"), std::string::npos);
+}
+
+TEST_F(CommandsTest, AnalyzeReportAddsBreakdownColumns)
+{
+    EXPECT_EQ(run({"analyze", path_, "--policy", "fp", "--report"}), 0);
+    EXPECT_NE(out_.str().find("bus-cross"), std::string::npos);
+}
+
+TEST_F(CommandsTest, AnalyzeRejectsBadFlags)
+{
+    EXPECT_EQ(run({"analyze", path_, "--policy", "warp"}), 1);
+    EXPECT_NE(err_.str().find("unknown policy"), std::string::npos);
+    EXPECT_EQ(run({"analyze", path_, "--wibble", "x"}), 1);
+    EXPECT_NE(err_.str().find("unknown argument"), std::string::npos);
+    EXPECT_EQ(run({"analyze"}), 1);
+    EXPECT_NE(err_.str().find("requires a task-set file"),
+              std::string::npos);
+}
+
+TEST_F(CommandsTest, AnalyzeUnschedulableReturnsTwo)
+{
+    const std::string bad = ::testing::TempDir() + "cpa_cli_bad.taskset";
+    {
+        std::ofstream out(bad);
+        out << R"(platform cores=1 cache_sets=8 d_mem_us=5
+task hog core=0 pd=90 md=0 mdr=0 period=100
+task starved core=0 pd=90 md=0 mdr=0 period=100
+)";
+    }
+    EXPECT_EQ(run({"analyze", bad, "--policy", "fp"}), 2);
+    EXPECT_NE(out_.str().find("NOT SCHEDULABLE"), std::string::npos);
+    std::remove(bad.c_str());
+}
+
+TEST_F(CommandsTest, SimulateReportsObservedResponses)
+{
+    EXPECT_EQ(run({"simulate", path_, "--policy", "fp"}), 0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("simulation"), std::string::npos);
+    EXPECT_NE(text.find("ctrl"), std::string::npos);
+    EXPECT_NE(text.find("max R"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SimulateValidatesHorizon)
+{
+    EXPECT_EQ(run({"simulate", path_, "--horizon-periods", "0"}), 1);
+    EXPECT_NE(err_.str().find("horizon"), std::string::npos);
+}
+
+TEST_F(CommandsTest, GenerateEmitsParsableFile)
+{
+    EXPECT_EQ(run({"generate", "--cores", "2", "--tasks-per-core", "3",
+                   "--utilization", "0.2", "--seed", "11"}),
+              0);
+    std::istringstream emitted(out_.str());
+    const ParsedSystem parsed = parse_task_set(emitted);
+    EXPECT_EQ(parsed.ts.size(), 6u);
+    EXPECT_EQ(parsed.platform.num_cores, 2u);
+}
+
+TEST_F(CommandsTest, GenerateAnalyzeRoundTrip)
+{
+    ASSERT_EQ(run({"generate", "--cores", "2", "--tasks-per-core", "2",
+                   "--utilization", "0.1", "--seed", "3"}),
+              0);
+    const std::string file = ::testing::TempDir() + "cpa_cli_gen.taskset";
+    {
+        std::ofstream f(file);
+        f << out_.str();
+    }
+    EXPECT_EQ(run({"analyze", file, "--policy", "fp"}), 0);
+    std::remove(file.c_str());
+}
+
+TEST_F(CommandsTest, AnalyzeCsvOutput)
+{
+    EXPECT_EQ(run({"analyze", path_, "--policy", "fp", "--csv"}), 0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("task,core,R,D,verdict"), std::string::npos);
+    EXPECT_EQ(text.find("|"), std::string::npos); // no ASCII table art
+}
+
+TEST_F(CommandsTest, SimulateHyperperiodHorizon)
+{
+    // Periods 100000 and 200000 -> hyperperiod 200000 cycles.
+    EXPECT_EQ(run({"simulate", path_, "--hyperperiod"}), 0);
+    EXPECT_NE(out_.str().find("200000 cycles"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SimulateHyperperiodRejectsExplosion)
+{
+    const std::string file = ::testing::TempDir() + "cpa_cli_huge.taskset";
+    {
+        std::ofstream f(file);
+        f << "platform cores=1 cache_sets=8\n"
+             "task a core=0 pd=1 md=0 mdr=0 period=999999999937\n"
+             "task b core=0 pd=1 md=0 mdr=0 period=999999999767\n";
+    }
+    EXPECT_EQ(run({"simulate", file, "--hyperperiod"}), 1);
+    EXPECT_NE(err_.str().find("hyperperiod"), std::string::npos);
+    std::remove(file.c_str());
+}
+
+TEST_F(CommandsTest, AnalyzeSimCheckReportsMargin)
+{
+    EXPECT_EQ(run({"analyze", path_, "--policy", "fp", "--sim-check"}), 0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("sim-check: bounds hold"), std::string::npos);
+    EXPECT_NE(text.find("worst observed/bound"), std::string::npos);
+    EXPECT_EQ(text.find("VIOLATION"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SweepProducesUtilizationTable)
+{
+    EXPECT_EQ(run({"sweep", "--cores", "2", "--tasks-per-core", "2",
+                   "--task-sets", "4"}),
+              0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("FP-CP"), std::string::npos);
+    EXPECT_NE(text.find("PerfectBus"), std::string::npos);
+    EXPECT_NE(text.find("0.05"), std::string::npos);
+    EXPECT_NE(text.find("1.00"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SweepCsvOutput)
+{
+    EXPECT_EQ(run({"sweep", "--cores", "2", "--tasks-per-core", "2",
+                   "--task-sets", "3", "--csv"}),
+              0);
+    EXPECT_NE(out_.str().find("U/core,FP-CP"), std::string::npos);
+}
+
+TEST_F(CommandsTest, AnalyzeWithSharedL2)
+{
+    const std::string file = ::testing::TempDir() + "cpa_cli_l2.taskset";
+    {
+        std::ofstream f(file);
+        f << "platform cores=2 cache_sets=64 d_mem_us=5 l2_sets=256 "
+             "d_l2_us=1\n"
+             "task a core=0 pd=1000 md=20 mdr=8 period=100000 "
+             "ecb=0-19 ecb2=0-19 pcb2=0-19 mdr2=2\n"
+             "task b core=1 pd=500 md=10 mdr=10 period=200000 ecb=30-39\n";
+    }
+    EXPECT_EQ(run({"analyze", file, "--policy", "fp"}), 0) << err_.str();
+    EXPECT_NE(out_.str().find("shared L2"), std::string::npos);
+    // --report is not available for the multilevel analysis.
+    EXPECT_EQ(run({"analyze", file, "--report"}), 1);
+    EXPECT_NE(err_.str().find("--report"), std::string::npos);
+    std::remove(file.c_str());
+}
+
+TEST_F(CommandsTest, ShippedDemoFileStaysValidAndSchedulable)
+{
+    // Keeps examples/data/engine_controller.taskset honest: it must parse,
+    // analyze as schedulable under every policy, and survive simulation.
+    const std::string shipped =
+        std::string(CPA_SOURCE_DIR) + "/examples/data/engine_controller.taskset";
+    EXPECT_EQ(run({"analyze", shipped}), 0) << err_.str();
+    EXPECT_EQ(run({"simulate", shipped, "--policy", "tdma"}), 0)
+        << err_.str();
+}
+
+TEST_F(CommandsTest, MissingFileSurfacesError)
+{
+    EXPECT_EQ(run({"analyze", "/no/such/file"}), 1);
+    EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace cpa::cli

@@ -1,0 +1,247 @@
+#include "cli/taskset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace cpa::cli {
+namespace {
+
+constexpr const char* kDemo = R"(# demo system
+platform cores=2 cache_sets=64 d_mem_us=5 slot_size=2
+
+task ctrl core=0 pd=1000 md=20 mdr=4 period=100000 ecb=0-19 ucb=0-15 pcb=0-19
+task log  core=1 pd=500  md=10 mdr=2 period=200000 deadline=150000 ecb=30-39,42 pcb=30-39
+)";
+
+TEST(TasksetIo, ParsesDemoFile)
+{
+    std::istringstream in(kDemo);
+    const ParsedSystem parsed = parse_task_set(in);
+    EXPECT_EQ(parsed.platform.num_cores, 2u);
+    EXPECT_EQ(parsed.platform.cache_sets, 64u);
+    EXPECT_EQ(parsed.platform.d_mem, 10); // 5 us
+    EXPECT_EQ(parsed.platform.slot_size, 2);
+    ASSERT_EQ(parsed.ts.size(), 2u);
+
+    const tasks::Task& ctrl = parsed.ts[0];
+    EXPECT_EQ(ctrl.name, "ctrl");
+    EXPECT_EQ(ctrl.core, 0u);
+    EXPECT_EQ(ctrl.pd, 1000);
+    EXPECT_EQ(ctrl.md, 20);
+    EXPECT_EQ(ctrl.md_residual, 4);
+    EXPECT_EQ(ctrl.period, 100000);
+    EXPECT_EQ(ctrl.deadline, 100000); // implicit
+    EXPECT_EQ(ctrl.ecb.count(), 20u);
+    EXPECT_EQ(ctrl.ucb.count(), 16u);
+
+    const tasks::Task& log = parsed.ts[1];
+    EXPECT_EQ(log.deadline, 150000);
+    EXPECT_EQ(log.ecb.count(), 11u); // 30-39 plus 42
+    EXPECT_TRUE(log.ecb.contains(42));
+    EXPECT_TRUE(log.ucb.empty());
+}
+
+TEST(TasksetIo, FileOrderIsPriorityOrderByDefault)
+{
+    std::istringstream in(R"(platform cores=1 cache_sets=8
+task slow core=0 pd=1 md=0 mdr=0 period=1000
+task fast core=0 pd=1 md=0 mdr=0 period=10
+)");
+    const ParsedSystem parsed = parse_task_set(in);
+    EXPECT_EQ(parsed.ts[0].name, "slow"); // kept first despite longer period
+}
+
+TEST(TasksetIo, DmPriorityModeSorts)
+{
+    std::istringstream in(R"(platform cores=1 cache_sets=8 priority=dm
+task slow core=0 pd=1 md=0 mdr=0 period=1000
+task fast core=0 pd=1 md=0 mdr=0 period=10
+)");
+    const ParsedSystem parsed = parse_task_set(in);
+    EXPECT_EQ(parsed.ts[0].name, "fast");
+}
+
+TEST(TasksetIo, ErrorsCarryLineNumbers)
+{
+    const auto expect_error = [](const char* text, const char* needle) {
+        std::istringstream in(text);
+        try {
+            (void)parse_task_set(in);
+            FAIL() << "expected failure for: " << text;
+        } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string(error.what()).find(needle),
+                      std::string::npos)
+                << error.what();
+        }
+    };
+    expect_error("task t core=0\n", "task before platform");
+    expect_error("platform cores=1 cache_sets=8\nbogus x=1\n",
+                 "line 2: unknown directive");
+    expect_error("platform cores=1\n", "missing required field 'cache_sets'");
+    expect_error("platform cores=1 cache_sets=8\n"
+                 "task t core=0 pd=1 md=0 mdr=0\n",
+                 "line 2: missing required field 'period'");
+    expect_error("platform cores=1 cache_sets=8\n"
+                 "task t core=0 pd=x md=0 mdr=0 period=10\n",
+                 "expected an integer");
+    expect_error("platform cores=1 cache_sets=8\n"
+                 "task t core=0 pd=1 md=0 mdr=0 period=10 ecb=9-3\n",
+                 "descending range");
+    expect_error("platform cores=1 cache_sets=8 wibble=2\n",
+                 "unknown platform field");
+    expect_error("platform cores=1 cache_sets=8 d_mem_us=5 d_mem_cycles=10\n",
+                 "not both");
+    expect_error("platform cores=1 cache_sets=8\n"
+                 "platform cores=2 cache_sets=8\n",
+                 "duplicate platform");
+    expect_error("", "missing platform");
+    // Model violations surface through validate() with the task's line.
+    expect_error("platform cores=1 cache_sets=8\n"
+                 "task t core=0 pd=1 md=2 mdr=5 period=10\n",
+                 "MDr exceeds MD");
+}
+
+TEST(TasksetIo, RoundTripsThroughWriter)
+{
+    std::istringstream in(kDemo);
+    const ParsedSystem parsed = parse_task_set(in);
+
+    std::ostringstream written;
+    write_task_set(written, parsed.platform, parsed.ts);
+
+    std::istringstream again(written.str());
+    const ParsedSystem reparsed = parse_task_set(again);
+    EXPECT_EQ(reparsed.platform.num_cores, parsed.platform.num_cores);
+    EXPECT_EQ(reparsed.platform.d_mem, parsed.platform.d_mem);
+    ASSERT_EQ(reparsed.ts.size(), parsed.ts.size());
+    for (std::size_t i = 0; i < parsed.ts.size(); ++i) {
+        EXPECT_EQ(reparsed.ts[i].name, parsed.ts[i].name);
+        EXPECT_EQ(reparsed.ts[i].period, parsed.ts[i].period);
+        EXPECT_EQ(reparsed.ts[i].deadline, parsed.ts[i].deadline);
+        EXPECT_TRUE(reparsed.ts[i].ecb == parsed.ts[i].ecb);
+        EXPECT_TRUE(reparsed.ts[i].ucb == parsed.ts[i].ucb);
+        EXPECT_TRUE(reparsed.ts[i].pcb == parsed.ts[i].pcb);
+    }
+}
+
+TEST(TasksetIo, JitterFieldRoundTrips)
+{
+    std::istringstream in(R"(platform cores=1 cache_sets=8
+task t core=0 pd=1 md=0 mdr=0 period=100 deadline=80 jitter=15
+)");
+    const ParsedSystem parsed = parse_task_set(in);
+    EXPECT_EQ(parsed.ts[0].jitter, 15);
+
+    std::ostringstream written;
+    write_task_set(written, parsed.platform, parsed.ts);
+    EXPECT_NE(written.str().find("jitter=15"), std::string::npos);
+    std::istringstream again(written.str());
+    EXPECT_EQ(parse_task_set(again).ts[0].jitter, 15);
+}
+
+TEST(TasksetIo, JitterBeyondSlackRejected)
+{
+    std::istringstream in(R"(platform cores=1 cache_sets=8
+task t core=0 pd=1 md=0 mdr=0 period=100 deadline=90 jitter=15
+)");
+    EXPECT_THROW((void)parse_task_set(in), std::runtime_error);
+}
+
+TEST(TasksetIo, ParsesL2Extension)
+{
+    std::istringstream in(R"(platform cores=2 cache_sets=64 l2_sets=256 d_l2_us=1
+task a core=0 pd=100 md=20 mdr=8 period=10000 ecb=0-19 ecb2=0-19 pcb2=0-19 mdr2=2
+task b core=1 pd=100 md=10 mdr=10 period=10000 ecb=5-14
+)");
+    const ParsedSystem parsed = parse_task_set(in);
+    ASSERT_TRUE(parsed.l2.has_value());
+    EXPECT_EQ(parsed.l2->sets, 256u);
+    EXPECT_EQ(parsed.l2->d_l2, 2); // 1 us
+    ASSERT_EQ(parsed.l2_footprints.size(), 2u);
+    EXPECT_EQ(parsed.l2_footprints[0].ecb2.count(), 20u);
+    EXPECT_EQ(parsed.l2_footprints[0].md_residual_l2, 2);
+    // Task b: default footprint, mdr2 defaults to mdr.
+    EXPECT_TRUE(parsed.l2_footprints[1].ecb2.empty());
+    EXPECT_EQ(parsed.l2_footprints[1].md_residual_l2, 10);
+}
+
+TEST(TasksetIo, L2FieldErrors)
+{
+    const auto expect_error = [](const char* text, const char* needle) {
+        std::istringstream in(text);
+        try {
+            (void)parse_task_set(in);
+            FAIL() << text;
+        } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string(error.what()).find(needle),
+                      std::string::npos)
+                << error.what();
+        }
+    };
+    // L2 task fields without an L2 platform declaration.
+    expect_error("platform cores=1 cache_sets=8\n"
+                 "task t core=0 pd=1 md=2 mdr=1 period=10 ecb2=0-3\n",
+                 "require l2_sets");
+    // mdr2 above mdr.
+    expect_error("platform cores=1 cache_sets=8 l2_sets=16\n"
+                 "task t core=0 pd=1 md=2 mdr=1 period=10 mdr2=2\n",
+                 "mdr2 exceeds mdr");
+    // pcb2 outside ecb2.
+    expect_error("platform cores=1 cache_sets=8 l2_sets=16\n"
+                 "task t core=0 pd=1 md=2 mdr=1 period=10 ecb2=0-3 pcb2=5\n",
+                 "pcb2 not a subset");
+    // positional footprints forbid re-sorting.
+    expect_error("platform cores=1 cache_sets=8 l2_sets=16 priority=dm\n"
+                 "task t core=0 pd=1 md=2 mdr=1 period=10\n",
+                 "priority=file");
+}
+
+TEST(TasksetIo, FuzzedGarbageNeverCrashes)
+{
+    // Random line soup must produce clean runtime_errors (or parse), never
+    // crash or throw anything else.
+    std::mt19937_64 rng(777);
+    const std::vector<std::string> fragments = {
+        "platform", "task", "cores=", "cache_sets=", "pd=", "md=", "mdr=",
+        "period=", "ecb=", "0-19", "-5", "99999999999999999999", "t1",
+        "#", "=", "core=", "d_mem_us=", "priority=", "dm", "bogus", ",",
+        "4", "0.5", "jitter=",
+    };
+    for (int round = 0; round < 200; ++round) {
+        std::string text;
+        const std::size_t lines = rng() % 6;
+        for (std::size_t l = 0; l < lines; ++l) {
+            const std::size_t tokens = rng() % 8;
+            for (std::size_t t = 0; t < tokens; ++t) {
+                text += fragments[rng() % fragments.size()];
+                if (rng() % 2 == 0) {
+                    text += ' ';
+                }
+            }
+            text += '\n';
+        }
+        std::istringstream in(text);
+        try {
+            (void)parse_task_set(in);
+        } catch (const std::runtime_error&) {
+            // expected for malformed input
+        }
+    }
+}
+
+TEST(TasksetIo, MissingFileReportsPath)
+{
+    try {
+        (void)parse_task_set_file("/nonexistent/path.taskset");
+        FAIL();
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string(error.what()).find("/nonexistent/path"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace cpa::cli

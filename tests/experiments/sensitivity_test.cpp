@@ -1,0 +1,148 @@
+#include "experiments/sensitivity.hpp"
+
+#include "analysis/schedulability.hpp"
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::experiments {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+analysis::PlatformConfig small_platform()
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+    return platform;
+}
+
+TEST(CriticalDmem, FindsExactThreshold)
+{
+    // Single task: PD=40, MD=6, T=D=100 -> schedulable iff 40 + 6*d <= 100,
+    // i.e., d <= 10.
+    const tasks::TaskSet ts =
+        make_task_set(1, 64, {{0, 40, 6, 6, 100, 0, {}, {}, {}}});
+    analysis::AnalysisConfig config;
+    const util::Cycles critical =
+        critical_d_mem(ts, small_platform(), config, 1000);
+    EXPECT_EQ(critical, 10);
+}
+
+TEST(CriticalDmem, ZeroWhenNeverSchedulable)
+{
+    const tasks::TaskSet ts =
+        make_task_set(1, 64, {{0, 200, 6, 6, 100, 0, {}, {}, {}}});
+    analysis::AnalysisConfig config;
+    EXPECT_EQ(critical_d_mem(ts, small_platform(), config, 1000), 0);
+}
+
+TEST(CriticalDmem, SaturatesAtUpperBound)
+{
+    const tasks::TaskSet ts =
+        make_task_set(1, 64, {{0, 1, 1, 1, 1000000, 0, {}, {}, {}}});
+    analysis::AnalysisConfig config;
+    EXPECT_EQ(critical_d_mem(ts, small_platform(), config, 50), 50);
+}
+
+TEST(CriticalDmem, RejectsBadUpperBound)
+{
+    const tasks::TaskSet ts =
+        make_task_set(1, 64, {{0, 1, 1, 1, 100, 0, {}, {}, {}}});
+    analysis::AnalysisConfig config;
+    EXPECT_THROW((void)critical_d_mem(ts, small_platform(), config, 0),
+                 std::invalid_argument);
+}
+
+TEST(CriticalDmem, SchedulabilityAntitoneInDmemAroundThreshold)
+{
+    // Empirical check of the monotonicity assumption behind the binary
+    // search, on a random multi-core set.
+    util::Rng rng(77);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.3;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+    const tasks::TaskSet ts = benchdata::generate_task_set(rng, gen, pool);
+    analysis::AnalysisConfig config;
+    config.policy = analysis::BusPolicy::kRoundRobin;
+
+    const util::Cycles critical =
+        critical_d_mem(ts, small_platform(), config, 200);
+    const analysis::InterferenceTables tables(ts, config.crpd);
+    for (util::Cycles d = 1; d <= 60; ++d) {
+        analysis::PlatformConfig platform = small_platform();
+        platform.d_mem = d;
+        EXPECT_EQ(analysis::is_schedulable(ts, platform, config, tables),
+                  d <= critical)
+            << "d_mem=" << d;
+    }
+}
+
+TEST(BreakdownUtilization, HigherForPerfectBusThanTdma)
+{
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 4;
+    gen.cache_sets = 64;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+
+    analysis::AnalysisConfig perfect;
+    perfect.policy = analysis::BusPolicy::kPerfect;
+    analysis::AnalysisConfig tdma;
+    tdma.policy = analysis::BusPolicy::kTdma;
+
+    const double u_perfect = breakdown_utilization(gen, pool,
+                                                   small_platform(), perfect,
+                                                   /*seed=*/3);
+    const double u_tdma =
+        breakdown_utilization(gen, pool, small_platform(), tdma, /*seed=*/3);
+    EXPECT_GE(u_perfect, u_tdma);
+    EXPECT_GT(u_perfect, 0.0);
+}
+
+TEST(BreakdownUtilization, PersistenceExtendsBreakdown)
+{
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 4;
+    gen.tasks_per_core = 8;
+    gen.cache_sets = 256;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 256);
+    analysis::PlatformConfig platform;
+
+    analysis::AnalysisConfig with;
+    with.policy = analysis::BusPolicy::kFixedPriority;
+    with.persistence_aware = true;
+    analysis::AnalysisConfig without = with;
+    without.persistence_aware = false;
+
+    const double u_with =
+        breakdown_utilization(gen, pool, platform, with, /*seed=*/9);
+    const double u_without =
+        breakdown_utilization(gen, pool, platform, without, /*seed=*/9);
+    EXPECT_GE(u_with, u_without);
+}
+
+TEST(BreakdownUtilization, RejectsBadStep)
+{
+    benchdata::GenerationConfig gen;
+    gen.cache_sets = 64;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+    analysis::AnalysisConfig config;
+    EXPECT_THROW((void)breakdown_utilization(gen, pool, small_platform(),
+                                             config, 1, 0.0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cpa::experiments

@@ -1,0 +1,190 @@
+#include "experiments/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace cpa::experiments {
+namespace {
+
+SweepConfig tiny_sweep()
+{
+    SweepConfig sweep;
+    sweep.u_min = 0.1;
+    sweep.u_max = 0.5;
+    sweep.u_step = 0.2;
+    sweep.task_sets_per_point = 5;
+    sweep.seed = 1;
+    return sweep;
+}
+
+benchdata::GenerationConfig small_generation()
+{
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    return gen;
+}
+
+analysis::PlatformConfig small_platform()
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+    return platform;
+}
+
+TEST(Variants, StandardListHasSevenCurves)
+{
+    const auto variants = standard_variants();
+    ASSERT_EQ(variants.size(), 7u);
+    EXPECT_EQ(variants.front().label, "FP-CP");
+    EXPECT_EQ(variants.back().label, "PerfectBus");
+}
+
+TEST(Variants, PerfectBusCanBeExcluded)
+{
+    EXPECT_EQ(standard_variants(false).size(), 6u);
+}
+
+TEST(Variants, SlottedVariantsDropFixedPriority)
+{
+    const auto variants = slotted_variants();
+    EXPECT_EQ(variants.size(), 4u);
+    for (const AnalysisVariant& v : variants) {
+        EXPECT_NE(v.config.policy, analysis::BusPolicy::kFixedPriority)
+            << v.label;
+    }
+}
+
+TEST(Sweep, ProducesOnePointPerUtilizationLevel)
+{
+    const UtilizationSweep sweep = run_utilization_sweep(
+        small_generation(), small_platform(), standard_variants(),
+        tiny_sweep());
+    EXPECT_EQ(sweep.points.size(), 3u); // 0.1, 0.3, 0.5
+    EXPECT_EQ(sweep.task_sets_per_point, 5u);
+    for (const SweepPoint& point : sweep.points) {
+        ASSERT_EQ(point.schedulable.size(), 7u);
+        for (const std::size_t count : point.schedulable) {
+            EXPECT_LE(count, 5u);
+        }
+    }
+}
+
+TEST(Sweep, PersistenceVariantsDominateCounterparts)
+{
+    const auto variants = standard_variants(false);
+    const UtilizationSweep sweep = run_utilization_sweep(
+        small_generation(), small_platform(), variants, tiny_sweep());
+    // Variant layout: pairs (CP, NoCP) per policy.
+    for (const SweepPoint& point : sweep.points) {
+        for (std::size_t pair = 0; pair < 3; ++pair) {
+            EXPECT_GE(point.schedulable[2 * pair],
+                      point.schedulable[2 * pair + 1])
+                << variants[2 * pair].label << " vs "
+                << variants[2 * pair + 1].label << " at u="
+                << point.utilization;
+        }
+    }
+}
+
+TEST(Sweep, SchedulabilityDecreasesWithUtilization)
+{
+    SweepConfig sweep_config = tiny_sweep();
+    sweep_config.u_min = 0.1;
+    sweep_config.u_max = 0.9;
+    sweep_config.u_step = 0.4;
+    sweep_config.task_sets_per_point = 8;
+    const UtilizationSweep sweep = run_utilization_sweep(
+        small_generation(), small_platform(), standard_variants(),
+        sweep_config);
+    ASSERT_GE(sweep.points.size(), 2u);
+    for (std::size_t v = 0; v < sweep.variants.size(); ++v) {
+        EXPECT_GE(sweep.points.front().schedulable[v],
+                  sweep.points.back().schedulable[v])
+            << sweep.variants[v].label;
+    }
+}
+
+TEST(Sweep, DeterministicForSameSeed)
+{
+    const UtilizationSweep a = run_utilization_sweep(
+        small_generation(), small_platform(), standard_variants(),
+        tiny_sweep());
+    const UtilizationSweep b = run_utilization_sweep(
+        small_generation(), small_platform(), standard_variants(),
+        tiny_sweep());
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t p = 0; p < a.points.size(); ++p) {
+        EXPECT_EQ(a.points[p].schedulable, b.points[p].schedulable);
+    }
+}
+
+TEST(Sweep, RejectsBadGridAndEmptyVariants)
+{
+    SweepConfig bad = tiny_sweep();
+    bad.u_step = 0.0;
+    EXPECT_THROW((void)run_utilization_sweep(small_generation(),
+                                             small_platform(),
+                                             standard_variants(), bad),
+                 std::invalid_argument);
+    EXPECT_THROW((void)run_utilization_sweep(small_generation(),
+                                             small_platform(), {},
+                                             tiny_sweep()),
+                 std::invalid_argument);
+}
+
+TEST(WeightedSchedulability, AllSchedulableGivesOne)
+{
+    UtilizationSweep sweep;
+    sweep.variants = standard_variants();
+    sweep.task_sets_per_point = 10;
+    for (const double u : {0.2, 0.4}) {
+        SweepPoint point;
+        point.utilization = u;
+        point.schedulable.assign(sweep.variants.size(), 10);
+        sweep.points.push_back(point);
+    }
+    EXPECT_DOUBLE_EQ(weighted_schedulability(sweep, 0), 1.0);
+}
+
+TEST(WeightedSchedulability, WeightsByUtilization)
+{
+    UtilizationSweep sweep;
+    sweep.variants = standard_variants();
+    sweep.task_sets_per_point = 10;
+    SweepPoint low;
+    low.utilization = 0.25;
+    low.schedulable.assign(sweep.variants.size(), 10); // fraction 1
+    SweepPoint high;
+    high.utilization = 0.75;
+    high.schedulable.assign(sweep.variants.size(), 0); // fraction 0
+    sweep.points = {low, high};
+    // (0.25*1 + 0.75*0) / (0.25 + 0.75) = 0.25.
+    EXPECT_DOUBLE_EQ(weighted_schedulability(sweep, 0), 0.25);
+}
+
+TEST(WeightedSchedulability, RejectsBadVariantIndex)
+{
+    UtilizationSweep sweep;
+    sweep.variants = standard_variants();
+    EXPECT_THROW((void)weighted_schedulability(sweep, 99), std::out_of_range);
+}
+
+TEST(TaskSetsFromEnv, FallsBackWhenUnsetAndParsesWhenSet)
+{
+    ::unsetenv("CPA_TASKSETS");
+    EXPECT_EQ(task_sets_from_env(42), 42u);
+    ::setenv("CPA_TASKSETS", "17", 1);
+    EXPECT_EQ(task_sets_from_env(42), 17u);
+    ::setenv("CPA_TASKSETS", "bogus", 1);
+    EXPECT_EQ(task_sets_from_env(42), 42u);
+    ::unsetenv("CPA_TASKSETS");
+}
+
+} // namespace
+} // namespace cpa::experiments

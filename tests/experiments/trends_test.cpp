@@ -1,0 +1,119 @@
+// Figure-trend regression tests: small-scale versions of the claims the
+// benches reproduce at full scale. These pin the qualitative results of the
+// paper (Fig. 2/3) against regressions in any layer of the stack.
+#include "experiments/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::experiments {
+namespace {
+
+SweepConfig small_sweep()
+{
+    SweepConfig sweep;
+    sweep.u_min = 0.15;
+    sweep.u_max = 0.75;
+    sweep.u_step = 0.15;
+    sweep.task_sets_per_point = 12;
+    sweep.seed = 2020;
+    return sweep;
+}
+
+benchdata::GenerationConfig generation(std::size_t cores)
+{
+    benchdata::GenerationConfig gen;
+    gen.num_cores = cores;
+    gen.tasks_per_core = 4;
+    gen.cache_sets = 256;
+    return gen;
+}
+
+analysis::PlatformConfig platform(std::size_t cores)
+{
+    analysis::PlatformConfig p;
+    p.num_cores = cores;
+    return p;
+}
+
+TEST(Trends, WeightedSchedulabilityDecreasesWithCores)
+{
+    // Fig. 3a: more cores -> more bus interference -> lower weighted
+    // schedulability, for the FP persistence-aware analysis.
+    const auto variants = standard_variants(false);
+    double previous = 2.0;
+    for (const std::size_t cores : {2u, 4u, 8u}) {
+        const UtilizationSweep sweep = run_utilization_sweep(
+            generation(cores), platform(cores), variants, small_sweep());
+        const double weighted = weighted_schedulability(sweep, 0); // FP-CP
+        EXPECT_LE(weighted, previous + 0.05) << cores; // small-sample slack
+        previous = weighted;
+    }
+}
+
+TEST(Trends, PersistenceGapShrinksWithDmem)
+{
+    // Fig. 3b: at larger d_mem everything degrades and the CP gap narrows.
+    const auto variants = standard_variants(false);
+    double gap_small = 0.0;
+    double gap_large = 0.0;
+    for (const auto& [d_mem_us, gap] :
+         {std::pair<int, double*>{2, &gap_small}, {10, &gap_large}}) {
+        analysis::PlatformConfig p = platform(4);
+        p.d_mem = util::cycles_from_microseconds(d_mem_us);
+        const UtilizationSweep sweep = run_utilization_sweep(
+            generation(4), p, variants, small_sweep());
+        *gap = weighted_schedulability(sweep, 0) -
+               weighted_schedulability(sweep, 1); // FP-CP minus FP-NoCP
+    }
+    EXPECT_GE(gap_small, gap_large - 0.05);
+    EXPECT_GT(gap_small, 0.0);
+}
+
+TEST(Trends, PersistenceGainGrowsWithCacheSize)
+{
+    // Fig. 3c: bigger caches -> more PCBs -> the persistence-aware analysis
+    // improves at least as fast as the oblivious one.
+    const auto variants = standard_variants(false);
+    double cp_small = 0.0;
+    double cp_large = 0.0;
+    double nocp_small = 0.0;
+    double nocp_large = 0.0;
+    for (const auto& [sets, cp, nocp] :
+         {std::tuple<std::size_t, double*, double*>{64, &cp_small,
+                                                    &nocp_small},
+          {1024, &cp_large, &nocp_large}}) {
+        benchdata::GenerationConfig gen = generation(4);
+        gen.cache_sets = sets;
+        analysis::PlatformConfig p = platform(4);
+        p.cache_sets = sets;
+        const UtilizationSweep sweep =
+            run_utilization_sweep(gen, p, variants, small_sweep());
+        *cp = weighted_schedulability(sweep, 0);
+        *nocp = weighted_schedulability(sweep, 1);
+    }
+    EXPECT_GE(cp_large + 0.05, cp_small);
+    EXPECT_GE((cp_large - cp_small) + 0.06, nocp_large - nocp_small);
+}
+
+TEST(Trends, SlottedPoliciesDegradeWithSlotSize)
+{
+    // Fig. 3d: RR/TDMA schedulability decreases as s grows.
+    const auto variants = slotted_variants();
+    double previous_rr = 2.0;
+    double previous_tdma = 2.0;
+    for (const std::int64_t s : {1, 3, 6}) {
+        analysis::PlatformConfig p = platform(4);
+        p.slot_size = s;
+        const UtilizationSweep sweep = run_utilization_sweep(
+            generation(4), p, variants, small_sweep());
+        const double rr = weighted_schedulability(sweep, 0);   // RR-CP
+        const double tdma = weighted_schedulability(sweep, 2); // TDMA-CP
+        EXPECT_LE(rr, previous_rr + 0.05) << "s=" << s;
+        EXPECT_LE(tdma, previous_tdma + 0.05) << "s=" << s;
+        previous_rr = rr;
+        previous_tdma = tdma;
+    }
+}
+
+} // namespace
+} // namespace cpa::experiments

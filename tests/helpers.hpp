@@ -1,0 +1,69 @@
+// Shared helpers for building small hand-crafted task sets in tests.
+#pragma once
+
+#include "tasks/task.hpp"
+#include "util/set_mask.hpp"
+
+#include <vector>
+
+namespace cpa::testing {
+
+struct TaskSpec {
+    std::size_t core = 0;
+    util::Cycles pd = 1;
+    std::int64_t md = 0;
+    std::int64_t md_residual = 0;
+    util::Cycles period = 100;
+    util::Cycles deadline = 0; // 0 -> implicit (= period)
+    std::vector<std::size_t> ecb;
+    std::vector<std::size_t> ucb;
+    std::vector<std::size_t> pcb;
+};
+
+// Builds a validated task set over `cache_sets` sets; tasks keep the given
+// order as the priority order (first = highest priority).
+inline tasks::TaskSet make_task_set(std::size_t num_cores,
+                                    std::size_t cache_sets,
+                                    const std::vector<TaskSpec>& specs)
+{
+    tasks::TaskSet ts(num_cores, cache_sets);
+    int index = 0;
+    for (const TaskSpec& spec : specs) {
+        tasks::Task task;
+        task.name = "t" + std::to_string(++index);
+        task.core = spec.core;
+        task.pd = spec.pd;
+        task.md = spec.md;
+        task.md_residual = spec.md_residual;
+        task.period = spec.period;
+        task.deadline = spec.deadline > 0 ? spec.deadline : spec.period;
+        task.ecb = util::SetMask::from_indices(cache_sets, spec.ecb);
+        task.ucb = util::SetMask::from_indices(cache_sets, spec.ucb);
+        task.pcb = util::SetMask::from_indices(cache_sets, spec.pcb);
+        ts.add_task(std::move(task));
+    }
+    ts.validate();
+    return ts;
+}
+
+// The example of the paper's Fig. 1: τ1, τ2 on core 0, τ3 on core 1.
+// Parameters exactly as printed under the figure.
+inline tasks::TaskSet fig1_task_set(util::Cycles t1_period = 10,
+                                    util::Cycles t2_period = 60,
+                                    util::Cycles t3_period = 6)
+{
+    return make_task_set(
+        2, 16,
+        {
+            // τ1: PD=4, MD=6, MDr=1, ECB={5..10}, PCB={5,6,7,8,10}
+            {0, 4, 6, 1, t1_period, 0, {5, 6, 7, 8, 9, 10},
+             {5, 6, 7, 8, 10}, {5, 6, 7, 8, 10}},
+            // τ2: PD=32, MD=8, ECB={1..6}, UCB={5,6}
+            {0, 32, 8, 8, t2_period, 0, {1, 2, 3, 4, 5, 6}, {5, 6}, {}},
+            // τ3: PD=4, MD=6, MDr=1, same footprint as τ1, on core 1
+            {1, 4, 6, 1, t3_period, 0, {5, 6, 7, 8, 9, 10},
+             {5, 6, 7, 8, 10}, {5, 6, 7, 8, 10}},
+        });
+}
+
+} // namespace cpa::testing

@@ -1,0 +1,281 @@
+#include "program/abstract.hpp"
+
+#include "cache/direct_mapped.hpp"
+#include "program/extract.hpp"
+#include "program/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cpa::program {
+namespace {
+
+const cache::CacheGeometry kGeo8{8, 32, 1};
+const cache::CacheGeometry kGeo256{256, 32, 1};
+
+// Counts the misses of one concrete trace from a cold (or PCB-warm) cache.
+std::int64_t concrete_misses(const Program& p,
+                             const cache::CacheGeometry& geo,
+                             const BranchSelector& selector,
+                             bool preload_pcbs = false)
+{
+    cache::DirectMappedCache cache({geo.sets, geo.block_bytes});
+    if (preload_pcbs) {
+        std::map<std::size_t, std::size_t> per_set;
+        for (const std::size_t b : p.distinct_blocks()) {
+            per_set[geo.set_of(b)] += 1;
+        }
+        for (const std::size_t b : p.distinct_blocks()) {
+            if (per_set[geo.set_of(b)] == 1) {
+                cache.preload(b);
+            }
+        }
+    }
+    std::int64_t misses = 0;
+    for (const std::size_t block : p.reference_trace(selector)) {
+        if (!cache.access(block)) {
+            ++misses;
+        }
+    }
+    return misses;
+}
+
+TEST(AbstractAnalysis, RejectsAssociativeGeometry)
+{
+    ProgramBuilder b("p");
+    b.straight(0, 2);
+    const Program p = std::move(b).build();
+    EXPECT_THROW((void)analyze_program(p, {8, 32, 2}), std::invalid_argument);
+}
+
+TEST(AbstractAnalysis, MatchesTraceExtractionOnSyntheticSuite)
+{
+    // On alternative-free programs the must analysis should lose nothing:
+    // every classification coincides with the exact trace simulation.
+    for (const Program& p : synthetic_suite()) {
+        for (const std::size_t sets : {64u, 256u, 1024u}) {
+            const cache::CacheGeometry geo{sets, 32, 1};
+            const ExtractedParams exact = extract_parameters(p, geo);
+            const AbstractExtraction bound = analyze_program(p, geo);
+            EXPECT_EQ(bound.md, exact.md) << p.name() << " @" << sets;
+            EXPECT_EQ(bound.md_residual, exact.md_residual)
+                << p.name() << " @" << sets;
+            EXPECT_EQ(bound.pd, exact.pd) << p.name() << " @" << sets;
+            EXPECT_TRUE(bound.ecb == exact.ecb) << p.name();
+            EXPECT_TRUE(bound.pcb == exact.pcb) << p.name();
+            // UCB is a conservative superset of the trace classification.
+            EXPECT_TRUE(exact.ucb.is_subset_of(bound.ucb)) << p.name();
+        }
+    }
+}
+
+Program branchy_program()
+{
+    // init; loop { if (...) stage A else stage B }; epilogue — stage A and
+    // stage B alias in an 8-set cache.
+    ProgramBuilder b("branchy");
+    b.straight(0, 2);
+    b.begin_loop(6);
+    b.begin_alternative();
+    b.straight(2, 4); // blocks 2..5
+    b.next_branch();
+    b.straight(10, 4); // blocks 10..13 -> sets 2..5 (alias)
+    b.end_alternative();
+    b.end_loop();
+    b.straight(6, 2);
+    return std::move(b).build();
+}
+
+TEST(AbstractAnalysis, BoundsEveryBranchResolution)
+{
+    const Program p = branchy_program();
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+
+    // Enumerate resolutions: always-A, always-B, alternating both phases,
+    // and a pseudo-random pattern.
+    std::size_t call = 0;
+    const std::vector<BranchSelector> selectors = {
+        [](std::size_t) { return 0u; },
+        [](std::size_t) { return 1u; },
+        [&call](std::size_t) { return call++ % 2; },
+        [&call](std::size_t) { return (call++ % 3) == 0 ? 1u : 0u; },
+    };
+    for (std::size_t s = 0; s < selectors.size(); ++s) {
+        call = 0;
+        const std::int64_t cold = concrete_misses(p, kGeo8, selectors[s]);
+        call = 0;
+        const std::int64_t warm =
+            concrete_misses(p, kGeo8, selectors[s], true);
+        EXPECT_GE(bound.md, cold) << "selector " << s;
+        EXPECT_GE(bound.md_residual, warm) << "selector " << s;
+    }
+}
+
+TEST(AbstractAnalysis, AlternatingBranchesForceConservativeLoopBound)
+{
+    // Worst resolution alternates branches: every iteration misses all 4
+    // blocks (aliasing). Abstract bound must cover it: 2 (init) + 6*4 + 2.
+    const Program p = branchy_program();
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+    EXPECT_GE(bound.md, 2 + 6 * 4 + 2);
+}
+
+TEST(AbstractAnalysis, PdTakesTheLongestBranch)
+{
+    ProgramBuilder b("pd");
+    b.begin_alternative();
+    b.straight(0, 3);
+    b.next_branch();
+    b.straight(10, 7);
+    b.end_alternative();
+    const Program p = std::move(b).build();
+    const AbstractExtraction bound = analyze_program(p, {64, 32, 1});
+    EXPECT_EQ(bound.pd, 7 * p.cycles_per_fetch());
+}
+
+TEST(AbstractAnalysis, EcbCoversAllBranches)
+{
+    const Program p = branchy_program();
+    const AbstractExtraction bound = analyze_program(p, {64, 32, 1});
+    // Blocks 0..7 and 10..13 -> 12 distinct sets at 64 sets.
+    EXPECT_EQ(bound.ecb.count(), 12u);
+    // All sets single-occupancy at 64 sets -> everything persistent.
+    EXPECT_EQ(bound.pcb.count(), 12u);
+}
+
+TEST(AbstractAnalysis, LoopInvariantStateKeepsPersistentHits)
+{
+    // A loop whose body fits without conflicts: first iteration cold-misses,
+    // every later iteration hits everything.
+    ProgramBuilder b("stable_loop");
+    b.begin_loop(50);
+    b.straight(0, 6);
+    b.end_loop();
+    const Program p = std::move(b).build();
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+    EXPECT_EQ(bound.md, 6);
+    EXPECT_EQ(bound.md_residual, 0); // all six blocks are PCBs
+}
+
+TEST(AbstractAnalysis, SelfConflictingLoopChargedEveryIteration)
+{
+    ProgramBuilder b("conflict_loop");
+    b.begin_loop(10);
+    b.blocks({0, 8}); // alias in 8 sets
+    b.end_loop();
+    const Program p = std::move(b).build();
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+    EXPECT_EQ(bound.md, 20);
+    EXPECT_EQ(bound.pcb.count(), 0u);
+}
+
+TEST(AbstractAnalysis, ZeroIterationLoopContributesNothing)
+{
+    ProgramBuilder b("zero");
+    b.begin_loop(0);
+    b.straight(0, 4);
+    b.end_loop();
+    const Program p = std::move(b).build();
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+    EXPECT_EQ(bound.md, 0);
+    EXPECT_EQ(bound.pd, 0);
+}
+
+TEST(AbstractAnalysis, NestedBranchInLoopStaysSound)
+{
+    ProgramBuilder b("nested");
+    b.begin_loop(4);
+    b.straight(0, 2);
+    b.begin_alternative();
+    b.begin_loop(3);
+    b.blocks({2, 3});
+    b.end_loop();
+    b.next_branch();
+    b.blocks({11}); // aliases block 3 in 8 sets
+    b.end_alternative();
+    b.end_loop();
+    const Program p = std::move(b).build();
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+
+    std::size_t call = 0;
+    for (int pattern = 0; pattern < 4; ++pattern) {
+        call = 0;
+        const BranchSelector sel = [&call, pattern](std::size_t) {
+            return static_cast<std::size_t>((static_cast<int>(call++) >>
+                                             (pattern % 2)) &
+                                            1);
+        };
+        EXPECT_GE(bound.md, concrete_misses(p, kGeo8, sel))
+            << "pattern " << pattern;
+    }
+}
+
+TEST(AbstractAnalysis, SharedProcedureReusedAcrossCallSites)
+{
+    // Two call sites of the same helper: the second call must-hit the
+    // helper's blocks (still resident), so the miss bound counts them once.
+    ProgramBuilder b("two_calls");
+    b.begin_procedure("helper");
+    b.straight(4, 3);
+    b.end_procedure();
+    b.blocks({0});
+    b.call("helper");
+    b.blocks({1});
+    b.call("helper");
+    const Program p = std::move(b).build();
+
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+    EXPECT_EQ(bound.md, 5); // blocks 0, 1, 4, 5, 6 — each once
+    // And the abstract bound matches the exact trace extraction.
+    const ExtractedParams exact = extract_parameters(p, kGeo8);
+    EXPECT_EQ(bound.md, exact.md);
+    EXPECT_EQ(bound.pd, exact.pd);
+    // The helper's blocks are reused -> useful.
+    for (const std::size_t set : {4u, 5u, 6u}) {
+        EXPECT_TRUE(bound.ucb.contains(set)) << set;
+    }
+}
+
+TEST(AbstractAnalysis, ProcedureCalledFromBothBranchesStaysSound)
+{
+    // The helper executes on EITHER branch; the must-join keeps its blocks
+    // (present on both paths), so post-alternative reuse still hits.
+    ProgramBuilder b("branch_calls");
+    b.begin_procedure("helper");
+    b.blocks({4, 5});
+    b.end_procedure();
+    b.begin_alternative();
+    b.blocks({0});
+    b.call("helper");
+    b.next_branch();
+    b.blocks({1});
+    b.call("helper");
+    b.end_alternative();
+    b.call("helper"); // must-hit regardless of the branch taken
+    const Program p = std::move(b).build();
+
+    const AbstractExtraction bound = analyze_program(p, kGeo8);
+    // Worst branch misses: 1 (own block) + 2 (helper) = 3; the trailing
+    // call hits both helper blocks.
+    EXPECT_EQ(bound.md, 3);
+    for (const auto selector :
+         {BranchSelector{[](std::size_t) { return 0u; }},
+          BranchSelector{[](std::size_t) { return 1u; }}}) {
+        EXPECT_GE(bound.md, concrete_misses(p, kGeo8, selector));
+    }
+}
+
+TEST(AbstractAnalysis, ResidualNeverExceedsCold)
+{
+    for (const Program& p : synthetic_suite()) {
+        const AbstractExtraction bound = analyze_program(p, kGeo256);
+        EXPECT_LE(bound.md_residual, bound.md) << p.name();
+    }
+    const AbstractExtraction branchy =
+        analyze_program(branchy_program(), kGeo8);
+    EXPECT_LE(branchy.md_residual, branchy.md);
+}
+
+} // namespace
+} // namespace cpa::program

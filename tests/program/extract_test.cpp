@@ -1,0 +1,189 @@
+#include "program/extract.hpp"
+
+#include "program/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::program {
+namespace {
+
+Program small_loop()
+{
+    // 4 straight blocks, then a loop of 6 blocks where blocks 8,9 alias
+    // with 0,1 in an 8-set cache.
+    ProgramBuilder b("small_loop");
+    b.straight(0, 4);
+    b.begin_loop(5);
+    b.straight(4, 6); // blocks 4..9
+    b.end_loop();
+    return std::move(b).build();
+}
+
+TEST(Extract, PdIsTraceLengthTimesFetchCost)
+{
+    const Program p = small_loop();
+    const ExtractedParams params = extract_parameters(p, {8, 32});
+    EXPECT_EQ(params.pd, static_cast<util::Cycles>(
+                             p.reference_trace().size() * 2));
+}
+
+TEST(Extract, EcbIsEverySetTouched)
+{
+    const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
+    EXPECT_EQ(params.ecb.count(), 8u); // blocks 0..9 cover all 8 sets
+}
+
+TEST(Extract, PcbIsSingleOccupancySets)
+{
+    // Blocks 0..9 on 8 sets: sets 0,1 hold {0,8} and {1,9}; sets 2..7 hold
+    // one block each -> 6 PCBs.
+    const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
+    EXPECT_EQ(params.pcb.count(), 6u);
+    EXPECT_FALSE(params.pcb.contains(0));
+    EXPECT_FALSE(params.pcb.contains(1));
+}
+
+TEST(Extract, MdEqualsResidualPlusPcbCount)
+{
+    // Each persistent block misses exactly once from cold, so
+    // MD = MDʳ + |PCB| must hold exactly for any program.
+    for (const Program& p : synthetic_suite()) {
+        for (const std::size_t sets : {32u, 64u, 256u, 512u}) {
+            const ExtractedParams params =
+                extract_parameters(p, {sets, 32});
+            EXPECT_EQ(params.md,
+                      params.md_residual +
+                          static_cast<std::int64_t>(params.pcb.count()))
+                << p.name() << " @" << sets;
+        }
+    }
+}
+
+TEST(Extract, ColdMissCountMatchesHandComputation)
+{
+    // small_loop in 8 sets: cold pass misses blocks 0..9 (10 misses) on
+    // first touch; per remaining loop iteration blocks 4..7 hit, blocks 8,9
+    // evict/reload against 0,1 -> but 0,1 are never re-accessed, so 8,9 stay
+    // cached: only the first iteration misses them. Total = 10.
+    const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
+    EXPECT_EQ(params.md, 10);
+    // With PCBs (sets 2..7, blocks 2..7... precisely blocks 2,3,4,5,6,7)
+    // preloaded, misses are blocks 0,1,8,9 -> 4.
+    EXPECT_EQ(params.md_residual, 4);
+}
+
+TEST(Extract, UcbContainsReusedBlocksOnly)
+{
+    // Blocks 4..9 are reused across loop iterations without eviction
+    // (8 and 9 conflict with 0 and 1, which never recur), so UCB covers
+    // their sets; blocks 0..3's sets host no reuse... except sets 0,1 are
+    // the sets of 8,9. Blocks 2,3 are accessed once -> their sets are not
+    // useful.
+    const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
+    EXPECT_FALSE(params.ucb.contains(2));
+    EXPECT_FALSE(params.ucb.contains(3));
+    for (const std::size_t set : {4u, 5u, 6u, 7u, 0u, 1u}) {
+        EXPECT_TRUE(params.ucb.contains(set)) << set;
+    }
+}
+
+TEST(Extract, PingPongLoopHasNoUsefulConflictingBlocks)
+{
+    // Two aliasing blocks accessed alternately never survive to their next
+    // use -> no hits, MD = every access.
+    ProgramBuilder b("pingpong");
+    b.begin_loop(10);
+    b.blocks({0, 8});
+    b.end_loop();
+    const Program p = std::move(b).build();
+    const ExtractedParams params = extract_parameters(p, {8, 32});
+    EXPECT_EQ(params.md, 20);
+    EXPECT_EQ(params.ucb.count(), 0u);
+    EXPECT_EQ(params.pcb.count(), 0u);
+    EXPECT_EQ(params.md_residual, 20);
+}
+
+TEST(Extract, BiggerCacheRemovesConflicts)
+{
+    ProgramBuilder b("pingpong");
+    b.begin_loop(10);
+    b.blocks({0, 8});
+    b.end_loop();
+    const Program p = std::move(b).build();
+    const ExtractedParams params = extract_parameters(p, {16, 32});
+    EXPECT_EQ(params.md, 2); // both blocks persistent now
+    EXPECT_EQ(params.md_residual, 0);
+    EXPECT_EQ(params.pcb.count(), 2u);
+}
+
+TEST(Extract, UcbMaxPointBoundedByUcbCount)
+{
+    for (const Program& p : synthetic_suite()) {
+        const ExtractedParams params = extract_parameters(p, {256, 32});
+        EXPECT_LE(params.ucb_max_point, params.ucb.count()) << p.name();
+    }
+}
+
+TEST(Extract, AssociativityRemovesPingPongMisses)
+{
+    // blocks {0, 8} alias in 8 sets: direct-mapped ping-pongs, 2-way holds
+    // both and makes them persistent.
+    ProgramBuilder b("pingpong");
+    b.begin_loop(10);
+    b.blocks({0, 8});
+    b.end_loop();
+    const Program p = std::move(b).build();
+
+    const ExtractedParams one_way = extract_parameters(p, {8, 32, 1});
+    const ExtractedParams two_way = extract_parameters(p, {8, 32, 2});
+    EXPECT_EQ(one_way.md, 20);
+    EXPECT_EQ(two_way.md, 2);
+    EXPECT_EQ(one_way.pcb.count(), 0u);
+    EXPECT_EQ(two_way.pcb.count(), 1u); // both blocks live in set 0
+    EXPECT_EQ(two_way.md_residual, 0);
+}
+
+TEST(Extract, PersistenceGrowsWithWays)
+{
+    for (const Program& p : synthetic_suite()) {
+        std::size_t previous_pcb = 0;
+        std::int64_t previous_md = std::numeric_limits<std::int64_t>::max();
+        for (const std::size_t ways : {1u, 2u, 4u}) {
+            const ExtractedParams params =
+                extract_parameters(p, {256, 32, ways});
+            EXPECT_GE(params.pcb.count(), previous_pcb)
+                << p.name() << " ways=" << ways;
+            EXPECT_LE(params.md, previous_md)
+                << p.name() << " ways=" << ways;
+            previous_pcb = params.pcb.count();
+            previous_md = params.md;
+        }
+    }
+}
+
+TEST(Extract, ToTaskCopiesEverything)
+{
+    const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
+    const tasks::Task task = to_task(params, 1, 1000);
+    EXPECT_EQ(task.core, 1u);
+    EXPECT_EQ(task.period, 1000);
+    EXPECT_EQ(task.deadline, 1000);
+    EXPECT_EQ(task.md, params.md);
+    EXPECT_EQ(task.md_residual, params.md_residual);
+    EXPECT_TRUE(task.pcb == params.pcb);
+}
+
+TEST(Extract, TaskInvariantsHoldForSyntheticSuite)
+{
+    // The extracted parameters must satisfy every TaskSet::validate()
+    // invariant (UCB/PCB ⊆ ECB, MDʳ <= MD).
+    for (const Program& p : synthetic_suite()) {
+        const ExtractedParams params = extract_parameters(p, {256, 32});
+        tasks::TaskSet ts(1, 256);
+        ts.add_task(to_task(params, 0, 100'000'000));
+        EXPECT_NO_THROW(ts.validate()) << p.name();
+    }
+}
+
+} // namespace
+} // namespace cpa::program

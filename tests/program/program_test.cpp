@@ -1,0 +1,260 @@
+#include "program/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::program {
+namespace {
+
+TEST(ProgramBuilder, StraightLineTrace)
+{
+    ProgramBuilder b("straight");
+    b.straight(10, 3);
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(), (std::vector<std::size_t>{10, 11, 12}));
+}
+
+TEST(ProgramBuilder, LoopRepeatsBody)
+{
+    ProgramBuilder b("loop");
+    b.begin_loop(3);
+    b.straight(0, 2);
+    b.end_loop();
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(),
+              (std::vector<std::size_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(ProgramBuilder, NestedLoopsMultiply)
+{
+    ProgramBuilder b("nested");
+    b.begin_loop(2);
+    b.blocks({7});
+    b.begin_loop(3);
+    b.blocks({8});
+    b.end_loop();
+    b.end_loop();
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(),
+              (std::vector<std::size_t>{7, 8, 8, 8, 7, 8, 8, 8}));
+}
+
+TEST(ProgramBuilder, ZeroIterationLoopContributesNothing)
+{
+    ProgramBuilder b("zero");
+    b.blocks({1});
+    b.begin_loop(0);
+    b.blocks({2});
+    b.end_loop();
+    b.blocks({3});
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(ProgramBuilder, UnclosedLoopThrows)
+{
+    ProgramBuilder b("bad");
+    b.begin_loop(2);
+    EXPECT_THROW((void)std::move(b).build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, EndLoopWithoutBeginThrows)
+{
+    ProgramBuilder b("bad");
+    EXPECT_THROW(b.end_loop(), std::logic_error);
+}
+
+TEST(ProgramBuilder, AlternativeSelectsBranchPerSelector)
+{
+    ProgramBuilder b("alt");
+    b.blocks({1});
+    b.begin_alternative();
+    b.blocks({2});
+    b.next_branch();
+    b.blocks({3, 4});
+    b.end_alternative();
+    b.blocks({5});
+    const Program p = std::move(b).build();
+
+    EXPECT_TRUE(p.has_alternatives());
+    // Default selector takes branch 0.
+    EXPECT_EQ(p.reference_trace(), (std::vector<std::size_t>{1, 2, 5}));
+    EXPECT_EQ(p.reference_trace([](std::size_t) { return 1u; }),
+              (std::vector<std::size_t>{1, 3, 4, 5}));
+}
+
+TEST(ProgramBuilder, SelectorOutOfRangeThrows)
+{
+    ProgramBuilder b("alt");
+    b.begin_alternative();
+    b.blocks({1});
+    b.end_alternative();
+    const Program p = std::move(b).build();
+    EXPECT_THROW((void)p.reference_trace([](std::size_t) { return 7u; }),
+                 std::out_of_range);
+}
+
+TEST(ProgramBuilder, DistinctBlocksSpanAllBranches)
+{
+    ProgramBuilder b("alt");
+    b.begin_alternative();
+    b.blocks({2});
+    b.next_branch();
+    b.blocks({9});
+    b.end_alternative();
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.distinct_blocks(), (std::vector<std::size_t>{2, 9}));
+}
+
+TEST(ProgramBuilder, AlternativeInsideLoopResolvedPerIteration)
+{
+    ProgramBuilder b("alt_loop");
+    b.begin_loop(3);
+    b.begin_alternative();
+    b.blocks({1});
+    b.next_branch();
+    b.blocks({2});
+    b.end_alternative();
+    b.end_loop();
+    const Program p = std::move(b).build();
+    std::size_t call = 0;
+    const auto trace =
+        p.reference_trace([&call](std::size_t) { return call++ % 2; });
+    EXPECT_EQ(trace, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(ProgramBuilder, MismatchedConstructsThrow)
+{
+    {
+        ProgramBuilder b("bad");
+        b.begin_alternative();
+        EXPECT_THROW(b.end_loop(), std::logic_error);
+    }
+    {
+        ProgramBuilder b("bad");
+        b.begin_loop(2);
+        EXPECT_THROW(b.end_alternative(), std::logic_error);
+    }
+    {
+        ProgramBuilder b("bad");
+        EXPECT_THROW(b.next_branch(), std::logic_error);
+    }
+    {
+        ProgramBuilder b("bad");
+        b.begin_alternative();
+        EXPECT_THROW((void)std::move(b).build(), std::logic_error);
+    }
+}
+
+TEST(ProgramBuilder, ProceduresShareCodeAcrossCallSites)
+{
+    ProgramBuilder b("proc");
+    b.begin_procedure("helper");
+    b.straight(20, 3);
+    b.end_procedure();
+    b.blocks({1});
+    b.call("helper");
+    b.blocks({2});
+    b.call("helper");
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(),
+              (std::vector<std::size_t>{1, 20, 21, 22, 2, 20, 21, 22}));
+    // Distinct blocks include the procedure body exactly once.
+    EXPECT_EQ(p.distinct_blocks(),
+              (std::vector<std::size_t>{1, 2, 20, 21, 22}));
+}
+
+TEST(ProgramBuilder, ProceduresCanCallOtherProcedures)
+{
+    ProgramBuilder b("nested_call");
+    b.begin_procedure("inner");
+    b.blocks({9});
+    b.end_procedure();
+    b.begin_procedure("outer");
+    b.blocks({5});
+    b.call("inner");
+    b.end_procedure();
+    b.call("outer");
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(), (std::vector<std::size_t>{5, 9}));
+}
+
+TEST(ProgramBuilder, UndefinedCallRejectedAtBuild)
+{
+    ProgramBuilder b("bad");
+    b.call("nowhere");
+    EXPECT_THROW((void)std::move(b).build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, RecursiveCallsRejected)
+{
+    ProgramBuilder b("recursive");
+    b.begin_procedure("self");
+    b.call("self");
+    b.end_procedure();
+    b.call("self");
+    EXPECT_THROW((void)std::move(b).build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, ProcedureConstructErrors)
+{
+    {
+        ProgramBuilder b("bad");
+        b.begin_loop(2);
+        EXPECT_THROW(b.begin_procedure("p"), std::logic_error);
+    }
+    {
+        ProgramBuilder b("bad");
+        EXPECT_THROW(b.end_procedure(), std::logic_error);
+    }
+    {
+        ProgramBuilder b("bad");
+        b.begin_procedure("p");
+        b.end_procedure();
+        EXPECT_THROW(b.begin_procedure("p"), std::logic_error); // duplicate
+    }
+    {
+        ProgramBuilder b("bad");
+        b.begin_procedure("p");
+        EXPECT_THROW((void)std::move(b).build(), std::logic_error);
+    }
+}
+
+TEST(Program, CallInsideLoopRepeatsProcedureBody)
+{
+    ProgramBuilder b("loop_call");
+    b.begin_procedure("work");
+    b.blocks({7, 8});
+    b.end_procedure();
+    b.begin_loop(3);
+    b.call("work");
+    b.end_loop();
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.reference_trace(),
+              (std::vector<std::size_t>{7, 8, 7, 8, 7, 8}));
+}
+
+TEST(Program, HasAlternativesFalseForStraightLineAndLoops)
+{
+    ProgramBuilder b("plain");
+    b.begin_loop(2);
+    b.straight(0, 2);
+    b.end_loop();
+    const Program p = std::move(b).build();
+    EXPECT_FALSE(p.has_alternatives());
+}
+
+TEST(Program, DistinctBlocksSortedUnique)
+{
+    ProgramBuilder b("distinct");
+    b.blocks({5, 3, 5, 1});
+    const Program p = std::move(b).build();
+    EXPECT_EQ(p.distinct_blocks(), (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(Program, RejectsNonPositiveFetchCost)
+{
+    EXPECT_THROW(Program("bad", {}, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cpa::program

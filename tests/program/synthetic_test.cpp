@@ -1,0 +1,145 @@
+// Checks that the synthetic Mälardalen stand-ins reproduce the structural
+// signature of the paper's Table I when run through our extraction pipeline
+// at the reference geometry (256 sets, 32 B blocks).
+#include "program/extract.hpp"
+#include "program/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::program {
+namespace {
+
+const cache::CacheGeometry kReference{256, 32};
+
+ExtractedParams extract(const Program& p)
+{
+    return extract_parameters(p, kReference);
+}
+
+TEST(Synthetic, LcdnumFullyPersistentSmallFootprint)
+{
+    const ExtractedParams params = extract(synthetic_lcdnum());
+    EXPECT_EQ(params.ecb.count(), 20u);
+    EXPECT_EQ(params.pcb.count(), 20u); // everything fits -> all persistent
+    EXPECT_EQ(params.md, 20);
+    EXPECT_EQ(params.md_residual, 0);
+}
+
+TEST(Synthetic, Bsort100TinyCodeHugeReuse)
+{
+    const ExtractedParams params = extract(synthetic_bsort100());
+    EXPECT_EQ(params.ecb.count(), 20u);
+    EXPECT_EQ(params.pcb.count(), 20u);
+    // PD dwarfs MD: the paper's bsort100 row has PD/MD ratio ~8.
+    EXPECT_GT(params.pd, 8 * params.md * 100);
+}
+
+TEST(Synthetic, LudcmpMediumFootprintFullyPersistent)
+{
+    const ExtractedParams params = extract(synthetic_ludcmp());
+    EXPECT_EQ(params.ecb.count(), 98u);
+    EXPECT_EQ(params.pcb.count(), 98u);
+}
+
+TEST(Synthetic, FdctSelfConflictingRegions)
+{
+    const ExtractedParams params = extract(synthetic_fdct());
+    EXPECT_EQ(params.ecb.count(), 106u);
+    EXPECT_EQ(params.pcb.count(), 22u); // Table I: |PCB| = 22
+    // The aliasing halves re-miss every iteration: MDʳ stays large.
+    EXPECT_GT(params.md_residual, 8 * 84);
+}
+
+TEST(Synthetic, NsichneuNothingPersistsAt256Sets)
+{
+    const ExtractedParams params = extract(synthetic_nsichneu());
+    EXPECT_EQ(params.ecb.count(), 256u);
+    EXPECT_EQ(params.pcb.count(), 0u);
+    EXPECT_EQ(params.md, params.md_residual); // Table I: MD == MDʳ
+    EXPECT_EQ(params.md, 2 * 1374);           // every fetch misses
+}
+
+TEST(Synthetic, StatematePersistentTailOf36Sets)
+{
+    const ExtractedParams params = extract(synthetic_statemate());
+    EXPECT_EQ(params.ecb.count(), 256u);
+    EXPECT_EQ(params.pcb.count(), 36u); // Table I: |PCB| = 36
+}
+
+TEST(Synthetic, LargerCachesIncreasePersistence)
+{
+    // The mechanism behind Fig. 3c, demonstrated on real (synthetic)
+    // programs instead of the scaling model.
+    for (const Program& p : synthetic_suite()) {
+        std::size_t previous_pcb = 0;
+        std::int64_t previous_md =
+            std::numeric_limits<std::int64_t>::max();
+        for (const std::size_t sets : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+            const ExtractedParams params =
+                extract_parameters(p, {sets, 32});
+            EXPECT_GE(params.pcb.count(), previous_pcb)
+                << p.name() << " @" << sets;
+            EXPECT_LE(params.md, previous_md) << p.name() << " @" << sets;
+            previous_pcb = params.pcb.count();
+            previous_md = params.md;
+        }
+    }
+}
+
+TEST(Synthetic, SuiteHasSixPrograms)
+{
+    EXPECT_EQ(synthetic_suite().size(), 6u);
+    EXPECT_EQ(synthetic_suite_extended().size(), 12u);
+}
+
+// Extended stand-ins: the footprint signatures must match the calibrated
+// table rows (benchdata) at the reference geometry.
+struct ExtendedRow {
+    const char* name;
+    std::size_t ecb;
+    std::size_t pcb;
+};
+
+class ExtendedSynthetic : public ::testing::TestWithParam<ExtendedRow> {};
+
+TEST_P(ExtendedSynthetic, FootprintMatchesExtendedTableRow)
+{
+    const ExtendedRow row = GetParam();
+    for (const Program& p : synthetic_suite_extended()) {
+        if (p.name() != row.name) {
+            continue;
+        }
+        const ExtractedParams params = extract_parameters(p, kReference);
+        EXPECT_EQ(params.ecb.count(), row.ecb) << row.name;
+        EXPECT_EQ(params.pcb.count(), row.pcb) << row.name;
+        EXPECT_LE(params.md_residual, params.md);
+        return;
+    }
+    FAIL() << "program not found: " << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, ExtendedSynthetic,
+                         ::testing::Values(ExtendedRow{"bs", 16, 16},
+                                           ExtendedRow{"crc", 42, 42},
+                                           ExtendedRow{"matmult", 48, 48},
+                                           ExtendedRow{"jfdctint", 96, 28},
+                                           ExtendedRow{"minver", 124, 86},
+                                           ExtendedRow{"qurt", 52, 40}));
+
+TEST(Synthetic, ExtendedSuiteInvariantsHoldAcrossGeometries)
+{
+    for (const Program& p : synthetic_suite_extended()) {
+        for (const std::size_t sets : {64u, 256u, 1024u}) {
+            const ExtractedParams params = extract_parameters(p, {sets, 32});
+            EXPECT_EQ(params.md, params.md_residual +
+                                     static_cast<std::int64_t>(
+                                         params.pcb.count()))
+                << p.name() << " @" << sets;
+            EXPECT_TRUE(params.pcb.is_subset_of(params.ecb)) << p.name();
+            EXPECT_TRUE(params.ucb.is_subset_of(params.ecb)) << p.name();
+        }
+    }
+}
+
+} // namespace
+} // namespace cpa::program

@@ -1,0 +1,207 @@
+// Soundness spot checks: for task sets the analysis deems schedulable, no
+// simulated execution may exhibit a response time above the analytical WCRT.
+// The simulator produces one legal execution (synchronous periodic releases)
+// of the modeled platform, so any violation here is a real soundness bug in
+// the bounds.
+#include "analysis/demand.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/wcrt.hpp"
+#include "benchdata/generator.hpp"
+#include "sim/simulator.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cpa::sim {
+namespace {
+
+using analysis::AnalysisConfig;
+using analysis::compute_wcrt;
+using analysis::WcrtResult;
+
+struct Case {
+    BusPolicy policy;
+    bool persistence;
+};
+
+class SoundnessTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SoundnessTest, SimulatedResponseNeverExceedsWcrtOnRandomSets)
+{
+    const Case c = GetParam();
+
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+
+    util::Rng rng(31337);
+    int checked = 0;
+    for (const double u : {0.15, 0.3, 0.45}) {
+        gen.per_core_utilization = u;
+        for (int repeat = 0; repeat < 8; ++repeat) {
+            util::Rng child = rng.fork();
+            const tasks::TaskSet ts =
+                benchdata::generate_task_set(child, gen, pool);
+
+            AnalysisConfig config;
+            config.policy = c.policy;
+            config.persistence_aware = c.persistence;
+            const WcrtResult wcrt = compute_wcrt(ts, platform, config);
+            if (!wcrt.schedulable) {
+                continue;
+            }
+            ++checked;
+
+            Cycles max_period = 0;
+            for (const tasks::Task& task : ts.tasks()) {
+                max_period = std::max(max_period, task.period);
+            }
+            SimConfig sim_config;
+            sim_config.policy = c.policy;
+            sim_config.horizon = 4 * max_period;
+            const SimResult sim = simulate(ts, platform, sim_config);
+
+            EXPECT_FALSE(sim.deadline_missed)
+                << "analysis said schedulable, simulation missed task "
+                << sim.missed_task << " (u=" << u << ")";
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+                EXPECT_LE(sim.max_response[i], wcrt.response[i])
+                    << "task " << i << " (" << ts[i].name << ") u=" << u;
+            }
+        }
+    }
+    // The utilizations are low enough that a fair share must be schedulable;
+    // an all-skip run would make the test vacuous.
+    EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SoundnessTest,
+    ::testing::Values(Case{BusPolicy::kFixedPriority, true},
+                      Case{BusPolicy::kFixedPriority, false},
+                      Case{BusPolicy::kRoundRobin, true},
+                      Case{BusPolicy::kRoundRobin, false},
+                      Case{BusPolicy::kTdma, true},
+                      Case{BusPolicy::kTdma, false}));
+
+TEST(Soundness, HoldsUnderRandomReleaseOffsets)
+{
+    // Asynchronous releases are legal sporadic behaviors too; the bound
+    // must cover them (the other-core analysis explicitly assumes no
+    // synchronization between cores).
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    platform.d_mem = 10;
+    platform.slot_size = 2;
+
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 2;
+    gen.tasks_per_core = 3;
+    gen.cache_sets = 64;
+    gen.per_core_utilization = 0.3;
+    const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 64);
+
+    util::Rng rng(271828);
+    int checked = 0;
+    for (int repeat = 0; repeat < 6; ++repeat) {
+        util::Rng child = rng.fork();
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(child, gen, pool);
+        AnalysisConfig config;
+        config.policy = BusPolicy::kFixedPriority;
+        const WcrtResult wcrt = compute_wcrt(ts, platform, config);
+        if (!wcrt.schedulable) {
+            continue;
+        }
+        ++checked;
+
+        Cycles max_period = 0;
+        for (const tasks::Task& task : ts.tasks()) {
+            max_period = std::max(max_period, task.period);
+        }
+        for (int offsets_draw = 0; offsets_draw < 3; ++offsets_draw) {
+            SimConfig sim_config;
+            sim_config.policy = BusPolicy::kFixedPriority;
+            sim_config.horizon = 4 * max_period;
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+                sim_config.release_offsets.push_back(
+                    child.uniform_int(0, ts[i].period));
+            }
+            const SimResult sim = simulate(ts, platform, sim_config);
+            for (std::size_t i = 0; i < ts.size(); ++i) {
+                EXPECT_LE(sim.max_response[i], wcrt.response[i])
+                    << "task " << i << " draw " << offsets_draw;
+            }
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(Soundness, OffsetVectorValidation)
+{
+    const tasks::TaskSet ts = cpa::testing::make_task_set(
+        1, 16, {{0, 10, 1, 1, 100, 0, {}, {}, {}}});
+    PlatformConfig platform;
+    platform.num_cores = 1;
+    platform.cache_sets = 16;
+    platform.d_mem = 5;
+
+    SimConfig config;
+    config.policy = BusPolicy::kFixedPriority;
+    config.horizon = 1000;
+    config.release_offsets = {10, 20}; // wrong size
+    EXPECT_THROW((void)simulate(ts, platform, config), std::invalid_argument);
+    config.release_offsets = {-1};
+    EXPECT_THROW((void)simulate(ts, platform, config), std::invalid_argument);
+    config.release_offsets = {40};
+    const SimResult result = simulate(ts, platform, config);
+    EXPECT_EQ(result.jobs_completed[0], 10); // releases at 40, 140, ..., 940
+}
+
+TEST(Soundness, SimulatedAccessesBoundedByMdHatPlusCpro)
+{
+    // On a single-core two-task system, the accesses the simulator issues
+    // for the high-priority task across n jobs must respect
+    // M̂D(n) + ρ̂(n) + per-preemption CRPD.
+    const tasks::TaskSet ts = cpa::testing::make_task_set(
+        1, 16,
+        {
+            {0, 10, 4, 1, 100, 0, {1, 2, 3, 4}, {1, 2}, {1, 2, 3}},
+            {0, 20, 3, 3, 250, 0, {3, 4, 5}, {3}, {}},
+        });
+    PlatformConfig platform;
+    platform.num_cores = 1;
+    platform.cache_sets = 16;
+    platform.d_mem = 5;
+    platform.slot_size = 1;
+
+    SimConfig config;
+    config.policy = BusPolicy::kFixedPriority;
+    config.horizon = 1000; // 10 jobs of τ1
+    const SimResult sim = simulate(ts, platform, config);
+    ASSERT_FALSE(sim.deadline_missed);
+    ASSERT_EQ(sim.jobs_completed[0], 10);
+
+    const analysis::InterferenceTables tables(
+        ts, analysis::CrpdMethod::kEcbUnion);
+    const std::int64_t md_hat_bound = analysis::md_hat(ts[0], 10);
+    const std::int64_t cpro_bound = tables.rho_hat(0, 1, 10);
+    EXPECT_LE(sim.bus_accesses[0], md_hat_bound + cpro_bound);
+}
+
+} // namespace
+} // namespace cpa::sim

@@ -1,0 +1,145 @@
+#include "tasks/partition.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpa::tasks {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+// Tasks with given loads (pd over period 100, no memory) and ECB ranges.
+std::vector<Task> demo_tasks(
+    const std::vector<std::pair<util::Cycles, std::vector<std::size_t>>>&
+        specs)
+{
+    std::vector<Task> tasks;
+    for (const auto& [pd, ecb] : specs) {
+        Task task;
+        task.name = "t" + std::to_string(tasks.size());
+        task.pd = pd;
+        task.period = 100;
+        task.deadline = 100;
+        task.ecb = util::SetMask::from_indices(16, ecb);
+        task.ucb = util::SetMask(16);
+        task.pcb = util::SetMask(16);
+        tasks.push_back(std::move(task));
+    }
+    return tasks;
+}
+
+TEST(Partition, RejectsZeroCores)
+{
+    std::vector<Task> tasks = demo_tasks({{10, {}}});
+    EXPECT_THROW(partition_tasks(tasks, 0, PartitionHeuristic::kWorstFit, 1),
+                 std::invalid_argument);
+}
+
+TEST(Partition, EmptyTaskListIsNoop)
+{
+    std::vector<Task> tasks;
+    partition_tasks(tasks, 4, PartitionHeuristic::kWorstFit, 1);
+    EXPECT_TRUE(tasks.empty());
+}
+
+TEST(Partition, WorstFitBalancesLoad)
+{
+    // Loads 60, 50, 40, 30 over two cores: worst-fit (decreasing) puts
+    // 60 -> core A, 50 -> core B, 40 -> B (30 < 60? no: B has 50 < 60...
+    // after 60/50: least loaded = B(50): 40 -> B = 90? min is... A=60,B=50:
+    // 40 -> B (90); 30 -> A (90). Perfect balance.
+    std::vector<Task> tasks =
+        demo_tasks({{60, {}}, {50, {}}, {40, {}}, {30, {}}});
+    partition_tasks(tasks, 2, PartitionHeuristic::kWorstFit, 1);
+    double loads[2] = {0, 0};
+    for (const Task& task : tasks) {
+        ASSERT_LT(task.core, 2u);
+        loads[task.core] += static_cast<double>(task.pd) / 100.0;
+    }
+    EXPECT_DOUBLE_EQ(loads[0], 0.9);
+    EXPECT_DOUBLE_EQ(loads[1], 0.9);
+}
+
+TEST(Partition, FirstFitPacksGreedily)
+{
+    // Loads 0.6, 0.5, 0.4, 0.3: first-fit decreasing -> core0: 0.6+0.4=1.0,
+    // core1: 0.5+0.3.
+    std::vector<Task> tasks =
+        demo_tasks({{60, {}}, {50, {}}, {40, {}}, {30, {}}});
+    partition_tasks(tasks, 2, PartitionHeuristic::kFirstFit, 1);
+    EXPECT_EQ(tasks[0].core, 0u);
+    EXPECT_EQ(tasks[1].core, 1u);
+    EXPECT_EQ(tasks[2].core, 0u);
+    EXPECT_EQ(tasks[3].core, 1u);
+}
+
+TEST(Partition, FirstFitFallsBackWhenNothingFits)
+{
+    std::vector<Task> tasks = demo_tasks({{90, {}}, {90, {}}, {90, {}}});
+    partition_tasks(tasks, 2, PartitionHeuristic::kFirstFit, 1);
+    // Third task does not fit anywhere; it must still get a core.
+    for (const Task& task : tasks) {
+        EXPECT_LT(task.core, 2u);
+    }
+}
+
+TEST(Partition, CacheAwareSeparatesOverlappingFootprints)
+{
+    // Two pairs of identical footprints with equal loads: cache-aware must
+    // split each pair across the cores.
+    std::vector<Task> tasks = demo_tasks({
+        {40, {1, 2, 3}},
+        {40, {1, 2, 3}},
+        {40, {8, 9}},
+        {40, {8, 9}},
+    });
+    partition_tasks(tasks, 2, PartitionHeuristic::kCacheAware, 1);
+    EXPECT_NE(tasks[0].core, tasks[1].core);
+    EXPECT_NE(tasks[2].core, tasks[3].core);
+    EXPECT_EQ(same_core_overlap(tasks, 2), 0u);
+}
+
+TEST(Partition, CacheAwareBeatsWorstFitOnOverlap)
+{
+    std::vector<Task> tasks = demo_tasks({
+        {50, {0, 1, 2, 3, 4}},
+        {45, {0, 1, 2, 3}},
+        {40, {10, 11, 12}},
+        {35, {10, 11}},
+        {30, {5, 6}},
+        {25, {5, 6, 7}},
+    });
+    std::vector<Task> by_worst_fit = tasks;
+    partition_tasks(by_worst_fit, 2, PartitionHeuristic::kWorstFit, 1);
+    partition_tasks(tasks, 2, PartitionHeuristic::kCacheAware, 1);
+    EXPECT_LE(same_core_overlap(tasks, 2),
+              same_core_overlap(by_worst_fit, 2));
+}
+
+TEST(Partition, ToStringCoversAllHeuristics)
+{
+    EXPECT_EQ(to_string(PartitionHeuristic::kFirstFit), "first-fit");
+    EXPECT_EQ(to_string(PartitionHeuristic::kWorstFit), "worst-fit");
+    EXPECT_EQ(to_string(PartitionHeuristic::kCacheAware), "cache-aware");
+}
+
+TEST(Partition, SameCoreOverlapCountsPairs)
+{
+    std::vector<Task> tasks = demo_tasks({
+        {10, {1, 2}},
+        {10, {2, 3}},
+        {10, {2, 9}},
+    });
+    tasks[0].core = 0;
+    tasks[1].core = 0;
+    tasks[2].core = 1;
+    // Only the pair (0,1) shares a core; overlap |{1,2} ∩ {2,3}| = 1.
+    EXPECT_EQ(same_core_overlap(tasks, 2), 1u);
+}
+
+} // namespace
+} // namespace cpa::tasks

@@ -1,0 +1,148 @@
+#include "tasks/task.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::tasks {
+namespace {
+
+using cpa::testing::make_task_set;
+using cpa::testing::TaskSpec;
+
+TEST(TaskSet, RequiresAtLeastOneCoreAndOneSet)
+{
+    EXPECT_THROW(TaskSet(0, 16), std::invalid_argument);
+    EXPECT_THROW(TaskSet(2, 0), std::invalid_argument);
+}
+
+TEST(TaskSet, AddTaskRejectsBadCore)
+{
+    TaskSet ts(2, 16);
+    Task task;
+    task.core = 2;
+    task.ecb = util::SetMask(16);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    EXPECT_THROW(ts.add_task(task), std::invalid_argument);
+}
+
+TEST(TaskSet, AddTaskRejectsWrongUniverse)
+{
+    TaskSet ts(2, 16);
+    Task task;
+    task.core = 0;
+    task.ecb = util::SetMask(8);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    EXPECT_THROW(ts.add_task(task), std::invalid_argument);
+}
+
+TEST(TaskSet, TasksOnCorePreservesPriorityOrder)
+{
+    const TaskSet ts = make_task_set(2, 16,
+                                     {
+                                         {0, 1, 0, 0, 10, 0, {}, {}, {}},
+                                         {1, 1, 0, 0, 10, 0, {}, {}, {}},
+                                         {0, 1, 0, 0, 10, 0, {}, {}, {}},
+                                     });
+    EXPECT_EQ(ts.tasks_on_core(0), (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(ts.tasks_on_core(1), (std::vector<std::size_t>{1}));
+    EXPECT_THROW((void)ts.tasks_on_core(2), std::out_of_range);
+}
+
+TEST(TaskSet, UtilizationAccountsForMemoryTime)
+{
+    // One task: PD=10, MD=5, T=100, d_mem=4 -> (10 + 20)/100 = 0.3
+    const TaskSet ts =
+        make_task_set(1, 16, {{0, 10, 5, 5, 100, 0, {}, {}, {}}});
+    EXPECT_DOUBLE_EQ(ts.core_utilization(0, 4), 0.3);
+    EXPECT_DOUBLE_EQ(ts.bus_utilization(4), 0.2);
+}
+
+TEST(TaskSet, DeadlineMonotonicSortsByDeadline)
+{
+    TaskSet ts = make_task_set(1, 16,
+                               {
+                                   {0, 1, 0, 0, 30, 30, {}, {}, {}},
+                                   {0, 1, 0, 0, 10, 10, {}, {}, {}},
+                                   {0, 1, 0, 0, 20, 20, {}, {}, {}},
+                               });
+    ts.assign_priorities_deadline_monotonic();
+    EXPECT_EQ(ts[0].deadline, 10);
+    EXPECT_EQ(ts[1].deadline, 20);
+    EXPECT_EQ(ts[2].deadline, 30);
+    EXPECT_EQ(ts.tasks_on_core(0), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TaskSet, RateMonotonicSortsByPeriod)
+{
+    TaskSet ts = make_task_set(1, 16,
+                               {
+                                   {0, 1, 0, 0, 30, 5, {}, {}, {}},
+                                   {0, 1, 0, 0, 10, 9, {}, {}, {}},
+                               });
+    ts.assign_priorities_rate_monotonic();
+    EXPECT_EQ(ts[0].period, 10);
+    EXPECT_EQ(ts[1].period, 30);
+}
+
+TEST(TaskSet, ValidateRejectsResidualAboveMd)
+{
+    TaskSet ts(1, 16);
+    Task task;
+    task.core = 0;
+    task.pd = 1;
+    task.md = 2;
+    task.md_residual = 3;
+    task.period = 10;
+    task.deadline = 10;
+    task.ecb = util::SetMask(16);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    ts.add_task(task);
+    EXPECT_THROW(ts.validate(), std::invalid_argument);
+}
+
+TEST(TaskSet, ValidateRejectsUcbOutsideEcb)
+{
+    TaskSet ts(1, 16);
+    Task task;
+    task.core = 0;
+    task.pd = 1;
+    task.md = 2;
+    task.md_residual = 1;
+    task.period = 10;
+    task.deadline = 10;
+    task.ecb = util::SetMask::from_indices(16, {1});
+    task.ucb = util::SetMask::from_indices(16, {2});
+    task.pcb = util::SetMask(16);
+    ts.add_task(task);
+    EXPECT_THROW(ts.validate(), std::invalid_argument);
+}
+
+TEST(TaskSet, ValidateRejectsDeadlineBeyondPeriod)
+{
+    TaskSet ts(1, 16);
+    Task task;
+    task.core = 0;
+    task.pd = 1;
+    task.period = 10;
+    task.deadline = 11;
+    task.ecb = util::SetMask(16);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    ts.add_task(task);
+    EXPECT_THROW(ts.validate(), std::invalid_argument);
+}
+
+TEST(Task, IsolatedDemandCombinesCpuAndMemory)
+{
+    Task task;
+    task.pd = 100;
+    task.md = 7;
+    EXPECT_EQ(task.isolated_demand(10), 170);
+}
+
+} // namespace
+} // namespace cpa::tasks

@@ -1,0 +1,82 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::util {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact)
+{
+    EXPECT_EQ(ceil_div(0, 5), 0);
+    EXPECT_EQ(ceil_div(10, 5), 2);
+    EXPECT_EQ(ceil_div(11, 5), 3);
+    EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(CeilDiv, RejectsBadArguments)
+{
+    EXPECT_THROW((void)ceil_div(1, 0), std::invalid_argument);
+    EXPECT_THROW((void)ceil_div(1, -2), std::invalid_argument);
+    EXPECT_THROW((void)ceil_div(-1, 2), std::invalid_argument);
+}
+
+TEST(FloorDiv, HandlesNegativeDividend)
+{
+    EXPECT_EQ(floor_div(10, 3), 3);
+    EXPECT_EQ(floor_div(9, 3), 3);
+    EXPECT_EQ(floor_div(-1, 3), -1);
+    EXPECT_EQ(floor_div(-3, 3), -1);
+    EXPECT_EQ(floor_div(-4, 3), -2);
+}
+
+TEST(CeilDivSigned, HandlesNegativeDividend)
+{
+    EXPECT_EQ(ceil_div_signed(10, 3), 4);
+    EXPECT_EQ(ceil_div_signed(9, 3), 3);
+    EXPECT_EQ(ceil_div_signed(-1, 3), 0);
+    EXPECT_EQ(ceil_div_signed(-3, 3), -1);
+    EXPECT_EQ(ceil_div_signed(-4, 3), -1);
+}
+
+TEST(CeilFloorDuality, CeilEqualsNegFloorNeg)
+{
+    for (std::int64_t a = -50; a <= 50; ++a) {
+        for (std::int64_t b = 1; b <= 7; ++b) {
+            EXPECT_EQ(ceil_div_signed(a, b), -floor_div(-a, b))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(SaturatingLcm, ComputesSmallLcms)
+{
+    EXPECT_EQ(saturating_lcm(4, 6, 1000), 12);
+    EXPECT_EQ(saturating_lcm(7, 7, 1000), 7);
+    EXPECT_EQ(saturating_lcm(1, 9, 1000), 9);
+    EXPECT_EQ(saturating_lcm(10, 15, 1000), 30);
+}
+
+TEST(SaturatingLcm, SaturatesAtCap)
+{
+    EXPECT_EQ(saturating_lcm(999983, 999979, 1000000), 1000000);
+    // Overflow-scale inputs must saturate, not wrap.
+    const std::int64_t big = 3'000'000'019;
+    EXPECT_EQ(saturating_lcm(big, big - 2, 5'000'000'000), 5'000'000'000);
+}
+
+TEST(SaturatingLcm, RejectsNonPositive)
+{
+    EXPECT_THROW((void)saturating_lcm(0, 3, 10), std::invalid_argument);
+    EXPECT_THROW((void)saturating_lcm(3, -1, 10), std::invalid_argument);
+    EXPECT_THROW((void)saturating_lcm(3, 1, 0), std::invalid_argument);
+}
+
+TEST(ClampNonNegative, Clamps)
+{
+    EXPECT_EQ(clamp_non_negative(-5), 0);
+    EXPECT_EQ(clamp_non_negative(0), 0);
+    EXPECT_EQ(clamp_non_negative(5), 5);
+}
+
+} // namespace
+} // namespace cpa::util

@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cpa::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    }
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform_int(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIndexStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.uniform_index(17), 17u);
+    }
+}
+
+TEST(Rng, UniformRealStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform_real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RejectsEmptyRanges)
+{
+    Rng rng(7);
+    EXPECT_THROW((void)rng.uniform_int(3, 2), std::invalid_argument);
+    EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+    EXPECT_THROW((void)rng.uniform_real(2.0, 2.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(42);
+    Rng child = parent.fork();
+    // The child must not replay the parent's stream.
+    Rng reference(42);
+    (void)reference.engine()(); // parent consumed one draw for the fork
+    bool any_difference = false;
+    for (int i = 0; i < 16; ++i) {
+        if (child.uniform_int(0, 1'000'000) !=
+            parent.uniform_int(0, 1'000'000)) {
+            any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+class UUnifastTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(UUnifastTest, SumsToTotalAndAllNonNegative)
+{
+    const auto [n, total] = GetParam();
+    Rng rng(1234);
+    for (int repeat = 0; repeat < 50; ++repeat) {
+        const std::vector<double> u = uunifast(rng, n, total);
+        ASSERT_EQ(u.size(), n);
+        const double sum = std::accumulate(u.begin(), u.end(), 0.0);
+        EXPECT_NEAR(sum, total, 1e-9);
+        for (const double value : u) {
+            EXPECT_GE(value, 0.0);
+            EXPECT_LE(value, total + 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, UUnifastTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 32),
+                       ::testing::Values(0.05, 0.5, 1.0)));
+
+TEST(UUnifast, SingleTaskGetsEverything)
+{
+    Rng rng(5);
+    const std::vector<double> u = uunifast(rng, 1, 0.7);
+    ASSERT_EQ(u.size(), 1u);
+    EXPECT_DOUBLE_EQ(u[0], 0.7);
+}
+
+TEST(UUnifast, RejectsZeroTasks)
+{
+    Rng rng(5);
+    EXPECT_THROW((void)uunifast(rng, 0, 0.5), std::invalid_argument);
+}
+
+TEST(UUnifast, ZeroUtilizationGivesAllZeros)
+{
+    Rng rng(5);
+    for (const double value : uunifast(rng, 4, 0.0)) {
+        EXPECT_DOUBLE_EQ(value, 0.0);
+    }
+}
+
+} // namespace
+} // namespace cpa::util

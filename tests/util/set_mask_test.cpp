@@ -1,0 +1,281 @@
+#include "util/set_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace cpa::util {
+namespace {
+
+TEST(SetMask, StartsEmpty)
+{
+    const SetMask mask(256);
+    EXPECT_EQ(mask.universe(), 256u);
+    EXPECT_EQ(mask.count(), 0u);
+    EXPECT_TRUE(mask.empty());
+}
+
+TEST(SetMask, InsertAndContains)
+{
+    SetMask mask(100);
+    mask.insert(0);
+    mask.insert(63);
+    mask.insert(64);
+    mask.insert(99);
+    EXPECT_TRUE(mask.contains(0));
+    EXPECT_TRUE(mask.contains(63));
+    EXPECT_TRUE(mask.contains(64));
+    EXPECT_TRUE(mask.contains(99));
+    EXPECT_FALSE(mask.contains(1));
+    EXPECT_EQ(mask.count(), 4u);
+}
+
+TEST(SetMask, InsertIsIdempotent)
+{
+    SetMask mask(10);
+    mask.insert(5);
+    mask.insert(5);
+    EXPECT_EQ(mask.count(), 1u);
+}
+
+TEST(SetMask, EraseRemovesElement)
+{
+    SetMask mask(10);
+    mask.insert(5);
+    mask.erase(5);
+    EXPECT_FALSE(mask.contains(5));
+    EXPECT_TRUE(mask.empty());
+}
+
+TEST(SetMask, OutOfRangeThrows)
+{
+    SetMask mask(10);
+    EXPECT_THROW(mask.insert(10), std::out_of_range);
+    EXPECT_THROW(mask.erase(10), std::out_of_range);
+    EXPECT_THROW((void)mask.contains(10), std::out_of_range);
+}
+
+TEST(SetMask, UniverseMismatchThrows)
+{
+    SetMask a(10);
+    const SetMask b(11);
+    EXPECT_THROW(a |= b, std::invalid_argument);
+    EXPECT_THROW(a &= b, std::invalid_argument);
+    EXPECT_THROW((void)a.intersection_count(b), std::invalid_argument);
+}
+
+TEST(SetMask, UnionCombinesElements)
+{
+    SetMask a = SetMask::from_indices(128, {1, 2, 3});
+    const SetMask b = SetMask::from_indices(128, {3, 4, 100});
+    a |= b;
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_TRUE(a.contains(100));
+}
+
+TEST(SetMask, IntersectionKeepsCommonElements)
+{
+    SetMask a = SetMask::from_indices(64, {1, 2, 3, 10});
+    const SetMask b = SetMask::from_indices(64, {2, 3, 11});
+    a &= b;
+    EXPECT_EQ(a.to_indices(), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(SetMask, DifferenceRemovesElements)
+{
+    SetMask a = SetMask::from_indices(64, {1, 2, 3});
+    const SetMask b = SetMask::from_indices(64, {2, 9});
+    a -= b;
+    EXPECT_EQ(a.to_indices(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(SetMask, IntersectionCountMatchesMaterializedIntersection)
+{
+    const SetMask a = SetMask::from_indices(300, {0, 64, 128, 192, 256, 299});
+    const SetMask b = SetMask::from_indices(300, {64, 192, 299, 5});
+    EXPECT_EQ(a.intersection_count(b), 3u);
+    EXPECT_EQ((a & b).count(), 3u);
+}
+
+TEST(SetMask, IntersectsDetectsOverlap)
+{
+    const SetMask a = SetMask::from_indices(64, {5, 6});
+    const SetMask b = SetMask::from_indices(64, {6, 7});
+    const SetMask c = SetMask::from_indices(64, {8});
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(SetMask, SubsetRelation)
+{
+    const SetMask small = SetMask::from_indices(64, {5, 6});
+    const SetMask big = SetMask::from_indices(64, {5, 6, 7});
+    EXPECT_TRUE(small.is_subset_of(big));
+    EXPECT_FALSE(big.is_subset_of(small));
+    EXPECT_TRUE(small.is_subset_of(small));
+    EXPECT_TRUE(SetMask(64).is_subset_of(small)); // empty set
+}
+
+TEST(SetMask, WrappedRangeWithoutWrap)
+{
+    SetMask mask(16);
+    mask.insert_wrapped_range(3, 4);
+    EXPECT_EQ(mask.to_indices(), (std::vector<std::size_t>{3, 4, 5, 6}));
+}
+
+TEST(SetMask, WrappedRangeWrapsAroundEnd)
+{
+    SetMask mask(8);
+    mask.insert_wrapped_range(6, 4);
+    EXPECT_EQ(mask.to_indices(), (std::vector<std::size_t>{0, 1, 6, 7}));
+}
+
+TEST(SetMask, WrappedRangeFullUniverse)
+{
+    SetMask mask(8);
+    mask.insert_wrapped_range(5, 8);
+    EXPECT_EQ(mask.count(), 8u);
+    mask.clear();
+    mask.insert_wrapped_range(5, 100); // longer than universe saturates
+    EXPECT_EQ(mask.count(), 8u);
+}
+
+TEST(SetMask, WrappedRangeOffsetBeyondUniverse)
+{
+    SetMask mask(8);
+    mask.insert_wrapped_range(13, 2); // 13 % 8 = 5
+    EXPECT_EQ(mask.to_indices(), (std::vector<std::size_t>{5, 6}));
+}
+
+TEST(SetMask, EqualityComparesContentAndUniverse)
+{
+    const SetMask a = SetMask::from_indices(64, {1, 2});
+    const SetMask b = SetMask::from_indices(64, {1, 2});
+    const SetMask c = SetMask::from_indices(64, {1});
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(SetMask, RotatedShiftsModuloUniverse)
+{
+    const SetMask mask = SetMask::from_indices(8, {0, 6, 7});
+    const SetMask shifted = mask.rotated(3);
+    EXPECT_EQ(shifted.to_indices(), (std::vector<std::size_t>{1, 2, 3}));
+    EXPECT_EQ(mask.rotated(0), mask);
+    EXPECT_EQ(mask.rotated(8), mask);
+    EXPECT_EQ(mask.rotated(11), shifted);
+}
+
+TEST(SetMask, RotationPreservesCount)
+{
+    const SetMask mask = SetMask::from_indices(100, {0, 13, 64, 99});
+    for (const std::size_t offset : {1u, 50u, 99u, 150u}) {
+        EXPECT_EQ(mask.rotated(offset).count(), mask.count()) << offset;
+    }
+}
+
+TEST(SetMask, ClearEmptiesMask)
+{
+    SetMask mask = SetMask::from_indices(64, {1, 2, 3});
+    mask.clear();
+    EXPECT_TRUE(mask.empty());
+    EXPECT_EQ(mask.universe(), 64u);
+}
+
+class SetMaskUniverseTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SetMaskUniverseTest, CountMatchesInsertedAcrossWordBoundaries)
+{
+    const std::size_t universe = GetParam();
+    SetMask mask(universe);
+    std::size_t inserted = 0;
+    for (std::size_t i = 0; i < universe; i += 3) {
+        mask.insert(i);
+        ++inserted;
+    }
+    EXPECT_EQ(mask.count(), inserted);
+    EXPECT_EQ(mask.to_indices().size(), inserted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SetMaskUniverseTest,
+                         ::testing::Values(1, 32, 63, 64, 65, 127, 128, 256,
+                                           1024, 1025));
+
+// Randomized differential test against std::set as the reference model:
+// every operation must agree with naive set semantics.
+TEST(SetMask, AgreesWithStdSetReference)
+{
+    std::mt19937_64 rng(20200309);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t universe = 1 + rng() % 300;
+        SetMask mask_a(universe);
+        SetMask mask_b(universe);
+        std::set<std::size_t> ref_a;
+        std::set<std::size_t> ref_b;
+
+        for (int op = 0; op < 200; ++op) {
+            const std::size_t index = rng() % universe;
+            switch (rng() % 5) {
+            case 0:
+                mask_a.insert(index);
+                ref_a.insert(index);
+                break;
+            case 1:
+                mask_b.insert(index);
+                ref_b.insert(index);
+                break;
+            case 2:
+                mask_a.erase(index);
+                ref_a.erase(index);
+                break;
+            case 3: {
+                const std::size_t length = rng() % universe;
+                mask_a.insert_wrapped_range(index, length);
+                for (std::size_t k = 0; k < length; ++k) {
+                    ref_a.insert((index + k) % universe);
+                }
+                break;
+            }
+            case 4:
+                EXPECT_EQ(mask_a.contains(index), ref_a.count(index) > 0);
+                break;
+            }
+        }
+
+        EXPECT_EQ(mask_a.count(), ref_a.size());
+        EXPECT_EQ(mask_b.count(), ref_b.size());
+
+        std::set<std::size_t> ref_intersection;
+        for (const std::size_t v : ref_a) {
+            if (ref_b.count(v) > 0) {
+                ref_intersection.insert(v);
+            }
+        }
+        EXPECT_EQ(mask_a.intersection_count(mask_b),
+                  ref_intersection.size());
+        EXPECT_EQ(mask_a.intersects(mask_b), !ref_intersection.empty());
+
+        std::set<std::size_t> ref_union = ref_a;
+        ref_union.insert(ref_b.begin(), ref_b.end());
+        EXPECT_EQ((mask_a | mask_b).count(), ref_union.size());
+
+        std::set<std::size_t> ref_difference;
+        for (const std::size_t v : ref_a) {
+            if (ref_b.count(v) == 0) {
+                ref_difference.insert(v);
+            }
+        }
+        EXPECT_EQ((mask_a - mask_b).count(), ref_difference.size());
+
+        const std::vector<std::size_t> indices = mask_a.to_indices();
+        EXPECT_TRUE(std::equal(indices.begin(), indices.end(),
+                               ref_a.begin(), ref_a.end()));
+        EXPECT_EQ(mask_a.is_subset_of(mask_a | mask_b), true);
+    }
+}
+
+} // namespace
+} // namespace cpa::util

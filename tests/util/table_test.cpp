@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpa::util {
+namespace {
+
+TEST(TextTable, PrintsHeaderAndRows)
+{
+    TextTable table({"name", "value"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"b", "22"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22"), std::string::npos);
+    // header separator present
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows)
+{
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters)
+{
+    TextTable table({"name", "note"});
+    table.add_row({"a,b", "say \"hi\""});
+    std::ostringstream out;
+    table.print_csv(out);
+    EXPECT_EQ(out.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.0 / 3.0, 3), "0.333");
+    EXPECT_EQ(TextTable::num(2.0, 1), "2.0");
+}
+
+TEST(TextTable, RowCountTracksRows)
+{
+    TextTable table({"x"});
+    EXPECT_EQ(table.row_count(), 0u);
+    table.add_row({"1"});
+    table.add_row({"2"});
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+} // namespace
+} // namespace cpa::util

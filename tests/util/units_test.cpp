@@ -1,0 +1,49 @@
+#include "util/units.hpp"
+
+#include "analysis/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::util {
+namespace {
+
+TEST(Units, MicrosecondRoundTrip)
+{
+    EXPECT_EQ(cycles_from_microseconds(5), 10);
+    EXPECT_EQ(cycles_from_microseconds(0), 0);
+    EXPECT_DOUBLE_EQ(microseconds_from_cycles(10), 5.0);
+    EXPECT_DOUBLE_EQ(microseconds_from_cycles(1), 0.5);
+}
+
+TEST(Units, DefaultDmemEqualsExtractionLatency)
+{
+    // The convention of DESIGN.md §3.3: the default d_mem (5 us) equals the
+    // latency at which the table's MD cycles convert to access counts, so
+    // generation utilization equals platform utilization at defaults.
+    const analysis::PlatformConfig platform;
+    EXPECT_EQ(platform.d_mem, kExtractionLatencyCycles);
+    EXPECT_EQ(cycles_from_microseconds(5), kExtractionLatencyCycles);
+}
+
+TEST(Units, PolicyNames)
+{
+    using analysis::BusPolicy;
+    EXPECT_EQ(analysis::to_string(BusPolicy::kFixedPriority), "FP");
+    EXPECT_EQ(analysis::to_string(BusPolicy::kRoundRobin), "RR");
+    EXPECT_EQ(analysis::to_string(BusPolicy::kTdma), "TDMA");
+    EXPECT_EQ(analysis::to_string(BusPolicy::kPerfect), "PerfectBus");
+}
+
+TEST(Units, CrpdAndCproNames)
+{
+    using analysis::CproMethod;
+    using analysis::CrpdMethod;
+    EXPECT_EQ(analysis::to_string(CrpdMethod::kEcbUnion), "ECB-union");
+    EXPECT_EQ(analysis::to_string(CrpdMethod::kUcbOnly), "UCB-only");
+    EXPECT_EQ(analysis::to_string(CrpdMethod::kEcbOnly), "ECB-only");
+    EXPECT_EQ(analysis::to_string(CproMethod::kUnion), "CPRO-union");
+    EXPECT_EQ(analysis::to_string(CproMethod::kJobBound), "CPRO-job-bound");
+}
+
+} // namespace
+} // namespace cpa::util
