@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cpro"
+  "../bench/ablation_cpro.pdb"
+  "CMakeFiles/ablation_cpro.dir/ablation_cpro.cpp.o"
+  "CMakeFiles/ablation_cpro.dir/ablation_cpro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crpd"
+  "../bench/ablation_crpd.pdb"
+  "CMakeFiles/ablation_crpd.dir/ablation_crpd.cpp.o"
+  "CMakeFiles/ablation_crpd.dir/ablation_crpd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_jitter"
+  "../bench/ablation_jitter.pdb"
+  "CMakeFiles/ablation_jitter.dir/ablation_jitter.cpp.o"
+  "CMakeFiles/ablation_jitter.dir/ablation_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

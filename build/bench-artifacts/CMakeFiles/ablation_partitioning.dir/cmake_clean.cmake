@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_partitioning"
+  "../bench/ablation_partitioning.pdb"
+  "CMakeFiles/ablation_partitioning.dir/ablation_partitioning.cpp.o"
+  "CMakeFiles/ablation_partitioning.dir/ablation_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

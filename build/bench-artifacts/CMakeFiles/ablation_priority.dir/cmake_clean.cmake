@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_priority"
+  "../bench/ablation_priority.pdb"
+  "CMakeFiles/ablation_priority.dir/ablation_priority.cpp.o"
+  "CMakeFiles/ablation_priority.dir/ablation_priority.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_perf"
+  "../bench/analysis_perf.pdb"
+  "CMakeFiles/analysis_perf.dir/analysis_perf.cpp.o"
+  "CMakeFiles/analysis_perf.dir/analysis_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

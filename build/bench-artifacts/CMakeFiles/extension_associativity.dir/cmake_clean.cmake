@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_associativity"
+  "../bench/extension_associativity.pdb"
+  "CMakeFiles/extension_associativity.dir/extension_associativity.cpp.o"
+  "CMakeFiles/extension_associativity.dir/extension_associativity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

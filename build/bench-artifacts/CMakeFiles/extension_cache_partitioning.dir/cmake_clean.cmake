@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_cache_partitioning"
+  "../bench/extension_cache_partitioning.pdb"
+  "CMakeFiles/extension_cache_partitioning.dir/extension_cache_partitioning.cpp.o"
+  "CMakeFiles/extension_cache_partitioning.dir/extension_cache_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cache_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_multilevel"
+  "../bench/extension_multilevel.pdb"
+  "CMakeFiles/extension_multilevel.dir/extension_multilevel.cpp.o"
+  "CMakeFiles/extension_multilevel.dir/extension_multilevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_core_utilization.cpp" "bench-artifacts/CMakeFiles/fig2_core_utilization.dir/fig2_core_utilization.cpp.o" "gcc" "bench-artifacts/CMakeFiles/fig2_core_utilization.dir/fig2_core_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cpa_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/cpa_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cpa_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchdata/CMakeFiles/cpa_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cpa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cpa_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_core_utilization"
+  "../bench/fig2_core_utilization.pdb"
+  "CMakeFiles/fig2_core_utilization.dir/fig2_core_utilization.cpp.o"
+  "CMakeFiles/fig2_core_utilization.dir/fig2_core_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_core_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

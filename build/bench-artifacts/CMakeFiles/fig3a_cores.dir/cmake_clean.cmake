@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_cores"
+  "../bench/fig3a_cores.pdb"
+  "CMakeFiles/fig3a_cores.dir/fig3a_cores.cpp.o"
+  "CMakeFiles/fig3a_cores.dir/fig3a_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

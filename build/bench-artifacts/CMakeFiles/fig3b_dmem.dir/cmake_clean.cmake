@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_dmem"
+  "../bench/fig3b_dmem.pdb"
+  "CMakeFiles/fig3b_dmem.dir/fig3b_dmem.cpp.o"
+  "CMakeFiles/fig3b_dmem.dir/fig3b_dmem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_dmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_cache_size"
+  "../bench/fig3c_cache_size.pdb"
+  "CMakeFiles/fig3c_cache_size.dir/fig3c_cache_size.cpp.o"
+  "CMakeFiles/fig3c_cache_size.dir/fig3c_cache_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3d_slot_size"
+  "../bench/fig3d_slot_size.pdb"
+  "CMakeFiles/fig3d_slot_size.dir/fig3d_slot_size.cpp.o"
+  "CMakeFiles/fig3d_slot_size.dir/fig3d_slot_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_slot_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

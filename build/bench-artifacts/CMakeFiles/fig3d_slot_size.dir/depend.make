@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3d_slot_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/single_core_cpro"
+  "../bench/single_core_cpro.pdb"
+  "CMakeFiles/single_core_cpro.dir/single_core_cpro.cpp.o"
+  "CMakeFiles/single_core_cpro.dir/single_core_cpro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_core_cpro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

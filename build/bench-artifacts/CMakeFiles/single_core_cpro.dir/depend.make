@@ -1,0 +1,2 @@
+# Empty dependencies file for single_core_cpro.
+# This may be replaced when dependencies are built.

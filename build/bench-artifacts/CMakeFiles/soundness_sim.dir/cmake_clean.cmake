@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/soundness_sim"
+  "../bench/soundness_sim.pdb"
+  "CMakeFiles/soundness_sim.dir/soundness_sim.cpp.o"
+  "CMakeFiles/soundness_sim.dir/soundness_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_parameters"
+  "../bench/table1_parameters.pdb"
+  "CMakeFiles/table1_parameters.dir/table1_parameters.cpp.o"
+  "CMakeFiles/table1_parameters.dir/table1_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_policy_selection.dir/bus_policy_selection.cpp.o"
+  "CMakeFiles/bus_policy_selection.dir/bus_policy_selection.cpp.o.d"
+  "bus_policy_selection"
+  "bus_policy_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_policy_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

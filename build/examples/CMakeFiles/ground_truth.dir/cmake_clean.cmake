@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ground_truth.dir/ground_truth.cpp.o"
+  "CMakeFiles/ground_truth.dir/ground_truth.cpp.o.d"
+  "ground_truth"
+  "ground_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ground_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ground_truth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_advisor.dir/partitioning_advisor.cpp.o"
+  "CMakeFiles/partitioning_advisor.dir/partitioning_advisor.cpp.o.d"
+  "partitioning_advisor"
+  "partitioning_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vs_analysis.dir/sim_vs_analysis.cpp.o"
+  "CMakeFiles/sim_vs_analysis.dir/sim_vs_analysis.cpp.o.d"
+  "sim_vs_analysis"
+  "sim_vs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_extraction.dir/wcet_extraction.cpp.o"
+  "CMakeFiles/wcet_extraction.dir/wcet_extraction.cpp.o.d"
+  "wcet_extraction"
+  "wcet_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

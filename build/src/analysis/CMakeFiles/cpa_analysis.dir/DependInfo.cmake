@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bus_bounds.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/bus_bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/bus_bounds.cpp.o.d"
+  "/root/repo/src/analysis/config.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/config.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/config.cpp.o.d"
+  "/root/repo/src/analysis/interference.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/interference.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/interference.cpp.o.d"
+  "/root/repo/src/analysis/multilevel.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/multilevel.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/multilevel.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/schedulability.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/schedulability.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/schedulability.cpp.o.d"
+  "/root/repo/src/analysis/wcrt.cpp" "src/analysis/CMakeFiles/cpa_analysis.dir/wcrt.cpp.o" "gcc" "src/analysis/CMakeFiles/cpa_analysis.dir/wcrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/cpa_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_analysis.dir/bus_bounds.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/bus_bounds.cpp.o.d"
+  "CMakeFiles/cpa_analysis.dir/config.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/config.cpp.o.d"
+  "CMakeFiles/cpa_analysis.dir/interference.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/interference.cpp.o.d"
+  "CMakeFiles/cpa_analysis.dir/multilevel.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/multilevel.cpp.o.d"
+  "CMakeFiles/cpa_analysis.dir/report.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/cpa_analysis.dir/schedulability.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/schedulability.cpp.o.d"
+  "CMakeFiles/cpa_analysis.dir/wcrt.cpp.o"
+  "CMakeFiles/cpa_analysis.dir/wcrt.cpp.o.d"
+  "libcpa_analysis.a"
+  "libcpa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchdata/benchmark.cpp" "src/benchdata/CMakeFiles/cpa_benchdata.dir/benchmark.cpp.o" "gcc" "src/benchdata/CMakeFiles/cpa_benchdata.dir/benchmark.cpp.o.d"
+  "/root/repo/src/benchdata/generator.cpp" "src/benchdata/CMakeFiles/cpa_benchdata.dir/generator.cpp.o" "gcc" "src/benchdata/CMakeFiles/cpa_benchdata.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cpa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cpa_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_benchdata.dir/benchmark.cpp.o"
+  "CMakeFiles/cpa_benchdata.dir/benchmark.cpp.o.d"
+  "CMakeFiles/cpa_benchdata.dir/generator.cpp.o"
+  "CMakeFiles/cpa_benchdata.dir/generator.cpp.o.d"
+  "libcpa_benchdata.a"
+  "libcpa_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpa_benchdata.a"
+)

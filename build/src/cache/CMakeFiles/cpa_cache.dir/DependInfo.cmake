@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/direct_mapped.cpp" "src/cache/CMakeFiles/cpa_cache.dir/direct_mapped.cpp.o" "gcc" "src/cache/CMakeFiles/cpa_cache.dir/direct_mapped.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/cache/CMakeFiles/cpa_cache.dir/lru.cpp.o" "gcc" "src/cache/CMakeFiles/cpa_cache.dir/lru.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_cache.dir/direct_mapped.cpp.o"
+  "CMakeFiles/cpa_cache.dir/direct_mapped.cpp.o.d"
+  "CMakeFiles/cpa_cache.dir/lru.cpp.o"
+  "CMakeFiles/cpa_cache.dir/lru.cpp.o.d"
+  "libcpa_cache.a"
+  "libcpa_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa.dir/main.cpp.o"
+  "CMakeFiles/cpa.dir/main.cpp.o.d"
+  "cpa"
+  "cpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

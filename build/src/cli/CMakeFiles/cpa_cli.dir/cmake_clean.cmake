@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_cli.dir/commands.cpp.o"
+  "CMakeFiles/cpa_cli.dir/commands.cpp.o.d"
+  "CMakeFiles/cpa_cli.dir/taskset_io.cpp.o"
+  "CMakeFiles/cpa_cli.dir/taskset_io.cpp.o.d"
+  "libcpa_cli.a"
+  "libcpa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_experiments.dir/sensitivity.cpp.o"
+  "CMakeFiles/cpa_experiments.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/cpa_experiments.dir/sweep.cpp.o"
+  "CMakeFiles/cpa_experiments.dir/sweep.cpp.o.d"
+  "libcpa_experiments.a"
+  "libcpa_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

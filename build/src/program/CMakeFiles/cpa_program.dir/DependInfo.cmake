@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/abstract.cpp" "src/program/CMakeFiles/cpa_program.dir/abstract.cpp.o" "gcc" "src/program/CMakeFiles/cpa_program.dir/abstract.cpp.o.d"
+  "/root/repo/src/program/extract.cpp" "src/program/CMakeFiles/cpa_program.dir/extract.cpp.o" "gcc" "src/program/CMakeFiles/cpa_program.dir/extract.cpp.o.d"
+  "/root/repo/src/program/program.cpp" "src/program/CMakeFiles/cpa_program.dir/program.cpp.o" "gcc" "src/program/CMakeFiles/cpa_program.dir/program.cpp.o.d"
+  "/root/repo/src/program/synthetic.cpp" "src/program/CMakeFiles/cpa_program.dir/synthetic.cpp.o" "gcc" "src/program/CMakeFiles/cpa_program.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cpa_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/cpa_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_program.dir/abstract.cpp.o"
+  "CMakeFiles/cpa_program.dir/abstract.cpp.o.d"
+  "CMakeFiles/cpa_program.dir/extract.cpp.o"
+  "CMakeFiles/cpa_program.dir/extract.cpp.o.d"
+  "CMakeFiles/cpa_program.dir/program.cpp.o"
+  "CMakeFiles/cpa_program.dir/program.cpp.o.d"
+  "CMakeFiles/cpa_program.dir/synthetic.cpp.o"
+  "CMakeFiles/cpa_program.dir/synthetic.cpp.o.d"
+  "libcpa_program.a"
+  "libcpa_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_sim.dir/arbiter.cpp.o"
+  "CMakeFiles/cpa_sim.dir/arbiter.cpp.o.d"
+  "CMakeFiles/cpa_sim.dir/program_sim.cpp.o"
+  "CMakeFiles/cpa_sim.dir/program_sim.cpp.o.d"
+  "CMakeFiles/cpa_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cpa_sim.dir/simulator.cpp.o.d"
+  "libcpa_sim.a"
+  "libcpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

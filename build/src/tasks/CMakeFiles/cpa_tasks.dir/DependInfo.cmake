@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/partition.cpp" "src/tasks/CMakeFiles/cpa_tasks.dir/partition.cpp.o" "gcc" "src/tasks/CMakeFiles/cpa_tasks.dir/partition.cpp.o.d"
+  "/root/repo/src/tasks/task.cpp" "src/tasks/CMakeFiles/cpa_tasks.dir/task.cpp.o" "gcc" "src/tasks/CMakeFiles/cpa_tasks.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

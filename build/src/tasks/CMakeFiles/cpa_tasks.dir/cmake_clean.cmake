@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_tasks.dir/partition.cpp.o"
+  "CMakeFiles/cpa_tasks.dir/partition.cpp.o.d"
+  "CMakeFiles/cpa_tasks.dir/task.cpp.o"
+  "CMakeFiles/cpa_tasks.dir/task.cpp.o.d"
+  "libcpa_tasks.a"
+  "libcpa_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

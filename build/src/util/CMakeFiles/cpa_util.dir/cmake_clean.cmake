@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_util.dir/rng.cpp.o"
+  "CMakeFiles/cpa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cpa_util.dir/set_mask.cpp.o"
+  "CMakeFiles/cpa_util.dir/set_mask.cpp.o.d"
+  "CMakeFiles/cpa_util.dir/table.cpp.o"
+  "CMakeFiles/cpa_util.dir/table.cpp.o.d"
+  "libcpa_util.a"
+  "libcpa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

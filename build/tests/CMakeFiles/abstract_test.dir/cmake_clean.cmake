@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_test.dir/program/abstract_test.cpp.o"
+  "CMakeFiles/abstract_test.dir/program/abstract_test.cpp.o.d"
+  "abstract_test"
+  "abstract_test.pdb"
+  "abstract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_test.dir/benchdata/benchmark_test.cpp.o"
+  "CMakeFiles/benchmark_test.dir/benchdata/benchmark_test.cpp.o.d"
+  "benchmark_test"
+  "benchmark_test.pdb"
+  "benchmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_bounds_test.dir/analysis/bus_bounds_test.cpp.o"
+  "CMakeFiles/bus_bounds_test.dir/analysis/bus_bounds_test.cpp.o.d"
+  "bus_bounds_test"
+  "bus_bounds_test.pdb"
+  "bus_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commands_test.dir/cli/commands_test.cpp.o"
+  "CMakeFiles/commands_test.dir/cli/commands_test.cpp.o.d"
+  "commands_test"
+  "commands_test.pdb"
+  "commands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_mapped_test.dir/cache/direct_mapped_test.cpp.o"
+  "CMakeFiles/direct_mapped_test.dir/cache/direct_mapped_test.cpp.o.d"
+  "direct_mapped_test"
+  "direct_mapped_test.pdb"
+  "direct_mapped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_mapped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

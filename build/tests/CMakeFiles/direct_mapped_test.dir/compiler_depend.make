@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for direct_mapped_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_example_test.dir/analysis/fig1_example_test.cpp.o"
+  "CMakeFiles/fig1_example_test.dir/analysis/fig1_example_test.cpp.o.d"
+  "fig1_example_test"
+  "fig1_example_test.pdb"
+  "fig1_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_test.dir/analysis/interference_test.cpp.o"
+  "CMakeFiles/interference_test.dir/analysis/interference_test.cpp.o.d"
+  "interference_test"
+  "interference_test.pdb"
+  "interference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

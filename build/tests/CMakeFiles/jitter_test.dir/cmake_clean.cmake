@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_test.dir/analysis/jitter_test.cpp.o"
+  "CMakeFiles/jitter_test.dir/analysis/jitter_test.cpp.o.d"
+  "jitter_test"
+  "jitter_test.pdb"
+  "jitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_sim_test.dir/sim/program_sim_test.cpp.o"
+  "CMakeFiles/program_sim_test.dir/sim/program_sim_test.cpp.o.d"
+  "program_sim_test"
+  "program_sim_test.pdb"
+  "program_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulability_test.dir/analysis/schedulability_test.cpp.o"
+  "CMakeFiles/schedulability_test.dir/analysis/schedulability_test.cpp.o.d"
+  "schedulability_test"
+  "schedulability_test.pdb"
+  "schedulability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

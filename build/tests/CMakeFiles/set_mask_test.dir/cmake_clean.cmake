@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_mask_test.dir/util/set_mask_test.cpp.o"
+  "CMakeFiles/set_mask_test.dir/util/set_mask_test.cpp.o.d"
+  "set_mask_test"
+  "set_mask_test.pdb"
+  "set_mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

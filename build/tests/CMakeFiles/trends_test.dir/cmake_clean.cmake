@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trends_test.dir/experiments/trends_test.cpp.o"
+  "CMakeFiles/trends_test.dir/experiments/trends_test.cpp.o.d"
+  "trends_test"
+  "trends_test.pdb"
+  "trends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

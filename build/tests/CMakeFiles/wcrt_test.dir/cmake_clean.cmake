@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcrt_test.dir/analysis/wcrt_test.cpp.o"
+  "CMakeFiles/wcrt_test.dir/analysis/wcrt_test.cpp.o.d"
+  "wcrt_test"
+  "wcrt_test.pdb"
+  "wcrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wcrt_test.
+# This may be replaced when dependencies are built.
