@@ -9,6 +9,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("ablation_cpro");
     using analysis::BusPolicy;
     using analysis::CproMethod;
 

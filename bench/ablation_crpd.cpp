@@ -7,6 +7,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("ablation_crpd");
     using analysis::BusPolicy;
     using analysis::CrpdMethod;
 

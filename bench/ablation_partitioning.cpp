@@ -12,6 +12,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("ablation_partitioning");
     using tasks::PartitionHeuristic;
 
     const std::size_t task_sets = experiments::task_sets_from_env(120);

@@ -8,6 +8,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("ablation_priority");
 
     const std::size_t task_sets = experiments::task_sets_from_env(80);
     const auto variants = experiments::standard_variants(false);

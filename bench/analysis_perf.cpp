@@ -2,6 +2,8 @@
 // interference-table construction, single WCRT analyses per policy, and the
 // full 7-variant schedulability battery, at several system sizes. These are
 // engineering numbers (analysis cost), not paper artifacts.
+#include "common.hpp"
+
 #include "analysis/interference.hpp"
 #include "analysis/schedulability.hpp"
 #include "benchdata/generator.hpp"
@@ -143,4 +145,19 @@ BENCHMARK(BM_SimulatorHyperperiodSlice);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the BENCH_*.json emitter. Metrics stay
+// DISABLED for this binary: these micro-benchmarks measure the analysis hot
+// path as shipped, i.e., with every obs macro reduced to its cheap
+// not-enabled branch — the overhead budget the obs layer must honor.
+int main(int argc, char** argv)
+{
+    cpa::bench::BenchReport bench_report("analysis_perf",
+                                         /*enable_metrics=*/false);
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

@@ -12,17 +12,113 @@
 #include "analysis/config.hpp"
 #include "benchdata/generator.hpp"
 #include "experiments/sweep.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cpa::bench {
+
+// Per-bench machine-readable run report. Construct one at the top of a
+// bench's main(); on destruction it writes BENCH_<name>.json (to
+// $CPA_BENCH_JSON_DIR, or the working directory) with the total wall time,
+// optional named sections, and a snapshot of every obs metric recorded
+// during the run — the perf trajectory the benches previously only printed
+// as text. Validated by scripts/check_bench_json.py (registered as a ctest).
+//
+// `enable_metrics` turns the obs counters on for the run; analysis_perf
+// passes false so its micro-benchmarks measure the uninstrumented hot path.
+class BenchReport {
+public:
+    explicit BenchReport(std::string name, bool enable_metrics = true)
+        : name_(std::move(name)), enable_metrics_(enable_metrics),
+          started_(std::chrono::steady_clock::now())
+    {
+        if (enable_metrics_) {
+            obs::MetricsRegistry::global().reset();
+            obs::set_metrics_enabled(true);
+        }
+    }
+
+    BenchReport(const BenchReport&) = delete;
+    BenchReport& operator=(const BenchReport&) = delete;
+
+    // Starts a named section (ending the previous one, if any). Sections
+    // are optional; benches that don't call this report an empty list.
+    void section(const std::string& section_name)
+    {
+        close_section();
+        current_section_ = section_name;
+        section_started_ = std::chrono::steady_clock::now();
+    }
+
+    ~BenchReport()
+    {
+        close_section();
+        const double total_seconds = seconds_since(started_);
+        if (enable_metrics_) {
+            obs::set_metrics_enabled(false);
+        }
+
+        obs::RunReport report("bench");
+        report.set("bench", obs::JsonValue(name_));
+        report.set("total_seconds", obs::JsonValue(total_seconds));
+        obs::JsonValue& section_list = report.list("sections");
+        for (const auto& [section_name, seconds] : sections_) {
+            obs::JsonValue entry = obs::JsonValue::object();
+            entry.set("name", obs::JsonValue(section_name));
+            entry.set("seconds", obs::JsonValue(seconds));
+            section_list.push(std::move(entry));
+        }
+        report.set_metrics(obs::MetricsRegistry::global().snapshot());
+
+        std::filesystem::path dir = ".";
+        if (const char* env_dir = std::getenv("CPA_BENCH_JSON_DIR");
+            env_dir != nullptr) {
+            dir = env_dir;
+            std::error_code ec;
+            std::filesystem::create_directories(dir, ec);
+        }
+        std::ofstream out(dir / ("BENCH_" + name_ + ".json"));
+        if (out) {
+            report.write_json(out);
+        }
+    }
+
+private:
+    [[nodiscard]] static double
+    seconds_since(std::chrono::steady_clock::time_point start)
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    void close_section()
+    {
+        if (!current_section_.empty()) {
+            sections_.emplace_back(current_section_,
+                                   seconds_since(section_started_));
+            current_section_.clear();
+        }
+    }
+
+    std::string name_;
+    bool enable_metrics_;
+    std::chrono::steady_clock::time_point started_;
+    std::string current_section_;
+    std::chrono::steady_clock::time_point section_started_{};
+    std::vector<std::pair<std::string, double>> sections_;
+};
 
 // When CPA_CSV_DIR is set, every printed table is also written there as
 // <slug>.csv for re-plotting.

@@ -19,6 +19,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("extension_associativity");
 
     const std::size_t task_sets = experiments::task_sets_from_env(100);
     const auto platform = bench::default_platform();

@@ -20,6 +20,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("extension_cache_partitioning");
 
     const std::size_t task_sets = experiments::task_sets_from_env(120);
     const auto platform = bench::default_platform();

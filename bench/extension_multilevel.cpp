@@ -14,6 +14,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("extension_multilevel");
 
     const std::size_t task_sets = experiments::task_sets_from_env(100);
     const auto platform = bench::default_platform();

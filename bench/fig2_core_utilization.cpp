@@ -12,12 +12,15 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("fig2_core_utilization");
 
     const std::size_t task_sets = experiments::task_sets_from_env(500);
+    bench_report.section("sweep");
     const auto sweep = experiments::run_utilization_sweep(
         bench::default_generation(), bench::default_platform(),
         experiments::standard_variants(), bench::fig2_sweep(task_sets));
 
+    bench_report.section("report");
     bench::print_sweep(
         "Fig. 2: schedulable task sets vs per-core utilization "
         "(4 cores, 8 tasks/core, 256 sets, d_mem=5us, s=2)",

@@ -6,6 +6,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("fig3b_dmem");
 
     const std::size_t task_sets = experiments::task_sets_from_env(80);
     const auto variants = experiments::standard_variants();

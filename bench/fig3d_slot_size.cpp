@@ -8,6 +8,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("fig3d_slot_size");
 
     const std::size_t task_sets = experiments::task_sets_from_env(80);
     const auto variants = experiments::slotted_variants();

@@ -9,6 +9,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("single_core_cpro");
 
     const std::size_t task_sets = experiments::task_sets_from_env(400);
 

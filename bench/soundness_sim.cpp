@@ -15,6 +15,7 @@
 int main()
 {
     using namespace cpa;
+    bench::BenchReport bench_report("soundness_sim");
     using analysis::BusPolicy;
 
     const std::size_t sets_per_policy = experiments::task_sets_from_env(40);

@@ -8,6 +8,8 @@
 //  3. A from-scratch extraction: our static cache analysis applied to the
 //     synthetic Mälardalen stand-ins, i.e., the role Heptane plays in the
 //     paper, shown at 256 sets.
+#include "common.hpp"
+
 #include "benchdata/benchmark.hpp"
 #include "program/extract.hpp"
 #include "program/synthetic.hpp"
@@ -19,6 +21,7 @@ int main()
 {
     using namespace cpa;
     using util::TextTable;
+    bench::BenchReport bench_report("table1_parameters");
 
     const auto print_params_table = [](const std::string& title, bool only_published,
                                        bool only_extended) {
@@ -43,6 +46,7 @@ int main()
         std::cout << '\n';
     };
 
+    bench_report.section("table-rows");
     print_params_table(
         "Table I (published rows; MD/MDr converted to accesses at 10 "
         "cycles/access)",
@@ -50,6 +54,7 @@ int main()
     print_params_table("Extended suite (calibrated rows, see DESIGN.md)",
                        false, true);
 
+    bench_report.section("extraction");
     std::cout << "== From-scratch extraction: static cache analysis of the "
                  "synthetic suite (Table I + extended stand-ins) @256 sets "
                  "==\n";
@@ -68,6 +73,7 @@ int main()
     }
     extraction.print(std::cout);
 
+    bench_report.section("cache-scaling");
     std::cout << "\n== Extraction vs cache size (mechanism of Fig. 3c: PCBs "
                  "grow with the cache) ==\n";
     TextTable scaling({"Name", "sets", "MD", "MDr", "|ECB|", "|PCB|"});

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json run reports emitted by the bench binaries.
+
+Usage:
+    check_bench_json.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Directories are scanned (non-recursively) for BENCH_*.json. Every file must
+be a single-line JSON object matching the RunReport schema documented in
+docs/observability.md:
+
+    schema_version : int == 1
+    tool           : "bench"
+    bench          : non-empty string
+    total_seconds  : number >= 0
+    sections       : list of {"name": str, "seconds": number >= 0}
+    metrics        : {"counters": {str: int},
+                      "gauges": {str: int},
+                      "timers": {str: {"total_ns": int >= 0,
+                                       "count": int >= 0}}}
+
+Exit status 0 when every report validates, 1 otherwise. Stdlib only.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_number(path, value, what, minimum=None):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return fail(path, f"{what} must be a number, got {value!r}")
+    if minimum is not None and value < minimum:
+        return fail(path, f"{what} must be >= {minimum}, got {value!r}")
+    return True
+
+
+def check_int(path, value, what, minimum=None):
+    if isinstance(value, bool) or not isinstance(value, int):
+        return fail(path, f"{what} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        return fail(path, f"{what} must be >= {minimum}, got {value!r}")
+    return True
+
+
+def check_metrics(path, metrics):
+    ok = True
+    if not isinstance(metrics, dict):
+        return fail(path, f"metrics must be an object, got {metrics!r}")
+    for group in ("counters", "gauges", "timers"):
+        if group not in metrics:
+            ok = fail(path, f"metrics.{group} missing")
+    for group in ("counters", "gauges"):
+        for name, value in metrics.get(group, {}).items():
+            ok = check_int(path, value, f"metrics.{group}[{name!r}]") and ok
+    for name, stat in metrics.get("timers", {}).items():
+        what = f"metrics.timers[{name!r}]"
+        if not isinstance(stat, dict):
+            ok = fail(path, f"{what} must be an object, got {stat!r}")
+            continue
+        ok = check_int(path, stat.get("total_ns"), f"{what}.total_ns",
+                       minimum=0) and ok
+        ok = check_int(path, stat.get("count"), f"{what}.count",
+                       minimum=0) and ok
+    return ok
+
+
+def check_report(path):
+    try:
+        text = path.read_text()
+        report = json.loads(text)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"unreadable: {error}")
+
+    if text.count("\n") > 1 or (text.count("\n") == 1
+                                and not text.endswith("\n")):
+        return fail(path, "report must be a single JSON line")
+    if not isinstance(report, dict):
+        return fail(path, "top level must be a JSON object")
+
+    ok = True
+    if report.get("schema_version") != SCHEMA_VERSION:
+        ok = fail(
+            path, f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}")
+    if report.get("tool") != "bench":
+        ok = fail(path, f"tool must be 'bench', got {report.get('tool')!r}")
+    bench = report.get("bench")
+    if not isinstance(bench, str) or not bench:
+        ok = fail(path, f"bench must be a non-empty string, got {bench!r}")
+    elif path.name != f"BENCH_{bench}.json":
+        ok = fail(path, f"file name does not match bench name {bench!r}")
+    ok = check_number(path, report.get("total_seconds"), "total_seconds",
+                      minimum=0) and ok
+
+    sections = report.get("sections")
+    if not isinstance(sections, list):
+        ok = fail(path, f"sections must be a list, got {sections!r}")
+    else:
+        for index, section in enumerate(sections):
+            what = f"sections[{index}]"
+            if not isinstance(section, dict):
+                ok = fail(path, f"{what} must be an object, got {section!r}")
+                continue
+            name = section.get("name")
+            if not isinstance(name, str) or not name:
+                ok = fail(path,
+                          f"{what}.name must be a non-empty string, "
+                          f"got {name!r}")
+            ok = check_number(path, section.get("seconds"),
+                             f"{what}.seconds", minimum=0) and ok
+
+    if "metrics" not in report:
+        ok = fail(path, "metrics missing")
+    else:
+        ok = check_metrics(path, report["metrics"]) and ok
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    files = []
+    for arg in argv[1:]:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("check_bench_json: no BENCH_*.json files found",
+              file=sys.stderr)
+        return 1
+
+    bad = 0
+    for path in files:
+        if check_report(path):
+            print(f"{path}: ok")
+        else:
+            bad += 1
+    if bad:
+        print(f"check_bench_json: {bad}/{len(files)} report(s) invalid",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

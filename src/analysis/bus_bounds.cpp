@@ -1,6 +1,7 @@
 #include "analysis/bus_bounds.hpp"
 
 #include "analysis/demand.hpp"
+#include "obs/obs.hpp"
 #include "util/math.hpp"
 
 #include <algorithm>
@@ -11,6 +12,60 @@ using util::ceil_div;
 using util::ceil_div_signed;
 using util::clamp_non_negative;
 using util::floor_div;
+
+namespace {
+
+#if CPA_OBS_ENABLED
+// Per-arbiter BAT statistics: call counts and the accumulated breakdown of
+// Eq. (7)-(9) into same-core demand (BAS), cross-core interference, and
+// blocking. Counter references are resolved once per policy (cold path);
+// the recording itself only runs when metrics are enabled.
+struct BatCounters {
+    obs::Counter& calls;
+    obs::Counter& same_core;
+    obs::Counter& cross_core;
+    obs::Counter& blocking;
+};
+
+BatCounters make_bat_counters(const char* policy)
+{
+    auto& registry = obs::MetricsRegistry::global();
+    const std::string prefix = std::string("bat.") + policy;
+    return BatCounters{registry.counter(prefix + ".calls"),
+                       registry.counter(prefix + ".same_core"),
+                       registry.counter(prefix + ".cross_core"),
+                       registry.counter(prefix + ".blocking")};
+}
+
+void record_bat(BusPolicy policy, std::int64_t same_core,
+                std::int64_t cross_core, std::int64_t blocking)
+{
+    static BatCounters fp = make_bat_counters("fp");
+    static BatCounters rr = make_bat_counters("rr");
+    static BatCounters tdma = make_bat_counters("tdma");
+    static BatCounters perfect = make_bat_counters("perfect");
+    BatCounters* counters = &perfect;
+    switch (policy) {
+    case BusPolicy::kFixedPriority:
+        counters = &fp;
+        break;
+    case BusPolicy::kRoundRobin:
+        counters = &rr;
+        break;
+    case BusPolicy::kTdma:
+        counters = &tdma;
+        break;
+    case BusPolicy::kPerfect:
+        break;
+    }
+    counters->calls.add(1);
+    counters->same_core.add(same_core);
+    counters->cross_core.add(cross_core);
+    counters->blocking.add(blocking);
+}
+#endif // CPA_OBS_ENABLED
+
+} // namespace
 
 BusContentionAnalysis::BusContentionAnalysis(const tasks::TaskSet& ts,
                                              const PlatformConfig& platform,
@@ -48,12 +103,14 @@ std::int64_t BusContentionAnalysis::cpro_reload_bound(std::size_t j,
 
 std::int64_t BusContentionAnalysis::bas(std::size_t i, Cycles t) const
 {
+    CPA_COUNT("bas.calls");
     const tasks::Task& task = ts_[i];
     std::int64_t total = task.md;
     for (const std::size_t j : ts_.tasks_on_core(task.core)) {
         if (j >= i) {
             break; // per-core lists are in priority order; only hp(i) counts
         }
+        CPA_COUNT("tables.gamma_lookups");
         const tasks::Task& hp_task = ts_[j];
         // E_j(t) with release jitter: ceil((t + J_j)/T_j).
         const std::int64_t jobs =
@@ -146,10 +203,17 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
     const std::size_t my_core = ts_[i].core;
     const std::int64_t blocking = has_lower_priority_on_core(i) ? 1 : 0;
 
+    // The Eq. (7)-(9) breakdown, recorded per arbiter policy when metrics
+    // are on: BAS demand, cross-core interference, and blocking accesses.
+    std::int64_t cross_core = 0;
+    std::int64_t blocking_charged = 0;
+    std::int64_t total = same_core;
+
     switch (config_.policy) {
     case BusPolicy::kPerfect:
         // No contention: only the access time of the core's own demand.
-        return same_core;
+        total = same_core;
+        break;
 
     case BusPolicy::kFixedPriority: {
         // Eq. (7): all higher-or-equal priority other-core accesses delay
@@ -164,7 +228,10 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
             higher += bao(core, i, t, response);
             lower += bao_lower(core, i, t, response);
         }
-        return same_core + higher + blocking + std::min(same_core, lower);
+        cross_core = higher + std::min(same_core, lower);
+        blocking_charged = blocking;
+        total = same_core + cross_core + blocking_charged;
+        break;
     }
 
     case BusPolicy::kRoundRobin: {
@@ -180,7 +247,10 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
             other += std::min(bao(core, lowest, t, response),
                               platform_.slot_size * same_core);
         }
-        return same_core + other + blocking;
+        cross_core = other;
+        blocking_charged = blocking;
+        total = same_core + cross_core + blocking_charged;
+        break;
     }
 
     case BusPolicy::kTdma: {
@@ -188,11 +258,19 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
         // remaining (L-1)*s slots of the TDMA cycle (L = number of cores).
         const auto cycle_cores =
             static_cast<std::int64_t>(platform_.num_cores);
-        return same_core +
-               (cycle_cores - 1) * platform_.slot_size * same_core + blocking;
+        cross_core = (cycle_cores - 1) * platform_.slot_size * same_core;
+        blocking_charged = blocking;
+        total = same_core + cross_core + blocking_charged;
+        break;
     }
     }
-    return same_core;
+
+#if CPA_OBS_ENABLED
+    if (obs::metrics_enabled()) {
+        record_bat(config_.policy, same_core, cross_core, blocking_charged);
+    }
+#endif
+    return total;
 }
 
 } // namespace cpa::analysis

@@ -1,5 +1,6 @@
 #include "analysis/interference.hpp"
 
+#include "obs/obs.hpp"
 #include "util/set_mask.hpp"
 
 #include <algorithm>
@@ -11,6 +12,8 @@ using util::SetMask;
 InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                                        CrpdMethod method)
 {
+    CPA_SCOPED_TIMER("tables.build");
+    CPA_COUNT("tables.builds");
     const std::size_t n = ts.size();
     gamma_.assign(n, std::vector<std::int64_t>(n, 0));
     cpro_.assign(n, std::vector<std::int64_t>(n, 0));
@@ -77,6 +80,25 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                 ts[j].pcb.intersection_count(evictors));
         }
     }
+
+#if CPA_OBS_ENABLED
+    if (obs::metrics_enabled()) {
+        // Table shape stats: how dense the interference actually is. The
+        // O(n²) walk only runs with metrics on (cold path: one build per
+        // task set, shared by every analysis variant).
+        std::int64_t gamma_nonzero = 0;
+        std::int64_t cpro_nonzero = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                gamma_nonzero += gamma_[i][j] != 0 ? 1 : 0;
+                cpro_nonzero += cpro_[i][j] != 0 ? 1 : 0;
+            }
+        }
+        CPA_GAUGE_SET("tables.tasks", static_cast<std::int64_t>(n));
+        CPA_GAUGE_SET("tables.gamma_nonzero", gamma_nonzero);
+        CPA_GAUGE_SET("tables.cpro_nonzero", cpro_nonzero);
+    }
+#endif
 }
 
 } // namespace cpa::analysis

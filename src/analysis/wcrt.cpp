@@ -1,5 +1,6 @@
 #include "analysis/wcrt.hpp"
 
+#include "obs/obs.hpp"
 #include "util/math.hpp"
 
 #include <algorithm>
@@ -12,6 +13,8 @@ namespace {
 constexpr std::size_t kMaxOuterIterations = 256;
 constexpr std::size_t kMaxInnerIterations = 100000;
 
+constexpr std::string_view kTraceSubsystem = "wcrt";
+
 // Solves the per-task recurrence of Eq. (19) for τ_i with the other tasks'
 // response-time estimates frozen in `response`. Returns the first r with
 // rhs(r) <= r, or the first value exceeding D_i (the caller treats any
@@ -20,16 +23,19 @@ constexpr std::size_t kMaxInnerIterations = 100000;
 // is a sound response-time bound even though the persistence-aware rhs is
 // not perfectly monotone (Lemma 2's carry-out re-pricing; see
 // bus_bounds_test.cpp, Lemma2CarryOutDipIsPossible).
+// `iterations_used` reports how many recurrence steps were taken.
 Cycles inner_fixed_point(const tasks::TaskSet& ts,
                          const PlatformConfig& platform,
                          const BusContentionAnalysis& bounds, std::size_t i,
-                         const std::vector<Cycles>& response)
+                         const std::vector<Cycles>& response,
+                         std::size_t& iterations_used)
 {
     const tasks::Task& task = ts[i];
     const Cycles start = std::max(response[i], task.isolated_demand(platform.d_mem));
     Cycles r = std::max<Cycles>(start, 1);
 
     for (std::size_t iter = 0; iter < kMaxInnerIterations; ++iter) {
+        iterations_used = iter + 1;
         Cycles rhs = task.pd;
         for (const std::size_t j : ts.tasks_on_core(task.core)) {
             if (j >= i) {
@@ -52,6 +58,41 @@ Cycles inner_fixed_point(const tasks::TaskSet& ts,
     return task.effective_deadline() + 1;
 }
 
+void trace_outer_iteration(std::size_t outer, bool changed,
+                           std::size_t inner_this_round,
+                           const std::vector<Cycles>& response)
+{
+    if (!CPA_TRACE_ENABLED(kTraceSubsystem)) {
+        return;
+    }
+    Cycles max_response = 0;
+    Cycles total_response = 0;
+    for (const Cycles r : response) {
+        max_response = std::max(max_response, r);
+        total_response += r;
+    }
+    obs::Tracer::global().emit(
+        obs::TraceEvent(kTraceSubsystem, obs::Severity::kInfo,
+                        "outer_iteration")
+            .field("iter", outer + 1)
+            .field("changed", changed)
+            .field("inner_iterations", inner_this_round)
+            .field("max_response", max_response)
+            .field("total_response", total_response));
+}
+
+void record_metrics(const WcrtResult& result)
+{
+    CPA_COUNT("wcrt.calls");
+    CPA_COUNT_ADD("wcrt.outer_iterations",
+                  static_cast<std::int64_t>(result.outer_iterations));
+    CPA_COUNT_ADD("wcrt.inner_iterations",
+                  static_cast<std::int64_t>(result.inner_iterations));
+    if (!result.schedulable) {
+        CPA_COUNT("wcrt.unschedulable");
+    }
+}
+
 } // namespace
 
 WcrtResult compute_wcrt(const tasks::TaskSet& ts,
@@ -63,6 +104,7 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
         throw std::invalid_argument(
             "compute_wcrt: task set uses more cores than the platform has");
     }
+    CPA_SCOPED_TIMER("wcrt.compute");
     WcrtResult result;
     const std::size_t n = ts.size();
     result.response.resize(n);
@@ -77,13 +119,35 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
     for (std::size_t outer = 0; outer < kMaxOuterIterations; ++outer) {
         result.outer_iterations = outer + 1;
         bool changed = false;
+        std::size_t inner_this_round = 0;
         for (std::size_t i = 0; i < n; ++i) {
-            const Cycles updated =
-                inner_fixed_point(ts, platform, bounds, i, result.response);
+            std::size_t inner_used = 0;
+            const Cycles updated = inner_fixed_point(
+                ts, platform, bounds, i, result.response, inner_used);
+            inner_this_round += inner_used;
+            result.inner_iterations += inner_used;
             if (updated > ts[i].effective_deadline()) {
                 result.schedulable = false;
                 result.failed_task = i;
                 result.response[i] = updated;
+                result.stop_reason = "deadline_miss";
+                trace_outer_iteration(outer, true, inner_this_round,
+                                      result.response);
+                if (CPA_TRACE_ENABLED(kTraceSubsystem)) {
+                    // First-failure cause: which task broke, at which outer
+                    // round, and by how much.
+                    obs::Tracer::global().emit(
+                        obs::TraceEvent(kTraceSubsystem,
+                                        obs::Severity::kWarn,
+                                        "deadline_miss")
+                            .field("task", i)
+                            .field("task_name", ts[i].name)
+                            .field("core", ts[i].core)
+                            .field("response", updated)
+                            .field("deadline", ts[i].effective_deadline())
+                            .field("outer_iteration", outer + 1));
+                }
+                record_metrics(result);
                 return result;
             }
             if (updated != result.response[i]) {
@@ -91,8 +155,12 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
                 changed = true;
             }
         }
+        trace_outer_iteration(outer, changed, inner_this_round,
+                              result.response);
         if (!changed) {
             result.schedulable = true;
+            result.stop_reason = "converged";
+            record_metrics(result);
             return result;
         }
     }
@@ -100,6 +168,14 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
     // Outer loop failed to reach a global fixed point within the budget;
     // declare the set unschedulable (conservative).
     result.schedulable = false;
+    result.stop_reason = "no_outer_convergence";
+    if (CPA_TRACE_ENABLED(kTraceSubsystem)) {
+        obs::Tracer::global().emit(
+            obs::TraceEvent(kTraceSubsystem, obs::Severity::kWarn,
+                            "no_outer_convergence")
+                .field("outer_iterations", result.outer_iterations));
+    }
+    record_metrics(result);
     return result;
 }
 

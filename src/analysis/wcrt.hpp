@@ -26,9 +26,15 @@ struct WcrtResult {
     // exceed its deadline.
     std::vector<Cycles> response;
     std::size_t outer_iterations = 0;
+    // Total Eq. (19) inner fixed-point iterations across all tasks and all
+    // outer rounds (the analysis' dominant cost driver).
+    std::size_t inner_iterations = 0;
     // Index of the first task whose response exceeded its deadline, or
     // SIZE_MAX when schedulable.
     std::size_t failed_task = static_cast<std::size_t>(-1);
+    // Why the analysis stopped: "converged", "deadline_miss", or
+    // "no_outer_convergence" (outer-iteration budget exhausted).
+    const char* stop_reason = "converged";
 };
 
 // Computes WCRTs for every task of `ts`, sharing pre-computed interference

@@ -6,13 +6,18 @@
 #include "benchdata/generator.hpp"
 #include "experiments/sweep.hpp"
 #include "cli/taskset_io.hpp"
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
 #include "sim/simulator.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -39,13 +44,32 @@ usage:
                [--task-sets N] [--seed S] [--csv]
   cpa help
 
-The task-set file format is documented in docs/file-format.md.
+observability (analyze, simulate, sweep; see docs/observability.md):
+  --metrics-out FILE   write a JSON run report (iteration counts, per-
+                       arbiter BAT stats, timers); FILE '-' = stdout
+  --trace SUBSYS[,..]  stream NDJSON trace events to stderr; subsystems:
+                       wcrt, bus, sweep, sim, or 'all'
+
+Flags accept both '--key value' and '--key=value'. The task-set file format
+is documented in docs/file-format.md.
 )";
 
 // Simple flag cursor: --key value pairs after the positional arguments.
+// `--key=value` spellings are normalized to the two-token form up front.
 class Flags {
 public:
-    Flags(std::vector<std::string> args) : args_(std::move(args)) {}
+    Flags(std::vector<std::string> args)
+    {
+        for (std::string& arg : args) {
+            const std::size_t eq = arg.find('=');
+            if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+                args_.push_back(arg.substr(0, eq));
+                args_.push_back(arg.substr(eq + 1));
+            } else {
+                args_.push_back(std::move(arg));
+            }
+        }
+    }
 
     [[nodiscard]] std::string take(const std::string& key,
                                    const std::string& fallback)
@@ -84,6 +108,77 @@ private:
     std::vector<std::string> args_;
 };
 
+// Scoped activation of the observability layer for one CLI command: installs
+// a trace sink on `err` when --trace was given, and enables + resets the
+// metrics registry when --metrics-out was given. The destructor restores the
+// inactive defaults so in-process callers (tests) don't leak state between
+// invocations.
+class ObsSession {
+public:
+    ObsSession(const std::string& metrics_out, const std::string& trace_spec,
+               std::ostream& err)
+        : metrics_requested_(!metrics_out.empty())
+    {
+        if (!trace_spec.empty()) {
+            std::set<std::string> subsystems;
+            std::string current;
+            for (const char ch : trace_spec + ",") {
+                if (ch == ',') {
+                    if (!current.empty()) {
+                        subsystems.insert(current);
+                        current.clear();
+                    }
+                } else {
+                    current += ch;
+                }
+            }
+            obs::Tracer::global().set_sink(
+                std::make_shared<obs::StreamTraceSink>(err),
+                std::move(subsystems));
+            trace_installed_ = true;
+        }
+        if (metrics_requested_) {
+            obs::MetricsRegistry::global().reset();
+            obs::set_metrics_enabled(true);
+        }
+    }
+
+    ~ObsSession()
+    {
+        if (metrics_requested_) {
+            obs::set_metrics_enabled(false);
+        }
+        if (trace_installed_) {
+            obs::Tracer::global().set_sink(nullptr);
+        }
+    }
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    [[nodiscard]] bool metrics_requested() const { return metrics_requested_; }
+
+private:
+    bool metrics_requested_ = false;
+    bool trace_installed_ = false;
+};
+
+// Writes the run report to `path` ('-' = the command's output stream). The
+// metrics snapshot is taken here, after the command's work is done.
+void write_run_report(obs::RunReport& report, const std::string& path,
+                      std::ostream& out)
+{
+    report.set_metrics(obs::MetricsRegistry::global().snapshot());
+    if (path == "-") {
+        report.write_json(out);
+        return;
+    }
+    std::ofstream file(path);
+    if (!file) {
+        throw std::runtime_error("cannot write metrics file '" + path + "'");
+    }
+    report.write_json(file);
+}
+
 BusPolicy parse_policy(const std::string& name)
 {
     if (name == "fp") {
@@ -102,7 +197,8 @@ BusPolicy parse_policy(const std::string& name)
                              "' (fp, rr, tdma, perfect)");
 }
 
-int cmd_analyze(Flags flags, const std::string& path, std::ostream& out)
+int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
+                std::ostream& err)
 {
     const std::string policy_name = flags.take("--policy", "all");
     const bool persistence = !flags.take_switch("--no-persistence");
@@ -111,7 +207,10 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out)
     const bool report = flags.take_switch("--report");
     const bool csv = flags.take_switch("--csv");
     const bool sim_check = flags.take_switch("--sim-check");
+    const std::string metrics_out = flags.take("--metrics-out", "");
+    const std::string trace_spec = flags.take("--trace", "");
     flags.expect_empty();
+    ObsSession obs_session(metrics_out, trace_spec, err);
 
     const ParsedSystem parsed = parse_task_set_file(path);
     if (report && parsed.l2.has_value()) {
@@ -149,6 +248,7 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out)
 
     const analysis::InterferenceTables tables(parsed.ts, config.crpd);
     bool all_schedulable = true;
+    std::vector<std::pair<std::string, bool>> policy_verdicts;
 
     // With an L2 declared, run the multilevel analysis instead (no
     // decomposition support there; synthesize the per-task verdict rows
@@ -190,6 +290,8 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out)
             schedulable = schedulable && b.analyzed && b.meets_deadline;
         }
         all_schedulable = all_schedulable && schedulable;
+        policy_verdicts.emplace_back(analysis::to_string(policy),
+                                     schedulable);
 
         out << "== " << analysis::to_string(policy) << " bus, persistence "
             << (persistence ? "on" : "off")
@@ -273,16 +375,40 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out)
         }
         out << '\n';
     }
+
+    if (obs_session.metrics_requested()) {
+        obs::RunReport run_report("cpa analyze");
+        run_report.set("file", obs::JsonValue(path));
+        obs::JsonValue& cfg = run_report.section("config");
+        cfg.set("persistence_aware", obs::JsonValue(persistence));
+        cfg.set("crpd", obs::JsonValue(crpd_name));
+        cfg.set("cpro", obs::JsonValue(cpro_name));
+        cfg.set("tasks", obs::JsonValue(parsed.ts.size()));
+        cfg.set("cores", obs::JsonValue(parsed.ts.num_cores()));
+        obs::JsonValue& verdicts = run_report.list("policies");
+        for (const auto& [name, schedulable] : policy_verdicts) {
+            obs::JsonValue entry = obs::JsonValue::object();
+            entry.set("policy", obs::JsonValue(name));
+            entry.set("schedulable", obs::JsonValue(schedulable));
+            verdicts.push(std::move(entry));
+        }
+        run_report.set("all_schedulable", obs::JsonValue(all_schedulable));
+        write_run_report(run_report, metrics_out, out);
+    }
     return all_schedulable ? 0 : 2;
 }
 
-int cmd_simulate(Flags flags, const std::string& path, std::ostream& out)
+int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
+                 std::ostream& err)
 {
     const BusPolicy policy = parse_policy(flags.take("--policy", "fp"));
     const std::int64_t horizon_periods =
         std::stoll(flags.take("--horizon-periods", "4"));
     const bool hyperperiod = flags.take_switch("--hyperperiod");
+    const std::string metrics_out = flags.take("--metrics-out", "");
+    const std::string trace_spec = flags.take("--trace", "");
     flags.expect_empty();
+    ObsSession obs_session(metrics_out, trace_spec, err);
     if (horizon_periods <= 0) {
         throw std::runtime_error("--horizon-periods must be positive");
     }
@@ -323,6 +449,17 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out)
                                                                : "MISS"});
     }
     table.print(out);
+
+    if (obs_session.metrics_requested()) {
+        obs::RunReport run_report("cpa simulate");
+        run_report.set("file", obs::JsonValue(path));
+        obs::JsonValue& cfg = run_report.section("config");
+        cfg.set("policy", obs::JsonValue(analysis::to_string(policy)));
+        cfg.set("horizon", obs::JsonValue(sim_config.horizon));
+        run_report.set("deadline_missed",
+                       obs::JsonValue(result.deadline_missed));
+        write_run_report(run_report, metrics_out, out);
+    }
     return result.deadline_missed ? 2 : 0;
 }
 
@@ -359,7 +496,7 @@ int cmd_generate(Flags flags, std::ostream& out)
     return 0;
 }
 
-int cmd_sweep(Flags flags, std::ostream& out)
+int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
 {
     benchdata::GenerationConfig generation;
     generation.num_cores = static_cast<std::size_t>(
@@ -374,7 +511,10 @@ int cmd_sweep(Flags flags, std::ostream& out)
     sweep_config.seed = static_cast<std::uint64_t>(
         std::stoll(flags.take("--seed", "20200309")));
     const bool csv = flags.take_switch("--csv");
+    const std::string metrics_out = flags.take("--metrics-out", "");
+    const std::string trace_spec = flags.take("--trace", "");
     flags.expect_empty();
+    ObsSession obs_session(metrics_out, trace_spec, err);
 
     analysis::PlatformConfig platform;
     platform.num_cores = generation.num_cores;
@@ -409,6 +549,19 @@ int cmd_sweep(Flags flags, std::ostream& out)
     } else {
         table.print(out);
     }
+
+    if (obs_session.metrics_requested()) {
+        obs::RunReport run_report("cpa sweep");
+        obs::JsonValue& cfg = run_report.section("config");
+        cfg.set("cores", obs::JsonValue(generation.num_cores));
+        cfg.set("tasks_per_core", obs::JsonValue(generation.tasks_per_core));
+        cfg.set("cache_sets", obs::JsonValue(generation.cache_sets));
+        cfg.set("task_sets_per_point",
+                obs::JsonValue(sweep_config.task_sets_per_point));
+        cfg.set("seed",
+                obs::JsonValue(static_cast<std::int64_t>(sweep_config.seed)));
+        write_run_report(run_report, metrics_out, out);
+    }
     return 0;
 }
 
@@ -428,7 +581,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
                 Flags({args.begin() + 1, args.end()}), out);
         }
         if (command == "sweep") {
-            return cmd_sweep(Flags({args.begin() + 1, args.end()}), out);
+            return cmd_sweep(Flags({args.begin() + 1, args.end()}), out,
+                             err);
         }
         if (command == "analyze" || command == "simulate") {
             if (args.size() < 2 || args[1].rfind("--", 0) == 0) {
@@ -437,8 +591,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
             }
             Flags flags({args.begin() + 2, args.end()});
             return command == "analyze"
-                       ? cmd_analyze(std::move(flags), args[1], out)
-                       : cmd_simulate(std::move(flags), args[1], out);
+                       ? cmd_analyze(std::move(flags), args[1], out, err)
+                       : cmd_simulate(std::move(flags), args[1], out, err);
         }
         throw std::runtime_error("unknown command '" + command + "'");
     } catch (const std::exception& error) {

@@ -9,6 +9,10 @@
 //   cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
 //                [--utilization U] [--seed S]
 //   cpa help
+//
+// analyze/simulate/sweep additionally accept the observability flags
+// --metrics-out FILE (JSON run report; '-' = stdout) and
+// --trace SUBSYS[,...] (NDJSON events on stderr); see docs/observability.md.
 #pragma once
 
 #include <iosfwd>

@@ -3,8 +3,11 @@
 #include "analysis/interference.hpp"
 #include "analysis/schedulability.hpp"
 #include "benchdata/benchmark.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
@@ -69,7 +72,17 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
 
     util::Rng master(sweep.seed);
 
+    // Progress bookkeeping for the "sweep" trace channel: grid size is known
+    // up front, so each finished point can report a progress fraction and a
+    // wall-clock ETA extrapolated from the mean point duration so far.
+    const auto total_points = static_cast<std::size_t>(
+        std::floor((sweep.u_max - sweep.u_min) / sweep.u_step + 1e-9)) + 1;
+    const auto sweep_started = std::chrono::steady_clock::now();
+    std::size_t points_done = 0;
+
     for (double u = sweep.u_min; u <= sweep.u_max + 1e-9; u += sweep.u_step) {
+        CPA_SCOPED_TIMER("sweep.point");
+        const auto point_started = std::chrono::steady_clock::now();
         SweepPoint point;
         point.utilization = u;
         point.schedulable.assign(variants.size(), 0);
@@ -102,6 +115,41 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
                     point.schedulable[v] += 1;
                 }
             }
+        }
+
+        points_done += 1;
+        CPA_COUNT("sweep.points");
+        CPA_COUNT_ADD("sweep.task_sets",
+                      static_cast<std::int64_t>(sweep.task_sets_per_point));
+        if (CPA_TRACE_ENABLED("sweep")) {
+            using std::chrono::duration_cast;
+            using std::chrono::milliseconds;
+            const auto now = std::chrono::steady_clock::now();
+            const auto point_ms =
+                duration_cast<milliseconds>(now - point_started).count();
+            const auto elapsed_ms =
+                duration_cast<milliseconds>(now - sweep_started).count();
+            const double progress =
+                static_cast<double>(points_done) /
+                static_cast<double>(total_points);
+            const double eta_ms =
+                progress > 0.0
+                    ? static_cast<double>(elapsed_ms) * (1.0 - progress) /
+                          progress
+                    : 0.0;
+            std::int64_t schedulable_total = 0;
+            for (const std::size_t count : point.schedulable) {
+                schedulable_total += static_cast<std::int64_t>(count);
+            }
+            obs::Tracer::global().emit(
+                obs::TraceEvent("sweep", obs::Severity::kInfo, "point_done")
+                    .field("utilization", point.utilization)
+                    .field("point_ms", point_ms)
+                    .field("schedulable_total", schedulable_total)
+                    .field("points_done", points_done)
+                    .field("points_total", total_points)
+                    .field("progress", progress)
+                    .field("eta_ms", eta_ms));
         }
         result.points.push_back(std::move(point));
     }

@@ -1,0 +1,136 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpa::obs {
+
+void write_json_escaped(std::ostream& out, std::string_view text)
+{
+    for (const char ch : text) {
+        switch (ch) {
+        case '"':
+            out << "\\\"";
+            break;
+        case '\\':
+            out << "\\\\";
+            break;
+        case '\n':
+            out << "\\n";
+            break;
+        case '\r':
+            out << "\\r";
+            break;
+        case '\t':
+            out << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out << buffer;
+            } else {
+                out << ch;
+            }
+        }
+    }
+}
+
+std::string json_number(double value)
+{
+    if (!std::isfinite(value)) {
+        return "0";
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value)
+{
+    if (kind_ != Kind::kObject) {
+        throw std::logic_error("JsonValue::set on a non-object");
+    }
+    for (auto& [existing_key, existing_value] : members_) {
+        if (existing_key == key) {
+            existing_value = std::move(value);
+            return existing_value;
+        }
+    }
+    members_.emplace_back(std::string(key), std::move(value));
+    return members_.back().second;
+}
+
+JsonValue& JsonValue::push(JsonValue value)
+{
+    if (kind_ != Kind::kArray) {
+        throw std::logic_error("JsonValue::push on a non-array");
+    }
+    elements_.push_back(std::move(value));
+    return elements_.back();
+}
+
+void JsonValue::write(std::ostream& out) const
+{
+    switch (kind_) {
+    case Kind::kNull:
+        out << "null";
+        break;
+    case Kind::kBool:
+        out << (bool_ ? "true" : "false");
+        break;
+    case Kind::kInt:
+        out << int_;
+        break;
+    case Kind::kDouble:
+        out << json_number(double_);
+        break;
+    case Kind::kString:
+        out << '"';
+        write_json_escaped(out, string_);
+        out << '"';
+        break;
+    case Kind::kObject: {
+        out << '{';
+        bool first = true;
+        for (const auto& [key, value] : members_) {
+            if (!first) {
+                out << ',';
+            }
+            first = false;
+            out << '"';
+            write_json_escaped(out, key);
+            out << "\":";
+            value.write(out);
+        }
+        out << '}';
+        break;
+    }
+    case Kind::kArray: {
+        out << '[';
+        bool first = true;
+        for (const auto& element : elements_) {
+            if (!first) {
+                out << ',';
+            }
+            first = false;
+            element.write(out);
+        }
+        out << ']';
+        break;
+    }
+    }
+}
+
+std::string JsonValue::to_string() const
+{
+    std::ostringstream out;
+    write(out);
+    return out.str();
+}
+
+} // namespace cpa::obs

@@ -1,0 +1,91 @@
+// Minimal JSON value tree + serializer for the observability outputs (trace
+// lines, run reports, bench JSON). Deliberately write-only: the repo has no
+// JSON dependency and the consumers (scripts/check_bench_json.py, plotting)
+// parse with standard tooling.
+//
+// Object keys keep insertion order so reports read top-down (tool, config,
+// verdicts, metrics) instead of alphabetically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cpa::obs {
+
+// Writes `text` with JSON string escaping (quotes, backslash, control
+// characters) — without the surrounding quotes.
+void write_json_escaped(std::ostream& out, std::string_view text);
+
+// Formats a double the way JSON requires (no inf/nan — both clamp to 0,
+// which is the right degradation for durations and ratios).
+[[nodiscard]] std::string json_number(double value);
+
+class JsonValue {
+public:
+    JsonValue() : kind_(Kind::kNull) {}
+    JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+    JsonValue(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+    JsonValue(int value) : JsonValue(static_cast<std::int64_t>(value)) {}
+    JsonValue(std::size_t value)
+        : JsonValue(static_cast<std::int64_t>(value))
+    {
+    }
+    JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}
+    JsonValue(std::string value)
+        : kind_(Kind::kString), string_(std::move(value))
+    {
+    }
+    JsonValue(std::string_view value) : JsonValue(std::string(value)) {}
+    JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+    [[nodiscard]] static JsonValue object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::kObject;
+        return v;
+    }
+    [[nodiscard]] static JsonValue array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::kArray;
+        return v;
+    }
+
+    // Object insertion; returns the stored value for nested building.
+    JsonValue& set(std::string_view key, JsonValue value);
+    // Array append; returns the stored element.
+    JsonValue& push(JsonValue value);
+
+    [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+    [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+    // Serializes compactly (no whitespace). NDJSON callers add the newline.
+    void write(std::ostream& out) const;
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    enum class Kind : std::uint8_t {
+        kNull,
+        kBool,
+        kInt,
+        kDouble,
+        kString,
+        kObject,
+        kArray,
+    };
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<std::pair<std::string, JsonValue>> members_; // objects
+    std::vector<JsonValue> elements_;                        // arrays
+};
+
+} // namespace cpa::obs

@@ -1,0 +1,87 @@
+#include "obs/metrics.hpp"
+
+namespace cpa::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+// Generic find-or-create over the heterogeneous maps; heap allocation keeps
+// the handed-out references stable across rehashing/rebalancing.
+template <typename Map>
+auto& find_or_create(std::mutex& mutex, Map& map, std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = map.find(name);
+    if (it == map.end()) {
+        using Value = typename Map::mapped_type::element_type;
+        it = map.emplace(std::string(name), std::make_unique<Value>()).first;
+    }
+    return *it->second;
+}
+
+} // namespace
+
+bool metrics_enabled() noexcept
+{
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept
+{
+    g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name)
+{
+    return find_or_create(mutex_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name)
+{
+    return find_or_create(mutex_, gauges_, name);
+}
+
+Timer& MetricsRegistry::timer(std::string_view name)
+{
+    return find_or_create(mutex_, timers_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, counter] : counters_) {
+        snap.counters.emplace(name, counter->value());
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        snap.gauges.emplace(name, gauge->value());
+    }
+    for (const auto& [name, timer] : timers_) {
+        snap.timers.emplace(name,
+                            TimerStat{timer->total_ns(), timer->count()});
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_) {
+        counter->reset();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        gauge->reset();
+    }
+    for (const auto& [name, timer] : timers_) {
+        timer->reset();
+    }
+}
+
+} // namespace cpa::obs

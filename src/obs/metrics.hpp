@@ -1,0 +1,154 @@
+// Process-wide metrics registry: monotonically increasing counters, gauges,
+// and wall-clock timers, addressed by dotted names ("wcrt.inner_iterations",
+// "bat.fp.calls", ...).
+//
+// Design constraints (see docs/observability.md for the metric catalog):
+//  * Hot-path friendly: increments are relaxed atomics on references that
+//    call sites cache once (obs.hpp macros), so an enabled counter costs one
+//    atomic add and a disabled one a single predictable branch.
+//  * Stable references: metric objects are heap-allocated and never removed,
+//    so a `Counter&` captured in a function-local static stays valid for the
+//    process lifetime. `reset()` zeroes values without invalidating anything.
+//  * Registration is mutex-protected (cold path only).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cpa::obs {
+
+// Global runtime switch for metric recording. Off by default; flipped on by
+// the CLI (--metrics-out), bench::BenchReport, or tests.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+class Counter {
+public:
+    void add(std::int64_t delta) noexcept
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+public:
+    void set(std::int64_t value) noexcept
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+// Accumulated wall-clock time: total nanoseconds across all recorded scopes
+// plus how many scopes contributed (so snapshots can derive a mean).
+class Timer {
+public:
+    void record_ns(std::int64_t ns) noexcept
+    {
+        total_ns_.fetch_add(ns, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t total_ns() const noexcept
+    {
+        return total_ns_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t count() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept
+    {
+        total_ns_.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> total_ns_{0};
+    std::atomic<std::int64_t> count_{0};
+};
+
+struct TimerStat {
+    std::int64_t total_ns = 0;
+    std::int64_t count = 0;
+};
+
+// Point-in-time copy of every registered metric, for reports.
+struct MetricsSnapshot {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, TimerStat> timers;
+};
+
+class MetricsRegistry {
+public:
+    // The process-wide registry used by the obs.hpp macros.
+    [[nodiscard]] static MetricsRegistry& global();
+
+    // Find-or-create; the returned reference is stable forever.
+    [[nodiscard]] Counter& counter(std::string_view name);
+    [[nodiscard]] Gauge& gauge(std::string_view name);
+    [[nodiscard]] Timer& timer(std::string_view name);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    // Zeroes every metric value. Registered names (and references handed
+    // out) survive, so call sites keep working across resets.
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+// RAII wall-clock scope feeding a Timer metric. Inactive (and skipping the
+// clock reads) when metrics are disabled at construction time.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(std::string_view name)
+    {
+        if (metrics_enabled()) {
+            timer_ = &MetricsRegistry::global().timer(name);
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+    ~ScopedTimer()
+    {
+        if (timer_ != nullptr) {
+            const auto elapsed = std::chrono::steady_clock::now() - start_;
+            timer_->record_ns(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count());
+        }
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    Timer* timer_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace cpa::obs

@@ -1,0 +1,87 @@
+// Umbrella header of the observability layer: the compile-time gate and the
+// hot-path macros.
+//
+// Two gates keep instrumentation out of the analysis cost model:
+//
+//  1. Compile time: building with -DCPA_OBS_DISABLE (CMake option -DCPA_OBS=OFF)
+//     expands every macro below to nothing, so instrumented translation units
+//     are bit-identical to uninstrumented ones.
+//  2. Run time: with observability compiled in (the default), every macro
+//     first reads one relaxed atomic flag (`metrics_enabled()` /
+//     `Tracer::global().active()`). The flag is off unless a caller opted in
+//     (CLI --metrics-out/--trace, bench::BenchReport, tests), so the steady
+//     state of an uninstrumented run is a single predictable branch per site
+//     — verified by the `analysis_perf` bench staying within noise of the
+//     uninstrumented build.
+//
+// Counter references are cached in a function-local static per call site, so
+// the registry's name lookup happens once per site, not per event.
+#pragma once
+
+#if defined(CPA_OBS_DISABLE)
+#define CPA_OBS_ENABLED 0
+#else
+#define CPA_OBS_ENABLED 1
+#endif
+
+// The headers are included unconditionally so guarded trace blocks
+// (`if (CPA_TRACE_ENABLED(...)) { ... }`) still type-check when disabled —
+// the constant-false condition lets the compiler drop the block entirely.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if CPA_OBS_ENABLED
+
+// Adds `delta` to the named counter when metrics are enabled.
+#define CPA_COUNT_ADD(name, delta)                                          \
+    do {                                                                    \
+        if (::cpa::obs::metrics_enabled()) {                                \
+            static ::cpa::obs::Counter& cpa_obs_counter_ =                  \
+                ::cpa::obs::MetricsRegistry::global().counter(name);        \
+            cpa_obs_counter_.add(delta);                                    \
+        }                                                                   \
+    } while (0)
+
+// Increments the named counter by one when metrics are enabled.
+#define CPA_COUNT(name) CPA_COUNT_ADD(name, 1)
+
+// Sets the named gauge when metrics are enabled.
+#define CPA_GAUGE_SET(name, value)                                          \
+    do {                                                                    \
+        if (::cpa::obs::metrics_enabled()) {                                \
+            static ::cpa::obs::Gauge& cpa_obs_gauge_ =                      \
+                ::cpa::obs::MetricsRegistry::global().gauge(name);          \
+            cpa_obs_gauge_.set(value);                                      \
+        }                                                                   \
+    } while (0)
+
+// Accumulates wall-clock time spent in the enclosing scope into the named
+// timer metric (total nanoseconds + invocation count).
+#define CPA_OBS_CONCAT_(a, b) a##b
+#define CPA_OBS_CONCAT(a, b) CPA_OBS_CONCAT_(a, b)
+#define CPA_SCOPED_TIMER(name)                                              \
+    ::cpa::obs::ScopedTimer CPA_OBS_CONCAT(cpa_obs_timer_, __LINE__)(name)
+
+// True when a trace sink is installed and `subsystem` passes its filter.
+// Call sites guard event construction with this so the formatting cost is
+// only paid when someone is listening.
+#define CPA_TRACE_ENABLED(subsystem)                                        \
+    (::cpa::obs::Tracer::global().enabled(subsystem))
+
+#else // !CPA_OBS_ENABLED
+
+#define CPA_COUNT_ADD(name, delta)                                          \
+    do {                                                                    \
+    } while (0)
+#define CPA_COUNT(name)                                                     \
+    do {                                                                    \
+    } while (0)
+#define CPA_GAUGE_SET(name, value)                                          \
+    do {                                                                    \
+    } while (0)
+#define CPA_SCOPED_TIMER(name)                                              \
+    do {                                                                    \
+    } while (0)
+#define CPA_TRACE_ENABLED(subsystem) false
+
+#endif // CPA_OBS_ENABLED

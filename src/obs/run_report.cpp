@@ -1,0 +1,73 @@
+#include "obs/run_report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace cpa::obs {
+
+RunReport::RunReport(std::string_view tool) : root_(JsonValue::object())
+{
+    root_.set("schema_version", JsonValue(kRunReportSchemaVersion));
+    root_.set("tool", JsonValue(tool));
+}
+
+void RunReport::set(std::string_view key, JsonValue value)
+{
+    root_.set(key, std::move(value));
+}
+
+JsonValue& RunReport::section(std::string_view key)
+{
+    return root_.set(key, JsonValue::object());
+}
+
+JsonValue& RunReport::list(std::string_view key)
+{
+    return root_.set(key, JsonValue::array());
+}
+
+void RunReport::set_metrics(const MetricsSnapshot& snapshot)
+{
+    root_.set("metrics", metrics_to_json(snapshot));
+}
+
+void RunReport::write_json(std::ostream& out) const
+{
+    root_.write(out);
+    out << '\n';
+}
+
+std::string RunReport::to_json() const
+{
+    std::ostringstream out;
+    write_json(out);
+    return out.str();
+}
+
+JsonValue metrics_to_json(const MetricsSnapshot& snapshot)
+{
+    JsonValue metrics = JsonValue::object();
+    JsonValue counters = JsonValue::object();
+    for (const auto& [name, value] : snapshot.counters) {
+        counters.set(name, JsonValue(value));
+    }
+    metrics.set("counters", std::move(counters));
+
+    JsonValue gauges = JsonValue::object();
+    for (const auto& [name, value] : snapshot.gauges) {
+        gauges.set(name, JsonValue(value));
+    }
+    metrics.set("gauges", std::move(gauges));
+
+    JsonValue timers = JsonValue::object();
+    for (const auto& [name, stat] : snapshot.timers) {
+        JsonValue entry = JsonValue::object();
+        entry.set("total_ns", JsonValue(stat.total_ns));
+        entry.set("count", JsonValue(stat.count));
+        timers.set(name, std::move(entry));
+    }
+    metrics.set("timers", std::move(timers));
+    return metrics;
+}
+
+} // namespace cpa::obs

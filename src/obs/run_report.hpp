@@ -1,0 +1,56 @@
+// RunReport: machine-readable summary of one tool/bench invocation.
+//
+// Collects free-form metadata (tool name, configuration, verdicts) and a
+// MetricsSnapshot, and serializes the whole thing as a single JSON object:
+//
+//   {
+//     "schema_version": 1,
+//     "tool": "cpa analyze",
+//     ...caller metadata...,
+//     "metrics": {
+//       "counters": {"wcrt.outer_iterations": 12, ...},
+//       "gauges":   {"tables.gamma_nonzero": 42, ...},
+//       "timers":   {"tables.build": {"total_ns": 1234, "count": 1}, ...}
+//     }
+//   }
+//
+// The same shape is used by `cpa --metrics-out` and the bench BENCH_*.json
+// emitter (validated by scripts/check_bench_json.py).
+#pragma once
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+#include <iosfwd>
+#include <string_view>
+
+namespace cpa::obs {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+class RunReport {
+public:
+    explicit RunReport(std::string_view tool);
+
+    // Top-level metadata (insertion order preserved in the output).
+    void set(std::string_view key, JsonValue value);
+    // Returns a mutable reference to a top-level object/array member,
+    // creating it if needed, for nested building.
+    JsonValue& section(std::string_view key);
+    JsonValue& list(std::string_view key);
+
+    // Stores the snapshot under "metrics".
+    void set_metrics(const MetricsSnapshot& snapshot);
+
+    // Serializes the report (single line, trailing newline).
+    void write_json(std::ostream& out) const;
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    JsonValue root_;
+};
+
+// Converts a snapshot to the {"counters":…,"gauges":…,"timers":…} object.
+[[nodiscard]] JsonValue metrics_to_json(const MetricsSnapshot& snapshot);
+
+} // namespace cpa::obs

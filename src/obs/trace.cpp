@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+namespace cpa::obs {
+
+std::string_view to_string(Severity severity)
+{
+    switch (severity) {
+    case Severity::kDebug:
+        return "debug";
+    case Severity::kInfo:
+        return "info";
+    case Severity::kWarn:
+        return "warn";
+    case Severity::kError:
+        return "error";
+    }
+    return "info";
+}
+
+std::string TraceEvent::to_ndjson() const
+{
+    std::ostringstream out;
+    out << "{\"subsys\":\"";
+    write_json_escaped(out, subsystem_);
+    out << "\",\"sev\":\"" << to_string(severity_) << "\",\"event\":\"";
+    write_json_escaped(out, event_);
+    out << '"';
+    for (const auto& [key, value] : fields_) {
+        out << ",\"";
+        write_json_escaped(out, key);
+        out << "\":";
+        value.write(out);
+    }
+    out << '}';
+    return out.str();
+}
+
+void StreamTraceSink::consume(const TraceEvent& event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << event.to_ndjson() << '\n';
+}
+
+Tracer& Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::set_sink(std::shared_ptr<TraceSink> sink,
+                      std::set<std::string> subsystems,
+                      Severity min_severity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = std::move(sink);
+    subsystems_.clear();
+    for (auto& name : subsystems) {
+        subsystems_.insert(std::move(name));
+    }
+    if (subsystems_.contains("all")) {
+        subsystems_.clear(); // "all" == no filter
+    }
+    min_severity_ = min_severity;
+    active_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled(std::string_view subsystem) const
+{
+    if (!active()) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_ == nullptr) {
+        return false;
+    }
+    return subsystems_.empty() || subsystems_.find(subsystem) != subsystems_.end();
+}
+
+void Tracer::emit(const TraceEvent& event)
+{
+    std::shared_ptr<TraceSink> sink;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sink_ == nullptr || event.severity() < min_severity_) {
+            return;
+        }
+        if (!subsystems_.empty() &&
+            subsystems_.find(event.subsystem()) == subsystems_.end()) {
+            return;
+        }
+        sink = sink_;
+    }
+    sink->consume(event);
+}
+
+} // namespace cpa::obs

@@ -1,0 +1,141 @@
+// Structured NDJSON tracing: one JSON object per line, tagged with a
+// subsystem ("wcrt", "bus", "sweep", "sim", ...), a severity, an event name,
+// and free-form typed fields.
+//
+// The global Tracer is a null sink by default; installing a sink (CLI
+// --trace, tests) turns `enabled()` true for the selected subsystems. Call
+// sites guard with CPA_TRACE_ENABLED(subsys) so event construction is never
+// paid when nobody listens.
+#pragma once
+
+#include "obs/json.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpa::obs {
+
+enum class Severity : std::uint8_t {
+    kDebug,
+    kInfo,
+    kWarn,
+    kError,
+};
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+// One trace record. Fields keep insertion order in the output line.
+class TraceEvent {
+public:
+    TraceEvent(std::string_view subsystem, Severity severity,
+               std::string_view event)
+        : subsystem_(subsystem), severity_(severity), event_(event)
+    {
+    }
+
+    TraceEvent& field(std::string_view key, std::int64_t value)
+    {
+        fields_.emplace_back(std::string(key), JsonValue(value));
+        return *this;
+    }
+    TraceEvent& field(std::string_view key, std::size_t value)
+    {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+    TraceEvent& field(std::string_view key, int value)
+    {
+        return field(key, static_cast<std::int64_t>(value));
+    }
+    TraceEvent& field(std::string_view key, double value)
+    {
+        fields_.emplace_back(std::string(key), JsonValue(value));
+        return *this;
+    }
+    TraceEvent& field(std::string_view key, bool value)
+    {
+        fields_.emplace_back(std::string(key), JsonValue(value));
+        return *this;
+    }
+    TraceEvent& field(std::string_view key, std::string_view value)
+    {
+        fields_.emplace_back(std::string(key), JsonValue(value));
+        return *this;
+    }
+    TraceEvent& field(std::string_view key, const char* value)
+    {
+        return field(key, std::string_view(value));
+    }
+
+    [[nodiscard]] std::string_view subsystem() const { return subsystem_; }
+    [[nodiscard]] Severity severity() const { return severity_; }
+    [[nodiscard]] std::string_view event() const { return event_; }
+
+    // Formats the NDJSON line (no trailing newline):
+    //   {"subsys":"wcrt","sev":"info","event":"outer_iteration",...fields}
+    [[nodiscard]] std::string to_ndjson() const;
+
+private:
+    std::string subsystem_;
+    Severity severity_;
+    std::string event_;
+    std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void consume(const TraceEvent& event) = 0;
+};
+
+// Appends NDJSON lines to a caller-owned stream. The stream must outlive
+// the sink's installation in the Tracer.
+class StreamTraceSink : public TraceSink {
+public:
+    explicit StreamTraceSink(std::ostream& out) : out_(out) {}
+    void consume(const TraceEvent& event) override;
+
+private:
+    std::ostream& out_;
+    std::mutex mutex_;
+};
+
+// Global dispatch point. Filtering happens in two layers:
+//  * active(): a sink is installed at all (one relaxed atomic load);
+//  * enabled(subsystem): the subsystem passes the filter and the severity
+//    floor will be checked per event by emit().
+class Tracer {
+public:
+    [[nodiscard]] static Tracer& global();
+
+    // Installs a sink; pass nullptr to silence tracing again. `subsystems`
+    // empty (or containing "all") means every subsystem passes.
+    void set_sink(std::shared_ptr<TraceSink> sink,
+                  std::set<std::string> subsystems = {},
+                  Severity min_severity = Severity::kDebug);
+
+    [[nodiscard]] bool active() const noexcept
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] bool enabled(std::string_view subsystem) const;
+
+    // Forwards to the sink when the event passes the filters.
+    void emit(const TraceEvent& event);
+
+private:
+    std::atomic<bool> active_{false};
+    mutable std::mutex mutex_;
+    std::shared_ptr<TraceSink> sink_;
+    std::set<std::string, std::less<>> subsystems_; // empty = all
+    Severity min_severity_ = Severity::kDebug;
+};
+
+} // namespace cpa::obs

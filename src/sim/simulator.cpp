@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include "obs/obs.hpp"
 #include "sim/arbiter.hpp"
 #include "util/set_mask.hpp"
 
@@ -73,6 +74,7 @@ struct Core {
     std::uint64_t cpu_generation = 0;
     std::vector<std::int32_t> cache_owner; // task id per cache set, -1 empty
     std::size_t pending_request = kNone;   // job waiting for / using the bus
+    Cycles request_issued_at = 0;          // when pending_request stalled
 };
 
 class Simulation {
@@ -154,6 +156,14 @@ private:
 
     void record_miss(std::size_t task)
     {
+        CPA_COUNT("sim.deadline_misses");
+        if (CPA_TRACE_ENABLED("sim")) {
+            obs::Tracer::global().emit(
+                obs::TraceEvent("sim", obs::Severity::kWarn, "deadline_miss")
+                    .field("task", task)
+                    .field("task_name", ts_[task].name)
+                    .field("time", now_));
+        }
         if (!result_.deadline_missed) {
             result_.deadline_missed = true;
             result_.missed_task = task;
@@ -239,6 +249,7 @@ private:
 
     void preempt(std::size_t core_index)
     {
+        CPA_COUNT("sim.preemptions");
         Core& core = cores_[core_index];
         Job& job = jobs_[core.running];
         const Cycles elapsed = now_ - job.chunk_started;
@@ -339,9 +350,11 @@ private:
 
     void issue_request(std::size_t core_index)
     {
+        CPA_COUNT("sim.bus_requests");
         Core& core = cores_[core_index];
         core.stalled = true;
         core.pending_request = core.running;
+        core.request_issued_at = now_;
         const auto completion = arbiter_.request(
             core_index, jobs_[core.running].task, now_);
         if (completion.has_value()) {
@@ -355,6 +368,12 @@ private:
         const std::size_t job_id = core.pending_request;
         core.pending_request = kNone;
         core.stalled = false;
+        // The bus granted and served one access for this core; the core
+        // stalled from issue to completion (queueing + the d_mem service).
+        CPA_COUNT("sim.bus_grants");
+        CPA_COUNT_ADD("sim.stall_cycles", now_ - core.request_issued_at);
+        CPA_COUNT_ADD("sim.contention_cycles",
+                      now_ - core.request_issued_at - platform_.d_mem);
 
         Job& job = jobs_[job_id];
         job.accesses_left -= 1;
@@ -383,6 +402,7 @@ private:
         job.finished = true;
         core.running = kNone;
         core.cpu_generation++;
+        CPA_COUNT("sim.jobs_completed");
 
         const Cycles response = now_ - job.arrival;
         result_.max_response[job.task] =

@@ -1,0 +1,160 @@
+// Exercises the observability wiring of compute_wcrt: the traced
+// "outer_iteration" events must agree with the reported iteration counts,
+// and the metrics registry must pick up the same numbers.
+#include "analysis/wcrt.hpp"
+
+#include "helpers.hpp"
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+
+PlatformConfig small_platform(std::size_t cores, Cycles d_mem)
+{
+    PlatformConfig platform;
+    platform.num_cores = cores;
+    platform.cache_sets = 16;
+    platform.d_mem = d_mem;
+    platform.slot_size = 2;
+    return platform;
+}
+
+AnalysisConfig fp_config()
+{
+    AnalysisConfig config;
+    config.policy = BusPolicy::kFixedPriority;
+    config.persistence_aware = true;
+    return config;
+}
+
+// Two cores with cross-core interference so the outer loop needs more than
+// one round to reach the global fixed point.
+tasks::TaskSet cross_core_set()
+{
+    return make_task_set(2, 16,
+                         {
+                             {0, 10, 4, 4, 100, 0, {}, {}, {}},
+                             {0, 20, 6, 6, 200, 0, {}, {}, {}},
+                             {1, 15, 5, 5, 150, 0, {}, {}, {}},
+                             {1, 25, 3, 3, 300, 0, {}, {}, {}},
+                         });
+}
+
+std::size_t count_events(const std::string& ndjson, std::string_view event)
+{
+    const std::string needle =
+        "\"event\":\"" + std::string(event) + "\"";
+    std::size_t count = 0;
+    for (std::size_t pos = ndjson.find(needle); pos != std::string::npos;
+         pos = ndjson.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+class WcrtObsTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+        sink_ = std::make_shared<obs::StreamTraceSink>(captured_);
+        obs::Tracer::global().set_sink(sink_, {"wcrt"});
+    }
+    void TearDown() override
+    {
+        obs::Tracer::global().set_sink(nullptr);
+        obs::set_metrics_enabled(false);
+        obs::MetricsRegistry::global().reset();
+    }
+
+    std::ostringstream captured_;
+    std::shared_ptr<obs::StreamTraceSink> sink_;
+};
+
+TEST_F(WcrtObsTest, OuterIterationsMatchTracedEvents)
+{
+    const tasks::TaskSet ts = cross_core_set();
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(2, 2), fp_config());
+    ASSERT_TRUE(result.schedulable);
+    EXPECT_STREQ(result.stop_reason, "converged");
+    EXPECT_GE(result.outer_iterations, 2u);
+
+#if CPA_OBS_ENABLED
+    EXPECT_EQ(count_events(captured_.str(), "outer_iteration"),
+              result.outer_iterations);
+#else
+    EXPECT_TRUE(captured_.str().empty());
+#endif
+}
+
+TEST_F(WcrtObsTest, MetricsMirrorIterationCounts)
+{
+    const tasks::TaskSet ts = cross_core_set();
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(2, 2), fp_config());
+    ASSERT_TRUE(result.schedulable);
+
+#if CPA_OBS_ENABLED
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.counters.at("wcrt.calls"), 1);
+    EXPECT_EQ(snap.counters.at("wcrt.outer_iterations"),
+              static_cast<std::int64_t>(result.outer_iterations));
+    EXPECT_EQ(snap.counters.at("wcrt.inner_iterations"),
+              static_cast<std::int64_t>(result.inner_iterations));
+    ASSERT_TRUE(snap.timers.contains("wcrt.compute"));
+    EXPECT_EQ(snap.timers.at("wcrt.compute").count, 1);
+#endif
+}
+
+TEST_F(WcrtObsTest, DeadlineMissEmitsWarnEventAndStopReason)
+{
+    // τ2 cannot meet its 70-cycle deadline (see Wcrt.ReportsFirstFailingTask).
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 50, 5, 5, 100, 65, {}, {}, {}},
+            {0, 50, 5, 5, 100, 70, {}, {}, {}},
+        });
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(1, 2), fp_config());
+    ASSERT_FALSE(result.schedulable);
+    EXPECT_STREQ(result.stop_reason, "deadline_miss");
+    EXPECT_EQ(result.failed_task, 1u);
+
+#if CPA_OBS_ENABLED
+    const std::string text = captured_.str();
+    EXPECT_EQ(count_events(text, "deadline_miss"), 1u);
+    // The aborting outer round is traced too, keeping the invariant.
+    EXPECT_EQ(count_events(text, "outer_iteration"),
+              result.outer_iterations);
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .counter("wcrt.unschedulable")
+                  .value(),
+              1);
+#endif
+}
+
+TEST_F(WcrtObsTest, InnerIterationsAccumulateAcrossOuterRounds)
+{
+    const tasks::TaskSet ts = cross_core_set();
+    const WcrtResult result =
+        compute_wcrt(ts, small_platform(2, 2), fp_config());
+    ASSERT_TRUE(result.schedulable);
+    // Every task runs its inner fixed point at least once per outer round.
+    EXPECT_GE(result.inner_iterations,
+              result.outer_iterations * ts.size());
+}
+
+} // namespace
+} // namespace cpa::analysis

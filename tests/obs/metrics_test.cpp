@@ -1,0 +1,132 @@
+#include "obs/metrics.hpp"
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cpa::obs {
+namespace {
+
+// Restores the metrics-enabled flag and zeroes the registry around each
+// test so the process-wide singleton doesn't leak state between tests.
+class MetricsTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        MetricsRegistry::global().reset();
+        set_metrics_enabled(true);
+    }
+    void TearDown() override
+    {
+        set_metrics_enabled(false);
+        MetricsRegistry::global().reset();
+    }
+};
+
+TEST_F(MetricsTest, CounterRegisterIncrementSnapshot)
+{
+    Counter& counter = MetricsRegistry::global().counter("test.counter");
+    counter.add(3);
+    counter.add(4);
+    EXPECT_EQ(counter.value(), 7);
+
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    ASSERT_TRUE(snap.counters.contains("test.counter"));
+    EXPECT_EQ(snap.counters.at("test.counter"), 7);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameCounter)
+{
+    Counter& a = MetricsRegistry::global().counter("test.same");
+    Counter& b = MetricsRegistry::global().counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.add(1);
+    EXPECT_EQ(b.value(), 1);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsReferencesValid)
+{
+    Counter& counter = MetricsRegistry::global().counter("test.reset");
+    Gauge& gauge = MetricsRegistry::global().gauge("test.reset_gauge");
+    counter.add(5);
+    gauge.set(9);
+    MetricsRegistry::global().reset();
+    EXPECT_EQ(counter.value(), 0);
+    EXPECT_EQ(gauge.value(), 0);
+    counter.add(2); // the pre-reset reference still works
+    EXPECT_EQ(MetricsRegistry::global().counter("test.reset").value(), 2);
+}
+
+TEST_F(MetricsTest, GaugeHoldsLastValue)
+{
+    Gauge& gauge = MetricsRegistry::global().gauge("test.gauge");
+    gauge.set(10);
+    gauge.set(3);
+    EXPECT_EQ(gauge.value(), 3);
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.gauges.at("test.gauge"), 3);
+}
+
+TEST_F(MetricsTest, ScopedTimerAccumulatesTotalAndCount)
+{
+    {
+        ScopedTimer outer("test.timer");
+        ScopedTimer inner("test.timer"); // two scopes feed one metric
+    }
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    ASSERT_TRUE(snap.timers.contains("test.timer"));
+    EXPECT_EQ(snap.timers.at("test.timer").count, 2);
+    EXPECT_GE(snap.timers.at("test.timer").total_ns, 0);
+}
+
+TEST_F(MetricsTest, ScopedTimerIsInertWhenDisabled)
+{
+    set_metrics_enabled(false);
+    {
+        ScopedTimer timer("test.disabled_timer");
+    }
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_FALSE(snap.timers.contains("test.disabled_timer"));
+}
+
+TEST_F(MetricsTest, CountMacroRespectsRuntimeFlag)
+{
+    set_metrics_enabled(false);
+    for (int i = 0; i < 3; ++i) {
+        CPA_COUNT("test.macro_gated");
+    }
+    set_metrics_enabled(true);
+    CPA_COUNT("test.macro_gated");
+#if CPA_OBS_ENABLED
+    EXPECT_EQ(
+        MetricsRegistry::global().counter("test.macro_gated").value(), 1);
+#else
+    EXPECT_EQ(
+        MetricsRegistry::global().counter("test.macro_gated").value(), 0);
+#endif
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreNotLost)
+{
+    Counter& counter = MetricsRegistry::global().counter("test.threads");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.add(1);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+} // namespace
+} // namespace cpa::obs

@@ -1,0 +1,70 @@
+#include "obs/run_report.hpp"
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpa::obs {
+namespace {
+
+TEST(RunReport, HeaderComesFirstAndKeepsInsertionOrder)
+{
+    RunReport report("cpa analyze");
+    report.set("file", "demo.taskset");
+    const std::string json = report.to_json();
+    EXPECT_EQ(json.rfind("{\"schema_version\":1,\"tool\":\"cpa analyze\","
+                         "\"file\":\"demo.taskset\"",
+                         0),
+              0u);
+}
+
+TEST(RunReport, SectionsAndListsNest)
+{
+    RunReport report("bench");
+    report.section("config").set("cores", JsonValue(4));
+    report.list("sections").push([] {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", JsonValue("sweep"));
+        entry.set("seconds", JsonValue(1.5));
+        return entry;
+    }());
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find(R"("config":{"cores":4})"), std::string::npos);
+    EXPECT_NE(json.find(R"("sections":[{"name":"sweep","seconds":1.5}])"),
+              std::string::npos);
+}
+
+TEST(RunReport, MetricsSnapshotSerializesAllThreeKinds)
+{
+    MetricsSnapshot snapshot;
+    snapshot.counters["wcrt.calls"] = 2;
+    snapshot.gauges["tables.tasks"] = 8;
+    snapshot.timers["tables.build"] = TimerStat{1500, 3};
+
+    RunReport report("test");
+    report.set_metrics(snapshot);
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find(R"("counters":{"wcrt.calls":2})"),
+              std::string::npos);
+    EXPECT_NE(json.find(R"("gauges":{"tables.tasks":8})"),
+              std::string::npos);
+    EXPECT_NE(
+        json.find(R"("timers":{"tables.build":{"total_ns":1500,"count":3}})"),
+        std::string::npos);
+}
+
+TEST(RunReport, WriteJsonEmitsExactlyOneLine)
+{
+    RunReport report("test");
+    std::ostringstream out;
+    report.write_json(out);
+    const std::string text = out.str();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    EXPECT_EQ(text.find('\n'), text.size() - 1);
+}
+
+} // namespace
+} // namespace cpa::obs

@@ -1,0 +1,114 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <sstream>
+
+namespace cpa::obs {
+namespace {
+
+// Clears the global tracer sink after each test.
+class TraceTest : public ::testing::Test {
+protected:
+    void TearDown() override { Tracer::global().set_sink(nullptr); }
+};
+
+TEST_F(TraceTest, NdjsonFormatsHeaderAndFieldsInOrder)
+{
+    const std::string line =
+        TraceEvent("wcrt", Severity::kInfo, "outer_iteration")
+            .field("iter", std::int64_t{3})
+            .field("changed", true)
+            .field("ratio", 0.5)
+            .field("label", "abc")
+            .to_ndjson();
+    EXPECT_EQ(line,
+              R"({"subsys":"wcrt","sev":"info","event":"outer_iteration",)"
+              R"("iter":3,"changed":true,"ratio":0.5,"label":"abc"})");
+}
+
+TEST_F(TraceTest, NdjsonEscapesStrings)
+{
+    const std::string line =
+        TraceEvent("sim", Severity::kWarn, "deadline_miss")
+            .field("task_name", "a\"b\\c\nd")
+            .to_ndjson();
+    EXPECT_NE(line.find(R"("task_name":"a\"b\\c\nd")"), std::string::npos);
+}
+
+TEST_F(TraceTest, InactiveTracerIsDisabledForEverySubsystem)
+{
+    EXPECT_FALSE(Tracer::global().enabled("wcrt"));
+    EXPECT_FALSE(Tracer::global().active());
+}
+
+TEST_F(TraceTest, SubsystemFilterSelectsStreams)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out),
+                              {"wcrt"});
+    EXPECT_TRUE(Tracer::global().enabled("wcrt"));
+    EXPECT_FALSE(Tracer::global().enabled("sweep"));
+
+    Tracer::global().emit(TraceEvent("wcrt", Severity::kInfo, "kept"));
+    Tracer::global().emit(TraceEvent("sweep", Severity::kInfo, "dropped"));
+
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"event\":\"kept\""), std::string::npos);
+    EXPECT_EQ(text.find("\"event\":\"dropped\""), std::string::npos);
+}
+
+TEST_F(TraceTest, AllKeywordDisablesFiltering)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out),
+                              {"all"});
+    EXPECT_TRUE(Tracer::global().enabled("wcrt"));
+    EXPECT_TRUE(Tracer::global().enabled("anything"));
+}
+
+TEST_F(TraceTest, SeverityFloorDropsLowerEvents)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out), {},
+                              Severity::kWarn);
+    Tracer::global().emit(TraceEvent("wcrt", Severity::kInfo, "quiet"));
+    Tracer::global().emit(TraceEvent("wcrt", Severity::kError, "loud"));
+    const std::string text = out.str();
+    EXPECT_EQ(text.find("quiet"), std::string::npos);
+    EXPECT_NE(text.find("loud"), std::string::npos);
+}
+
+TEST_F(TraceTest, EveryEmittedLineIsOneJsonObject)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out));
+    Tracer::global().emit(
+        TraceEvent("bus", Severity::kDebug, "a").field("x", std::int64_t{1}));
+    Tracer::global().emit(
+        TraceEvent("bus", Severity::kDebug, "b").field("y", 2.0));
+
+    std::istringstream lines(out.str());
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+    }
+    EXPECT_EQ(count, 2);
+}
+
+TEST_F(TraceTest, JsonNumberClampsNonFinite)
+{
+    EXPECT_EQ(json_number(0.25), "0.25");
+    EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+    EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+} // namespace
+} // namespace cpa::obs
