@@ -56,7 +56,7 @@ int main()
                 const tasks::TaskSet ts =
                     benchdata::generate_task_set(rng, gen, pool);
                 paper_count +=
-                    analysis::is_schedulable(ts, platform, config) ? 1 : 0;
+                    analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
             }
             for (std::size_t h = 0; h < heuristics.size(); ++h) {
                 util::Rng rng(seed_state);
@@ -64,7 +64,7 @@ int main()
                     benchdata::generate_task_set_partitioned(
                         rng, gen, pool, heuristics[h].second);
                 counts[h] +=
-                    analysis::is_schedulable(ts, platform, config) ? 1 : 0;
+                    analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
                 overlaps[h] += static_cast<double>(tasks::same_core_overlap(
                                    ts.tasks(), gen.num_cores)) /
                                static_cast<double>(task_sets);

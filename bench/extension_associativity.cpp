@@ -88,9 +88,9 @@ int main()
             cp.persistence_aware = true;
             analysis::AnalysisConfig nocp = cp;
             nocp.persistence_aware = false;
-            with += analysis::is_schedulable(ts, small, cp, tables) ? 1 : 0;
+            with += analysis::is_schedulable(ts, small, cp, tables) ? 1u : 0u;
             without +=
-                analysis::is_schedulable(ts, small, nocp, tables) ? 1 : 0;
+                analysis::is_schedulable(ts, small, nocp, tables) ? 1u : 0u;
         }
         const std::size_t ways = w == 0 ? 1 : (w == 1 ? 2 : 4);
         table.add_row({std::to_string(ways), std::to_string(with),

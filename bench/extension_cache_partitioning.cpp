@@ -59,7 +59,7 @@ int main()
                     benchdata::generate_task_set(rng, generation,
                                                  shared_pool);
                 shared_count +=
-                    analysis::is_schedulable(ts, platform, config) ? 1 : 0;
+                    analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
             }
             {
                 // Partitioned: draw with slice-sized parameters, then remap
@@ -90,7 +90,7 @@ int main()
                 }
                 ts.validate();
                 partitioned_count +=
-                    analysis::is_schedulable(ts, platform, config) ? 1 : 0;
+                    analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
             }
         }
         table.add_row({util::TextTable::num(u, 2),

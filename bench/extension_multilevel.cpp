@@ -58,8 +58,8 @@ int main()
             const analysis::InterferenceTables tables(
                 ts, analysis::CrpdMethod::kEcbUnion);
             single +=
-                analysis::is_schedulable(ts, platform, config, tables) ? 1
-                                                                       : 0;
+                analysis::is_schedulable(ts, platform, config, tables) ? 1u
+                                                                       : 0u;
             for (std::size_t s = 0; s < l2_sizes.size(); ++s) {
                 util::Rng placement(n);
                 const auto footprints = benchdata::attach_l2_footprints(
@@ -73,8 +73,8 @@ int main()
                                 ts, platform, config, sized, footprints,
                                 tables, l2_tables)
                                     .schedulable
-                                ? 1
-                                : 0;
+                                ? 1u
+                                : 0u;
                 if (s + 1 == l2_sizes.size()) {
                     analysis::L2Config free_lookup = sized;
                     free_lookup.d_l2 = 0;
@@ -82,8 +82,8 @@ int main()
                                  ts, platform, config, free_lookup,
                                  footprints, tables, l2_tables)
                                      .schedulable
-                                 ? 1
-                                 : 0;
+                                 ? 1u
+                                 : 0u;
                 }
             }
         }

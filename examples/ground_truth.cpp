@@ -72,7 +72,7 @@ int main()
         std::size_t misses = 0;
         cache::DirectMappedCache cache(geometry);
         for (const std::size_t block : encoder.reference_trace(selector)) {
-            misses += cache.access(block) ? 0 : 1;
+            misses += cache.access(block) ? 0u : 1u;
         }
         std::cout << "  concrete misses, " << label << ": " << misses
                   << "\n";

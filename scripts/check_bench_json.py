@@ -22,6 +22,7 @@ Exit status 0 when every report validates, 1 otherwise. Stdlib only.
 """
 
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -33,9 +34,17 @@ def fail(path, message):
     return False
 
 
+def _reject_constant(token):
+    # json.loads() happily parses NaN/Infinity/-Infinity (non-standard JSON);
+    # a timing bug that divides by zero must not produce a "valid" report.
+    raise ValueError(f"non-finite JSON constant {token}")
+
+
 def check_number(path, value, what, minimum=None):
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return fail(path, f"{what} must be a number, got {value!r}")
+    if isinstance(value, float) and not math.isfinite(value):
+        return fail(path, f"{what} must be finite, got {value!r}")
     if minimum is not None and value < minimum:
         return fail(path, f"{what} must be >= {minimum}, got {value!r}")
     return True
@@ -74,8 +83,10 @@ def check_metrics(path, metrics):
 def check_report(path):
     try:
         text = path.read_text()
-        report = json.loads(text)
-    except (OSError, json.JSONDecodeError) as error:
+        report = json.loads(text, parse_constant=_reject_constant)
+    except (OSError, ValueError) as error:
+        # ValueError covers both JSONDecodeError (its subclass) and the
+        # NaN/Infinity rejection above.
         return fail(path, f"unreadable: {error}")
 
     if text.count("\n") > 1 or (text.count("\n") == 1

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_json.py (stdlib unittest; run from ctest).
+
+Builds valid and deliberately broken BENCH_*.json files in a temp directory
+and asserts the validator's verdict on each — in particular the NaN/Infinity
+rejection, which json.loads() would otherwise silently accept.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import check_bench_json  # noqa: E402
+
+
+def valid_report(bench="demo"):
+    return {
+        "schema_version": 1,
+        "tool": "bench",
+        "bench": bench,
+        "total_seconds": 1.25,
+        "sections": [{"name": "warmup", "seconds": 0.25}],
+        "metrics": {
+            "counters": {"wcrt.calls": 10},
+            "gauges": {"tables.tasks": 4},
+            "timers": {"wcrt.compute": {"total_ns": 1000, "count": 10}},
+        },
+    }
+
+
+class CheckBenchJsonTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, report, bench="demo", raw=None):
+        path = self.dir / f"BENCH_{bench}.json"
+        path.write_text(raw if raw is not None else json.dumps(report) + "\n")
+        return path
+
+    def test_valid_report_passes(self):
+        path = self.write(valid_report())
+        self.assertTrue(check_bench_json.check_report(path))
+
+    def test_main_over_directory(self):
+        self.write(valid_report())
+        self.assertEqual(
+            check_bench_json.main(["check_bench_json", str(self.dir)]), 0)
+
+    def test_nan_total_seconds_rejected(self):
+        report = valid_report()
+        report["total_seconds"] = float("nan")
+        # json.dumps emits the non-standard token NaN; loads() accepts it
+        # unless the validator explicitly rejects non-finite constants.
+        path = self.write(None, raw=json.dumps(report) + "\n")
+        self.assertFalse(check_bench_json.check_report(path))
+
+    def test_infinity_section_seconds_rejected(self):
+        report = valid_report()
+        report["sections"][0]["seconds"] = float("inf")
+        path = self.write(None, raw=json.dumps(report) + "\n")
+        self.assertFalse(check_bench_json.check_report(path))
+
+    def test_negative_infinity_rejected(self):
+        report = valid_report()
+        report["total_seconds"] = float("-inf")
+        path = self.write(None, raw=json.dumps(report) + "\n")
+        self.assertFalse(check_bench_json.check_report(path))
+
+    def test_malformed_json_rejected(self):
+        path = self.write(None, raw="{not json\n")
+        self.assertFalse(check_bench_json.check_report(path))
+
+    def test_multiline_report_rejected(self):
+        path = self.write(None,
+                          raw=json.dumps(valid_report(), indent=2) + "\n")
+        self.assertFalse(check_bench_json.check_report(path))
+
+    def test_wrong_schema_version_rejected(self):
+        report = valid_report()
+        report["schema_version"] = 2
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_mismatched_file_name_rejected(self):
+        report = valid_report(bench="other")
+        path = self.dir / "BENCH_demo.json"
+        path.write_text(json.dumps(report) + "\n")
+        self.assertFalse(check_bench_json.check_report(path))
+
+    def test_boolean_counter_rejected(self):
+        report = valid_report()
+        report["metrics"]["counters"]["wcrt.calls"] = True
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_missing_metrics_rejected(self):
+        report = valid_report()
+        del report["metrics"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_main_flags_invalid_file(self):
+        report = valid_report()
+        report["total_seconds"] = float("nan")
+        self.write(None, raw=json.dumps(report) + "\n")
+        self.assertEqual(
+            check_bench_json.main(["check_bench_json", str(self.dir)]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (profile: .clang-tidy) over the analysis core.
+#
+# Usage: scripts/run_static_analysis.sh [build-dir]
+#
+#   build-dir   directory for the compile_commands.json configure
+#               (default: build-tidy)
+#
+# Exit codes: 0 = clean (or clang-tidy unavailable — the container toolchain
+# is gcc-only, so absence is a skip, not a failure; CI installs clang-tidy
+# explicitly), 1 = diagnostics found or the configure failed.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tidy"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_static_analysis: clang-tidy not found; skipping (install clang-tidy to run this check)"
+    exit 0
+fi
+
+# clang-tidy needs a compilation database; generate one without building.
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+# run-clang-tidy parallelizes when available; otherwise iterate.
+files=$(find "$repo_root/src" -name '*.cpp' | sort)
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086 -- word splitting of $files is intended
+    run-clang-tidy -quiet -p "$build_dir" $files
+else
+    status=0
+    for f in $files; do
+        clang-tidy -quiet -p "$build_dir" "$f" || status=1
+    done
+    exit $status
+fi

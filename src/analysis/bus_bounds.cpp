@@ -1,10 +1,12 @@
 #include "analysis/bus_bounds.hpp"
 
 #include "analysis/demand.hpp"
+#include "check/assert.hpp"
 #include "obs/obs.hpp"
 #include "util/math.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace cpa::analysis {
 
@@ -123,6 +125,10 @@ std::int64_t BusContentionAnalysis::bas(std::size_t i, Cycles t) const
                               md_hat(hp_task, jobs) +
                                   cpro_reload_bound(j, i, jobs, t));
         }
+        CPA_CHECK_ASSERT(demand >= 0 && demand <= isolation, "lemma1.cap",
+                         "task " + hp_task.name + ": capped demand " +
+                             std::to_string(demand) + " outside [0, " +
+                             std::to_string(isolation) + "]");
         total += demand + jobs * tables_.gamma(i, j);
     }
     return total;
@@ -149,6 +155,11 @@ std::int64_t BusContentionAnalysis::other_core_task_accesses(
         const std::int64_t capped = std::min(
             n_full * task.md,
             md_hat(task, n_full) + cpro_reload_bound(l, k, n_full, t));
+        CPA_CHECK_ASSERT(capped >= 0 && capped <= n_full * task.md,
+                         "lemma2.cap",
+                         "task " + task.name + ": capped full-job demand " +
+                             std::to_string(capped) + " outside [0, " +
+                             std::to_string(n_full * task.md) + "]");
         w_full = capped + n_full * gamma;
     }
 
@@ -158,6 +169,11 @@ std::int64_t BusContentionAnalysis::other_core_task_accesses(
                             n_full * task.period;
     const std::int64_t w_cout = std::clamp(
         ceil_div_signed(leftover, platform_.d_mem), std::int64_t{0}, per_job);
+    CPA_CHECK_ASSERT(w_cout >= 0 && w_cout <= per_job,
+                     "lemma2.carry_out_range",
+                     "task " + task.name + ": carry-out accesses " +
+                         std::to_string(w_cout) + " outside [0, " +
+                         std::to_string(per_job) + "]");
 
     return w_full + w_cout;
 }
@@ -270,6 +286,12 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
         record_bat(config_.policy, same_core, cross_core, blocking_charged);
     }
 #endif
+    // Every arbiter of Eq. (7)-(9) adds contention on top of the core's own
+    // demand; a BAT below its BAS term would un-price same-core accesses.
+    CPA_CHECK_ASSERT(total >= same_core, "bat.dominates_bas",
+                     "task " + ts_[i].name + ": BAT " + std::to_string(total) +
+                         " below its own BAS term " +
+                         std::to_string(same_core));
     return total;
 }
 

@@ -1,9 +1,11 @@
 #include "analysis/interference.hpp"
 
+#include "check/assert.hpp"
 #include "obs/obs.hpp"
 #include "util/set_mask.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace cpa::analysis {
 
@@ -80,6 +82,35 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                 ts[j].pcb.intersection_count(evictors));
         }
     }
+
+#if CPA_CHECK_ENABLED
+    if (check::assertions_enabled()) {
+        // Post-build shape tripwires (one O(n²) walk per table build, only
+        // with assertions on): γ lives strictly below the diagonal within
+        // the cache bound, CPRO rows are capped by |PCB_j| and non-
+        // decreasing in the analysis level (the evictor union only grows).
+        const auto cache_limit = static_cast<std::int64_t>(ts.cache_sets());
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto pcb_i = static_cast<std::int64_t>(ts[i].pcb.count());
+            std::int64_t previous_cpro = 0;
+            for (std::size_t j = 0; j < n; ++j) {
+                CPA_CHECK_ASSERT(
+                    gamma_[i][j] >= 0 && gamma_[i][j] <= cache_limit &&
+                        (j < i || gamma_[i][j] == 0),
+                    "tables.gamma_shape",
+                    "gamma(" + std::to_string(i) + "," + std::to_string(j) +
+                        ")=" + std::to_string(gamma_[i][j]));
+                CPA_CHECK_ASSERT(
+                    cpro_[i][j] >= 0 && cpro_[i][j] <= pcb_i &&
+                        cpro_[i][j] >= previous_cpro,
+                    "tables.cpro_shape",
+                    "cpro(" + std::to_string(i) + "," + std::to_string(j) +
+                        ")=" + std::to_string(cpro_[i][j]));
+                previous_cpro = cpro_[i][j];
+            }
+        }
+    }
+#endif
 
 #if CPA_OBS_ENABLED
     if (obs::metrics_enabled()) {

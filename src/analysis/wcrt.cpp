@@ -1,10 +1,12 @@
 #include "analysis/wcrt.hpp"
 
+#include "check/assert.hpp"
 #include "obs/obs.hpp"
 #include "util/math.hpp"
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace cpa::analysis {
 
@@ -150,6 +152,14 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
                 record_metrics(result);
                 return result;
             }
+            // The outer loop starts each inner solve at the previous
+            // estimate, so estimates may only grow until the global fixed
+            // point (the convergence argument of Eq. (19) rests on this).
+            CPA_CHECK_ASSERT(updated >= result.response[i],
+                             "wcrt.outer_monotone",
+                             "task " + ts[i].name + ": response shrank from " +
+                                 std::to_string(result.response[i]) + " to " +
+                                 std::to_string(updated));
             if (updated != result.response[i]) {
                 result.response[i] = updated;
                 changed = true;

@@ -1,0 +1,58 @@
+#include "check/assert.hpp"
+
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace cpa::check {
+
+namespace {
+
+std::atomic<bool> g_assertions_enabled{false};
+
+} // namespace
+
+bool assertions_enabled() noexcept
+{
+    return g_assertions_enabled.load(std::memory_order_relaxed);
+}
+
+void set_assertions_enabled(bool enabled) noexcept
+{
+    g_assertions_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void apply_assertion_env()
+{
+    const char* value = std::getenv("CPA_CHECK_ASSERT");
+    if (value == nullptr) {
+        return;
+    }
+    const std::string_view v(value);
+    set_assertions_enabled(v == "1" || v == "on" || v == "true");
+}
+
+AssertionError::AssertionError(std::string invariant,
+                               const std::string& detail)
+    : std::logic_error("analytical invariant violated: " + invariant + ": " +
+                       detail),
+      invariant_(std::move(invariant))
+{
+}
+
+void assertion_failure(const char* invariant, const std::string& detail)
+{
+    CPA_COUNT("check.assert_failures");
+    if (CPA_TRACE_ENABLED("check")) {
+        obs::Tracer::global().emit(
+            obs::TraceEvent("check", obs::Severity::kError,
+                            "assertion_failure")
+                .field("invariant", invariant)
+                .field("detail", detail));
+    }
+    throw AssertionError(invariant, detail);
+}
+
+} // namespace cpa::check

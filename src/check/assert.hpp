@@ -1,0 +1,84 @@
+// Analytical runtime assertions for the analysis core.
+//
+// The paper's bounds obey hard mathematical relations (the Lemma 1/2 caps
+// never exceed their Eq. (1)/(3) baselines, Eq. (19) responses grow
+// monotonically across outer iterations, the interference tables have a
+// fixed shape). A bug in bus_bounds.cpp / wcrt.cpp / interference.cpp would
+// typically violate one of them while still producing plausible numbers, so
+// the hot paths carry CPA_CHECK_ASSERT tripwires for exactly these
+// relations.
+//
+// Gating mirrors the observability layer (obs/obs.hpp):
+//
+//  1. Compile time: -DCPA_CHECK=OFF (definition CPA_CHECK_DISABLE) expands
+//     every CPA_CHECK_ASSERT to nothing.
+//  2. Run time: compiled-in assertions evaluate only when
+//     `assertions_enabled()` is true — flipped on by `cpa check`, the tests,
+//     or exporting CPA_CHECK_ASSERT=1 before running the CLI. The steady
+//     state of a release run is one relaxed atomic load per site.
+//
+// A failed assertion reports through the PR-1 observability machinery (a
+// "check" subsystem trace event plus the check.assert_failures counter) and
+// throws AssertionError, so a violated invariant can never be silently
+// folded into a schedulability verdict.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cpa::check {
+
+// Runtime switch for the compiled-in assertions. Off by default.
+[[nodiscard]] bool assertions_enabled() noexcept;
+void set_assertions_enabled(bool enabled) noexcept;
+
+// Reads CPA_CHECK_ASSERT from the environment ("1"/"on"/"true" enable) and
+// applies it; called once from the CLI entry point.
+void apply_assertion_env();
+
+// Thrown by CPA_CHECK_ASSERT on a violated analytical invariant.
+class AssertionError : public std::logic_error {
+public:
+    AssertionError(std::string invariant, const std::string& detail);
+
+    // Catalog name of the violated invariant (e.g. "wcrt.outer_monotone").
+    [[nodiscard]] const std::string& invariant() const noexcept
+    {
+        return invariant_;
+    }
+
+private:
+    std::string invariant_;
+};
+
+// Reports through the obs layer, then throws AssertionError. The ASSERT
+// macro funnels here so call sites stay branch + call.
+[[noreturn]] void assertion_failure(const char* invariant,
+                                    const std::string& detail);
+
+} // namespace cpa::check
+
+#if defined(CPA_CHECK_DISABLE)
+#define CPA_CHECK_ENABLED 0
+#else
+#define CPA_CHECK_ENABLED 1
+#endif
+
+#if CPA_CHECK_ENABLED
+
+// Asserts an analytical invariant on the hot path. `detail_expr` is any
+// expression convertible to std::string; it is evaluated only on failure.
+#define CPA_CHECK_ASSERT(condition, invariant, detail_expr)                  \
+    do {                                                                     \
+        if (::cpa::check::assertions_enabled() && !(condition)) {            \
+            ::cpa::check::assertion_failure(invariant, (detail_expr));       \
+        }                                                                    \
+    } while (0)
+
+#else // !CPA_CHECK_ENABLED
+
+#define CPA_CHECK_ASSERT(condition, invariant, detail_expr)                  \
+    do {                                                                     \
+    } while (0)
+
+#endif // CPA_CHECK_ENABLED

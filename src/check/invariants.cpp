@@ -1,0 +1,622 @@
+#include "check/invariants.hpp"
+
+#include "analysis/demand.hpp"
+#include "obs/obs.hpp"
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace cpa::check {
+
+namespace {
+
+using analysis::BusPolicy;
+
+constexpr std::string_view kTraceSubsystem = "check";
+
+std::string policy_tag(BusPolicy policy)
+{
+    return analysis::to_string(policy);
+}
+
+} // namespace
+
+const std::vector<InvariantInfo>& invariant_catalog()
+{
+    static const std::vector<InvariantInfo> catalog = {
+        {"structure.footprints",
+         "UCB and PCB are subsets of ECB; all masks range over the cache "
+         "universe"},
+        {"structure.demand", "0 <= MDr <= MD and PD >= 0 for every task"},
+        {"structure.windows",
+         "0 < D <= T, 0 <= J, J + D <= T, and a valid core per task"},
+        {"demand.md_hat_dominance",
+         "MD-hat_i(n) <= n * MD_i (Eq. 10 never exceeds isolation)"},
+        {"demand.md_hat_monotone", "MD-hat_i(n) is non-decreasing in n"},
+        {"demand.md_hat_subadditive",
+         "MD-hat_i(m+n) <= MD-hat_i(m) + MD-hat_i(n)"},
+        {"tables.gamma_shape",
+         "gamma(i,j) = 0 unless j has higher priority; entries bounded by "
+         "the cache size and non-decreasing in the analysis level"},
+        {"tables.cpro_shape",
+         "CPRO overlaps bounded by |PCB_j| and non-decreasing in the "
+         "analysis level; pair overlaps only between same-core tasks"},
+        {"lemma1.bas_dominance",
+         "BAS-hat_i(t) <= BAS_i(t) (Lemma 1 / Eq. 16)"},
+        {"bounds.bas_monotone",
+         "BAS_i(t) is non-decreasing in t, with and without persistence"},
+        {"lemma2.bao_dominance",
+         "BAO-hat <= BAO per core and priority level (Lemma 2 / Eq. 17-18)"},
+        {"bat.dominates_bas",
+         "BAT_i(t) >= BAS_i(t) under FP/RR/TDMA and equals it on the "
+         "perfect bus"},
+        {"bat.persistence_dominance",
+         "persistence-aware BAT <= baseline BAT under every arbiter "
+         "(Eq. 7-9 preserve the Lemma 1/2 dominance)"},
+        {"wcrt.fixed_point",
+         "every converged R_i satisfies Eq. (19): rhs(R_i) <= R_i"},
+        {"wcrt.response_bounds",
+         "converged R_i lies in [PD_i + MD_i * d_mem, D_i - J_i]"},
+        {"wcrt.persistence_dominance",
+         "the persistence-aware analysis accepts whatever the baseline "
+         "accepts, with responses no larger"},
+        {"sim.response_soundness",
+         "simulator-observed responses never exceed the analytical WCRT"},
+    };
+    return catalog;
+}
+
+AnalysisOracle::AnalysisOracle(const tasks::TaskSet& ts,
+                               const PlatformConfig& platform,
+                               analysis::CrpdMethod crpd)
+    : ts_(ts), platform_(platform), tables_(ts, crpd)
+{
+}
+
+AnalysisOracle::~AnalysisOracle() = default;
+
+std::int64_t AnalysisOracle::md_hat(std::size_t i, std::int64_t n_jobs) const
+{
+    return analysis::md_hat(ts_[i], n_jobs);
+}
+
+std::int64_t AnalysisOracle::gamma(std::size_t i, std::size_t j) const
+{
+    return tables_.gamma(i, j);
+}
+
+std::int64_t AnalysisOracle::cpro_overlap(std::size_t j, std::size_t i) const
+{
+    return tables_.cpro_overlap(j, i);
+}
+
+std::int64_t AnalysisOracle::pair_overlap(std::size_t j, std::size_t s) const
+{
+    return tables_.pair_overlap(j, s);
+}
+
+std::int64_t AnalysisOracle::bas(const AnalysisConfig& config, std::size_t i,
+                                 Cycles t) const
+{
+    const analysis::BusContentionAnalysis bounds(ts_, platform_, config,
+                                                 tables_);
+    return bounds.bas(i, t);
+}
+
+std::int64_t AnalysisOracle::bao(const AnalysisConfig& config,
+                                 std::size_t core, std::size_t k, Cycles t,
+                                 const std::vector<Cycles>& response) const
+{
+    const analysis::BusContentionAnalysis bounds(ts_, platform_, config,
+                                                 tables_);
+    return bounds.bao(core, k, t, response);
+}
+
+std::int64_t AnalysisOracle::bat(const AnalysisConfig& config, std::size_t i,
+                                 Cycles t,
+                                 const std::vector<Cycles>& response) const
+{
+    const analysis::BusContentionAnalysis bounds(ts_, platform_, config,
+                                                 tables_);
+    return bounds.bat(i, t, response);
+}
+
+analysis::WcrtResult AnalysisOracle::wcrt(const AnalysisConfig& config) const
+{
+    return analysis::compute_wcrt(ts_, platform_, config, tables_);
+}
+
+sim::SimResult AnalysisOracle::simulate(const sim::SimConfig& config) const
+{
+    return sim::simulate(ts_, platform_, config);
+}
+
+namespace {
+
+// One check_task_set() run: evaluates the catalog top to bottom, recording a
+// Violation per failed relation (and a trace event / counter through the
+// obs layer so CLI runs surface them in run reports).
+class Checker {
+public:
+    Checker(const AnalysisOracle& oracle, const CheckOptions& options)
+        : oracle_(oracle), options_(options), ts_(oracle.task_set()),
+          platform_(oracle.platform())
+    {
+    }
+
+    CheckResult run()
+    {
+        if (ts_.empty()) {
+            return std::move(result_);
+        }
+        check_structure();
+        check_demand();
+        check_tables();
+        check_bus_bounds();
+        check_wcrt();
+        if (options_.check_simulation) {
+            check_simulation();
+        }
+        CPA_COUNT_ADD("check.checks_run",
+                      static_cast<std::int64_t>(result_.checks_run));
+        return std::move(result_);
+    }
+
+private:
+    template <typename DetailFn>
+    void require(const char* invariant, bool ok, DetailFn&& detail)
+    {
+        ++result_.checks_run;
+        if (ok) {
+            return;
+        }
+        std::string text = detail();
+        CPA_COUNT("check.violations");
+        if (CPA_TRACE_ENABLED(kTraceSubsystem)) {
+            obs::Tracer::global().emit(
+                obs::TraceEvent(kTraceSubsystem, obs::Severity::kError,
+                                "invariant_violation")
+                    .field("invariant", invariant)
+                    .field("detail", text));
+        }
+        result_.violations.push_back(Violation{invariant, std::move(text)});
+    }
+
+    [[nodiscard]] AnalysisConfig make_config(BusPolicy policy,
+                                             bool persistence) const
+    {
+        AnalysisConfig config;
+        config.policy = policy;
+        config.persistence_aware = persistence;
+        config.crpd = options_.crpd;
+        config.cpro = options_.cpro;
+        return config;
+    }
+
+    // Window lengths the bound-level invariants probe for task i: spread
+    // from sub-period to beyond the hyper-job horizon so job-count
+    // boundaries of Eq. (1)/(6) are crossed.
+    [[nodiscard]] std::vector<Cycles> probe_windows(std::size_t i) const
+    {
+        const tasks::Task& task = ts_[i];
+        std::set<Cycles> probes{0, 1, platform_.d_mem,
+                                task.deadline / 2, task.deadline,
+                                task.period, task.period + task.deadline,
+                                2 * task.period + 3};
+        return {probes.begin(), probes.end()};
+    }
+
+    [[nodiscard]] std::vector<Cycles> isolated_responses() const
+    {
+        std::vector<Cycles> response;
+        response.reserve(ts_.size());
+        for (const tasks::Task& task : ts_.tasks()) {
+            response.push_back(task.isolated_demand(platform_.d_mem));
+        }
+        return response;
+    }
+
+    void check_structure()
+    {
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            const tasks::Task& task = ts_[i];
+            require("structure.footprints",
+                    task.ucb.is_subset_of(task.ecb) &&
+                        task.pcb.is_subset_of(task.ecb) &&
+                        task.ecb.universe() == ts_.cache_sets() &&
+                        task.ucb.universe() == ts_.cache_sets() &&
+                        task.pcb.universe() == ts_.cache_sets(),
+                    [&] {
+                        return "task " + task.name +
+                               ": UCB/PCB not contained in ECB or mask "
+                               "universe differs from the cache";
+                    });
+            require("structure.demand",
+                    task.pd >= 0 && task.md >= 0 && task.md_residual >= 0 &&
+                        task.md_residual <= task.md,
+                    [&] {
+                        std::ostringstream out;
+                        out << "task " << task.name << ": PD=" << task.pd
+                            << " MD=" << task.md
+                            << " MDr=" << task.md_residual;
+                        return out.str();
+                    });
+            require("structure.windows",
+                    task.period > 0 && task.deadline > 0 &&
+                        task.deadline <= task.period && task.jitter >= 0 &&
+                        task.jitter + task.deadline <= task.period &&
+                        task.core < ts_.num_cores(),
+                    [&] {
+                        std::ostringstream out;
+                        out << "task " << task.name << ": T=" << task.period
+                            << " D=" << task.deadline
+                            << " J=" << task.jitter
+                            << " core=" << task.core;
+                        return out.str();
+                    });
+        }
+    }
+
+    void check_demand()
+    {
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            std::int64_t previous = oracle_.md_hat(i, 0);
+            require("demand.md_hat_monotone", previous >= 0, [&] {
+                return "task " + ts_[i].name + ": MD-hat(0) negative";
+            });
+            for (std::int64_t n = 1; n <= options_.max_demand_jobs; ++n) {
+                const std::int64_t value = oracle_.md_hat(i, n);
+                require("demand.md_hat_dominance",
+                        value <= n * ts_[i].md, [&] {
+                            std::ostringstream out;
+                            out << "task " << ts_[i].name << ": MD-hat(" << n
+                                << ")=" << value << " > n*MD="
+                                << n * ts_[i].md;
+                            return out.str();
+                        });
+                require("demand.md_hat_monotone", value >= previous, [&] {
+                    std::ostringstream out;
+                    out << "task " << ts_[i].name << ": MD-hat(" << n
+                        << ")=" << value << " < MD-hat(" << n - 1
+                        << ")=" << previous;
+                    return out.str();
+                });
+                previous = value;
+            }
+            for (std::int64_t m = 1; m <= options_.max_demand_jobs / 2;
+                 ++m) {
+                const std::int64_t n = options_.max_demand_jobs - m;
+                require("demand.md_hat_subadditive",
+                        oracle_.md_hat(i, m + n) <=
+                            oracle_.md_hat(i, m) + oracle_.md_hat(i, n),
+                        [&] {
+                            std::ostringstream out;
+                            out << "task " << ts_[i].name << ": MD-hat("
+                                << m + n << ") > MD-hat(" << m
+                                << ") + MD-hat(" << n << ")";
+                            return out.str();
+                        });
+            }
+        }
+    }
+
+    void check_tables()
+    {
+        const auto limit = static_cast<std::int64_t>(ts_.cache_sets());
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            std::int64_t previous_cpro = 0;
+            for (std::size_t j = 0; j < ts_.size(); ++j) {
+                const std::int64_t g = oracle_.gamma(i, j);
+                require("tables.gamma_shape",
+                        g >= 0 && g <= limit && (j < i || g == 0), [&] {
+                            std::ostringstream out;
+                            out << "gamma(" << i << "," << j << ")=" << g
+                                << " outside [0," << limit
+                                << "] or nonzero without a hp preempter";
+                            return out.str();
+                        });
+                if (i > 0) {
+                    require("tables.gamma_shape",
+                            oracle_.gamma(i - 1, j) <= g ||
+                                j >= i - 1, [&] {
+                                std::ostringstream out;
+                                out << "gamma(" << i - 1 << "," << j
+                                    << ") > gamma(" << i << "," << j
+                                    << "): row not monotone in the "
+                                       "analysis level";
+                                return out.str();
+                            });
+                }
+            }
+            const auto pcb_i = static_cast<std::int64_t>(ts_[i].pcb.count());
+            for (std::size_t level = 0; level < ts_.size(); ++level) {
+                const std::int64_t overlap = oracle_.cpro_overlap(i, level);
+                require("tables.cpro_shape",
+                        overlap >= 0 && overlap <= pcb_i &&
+                            overlap >= previous_cpro,
+                        [&] {
+                            std::ostringstream out;
+                            out << "cpro_overlap(" << i << "," << level
+                                << ")=" << overlap << " outside [0,|PCB|="
+                                << pcb_i << "] or decreasing in the level";
+                            return out.str();
+                        });
+                previous_cpro = overlap;
+            }
+            previous_cpro = 0;
+            for (std::size_t s = 0; s < ts_.size(); ++s) {
+                const std::int64_t pair = oracle_.pair_overlap(i, s);
+                const bool same_core = ts_[s].core == ts_[i].core && s != i;
+                require("tables.cpro_shape",
+                        pair >= 0 && pair <= pcb_i &&
+                            (same_core || pair == 0),
+                        [&] {
+                            std::ostringstream out;
+                            out << "pair_overlap(" << i << "," << s
+                                << ")=" << pair
+                                << " invalid (cross-core or out of range)";
+                            return out.str();
+                        });
+            }
+        }
+    }
+
+    void check_bus_bounds()
+    {
+        const std::vector<Cycles> response = isolated_responses();
+        const AnalysisConfig aware =
+            make_config(BusPolicy::kFixedPriority, true);
+        const AnalysisConfig baseline =
+            make_config(BusPolicy::kFixedPriority, false);
+
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            std::int64_t previous_aware = -1;
+            std::int64_t previous_plain = -1;
+            for (const Cycles t : probe_windows(i)) {
+                const std::int64_t hat = oracle_.bas(aware, i, t);
+                const std::int64_t plain = oracle_.bas(baseline, i, t);
+                require("lemma1.bas_dominance", hat <= plain, [&] {
+                    std::ostringstream out;
+                    out << "task " << ts_[i].name << " t=" << t
+                        << ": BAS-hat=" << hat << " > BAS=" << plain;
+                    return out.str();
+                });
+                require("bounds.bas_monotone",
+                        hat >= previous_aware && plain >= previous_plain,
+                        [&] {
+                            std::ostringstream out;
+                            out << "task " << ts_[i].name << " t=" << t
+                                << ": BAS decreased while the window grew";
+                            return out.str();
+                        });
+                previous_aware = hat;
+                previous_plain = plain;
+
+                for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+                    if (core == ts_[i].core) {
+                        continue;
+                    }
+                    const std::int64_t bao_hat =
+                        oracle_.bao(aware, core, i, t, response);
+                    const std::int64_t bao_plain =
+                        oracle_.bao(baseline, core, i, t, response);
+                    require("lemma2.bao_dominance", bao_hat <= bao_plain,
+                            [&] {
+                                std::ostringstream out;
+                                out << "task " << ts_[i].name << " core="
+                                    << core << " t=" << t << ": BAO-hat="
+                                    << bao_hat << " > BAO=" << bao_plain;
+                                return out.str();
+                            });
+                }
+
+                for (const BusPolicy policy : options_.policies) {
+                    const AnalysisConfig cfg_aware =
+                        make_config(policy, true);
+                    const AnalysisConfig cfg_plain =
+                        make_config(policy, false);
+                    const std::int64_t bat_aware =
+                        oracle_.bat(cfg_aware, i, t, response);
+                    const std::int64_t bat_plain =
+                        oracle_.bat(cfg_plain, i, t, response);
+                    require("bat.dominates_bas",
+                            bat_aware >= oracle_.bas(cfg_aware, i, t), [&] {
+                                std::ostringstream out;
+                                out << "task " << ts_[i].name << " "
+                                    << policy_tag(policy) << " t=" << t
+                                    << ": BAT=" << bat_aware
+                                    << " below its own BAS term";
+                                return out.str();
+                            });
+                    require("bat.persistence_dominance",
+                            bat_aware <= bat_plain, [&] {
+                                std::ostringstream out;
+                                out << "task " << ts_[i].name << " "
+                                    << policy_tag(policy) << " t=" << t
+                                    << ": BAT-hat=" << bat_aware
+                                    << " > BAT=" << bat_plain;
+                                return out.str();
+                            });
+                }
+                const AnalysisConfig perfect =
+                    make_config(BusPolicy::kPerfect, true);
+                require("bat.dominates_bas",
+                        oracle_.bat(perfect, i, t, response) ==
+                            oracle_.bas(perfect, i, t),
+                        [&] {
+                            std::ostringstream out;
+                            out << "task " << ts_[i].name << " t=" << t
+                                << ": perfect-bus BAT differs from BAS";
+                            return out.str();
+                        });
+            }
+        }
+    }
+
+    void check_wcrt()
+    {
+        for (const BusPolicy policy : options_.policies) {
+            const AnalysisConfig aware = make_config(policy, true);
+            const AnalysisConfig baseline = make_config(policy, false);
+            const analysis::WcrtResult result_aware = oracle_.wcrt(aware);
+            const analysis::WcrtResult result_plain = oracle_.wcrt(baseline);
+
+            if (result_aware.schedulable) {
+                check_fixed_point(aware, result_aware, policy);
+                wcrt_results_.emplace_back(policy, result_aware);
+            }
+            if (result_plain.schedulable) {
+                check_fixed_point(baseline, result_plain, policy);
+            }
+
+            require("wcrt.persistence_dominance",
+                    !result_plain.schedulable || result_aware.schedulable,
+                    [&] {
+                        return policy_tag(policy) +
+                               ": baseline schedulable but "
+                               "persistence-aware analysis rejects the set";
+                    });
+            if (result_plain.schedulable && result_aware.schedulable) {
+                for (std::size_t i = 0; i < ts_.size(); ++i) {
+                    require("wcrt.persistence_dominance",
+                            result_aware.response[i] <=
+                                result_plain.response[i],
+                            [&] {
+                                std::ostringstream out;
+                                out << policy_tag(policy) << " task "
+                                    << ts_[i].name << ": R-hat="
+                                    << result_aware.response[i]
+                                    << " > R=" << result_plain.response[i];
+                                return out.str();
+                            });
+                }
+            }
+        }
+    }
+
+    void check_fixed_point(const AnalysisConfig& config,
+                           const analysis::WcrtResult& result,
+                           BusPolicy policy)
+    {
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+            const tasks::Task& task = ts_[i];
+            const Cycles r = result.response[i];
+            require("wcrt.response_bounds",
+                    r >= task.isolated_demand(platform_.d_mem) &&
+                        r <= task.effective_deadline(),
+                    [&] {
+                        std::ostringstream out;
+                        out << policy_tag(policy) << " task " << task.name
+                            << ": R=" << r << " outside [isolated demand="
+                            << task.isolated_demand(platform_.d_mem)
+                            << ", D-J=" << task.effective_deadline() << "]";
+                        return out.str();
+                    });
+
+            // Re-evaluate the Eq. (19) right-hand side at the reported
+            // fixed point; a sound solver output must satisfy rhs(R) <= R.
+            Cycles rhs = task.pd;
+            for (const std::size_t j : ts_.tasks_on_core(task.core)) {
+                if (j >= i) {
+                    break;
+                }
+                rhs += util::ceil_div(r, ts_[j].period) * ts_[j].pd;
+            }
+            rhs += oracle_.bat(config, i, r, result.response) *
+                   platform_.d_mem;
+            require("wcrt.fixed_point", rhs <= r, [&] {
+                std::ostringstream out;
+                out << policy_tag(policy) << " task " << task.name
+                    << ": rhs(R)=" << rhs << " > R=" << r
+                    << " (reported value is not a fixed point)";
+                return out.str();
+            });
+        }
+    }
+
+    // Estimated simulator event count over a horizon: one release plus one
+    // event per memory access per job of every task.
+    [[nodiscard]] std::int64_t estimated_sim_events(Cycles horizon) const
+    {
+        std::int64_t total = 0;
+        for (const tasks::Task& task : ts_.tasks()) {
+            total += (horizon / task.period + 1) * (task.md + 2);
+        }
+        return total;
+    }
+
+    void check_simulation()
+    {
+        Cycles max_period = 0;
+        Cycles min_period = std::numeric_limits<Cycles>::max();
+        for (const tasks::Task& task : ts_.tasks()) {
+            max_period = std::max(max_period, task.period);
+            min_period = std::min(min_period, task.period);
+        }
+        // Shrink the horizon until the estimated event count fits the
+        // budget (see CheckOptions::sim_event_budget); never below one
+        // period of the shortest task so at least some jobs complete.
+        Cycles horizon = options_.sim_horizon_periods * max_period;
+        while (horizon / 2 >= min_period &&
+               estimated_sim_events(horizon) > options_.sim_event_budget) {
+            horizon /= 2;
+        }
+        for (const auto& [policy, result] : wcrt_results_) {
+            if (policy == BusPolicy::kPerfect) {
+                continue;
+            }
+            sim::SimConfig sim_config;
+            sim_config.policy = policy;
+            sim_config.horizon = horizon;
+            sim_config.stop_on_deadline_miss = false;
+            const sim::SimResult observed = oracle_.simulate(sim_config);
+            for (std::size_t i = 0; i < ts_.size(); ++i) {
+                // The analytical bound is measured from the release; a job
+                // released J late may still observe R + J from its arrival.
+                const Cycles bound = result.response[i] + ts_[i].jitter;
+                require("sim.response_soundness",
+                        observed.max_response[i] <= bound, [&] {
+                            std::ostringstream out;
+                            out << policy_tag(policy) << " task "
+                                << ts_[i].name << ": observed response "
+                                << observed.max_response[i] << " > bound "
+                                << bound;
+                            return out.str();
+                        });
+            }
+        }
+    }
+
+    const AnalysisOracle& oracle_;
+    const CheckOptions& options_;
+    const tasks::TaskSet& ts_;
+    const PlatformConfig& platform_;
+    CheckResult result_;
+    // Schedulable persistence-aware WCRT results per policy, reused by the
+    // simulation cross-check.
+    std::vector<std::pair<BusPolicy, analysis::WcrtResult>> wcrt_results_;
+};
+
+} // namespace
+
+CheckResult check_task_set(const AnalysisOracle& oracle,
+                           const CheckOptions& options)
+{
+    CPA_SCOPED_TIMER("check.task_set");
+    Checker checker(oracle, options);
+    return checker.run();
+}
+
+CheckResult check_task_set(const tasks::TaskSet& ts,
+                           const PlatformConfig& platform,
+                           const CheckOptions& options)
+{
+    const AnalysisOracle oracle(ts, platform, options.crpd);
+    return check_task_set(oracle, options);
+}
+
+} // namespace cpa::check

@@ -1,0 +1,158 @@
+// Analytical invariant checker: asserts, for one analyzed task set, the
+// dominance / monotonicity / structural relations the paper's bounds must
+// obey. A bug in the analysis core would typically violate one of these
+// while still producing plausible numbers, so the checker is the
+// differential self-test behind `cpa check` and the property tests.
+//
+// The catalog (docs/static-analysis.md spells out each one):
+//   structure.*  — task-model invariants (UCB/PCB ⊆ ECB, MDʳ ≤ MD, windows)
+//   demand.*     — M̂D_i(n) dominance / monotonicity / subadditivity (Eq. 10)
+//   tables.*     — γ / CPRO table shape (Eq. 2 / Eq. 14)
+//   lemma1.*     — B̂AS ≤ BAS (Lemma 1, Eq. 16)
+//   lemma2.*     — B̂AO ≤ BAO (Lemma 2, Eq. 17–18)
+//   bat.*        — per-arbiter BAT composition (Eq. 7–9)
+//   wcrt.*       — Eq. (19) fixed-point consistency and persistence gain
+//   sim.*        — simulator-observed responses never exceed the bounds
+//
+// Every analytical quantity is read through AnalysisOracle so mutation tests
+// can corrupt one quantity at a time and prove the matching invariant fires
+// (the checker must never be tautologically green).
+#pragma once
+
+#include "analysis/bus_bounds.hpp"
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "analysis/wcrt.hpp"
+#include "sim/simulator.hpp"
+#include "tasks/task.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpa::check {
+
+using analysis::AnalysisConfig;
+using analysis::PlatformConfig;
+using util::Cycles;
+
+struct Violation {
+    std::string invariant; // catalog name, e.g. "lemma1.bas_dominance"
+    std::string detail;    // human-readable context (task, window, values)
+};
+
+struct InvariantInfo {
+    std::string_view name;
+    std::string_view summary;
+};
+
+// Every invariant check_task_set() can report, in evaluation order.
+[[nodiscard]] const std::vector<InvariantInfo>& invariant_catalog();
+
+struct CheckOptions {
+    // Bus policies the BAT / WCRT / simulation invariants run under.
+    std::vector<analysis::BusPolicy> policies = {
+        analysis::BusPolicy::kFixedPriority,
+        analysis::BusPolicy::kRoundRobin,
+        analysis::BusPolicy::kTdma,
+    };
+    analysis::CrpdMethod crpd = analysis::CrpdMethod::kEcbUnion;
+    analysis::CproMethod cpro = analysis::CproMethod::kUnion;
+    // Cross-check the discrete-event simulator against the analytical WCRTs
+    // (the most expensive invariant; `cpa check --skip-sim` turns it off).
+    bool check_simulation = true;
+    // Simulation horizon as a multiple of the largest period.
+    std::int64_t sim_horizon_periods = 4;
+    // The simulator costs roughly one event per bus access, and the task-set
+    // generator can produce period ratios of 1e4+ (UUniFast hands some task
+    // a tiny utilization share), so an unbounded horizon can make a single
+    // cross-check take minutes. The horizon is halved until the estimated
+    // access count fits this budget; the soundness relation holds for any
+    // horizon, shorter ones just observe fewer jobs.
+    std::int64_t sim_event_budget = 1'000'000;
+    // Largest job count the M̂D invariants probe.
+    std::int64_t max_demand_jobs = 16;
+};
+
+struct CheckResult {
+    std::size_t checks_run = 0; // individual relations evaluated
+    std::vector<Violation> violations;
+
+    [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+// Seam for mutation testing: the checker reads every analytical quantity
+// through this interface. The default implementation delegates to the real
+// analysis/simulation code; tests override single methods to return
+// corrupted values and assert the matching invariant fires.
+class AnalysisOracle {
+public:
+    // `ts` must outlive the oracle.
+    AnalysisOracle(const tasks::TaskSet& ts, const PlatformConfig& platform,
+                   analysis::CrpdMethod crpd =
+                       analysis::CrpdMethod::kEcbUnion);
+    virtual ~AnalysisOracle();
+    AnalysisOracle(const AnalysisOracle&) = delete;
+    AnalysisOracle& operator=(const AnalysisOracle&) = delete;
+
+    [[nodiscard]] const tasks::TaskSet& task_set() const noexcept
+    {
+        return ts_;
+    }
+    [[nodiscard]] const PlatformConfig& platform() const noexcept
+    {
+        return platform_;
+    }
+    [[nodiscard]] const analysis::InterferenceTables& tables() const noexcept
+    {
+        return tables_;
+    }
+
+    // M̂D_i(n), Eq. (10).
+    [[nodiscard]] virtual std::int64_t md_hat(std::size_t i,
+                                              std::int64_t n_jobs) const;
+    // γ_{i,j}, Eq. (2).
+    [[nodiscard]] virtual std::int64_t gamma(std::size_t i,
+                                             std::size_t j) const;
+    // CPRO overlap of Eq. (14).
+    [[nodiscard]] virtual std::int64_t cpro_overlap(std::size_t j,
+                                                    std::size_t i) const;
+    // Pairwise eviction potential of the job-bounded CPRO refinement.
+    [[nodiscard]] virtual std::int64_t pair_overlap(std::size_t j,
+                                                    std::size_t s) const;
+    // BAS_i(t) / B̂AS_i(t) depending on config.persistence_aware.
+    [[nodiscard]] virtual std::int64_t bas(const AnalysisConfig& config,
+                                           std::size_t i, Cycles t) const;
+    // BAO / B̂AO of core `core` at priority level k.
+    [[nodiscard]] virtual std::int64_t
+    bao(const AnalysisConfig& config, std::size_t core, std::size_t k,
+        Cycles t, const std::vector<Cycles>& response) const;
+    // BAT_i(t), Eq. (7)-(9) per config.policy.
+    [[nodiscard]] virtual std::int64_t
+    bat(const AnalysisConfig& config, std::size_t i, Cycles t,
+        const std::vector<Cycles>& response) const;
+    // The Eq. (19) fixed point for the whole set.
+    [[nodiscard]] virtual analysis::WcrtResult
+    wcrt(const AnalysisConfig& config) const;
+    // One discrete-event simulation run.
+    [[nodiscard]] virtual sim::SimResult
+    simulate(const sim::SimConfig& config) const;
+
+private:
+    const tasks::TaskSet& ts_;
+    PlatformConfig platform_;
+    analysis::InterferenceTables tables_;
+};
+
+// Runs the full catalog against the oracle's task set.
+[[nodiscard]] CheckResult check_task_set(const AnalysisOracle& oracle,
+                                         const CheckOptions& options = {});
+
+// Convenience overload using the default (real-analysis) oracle.
+[[nodiscard]] CheckResult check_task_set(const tasks::TaskSet& ts,
+                                         const PlatformConfig& platform,
+                                         const CheckOptions& options = {});
+
+} // namespace cpa::check

@@ -1,0 +1,94 @@
+#include "check/random_check.hpp"
+
+#include "benchdata/generator.hpp"
+#include "check/assert.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cpa::check {
+
+RandomCheckResult run_random_checks(const RandomCheckConfig& config)
+{
+    if (config.num_cores == 0 || config.tasks_per_core == 0 ||
+        config.cache_sets == 0) {
+        throw std::invalid_argument(
+            "random check: cores, tasks per core, and cache sets must be "
+            "positive");
+    }
+    if (!(config.min_utilization > 0.0) ||
+        config.max_utilization < config.min_utilization) {
+        throw std::invalid_argument(
+            "random check: need 0 < min utilization <= max utilization");
+    }
+
+    CPA_SCOPED_TIMER("check.random_driver");
+
+    benchdata::GenerationConfig generation;
+    generation.num_cores = config.num_cores;
+    generation.tasks_per_core = config.tasks_per_core;
+    generation.cache_sets = config.cache_sets;
+    const auto pool = benchdata::derive_all(benchdata::full_benchmark_table(),
+                                            config.cache_sets);
+
+    analysis::PlatformConfig platform;
+    platform.num_cores = config.num_cores;
+    platform.cache_sets = config.cache_sets;
+
+    RandomCheckResult result;
+    util::Rng master(config.seed);
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+        util::Rng stream = master.fork();
+        const auto trial_seed = stream.engine()();
+        util::Rng rng(trial_seed);
+
+        generation.per_core_utilization =
+            rng.uniform_real(config.min_utilization, config.max_utilization);
+        // Constrained deadlines + jitter on a subset of trials so the
+        // J-dependent and D<T paths of the bounds are exercised too.
+        if (config.jitter_period != 0 &&
+            trial % config.jitter_period == config.jitter_period - 1) {
+            generation.deadline_ratio = 0.9;
+            generation.jitter_fraction = 0.05;
+        } else {
+            generation.deadline_ratio = 1.0;
+            generation.jitter_fraction = 0.0;
+        }
+
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(rng, generation, pool);
+        CheckResult trial_result;
+        try {
+            trial_result = check_task_set(ts, platform, config.options);
+        } catch (const AssertionError& error) {
+            // With runtime assertions enabled (as `cpa check` does), a
+            // violated hot-path tripwire surfaces here; fold it into the
+            // trial report instead of aborting the whole sweep.
+            trial_result.violations.push_back(
+                Violation{error.invariant(), error.what()});
+        }
+        if (config.inject_violation) {
+            trial_result.violations.push_back(Violation{
+                "selftest.injected",
+                "synthetic violation requested via inject_violation"});
+        }
+
+        ++result.trials_run;
+        result.checks_run += trial_result.checks_run;
+        CPA_COUNT("check.trials");
+        if (!trial_result.ok()) {
+            for (const Violation& violation : trial_result.violations) {
+                ++result.violations_by_invariant[violation.invariant];
+            }
+            result.failures.push_back(
+                TrialFailure{trial, trial_seed,
+                             generation.per_core_utilization,
+                             std::move(trial_result.violations)});
+        }
+    }
+    return result;
+}
+
+} // namespace cpa::check

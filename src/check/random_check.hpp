@@ -1,0 +1,68 @@
+// Randomized invariant-check driver behind `cpa check`: draws seeded random
+// task sets with the paper's Section V generator and runs the full invariant
+// catalog (invariants.hpp) against each, aggregating violations per
+// invariant. Fully deterministic for a given RandomCheckConfig — a failing
+// trial is reproducible from its reported seed.
+#pragma once
+
+#include "check/invariants.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cpa::check {
+
+struct RandomCheckConfig {
+    std::uint64_t seed = 1;
+    std::size_t trials = 50;
+    std::size_t num_cores = 4;
+    std::size_t tasks_per_core = 4;
+    std::size_t cache_sets = 64;
+    // Per-core utilization drawn uniformly in [min, max] per trial, so the
+    // sweep covers both comfortably schedulable and saturated sets.
+    double min_utilization = 0.1;
+    double max_utilization = 0.7;
+    // Every jitter_period-th trial is generated with release jitter to
+    // exercise the J-dependent job-count terms; 0 disables jitter entirely.
+    std::size_t jitter_period = 4;
+    // Self-test hook (`cpa check --inject-violation`): appends one synthetic
+    // violation per trial so the reporting and --fail-on-violation exit-code
+    // paths can be exercised end-to-end against the (sound) real analysis.
+    bool inject_violation = false;
+    CheckOptions options;
+};
+
+// One trial whose task set violated at least one invariant.
+struct TrialFailure {
+    std::size_t trial = 0;      // index in [0, trials)
+    std::uint64_t seed = 0;     // generator seed reproducing the task set
+    double utilization = 0.0;   // per-core utilization of the draw
+    std::vector<Violation> violations;
+};
+
+struct RandomCheckResult {
+    std::size_t trials_run = 0;
+    std::size_t checks_run = 0; // relations evaluated across all trials
+    std::map<std::string, std::size_t> violations_by_invariant;
+    std::vector<TrialFailure> failures;
+
+    [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+    [[nodiscard]] std::size_t violation_count() const noexcept
+    {
+        std::size_t total = 0;
+        for (const auto& [name, count] : violations_by_invariant) {
+            total += count;
+        }
+        return total;
+    }
+};
+
+// Runs `config.trials` generate-and-check rounds with the real analysis
+// oracle. Throws std::invalid_argument on an unsatisfiable config.
+[[nodiscard]] RandomCheckResult
+run_random_checks(const RandomCheckConfig& config);
+
+} // namespace cpa::check

@@ -4,6 +4,8 @@
 #include "analysis/report.hpp"
 #include "analysis/schedulability.hpp"
 #include "benchdata/generator.hpp"
+#include "check/assert.hpp"
+#include "check/random_check.hpp"
 #include "experiments/sweep.hpp"
 #include "cli/taskset_io.hpp"
 #include "obs/obs.hpp"
@@ -42,9 +44,18 @@ usage:
                [--utilization U] [--seed S]
   cpa sweep    [--cores N] [--tasks-per-core N] [--cache-sets N]
                [--task-sets N] [--seed S] [--csv]
+  cpa check    [--seed S] [--trials N] [--cores N] [--tasks-per-core N]
+               [--cache-sets N] [--min-utilization U] [--max-utilization U]
+               [--skip-sim] [--fail-on-violation] [--list]
   cpa help
 
-observability (analyze, simulate, sweep; see docs/observability.md):
+`cpa check` draws seeded random task sets and verifies the analytical
+invariant catalog (Lemma 1/2 dominance, Eq. 10/19 consistency, simulator
+soundness; see docs/static-analysis.md). It exits 0 even on violations
+unless --fail-on-violation is given (then exit 3); --list prints the
+catalog.
+
+observability (analyze, simulate, sweep, check; see docs/observability.md):
   --metrics-out FILE   write a JSON run report (iteration counts, per-
                        arbiter BAT stats, timers); FILE '-' = stdout
   --trace SUBSYS[,..]  stream NDJSON trace events to stderr; subsystems:
@@ -565,6 +576,115 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
     return 0;
 }
 
+// Scoped activation of the analysis-core runtime assertions: `cpa check`
+// always runs with the CPA_CHECK_ASSERT tripwires armed so a hot-path
+// violation surfaces even where the catalog has no explicit relation.
+class AssertionSession {
+public:
+    AssertionSession() : previous_(check::assertions_enabled())
+    {
+        check::set_assertions_enabled(true);
+    }
+    ~AssertionSession() { check::set_assertions_enabled(previous_); }
+    AssertionSession(const AssertionSession&) = delete;
+    AssertionSession& operator=(const AssertionSession&) = delete;
+
+private:
+    bool previous_;
+};
+
+int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
+{
+    if (flags.take_switch("--list")) {
+        flags.expect_empty();
+        util::TextTable table({"invariant", "checks"});
+        for (const check::InvariantInfo& info : check::invariant_catalog()) {
+            table.add_row({std::string(info.name),
+                           std::string(info.summary)});
+        }
+        table.print(out);
+        return 0;
+    }
+
+    check::RandomCheckConfig config;
+    config.seed = static_cast<std::uint64_t>(
+        std::stoll(flags.take("--seed", "1")));
+    config.trials = static_cast<std::size_t>(
+        std::stoll(flags.take("--trials", "50")));
+    config.num_cores = static_cast<std::size_t>(
+        std::stoll(flags.take("--cores", "4")));
+    config.tasks_per_core = static_cast<std::size_t>(
+        std::stoll(flags.take("--tasks-per-core", "4")));
+    config.cache_sets = static_cast<std::size_t>(
+        std::stoll(flags.take("--cache-sets", "64")));
+    config.min_utilization = std::stod(flags.take("--min-utilization", "0.1"));
+    config.max_utilization = std::stod(flags.take("--max-utilization", "0.7"));
+    config.options.check_simulation = !flags.take_switch("--skip-sim");
+    // Undocumented self-test hook: forces a synthetic violation per trial so
+    // the reporting/exit-code path itself can be tested (the real analysis
+    // is sound, so nothing else makes `cpa check` fail on purpose).
+    config.inject_violation = flags.take_switch("--inject-violation");
+    const bool fail_on_violation = flags.take_switch("--fail-on-violation");
+    const std::string metrics_out = flags.take("--metrics-out", "");
+    const std::string trace_spec = flags.take("--trace", "");
+    flags.expect_empty();
+    ObsSession obs_session(metrics_out, trace_spec, err);
+    AssertionSession assertion_session;
+
+    const check::RandomCheckResult result = check::run_random_checks(config);
+
+    out << "== invariant check: " << result.trials_run
+        << " random task sets, " << result.checks_run << " relations, "
+        << result.violation_count() << " violations ==\n";
+    if (!result.ok()) {
+        util::TextTable table({"invariant", "violations"});
+        for (const auto& [name, count] : result.violations_by_invariant) {
+            table.add_row({name, std::to_string(count)});
+        }
+        table.print(out);
+        for (const check::TrialFailure& failure : result.failures) {
+            out << "trial " << failure.trial << " (seed " << failure.seed
+                << ", U/core " << util::TextTable::num(failure.utilization, 2)
+                << "):\n";
+            for (const check::Violation& violation : failure.violations) {
+                out << "  " << violation.invariant << ": " << violation.detail
+                    << '\n';
+            }
+        }
+    }
+
+    if (obs_session.metrics_requested()) {
+        obs::RunReport run_report("cpa check");
+        obs::JsonValue& cfg = run_report.section("config");
+        cfg.set("seed", obs::JsonValue(static_cast<std::int64_t>(config.seed)));
+        cfg.set("trials", obs::JsonValue(config.trials));
+        cfg.set("cores", obs::JsonValue(config.num_cores));
+        cfg.set("tasks_per_core", obs::JsonValue(config.tasks_per_core));
+        cfg.set("cache_sets", obs::JsonValue(config.cache_sets));
+        cfg.set("simulation", obs::JsonValue(config.options.check_simulation));
+        run_report.set("trials_run", obs::JsonValue(result.trials_run));
+        run_report.set("checks_run", obs::JsonValue(result.checks_run));
+        run_report.set("violations",
+                       obs::JsonValue(result.violation_count()));
+        obs::JsonValue& by_invariant = run_report.list("violations_by_invariant");
+        for (const auto& [name, count] : result.violations_by_invariant) {
+            obs::JsonValue entry = obs::JsonValue::object();
+            entry.set("invariant", obs::JsonValue(name));
+            entry.set("count", obs::JsonValue(count));
+            by_invariant.push(std::move(entry));
+        }
+        write_run_report(run_report, metrics_out, out);
+    }
+
+    if (!result.ok() && fail_on_violation) {
+        err << "cpa check: " << result.violation_count()
+            << " invariant violation(s) across " << result.failures.size()
+            << " of " << result.trials_run << " trials\n";
+        return 3;
+    }
+    return 0;
+}
+
 } // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -582,6 +702,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         }
         if (command == "sweep") {
             return cmd_sweep(Flags({args.begin() + 1, args.end()}), out,
+                             err);
+        }
+        if (command == "check") {
+            return cmd_check(Flags({args.begin() + 1, args.end()}), out,
                              err);
         }
         if (command == "analyze" || command == "simulate") {

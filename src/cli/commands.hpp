@@ -8,7 +8,13 @@
 //                       [--horizon-periods N]
 //   cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
 //                [--utilization U] [--seed S]
+//   cpa check    [--seed S] [--trials N] [--skip-sim] [--fail-on-violation]
+//                [--list]
 //   cpa help
+//
+// `check` runs the analytical invariant catalog (src/check) over seeded
+// random task sets; exit 0 unless --fail-on-violation is given, in which
+// case any violation exits 3. See docs/static-analysis.md.
 //
 // analyze/simulate/sweep additionally accept the observability flags
 // --metrics-out FILE (JSON run report; '-' = stdout) and

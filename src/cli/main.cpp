@@ -1,5 +1,6 @@
 // Entry point of the `cpa` command-line tool; all logic lives in
 // commands.cpp so the tests can drive it in-process.
+#include "check/assert.hpp"
 #include "cli/commands.hpp"
 
 #include <iostream>
@@ -8,6 +9,9 @@
 
 int main(int argc, char** argv)
 {
+    // CPA_CHECK_ASSERT=1 in the environment arms the analysis-core runtime
+    // assertions for any command (cpa check arms them itself).
+    cpa::check::apply_assertion_env();
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         args.emplace_back(argv[i]);

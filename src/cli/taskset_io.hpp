@@ -5,8 +5,8 @@
 //
 //   # engine controller
 //   platform cores=4 cache_sets=256 d_mem_us=5 slot_size=2 priority=file
-//   task ctrl core=0 pd=1000 md=20 mdr=4 period=100000 deadline=80000 \
-//        ecb=0-19 ucb=0-15 pcb=0-19
+//   task ctrl core=0 pd=1000 md=20 mdr=4 period=100000 deadline=80000
+//        ecb=0-19 ucb=0-15 pcb=0-19          (one task per line in the file)
 //
 // Fields:
 //   platform: cores, cache_sets, d_mem_us (or d_mem_cycles), slot_size,

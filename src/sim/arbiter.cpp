@@ -98,6 +98,16 @@ std::optional<std::size_t> BusArbiter::pick_next()
     return std::nullopt;
 }
 
+void BusArbiter::promote(std::size_t core, std::size_t priority)
+{
+    if (core >= num_cores_) {
+        throw std::out_of_range("BusArbiter::promote: bad core");
+    }
+    if (pending_[core].has_value() && priority < *pending_[core]) {
+        pending_[core] = priority;
+    }
+}
+
 std::optional<std::pair<std::size_t, Cycles>>
 BusArbiter::complete(std::size_t /*core*/, Cycles now)
 {

@@ -47,6 +47,17 @@ public:
     [[nodiscard]] std::optional<std::pair<std::size_t, util::Cycles>>
     complete(std::size_t core, util::Cycles now);
 
+    // Priority inheritance: raises `core`'s queued request to `priority` if
+    // that is more urgent. Called when a higher-priority job becomes ready
+    // on a core stalled behind a lower-priority request — without it, the
+    // queued request (and with it the whole core) waits behind every
+    // intermediate-priority access of the other cores, a priority inversion
+    // the Eq. (7) analysis does not (and need not) charge to the preempting
+    // task. No-op when no request of `core` is queued (TDMA/Perfect never
+    // queue; an already-granted access is non-preemptive and bounded by
+    // d_mem, which the analysis covers as the +1 blocking term).
+    void promote(std::size_t core, std::size_t priority);
+
 private:
     [[nodiscard]] util::Cycles tdma_start(std::size_t core,
                                           util::Cycles from) const;

@@ -223,16 +223,34 @@ private:
     void dispatch(std::size_t core_index)
     {
         Core& core = cores_[core_index];
-        if (core.running != kNone && core.stalled) {
-            return; // switch happens when the access completes
-        }
 
+        // Ties (two live jobs of one task after a deadline miss) go to the
+        // older job: jobs of a task execute in release order. Breaking ties
+        // by ready-queue position instead would interleave the two jobs on
+        // every bus access, each switch charging a full CRPD reload — the
+        // reloads then refill accesses_left faster than the bus drains it
+        // and the simulation never terminates.
         std::size_t best = kNone;
         for (const std::size_t job_id : core.ready) {
-            if (best == kNone || jobs_[job_id].task < jobs_[best].task) {
+            if (best == kNone || jobs_[job_id].task < jobs_[best].task ||
+                (jobs_[job_id].task == jobs_[best].task && job_id < best)) {
                 best = job_id;
             }
         }
+
+        if (core.running != kNone && core.stalled) {
+            // The switch happens when the access completes. A queued request
+            // meanwhile inherits the priority of the best waiting job, or
+            // the whole core would suffer a priority inversion behind every
+            // intermediate-priority access of the other cores — a delay the
+            // Eq. (7) analysis correctly does not charge to the preempter.
+            if (best != kNone &&
+                jobs_[best].task < jobs_[core.running].task) {
+                arbiter_.promote(core_index, jobs_[best].task);
+            }
+            return;
+        }
+
         if (best == kNone) {
             return; // nothing ready; the running job (if any) continues
         }

@@ -203,7 +203,7 @@ TEST(Multilevel, LargerL2ImprovesSchedulability)
         const tasks::TaskSet ts =
             benchdata::generate_task_set(child, gen, pool);
         for (const std::size_t sets : {512u, 4096u}) {
-            util::Rng placement(repeat);
+            util::Rng placement(static_cast<std::uint64_t>(repeat));
             const auto footprints = benchdata::attach_l2_footprints(
                 placement, ts, benchdata::full_benchmark_table(), sets);
             const bool ok = is_schedulable_multilevel(ts, platform, config,

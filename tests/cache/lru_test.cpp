@@ -112,8 +112,8 @@ TEST(LruCache, PingPongResolvedByTwoWays)
     std::size_t misses_2 = 0;
     for (int i = 0; i < 10; ++i) {
         for (const std::size_t block : {0u, 8u}) {
-            misses_1 += one_way.access(block) ? 0 : 1;
-            misses_2 += two_way.access(block) ? 0 : 1;
+            misses_1 += one_way.access(block) ? 0u : 1u;
+            misses_2 += two_way.access(block) ? 0u : 1u;
         }
     }
     EXPECT_EQ(misses_1, 20u);

@@ -1,0 +1,122 @@
+// Tests for the runtime assertion layer (check/assert.hpp): the two-gate
+// enable logic, the AssertionError payload, and the obs-layer reporting of
+// a failed assertion.
+#include "check/assert.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace cpa::check {
+namespace {
+
+// Restores the runtime flag after each test so cases don't leak state.
+class AssertTest : public ::testing::Test {
+protected:
+    void SetUp() override { previous_ = assertions_enabled(); }
+    void TearDown() override
+    {
+        set_assertions_enabled(previous_);
+        ::unsetenv("CPA_CHECK_ASSERT");
+    }
+
+private:
+    bool previous_ = false;
+};
+
+TEST_F(AssertTest, DisabledByDefaultAndMacroIsInert)
+{
+    set_assertions_enabled(false);
+    EXPECT_FALSE(assertions_enabled());
+    // A false condition must not throw while the runtime gate is off.
+    EXPECT_NO_THROW(CPA_CHECK_ASSERT(1 == 2, "test.always_false", "detail"));
+}
+
+TEST_F(AssertTest, EnabledMacroThrowsWithInvariantName)
+{
+    set_assertions_enabled(true);
+    try {
+        CPA_CHECK_ASSERT(1 == 2, "test.always_false", "the detail text");
+        FAIL() << "CPA_CHECK_ASSERT did not throw";
+    } catch (const AssertionError& error) {
+        EXPECT_EQ(error.invariant(), "test.always_false");
+        const std::string what = error.what();
+        EXPECT_NE(what.find("test.always_false"), std::string::npos);
+        EXPECT_NE(what.find("the detail text"), std::string::npos);
+    }
+}
+
+TEST_F(AssertTest, EnabledMacroPassesOnTrueCondition)
+{
+    set_assertions_enabled(true);
+    EXPECT_NO_THROW(CPA_CHECK_ASSERT(2 == 2, "test.always_true", "detail"));
+}
+
+TEST_F(AssertTest, DetailExpressionOnlyEvaluatedOnFailure)
+{
+    set_assertions_enabled(true);
+    int evaluations = 0;
+    const auto detail = [&] {
+        ++evaluations;
+        return std::string("expensive");
+    };
+    CPA_CHECK_ASSERT(true, "test.always_true", detail());
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_THROW(CPA_CHECK_ASSERT(false, "test.always_false", detail()),
+                 AssertionError);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(AssertTest, EnvironmentVariableArmsTheGate)
+{
+    set_assertions_enabled(false);
+    ::setenv("CPA_CHECK_ASSERT", "1", 1);
+    apply_assertion_env();
+    EXPECT_TRUE(assertions_enabled());
+
+    ::setenv("CPA_CHECK_ASSERT", "0", 1);
+    apply_assertion_env();
+    EXPECT_FALSE(assertions_enabled());
+
+    ::setenv("CPA_CHECK_ASSERT", "on", 1);
+    apply_assertion_env();
+    EXPECT_TRUE(assertions_enabled());
+
+    // Unset leaves the current state untouched.
+    ::unsetenv("CPA_CHECK_ASSERT");
+    apply_assertion_env();
+    EXPECT_TRUE(assertions_enabled());
+}
+
+TEST_F(AssertTest, FailureReportsThroughMetricsAndTrace)
+{
+    set_assertions_enabled(true);
+    obs::MetricsRegistry::global().reset();
+    obs::set_metrics_enabled(true);
+    std::ostringstream trace_out;
+    obs::Tracer::global().set_sink(
+        std::make_shared<obs::StreamTraceSink>(trace_out), {"check"});
+
+    EXPECT_THROW(assertion_failure("test.reported", "detail text"),
+                 AssertionError);
+
+    obs::Tracer::global().set_sink(nullptr);
+    obs::set_metrics_enabled(false);
+
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    const auto it = snapshot.counters.find("check.assert_failures");
+    ASSERT_NE(it, snapshot.counters.end());
+    EXPECT_GE(it->second, 1);
+    const std::string trace = trace_out.str();
+    EXPECT_NE(trace.find("assertion_failure"), std::string::npos);
+    EXPECT_NE(trace.find("test.reported"), std::string::npos);
+}
+
+} // namespace
+} // namespace cpa::check

@@ -1,0 +1,119 @@
+// End-to-end tests of the `cpa check` command: flag parsing, the catalog
+// listing, the report-only vs --fail-on-violation exit-code contract, and
+// the JSON run report integration.
+#include "check/assert.hpp"
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cpa::cli {
+namespace {
+
+struct CliRun {
+    int exit_code = 0;
+    std::string out;
+    std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    CliRun result;
+    result.exit_code = run_cli(args, out, err);
+    result.out = out.str();
+    result.err = err.str();
+    return result;
+}
+
+// Small deterministic configuration shared by the happy-path tests.
+const std::vector<std::string> kSmallCheck = {
+    "check",        "--seed",       "1",  "--trials",
+    "3",            "--cores",      "2",  "--tasks-per-core",
+    "2",            "--cache-sets", "32", "--skip-sim",
+};
+
+TEST(CheckCli, CleanRunExitsZeroAndSummarizes)
+{
+    const CliRun result = run(kSmallCheck);
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_NE(result.out.find("3 random task sets"), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("0 violations"), std::string::npos)
+        << result.out;
+}
+
+TEST(CheckCli, ListPrintsTheCatalog)
+{
+    const CliRun result = run({"check", "--list"});
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_NE(result.out.find("lemma1.bas_dominance"), std::string::npos);
+    EXPECT_NE(result.out.find("wcrt.fixed_point"), std::string::npos);
+    EXPECT_NE(result.out.find("sim.response_soundness"), std::string::npos);
+}
+
+TEST(CheckCli, FailOnViolationExitsThreeOnInjectedViolation)
+{
+    std::vector<std::string> args = kSmallCheck;
+    args.insert(args.end(), {"--inject-violation", "--fail-on-violation"});
+    const CliRun result = run(args);
+    EXPECT_EQ(result.exit_code, 3) << result.out;
+    EXPECT_NE(result.out.find("selftest.injected"), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.err.find("invariant violation"), std::string::npos)
+        << result.err;
+}
+
+TEST(CheckCli, ViolationsWithoutFailFlagStillExitZero)
+{
+    std::vector<std::string> args = kSmallCheck;
+    args.push_back("--inject-violation");
+    const CliRun result = run(args);
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_NE(result.out.find("selftest.injected"), std::string::npos)
+        << result.out;
+}
+
+TEST(CheckCli, MetricsOutWritesRunReport)
+{
+    std::vector<std::string> args = kSmallCheck;
+    args.insert(args.end(), {"--metrics-out", "-"});
+    const CliRun result = run(args);
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_NE(result.out.find("\"tool\":\"cpa check\""), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("\"trials_run\":3"), std::string::npos)
+        << result.out;
+}
+
+TEST(CheckCli, UnknownFlagIsAnError)
+{
+    const CliRun result = run({"check", "--bogus", "1"});
+    EXPECT_EQ(result.exit_code, 1);
+    EXPECT_NE(result.err.find("unknown argument"), std::string::npos)
+        << result.err;
+}
+
+TEST(CheckCli, UsageMentionsCheck)
+{
+    const CliRun result = run({"help"});
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.out.find("cpa check"), std::string::npos);
+    EXPECT_NE(result.out.find("--fail-on-violation"), std::string::npos);
+}
+
+TEST(CheckCli, AssertionGateRestoredAfterRun)
+{
+    // cmd_check arms the runtime assertions for its own duration only.
+    check::set_assertions_enabled(false);
+    const CliRun result = run(kSmallCheck);
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_FALSE(check::assertions_enabled());
+}
+
+} // namespace
+} // namespace cpa::cli

@@ -1,0 +1,122 @@
+// Positive-path tests for the invariant checker: the real analysis must
+// satisfy the whole catalog on the paper's Fig. 1 example and on structured
+// hand-built sets, and the catalog metadata must stay consistent with what
+// check_task_set() can actually report.
+#include "check/invariants.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace cpa::check {
+namespace {
+
+analysis::PlatformConfig small_platform(std::size_t cores,
+                                        std::size_t cache_sets)
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = cores;
+    platform.cache_sets = cache_sets;
+    return platform;
+}
+
+std::string violation_dump(const CheckResult& result)
+{
+    std::string out;
+    for (const Violation& violation : result.violations) {
+        out += violation.invariant + ": " + violation.detail + "\n";
+    }
+    return out;
+}
+
+TEST(CheckInvariants, Fig1PassesTheFullCatalog)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    const CheckResult result =
+        check_task_set(ts, small_platform(2, 16), CheckOptions{});
+    EXPECT_TRUE(result.ok()) << violation_dump(result);
+    EXPECT_GT(result.checks_run, 100u);
+}
+
+TEST(CheckInvariants, Fig1PassesUnderEveryCrpdAndCproVariant)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    for (const auto crpd :
+         {analysis::CrpdMethod::kEcbUnion, analysis::CrpdMethod::kUcbOnly,
+          analysis::CrpdMethod::kEcbOnly}) {
+        for (const auto cpro :
+             {analysis::CproMethod::kUnion, analysis::CproMethod::kJobBound}) {
+            CheckOptions options;
+            options.crpd = crpd;
+            options.cpro = cpro;
+            options.check_simulation = false;
+            const AnalysisOracle oracle(ts, small_platform(2, 16), crpd);
+            const CheckResult result = check_task_set(oracle, options);
+            EXPECT_TRUE(result.ok()) << violation_dump(result);
+        }
+    }
+}
+
+TEST(CheckInvariants, JitteredConstrainedDeadlineSetPasses)
+{
+    // Constrained deadlines + release jitter exercise the E_j(t) jitter
+    // terms and the D < T window logic of the catalog.
+    tasks::TaskSet ts = testing::make_task_set(
+        2, 16,
+        {
+            {.core = 0, .pd = 2, .md = 3, .md_residual = 1, .period = 20,
+             .deadline = 15, .ecb = {0, 1, 2, 3}, .ucb = {1, 2},
+             .pcb = {0, 3}},
+            {.core = 1, .pd = 3, .md = 4, .md_residual = 2, .period = 25,
+             .deadline = 20, .ecb = {2, 3, 4, 5}, .ucb = {3}, .pcb = {4, 5}},
+            {.core = 0, .pd = 5, .md = 5, .md_residual = 5, .period = 60,
+             .deadline = 50, .ecb = {0, 1, 4}, .ucb = {0, 1}, .pcb = {}},
+        });
+    // make_task_set builds jitter-free tasks; re-add jitter within T - D.
+    tasks::TaskSet jittered(2, 16);
+    for (const tasks::Task& original : ts.tasks()) {
+        tasks::Task task = original;
+        task.jitter = 2;
+        jittered.add_task(std::move(task));
+    }
+    jittered.validate();
+    const CheckResult result =
+        check_task_set(jittered, small_platform(2, 16), CheckOptions{});
+    EXPECT_TRUE(result.ok()) << violation_dump(result);
+}
+
+TEST(CheckInvariants, EmptyTaskSetRunsNoChecks)
+{
+    const tasks::TaskSet ts(2, 16);
+    const CheckResult result =
+        check_task_set(ts, small_platform(2, 16), CheckOptions{});
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.checks_run, 0u);
+}
+
+TEST(CheckInvariants, CatalogNamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string_view> names;
+    for (const InvariantInfo& info : invariant_catalog()) {
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_FALSE(info.summary.empty());
+        EXPECT_TRUE(names.insert(info.name).second)
+            << "duplicate catalog entry " << info.name;
+    }
+    EXPECT_GE(names.size(), 15u);
+}
+
+TEST(CheckInvariants, OracleAccessorsExposeTheAnalyzedSystem)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    const AnalysisOracle oracle(ts, small_platform(2, 16));
+    EXPECT_EQ(&oracle.task_set(), &ts);
+    EXPECT_EQ(oracle.platform().num_cores, 2u);
+    EXPECT_EQ(oracle.tables().size(), ts.size());
+}
+
+} // namespace
+} // namespace cpa::check

@@ -1,0 +1,445 @@
+// Mutation tests: every catalog invariant must FIRE when the quantity it
+// guards is corrupted. The dominance relations hold by construction in the
+// real code (std::min caps), so each test overrides a single AnalysisOracle
+// method to return a wrong value and asserts the matching violation is
+// reported — proving the checker is not tautologically green.
+#include "check/invariants.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace cpa::check {
+namespace {
+
+analysis::PlatformConfig fig1_platform()
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 16;
+    return platform;
+}
+
+// Options used by most mutation tests: single policy, no simulation, so a
+// test failure points at exactly one corrupted quantity.
+CheckOptions fast_options()
+{
+    CheckOptions options;
+    options.policies = {analysis::BusPolicy::kFixedPriority};
+    options.check_simulation = false;
+    return options;
+}
+
+// Fig. 1 is never WCRT-schedulable (τ3's isolated demand already exceeds
+// its deadline), so the WCRT- and simulation-level mutations need a set the
+// real analysis accepts under every policy: long periods, light bus load.
+tasks::TaskSet schedulable_set()
+{
+    return testing::make_task_set(
+        2, 16,
+        {
+            {.core = 0, .pd = 20, .md = 4, .md_residual = 1, .period = 1000,
+             .ecb = {0, 1, 2, 3}, .ucb = {1, 2}, .pcb = {0, 3}},
+            {.core = 1, .pd = 30, .md = 5, .md_residual = 2, .period = 1500,
+             .ecb = {4, 5, 6}, .ucb = {5}, .pcb = {4, 6}},
+            {.core = 0, .pd = 40, .md = 6, .md_residual = 3, .period = 2000,
+             .ecb = {0, 4, 7}, .ucb = {0}, .pcb = {7}},
+        });
+}
+
+bool fired(const CheckResult& result, std::string_view invariant)
+{
+    return std::any_of(result.violations.begin(), result.violations.end(),
+                       [&](const Violation& violation) {
+                           return violation.invariant == invariant;
+                       });
+}
+
+std::string dump(const CheckResult& result)
+{
+    std::string out;
+    for (const Violation& violation : result.violations) {
+        out += violation.invariant + ": " + violation.detail + "\n";
+    }
+    return out;
+}
+
+// --- structure.*: corrupt the task set itself (no oracle needed) ---------
+
+TEST(CheckMutation, StructureFootprintsFires)
+{
+    // PCB outside ECB; built without validate() on purpose.
+    tasks::TaskSet ts(2, 16);
+    tasks::Task task;
+    task.name = "bad";
+    task.core = 0;
+    task.pd = 2;
+    task.md = 3;
+    task.md_residual = 1;
+    task.period = 50;
+    task.deadline = 50;
+    task.ecb = util::SetMask::from_indices(16, {0, 1});
+    task.ucb = util::SetMask::from_indices(16, {0});
+    task.pcb = util::SetMask::from_indices(16, {5}); // not in ECB
+    ts.add_task(std::move(task));
+    const CheckResult result =
+        check_task_set(ts, fig1_platform(), fast_options());
+    EXPECT_TRUE(fired(result, "structure.footprints")) << dump(result);
+}
+
+TEST(CheckMutation, StructureDemandFires)
+{
+    tasks::TaskSet ts(2, 16);
+    tasks::Task task;
+    task.name = "bad";
+    task.core = 0;
+    task.pd = 2;
+    task.md = 3;
+    task.md_residual = 7; // MDr > MD
+    task.period = 50;
+    task.deadline = 50;
+    task.ecb = util::SetMask(16);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    ts.add_task(std::move(task));
+    const CheckResult result =
+        check_task_set(ts, fig1_platform(), fast_options());
+    EXPECT_TRUE(fired(result, "structure.demand")) << dump(result);
+}
+
+TEST(CheckMutation, StructureWindowsFires)
+{
+    tasks::TaskSet ts(2, 16);
+    tasks::Task task;
+    task.name = "bad";
+    task.core = 0;
+    task.pd = 2;
+    task.md = 3;
+    task.md_residual = 1;
+    task.period = 50;
+    task.deadline = 60; // D > T
+    task.ecb = util::SetMask(16);
+    task.ucb = util::SetMask(16);
+    task.pcb = util::SetMask(16);
+    ts.add_task(std::move(task));
+    const CheckResult result =
+        check_task_set(ts, fig1_platform(), fast_options());
+    EXPECT_TRUE(fired(result, "structure.windows")) << dump(result);
+}
+
+// --- demand.* / tables.* / bounds: corrupt one oracle quantity ----------
+
+class MutatedOracle : public AnalysisOracle {
+public:
+    MutatedOracle(const tasks::TaskSet& ts,
+                  const analysis::PlatformConfig& platform)
+        : AnalysisOracle(ts, platform)
+    {
+    }
+};
+
+CheckResult run_with(const AnalysisOracle& oracle)
+{
+    return check_task_set(oracle, fast_options());
+}
+
+TEST(CheckMutation, DemandDominanceFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t md_hat(std::size_t i, std::int64_t n) const override
+        {
+            // Exceeds n * MD: the Eq. (10) cap is gone.
+            return AnalysisOracle::md_hat(i, n) + (n > 0 ? n * 100 : 0);
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "demand.md_hat_dominance")) << dump(result);
+}
+
+TEST(CheckMutation, DemandMonotoneFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t md_hat(std::size_t, std::int64_t n) const override
+        {
+            return -n; // strictly decreasing
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "demand.md_hat_monotone")) << dump(result);
+}
+
+TEST(CheckMutation, DemandSubadditiveFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t md_hat(std::size_t, std::int64_t n) const override
+        {
+            return n * n; // superadditive
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "demand.md_hat_subadditive")) << dump(result);
+}
+
+TEST(CheckMutation, GammaShapeFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t gamma(std::size_t i, std::size_t j) const override
+        {
+            // Nonzero CRPD charged against a lower-priority "preempter".
+            return j >= i ? 3 : AnalysisOracle::gamma(i, j);
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "tables.gamma_shape")) << dump(result);
+}
+
+TEST(CheckMutation, CproShapeFiresOnNegativeOverlap)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t cpro_overlap(std::size_t, std::size_t) const override
+        {
+            return -1;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "tables.cpro_shape")) << dump(result);
+}
+
+TEST(CheckMutation, CproShapeFiresOnCrossCorePairOverlap)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t pair_overlap(std::size_t, std::size_t) const override
+        {
+            return 1; // also nonzero for cross-core / self pairs
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "tables.cpro_shape")) << dump(result);
+}
+
+TEST(CheckMutation, Lemma1DominanceFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t bas(const AnalysisConfig& config, std::size_t i,
+                         Cycles t) const override
+        {
+            // Persistence-aware BAS inflated above the plain bound.
+            const std::int64_t real = AnalysisOracle::bas(config, i, t);
+            return config.persistence_aware ? real + 50 : real;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "lemma1.bas_dominance")) << dump(result);
+}
+
+TEST(CheckMutation, BasMonotoneFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t bas(const AnalysisConfig&, std::size_t,
+                         Cycles t) const override
+        {
+            return std::max<std::int64_t>(0, 100 - t); // decreasing in t
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "bounds.bas_monotone")) << dump(result);
+}
+
+TEST(CheckMutation, Lemma2DominanceFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t bao(const AnalysisConfig& config, std::size_t core,
+                         std::size_t k, Cycles t,
+                         const std::vector<Cycles>& response) const override
+        {
+            const std::int64_t real =
+                AnalysisOracle::bao(config, core, k, t, response);
+            return config.persistence_aware ? real + 25 : real;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "lemma2.bao_dominance")) << dump(result);
+}
+
+TEST(CheckMutation, BatDominatesBasFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t bat(const AnalysisConfig& config, std::size_t i,
+                         Cycles t,
+                         const std::vector<Cycles>&) const override
+        {
+            // Below the same-config BAS term: same-core accesses un-priced.
+            return AnalysisOracle::bas(config, i, t) - 1;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "bat.dominates_bas")) << dump(result);
+}
+
+TEST(CheckMutation, BatPersistenceDominanceFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        std::int64_t bat(const AnalysisConfig& config, std::size_t i,
+                         Cycles t,
+                         const std::vector<Cycles>& response) const override
+        {
+            const std::int64_t real =
+                AnalysisOracle::bat(config, i, t, response);
+            return config.persistence_aware ? real + 40 : real;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "bat.persistence_dominance")) << dump(result);
+}
+
+TEST(CheckMutation, WcrtFixedPointFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        analysis::WcrtResult
+        wcrt(const AnalysisConfig&) const override
+        {
+            // Claims schedulability at the isolated demand, ignoring all
+            // contention: rhs(R) > R for the tasks with cross-core load.
+            analysis::WcrtResult result;
+            result.schedulable = true;
+            result.stop_reason = "mutated";
+            for (const tasks::Task& task : task_set().tasks()) {
+                result.response.push_back(
+                    task.isolated_demand(platform().d_mem));
+            }
+            return result;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "wcrt.fixed_point")) << dump(result);
+}
+
+TEST(CheckMutation, WcrtResponseBoundsFires)
+{
+    const tasks::TaskSet ts = testing::fig1_task_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        analysis::WcrtResult
+        wcrt(const AnalysisConfig&) const override
+        {
+            // R below the isolated demand is impossible for a sound bound.
+            analysis::WcrtResult result;
+            result.schedulable = true;
+            result.stop_reason = "mutated";
+            result.response.assign(task_set().size(), 1);
+            return result;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "wcrt.response_bounds")) << dump(result);
+}
+
+TEST(CheckMutation, WcrtPersistenceDominanceFiresOnVerdictFlip)
+{
+    const tasks::TaskSet ts = schedulable_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        analysis::WcrtResult
+        wcrt(const AnalysisConfig& config) const override
+        {
+            analysis::WcrtResult result = AnalysisOracle::wcrt(config);
+            if (config.persistence_aware) {
+                // Persistence-aware analysis "loses" a set the baseline
+                // accepts — the refinement of Eq. (16)-(18) forbids this.
+                result.schedulable = false;
+                result.stop_reason = "mutated";
+            }
+            return result;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "wcrt.persistence_dominance")) << dump(result);
+}
+
+TEST(CheckMutation, WcrtPersistenceDominanceFiresOnLargerResponses)
+{
+    const tasks::TaskSet ts = schedulable_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        analysis::WcrtResult
+        wcrt(const AnalysisConfig& config) const override
+        {
+            analysis::WcrtResult result = AnalysisOracle::wcrt(config);
+            if (config.persistence_aware && result.schedulable &&
+                !result.response.empty()) {
+                // Far above anything the baseline can report for this set.
+                result.response[0] += 500;
+            }
+            return result;
+        }
+    } oracle(ts, fig1_platform());
+    const CheckResult result = run_with(oracle);
+    EXPECT_TRUE(fired(result, "wcrt.persistence_dominance")) << dump(result);
+}
+
+TEST(CheckMutation, SimSoundnessFires)
+{
+    const tasks::TaskSet ts = schedulable_set();
+    class Oracle : public MutatedOracle {
+        using MutatedOracle::MutatedOracle;
+        sim::SimResult simulate(const sim::SimConfig&) const override
+        {
+            // Observed responses far above any analytical bound.
+            sim::SimResult result;
+            const std::size_t n = task_set().size();
+            result.max_response.assign(n, 1'000'000);
+            result.jobs_completed.assign(n, 1);
+            result.bus_accesses.assign(n, 0);
+            return result;
+        }
+    } oracle(ts, fig1_platform());
+    CheckOptions options = fast_options();
+    options.check_simulation = true;
+    const CheckResult result = check_task_set(oracle, options);
+    EXPECT_TRUE(fired(result, "sim.response_soundness")) << dump(result);
+}
+
+// A corrupted quantity must never pass silently: sanity-check that the
+// unmutated oracle with the same options reports nothing, so every firing
+// above is attributable to its mutation alone.
+TEST(CheckMutation, UnmutatedOracleIsClean)
+{
+    for (const tasks::TaskSet& ts :
+         {testing::fig1_task_set(), schedulable_set()}) {
+        const MutatedOracle oracle(ts, fig1_platform());
+        CheckOptions options = fast_options();
+        options.check_simulation = true;
+        const CheckResult result = check_task_set(oracle, options);
+        EXPECT_TRUE(result.ok()) << dump(result);
+    }
+}
+
+} // namespace
+} // namespace cpa::check

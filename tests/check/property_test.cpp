@@ -1,0 +1,105 @@
+// Property test: the real analysis satisfies the whole invariant catalog on
+// a large population of seeded random task sets (the Section V generator),
+// including jittered and constrained-deadline draws. This is the repo's
+// broadest differential self-test — any unsound refinement in Lemma 1/2,
+// Eq. (10) demand capping, or the Eq. (19) solver shows up here as a named
+// violation with a reproducing seed.
+#include "check/random_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace cpa::check {
+namespace {
+
+std::string failure_dump(const RandomCheckResult& result)
+{
+    std::ostringstream out;
+    for (const TrialFailure& failure : result.failures) {
+        out << "trial " << failure.trial << " seed " << failure.seed
+            << " U " << failure.utilization << ":\n";
+        for (const Violation& violation : failure.violations) {
+            out << "  " << violation.invariant << ": " << violation.detail
+                << "\n";
+        }
+    }
+    return out.str();
+}
+
+TEST(CheckProperty, HundredRandomTaskSetsSatisfyTheCatalog)
+{
+    RandomCheckConfig config;
+    config.seed = 20200309; // the paper's conference date, as elsewhere
+    config.trials = 100;
+    config.num_cores = 3;
+    config.tasks_per_core = 3;
+    config.cache_sets = 64;
+    config.options.check_simulation = false; // covered by the test below
+    config.options.max_demand_jobs = 8;
+    const RandomCheckResult result = run_random_checks(config);
+    EXPECT_EQ(result.trials_run, 100u);
+    EXPECT_TRUE(result.ok()) << failure_dump(result);
+    EXPECT_GT(result.checks_run, 10000u);
+}
+
+TEST(CheckProperty, SimulationCrossCheckHoldsOnSampledSets)
+{
+    // The simulator probe is the expensive invariant; a smaller sample is
+    // enough to keep exercising the analytical-vs-observed comparison.
+    RandomCheckConfig config;
+    config.seed = 7;
+    config.trials = 8;
+    config.num_cores = 2;
+    config.tasks_per_core = 3;
+    config.cache_sets = 32;
+    config.options.sim_horizon_periods = 3;
+    const RandomCheckResult result = run_random_checks(config);
+    EXPECT_EQ(result.trials_run, 8u);
+    EXPECT_TRUE(result.ok()) << failure_dump(result);
+}
+
+TEST(CheckProperty, DriverIsDeterministic)
+{
+    RandomCheckConfig config;
+    config.trials = 5;
+    config.num_cores = 2;
+    config.tasks_per_core = 2;
+    config.cache_sets = 32;
+    config.options.check_simulation = false;
+    const RandomCheckResult first = run_random_checks(config);
+    const RandomCheckResult second = run_random_checks(config);
+    EXPECT_EQ(first.trials_run, second.trials_run);
+    EXPECT_EQ(first.checks_run, second.checks_run);
+    EXPECT_EQ(first.failures.size(), second.failures.size());
+}
+
+TEST(CheckProperty, InjectedViolationIsReportedPerTrial)
+{
+    RandomCheckConfig config;
+    config.trials = 3;
+    config.num_cores = 2;
+    config.tasks_per_core = 2;
+    config.cache_sets = 32;
+    config.inject_violation = true;
+    config.options.check_simulation = false;
+    const RandomCheckResult result = run_random_checks(config);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.failures.size(), 3u);
+    EXPECT_EQ(result.violations_by_invariant.at("selftest.injected"), 3u);
+}
+
+TEST(CheckProperty, RejectsUnsatisfiableConfig)
+{
+    RandomCheckConfig config;
+    config.min_utilization = 0.5;
+    config.max_utilization = 0.2;
+    EXPECT_THROW((void)run_random_checks(config), std::invalid_argument);
+    RandomCheckConfig zero_cores;
+    zero_cores.num_cores = 0;
+    EXPECT_THROW((void)run_random_checks(zero_cores), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cpa::check

@@ -30,7 +30,11 @@ inline tasks::TaskSet make_task_set(std::size_t num_cores,
     int index = 0;
     for (const TaskSpec& spec : specs) {
         tasks::Task task;
-        task.name = "t" + std::to_string(++index);
+        // Built in two steps: the one-expression form selects
+        // operator+(const char*, std::string&&), which GCC 12's -Wrestrict
+        // false-positives on at -O2.
+        task.name = "t";
+        task.name += std::to_string(++index);
         task.core = spec.core;
         task.pd = spec.pd;
         task.md = spec.md;

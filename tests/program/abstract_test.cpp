@@ -259,7 +259,7 @@ TEST(AbstractAnalysis, ProcedureCalledFromBothBranchesStaysSound)
     // Worst branch misses: 1 (own block) + 2 (helper) = 3; the trailing
     // call hits both helper blocks.
     EXPECT_EQ(bound.md, 3);
-    for (const auto selector :
+    for (const auto& selector :
          {BranchSelector{[](std::size_t) { return 0u; }},
           BranchSelector{[](std::size_t) { return 1u; }}}) {
         EXPECT_GE(bound.md, concrete_misses(p, kGeo8, selector));

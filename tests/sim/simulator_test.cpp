@@ -187,5 +187,46 @@ TEST(Simulator, EmptyTaskSetYieldsEmptyResult)
     EXPECT_FALSE(result.deadline_missed);
 }
 
+TEST(Simulator, OverloadedTaskTerminatesWithJobsInReleaseOrder)
+{
+    // Isolated demand 100 + 8*5 = 140 > T = 60: every job misses the next
+    // release, so two jobs of the task are live at once. Regression test for
+    // a livelock: breaking the dispatch tie by ready-queue position made the
+    // two jobs interleave on every bus access, each switch charging a
+    // |UCB ∩ ECB| CRPD reload, which refilled accesses faster than the bus
+    // drained them. Jobs of one task must run in release order instead.
+    const tasks::TaskSet ts = make_task_set(
+        1, 16, {{0, 100, 8, 8, 60, 0, {1, 2, 3, 4}, {1, 2}, {}}});
+    SimConfig cfg = config(BusPolicy::kFixedPriority, 600);
+    cfg.stop_on_deadline_miss = false; // keep going past the miss pile-up
+    const SimResult result = simulate(ts, platform(1, 5), cfg);
+    EXPECT_TRUE(result.deadline_missed);
+    EXPECT_GE(result.jobs_completed[0], 2);
+}
+
+TEST(Simulator, StalledCoreInheritsPriorityForQueuedRequest)
+{
+    // Core 0 runs hp task 0 (T=200) and lp task 3; cores 1 and 2 each
+    // saturate the FP bus with 50 back-to-back accesses at intermediate
+    // priorities, so whenever an access completes another intermediate
+    // request is already pending and task 3's queued request loses every
+    // arbitration round (~1000 cycles). When task 0 releases again at
+    // t=200 its core is stalled on that queued request. Without priority
+    // inheritance the whole core stays blocked past task 0's t=400
+    // deadline — an inversion the Eq. (7) analysis does not charge. With
+    // inheritance the request is promoted, wins the next round, and
+    // task 0's response stays near its isolated demand.
+    const tasks::TaskSet ts =
+        make_task_set(3, 16, {{0, 10, 1, 1, 200, 0, {1}, {}, {}},
+                              {1, 5, 50, 50, 2000, 0, {2}, {}, {}},
+                              {2, 5, 50, 50, 2000, 0, {3}, {}, {}},
+                              {0, 10, 2, 2, 1000, 0, {4}, {}, {}}});
+    const SimResult result =
+        simulate(ts, platform(3, 10), config(BusPolicy::kFixedPriority, 600));
+    EXPECT_FALSE(result.deadline_missed);
+    EXPECT_GE(result.jobs_completed[0], 2);
+    EXPECT_LT(result.max_response[0], 100);
+}
+
 } // namespace
 } // namespace cpa::sim

@@ -20,7 +20,10 @@ std::vector<Task> demo_tasks(
     std::vector<Task> tasks;
     for (const auto& [pd, ecb] : specs) {
         Task task;
-        task.name = "t" + std::to_string(tasks.size());
+        // Two steps to dodge GCC 12's -Wrestrict false positive on
+        // operator+(const char*, std::string&&).
+        task.name = "t";
+        task.name += std::to_string(tasks.size());
         task.pd = pd;
         task.period = 100;
         task.deadline = 100;
