@@ -38,7 +38,7 @@ analysis::PlatformConfig platform_for(std::size_t cores)
     analysis::PlatformConfig platform;
     platform.num_cores = cores;
     platform.cache_sets = 256;
-    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.d_mem = util::cycles_from_microseconds(util::Microseconds{5});
     platform.slot_size = 2;
     return platform;
 }
@@ -128,7 +128,7 @@ void BM_SimulatorHyperperiodSlice(benchmark::State& state)
 {
     const tasks::TaskSet ts = make_set(2, 4, 0.3);
     analysis::PlatformConfig platform = platform_for(2);
-    util::Cycles max_period = 0;
+    util::Cycles max_period{0};
     for (const auto& task : ts.tasks()) {
         max_period = std::max(max_period, task.period);
     }

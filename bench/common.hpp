@@ -160,7 +160,7 @@ inline analysis::PlatformConfig default_platform()
     analysis::PlatformConfig platform;
     platform.num_cores = 4;
     platform.cache_sets = 256;
-    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.d_mem = util::cycles_from_microseconds(util::Microseconds{5});
     platform.slot_size = 2;
     return platform;
 }

@@ -36,8 +36,8 @@ int main()
                 program::extract_parameters(p, {256, 32, ways}));
             const auto& e = pool.back();
             extraction.add_row({std::to_string(ways), e.name,
-                                std::to_string(e.md),
-                                std::to_string(e.md_residual),
+                                util::to_string(e.md),
+                                util::to_string(e.md_residual),
                                 std::to_string(e.pcb.count()),
                                 std::to_string(e.ecb.count())});
         }

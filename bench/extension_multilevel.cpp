@@ -40,7 +40,7 @@ int main()
     util::TextTable table(header);
 
     analysis::L2Config l2;
-    l2.d_l2 = util::cycles_from_microseconds(1);
+    l2.d_l2 = util::cycles_from_microseconds(util::Microseconds{1});
 
     for (double u = 0.2; u <= 0.9 + 1e-9; u += 0.1) {
         benchdata::GenerationConfig gen = generation;
@@ -77,7 +77,7 @@ int main()
                                 : 0u;
                 if (s + 1 == l2_sizes.size()) {
                     analysis::L2Config free_lookup = sized;
-                    free_lookup.d_l2 = 0;
+                    free_lookup.d_l2 = util::Cycles{0};
                     ideal += analysis::compute_wcrt_multilevel(
                                  ts, platform, config, free_lookup,
                                  footprints, tables, l2_tables)

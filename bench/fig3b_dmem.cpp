@@ -15,7 +15,8 @@ int main()
     std::vector<std::string> labels;
     for (std::int64_t us = 2; us <= 10; us += 2) {
         auto platform = bench::default_platform();
-        platform.d_mem = util::cycles_from_microseconds(us);
+        platform.d_mem =
+            util::cycles_from_microseconds(util::Microseconds{us});
         sweeps.push_back(experiments::run_utilization_sweep(
             bench::default_generation(), platform, variants,
             bench::weighted_sweep(task_sets)));

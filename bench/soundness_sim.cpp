@@ -23,7 +23,7 @@ int main()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 128;
-    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.d_mem = util::cycles_from_microseconds(util::Microseconds{5});
     platform.slot_size = 2;
 
     benchdata::GenerationConfig generation;
@@ -64,7 +64,7 @@ int main()
                 }
                 ++checked;
 
-                util::Cycles max_period = 0;
+                util::Cycles max_period{0};
                 for (const auto& task : ts.tasks()) {
                     max_period = std::max(max_period, task.period);
                 }
@@ -77,15 +77,15 @@ int main()
                     if (observed.max_response[i] > wcrt.response[i]) {
                         ++violations;
                     }
-                    if (observed.max_response[i] > 0) {
+                    if (observed.max_response[i] > util::Cycles{0}) {
                         const double ratio =
-                            static_cast<double>(wcrt.response[i]) /
-                            static_cast<double>(observed.max_response[i]);
+                            util::to_double(wcrt.response[i]) /
+                            util::to_double(observed.max_response[i]);
                         ratio_sum += ratio;
                         ratio_max = std::max(
                             ratio_max,
-                            static_cast<double>(observed.max_response[i]) /
-                                static_cast<double>(wcrt.response[i]));
+                            util::to_double(observed.max_response[i]) /
+                                util::to_double(wcrt.response[i]));
                         ++ratio_count;
                     }
                 }

@@ -35,9 +35,9 @@ int main()
             }
             const auto params = benchdata::derive_params(
                 spec, benchdata::kReferenceCacheSets);
-            table.add_row({params.name, std::to_string(params.pd),
-                           std::to_string(params.md),
-                           std::to_string(params.md_residual),
+            table.add_row({params.name, util::to_string(params.pd),
+                           util::to_string(params.md),
+                           util::to_string(params.md_residual),
                            std::to_string(params.ecb_count),
                            std::to_string(params.pcb_count),
                            std::to_string(params.ucb_count)});
@@ -63,9 +63,9 @@ int main()
     for (const auto& program : program::synthetic_suite_extended()) {
         const auto params =
             program::extract_parameters(program, {256, 32});
-        extraction.add_row({params.name, std::to_string(params.pd),
-                            std::to_string(params.md),
-                            std::to_string(params.md_residual),
+        extraction.add_row({params.name, util::to_string(params.pd),
+                            util::to_string(params.md),
+                            util::to_string(params.md_residual),
                             std::to_string(params.ecb.count()),
                             std::to_string(params.pcb.count()),
                             std::to_string(params.ucb.count()),
@@ -82,8 +82,8 @@ int main()
             const auto params =
                 program::extract_parameters(program, {sets, 32});
             scaling.add_row({params.name, std::to_string(sets),
-                             std::to_string(params.md),
-                             std::to_string(params.md_residual),
+                             util::to_string(params.md),
+                             util::to_string(params.md_residual),
                              std::to_string(params.ecb.count()),
                              std::to_string(params.pcb.count())});
         }

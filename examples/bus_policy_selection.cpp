@@ -30,7 +30,7 @@ analysis::PlatformConfig ecu_platform()
     analysis::PlatformConfig platform;
     platform.num_cores = 4;
     platform.cache_sets = 256;
-    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.d_mem = util::cycles_from_microseconds(util::Microseconds{5});
     platform.slot_size = 2;
     return platform;
 }
@@ -81,8 +81,8 @@ int main()
             return std::string("miss");
         }
         return util::TextTable::num(
-            100.0 * static_cast<double>(ts[i].deadline - b.response) /
-                static_cast<double>(ts[i].deadline),
+            100.0 * util::to_double(ts[i].deadline - b.response) /
+                util::to_double(ts[i].deadline),
             1);
     };
     util::TextTable table(
@@ -107,10 +107,10 @@ int main()
     for (std::size_t p = 0; p < 3; ++p) {
         const analysis::ResponseBreakdown& b = reports[p][last];
         decomposition.add_row(
-            {names[p], b.analyzed ? std::to_string(b.response) : "-",
-             std::to_string(b.cpu_self), std::to_string(b.cpu_preemption),
-             std::to_string(b.bus_same_core),
-             std::to_string(b.bus_cross_core)});
+            {names[p], b.analyzed ? util::to_string(b.response) : "-",
+             util::to_string(b.cpu_self), util::to_string(b.cpu_preemption),
+             util::to_string(b.bus_same_core),
+             util::to_string(b.bus_cross_core)});
     }
     decomposition.print(std::cout);
 

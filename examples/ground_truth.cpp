@@ -82,12 +82,14 @@ int main()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
 
     const auto hk_params = program::extract_parameters(hk, geometry);
-    const util::Cycles encoder_period = 4 * (bound.pd + bound.md * 10);
-    const util::Cycles hk_period = 3 * (hk_params.pd + hk_params.md * 10);
+    const util::Cycles encoder_period =
+        4 * (bound.pd + bound.md * platform.d_mem);
+    const util::Cycles hk_period =
+        3 * (hk_params.pd + hk_params.md * platform.d_mem);
 
     tasks::TaskSet ts(2, 64);
     {

@@ -15,13 +15,15 @@
 #include <iostream>
 
 using namespace cpa;
+using namespace cpa::util::literals;
 
 namespace {
 
 constexpr std::size_t kCacheSets = 16;
 
 tasks::Task make_task(std::string name, std::size_t core, util::Cycles pd,
-                      std::int64_t md, std::int64_t mdr, util::Cycles period,
+                      util::AccessCount md, util::AccessCount mdr,
+                      util::Cycles period,
                       std::vector<std::size_t> ecb,
                       std::vector<std::size_t> ucb,
                       std::vector<std::size_t> pcb)
@@ -44,12 +46,14 @@ tasks::Task make_task(std::string name, std::size_t core, util::Cycles pd,
 tasks::TaskSet fig1_system(util::Cycles t1, util::Cycles t2, util::Cycles t3)
 {
     tasks::TaskSet ts(/*num_cores=*/2, kCacheSets);
-    ts.add_task(make_task("tau1", 0, 4, 6, 1, t1, {5, 6, 7, 8, 9, 10},
-                          {5, 6, 7, 8, 10}, {5, 6, 7, 8, 10}));
-    ts.add_task(make_task("tau2", 0, 32, 8, 8, t2, {1, 2, 3, 4, 5, 6},
-                          {5, 6}, {}));
-    ts.add_task(make_task("tau3", 1, 4, 6, 1, t3, {5, 6, 7, 8, 9, 10},
-                          {5, 6, 7, 8, 10}, {5, 6, 7, 8, 10}));
+    ts.add_task(make_task("tau1", 0, 4_cy, 6_acc, 1_acc, t1,
+                          {5, 6, 7, 8, 9, 10}, {5, 6, 7, 8, 10},
+                          {5, 6, 7, 8, 10}));
+    ts.add_task(make_task("tau2", 0, 32_cy, 8_acc, 8_acc, t2,
+                          {1, 2, 3, 4, 5, 6}, {5, 6}, {}));
+    ts.add_task(make_task("tau3", 1, 4_cy, 6_acc, 1_acc, t3,
+                          {5, 6, 7, 8, 9, 10}, {5, 6, 7, 8, 10},
+                          {5, 6, 7, 8, 10}));
     ts.validate();
     return ts;
 }
@@ -59,7 +63,7 @@ analysis::PlatformConfig example_platform()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = kCacheSets;
-    platform.d_mem = 1;     // one cycle per access, as in the example
+    platform.d_mem = 1_cy;  // one cycle per access, as in the example
     platform.slot_size = 1; // RR slot size s = 1
     return platform;
 }
@@ -80,7 +84,7 @@ int main()
 
     // --- Part 1: the paper's bound arithmetic ----------------------------
     {
-        const tasks::TaskSet ts = fig1_system(10, 60, 6);
+        const tasks::TaskSet ts = fig1_system(10_cy, 60_cy, 6_cy);
         const analysis::InterferenceTables tables(
             ts, analysis::CrpdMethod::kEcbUnion);
 
@@ -93,14 +97,14 @@ int main()
                   << "  CPRO rho_hat_{1,2}(3) (Eq. 14):     "
                   << tables.rho_hat(0, 1, 3) << "\n";
 
-        const std::vector<util::Cycles> response{10, 60, 5};
+        const std::vector<util::Cycles> response{10_cy, 60_cy, 5_cy};
         for (const bool persistence : {false, true}) {
             const analysis::BusContentionAnalysis bounds(
                 ts, platform, rr_config(persistence), tables);
             std::cout << (persistence ? "  with persistence:   "
                                       : "  without persistence:")
-                      << "  BAS_2 = " << bounds.bas(1, 25)
-                      << ", BAO_3 = " << bounds.bao(1, 2, 25, response)
+                      << "  BAS_2 = " << bounds.bas(1, 25_cy)
+                      << ", BAO_3 = " << bounds.bao(1, 2, 25_cy, response)
                       << "\n";
         }
         std::cout << "  (paper: BAS 32 -> 26, BAO 24 -> 9)\n\n";
@@ -108,7 +112,7 @@ int main()
 
     // --- Part 2: full WCRT analysis on relaxed periods -------------------
     {
-        const tasks::TaskSet ts = fig1_system(40, 240, 30);
+        const tasks::TaskSet ts = fig1_system(40_cy, 240_cy, 30_cy);
         for (const bool persistence : {false, true}) {
             const analysis::WcrtResult wcrt =
                 analysis::compute_wcrt(ts, platform, rr_config(persistence));

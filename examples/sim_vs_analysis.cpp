@@ -22,7 +22,7 @@ int main()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 128;
-    platform.d_mem = util::cycles_from_microseconds(5);
+    platform.d_mem = util::cycles_from_microseconds(util::Microseconds{5});
     platform.slot_size = 2;
 
     benchdata::GenerationConfig generation;
@@ -37,7 +37,7 @@ int main()
     const tasks::TaskSet ts =
         benchdata::generate_task_set(rng, generation, pool);
 
-    util::Cycles max_period = 0;
+    util::Cycles max_period{0};
     for (const auto& task : ts.tasks()) {
         max_period = std::max(max_period, task.period);
     }
@@ -63,15 +63,15 @@ int main()
             {"task", "core", "observed R", "WCRT bound", "bound/observed"});
         for (std::size_t i = 0; i < ts.size(); ++i) {
             const bool have_bound =
-                wcrt.schedulable || i < wcrt.failed_task;
+                wcrt.schedulable || util::TaskId{i} < wcrt.failed_task;
             const double ratio =
-                observed.max_response[i] > 0 && have_bound
-                    ? static_cast<double>(wcrt.response[i]) /
-                          static_cast<double>(observed.max_response[i])
+                observed.max_response[i] > util::Cycles{0} && have_bound
+                    ? util::to_double(wcrt.response[i]) /
+                          util::to_double(observed.max_response[i])
                     : 0.0;
             table.add_row({ts[i].name, std::to_string(ts[i].core),
-                           std::to_string(observed.max_response[i]),
-                           have_bound ? std::to_string(wcrt.response[i])
+                           util::to_string(observed.max_response[i]),
+                           have_bound ? util::to_string(wcrt.response[i])
                                       : std::string("n/a"),
                            ratio > 0 ? util::TextTable::num(ratio, 2)
                                      : std::string("-")});

@@ -44,9 +44,9 @@ int main()
                            "|PCB|", "|UCB|"});
     for (const std::size_t sets : {64u, 128u, 256u}) {
         const auto params = program::extract_parameters(app, {sets, 32});
-        table.add_row({std::to_string(sets), std::to_string(params.pd),
-                       std::to_string(params.md),
-                       std::to_string(params.md_residual),
+        table.add_row({std::to_string(sets), util::to_string(params.pd),
+                       util::to_string(params.md),
+                       util::to_string(params.md_residual),
                        std::to_string(params.ecb.count()),
                        std::to_string(params.pcb.count()),
                        std::to_string(params.ucb.count())});
@@ -81,7 +81,7 @@ int main()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = kSets;
-    platform.d_mem = 100;
+    platform.d_mem = util::Cycles{100};
     platform.slot_size = 2;
 
     std::cout << "Control loop (T = " << ts[0].period

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Architecture layering analyzer for src/ (stdlib only, no third-party deps).
+
+Enforces the module dependency DAG documented in docs/architecture.md:
+
+    util  ->  cache / tasks / program  ->  analysis / sim
+          ->  experiments / benchdata  ->  cli
+
+with two cross-cutting special cases:
+
+  * obs may be included from any layer (it only depends on util), and
+  * check is split at file granularity: check/assert.* is a low layer
+    usable from the analysis core, while check/invariants.* and
+    check/random_check.* sit above analysis/sim/benchdata (they drive the
+    real analysis as an oracle).
+
+Checks performed:
+
+  1. Whitelist: every `#include "module/..."` edge between modules must be
+     allowed by the DAG below (this rejects upward and sideways edges).
+  2. Unknown modules: every scanned file must belong to a known module.
+  3. File-level include cycles (DFS over resolved quoted includes).
+  4. Header hygiene: every header under src/ compiles standalone
+     (`$CXX -fsyntax-only` on a TU that includes just that header).
+     Skipped with --no-compile or when no compiler is available.
+
+Exit status: 0 when clean, 1 when any violation is found.
+Run with --self-test to exercise the analyzer against synthetic trees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Allowed module -> set of modules it may include. Absence of an edge here
+# is what makes "upward" includes (e.g. util -> analysis) build breaks.
+ALLOWED = {
+    "util": set(),
+    "cache": {"util"},
+    "obs": {"util"},
+    "tasks": {"util"},
+    "check/assert": {"util", "obs"},
+    "program": {"util", "cache", "tasks"},
+    "analysis": {"util", "obs", "cache", "tasks", "check/assert"},
+    "sim": {"util", "obs", "cache", "tasks", "program", "analysis",
+            "check/assert"},
+    "benchdata": {"util", "obs", "cache", "tasks", "program", "analysis",
+                  "check/assert"},
+    "experiments": {"util", "obs", "cache", "tasks", "program", "analysis",
+                    "sim", "benchdata", "check/assert"},
+    "check": {"util", "obs", "cache", "tasks", "program", "analysis", "sim",
+              "benchdata", "check/assert"},
+    "cli": {"util", "obs", "cache", "tasks", "program", "analysis", "sim",
+            "benchdata", "experiments", "check", "check/assert"},
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Files of the check module that form the low "check/assert" pseudo-module.
+CHECK_LOW_STEMS = {"assert"}
+
+
+def module_of(rel: Path) -> str:
+    """Maps a src-relative path to its (pseudo-)module name."""
+    top = rel.parts[0]
+    if top == "check" and len(rel.parts) > 1:
+        stem = rel.parts[1].split(".")[0]
+        if stem in CHECK_LOW_STEMS:
+            return "check/assert"
+    return top
+
+
+def scan(src: Path):
+    """Collects module edges and the file-level include graph.
+
+    Returns (edges, file_graph, unknown_files) where edges is a list of
+    (src_file, line_no, from_module, to_module, include_text) and file_graph
+    maps src-relative paths to the src-relative paths they include.
+    """
+    edges = []
+    file_graph: dict[str, list[str]] = {}
+    unknown = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in {".hpp", ".cpp", ".h", ".cc"}:
+            continue
+        rel = path.relative_to(src)
+        mod = module_of(rel)
+        if mod not in ALLOWED:
+            unknown.append(str(rel))
+            continue
+        includes = file_graph.setdefault(str(rel), [])
+        for line_no, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            target = match.group(1)
+            if not (src / target).is_file():
+                continue  # quoted non-project include (e.g. gtest)
+            includes.append(target)
+            to_mod = module_of(Path(target))
+            if to_mod != mod:
+                edges.append((str(rel), line_no, mod, to_mod, target))
+    return edges, file_graph, unknown
+
+
+def whitelist_violations(edges, unknown):
+    problems = [
+        f"unknown module for {rel}: add it to the DAG in "
+        f"scripts/check_layers.py and docs/architecture.md"
+        for rel in unknown
+    ]
+    for rel, line_no, mod, to_mod, target in edges:
+        if to_mod not in ALLOWED.get(mod, set()):
+            problems.append(
+                f"{rel}:{line_no}: illegal layering edge {mod} -> {to_mod} "
+                f'(#include "{target}")')
+    return problems
+
+
+def find_cycle(file_graph):
+    """Returns one file-level include cycle as a path list, or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in file_graph}
+    stack_path: list[str] = []
+
+    def dfs(node: str):
+        color[node] = GREY
+        stack_path.append(node)
+        for nxt in file_graph.get(node, []):
+            if color.get(nxt, WHITE) == GREY:
+                return stack_path[stack_path.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE and nxt in file_graph:
+                cycle = dfs(nxt)
+                if cycle:
+                    return cycle
+        stack_path.pop()
+        color[node] = BLACK
+        return None
+
+    for node in file_graph:
+        if color[node] == WHITE:
+            cycle = dfs(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def compiler() -> str | None:
+    for candidate in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def header_compile_failures(src: Path, cxx: str, jobs: int):
+    """Compiles each header standalone; returns list of failure messages."""
+    headers = sorted(p.relative_to(src) for p in src.rglob("*.hpp"))
+
+    def try_one(rel: Path):
+        with tempfile.TemporaryDirectory() as tmp:
+            tu = Path(tmp) / "tu.cpp"
+            tu.write_text(f'#include "{rel.as_posix()}"\n')
+            proc = subprocess.run(
+                [cxx, "-std=c++20", "-fsyntax-only", f"-I{src}", str(tu)],
+                capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.splitlines()[:8])
+            return f"header {rel} does not compile standalone:\n{tail}"
+        return None
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        return [msg for msg in pool.map(try_one, headers) if msg]
+
+
+def analyze(src: Path, compile_headers: bool, jobs: int):
+    edges, file_graph, unknown = scan(src)
+    problems = whitelist_violations(edges, unknown)
+    cycle = find_cycle(file_graph)
+    if cycle:
+        problems.append("include cycle: " + " -> ".join(cycle))
+    if compile_headers:
+        cxx = compiler()
+        if cxx is None:
+            print("check_layers: no C++ compiler found; "
+                  "skipping standalone-header check", file=sys.stderr)
+        else:
+            problems.extend(header_compile_failures(src, cxx, jobs))
+    return problems
+
+
+# --------------------------- self test ----------------------------------
+
+
+def _write_tree(root: Path, files: dict[str, str]):
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+
+def self_test() -> int:
+    failures = []
+
+    def expect(name: str, condition: bool, detail: str = ""):
+        if not condition:
+            failures.append(f"{name}: {detail}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "clean"
+        _write_tree(src, {
+            "util/math.hpp": "#pragma once\n",
+            "tasks/task.hpp": '#pragma once\n#include "util/math.hpp"\n',
+            "analysis/wcrt.cpp": '#include "tasks/task.hpp"\n'
+                                 '#include "check/assert.hpp"\n',
+            "check/assert.hpp": '#pragma once\n#include "util/math.hpp"\n',
+            "check/invariants.cpp": '#include "check/assert.hpp"\n'
+                                    '#include "analysis/wcrt.hpp"\n',
+            "analysis/wcrt.hpp": "#pragma once\n",
+        })
+        expect("clean tree accepted", analyze(src, False, 1) == [],
+               str(analyze(src, False, 1)))
+
+        src = Path(tmp) / "upward"
+        _write_tree(src, {
+            "analysis/wcrt.hpp": "#pragma once\n",
+            "util/bad.hpp": '#pragma once\n#include "analysis/wcrt.hpp"\n',
+        })
+        problems = analyze(src, False, 1)
+        expect("upward edge rejected",
+               any("util -> analysis" in p for p in problems), str(problems))
+
+        src = Path(tmp) / "cycle"
+        _write_tree(src, {
+            "tasks/a.hpp": '#pragma once\n#include "tasks/b.hpp"\n',
+            "tasks/b.hpp": '#pragma once\n#include "tasks/a.hpp"\n',
+        })
+        problems = analyze(src, False, 1)
+        expect("include cycle detected",
+               any("include cycle" in p for p in problems), str(problems))
+
+        src = Path(tmp) / "rogue"
+        _write_tree(src, {"rogue/x.hpp": "#pragma once\n"})
+        problems = analyze(src, False, 1)
+        expect("unknown module rejected",
+               any("unknown module" in p for p in problems), str(problems))
+
+        src = Path(tmp) / "checksplit"
+        _write_tree(src, {
+            "check/invariants.hpp": "#pragma once\n",
+            "check/assert.cpp": '#include "check/invariants.hpp"\n',
+        })
+        problems = analyze(src, False, 1)
+        expect("check/assert may not include check core",
+               any("check/assert -> check" in p for p in problems),
+               str(problems))
+
+    if failures:
+        for failure in failures:
+            print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("check_layers: self-test passed (5 cases)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: script's parent)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="skip the standalone-header compile check")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2,
+                        help="parallel header compiles")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer's own test cases and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    src = args.repo / "src"
+    if not src.is_dir():
+        print(f"check_layers: no src/ under {args.repo}", file=sys.stderr)
+        return 1
+    problems = analyze(src, not args.no_compile, args.jobs)
+    if problems:
+        for problem in problems:
+            print(f"LAYERING VIOLATION: {problem}", file=sys.stderr)
+        print(f"check_layers: {len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_layers: src/ layering clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,11 @@
 
 namespace cpa::analysis {
 
+using util::AccessCount;
 using util::ceil_div;
-using util::ceil_div_signed;
 using util::clamp_non_negative;
 using util::floor_div;
+using util::to_string;
 
 namespace {
 
@@ -39,8 +40,8 @@ BatCounters make_bat_counters(const char* policy)
                        registry.counter(prefix + ".blocking")};
 }
 
-void record_bat(BusPolicy policy, std::int64_t same_core,
-                std::int64_t cross_core, std::int64_t blocking)
+void record_bat(BusPolicy policy, AccessCount same_core,
+                AccessCount cross_core, AccessCount blocking)
 {
     static BatCounters fp = make_bat_counters("fp");
     static BatCounters rr = make_bat_counters("rr");
@@ -61,9 +62,9 @@ void record_bat(BusPolicy policy, std::int64_t same_core,
         break;
     }
     counters->calls.add(1);
-    counters->same_core.add(same_core);
-    counters->cross_core.add(cross_core);
-    counters->blocking.add(blocking);
+    counters->same_core.add(same_core.count());
+    counters->cross_core.add(cross_core.count());
+    counters->blocking.add(blocking.count());
 }
 #endif // CPA_OBS_ENABLED
 
@@ -77,19 +78,19 @@ BusContentionAnalysis::BusContentionAnalysis(const tasks::TaskSet& ts,
 {
 }
 
-std::int64_t BusContentionAnalysis::cpro_reload_bound(std::size_t j,
-                                                      std::size_t level,
-                                                      std::int64_t n_jobs,
-                                                      Cycles t) const
+AccessCount BusContentionAnalysis::cpro_reload_bound(std::size_t j,
+                                                     std::size_t level,
+                                                     std::int64_t n_jobs,
+                                                     Cycles t) const
 {
-    const std::int64_t by_union = tables_.rho_hat(j, level, n_jobs);
-    if (config_.cpro == CproMethod::kUnion || by_union == 0) {
+    const AccessCount by_union = tables_.rho_hat(j, level, n_jobs);
+    if (config_.cpro == CproMethod::kUnion || by_union == AccessCount{0}) {
         return by_union;
     }
     // Each job of an evicting task τ_s displaces at most |PCB_j ∩ ECB_s|
     // persistent blocks; at most ⌈t/T_s⌉ + 1 jobs of τ_s (one carry-in) can
     // execute in any window of length t.
-    std::int64_t by_jobs = 0;
+    AccessCount by_jobs{0};
     for (const std::size_t s : ts_.tasks_on_core(ts_[j].core)) {
         if (s > level) {
             break; // evictors are Γ ∩ hep(level) \ {j}
@@ -103,11 +104,11 @@ std::int64_t BusContentionAnalysis::cpro_reload_bound(std::size_t j,
     return std::min(by_union, by_jobs);
 }
 
-std::int64_t BusContentionAnalysis::bas(std::size_t i, Cycles t) const
+AccessCount BusContentionAnalysis::bas(std::size_t i, Cycles t) const
 {
     CPA_COUNT("bas.calls");
     const tasks::Task& task = ts_[i];
-    std::int64_t total = task.md;
+    AccessCount total = task.md;
     for (const std::size_t j : ts_.tasks_on_core(task.core)) {
         if (j >= i) {
             break; // per-core lists are in priority order; only hp(i) counts
@@ -117,30 +118,31 @@ std::int64_t BusContentionAnalysis::bas(std::size_t i, Cycles t) const
         // E_j(t) with release jitter: ceil((t + J_j)/T_j).
         const std::int64_t jobs =
             ceil_div(t + hp_task.jitter, hp_task.period);
-        const std::int64_t isolation = jobs * hp_task.md;
-        std::int64_t demand = isolation;
+        const AccessCount isolation = jobs * hp_task.md;
+        AccessCount demand = isolation;
         if (config_.persistence_aware) {
             // Lemma 1: cap by M̂D_j(E_j) + ρ̂_{j,i,x}(E_j).
             demand = std::min(isolation,
                               md_hat(hp_task, jobs) +
                                   cpro_reload_bound(j, i, jobs, t));
         }
-        CPA_CHECK_ASSERT(demand >= 0 && demand <= isolation, "lemma1.cap",
+        CPA_CHECK_ASSERT(demand >= AccessCount{0} && demand <= isolation,
+                         "lemma1.cap",
                          "task " + hp_task.name + ": capped demand " +
-                             std::to_string(demand) + " outside [0, " +
-                             std::to_string(isolation) + "]");
+                             to_string(demand) + " outside [0, " +
+                             to_string(isolation) + "]");
         total += demand + jobs * tables_.gamma(i, j);
     }
     return total;
 }
 
-std::int64_t BusContentionAnalysis::other_core_task_accesses(
+AccessCount BusContentionAnalysis::other_core_task_accesses(
     std::size_t k, std::size_t l, Cycles t,
     const std::vector<Cycles>& response) const
 {
     const tasks::Task& task = ts_[l];
-    const std::int64_t gamma = tables_.gamma(k, l);
-    const std::int64_t per_job = task.md + gamma;
+    const AccessCount gamma = tables_.gamma(k, l);
+    const AccessCount per_job = task.md + gamma;
     const Cycles r_l = response[l];
 
     // Eq. (6): jobs that fully execute inside the window, assuming the first
@@ -150,16 +152,17 @@ std::int64_t BusContentionAnalysis::other_core_task_accesses(
         t + r_l + task.jitter - per_job * platform_.d_mem, task.period));
 
     // Eq. (4) / Eq. (18): accesses of the fully-executed jobs.
-    std::int64_t w_full = n_full * per_job;
+    AccessCount w_full = n_full * per_job;
     if (config_.persistence_aware) {
-        const std::int64_t capped = std::min(
+        const AccessCount capped = std::min(
             n_full * task.md,
             md_hat(task, n_full) + cpro_reload_bound(l, k, n_full, t));
-        CPA_CHECK_ASSERT(capped >= 0 && capped <= n_full * task.md,
+        CPA_CHECK_ASSERT(capped >= AccessCount{0} &&
+                             capped <= n_full * task.md,
                          "lemma2.cap",
                          "task " + task.name + ": capped full-job demand " +
-                             std::to_string(capped) + " outside [0, " +
-                             std::to_string(n_full * task.md) + "]");
+                             to_string(capped) + " outside [0, " +
+                             to_string(n_full * task.md) + "]");
         w_full = capped + n_full * gamma;
     }
 
@@ -167,22 +170,23 @@ std::int64_t BusContentionAnalysis::other_core_task_accesses(
     const Cycles leftover = t + r_l + task.jitter -
                             per_job * platform_.d_mem -
                             n_full * task.period;
-    const std::int64_t w_cout = std::clamp(
-        ceil_div_signed(leftover, platform_.d_mem), std::int64_t{0}, per_job);
-    CPA_CHECK_ASSERT(w_cout >= 0 && w_cout <= per_job,
+    const AccessCount w_cout =
+        std::clamp(util::accesses_covering(leftover, platform_.d_mem),
+                   AccessCount{0}, per_job);
+    CPA_CHECK_ASSERT(w_cout >= AccessCount{0} && w_cout <= per_job,
                      "lemma2.carry_out_range",
                      "task " + task.name + ": carry-out accesses " +
-                         std::to_string(w_cout) + " outside [0, " +
-                         std::to_string(per_job) + "]");
+                         to_string(w_cout) + " outside [0, " +
+                         to_string(per_job) + "]");
 
     return w_full + w_cout;
 }
 
-std::int64_t BusContentionAnalysis::bao(std::size_t core, std::size_t k,
-                                        Cycles t,
-                                        const std::vector<Cycles>& response) const
+AccessCount BusContentionAnalysis::bao(std::size_t core, std::size_t k,
+                                       Cycles t,
+                                       const std::vector<Cycles>& response) const
 {
-    std::int64_t total = 0;
+    AccessCount total{0};
     for (const std::size_t l : ts_.tasks_on_core(core)) {
         if (l > k) {
             break; // only Γ_core ∩ hep(k)
@@ -192,11 +196,11 @@ std::int64_t BusContentionAnalysis::bao(std::size_t core, std::size_t k,
     return total;
 }
 
-std::int64_t
+AccessCount
 BusContentionAnalysis::bao_lower(std::size_t core, std::size_t i, Cycles t,
                                  const std::vector<Cycles>& response) const
 {
-    std::int64_t total = 0;
+    AccessCount total{0};
     for (const std::size_t l : ts_.tasks_on_core(core)) {
         if (l <= i) {
             continue; // only Γ_core ∩ lp(i)
@@ -212,18 +216,19 @@ bool BusContentionAnalysis::has_lower_priority_on_core(std::size_t i) const
     return !on_core.empty() && on_core.back() > i;
 }
 
-std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
-                                        const std::vector<Cycles>& response) const
+AccessCount BusContentionAnalysis::bat(std::size_t i, Cycles t,
+                                       const std::vector<Cycles>& response) const
 {
-    const std::int64_t same_core = bas(i, t);
+    const AccessCount same_core = bas(i, t);
     const std::size_t my_core = ts_[i].core;
-    const std::int64_t blocking = has_lower_priority_on_core(i) ? 1 : 0;
+    const AccessCount blocking =
+        has_lower_priority_on_core(i) ? AccessCount{1} : AccessCount{0};
 
     // The Eq. (7)-(9) breakdown, recorded per arbiter policy when metrics
     // are on: BAS demand, cross-core interference, and blocking accesses.
-    std::int64_t cross_core = 0;
-    std::int64_t blocking_charged = 0;
-    std::int64_t total = same_core;
+    AccessCount cross_core{0};
+    AccessCount blocking_charged{0};
+    AccessCount total = same_core;
 
     switch (config_.policy) {
     case BusPolicy::kPerfect:
@@ -235,8 +240,8 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
         // Eq. (7): all higher-or-equal priority other-core accesses delay
         // τ_i; each of τ_i's window accesses can additionally be blocked by
         // one in-flight lower-priority access.
-        std::int64_t higher = 0;
-        std::int64_t lower = 0;
+        AccessCount higher{0};
+        AccessCount lower{0};
         for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
             if (core == my_core) {
                 continue;
@@ -255,7 +260,7 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
         // more than that core's total demand (BAO at the lowest priority
         // level n, i.e., all tasks of the core).
         const std::size_t lowest = ts_.size() - 1;
-        std::int64_t other = 0;
+        AccessCount other{0};
         for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
             if (core == my_core) {
                 continue;
@@ -289,9 +294,9 @@ std::int64_t BusContentionAnalysis::bat(std::size_t i, Cycles t,
     // Every arbiter of Eq. (7)-(9) adds contention on top of the core's own
     // demand; a BAT below its BAS term would un-price same-core accesses.
     CPA_CHECK_ASSERT(total >= same_core, "bat.dominates_bas",
-                     "task " + ts_[i].name + ": BAT " + std::to_string(total) +
+                     "task " + ts_[i].name + ": BAT " + to_string(total) +
                          " below its own BAS term " +
-                         std::to_string(same_core));
+                         to_string(same_core));
     return total;
 }
 

@@ -29,17 +29,17 @@ public:
     // one job of τ_i plus all jobs of Γ_x ∩ hp(i), including CRPD reloads
     // (Eq. (1)); with persistence the per-task term is capped by
     // M̂D + ρ̂ (Eq. (16)).
-    [[nodiscard]] std::int64_t bas(std::size_t i, Cycles t) const;
+    [[nodiscard]] AccessCount bas(std::size_t i, Cycles t) const;
 
     // Bus accesses generated on core `core` (≠ τ_i's core) by tasks of
     // priority k or higher during a window of length t (Eq. (3) / Lemma 2).
     // `response` holds the current WCRT estimates R_l used by Eq. (5)-(6).
-    [[nodiscard]] std::int64_t bao(std::size_t core, std::size_t k, Cycles t,
-                                   const std::vector<Cycles>& response) const;
+    [[nodiscard]] AccessCount bao(std::size_t core, std::size_t k, Cycles t,
+                                  const std::vector<Cycles>& response) const;
 
     // Same as bao() but summed over Γ_core ∩ lp(i): the lower-priority
     // other-core accesses of the FP bus bound (Eq. (7)).
-    [[nodiscard]] std::int64_t
+    [[nodiscard]] AccessCount
     bao_lower(std::size_t core, std::size_t i, Cycles t,
               const std::vector<Cycles>& response) const;
 
@@ -48,21 +48,21 @@ public:
     // BusPolicy::kPerfect just the same-core demand). The +1 blocking term of
     // Eq. (7)-(9) is only added when a lower-priority task exists on τ_i's
     // core (the refinement the paper applies in its Fig. 1 example).
-    [[nodiscard]] std::int64_t bat(std::size_t i, Cycles t,
-                                   const std::vector<Cycles>& response) const;
+    [[nodiscard]] AccessCount bat(std::size_t i, Cycles t,
+                                  const std::vector<Cycles>& response) const;
 
 private:
     // CPRO reload bound ρ̂ for n_jobs jobs of τ_j inside a priority-`level`
     // window of length t: Eq. (14), optionally refined by the per-evictor
     // job-count cap (CproMethod::kJobBound).
-    [[nodiscard]] std::int64_t cpro_reload_bound(std::size_t j,
-                                                 std::size_t level,
-                                                 std::int64_t n_jobs,
-                                                 Cycles t) const;
+    [[nodiscard]] AccessCount cpro_reload_bound(std::size_t j,
+                                                std::size_t level,
+                                                std::int64_t n_jobs,
+                                                Cycles t) const;
 
     // Contribution of one other-core task τ_l at analysis level k:
     // W_{k,l}(t) (Eq. (4) / Eq. (18)) + W_cout (Eq. (5)).
-    [[nodiscard]] std::int64_t
+    [[nodiscard]] AccessCount
     other_core_task_accesses(std::size_t k, std::size_t l, Cycles t,
                              const std::vector<Cycles>& response) const;
 

@@ -44,7 +44,7 @@ enum class CproMethod {
 struct PlatformConfig {
     std::size_t num_cores = 4;
     std::size_t cache_sets = 256;
-    Cycles d_mem = 10;       // worst-case main-memory access time (cycles);
+    Cycles d_mem{10};        // worst-case main-memory access time (cycles);
                              // default 5 us at 2 cycles/us (DESIGN.md §3.3)
     std::int64_t slot_size = 2; // s: bus slots per core for RR/TDMA
     // TDMA cycle length is L*s with L = num_cores (one slot group per core).

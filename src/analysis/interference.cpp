@@ -10,6 +10,8 @@
 namespace cpa::analysis {
 
 using util::SetMask;
+using util::accesses_from_blocks;
+using util::to_string;
 
 InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                                        CrpdMethod method)
@@ -17,8 +19,8 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
     CPA_SCOPED_TIMER("tables.build");
     CPA_COUNT("tables.builds");
     const std::size_t n = ts.size();
-    gamma_.assign(n, std::vector<std::int64_t>(n, 0));
-    cpro_.assign(n, std::vector<std::int64_t>(n, 0));
+    gamma_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
+    cpro_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
 
     // γ table. For a fixed preempting task τ_j (on core y), the evicting
     // union ∪_{h ∈ Γ_y ∩ hep(j)} ECB_h is fixed, and as the analysis level i
@@ -29,24 +31,22 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
         for (const std::size_t j : ts.tasks_on_core(core)) {
             prefix_ecb |= ts[j].ecb;
 
-            std::int64_t running_max = 0;
+            AccessCount running_max{0};
             bool any_affected = false;
             for (std::size_t i = j + 1; i < n; ++i) {
                 if (ts[i].core == core) {
                     any_affected = true;
-                    std::int64_t candidate = 0;
+                    AccessCount candidate{0};
                     switch (method) {
                     case CrpdMethod::kEcbUnion:
-                        candidate = static_cast<std::int64_t>(
+                        candidate = accesses_from_blocks(
                             ts[i].ucb.intersection_count(prefix_ecb));
                         break;
                     case CrpdMethod::kUcbOnly:
-                        candidate =
-                            static_cast<std::int64_t>(ts[i].ucb.count());
+                        candidate = accesses_from_blocks(ts[i].ucb.count());
                         break;
                     case CrpdMethod::kEcbOnly:
-                        candidate =
-                            static_cast<std::int64_t>(prefix_ecb.count());
+                        candidate = accesses_from_blocks(prefix_ecb.count());
                         break;
                     }
                     running_max = std::max(running_max, candidate);
@@ -59,11 +59,11 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
     }
 
     // Pairwise eviction potentials for the job-bounded CPRO refinement.
-    pair_overlap_.assign(n, std::vector<std::int64_t>(n, 0));
+    pair_overlap_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
     for (std::size_t j = 0; j < n; ++j) {
         for (std::size_t s = 0; s < n; ++s) {
             if (s != j && ts[s].core == ts[j].core) {
-                pair_overlap_[j][s] = static_cast<std::int64_t>(
+                pair_overlap_[j][s] = accesses_from_blocks(
                     ts[j].pcb.intersection_count(ts[s].ecb));
             }
         }
@@ -78,7 +78,7 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
             if (i != j && ts[i].core == core) {
                 evictors |= ts[i].ecb;
             }
-            cpro_[j][i] = static_cast<std::int64_t>(
+            cpro_[j][i] = accesses_from_blocks(
                 ts[j].pcb.intersection_count(evictors));
         }
     }
@@ -89,23 +89,24 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
         // with assertions on): γ lives strictly below the diagonal within
         // the cache bound, CPRO rows are capped by |PCB_j| and non-
         // decreasing in the analysis level (the evictor union only grows).
-        const auto cache_limit = static_cast<std::int64_t>(ts.cache_sets());
+        const AccessCount cache_limit = accesses_from_blocks(ts.cache_sets());
         for (std::size_t i = 0; i < n; ++i) {
-            const auto pcb_i = static_cast<std::int64_t>(ts[i].pcb.count());
-            std::int64_t previous_cpro = 0;
+            const AccessCount pcb_i = accesses_from_blocks(ts[i].pcb.count());
+            AccessCount previous_cpro{0};
             for (std::size_t j = 0; j < n; ++j) {
                 CPA_CHECK_ASSERT(
-                    gamma_[i][j] >= 0 && gamma_[i][j] <= cache_limit &&
-                        (j < i || gamma_[i][j] == 0),
+                    gamma_[i][j] >= AccessCount{0} &&
+                        gamma_[i][j] <= cache_limit &&
+                        (j < i || gamma_[i][j] == AccessCount{0}),
                     "tables.gamma_shape",
                     "gamma(" + std::to_string(i) + "," + std::to_string(j) +
-                        ")=" + std::to_string(gamma_[i][j]));
+                        ")=" + to_string(gamma_[i][j]));
                 CPA_CHECK_ASSERT(
-                    cpro_[i][j] >= 0 && cpro_[i][j] <= pcb_i &&
+                    cpro_[i][j] >= AccessCount{0} && cpro_[i][j] <= pcb_i &&
                         cpro_[i][j] >= previous_cpro,
                     "tables.cpro_shape",
                     "cpro(" + std::to_string(i) + "," + std::to_string(j) +
-                        ")=" + std::to_string(cpro_[i][j]));
+                        ")=" + to_string(cpro_[i][j]));
                 previous_cpro = cpro_[i][j];
             }
         }
@@ -121,8 +122,8 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
         std::int64_t cpro_nonzero = 0;
         for (std::size_t i = 0; i < n; ++i) {
             for (std::size_t j = 0; j < n; ++j) {
-                gamma_nonzero += gamma_[i][j] != 0 ? 1 : 0;
-                cpro_nonzero += cpro_[i][j] != 0 ? 1 : 0;
+                gamma_nonzero += gamma_[i][j] != AccessCount{0} ? 1 : 0;
+                cpro_nonzero += cpro_[i][j] != AccessCount{0} ? 1 : 0;
             }
         }
         CPA_GAUGE_SET("tables.tasks", static_cast<std::int64_t>(n));

@@ -13,11 +13,14 @@
 
 #include "analysis/config.hpp"
 #include "tasks/task.hpp"
+#include "util/units.hpp"
 
 #include <cstdint>
 #include <vector>
 
 namespace cpa::analysis {
+
+using util::AccessCount;
 
 class InterferenceTables {
 public:
@@ -29,25 +32,25 @@ public:
     // priority-i window, on τ_j's own core (Eq. (2) for kEcbUnion).
     // Zero when j is not higher-priority than i (aff(i, j) empty) and when
     // i == j.
-    [[nodiscard]] std::int64_t gamma(std::size_t i, std::size_t j) const
+    [[nodiscard]] AccessCount gamma(std::size_t i, std::size_t j) const
     {
         return gamma_[i][j];
     }
 
     // |PCB_j ∩ ∪_{s ∈ Γ_core(j) ∩ hep(i) \ {j}} ECB_s|: the per-rerun CPRO
     // cost of τ_j inside a priority-i window (the multiplier of Eq. (14)).
-    [[nodiscard]] std::int64_t cpro_overlap(std::size_t j, std::size_t i) const
+    [[nodiscard]] AccessCount cpro_overlap(std::size_t j, std::size_t i) const
     {
         return cpro_[j][i];
     }
 
     // ρ̂_{j,i}(n): additional bus accesses caused by CPRO across n successive
     // jobs of τ_j inside a priority-i window (Eq. (14)); 0 for n <= 1.
-    [[nodiscard]] std::int64_t rho_hat(std::size_t j, std::size_t i,
-                                       std::int64_t n_jobs) const
+    [[nodiscard]] AccessCount rho_hat(std::size_t j, std::size_t i,
+                                      std::int64_t n_jobs) const
     {
         if (n_jobs <= 1) {
-            return 0;
+            return AccessCount{0};
         }
         return (n_jobs - 1) * cpro_[j][i];
     }
@@ -55,8 +58,8 @@ public:
     // |PCB_j ∩ ECB_s| for two tasks on the SAME core (0 otherwise): the
     // per-job eviction potential of τ_s against τ_j's persistent blocks,
     // used by the job-bounded CPRO refinement (CproMethod::kJobBound).
-    [[nodiscard]] std::int64_t pair_overlap(std::size_t j,
-                                            std::size_t s) const
+    [[nodiscard]] AccessCount pair_overlap(std::size_t j,
+                                           std::size_t s) const
     {
         return pair_overlap_[j][s];
     }
@@ -64,9 +67,9 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return gamma_.size(); }
 
 private:
-    std::vector<std::vector<std::int64_t>> gamma_;
-    std::vector<std::vector<std::int64_t>> cpro_;
-    std::vector<std::vector<std::int64_t>> pair_overlap_;
+    std::vector<std::vector<AccessCount>> gamma_;
+    std::vector<std::vector<AccessCount>> cpro_;
+    std::vector<std::vector<AccessCount>> pair_overlap_;
 };
 
 } // namespace cpa::analysis

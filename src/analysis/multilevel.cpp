@@ -8,11 +8,12 @@
 
 namespace cpa::analysis {
 
+using util::accesses_from_blocks;
 using util::ceil_div;
-using util::ceil_div_signed;
 using util::clamp_non_negative;
 using util::floor_div;
 using util::SetMask;
+using util::TaskId;
 
 L2InterferenceTables::L2InterferenceTables(
     const tasks::TaskSet& ts, const std::vector<L2Footprint>& footprints)
@@ -22,7 +23,7 @@ L2InterferenceTables::L2InterferenceTables(
             "L2InterferenceTables: footprint count mismatch");
     }
     const std::size_t n = ts.size();
-    overlap_.assign(n, std::vector<std::int64_t>(n, 0));
+    overlap_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
     // The L2 is shared: every task of hep(i), on any core, can evict. For
     // fixed j the union over hep(i)\{j} grows with i -> ascending sweep.
     for (std::size_t j = 0; j < n; ++j) {
@@ -31,7 +32,7 @@ L2InterferenceTables::L2InterferenceTables(
             if (i != j) {
                 evictors |= footprints[i].ecb2;
             }
-            overlap_[j][i] = static_cast<std::int64_t>(
+            overlap_[j][i] = util::accesses_from_blocks(
                 footprints[j].pcb2.intersection_count(evictors));
         }
     }
@@ -55,19 +56,19 @@ public:
     }
 
     // B̂(n): bus accesses of n jobs of τ_j inside a priority-`level` window.
-    [[nodiscard]] std::int64_t bus_demand(std::size_t j, std::size_t level,
-                                          std::int64_t n_jobs) const
+    [[nodiscard]] AccessCount bus_demand(std::size_t j, std::size_t level,
+                                         std::int64_t n_jobs) const
     {
         const tasks::Task& task = ts_[j];
-        const std::int64_t raw = n_jobs * task.md;
+        const AccessCount raw = n_jobs * task.md;
         if (!config_.persistence_aware || n_jobs <= 0) {
-            return std::max<std::int64_t>(raw, 0);
+            return std::max(raw, AccessCount{0});
         }
         const L2Footprint& fp = footprints_[j];
-        const std::int64_t warm =
+        const AccessCount warm =
             n_jobs * fp.md_residual_l2 +
-            static_cast<std::int64_t>(task.pcb.count()) +
-            static_cast<std::int64_t>(fp.pcb2.count()) +
+            accesses_from_blocks(task.pcb.count()) +
+            accesses_from_blocks(fp.pcb2.count()) +
             tables_.rho_hat(j, level, n_jobs) +
             l2_tables_.rho2_hat(j, level, n_jobs);
         return std::min(raw, warm);
@@ -75,22 +76,22 @@ public:
 
     // R̂(n): L1-miss requests (each costs d_l2) — the paper's Lemma 1
     // ingredients, unchanged by the L2.
-    [[nodiscard]] std::int64_t request_demand(std::size_t j,
-                                              std::size_t level,
-                                              std::int64_t n_jobs) const
+    [[nodiscard]] AccessCount request_demand(std::size_t j,
+                                             std::size_t level,
+                                             std::int64_t n_jobs) const
     {
-        const std::int64_t raw = n_jobs * ts_[j].md;
+        const AccessCount raw = n_jobs * ts_[j].md;
         if (!config_.persistence_aware || n_jobs <= 0) {
-            return std::max<std::int64_t>(raw, 0);
+            return std::max(raw, AccessCount{0});
         }
         return std::min(raw, md_hat(ts_[j], n_jobs) +
                                  tables_.rho_hat(j, level, n_jobs));
     }
 
     // Same-core requests in a window of length t (for the lookup term).
-    [[nodiscard]] std::int64_t reqs(std::size_t i, Cycles t) const
+    [[nodiscard]] AccessCount reqs(std::size_t i, Cycles t) const
     {
-        std::int64_t total = ts_[i].md;
+        AccessCount total = ts_[i].md;
         for (const std::size_t j : ts_.tasks_on_core(ts_[i].core)) {
             if (j >= i) {
                 break;
@@ -103,9 +104,9 @@ public:
     }
 
     // Same-core bus accesses (two-level Lemma 1).
-    [[nodiscard]] std::int64_t bas(std::size_t i, Cycles t) const
+    [[nodiscard]] AccessCount bas(std::size_t i, Cycles t) const
     {
-        std::int64_t total = ts_[i].md;
+        AccessCount total = ts_[i].md;
         for (const std::size_t j : ts_.tasks_on_core(ts_[i].core)) {
             if (j >= i) {
                 break;
@@ -119,31 +120,31 @@ public:
 
     // Other-core bus accesses (two-level Lemma 2): Eq. (5)-(6) carry-out
     // and job-count machinery, with B̂ replacing Ŵ's demand cap.
-    [[nodiscard]] std::int64_t
+    [[nodiscard]] AccessCount
     other_core_task(std::size_t k, std::size_t l, Cycles t,
                     const std::vector<Cycles>& response) const
     {
         const tasks::Task& task = ts_[l];
-        const std::int64_t gamma = tables_.gamma(k, l);
-        const std::int64_t per_job = task.md + gamma;
+        const AccessCount gamma = tables_.gamma(k, l);
+        const AccessCount per_job = task.md + gamma;
         const std::int64_t n_full = clamp_non_negative(floor_div(
             t + response[l] + task.jitter - per_job * platform_.d_mem,
             task.period));
-        const std::int64_t w_full =
+        const AccessCount w_full =
             bus_demand(l, k, n_full) + n_full * gamma;
         const Cycles leftover = t + response[l] + task.jitter -
                                 per_job * platform_.d_mem -
                                 n_full * task.period;
-        const std::int64_t w_cout =
-            std::clamp(ceil_div_signed(leftover, platform_.d_mem),
-                       std::int64_t{0}, per_job);
+        const AccessCount w_cout =
+            std::clamp(util::accesses_covering(leftover, platform_.d_mem),
+                       AccessCount{0}, per_job);
         return w_full + w_cout;
     }
 
-    [[nodiscard]] std::int64_t bao(std::size_t core, std::size_t k, Cycles t,
-                                   const std::vector<Cycles>& response) const
+    [[nodiscard]] AccessCount bao(std::size_t core, std::size_t k, Cycles t,
+                                  const std::vector<Cycles>& response) const
     {
-        std::int64_t total = 0;
+        AccessCount total{0};
         for (const std::size_t l : ts_.tasks_on_core(core)) {
             if (l > k) {
                 break;
@@ -153,11 +154,11 @@ public:
         return total;
     }
 
-    [[nodiscard]] std::int64_t
+    [[nodiscard]] AccessCount
     bao_lower(std::size_t core, std::size_t i, Cycles t,
               const std::vector<Cycles>& response) const
     {
-        std::int64_t total = 0;
+        AccessCount total{0};
         for (const std::size_t l : ts_.tasks_on_core(core)) {
             if (l <= i) {
                 continue;
@@ -168,21 +169,21 @@ public:
     }
 
     // Per-policy total (the paper's Eq. (7)-(9) with two-level bounds).
-    [[nodiscard]] std::int64_t bat(std::size_t i, Cycles t,
-                                   const std::vector<Cycles>& response) const
+    [[nodiscard]] AccessCount bat(std::size_t i, Cycles t,
+                                  const std::vector<Cycles>& response) const
     {
-        const std::int64_t same_core = bas(i, t);
+        const AccessCount same_core = bas(i, t);
         const std::size_t my_core = ts_[i].core;
         const auto& on_core = ts_.tasks_on_core(my_core);
-        const std::int64_t blocking =
-            (!on_core.empty() && on_core.back() > i) ? 1 : 0;
+        const AccessCount blocking{
+            (!on_core.empty() && on_core.back() > i) ? 1 : 0};
 
         switch (config_.policy) {
         case BusPolicy::kPerfect:
             return same_core;
         case BusPolicy::kFixedPriority: {
-            std::int64_t higher = 0;
-            std::int64_t lower = 0;
+            AccessCount higher{0};
+            AccessCount lower{0};
             for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
                 if (core == my_core) {
                     continue;
@@ -195,7 +196,7 @@ public:
         }
         case BusPolicy::kRoundRobin: {
             const std::size_t lowest = ts_.size() - 1;
-            std::int64_t other = 0;
+            AccessCount other{0};
             for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
                 if (core == my_core) {
                     continue;
@@ -260,7 +261,7 @@ compute_wcrt_multilevel(const tasks::TaskSet& ts,
         result.outer_iterations = outer + 1;
         bool changed = false;
         for (std::size_t i = 0; i < n; ++i) {
-            Cycles r = std::max<Cycles>(result.response[i], 1);
+            Cycles r = std::max(result.response[i], Cycles{1});
             for (std::size_t iter = 0; iter < kMaxInner; ++iter) {
                 Cycles rhs = ts[i].pd;
                 for (const std::size_t j : ts.tasks_on_core(ts[i].core)) {
@@ -281,7 +282,8 @@ compute_wcrt_multilevel(const tasks::TaskSet& ts,
             }
             if (r > ts[i].effective_deadline()) {
                 result.schedulable = false;
-                result.failed_task = i;
+                result.failed_task = TaskId{i};
+                result.stop_reason = StopReason::kDeadlineMiss;
                 result.response[i] = r;
                 return result;
             }
@@ -292,10 +294,12 @@ compute_wcrt_multilevel(const tasks::TaskSet& ts,
         }
         if (!changed) {
             result.schedulable = true;
+            result.stop_reason = StopReason::kConverged;
             return result;
         }
     }
     result.schedulable = false;
+    result.stop_reason = StopReason::kNoOuterConvergence;
     return result;
 }
 

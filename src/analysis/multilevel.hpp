@@ -42,16 +42,18 @@
 
 namespace cpa::analysis {
 
+using util::AccessCount;
+
 struct L2Config {
     std::size_t sets = 1024; // shared L2, direct-mapped, 32 B lines
-    Cycles d_l2 = 2;         // L2 lookup/hit service time (1 us default)
+    Cycles d_l2{2};          // L2 lookup/hit service time (1 us default)
 };
 
 // Per-task shared-cache footprint, parallel to tasks::TaskSet order.
 struct L2Footprint {
     util::SetMask ecb2; // L2 sets the task can touch
     util::SetMask pcb2; // L2 sets persistent against the task itself
-    std::int64_t md_residual_l2 = 0; // bus demand with both levels warm
+    AccessCount md_residual_l2; // bus demand with both levels warm
 };
 
 // Pre-computed shared-L2 interference: the ρ̂2 eviction overlaps.
@@ -61,19 +63,19 @@ public:
                          const std::vector<L2Footprint>& footprints);
 
     // |PCB2_j ∩ ∪_{s ∈ hep(i)\{j}} ECB2_s| over ALL cores.
-    [[nodiscard]] std::int64_t overlap(std::size_t j, std::size_t i) const
+    [[nodiscard]] AccessCount overlap(std::size_t j, std::size_t i) const
     {
         return overlap_[j][i];
     }
 
-    [[nodiscard]] std::int64_t rho2_hat(std::size_t j, std::size_t i,
-                                        std::int64_t n_jobs) const
+    [[nodiscard]] AccessCount rho2_hat(std::size_t j, std::size_t i,
+                                       std::int64_t n_jobs) const
     {
-        return n_jobs <= 1 ? 0 : (n_jobs - 1) * overlap_[j][i];
+        return n_jobs <= 1 ? AccessCount{0} : (n_jobs - 1) * overlap_[j][i];
     }
 
 private:
-    std::vector<std::vector<std::int64_t>> overlap_;
+    std::vector<std::vector<AccessCount>> overlap_;
 };
 
 // Two-level WCRT analysis. Reuses the paper's CRPD/CPRO tables for the L1

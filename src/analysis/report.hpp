@@ -19,15 +19,15 @@ struct ResponseBreakdown {
     bool analyzed = false;   // false when the WCRT iteration diverged before
                              // reaching this task (no fixed point to explain)
     bool meets_deadline = false;
-    Cycles response = 0;
+    Cycles response;
 
-    Cycles cpu_self = 0;       // PD_i
-    Cycles cpu_preemption = 0; // Σ ⌈R/T_j⌉ · PD_j over same-core hp(i)
-    Cycles bus_same_core = 0;  // BAS_i(R) · d_mem (own + hp memory traffic)
-    Cycles bus_cross_core = 0; // (BAT_i(R) - BAS_i(R)) · d_mem
+    Cycles cpu_self;       // PD_i
+    Cycles cpu_preemption; // Σ ⌈R/T_j⌉ · PD_j over same-core hp(i)
+    Cycles bus_same_core;  // BAS_i(R) · d_mem (own + hp memory traffic)
+    Cycles bus_cross_core; // (BAT_i(R) - BAS_i(R)) · d_mem
 
-    std::int64_t bas_accesses = 0; // BAS_i(R)
-    std::int64_t bat_accesses = 0; // BAT_i(R)
+    util::AccessCount bas_accesses; // BAS_i(R)
+    util::AccessCount bat_accesses; // BAT_i(R)
 
     // The four components always sum to `response` when analyzed.
     [[nodiscard]] Cycles total() const

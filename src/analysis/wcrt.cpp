@@ -10,6 +10,19 @@
 
 namespace cpa::analysis {
 
+const char* to_string(StopReason reason)
+{
+    switch (reason) {
+    case StopReason::kConverged:
+        return "converged";
+    case StopReason::kDeadlineMiss:
+        return "deadline_miss";
+    case StopReason::kNoOuterConvergence:
+        return "no_outer_convergence";
+    }
+    return "unknown";
+}
+
 namespace {
 
 constexpr std::size_t kMaxOuterIterations = 256;
@@ -33,8 +46,9 @@ Cycles inner_fixed_point(const tasks::TaskSet& ts,
                          std::size_t& iterations_used)
 {
     const tasks::Task& task = ts[i];
-    const Cycles start = std::max(response[i], task.isolated_demand(platform.d_mem));
-    Cycles r = std::max<Cycles>(start, 1);
+    const Cycles start =
+        std::max(response[i], task.isolated_demand(platform.d_mem));
+    Cycles r = std::max(start, Cycles{1});
 
     for (std::size_t iter = 0; iter < kMaxInnerIterations; ++iter) {
         iterations_used = iter + 1;
@@ -57,7 +71,7 @@ Cycles inner_fixed_point(const tasks::TaskSet& ts,
     }
     // Did not converge within the iteration budget: report a value that the
     // caller will classify as a deadline miss (conservative).
-    return task.effective_deadline() + 1;
+    return task.effective_deadline() + Cycles{1};
 }
 
 void trace_outer_iteration(std::size_t outer, bool changed,
@@ -67,8 +81,8 @@ void trace_outer_iteration(std::size_t outer, bool changed,
     if (!CPA_TRACE_ENABLED(kTraceSubsystem)) {
         return;
     }
-    Cycles max_response = 0;
-    Cycles total_response = 0;
+    Cycles max_response{0};
+    Cycles total_response{0};
     for (const Cycles r : response) {
         max_response = std::max(max_response, r);
         total_response += r;
@@ -79,8 +93,8 @@ void trace_outer_iteration(std::size_t outer, bool changed,
             .field("iter", outer + 1)
             .field("changed", changed)
             .field("inner_iterations", inner_this_round)
-            .field("max_response", max_response)
-            .field("total_response", total_response));
+            .field("max_response", max_response.count())
+            .field("total_response", total_response.count()));
 }
 
 void record_metrics(const WcrtResult& result)
@@ -130,9 +144,9 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
             result.inner_iterations += inner_used;
             if (updated > ts[i].effective_deadline()) {
                 result.schedulable = false;
-                result.failed_task = i;
+                result.failed_task = TaskId{i};
                 result.response[i] = updated;
-                result.stop_reason = "deadline_miss";
+                result.stop_reason = StopReason::kDeadlineMiss;
                 trace_outer_iteration(outer, true, inner_this_round,
                                       result.response);
                 if (CPA_TRACE_ENABLED(kTraceSubsystem)) {
@@ -145,8 +159,9 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
                             .field("task", i)
                             .field("task_name", ts[i].name)
                             .field("core", ts[i].core)
-                            .field("response", updated)
-                            .field("deadline", ts[i].effective_deadline())
+                            .field("response", updated.count())
+                            .field("deadline",
+                                   ts[i].effective_deadline().count())
                             .field("outer_iteration", outer + 1));
                 }
                 record_metrics(result);
@@ -158,8 +173,8 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
             CPA_CHECK_ASSERT(updated >= result.response[i],
                              "wcrt.outer_monotone",
                              "task " + ts[i].name + ": response shrank from " +
-                                 std::to_string(result.response[i]) + " to " +
-                                 std::to_string(updated));
+                                 util::to_string(result.response[i]) +
+                                 " to " + util::to_string(updated));
             if (updated != result.response[i]) {
                 result.response[i] = updated;
                 changed = true;
@@ -169,7 +184,7 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
                               result.response);
         if (!changed) {
             result.schedulable = true;
-            result.stop_reason = "converged";
+            result.stop_reason = StopReason::kConverged;
             record_metrics(result);
             return result;
         }
@@ -178,7 +193,7 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
     // Outer loop failed to reach a global fixed point within the budget;
     // declare the set unschedulable (conservative).
     result.schedulable = false;
-    result.stop_reason = "no_outer_convergence";
+    result.stop_reason = StopReason::kNoOuterConvergence;
     if (CPA_TRACE_ENABLED(kTraceSubsystem)) {
         obs::Tracer::global().emit(
             obs::TraceEvent(kTraceSubsystem, obs::Severity::kWarn,

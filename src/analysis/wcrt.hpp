@@ -19,6 +19,20 @@
 
 namespace cpa::analysis {
 
+using util::TaskId;
+
+// Why the WCRT analysis stopped.
+enum class StopReason {
+    kConverged,          // global fixed point reached; bounds are valid
+    kDeadlineMiss,       // some R_i exceeded D_i; set is unschedulable
+    kNoOuterConvergence, // outer-iteration budget exhausted (conservative)
+};
+
+[[nodiscard]] const char* to_string(StopReason reason);
+
+// `failed_task` when no task missed its deadline.
+inline constexpr TaskId kNoFailedTask = TaskId::invalid();
+
 struct WcrtResult {
     bool schedulable = false;
     // Response time per task (cycles); only meaningful when schedulable,
@@ -29,12 +43,10 @@ struct WcrtResult {
     // Total Eq. (19) inner fixed-point iterations across all tasks and all
     // outer rounds (the analysis' dominant cost driver).
     std::size_t inner_iterations = 0;
-    // Index of the first task whose response exceeded its deadline, or
-    // SIZE_MAX when schedulable.
-    std::size_t failed_task = static_cast<std::size_t>(-1);
-    // Why the analysis stopped: "converged", "deadline_miss", or
-    // "no_outer_convergence" (outer-iteration budget exhausted).
-    const char* stop_reason = "converged";
+    // The first task whose response exceeded its deadline, or kNoFailedTask
+    // when schedulable.
+    TaskId failed_task = kNoFailedTask;
+    StopReason stop_reason = StopReason::kConverged;
 };
 
 // Computes WCRTs for every task of `ts`, sharing pre-computed interference

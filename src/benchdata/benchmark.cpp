@@ -6,6 +6,9 @@
 
 namespace cpa::benchdata {
 
+using namespace util::literals;
+using util::AccessCount;
+
 namespace {
 
 // Demand-model constants (DESIGN.md §3.2): κ scales how strongly the
@@ -20,22 +23,22 @@ std::vector<BenchmarkSpec> make_published()
     // Region layouts are calibrated so the derived ECB/PCB counts at 256
     // sets equal the printed |ECB|/|PCB| (see header comment).
     std::vector<BenchmarkSpec> specs;
-    specs.push_back({"lcdnum", 984, 1440, 192, {{0, 20}}, 20.0 / 20.0, true});
+    specs.push_back({"lcdnum", 984_cy, 1440_cy, 192_cy, {{0, 20}}, 20.0 / 20.0, true});
     specs.push_back(
-        {"bsort100", 710289, 89893, 88907, {{0, 20}}, 18.0 / 20.0, true});
+        {"bsort100", 710289_cy, 89893_cy, 88907_cy, {{0, 20}}, 18.0 / 20.0, true});
     specs.push_back(
-        {"ludcmp", 27036, 8607, 3545, {{0, 98}}, 98.0 / 98.0, true});
+        {"ludcmp", 27036_cy, 8607_cy, 3545_cy, {{0, 98}}, 98.0 / 98.0, true});
     // fdct: 106 occupied sets of which 22 single-occupancy -> two regions,
     // the second one cache-aliasing onto sets [22, 106).
     specs.push_back(
-        {"fdct", 6550, 6017, 819, {{0, 106}, {278, 84}}, 58.0 / 106.0, true});
+        {"fdct", 6550_cy, 6017_cy, 819_cy, {{0, 106}, {278, 84}}, 58.0 / 106.0, true});
     // nsichneu: code far larger than the cache; 1374 blocks -> every set
     // multiply occupied at 256 sets (PCB = 0).
     specs.push_back(
-        {"nsichneu", 22009, 147200, 147200, {{0, 1374}}, 1.0, true});
+        {"nsichneu", 22009_cy, 147200_cy, 147200_cy, {{0, 1374}}, 1.0, true});
     // statemate: 476 blocks -> sets [0, 220) doubly occupied, [220, 256)
     // single -> PCB = 36.
-    specs.push_back({"statemate", 10586, 18257, 3891, {{0, 476}}, 1.0, true});
+    specs.push_back({"statemate", 10586_cy, 18257_cy, 3891_cy, {{0, 476}}, 1.0, true});
     return specs;
 }
 
@@ -45,46 +48,46 @@ std::vector<BenchmarkSpec> make_full()
     // (the paper's full table is in its ref [4]; these values are synthetic,
     // patterned on the suite's code sizes and loop structure).
     std::vector<BenchmarkSpec> specs = make_published();
-    specs.push_back({"bs", 446, 1280, 320, {{0, 16}}, 12.0 / 16.0, false});
-    specs.push_back({"crc", 36159, 4800, 1440, {{0, 42}}, 38.0 / 42.0, false});
+    specs.push_back({"bs", 446_cy, 1280_cy, 320_cy, {{0, 16}}, 12.0 / 16.0, false});
+    specs.push_back({"crc", 36159_cy, 4800_cy, 1440_cy, {{0, 42}}, 38.0 / 42.0, false});
     specs.push_back(
-        {"expint", 8058, 2240, 640, {{0, 24}}, 20.0 / 24.0, false});
-    specs.push_back({"fibcall", 442, 960, 288, {{0, 12}}, 8.0 / 12.0, false});
+        {"expint", 8058_cy, 2240_cy, 640_cy, {{0, 24}}, 20.0 / 24.0, false});
+    specs.push_back({"fibcall", 442_cy, 960_cy, 288_cy, {{0, 12}}, 8.0 / 12.0, false});
     specs.push_back(
-        {"insertsort", 2218, 1120, 336, {{0, 14}}, 12.0 / 14.0, false});
-    specs.push_back({"jfdctint", 5388, 5440, 1630, {{0, 96}, {284, 68}},
+        {"insertsort", 2218_cy, 1120_cy, 336_cy, {{0, 14}}, 12.0 / 14.0, false});
+    specs.push_back({"jfdctint", 5388_cy, 5440_cy, 1630_cy, {{0, 96}, {284, 68}},
                      64.0 / 96.0, false});
     specs.push_back(
-        {"matmult", 163420, 12800, 11200, {{0, 48}}, 44.0 / 48.0, false});
-    specs.push_back({"minver", 12758, 7040, 2880, {{0, 124}, {342, 38}},
+        {"matmult", 163420_cy, 12800_cy, 11200_cy, {{0, 48}}, 44.0 / 48.0, false});
+    specs.push_back({"minver", 12758_cy, 7040_cy, 2880_cy, {{0, 124}, {342, 38}},
                      102.0 / 124.0, false});
-    specs.push_back({"ns", 10436, 2560, 768, {{0, 26}}, 22.0 / 26.0, false});
+    specs.push_back({"ns", 10436_cy, 2560_cy, 768_cy, {{0, 26}}, 22.0 / 26.0, false});
     specs.push_back(
-        {"qurt", 5535, 3360, 1010, {{0, 52}, {296, 12}}, 44.0 / 52.0, false});
-    specs.push_back({"sqrt", 1105, 1600, 480, {{0, 18}}, 14.0 / 18.0, false});
+        {"qurt", 5535_cy, 3360_cy, 1010_cy, {{0, 52}, {296, 12}}, 44.0 / 52.0, false});
+    specs.push_back({"sqrt", 1105_cy, 1600_cy, 480_cy, {{0, 18}}, 14.0 / 18.0, false});
     specs.push_back(
-        {"ud", 15627, 6080, 2400, {{0, 88}, {328, 16}}, 80.0 / 88.0, false});
-    specs.push_back({"adpcm", 118090, 26400, 8000, {{0, 200}, {426, 64}},
+        {"ud", 15627_cy, 6080_cy, 2400_cy, {{0, 88}, {328, 16}}, 80.0 / 88.0, false});
+    specs.push_back({"adpcm", 118090_cy, 26400_cy, 8000_cy, {{0, 200}, {426, 64}},
                      180.0 / 234.0, false});
-    specs.push_back({"cnt", 4087, 2200, 660, {{0, 20}}, 16.0 / 20.0, false});
+    specs.push_back({"cnt", 4087_cy, 2200_cy, 660_cy, {{0, 20}}, 16.0 / 20.0, false});
     specs.push_back(
-        {"compress", 27403, 9500, 2850, {{0, 95}}, 82.0 / 95.0, false});
+        {"compress", 27403_cy, 9500_cy, 2850_cy, {{0, 95}}, 82.0 / 95.0, false});
     specs.push_back(
-        {"cover", 8794, 14000, 11000, {{0, 140}}, 126.0 / 140.0, false});
-    specs.push_back({"duff", 2118, 3100, 930, {{0, 30}}, 24.0 / 30.0, false});
+        {"cover", 8794_cy, 14000_cy, 11000_cy, {{0, 140}}, 126.0 / 140.0, false});
+    specs.push_back({"duff", 2118_cy, 3100_cy, 930_cy, {{0, 30}}, 24.0 / 30.0, false});
     specs.push_back(
-        {"edn", 85399, 15500, 4650, {{0, 150}}, 132.0 / 150.0, false});
-    specs.push_back({"fac", 301, 800, 240, {{0, 8}}, 6.0 / 8.0, false});
-    specs.push_back({"fir", 6247, 2100, 630, {{0, 20}}, 16.0 / 20.0, false});
+        {"edn", 85399_cy, 15500_cy, 4650_cy, {{0, 150}}, 132.0 / 150.0, false});
+    specs.push_back({"fac", 301_cy, 800_cy, 240_cy, {{0, 8}}, 6.0 / 8.0, false});
+    specs.push_back({"fir", 6247_cy, 2100_cy, 630_cy, {{0, 20}}, 16.0 / 20.0, false});
     specs.push_back(
-        {"janne_complex", 553, 1100, 330, {{0, 10}}, 8.0 / 10.0, false});
+        {"janne_complex", 553_cy, 1100_cy, 330_cy, {{0, 10}}, 8.0 / 10.0, false});
     specs.push_back(
-        {"ndes", 55003, 16000, 4800, {{0, 150}}, 138.0 / 150.0, false});
-    specs.push_back({"prime", 4198, 1000, 300, {{0, 10}}, 8.0 / 10.0, false});
+        {"ndes", 55003_cy, 16000_cy, 4800_cy, {{0, 150}}, 138.0 / 150.0, false});
+    specs.push_back({"prime", 4198_cy, 1000_cy, 300_cy, {{0, 10}}, 8.0 / 10.0, false});
     specs.push_back(
-        {"qsort_exam", 19007, 6400, 1920, {{0, 62}}, 54.0 / 62.0, false});
+        {"qsort_exam", 19007_cy, 6400_cy, 1920_cy, {{0, 62}}, 54.0 / 62.0, false});
     specs.push_back(
-        {"select", 4912, 6100, 1830, {{0, 60}}, 52.0 / 60.0, false});
+        {"select", 4912_cy, 6100_cy, 1830_cy, {{0, 60}}, 52.0 / 60.0, false});
     return specs;
 }
 
@@ -120,10 +123,9 @@ Occupancy compute_occupancy(const BenchmarkSpec& spec, std::size_t cache_sets)
     return occ;
 }
 
-std::int64_t to_access_count(Cycles md_cycles)
+AccessCount to_access_count(Cycles md_cycles)
 {
-    return (md_cycles + util::kExtractionLatencyCycles - 1) /
-           util::kExtractionLatencyCycles;
+    return util::accesses_from_md_cycles(md_cycles);
 }
 
 } // namespace
@@ -157,23 +159,24 @@ BenchmarkParams derive_params(const BenchmarkSpec& spec,
     const double q = static_cast<double>(occ.conflicting) / blocks;
     const double q_ref = static_cast<double>(ref.conflicting) / blocks;
 
-    const std::int64_t md_ref = to_access_count(spec.md_cycles);
-    const std::int64_t mdr_ref =
+    const AccessCount md_ref = to_access_count(spec.md_cycles);
+    const AccessCount mdr_ref =
         std::min(md_ref, to_access_count(spec.mdr_cycles));
 
     // Monotone demand model: recurring misses scale with the conflict share
     // q(N) relative to the reference geometry.
     const auto md_floor = std::max<std::int64_t>(
-        1, std::llround(kMdFloorFraction * static_cast<double>(md_ref)));
+        1, std::llround(kMdFloorFraction * util::to_double(md_ref)));
     const std::int64_t md_scaled = std::llround(
-        static_cast<double>(md_ref) * (1.0 + kConflictSlope * (q - q_ref)));
-    const std::int64_t md = std::max(md_floor, md_scaled);
+        util::to_double(md_ref) * (1.0 + kConflictSlope * (q - q_ref)));
+    const AccessCount md{std::max(md_floor, md_scaled)};
 
     // Residual demand: the residual share shrinks as the persistent share of
     // the footprint grows (more PCBs -> more of the demand is one-off).
     const double residual_ratio =
-        md_ref > 0 ? static_cast<double>(mdr_ref) / static_cast<double>(md_ref)
-                   : 0.0;
+        md_ref > AccessCount{0}
+            ? util::to_double(mdr_ref) / util::to_double(md_ref)
+            : 0.0;
     const double pshare =
         occ.ecb > 0
             ? static_cast<double>(occ.pcb) / static_cast<double>(occ.ecb)
@@ -182,10 +185,10 @@ BenchmarkParams derive_params(const BenchmarkSpec& spec,
         ref.ecb > 0
             ? static_cast<double>(ref.pcb) / static_cast<double>(ref.ecb)
             : 0.0;
-    const std::int64_t mdr = std::clamp<std::int64_t>(
-        std::llround(static_cast<double>(md) * residual_ratio *
+    const AccessCount mdr{std::clamp<std::int64_t>(
+        std::llround(util::to_double(md) * residual_ratio *
                      (1.0 - (pshare - pshare_ref))),
-        0, md);
+        0, md.count())};
 
     BenchmarkParams params;
     params.name = spec.name;

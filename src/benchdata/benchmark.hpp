@@ -40,9 +40,9 @@ struct Region {
 
 struct BenchmarkSpec {
     std::string name;
-    Cycles pd = 0;         // PD: pure execution demand, cycles
-    Cycles md_cycles = 0;  // MD at the 256-set reference, cycles (Table I)
-    Cycles mdr_cycles = 0; // MDʳ at the 256-set reference, cycles (Table I)
+    Cycles pd;         // PD: pure execution demand, cycles
+    Cycles md_cycles;  // MD at the 256-set reference, cycles (Table I)
+    Cycles mdr_cycles; // MDʳ at the 256-set reference, cycles (Table I)
     std::vector<Region> regions; // code layout (see file comment)
     double ucb_fraction = 1.0;   // |UCB| / |ECB| at the reference cache
     bool published = false;      // true for the six rows printed in Table I
@@ -52,9 +52,9 @@ struct BenchmarkSpec {
 // occupancy pattern needed to place concrete ECB/PCB/UCB masks.
 struct BenchmarkParams {
     std::string name;
-    Cycles pd = 0;
-    std::int64_t md = 0;          // worst-case bus accesses in isolation
-    std::int64_t md_residual = 0; // accesses with PCBs pre-loaded
+    Cycles pd;
+    util::AccessCount md;          // worst-case bus accesses in isolation
+    util::AccessCount md_residual; // accesses with PCBs pre-loaded
     std::size_t ecb_count = 0;
     std::size_t pcb_count = 0;
     std::size_t ucb_count = 0;

@@ -23,20 +23,20 @@ tasks::Task draw_task(util::Rng& rng, const GenerationConfig& config,
     task.utilization = u;
 
     // T = D = (PD + MD)/U in the table's cycle units.
-    const auto cost = static_cast<double>(params.generation_cost());
-    util::Cycles period = 1'000'000'000'000'000; // cap for near-zero u
+    const double cost = util::to_double(params.generation_cost());
+    util::Cycles period{1'000'000'000'000'000}; // cap for near-zero u
     if (u > 0.0) {
-        period = static_cast<util::Cycles>(
-            std::llround(std::min(cost / u, static_cast<double>(period))));
+        period = util::Cycles{
+            std::llround(std::min(cost / u, util::to_double(period)))};
     }
-    period = std::max<util::Cycles>(period, params.generation_cost());
+    period = std::max(period, params.generation_cost());
     task.period = period;
-    task.deadline = std::max<util::Cycles>(
-        1, static_cast<util::Cycles>(std::llround(
-               config.deadline_ratio * static_cast<double>(period))));
-    task.jitter = std::min<util::Cycles>(
-        static_cast<util::Cycles>(std::llround(
-            config.jitter_fraction * static_cast<double>(period))),
+    task.deadline = std::max(
+        util::Cycles{1}, util::Cycles{std::llround(config.deadline_ratio *
+                                                   util::to_double(period))});
+    task.jitter = std::min(
+        util::Cycles{std::llround(config.jitter_fraction *
+                                  util::to_double(period))},
         period - task.deadline);
 
     const auto offset =

@@ -79,27 +79,27 @@ AnalysisOracle::AnalysisOracle(const tasks::TaskSet& ts,
 
 AnalysisOracle::~AnalysisOracle() = default;
 
-std::int64_t AnalysisOracle::md_hat(std::size_t i, std::int64_t n_jobs) const
+AccessCount AnalysisOracle::md_hat(std::size_t i, std::int64_t n_jobs) const
 {
     return analysis::md_hat(ts_[i], n_jobs);
 }
 
-std::int64_t AnalysisOracle::gamma(std::size_t i, std::size_t j) const
+AccessCount AnalysisOracle::gamma(std::size_t i, std::size_t j) const
 {
     return tables_.gamma(i, j);
 }
 
-std::int64_t AnalysisOracle::cpro_overlap(std::size_t j, std::size_t i) const
+AccessCount AnalysisOracle::cpro_overlap(std::size_t j, std::size_t i) const
 {
     return tables_.cpro_overlap(j, i);
 }
 
-std::int64_t AnalysisOracle::pair_overlap(std::size_t j, std::size_t s) const
+AccessCount AnalysisOracle::pair_overlap(std::size_t j, std::size_t s) const
 {
     return tables_.pair_overlap(j, s);
 }
 
-std::int64_t AnalysisOracle::bas(const AnalysisConfig& config, std::size_t i,
+AccessCount AnalysisOracle::bas(const AnalysisConfig& config, std::size_t i,
                                  Cycles t) const
 {
     const analysis::BusContentionAnalysis bounds(ts_, platform_, config,
@@ -107,7 +107,7 @@ std::int64_t AnalysisOracle::bas(const AnalysisConfig& config, std::size_t i,
     return bounds.bas(i, t);
 }
 
-std::int64_t AnalysisOracle::bao(const AnalysisConfig& config,
+AccessCount AnalysisOracle::bao(const AnalysisConfig& config,
                                  std::size_t core, std::size_t k, Cycles t,
                                  const std::vector<Cycles>& response) const
 {
@@ -116,7 +116,7 @@ std::int64_t AnalysisOracle::bao(const AnalysisConfig& config,
     return bounds.bao(core, k, t, response);
 }
 
-std::int64_t AnalysisOracle::bat(const AnalysisConfig& config, std::size_t i,
+AccessCount AnalysisOracle::bat(const AnalysisConfig& config, std::size_t i,
                                  Cycles t,
                                  const std::vector<Cycles>& response) const
 {
@@ -203,10 +203,10 @@ private:
     [[nodiscard]] std::vector<Cycles> probe_windows(std::size_t i) const
     {
         const tasks::Task& task = ts_[i];
-        std::set<Cycles> probes{0, 1, platform_.d_mem,
+        std::set<Cycles> probes{Cycles{0}, Cycles{1}, platform_.d_mem,
                                 task.deadline / 2, task.deadline,
                                 task.period, task.period + task.deadline,
-                                2 * task.period + 3};
+                                2 * task.period + Cycles{3}};
         return {probes.begin(), probes.end()};
     }
 
@@ -236,7 +236,8 @@ private:
                                "universe differs from the cache";
                     });
             require("structure.demand",
-                    task.pd >= 0 && task.md >= 0 && task.md_residual >= 0 &&
+                    task.pd >= Cycles{0} && task.md >= AccessCount{0} &&
+                        task.md_residual >= AccessCount{0} &&
                         task.md_residual <= task.md,
                     [&] {
                         std::ostringstream out;
@@ -246,8 +247,9 @@ private:
                         return out.str();
                     });
             require("structure.windows",
-                    task.period > 0 && task.deadline > 0 &&
-                        task.deadline <= task.period && task.jitter >= 0 &&
+                    task.period > Cycles{0} && task.deadline > Cycles{0} &&
+                        task.deadline <= task.period &&
+                        task.jitter >= Cycles{0} &&
                         task.jitter + task.deadline <= task.period &&
                         task.core < ts_.num_cores(),
                     [&] {
@@ -264,12 +266,12 @@ private:
     void check_demand()
     {
         for (std::size_t i = 0; i < ts_.size(); ++i) {
-            std::int64_t previous = oracle_.md_hat(i, 0);
-            require("demand.md_hat_monotone", previous >= 0, [&] {
+            AccessCount previous = oracle_.md_hat(i, 0);
+            require("demand.md_hat_monotone", previous >= AccessCount{0}, [&] {
                 return "task " + ts_[i].name + ": MD-hat(0) negative";
             });
             for (std::int64_t n = 1; n <= options_.max_demand_jobs; ++n) {
-                const std::int64_t value = oracle_.md_hat(i, n);
+                const AccessCount value = oracle_.md_hat(i, n);
                 require("demand.md_hat_dominance",
                         value <= n * ts_[i].md, [&] {
                             std::ostringstream out;
@@ -306,13 +308,15 @@ private:
 
     void check_tables()
     {
-        const auto limit = static_cast<std::int64_t>(ts_.cache_sets());
+        const AccessCount limit = util::accesses_from_blocks(ts_.cache_sets());
         for (std::size_t i = 0; i < ts_.size(); ++i) {
-            std::int64_t previous_cpro = 0;
+            AccessCount previous_cpro{0};
             for (std::size_t j = 0; j < ts_.size(); ++j) {
-                const std::int64_t g = oracle_.gamma(i, j);
+                const AccessCount g = oracle_.gamma(i, j);
                 require("tables.gamma_shape",
-                        g >= 0 && g <= limit && (j < i || g == 0), [&] {
+                        g >= AccessCount{0} && g <= limit &&
+                            (j < i || g == AccessCount{0}),
+                        [&] {
                             std::ostringstream out;
                             out << "gamma(" << i << "," << j << ")=" << g
                                 << " outside [0," << limit
@@ -332,11 +336,12 @@ private:
                             });
                 }
             }
-            const auto pcb_i = static_cast<std::int64_t>(ts_[i].pcb.count());
+            const AccessCount pcb_i =
+                util::accesses_from_blocks(ts_[i].pcb.count());
             for (std::size_t level = 0; level < ts_.size(); ++level) {
-                const std::int64_t overlap = oracle_.cpro_overlap(i, level);
+                const AccessCount overlap = oracle_.cpro_overlap(i, level);
                 require("tables.cpro_shape",
-                        overlap >= 0 && overlap <= pcb_i &&
+                        overlap >= AccessCount{0} && overlap <= pcb_i &&
                             overlap >= previous_cpro,
                         [&] {
                             std::ostringstream out;
@@ -347,13 +352,13 @@ private:
                         });
                 previous_cpro = overlap;
             }
-            previous_cpro = 0;
+            previous_cpro = AccessCount{0};
             for (std::size_t s = 0; s < ts_.size(); ++s) {
-                const std::int64_t pair = oracle_.pair_overlap(i, s);
+                const AccessCount pair = oracle_.pair_overlap(i, s);
                 const bool same_core = ts_[s].core == ts_[i].core && s != i;
                 require("tables.cpro_shape",
-                        pair >= 0 && pair <= pcb_i &&
-                            (same_core || pair == 0),
+                        pair >= AccessCount{0} && pair <= pcb_i &&
+                            (same_core || pair == AccessCount{0}),
                         [&] {
                             std::ostringstream out;
                             out << "pair_overlap(" << i << "," << s
@@ -374,11 +379,11 @@ private:
             make_config(BusPolicy::kFixedPriority, false);
 
         for (std::size_t i = 0; i < ts_.size(); ++i) {
-            std::int64_t previous_aware = -1;
-            std::int64_t previous_plain = -1;
+            AccessCount previous_aware{-1};
+            AccessCount previous_plain{-1};
             for (const Cycles t : probe_windows(i)) {
-                const std::int64_t hat = oracle_.bas(aware, i, t);
-                const std::int64_t plain = oracle_.bas(baseline, i, t);
+                const AccessCount hat = oracle_.bas(aware, i, t);
+                const AccessCount plain = oracle_.bas(baseline, i, t);
                 require("lemma1.bas_dominance", hat <= plain, [&] {
                     std::ostringstream out;
                     out << "task " << ts_[i].name << " t=" << t
@@ -400,9 +405,9 @@ private:
                     if (core == ts_[i].core) {
                         continue;
                     }
-                    const std::int64_t bao_hat =
+                    const AccessCount bao_hat =
                         oracle_.bao(aware, core, i, t, response);
-                    const std::int64_t bao_plain =
+                    const AccessCount bao_plain =
                         oracle_.bao(baseline, core, i, t, response);
                     require("lemma2.bao_dominance", bao_hat <= bao_plain,
                             [&] {
@@ -419,9 +424,9 @@ private:
                         make_config(policy, true);
                     const AnalysisConfig cfg_plain =
                         make_config(policy, false);
-                    const std::int64_t bat_aware =
+                    const AccessCount bat_aware =
                         oracle_.bat(cfg_aware, i, t, response);
-                    const std::int64_t bat_plain =
+                    const AccessCount bat_plain =
                         oracle_.bat(cfg_plain, i, t, response);
                     require("bat.dominates_bas",
                             bat_aware >= oracle_.bas(cfg_aware, i, t), [&] {
@@ -544,15 +549,15 @@ private:
     {
         std::int64_t total = 0;
         for (const tasks::Task& task : ts_.tasks()) {
-            total += (horizon / task.period + 1) * (task.md + 2);
+            total += (horizon / task.period + 1) * (task.md.count() + 2);
         }
         return total;
     }
 
     void check_simulation()
     {
-        Cycles max_period = 0;
-        Cycles min_period = std::numeric_limits<Cycles>::max();
+        Cycles max_period{0};
+        Cycles min_period{std::numeric_limits<std::int64_t>::max()};
         for (const tasks::Task& task : ts_.tasks()) {
             max_period = std::max(max_period, task.period);
             min_period = std::min(min_period, task.period);
@@ -563,7 +568,7 @@ private:
         Cycles horizon = options_.sim_horizon_periods * max_period;
         while (horizon / 2 >= min_period &&
                estimated_sim_events(horizon) > options_.sim_event_budget) {
-            horizon /= 2;
+            horizon = horizon / 2;
         }
         for (const auto& [policy, result] : wcrt_results_) {
             if (policy == BusPolicy::kPerfect) {

@@ -36,6 +36,7 @@ namespace cpa::check {
 
 using analysis::AnalysisConfig;
 using analysis::PlatformConfig;
+using util::AccessCount;
 using util::Cycles;
 
 struct Violation {
@@ -111,26 +112,26 @@ public:
     }
 
     // M̂D_i(n), Eq. (10).
-    [[nodiscard]] virtual std::int64_t md_hat(std::size_t i,
-                                              std::int64_t n_jobs) const;
+    [[nodiscard]] virtual AccessCount md_hat(std::size_t i,
+                                             std::int64_t n_jobs) const;
     // γ_{i,j}, Eq. (2).
-    [[nodiscard]] virtual std::int64_t gamma(std::size_t i,
-                                             std::size_t j) const;
+    [[nodiscard]] virtual AccessCount gamma(std::size_t i,
+                                            std::size_t j) const;
     // CPRO overlap of Eq. (14).
-    [[nodiscard]] virtual std::int64_t cpro_overlap(std::size_t j,
-                                                    std::size_t i) const;
+    [[nodiscard]] virtual AccessCount cpro_overlap(std::size_t j,
+                                                   std::size_t i) const;
     // Pairwise eviction potential of the job-bounded CPRO refinement.
-    [[nodiscard]] virtual std::int64_t pair_overlap(std::size_t j,
-                                                    std::size_t s) const;
+    [[nodiscard]] virtual AccessCount pair_overlap(std::size_t j,
+                                                   std::size_t s) const;
     // BAS_i(t) / B̂AS_i(t) depending on config.persistence_aware.
-    [[nodiscard]] virtual std::int64_t bas(const AnalysisConfig& config,
-                                           std::size_t i, Cycles t) const;
+    [[nodiscard]] virtual AccessCount bas(const AnalysisConfig& config,
+                                          std::size_t i, Cycles t) const;
     // BAO / B̂AO of core `core` at priority level k.
-    [[nodiscard]] virtual std::int64_t
+    [[nodiscard]] virtual AccessCount
     bao(const AnalysisConfig& config, std::size_t core, std::size_t k,
         Cycles t, const std::vector<Cycles>& response) const;
     // BAT_i(t), Eq. (7)-(9) per config.policy.
-    [[nodiscard]] virtual std::int64_t
+    [[nodiscard]] virtual AccessCount
     bat(const AnalysisConfig& config, std::size_t i, Cycles t,
         const std::vector<Cycles>& response) const;
     // The Eq. (19) fixed point for the whole set.

@@ -275,8 +275,9 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
                     parsed.ts, parsed.platform, ml_config, *parsed.l2,
                     parsed.l2_footprints, tables, *l2_tables);
             std::vector<analysis::ResponseBreakdown> rows(parsed.ts.size());
-            const std::size_t analyzable =
-                wcrt.schedulable ? parsed.ts.size() : wcrt.failed_task + 1;
+            const std::size_t analyzable = wcrt.schedulable
+                                               ? parsed.ts.size()
+                                               : wcrt.failed_task.value() + 1;
             for (std::size_t i = 0; i < analyzable && i < rows.size(); ++i) {
                 rows[i].analyzed = true;
                 rows[i].response = wcrt.response[i];
@@ -320,15 +321,15 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
             const auto& task = parsed.ts[i];
             std::vector<std::string> row{
                 task.name, std::to_string(task.core),
-                b.analyzed ? std::to_string(b.response) : "-",
-                std::to_string(task.deadline),
+                b.analyzed ? util::to_string(b.response) : "-",
+                util::to_string(task.deadline),
                 !b.analyzed ? "not analyzed"
                             : (b.meets_deadline ? "ok" : "MISS")};
             if (report) {
-                row.push_back(std::to_string(b.cpu_self));
-                row.push_back(std::to_string(b.cpu_preemption));
-                row.push_back(std::to_string(b.bus_same_core));
-                row.push_back(std::to_string(b.bus_cross_core));
+                row.push_back(util::to_string(b.cpu_self));
+                row.push_back(util::to_string(b.cpu_preemption));
+                row.push_back(util::to_string(b.bus_same_core));
+                row.push_back(util::to_string(b.bus_cross_core));
             }
             table.add_row(std::move(row));
         }
@@ -343,7 +344,7 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
         // bus and for multilevel systems — the simulator then needs the L2
         // footprints wired via the library API).
         if (sim_check && schedulable && policy != BusPolicy::kPerfect) {
-            util::Cycles max_period = 0;
+            util::Cycles max_period{0};
             for (const auto& task : parsed.ts.tasks()) {
                 max_period = std::max(max_period, task.period);
             }
@@ -368,11 +369,11 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
                         << " observed " << observed.max_response[i]
                         << " > bound " << bound << "\n";
                 }
-                if (bound > 0) {
+                if (bound > util::Cycles{0}) {
                     worst_margin = std::max(
                         worst_margin,
-                        static_cast<double>(observed.max_response[i]) /
-                            static_cast<double>(bound));
+                        util::to_double(observed.max_response[i]) /
+                            util::to_double(bound));
                 }
             }
             out << "sim-check: "
@@ -425,9 +426,9 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
     }
 
     const ParsedSystem parsed = parse_task_set_file(path);
-    util::Cycles max_period = 0;
-    util::Cycles lcm = 1;
-    constexpr util::Cycles kHyperperiodCap = 1'000'000'000'000; // 1e12
+    util::Cycles max_period{0};
+    util::Cycles lcm{1};
+    constexpr util::Cycles kHyperperiodCap{1'000'000'000'000}; // 1e12
     for (const auto& task : parsed.ts.tasks()) {
         max_period = std::max(max_period, task.period);
         lcm = util::saturating_lcm(lcm, task.period, kHyperperiodCap);
@@ -453,9 +454,9 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
         const auto& task = parsed.ts[i];
         table.add_row({task.name, std::to_string(task.core),
                        std::to_string(result.jobs_completed[i]),
-                       std::to_string(result.max_response[i]),
-                       std::to_string(task.deadline),
-                       std::to_string(result.bus_accesses[i]),
+                       util::to_string(result.max_response[i]),
+                       util::to_string(task.deadline),
+                       util::to_string(result.bus_accesses[i]),
                        result.max_response[i] <= task.deadline ? "ok"
                                                                : "MISS"});
     }
@@ -466,7 +467,7 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
         run_report.set("file", obs::JsonValue(path));
         obs::JsonValue& cfg = run_report.section("config");
         cfg.set("policy", obs::JsonValue(analysis::to_string(policy)));
-        cfg.set("horizon", obs::JsonValue(sim_config.horizon));
+        cfg.set("horizon", obs::JsonValue(sim_config.horizon.count()));
         run_report.set("deadline_missed",
                        obs::JsonValue(result.deadline_missed));
         write_run_report(run_report, metrics_out, out);

@@ -169,10 +169,11 @@ ParsedSystem parse_task_set(std::istream& in)
             }
             if (!d_mem_us.empty()) {
                 platform.d_mem = util::cycles_from_microseconds(
-                    parse_int(d_mem_us, line_number, "d_mem_us"));
+                    util::Microseconds{
+                        parse_int(d_mem_us, line_number, "d_mem_us")});
             } else if (!d_mem_cycles.empty()) {
-                platform.d_mem =
-                    parse_int(d_mem_cycles, line_number, "d_mem_cycles");
+                platform.d_mem = util::Cycles{
+                    parse_int(d_mem_cycles, line_number, "d_mem_cycles")};
             }
             const std::string slot =
                 take(fields, "slot_size", line_number, false);
@@ -198,10 +199,11 @@ ParsedSystem parse_task_set(std::istream& in)
                 }
                 if (!d_l2_us.empty()) {
                     l2_config.d_l2 = util::cycles_from_microseconds(
-                        parse_int(d_l2_us, line_number, "d_l2_us"));
+                        util::Microseconds{
+                            parse_int(d_l2_us, line_number, "d_l2_us")});
                 } else if (!d_l2_cycles.empty()) {
-                    l2_config.d_l2 =
-                        parse_int(d_l2_cycles, line_number, "d_l2_cycles");
+                    l2_config.d_l2 = util::Cycles{
+                        parse_int(d_l2_cycles, line_number, "d_l2_cycles")};
                 }
                 l2 = l2_config;
             }
@@ -228,29 +230,31 @@ ParsedSystem parse_task_set(std::istream& in)
             entry.task.core = static_cast<std::size_t>(parse_int(
                 take(fields, "core", line_number, true), line_number,
                 "core"));
-            entry.task.pd =
+            entry.task.pd = util::Cycles{
                 parse_int(take(fields, "pd", line_number, true),
-                          line_number, "pd");
-            entry.task.md =
+                          line_number, "pd")};
+            entry.task.md = util::AccessCount{
                 parse_int(take(fields, "md", line_number, true),
-                          line_number, "md");
-            entry.task.md_residual =
+                          line_number, "md")};
+            entry.task.md_residual = util::AccessCount{
                 parse_int(take(fields, "mdr", line_number, true),
-                          line_number, "mdr");
-            entry.task.period =
+                          line_number, "mdr")};
+            entry.task.period = util::Cycles{
                 parse_int(take(fields, "period", line_number, true),
-                          line_number, "period");
+                          line_number, "period")};
             const std::string deadline =
                 take(fields, "deadline", line_number, false);
-            entry.task.deadline = deadline.empty()
-                                      ? entry.task.period
-                                      : parse_int(deadline, line_number,
-                                                  "deadline");
+            entry.task.deadline =
+                deadline.empty() ? entry.task.period
+                                 : util::Cycles{parse_int(deadline,
+                                                          line_number,
+                                                          "deadline")};
             const std::string jitter =
                 take(fields, "jitter", line_number, false);
             entry.task.jitter =
-                jitter.empty() ? 0
-                               : parse_int(jitter, line_number, "jitter");
+                jitter.empty()
+                    ? util::Cycles{0}
+                    : util::Cycles{parse_int(jitter, line_number, "jitter")};
             entry.ecb = parse_ranges(take(fields, "ecb", line_number, false),
                                      line_number, "ecb");
             entry.ucb = parse_ranges(take(fields, "ucb", line_number, false),
@@ -314,9 +318,9 @@ ParsedSystem parse_task_set(std::istream& in)
                 if (!footprint.pcb2.is_subset_of(footprint.ecb2)) {
                     throw std::invalid_argument("pcb2 not a subset of ecb2");
                 }
-                footprint.md_residual_l2 = entry.mdr2 >= 0
-                                               ? entry.mdr2
-                                               : entry.task.md_residual;
+                footprint.md_residual_l2 =
+                    entry.mdr2 >= 0 ? util::AccessCount{entry.mdr2}
+                                    : entry.task.md_residual;
                 if (footprint.md_residual_l2 > entry.task.md_residual) {
                     throw std::invalid_argument("mdr2 exceeds mdr");
                 }
@@ -391,7 +395,7 @@ void write_task_set(std::ostream& out,
         if (task.deadline != task.period) {
             out << " deadline=" << task.deadline;
         }
-        if (task.jitter != 0) {
+        if (task.jitter != util::Cycles{0}) {
             out << " jitter=" << task.jitter;
         }
         if (!task.ecb.empty()) {

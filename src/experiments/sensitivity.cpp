@@ -11,7 +11,7 @@ util::Cycles critical_d_mem(const tasks::TaskSet& ts,
                             const analysis::AnalysisConfig& config,
                             util::Cycles hi)
 {
-    if (hi < 1) {
+    if (hi < util::Cycles{1}) {
         throw std::invalid_argument("critical_d_mem: hi must be >= 1");
     }
     const analysis::InterferenceTables tables(ts, config.crpd);
@@ -21,18 +21,18 @@ util::Cycles critical_d_mem(const tasks::TaskSet& ts,
         return analysis::is_schedulable(ts, scaled, config, tables);
     };
 
-    if (!schedulable_at(1)) {
-        return 0;
+    if (!schedulable_at(util::Cycles{1})) {
+        return util::Cycles{0};
     }
     // Binary search for the largest schedulable latency. Schedulability is
     // antitone in d_mem on these bounds (every memory term scales up with
     // it); the sensitivity tests verify this empirically.
-    util::Cycles lo = 1; // schedulable
-    util::Cycles too_high = hi + 1;
+    util::Cycles lo{1}; // schedulable
+    util::Cycles too_high = hi + util::Cycles{1};
     if (schedulable_at(hi)) {
         return hi;
     }
-    while (too_high - lo > 1) {
+    while (too_high - lo > util::Cycles{1}) {
         const util::Cycles mid = lo + (too_high - lo) / 2;
         if (schedulable_at(mid)) {
             lo = mid;

@@ -7,11 +7,11 @@ namespace {
 std::atomic<bool> g_metrics_enabled{false};
 
 // Generic find-or-create over the heterogeneous maps; heap allocation keeps
-// the handed-out references stable across rehashing/rebalancing.
+// the handed-out references stable across rehashing/rebalancing. Callers
+// hold the registry mutex (enforced at the call sites by util::MutexLock).
 template <typename Map>
-auto& find_or_create(std::mutex& mutex, Map& map, std::string_view name)
+auto& find_or_create(Map& map, std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mutex);
     auto it = map.find(name);
     if (it == map.end()) {
         using Value = typename Map::mapped_type::element_type;
@@ -40,22 +40,25 @@ MetricsRegistry& MetricsRegistry::global()
 
 Counter& MetricsRegistry::counter(std::string_view name)
 {
-    return find_or_create(mutex_, counters_, name);
+    util::MutexLock lock(mutex_);
+    return find_or_create(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name)
 {
-    return find_or_create(mutex_, gauges_, name);
+    util::MutexLock lock(mutex_);
+    return find_or_create(gauges_, name);
 }
 
 Timer& MetricsRegistry::timer(std::string_view name)
 {
-    return find_or_create(mutex_, timers_, name);
+    util::MutexLock lock(mutex_);
+    return find_or_create(timers_, name);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     MetricsSnapshot snap;
     for (const auto& [name, counter] : counters_) {
         snap.counters.emplace(name, counter->value());
@@ -72,7 +75,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const
 
 void MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& [name, counter] : counters_) {
         counter->reset();
     }

@@ -12,12 +12,13 @@
 //  * Registration is mutex-protected (cold path only).
 #pragma once
 
+#include "util/thread_safety.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -106,21 +107,25 @@ public:
     [[nodiscard]] static MetricsRegistry& global();
 
     // Find-or-create; the returned reference is stable forever.
-    [[nodiscard]] Counter& counter(std::string_view name);
-    [[nodiscard]] Gauge& gauge(std::string_view name);
-    [[nodiscard]] Timer& timer(std::string_view name);
+    [[nodiscard]] Counter& counter(std::string_view name)
+        CPA_EXCLUDES(mutex_);
+    [[nodiscard]] Gauge& gauge(std::string_view name) CPA_EXCLUDES(mutex_);
+    [[nodiscard]] Timer& timer(std::string_view name) CPA_EXCLUDES(mutex_);
 
-    [[nodiscard]] MetricsSnapshot snapshot() const;
+    [[nodiscard]] MetricsSnapshot snapshot() const CPA_EXCLUDES(mutex_);
 
     // Zeroes every metric value. Registered names (and references handed
     // out) survive, so call sites keep working across resets.
-    void reset();
+    void reset() CPA_EXCLUDES(mutex_);
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-    std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+        CPA_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+        CPA_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+        CPA_GUARDED_BY(mutex_);
 };
 
 // RAII wall-clock scope feeding a Timer metric. Inactive (and skipping the

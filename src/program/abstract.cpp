@@ -219,7 +219,7 @@ AbstractExtraction analyze_program(const Program& program,
     MustAnalysis analysis(geometry, program.procedures());
     {
         MustState cold(geometry.sets);
-        result.md = analysis.run(program.body(), cold);
+        result.md = util::AccessCount{analysis.run(program.body(), cold)};
     }
     {
         MustState warm(geometry.sets);
@@ -228,7 +228,7 @@ AbstractExtraction analyze_program(const Program& program,
                 warm[geometry.set_of(block)] = block;
             }
         }
-        result.md_residual = analysis.run(program.body(), warm);
+        result.md_residual = util::AccessCount{analysis.run(program.body(), warm)};
     }
     return result;
 }

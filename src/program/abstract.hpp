@@ -34,9 +34,9 @@ namespace cpa::program {
 
 struct AbstractExtraction {
     std::string name;
-    util::Cycles pd = 0;          // longest-path fetch count * fetch cost
-    std::int64_t md = 0;          // upper bound on cold-cache misses
-    std::int64_t md_residual = 0; // upper bound with PCBs pre-loaded
+    util::Cycles pd;              // longest-path fetch count * fetch cost
+    util::AccessCount md;         // upper bound on cold-cache misses
+    util::AccessCount md_residual; // upper bound with PCBs pre-loaded
     util::SetMask ecb;            // sets touched on any path
     util::SetMask ucb;            // sets of blocks that may be reused
     util::SetMask pcb;            // exact (layout property, path-independent)

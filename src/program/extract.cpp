@@ -19,7 +19,7 @@ ExtractedParams extract_parameters(const Program& program,
 
     ExtractedParams params;
     params.name = program.name();
-    params.pd = static_cast<util::Cycles>(trace.size()) *
+    params.pd = static_cast<std::int64_t>(trace.size()) *
                 program.cycles_per_fetch();
     params.ecb = SetMask(geometry.sets);
     params.ucb = SetMask(geometry.sets);
@@ -56,7 +56,7 @@ ExtractedParams extract_parameters(const Program& program,
                 delta[last_access[block] + 1] += 1;
                 delta[pos + 1] -= 1;
             } else {
-                params.md += 1;
+                params.md += util::AccessCount{1};
             }
             last_access[block] = pos;
         }
@@ -79,7 +79,7 @@ ExtractedParams extract_parameters(const Program& program,
         }
         for (const std::size_t block : trace) {
             if (!warm.access(block)) {
-                params.md_residual += 1;
+                params.md_residual += util::AccessCount{1};
             }
         }
     }
@@ -97,7 +97,7 @@ tasks::Task to_task(const ExtractedParams& params, std::size_t core,
     task.md = params.md;
     task.md_residual = params.md_residual;
     task.period = period;
-    task.deadline = deadline > 0 ? deadline : period;
+    task.deadline = deadline > util::Cycles{0} ? deadline : period;
     task.ecb = params.ecb;
     task.ucb = params.ucb;
     task.pcb = params.pcb;

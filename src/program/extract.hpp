@@ -34,9 +34,9 @@ namespace cpa::program {
 
 struct ExtractedParams {
     std::string name;
-    util::Cycles pd = 0;          // trace length * cycles_per_fetch
-    std::int64_t md = 0;          // cold-cache misses
-    std::int64_t md_residual = 0; // misses with PCBs pre-loaded
+    util::Cycles pd;              // trace length * cycles_per_fetch
+    util::AccessCount md;         // cold-cache misses
+    util::AccessCount md_residual; // misses with PCBs pre-loaded
     util::SetMask ecb;
     util::SetMask ucb;
     util::SetMask pcb;
@@ -52,6 +52,6 @@ extract_parameters(const Program& program, const cache::CacheGeometry& geometry)
 // `deadline` are in cycles; deadline defaults to the period.
 [[nodiscard]] tasks::Task to_task(const ExtractedParams& params,
                                   std::size_t core, util::Cycles period,
-                                  util::Cycles deadline = 0);
+                                  util::Cycles deadline = util::Cycles{0});
 
 } // namespace cpa::program

@@ -141,7 +141,7 @@ Program::Program(std::string name, std::vector<Segment> body,
       cycles_per_fetch_(cycles_per_fetch),
       procedures_(std::move(procedures))
 {
-    if (cycles_per_fetch_ <= 0) {
+    if (cycles_per_fetch_ <= Cycles{0}) {
         throw std::invalid_argument("Program: cycles_per_fetch must be > 0");
     }
     std::set<std::string> stack;

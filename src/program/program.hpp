@@ -53,7 +53,7 @@ public:
     // and call chains must be acyclic (validated here; throws
     // std::invalid_argument otherwise).
     Program(std::string name, std::vector<Segment> body,
-            Cycles cycles_per_fetch = 2,
+            Cycles cycles_per_fetch = Cycles{2},
             std::map<std::string, std::vector<Segment>> procedures = {});
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -105,7 +105,8 @@ private:
 //   Program p = std::move(b).build();
 class ProgramBuilder {
 public:
-    explicit ProgramBuilder(std::string name, Cycles cycles_per_fetch = 2);
+    explicit ProgramBuilder(std::string name,
+                            Cycles cycles_per_fetch = Cycles{2});
 
     // Appends blocks base, base+1, ..., base+count-1.
     ProgramBuilder& straight(std::size_t base, std::size_t count);

@@ -6,38 +6,41 @@ namespace cpa::sim {
 
 using analysis::BusPolicy;
 using util::Cycles;
+using util::MutexLock;
 
 BusArbiter::BusArbiter(BusPolicy policy, std::size_t num_cores, Cycles d_mem,
                        std::int64_t slot_size)
     : policy_(policy), num_cores_(num_cores), d_mem_(d_mem),
       slot_size_(slot_size), pending_(num_cores)
 {
-    if (num_cores == 0 || d_mem <= 0 || slot_size <= 0) {
+    if (num_cores == 0 || d_mem <= Cycles{0} || slot_size <= 0) {
         throw std::invalid_argument("BusArbiter: bad configuration");
     }
 }
 
-Cycles BusArbiter::tdma_start(std::size_t core, Cycles from) const
+Cycles BusArbiter::tdma_start(CoreId core, Cycles from) const
 {
     const auto s = static_cast<std::uint64_t>(slot_size_);
     const auto m = static_cast<std::uint64_t>(num_cores_);
-    const auto d = static_cast<std::uint64_t>(d_mem_);
-    std::uint64_t k = static_cast<std::uint64_t>(from) / d;
+    const auto d = static_cast<std::uint64_t>(d_mem_.count());
+    std::uint64_t k = static_cast<std::uint64_t>(from.count()) / d;
     for (std::uint64_t step = 0; step <= m * s; ++step, ++k) {
-        if ((k / s) % m == core) {
-            return std::max(from, static_cast<Cycles>(k * d));
+        if ((k / s) % m == core.value()) {
+            return std::max(from,
+                            Cycles{static_cast<std::int64_t>(k * d)});
         }
     }
     throw std::logic_error("BusArbiter::tdma_start: no slot found");
 }
 
-std::optional<Cycles> BusArbiter::request(std::size_t core,
-                                          std::size_t priority, Cycles now)
+std::optional<Cycles> BusArbiter::request(CoreId core, TaskId priority,
+                                          Cycles now)
 {
-    if (core >= num_cores_) {
+    if (core.value() >= num_cores_) {
         throw std::out_of_range("BusArbiter::request: bad core");
     }
-    if (pending_[core].has_value()) {
+    MutexLock lock(mutex_);
+    if (pending_[core.value()].has_value()) {
         throw std::logic_error(
             "BusArbiter::request: core already has an outstanding request");
     }
@@ -48,14 +51,14 @@ std::optional<Cycles> BusArbiter::request(std::size_t core,
         return tdma_start(core, now) + d_mem_;
     case BusPolicy::kFixedPriority:
     case BusPolicy::kRoundRobin:
-        pending_[core] = priority;
+        pending_[core.value()] = priority;
         if (busy_) {
             return std::nullopt;
         }
         // Idle bus: this request wins arbitration immediately (for RR it
         // either continues the current turn or starts a new one).
         if (const auto grant = pick_next(); grant.has_value()) {
-            pending_[*grant].reset();
+            pending_[grant->value()].reset();
             busy_ = true;
             if (*grant == core) {
                 return now + d_mem_;
@@ -68,15 +71,15 @@ std::optional<Cycles> BusArbiter::request(std::size_t core,
     return std::nullopt;
 }
 
-std::optional<std::size_t> BusArbiter::pick_next()
+std::optional<CoreId> BusArbiter::pick_next()
 {
     if (policy_ == BusPolicy::kFixedPriority) {
-        std::optional<std::size_t> best;
+        std::optional<CoreId> best;
         for (std::size_t c = 0; c < num_cores_; ++c) {
             if (pending_[c].has_value() &&
                 (!best.has_value() ||
-                 *pending_[c] < *pending_[*best])) {
-                best = c;
+                 *pending_[c] < *pending_[best->value()])) {
+                best = CoreId{c};
             }
         }
         return best;
@@ -85,38 +88,41 @@ std::optional<std::size_t> BusArbiter::pick_next()
     // requests and slots left, else advance to the next pending core.
     if (pending_[rr_core_].has_value() && rr_used_ < slot_size_) {
         ++rr_used_;
-        return rr_core_;
+        return CoreId{rr_core_};
     }
     for (std::size_t step = 1; step <= num_cores_; ++step) {
         const std::size_t c = (rr_core_ + step) % num_cores_;
         if (pending_[c].has_value()) {
             rr_core_ = c;
             rr_used_ = 1;
-            return c;
+            return CoreId{c};
         }
     }
     return std::nullopt;
 }
 
-void BusArbiter::promote(std::size_t core, std::size_t priority)
+void BusArbiter::promote(CoreId core, TaskId priority)
 {
-    if (core >= num_cores_) {
+    if (core.value() >= num_cores_) {
         throw std::out_of_range("BusArbiter::promote: bad core");
     }
-    if (pending_[core].has_value() && priority < *pending_[core]) {
-        pending_[core] = priority;
+    MutexLock lock(mutex_);
+    if (pending_[core.value()].has_value() &&
+        priority < *pending_[core.value()]) {
+        pending_[core.value()] = priority;
     }
 }
 
-std::optional<std::pair<std::size_t, Cycles>>
-BusArbiter::complete(std::size_t /*core*/, Cycles now)
+std::optional<std::pair<CoreId, Cycles>> BusArbiter::complete(CoreId /*core*/,
+                                                              Cycles now)
 {
     if (policy_ == BusPolicy::kPerfect || policy_ == BusPolicy::kTdma) {
         return std::nullopt;
     }
+    MutexLock lock(mutex_);
     busy_ = false;
     if (const auto grant = pick_next(); grant.has_value()) {
-        pending_[*grant].reset();
+        pending_[grant->value()].reset();
         busy_ = true;
         return std::make_pair(*grant, now + d_mem_);
     }

@@ -15,9 +15,15 @@
 //
 // Each core may have at most one outstanding request (the cores stall on
 // fetches), which both simulators guarantee.
+//
+// Thread safety: the arbitration state (pending_/busy_/RR turn) is guarded
+// by an internal mutex and checked with Clang's thread-safety analysis, so
+// independent simulations can share nothing but still drive one arbiter each
+// from a parallel sweep without data races.
 #pragma once
 
 #include "analysis/config.hpp"
+#include "util/thread_safety.hpp"
 #include "util/units.hpp"
 
 #include <cstddef>
@@ -26,6 +32,9 @@
 #include <vector>
 
 namespace cpa::sim {
+
+using util::CoreId;
+using util::TaskId;
 
 class BusArbiter {
 public:
@@ -39,13 +48,14 @@ public:
     // idle); otherwise the request is queued and its completion is returned
     // by a later complete() call.
     [[nodiscard]] std::optional<util::Cycles>
-    request(std::size_t core, std::size_t priority, util::Cycles now);
+    request(CoreId core, TaskId priority, util::Cycles now)
+        CPA_EXCLUDES(mutex_);
 
     // Notifies that the access of `core` finished at `now` (FP/RR only; a
     // no-op for TDMA/Perfect). Returns the next grant {core, completion
     // time}, if any request is pending.
-    [[nodiscard]] std::optional<std::pair<std::size_t, util::Cycles>>
-    complete(std::size_t core, util::Cycles now);
+    [[nodiscard]] std::optional<std::pair<CoreId, util::Cycles>>
+    complete(CoreId core, util::Cycles now) CPA_EXCLUDES(mutex_);
 
     // Priority inheritance: raises `core`'s queued request to `priority` if
     // that is more urgent. Called when a higher-priority job becomes ready
@@ -56,23 +66,24 @@ public:
     // task. No-op when no request of `core` is queued (TDMA/Perfect never
     // queue; an already-granted access is non-preemptive and bounded by
     // d_mem, which the analysis covers as the +1 blocking term).
-    void promote(std::size_t core, std::size_t priority);
+    void promote(CoreId core, TaskId priority) CPA_EXCLUDES(mutex_);
 
 private:
-    [[nodiscard]] util::Cycles tdma_start(std::size_t core,
+    [[nodiscard]] util::Cycles tdma_start(CoreId core,
                                           util::Cycles from) const;
-    [[nodiscard]] std::optional<std::size_t> pick_next();
+    [[nodiscard]] std::optional<CoreId> pick_next() CPA_REQUIRES(mutex_);
 
     analysis::BusPolicy policy_;
     std::size_t num_cores_;
     util::Cycles d_mem_;
     std::int64_t slot_size_;
 
+    mutable util::Mutex mutex_;
     // pending_[core]: priority of the queued request, or nullopt.
-    std::vector<std::optional<std::size_t>> pending_;
-    bool busy_ = false;
-    std::size_t rr_core_ = 0;
-    std::int64_t rr_used_ = 0;
+    std::vector<std::optional<TaskId>> pending_ CPA_GUARDED_BY(mutex_);
+    bool busy_ CPA_GUARDED_BY(mutex_) = false;
+    std::size_t rr_core_ CPA_GUARDED_BY(mutex_) = 0;
+    std::int64_t rr_used_ CPA_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace cpa::sim

@@ -11,6 +11,8 @@ namespace cpa::sim {
 
 namespace {
 
+using util::CoreId;
+
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 enum class EventType : std::uint8_t {
@@ -20,7 +22,7 @@ enum class EventType : std::uint8_t {
 };
 
 struct Event {
-    Cycles time = 0;
+    Cycles time;
     std::uint64_t seq = 0;
     EventType type = EventType::kRelease;
     std::size_t a = 0;
@@ -44,13 +46,13 @@ struct Event {
 
 struct PJob {
     std::size_t task = kNone;
-    Cycles release = 0;
+    Cycles release;
     std::size_t pos = 0;   // next fetch in the trace
-    Cycles partial = 0;    // cycles already spent on the fetch at `pos`
+    Cycles partial;        // cycles already spent on the fetch at `pos`
     bool finished = false;
     // The compute chunk currently scheduled (hit-run bookkeeping).
-    Cycles chunk_started = 0;
-    Cycles chunk_len = 0;
+    Cycles chunk_started;
+    Cycles chunk_len;
     std::size_t chunk_end_pos = 0;
 };
 
@@ -74,7 +76,7 @@ public:
           arbiter_(config.policy, platform.num_cores, platform.d_mem,
                    platform.slot_size)
     {
-        if (config.horizon <= 0) {
+        if (config.horizon <= Cycles{0}) {
             throw std::invalid_argument(
                 "simulate_programs: horizon must be > 0");
         }
@@ -92,7 +94,7 @@ public:
                 throw std::invalid_argument(
                     "simulate_programs: bad core index");
             }
-            if (task.period <= 0) {
+            if (task.period <= Cycles{0}) {
                 throw std::invalid_argument(
                     "simulate_programs: period must be > 0");
             }
@@ -103,9 +105,9 @@ public:
             }
             traces_.push_back(std::move(trace));
         }
-        result_.max_response.assign(workload.size(), 0);
+        result_.max_response.assign(workload.size(), Cycles{0});
         result_.jobs_completed.assign(workload.size(), 0);
-        result_.bus_accesses.assign(workload.size(), 0);
+        result_.bus_accesses.assign(workload.size(), AccessCount{0});
         result_.cache_hits.assign(workload.size(), 0);
         fetches_completed_.assign(workload.size(), 0);
         current_job_of_task_.assign(workload.size(), kNone);
@@ -136,7 +138,7 @@ public:
         }
         for (std::size_t i = 0; i < workload_.size(); ++i) {
             result_.cache_hits[i] =
-                fetches_completed_[i] - result_.bus_accesses[i];
+                fetches_completed_[i] - result_.bus_accesses[i].count();
         }
         return result_;
     }
@@ -149,15 +151,16 @@ private:
 
     [[nodiscard]] Cycles deadline_of(std::size_t task) const
     {
-        return workload_[task].deadline > 0 ? workload_[task].deadline
-                                            : workload_[task].period;
+        return workload_[task].deadline > Cycles{0}
+                   ? workload_[task].deadline
+                   : workload_[task].period;
     }
 
     void record_miss(std::size_t task)
     {
         if (!result_.deadline_missed) {
             result_.deadline_missed = true;
-            result_.missed_task = task;
+            result_.missed_task = TaskId{task};
         }
         if (config_.stop_on_deadline_miss) {
             stopped_ = true;
@@ -225,7 +228,7 @@ private:
         const auto& trace = traces_[job.task];
         const Cycles cpf = workload_[job.task].program->cycles_per_fetch();
 
-        Cycles len = 0;
+        Cycles len{0};
         std::size_t p = job.pos;
         if (p < trace.size() && core.cache.contains(trace[p])) {
             len += cpf - job.partial;
@@ -239,7 +242,7 @@ private:
             // on an evicted fetch is discarded — the fetch restarts as a
             // miss. (Slightly optimistic; never pessimistic, so soundness
             // comparisons against the analysis remain valid.)
-            job.partial = 0;
+            job.partial = Cycles{0};
         }
         job.chunk_started = now_;
         job.chunk_len = len;
@@ -263,7 +266,7 @@ private:
             if (elapsed >= first_cost) {
                 elapsed -= first_cost;
                 job.pos += 1;
-                job.partial = 0;
+                job.partial = Cycles{0};
                 fetches_completed_[job.task] += 1;
                 const auto more = std::min<std::size_t>(
                     static_cast<std::size_t>(elapsed / cpf),
@@ -271,7 +274,7 @@ private:
                 job.pos += more;
                 fetches_completed_[job.task] +=
                     static_cast<std::int64_t>(more);
-                elapsed -= static_cast<Cycles>(more) * cpf;
+                elapsed -= static_cast<std::int64_t>(more) * cpf;
                 job.partial = elapsed;
             } else {
                 job.partial += elapsed;
@@ -294,7 +297,7 @@ private:
         fetches_completed_[job.task] +=
             static_cast<std::int64_t>(job.chunk_end_pos - job.pos);
         job.pos = job.chunk_end_pos;
-        job.partial = 0;
+        job.partial = Cycles{0};
 
         if (job.pos >= traces_[job.task].size()) {
             complete_job(core_index);
@@ -304,7 +307,7 @@ private:
         core.stalled = true;
         core.pending_request = core.running;
         const auto completion =
-            arbiter_.request(core_index, job.task, now_);
+            arbiter_.request(CoreId{core_index}, TaskId{job.task}, now_);
         if (completion.has_value()) {
             push(*completion, EventType::kBusDone, core_index, 0);
         }
@@ -321,16 +324,16 @@ private:
         // Install the fetched block; the fetch itself (cycles_per_fetch)
         // executes as the head of the job's next compute chunk.
         (void)core.cache.access(traces_[job.task][job.pos]);
-        result_.bus_accesses[job.task] += 1;
+        result_.bus_accesses[job.task] += AccessCount{1};
 
         core.ready.push_back(job_id);
         core.running = kNone;
         core.cpu_generation++;
         dispatch(core_index);
 
-        if (const auto next = arbiter_.complete(core_index, now_);
+        if (const auto next = arbiter_.complete(CoreId{core_index}, now_);
             next.has_value()) {
-            push(next->second, EventType::kBusDone, next->first, 0);
+            push(next->second, EventType::kBusDone, next->first.value(), 0);
         }
     }
 
@@ -358,7 +361,7 @@ private:
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     std::uint64_t seq_ = 0;
-    Cycles now_ = 0;
+    Cycles now_;
     bool stopped_ = false;
 
     std::vector<std::vector<std::size_t>> traces_;

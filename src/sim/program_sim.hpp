@@ -35,16 +35,18 @@ namespace cpa::sim {
 
 using analysis::BusPolicy;
 using analysis::PlatformConfig;
+using util::AccessCount;
 using util::Cycles;
+using util::TaskId;
 
 // One task of the program-level workload. Priority = position in the vector
 // (index 0 = highest), mirroring tasks::TaskSet.
 struct ProgramTask {
     const program::Program* program = nullptr; // must outlive the simulation
     std::size_t core = 0;
-    Cycles period = 0;
-    Cycles deadline = 0; // 0 = implicit (period)
-    Cycles offset = 0;   // first release
+    Cycles period;
+    Cycles deadline; // 0 = implicit (period)
+    Cycles offset;   // first release
     // Block-address displacement: the task's code is linked at
     // base + block for every block of the program (models distinct load
     // addresses of different tasks; drives which cache sets they fight for).
@@ -53,17 +55,18 @@ struct ProgramTask {
 
 struct ProgramSimConfig {
     BusPolicy policy = BusPolicy::kFixedPriority;
-    Cycles horizon = 0;
+    Cycles horizon;
     bool stop_on_deadline_miss = true;
 };
 
 struct ProgramSimResult {
     std::vector<Cycles> max_response;
     std::vector<std::int64_t> jobs_completed;
-    std::vector<std::int64_t> bus_accesses; // = cache misses per task
+    std::vector<AccessCount> bus_accesses; // = cache misses per task
     std::vector<std::int64_t> cache_hits;
     bool deadline_missed = false;
-    std::size_t missed_task = static_cast<std::size_t>(-1);
+    // The first task observed to miss, or kNoMissedTask (simulator.hpp).
+    TaskId missed_task = TaskId::invalid();
 };
 
 // Runs the program-level simulation. Alternatives in the programs are

@@ -16,6 +16,8 @@ namespace cpa::sim {
 
 namespace {
 
+using util::AccessCount;
+using util::CoreId;
 using util::SetMask;
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
@@ -27,7 +29,7 @@ enum class EventType : std::uint8_t {
 };
 
 struct Event {
-    Cycles time = 0;
+    Cycles time;
     std::uint64_t seq = 0; // FIFO tie-break for simultaneous events
     EventType type = EventType::kRelease;
     std::size_t a = 0;
@@ -56,14 +58,14 @@ struct Event {
 
 struct Job {
     std::size_t task = kNone;
-    Cycles arrival = 0; // deadline reference point
-    Cycles release = 0; // arrival + jitter draw
-    Cycles cpu_left = 0;
-    std::int64_t accesses_left = 0;
+    Cycles arrival; // deadline reference point
+    Cycles release; // arrival + jitter draw
+    Cycles cpu_left;
+    AccessCount accesses_left;
     bool started = false;   // accesses computed at first dispatch
     bool finished = false;
-    Cycles chunk_started = 0; // when the current compute chunk was scheduled
-    Cycles chunk_len = 0;
+    Cycles chunk_started; // when the current compute chunk was scheduled
+    Cycles chunk_len;
     SetMask evicted; // ECBs of tasks that ran while this job was suspended
 };
 
@@ -74,7 +76,7 @@ struct Core {
     std::uint64_t cpu_generation = 0;
     std::vector<std::int32_t> cache_owner; // task id per cache set, -1 empty
     std::size_t pending_request = kNone;   // job waiting for / using the bus
-    Cycles request_issued_at = 0;          // when pending_request stalled
+    Cycles request_issued_at;              // when pending_request stalled
 };
 
 class Simulation {
@@ -87,7 +89,7 @@ public:
                    platform.slot_size),
           jitter_rng_(config.jitter_seed)
     {
-        if (config.horizon <= 0) {
+        if (config.horizon <= Cycles{0}) {
             throw std::invalid_argument("simulate: horizon must be > 0");
         }
         if (config.l2_footprints != nullptr) {
@@ -100,9 +102,9 @@ public:
         for (Core& core : cores_) {
             core.cache_owner.assign(ts.cache_sets(), -1);
         }
-        result_.max_response.assign(ts.size(), 0);
+        result_.max_response.assign(ts.size(), Cycles{0});
         result_.jobs_completed.assign(ts.size(), 0);
-        result_.bus_accesses.assign(ts.size(), 0);
+        result_.bus_accesses.assign(ts.size(), AccessCount{0});
         current_job_of_task_.assign(ts.size(), kNone);
     }
 
@@ -115,15 +117,15 @@ public:
         }
         for (std::size_t i = 0; i < ts_.size(); ++i) {
             const Cycles offset = config_.release_offsets.empty()
-                                      ? 0
+                                      ? Cycles{0}
                                       : config_.release_offsets[i];
-            if (offset < 0) {
+            if (offset < Cycles{0}) {
                 throw std::invalid_argument(
                     "simulate: negative release offset");
             }
             if (offset < config_.horizon) {
                 push(offset + draw_jitter(i), EventType::kRelease, i,
-                     static_cast<std::uint64_t>(offset));
+                     static_cast<std::uint64_t>(offset.count()));
             }
         }
         while (!queue_.empty()) {
@@ -135,7 +137,8 @@ public:
             }
             switch (event.type) {
             case EventType::kRelease:
-                on_release(event.a, static_cast<Cycles>(event.b));
+                on_release(event.a,
+                           Cycles{static_cast<std::int64_t>(event.b)});
                 break;
             case EventType::kCpuDone:
                 on_cpu_done(event.a, event.b);
@@ -162,11 +165,11 @@ private:
                 obs::TraceEvent("sim", obs::Severity::kWarn, "deadline_miss")
                     .field("task", task)
                     .field("task_name", ts_[task].name)
-                    .field("time", now_));
+                    .field("time", now_.count()));
         }
         if (!result_.deadline_missed) {
             result_.deadline_missed = true;
-            result_.missed_task = task;
+            result_.missed_task = TaskId{task};
         }
         if (config_.stop_on_deadline_miss) {
             stopped_ = true;
@@ -176,11 +179,11 @@ private:
     [[nodiscard]] Cycles draw_jitter(std::size_t task_index)
     {
         const Cycles jitter = ts_[task_index].jitter;
-        if (jitter <= 0) {
-            return 0;
+        if (jitter <= Cycles{0}) {
+            return Cycles{0};
         }
-        std::uniform_int_distribution<Cycles> dist(0, jitter);
-        return dist(jitter_rng_);
+        std::uniform_int_distribution<std::int64_t> dist(0, jitter.count());
+        return Cycles{dist(jitter_rng_)};
     }
 
     void on_release(std::size_t task_index, Cycles arrival)
@@ -213,7 +216,8 @@ private:
         const Cycles next_arrival = arrival + task.period;
         if (next_arrival < config_.horizon) {
             push(next_arrival + draw_jitter(task_index), EventType::kRelease,
-                 task_index, static_cast<std::uint64_t>(next_arrival));
+                 task_index,
+                 static_cast<std::uint64_t>(next_arrival.count()));
         }
     }
 
@@ -246,7 +250,8 @@ private:
             // Eq. (7) analysis correctly does not charge to the preempter.
             if (best != kNone &&
                 jobs_[best].task < jobs_[core.running].task) {
-                arbiter_.promote(core_index, jobs_[best].task);
+                arbiter_.promote(CoreId{core_index},
+                                 TaskId{jobs_[best].task});
             }
             return;
         }
@@ -287,14 +292,14 @@ private:
 
         if (!job.started) {
             job.started = true;
-            std::int64_t missing_pcbs = 0;
+            AccessCount missing_pcbs{0};
             for (const std::size_t set : task.pcb.to_indices()) {
                 if (core.cache_owner[set] !=
                     static_cast<std::int32_t>(job.task)) {
-                    ++missing_pcbs;
+                    missing_pcbs += AccessCount{1};
                 }
             }
-            const std::int64_t requests =
+            const AccessCount requests =
                 std::min(task.md, task.md_residual + missing_pcbs);
             job.accesses_left = requests;
             if (config_.l2_footprints != nullptr) {
@@ -303,11 +308,11 @@ private:
                 // L1 miss additionally stalls the core for d_l2.
                 const analysis::L2Footprint& fp =
                     (*config_.l2_footprints)[job.task];
-                std::int64_t missing_l2 = 0;
+                AccessCount missing_l2{0};
                 for (const std::size_t set : fp.pcb2.to_indices()) {
                     if (l2_owner_[set] !=
                         static_cast<std::int32_t>(job.task)) {
-                        ++missing_l2;
+                        missing_l2 += AccessCount{1};
                     }
                 }
                 job.accesses_left = std::min(
@@ -317,7 +322,7 @@ private:
             }
         } else {
             // CRPD reloads: useful blocks evicted while suspended.
-            const std::int64_t reloads = static_cast<std::int64_t>(
+            const AccessCount reloads = util::accesses_from_blocks(
                 task.ucb.intersection_count(job.evicted));
             job.accesses_left += reloads;
             if (config_.l2_footprints != nullptr) {
@@ -343,8 +348,9 @@ private:
         Core& core = cores_[core_index];
         Job& job = jobs_[core.running];
         const Cycles chunk =
-            job.accesses_left > 0 ? job.cpu_left / (job.accesses_left + 1)
-                                  : job.cpu_left;
+            job.accesses_left > AccessCount{0}
+                ? job.cpu_left / (job.accesses_left.count() + 1)
+                : job.cpu_left;
         job.chunk_started = now_;
         job.chunk_len = chunk;
         push(now_ + chunk, EventType::kCpuDone, core_index,
@@ -359,7 +365,7 @@ private:
         }
         Job& job = jobs_[core.running];
         job.cpu_left -= job.chunk_len;
-        if (job.accesses_left > 0) {
+        if (job.accesses_left > AccessCount{0}) {
             issue_request(core_index);
         } else {
             complete_job(core_index);
@@ -374,7 +380,7 @@ private:
         core.pending_request = core.running;
         core.request_issued_at = now_;
         const auto completion = arbiter_.request(
-            core_index, jobs_[core.running].task, now_);
+            CoreId{core_index}, TaskId{jobs_[core.running].task}, now_);
         if (completion.has_value()) {
             push(*completion, EventType::kBusDone, core_index, 0);
         }
@@ -389,13 +395,15 @@ private:
         // The bus granted and served one access for this core; the core
         // stalled from issue to completion (queueing + the d_mem service).
         CPA_COUNT("sim.bus_grants");
-        CPA_COUNT_ADD("sim.stall_cycles", now_ - core.request_issued_at);
+        CPA_COUNT_ADD("sim.stall_cycles",
+                      (now_ - core.request_issued_at).count());
         CPA_COUNT_ADD("sim.contention_cycles",
-                      now_ - core.request_issued_at - platform_.d_mem);
+                      (now_ - core.request_issued_at - platform_.d_mem)
+                          .count());
 
         Job& job = jobs_[job_id];
-        job.accesses_left -= 1;
-        result_.bus_accesses[job.task] += 1;
+        job.accesses_left -= AccessCount{1};
+        result_.bus_accesses[job.task] += AccessCount{1};
 
         // Give the scheduler a chance to switch to a job released during the
         // access; otherwise continue with the next compute chunk.
@@ -404,9 +412,9 @@ private:
         core.cpu_generation++;
         dispatch(core_index);
 
-        if (const auto next = arbiter_.complete(core_index, now_);
+        if (const auto next = arbiter_.complete(CoreId{core_index}, now_);
             next.has_value()) {
-            push(next->second, EventType::kBusDone, next->first, 0);
+            push(next->second, EventType::kBusDone, next->first.value(), 0);
         }
     }
 
@@ -450,7 +458,7 @@ private:
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     std::uint64_t seq_ = 0;
-    Cycles now_ = 0;
+    Cycles now_;
     bool stopped_ = false;
 
     std::vector<Job> jobs_;

@@ -41,11 +41,13 @@ namespace cpa::sim {
 
 using analysis::BusPolicy;
 using analysis::PlatformConfig;
+using util::AccessCount;
 using util::Cycles;
+using util::TaskId;
 
 struct SimConfig {
     BusPolicy policy = BusPolicy::kFixedPriority;
-    Cycles horizon = 0;             // simulate releases in [0, horizon)
+    Cycles horizon;                 // simulate releases in [0, horizon)
     bool stop_on_deadline_miss = true;
     // First-release offset per task (empty = synchronous release at 0).
     // Any offset assignment is a legal sporadic behavior, so the analytical
@@ -66,14 +68,18 @@ struct SimConfig {
     analysis::L2Config l2;
 };
 
+// `missed_task` when no deadline was missed.
+inline constexpr TaskId kNoMissedTask = TaskId::invalid();
+
 struct SimResult {
     // Worst observed response time per task (0 when no job completed).
     std::vector<Cycles> max_response;
     std::vector<std::int64_t> jobs_completed;
     // Total bus accesses issued per task (including CRPD/CPRO reloads).
-    std::vector<std::int64_t> bus_accesses;
+    std::vector<AccessCount> bus_accesses;
     bool deadline_missed = false;
-    std::size_t missed_task = static_cast<std::size_t>(-1);
+    // The first task observed to miss, or kNoMissedTask.
+    TaskId missed_task = kNoMissedTask;
 };
 
 // Runs the simulation. `ts` must be validated and in priority order.

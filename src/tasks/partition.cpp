@@ -26,8 +26,8 @@ namespace {
 
 double load_of(const Task& task, util::Cycles d_mem)
 {
-    return static_cast<double>(task.isolated_demand(d_mem)) /
-           static_cast<double>(task.period);
+    return util::to_double(task.isolated_demand(d_mem)) /
+           util::to_double(task.period);
 }
 
 // Cores whose load is within `slack` of the minimum: the candidate set the

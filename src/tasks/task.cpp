@@ -44,8 +44,8 @@ double TaskSet::core_utilization(std::size_t core, Cycles d_mem) const
     double total = 0.0;
     for (const std::size_t i : tasks_on_core(core)) {
         const Task& task = tasks_[i];
-        total += static_cast<double>(task.isolated_demand(d_mem)) /
-                 static_cast<double>(task.period);
+        total += util::to_double(task.isolated_demand(d_mem)) /
+                 util::to_double(task.period);
     }
     return total;
 }
@@ -54,8 +54,8 @@ double TaskSet::bus_utilization(Cycles d_mem) const
 {
     double total = 0.0;
     for (const Task& task : tasks_) {
-        total += static_cast<double>(task.md * d_mem) /
-                 static_cast<double>(task.period);
+        total += util::to_double(task.md * d_mem) /
+                 util::to_double(task.period);
     }
     return total;
 }
@@ -91,20 +91,22 @@ void TaskSet::assign_priorities_rate_monotonic()
 void TaskSet::validate() const
 {
     for (const Task& task : tasks_) {
-        if (task.pd < 0 || task.md < 0 || task.md_residual < 0) {
+        if (task.pd < Cycles{0} || task.md < AccessCount{0} ||
+            task.md_residual < AccessCount{0}) {
             throw std::invalid_argument("Task: negative demand");
         }
         if (task.md_residual > task.md) {
             throw std::invalid_argument("Task: MDr exceeds MD");
         }
-        if (task.period <= 0 || task.deadline <= 0) {
+        if (task.period <= Cycles{0} || task.deadline <= Cycles{0}) {
             throw std::invalid_argument("Task: period/deadline must be > 0");
         }
         if (task.deadline > task.period) {
             throw std::invalid_argument(
                 "Task: deadline exceeds period (constrained-deadline model)");
         }
-        if (task.jitter < 0 || task.jitter + task.deadline > task.period) {
+        if (task.jitter < Cycles{0} ||
+            task.jitter + task.deadline > task.period) {
             throw std::invalid_argument(
                 "Task: jitter must satisfy 0 <= J and J + D <= T");
         }

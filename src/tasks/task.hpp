@@ -22,23 +22,24 @@
 
 namespace cpa::tasks {
 
+using util::AccessCount;
 using util::Cycles;
 using util::SetMask;
 
 struct Task {
     std::string name;       // benchmark the parameters were drawn from
     std::size_t core = 0;   // index of the core the task is assigned to
-    Cycles pd = 0;          // PD_i: pure processing demand, cycles
-    std::int64_t md = 0;    // MD_i: worst-case #bus accesses in isolation
-    std::int64_t md_residual = 0; // MDʳ_i: accesses with PCBs pre-loaded
-    Cycles deadline = 0;    // D_i, cycles (constrained: D_i <= T_i)
-    Cycles period = 0;      // T_i: minimum inter-arrival time, cycles
+    Cycles pd;              // PD_i: pure processing demand, cycles
+    AccessCount md;         // MD_i: worst-case #bus accesses in isolation
+    AccessCount md_residual; // MDʳ_i: accesses with PCBs pre-loaded
+    Cycles deadline;        // D_i, cycles (constrained: D_i <= T_i)
+    Cycles period;          // T_i: minimum inter-arrival time, cycles
     // Release jitter J_i: a job arriving at time a is released (made ready)
     // anywhere in [a, a + J_i]. The paper's model has J = 0; the jitter
     // extension widens every job-count window by J and checks
     // J_i + R_i <= D_i. Constrained to J_i + D_i <= T_i so at most one job
     // is active at a time.
-    Cycles jitter = 0;
+    Cycles jitter;
     SetMask ecb;            // ECB_i
     SetMask ucb;            // UCB_i ⊆ ECB_i
     SetMask pcb;            // PCB_i ⊆ ECB_i

@@ -1,0 +1,60 @@
+// Clang thread-safety annotations (-Wthread-safety) behind a CPA_TS() macro
+// that expands to nothing on compilers without the attribute, plus a Mutex /
+// MutexLock pair the analysis understands. libstdc++'s std::mutex carries no
+// capability attributes, so classes with lock-guarded state wrap one in
+// util::Mutex and annotate members with CPA_GUARDED_BY(mutex_); clang then
+// statically rejects any access outside a MutexLock scope (or a method
+// annotated CPA_REQUIRES(mutex_)). The werror/CI builds compile with
+// -Wthread-safety -Werror, so a locking-discipline violation is a build
+// break, not a data race waiting for the parallel sweep.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CPA_TS(x) __attribute__((x))
+#endif
+#endif
+#ifndef CPA_TS
+#define CPA_TS(x)
+#endif
+
+#define CPA_CAPABILITY(name) CPA_TS(capability(name))
+#define CPA_SCOPED_CAPABILITY CPA_TS(scoped_lockable)
+#define CPA_GUARDED_BY(x) CPA_TS(guarded_by(x))
+#define CPA_REQUIRES(...) CPA_TS(requires_capability(__VA_ARGS__))
+#define CPA_ACQUIRE(...) CPA_TS(acquire_capability(__VA_ARGS__))
+#define CPA_RELEASE(...) CPA_TS(release_capability(__VA_ARGS__))
+#define CPA_EXCLUDES(...) CPA_TS(locks_excluded(__VA_ARGS__))
+#define CPA_NO_THREAD_SAFETY_ANALYSIS CPA_TS(no_thread_safety_analysis)
+
+namespace cpa::util {
+
+// std::mutex annotated as a thread-safety capability.
+class CPA_CAPABILITY("mutex") Mutex {
+public:
+    void lock() CPA_ACQUIRE() { mutex_.lock(); }
+    void unlock() CPA_RELEASE() { mutex_.unlock(); }
+
+private:
+    std::mutex mutex_;
+};
+
+// RAII lock whose scope the analysis tracks (std::lock_guard over an
+// annotated mutex would not be).
+class CPA_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mutex) CPA_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~MutexLock() CPA_RELEASE() { mutex_.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mutex_;
+};
+
+} // namespace cpa::util

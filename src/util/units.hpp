@@ -1,8 +1,21 @@
-// Time-unit conventions of the reproduction.
+// Dimensional type system of the reproduction.
 //
-// Table I of the paper gives PD/MD/MDʳ in processor cycles while d_mem is
-// quoted in microseconds; the clock frequency is never stated. Two facts pin
-// the convention down (DESIGN.md §3.3):
+// The analysis juggles three physical dimensions that must never be mixed
+// silently (this is exactly what Eq. (19) combines):
+//   * processor cycles   — PD, response times, window lengths, d_mem;
+//   * microseconds       — how Table I quotes d_mem (wall-clock time);
+//   * bus access counts  — MD, MDʳ, the γ/CPRO tables, BAS/BAO/BAT.
+// Each dimension is a distinct Quantity instantiation: addition, subtraction
+// and comparison are only defined within one dimension, scaling by a plain
+// integer (job counts, slot counts) is always allowed, and the one physically
+// meaningful product — access count × time-per-access → time — is the only
+// cross-dimension operator. Everything else is a compile error (see
+// tests/compile_fail/), so forgetting a `· d_mem` on a BAT term no longer
+// compiles.
+//
+// Unit convention (Table I gives PD/MD/MDʳ in cycles, d_mem in µs; the clock
+// frequency is never stated). Two facts pin the convention down
+// (DESIGN.md §3.3):
 //
 //  1. Every distinct block of a program cold-misses at least once, so the
 //     extraction latency L must satisfy MD_cycles >= #blocks * L. The
@@ -21,28 +34,303 @@
 // absolute clock is a labeling convention.
 #pragma once
 
+#include "util/math.hpp"
+
+#include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
 
 namespace cpa::util {
 
-using Cycles = std::int64_t;
+// ---------------------------------------------------------------------------
+// Quantity: a value tagged with its physical dimension.
 
-inline constexpr Cycles kCyclesPerMicrosecond = 2;
+struct CyclesDim {
+    static constexpr const char* kName = "cycles";
+};
+struct MicrosecondsDim {
+    static constexpr const char* kName = "us";
+};
+struct AccessCountDim {
+    static constexpr const char* kName = "accesses";
+};
+
+template <typename Dim, typename Rep = std::int64_t>
+class Quantity {
+public:
+    using dimension = Dim;
+    using rep = Rep;
+
+    constexpr Quantity() = default;
+    explicit constexpr Quantity(Rep value) : value_(value) {}
+
+    [[nodiscard]] constexpr Rep count() const noexcept { return value_; }
+
+    // Same-dimension arithmetic. Cross-dimension operands are distinct types
+    // with no implicit conversion, so they fail to compile.
+    friend constexpr Quantity operator+(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ + b.value_);
+    }
+    friend constexpr Quantity operator-(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ - b.value_);
+    }
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity& operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity& operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+
+    // Scaling by a dimensionless factor (job counts, slot counts, ...).
+    friend constexpr Quantity operator*(Quantity q, Rep scale)
+    {
+        return Quantity(q.value_ * scale);
+    }
+    friend constexpr Quantity operator*(Rep scale, Quantity q)
+    {
+        return Quantity(scale * q.value_);
+    }
+    friend constexpr Quantity operator/(Quantity q, Rep divisor)
+    {
+        return Quantity(q.value_ / divisor);
+    }
+    constexpr Quantity& operator*=(Rep scale)
+    {
+        value_ *= scale;
+        return *this;
+    }
+
+    // Ratio and remainder of same-dimension quantities.
+    friend constexpr Rep operator/(Quantity a, Quantity b)
+    {
+        return a.value_ / b.value_;
+    }
+    friend constexpr Quantity operator%(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ % b.value_);
+    }
+
+    friend constexpr bool operator==(Quantity, Quantity) = default;
+    friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+private:
+    Rep value_{0};
+};
+
+using Cycles = Quantity<CyclesDim>;
+using Microseconds = Quantity<MicrosecondsDim>;
+using AccessCount = Quantity<AccessCountDim>;
+
+// The one legal cross-dimension product: a number of bus accesses times the
+// time each access takes yields time (in the time unit of the second factor).
+// This is the `BAT · d_mem` / `MD · d_mem` shape of Eq. (19).
+[[nodiscard]] constexpr Cycles operator*(AccessCount n, Cycles per_access)
+{
+    return Cycles(n.count() * per_access.count());
+}
+[[nodiscard]] constexpr Cycles operator*(Cycles per_access, AccessCount n)
+{
+    return n * per_access;
+}
+[[nodiscard]] constexpr Microseconds operator*(AccessCount n,
+                                               Microseconds per_access)
+{
+    return Microseconds(n.count() * per_access.count());
+}
+[[nodiscard]] constexpr Microseconds operator*(Microseconds per_access,
+                                               AccessCount n)
+{
+    return n * per_access;
+}
+
+// Factories (the explicit constructor spelled as prose).
+[[nodiscard]] constexpr Cycles cycles(std::int64_t n) { return Cycles(n); }
+[[nodiscard]] constexpr Microseconds microseconds(std::int64_t n)
+{
+    return Microseconds(n);
+}
+[[nodiscard]] constexpr AccessCount accesses(std::int64_t n)
+{
+    return AccessCount(n);
+}
+
+inline namespace literals {
+[[nodiscard]] constexpr Cycles operator""_cy(unsigned long long n)
+{
+    return Cycles(static_cast<std::int64_t>(n));
+}
+[[nodiscard]] constexpr Microseconds operator""_us(unsigned long long n)
+{
+    return Microseconds(static_cast<std::int64_t>(n));
+}
+[[nodiscard]] constexpr AccessCount operator""_acc(unsigned long long n)
+{
+    return AccessCount(static_cast<std::int64_t>(n));
+}
+} // namespace literals
+
+template <typename Dim, typename Rep>
+[[nodiscard]] std::string to_string(Quantity<Dim, Rep> q)
+{
+    return std::to_string(q.count());
+}
+
+template <typename Dim, typename Rep>
+std::ostream& operator<<(std::ostream& out, Quantity<Dim, Rep> q)
+{
+    return out << q.count();
+}
+
+// Quantity-aware counterparts of the math.hpp integer helpers. The ratio of
+// two same-dimension quantities is a dimensionless count (⌈t/T⌉ job counts).
+template <typename Dim>
+[[nodiscard]] constexpr std::int64_t ceil_div(Quantity<Dim> a, Quantity<Dim> b)
+{
+    return ceil_div(a.count(), b.count());
+}
+template <typename Dim>
+[[nodiscard]] constexpr std::int64_t floor_div(Quantity<Dim> a,
+                                               Quantity<Dim> b)
+{
+    return floor_div(a.count(), b.count());
+}
+template <typename Dim>
+[[nodiscard]] constexpr std::int64_t ceil_div_signed(Quantity<Dim> a,
+                                                     Quantity<Dim> b)
+{
+    return ceil_div_signed(a.count(), b.count());
+}
+template <typename Dim>
+[[nodiscard]] constexpr Quantity<Dim> clamp_non_negative(Quantity<Dim> q)
+{
+    return Quantity<Dim>(clamp_non_negative(q.count()));
+}
+template <typename Dim>
+[[nodiscard]] constexpr Quantity<Dim>
+saturating_lcm(Quantity<Dim> a, Quantity<Dim> b, Quantity<Dim> cap)
+{
+    return Quantity<Dim>(saturating_lcm(a.count(), b.count(), cap.count()));
+}
+template <typename Dim>
+[[nodiscard]] constexpr double to_double(Quantity<Dim> q)
+{
+    return static_cast<double>(q.count());
+}
+
+// ---------------------------------------------------------------------------
+// Unit conversions. These are the ONLY places dimensions may change.
+
+inline constexpr std::int64_t kCyclesPerMicrosecond = 2;
 
 // Memory latency behind the benchmark table's MD cycle figures: one main
 // memory access contributes 10 cycles, so nMD = MD_cycles / 10. Equal to the
 // default d_mem (5 µs) by construction (see file comment).
-inline constexpr Cycles kExtractionLatencyCycles = 10;
+inline constexpr Cycles kExtractionLatencyCycles{10};
 
-[[nodiscard]] constexpr Cycles cycles_from_microseconds(std::int64_t us)
+[[nodiscard]] constexpr Cycles cycles_from_microseconds(Microseconds us)
 {
-    return us * kCyclesPerMicrosecond;
+    return Cycles(us.count() * kCyclesPerMicrosecond);
 }
 
-[[nodiscard]] constexpr double microseconds_from_cycles(Cycles cycles)
+[[nodiscard]] constexpr double microseconds_from_cycles(Cycles c)
 {
-    return static_cast<double>(cycles) /
+    return static_cast<double>(c.count()) /
            static_cast<double>(kCyclesPerMicrosecond);
+}
+
+// Time n accesses spend on the bus at a per-access latency of d_mem: the
+// `BAT · d_mem` term of Eq. (19) as a named conversion.
+[[nodiscard]] constexpr Cycles cycles_from_accesses(AccessCount n,
+                                                    Cycles d_mem)
+{
+    return n * d_mem;
+}
+
+// Largest access count whose bus time fits in `span` (⌊span/d_mem⌋), and the
+// smallest access count whose bus time covers `span` (⌈span/d_mem⌉, signed —
+// Eq. (5)'s carry-out numerator can be negative early in the fixed point).
+[[nodiscard]] constexpr AccessCount accesses_fitting(Cycles span, Cycles d_mem)
+{
+    return AccessCount(floor_div(span.count(), d_mem.count()));
+}
+[[nodiscard]] constexpr AccessCount accesses_covering(Cycles span,
+                                                      Cycles d_mem)
+{
+    return AccessCount(ceil_div_signed(span.count(), d_mem.count()));
+}
+
+// Access counts derived from Table I's MD/MDʳ cycle figures (see file
+// comment: one access per kExtractionLatencyCycles, partial accesses
+// rounded up so the bound stays safe).
+[[nodiscard]] constexpr AccessCount accesses_from_md_cycles(Cycles md_cycles)
+{
+    return AccessCount(
+        ceil_div(md_cycles.count(), kExtractionLatencyCycles.count()));
+}
+
+// A count of cache blocks costs one bus access per block to (re)load: the
+// |PCB|/γ/CPRO terms of Eq. (2), (10) and (14). SetMask counts arrive as
+// size_t; the cast lives here so call sites stay narrowing-free.
+[[nodiscard]] constexpr AccessCount accesses_from_blocks(std::size_t blocks)
+{
+    return AccessCount(static_cast<std::int64_t>(blocks));
+}
+
+// ---------------------------------------------------------------------------
+// Strong index types. TaskId doubles as the priority (tasks are stored in
+// priority order; see tasks::TaskSet), CoreId indexes the platform's cores —
+// two size_t roles that must not be swappable in an argument list.
+
+template <typename Tag>
+class Id {
+public:
+    constexpr Id() = default;
+    explicit constexpr Id(std::size_t value) : value_(value) {}
+
+    [[nodiscard]] constexpr std::size_t value() const noexcept
+    {
+        return value_;
+    }
+
+    [[nodiscard]] static constexpr Id invalid()
+    {
+        return Id(static_cast<std::size_t>(-1));
+    }
+    [[nodiscard]] constexpr bool is_valid() const noexcept
+    {
+        return value_ != static_cast<std::size_t>(-1);
+    }
+
+    friend constexpr bool operator==(Id, Id) = default;
+    friend constexpr auto operator<=>(Id, Id) = default;
+
+private:
+    std::size_t value_{0};
+};
+
+using TaskId = Id<struct TaskIdTag>;
+using CoreId = Id<struct CoreIdTag>;
+
+template <typename Tag>
+[[nodiscard]] std::string to_string(Id<Tag> id)
+{
+    return id.is_valid() ? std::to_string(id.value()) : std::string("none");
+}
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& out, Id<Tag> id)
+{
+    return out << to_string(id);
 }
 
 } // namespace cpa::util

@@ -10,13 +10,15 @@ namespace {
 using cpa::testing::fig1_task_set;
 using cpa::testing::make_task_set;
 using cpa::testing::TaskSpec;
+using util::AccessCount;
+using namespace util::literals;
 
 PlatformConfig fig1_platform()
 {
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 16;
-    platform.d_mem = 1;
+    platform.d_mem = Cycles{1};
     platform.slot_size = 1;
     return platform;
 }
@@ -35,7 +37,7 @@ struct Fig1Fixture {
     PlatformConfig platform = fig1_platform();
     InterferenceTables tables{ts, CrpdMethod::kEcbUnion};
     // τ3's response-time estimate used by Eq. (5)-(6).
-    std::vector<Cycles> response{10, 60, 6};
+    std::vector<Cycles> response{10_cy, 60_cy, 6_cy};
 };
 
 TEST(BusBounds, BasWithoutPersistenceMatchesEq12)
@@ -45,7 +47,7 @@ TEST(BusBounds, BasWithoutPersistenceMatchesEq12)
         f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
         f.tables);
     // E_1(25) = 3 jobs of τ1: 8 + 3*(6+2) = 32 (Eq. (12) of the paper).
-    EXPECT_EQ(bounds.bas(1, 25), 32);
+    EXPECT_EQ(bounds.bas(1, 25_cy), 32_acc);
 }
 
 TEST(BusBounds, BasWithPersistenceMatchesEq15)
@@ -56,7 +58,7 @@ TEST(BusBounds, BasWithPersistenceMatchesEq15)
         f.tables);
     // MD_2 + min(18, M̂D_1(3) + ρ̂_{1,2}(3)) + 3γ = 8 + (8+4) + 6 = 26
     // (Eq. (15) of the paper).
-    EXPECT_EQ(bounds.bas(1, 25), 26);
+    EXPECT_EQ(bounds.bas(1, 25_cy), 26_acc);
 }
 
 TEST(BusBounds, BasOfHighestPriorityTaskIsItsOwnDemand)
@@ -65,7 +67,7 @@ TEST(BusBounds, BasOfHighestPriorityTaskIsItsOwnDemand)
     const BusContentionAnalysis bounds(
         f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
         f.tables);
-    EXPECT_EQ(bounds.bas(0, 25), 6);
+    EXPECT_EQ(bounds.bas(0, 25_cy), 6_acc);
 }
 
 TEST(BusBounds, BaoWithoutPersistenceCountsFullJobsAndCarryOut)
@@ -76,7 +78,7 @@ TEST(BusBounds, BaoWithoutPersistenceCountsFullJobsAndCarryOut)
         f.tables);
     // N_{2,3}(25) = floor((25 + 6 - 6)/6) = 4 full jobs -> 24 accesses,
     // carry-out: ceil((25 + 6 - 6 - 24)/1) = 1.
-    EXPECT_EQ(bounds.bao(1, 2, 25, f.response), 25);
+    EXPECT_EQ(bounds.bao(1, 2, 25_cy, f.response), 25_acc);
 }
 
 TEST(BusBounds, BaoWithPersistenceMatchesPaperExample)
@@ -87,7 +89,7 @@ TEST(BusBounds, BaoWithPersistenceMatchesPaperExample)
         f.tables);
     // The paper: MD_3 + 3*MDr_3 = 9 accesses for the four jobs (M̂D_3(4)),
     // plus the unchanged carry-out of 1.
-    EXPECT_EQ(bounds.bao(1, 2, 25, f.response), 10);
+    EXPECT_EQ(bounds.bao(1, 2, 25_cy, f.response), 10_acc);
 }
 
 TEST(BusBounds, BaoSkipsLowerPriorityTasks)
@@ -97,9 +99,9 @@ TEST(BusBounds, BaoSkipsLowerPriorityTasks)
         f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
         f.tables);
     // At level k = 1 (τ2), core 1 hosts no task of priority 1 or higher.
-    EXPECT_EQ(bounds.bao(1, 1, 25, f.response), 0);
+    EXPECT_EQ(bounds.bao(1, 1, 25_cy, f.response), 0_acc);
     // bao_lower at level 1 captures exactly τ3.
-    EXPECT_EQ(bounds.bao_lower(1, 1, 25, f.response), 25);
+    EXPECT_EQ(bounds.bao_lower(1, 1, 25_cy, f.response), 25_acc);
 }
 
 TEST(BusBounds, BaoZeroForZeroWindowWithZeroResponse)
@@ -108,8 +110,8 @@ TEST(BusBounds, BaoZeroForZeroWindowWithZeroResponse)
     const BusContentionAnalysis bounds(
         f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
         f.tables);
-    const std::vector<Cycles> response{0, 0, 0};
-    EXPECT_EQ(bounds.bao(1, 2, 0, response), 0);
+    const std::vector<Cycles> response{0_cy, 0_cy, 0_cy};
+    EXPECT_EQ(bounds.bao(1, 2, 0_cy, response), 0_acc);
 }
 
 TEST(BusBounds, BatFixedPriorityCombinesAllTerms)
@@ -120,12 +122,12 @@ TEST(BusBounds, BatFixedPriorityCombinesAllTerms)
         f.tables);
     // τ2 is the lowest-priority task of its core -> no +1 blocking term.
     // 32 (BAS) + 0 (BAO higher) + min(32, 25) (lower-priority accesses).
-    EXPECT_EQ(baseline.bat(1, 25, f.response), 57);
+    EXPECT_EQ(baseline.bat(1, 25_cy, f.response), 57_acc);
 
     const BusContentionAnalysis persist(
         f.ts, f.platform, config_with(true, BusPolicy::kFixedPriority),
         f.tables);
-    EXPECT_EQ(persist.bat(1, 25, f.response), 26 + 0 + 10);
+    EXPECT_EQ(persist.bat(1, 25_cy, f.response), AccessCount{26 + 0 + 10});
 }
 
 TEST(BusBounds, BatFixedPriorityAddsBlockingForNonLowestTask)
@@ -136,9 +138,9 @@ TEST(BusBounds, BatFixedPriorityAddsBlockingForNonLowestTask)
         f.tables);
     // τ1 has τ2 below it on core 0 -> +1. BAS_1(10) = 6.
     // BAO at level 0 on core 1: empty. bao_lower: τ3's accesses.
-    const std::int64_t bao_low = bounds.bao_lower(1, 0, 10, f.response);
-    EXPECT_EQ(bounds.bat(0, 10, f.response),
-              6 + 0 + 1 + std::min<std::int64_t>(6, bao_low));
+    const AccessCount bao_low = bounds.bao_lower(1, 0, 10_cy, f.response);
+    EXPECT_EQ(bounds.bat(0, 10_cy, f.response),
+              AccessCount{6 + 0 + 1} + std::min(6_acc, bao_low));
 }
 
 TEST(BusBounds, BatRoundRobinCapsOtherCoreBySlots)
@@ -148,13 +150,13 @@ TEST(BusBounds, BatRoundRobinCapsOtherCoreBySlots)
         f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
         f.tables);
     // min(BAO_n = 25, s*BAS = 32) = 25 -> 57.
-    EXPECT_EQ(baseline.bat(1, 25, f.response), 57);
+    EXPECT_EQ(baseline.bat(1, 25_cy, f.response), 57_acc);
 
     const BusContentionAnalysis persist(
         f.ts, f.platform, config_with(true, BusPolicy::kRoundRobin),
         f.tables);
     // min(10, 26) = 10 -> 36.
-    EXPECT_EQ(persist.bat(1, 25, f.response), 36);
+    EXPECT_EQ(persist.bat(1, 25_cy, f.response), 36_acc);
 }
 
 TEST(BusBounds, BatTdmaScalesOwnDemandByForeignSlots)
@@ -163,11 +165,11 @@ TEST(BusBounds, BatTdmaScalesOwnDemandByForeignSlots)
     const BusContentionAnalysis baseline(
         f.ts, f.platform, config_with(false, BusPolicy::kTdma), f.tables);
     // (L-1)*s = 1 foreign slot per own access: 32 + 32 = 64.
-    EXPECT_EQ(baseline.bat(1, 25, f.response), 64);
+    EXPECT_EQ(baseline.bat(1, 25_cy, f.response), 64_acc);
 
     const BusContentionAnalysis persist(
         f.ts, f.platform, config_with(true, BusPolicy::kTdma), f.tables);
-    EXPECT_EQ(persist.bat(1, 25, f.response), 52);
+    EXPECT_EQ(persist.bat(1, 25_cy, f.response), 52_acc);
 }
 
 TEST(BusBounds, BatPerfectBusIsJustSameCoreDemand)
@@ -175,7 +177,7 @@ TEST(BusBounds, BatPerfectBusIsJustSameCoreDemand)
     Fig1Fixture f;
     const BusContentionAnalysis bounds(
         f.ts, f.platform, config_with(true, BusPolicy::kPerfect), f.tables);
-    EXPECT_EQ(bounds.bat(1, 25, f.response), bounds.bas(1, 25));
+    EXPECT_EQ(bounds.bat(1, 25_cy, f.response), bounds.bas(1, 25_cy));
 }
 
 // --- Property tests -------------------------------------------------------
@@ -189,7 +191,7 @@ TEST_P(BusBoundsProperty, PersistenceAwareNeverExceedsBaseline)
         f.ts, f.platform, config_with(false, GetParam()), f.tables);
     const BusContentionAnalysis persist(
         f.ts, f.platform, config_with(true, GetParam()), f.tables);
-    for (Cycles t = 0; t <= 200; t += 7) {
+    for (Cycles t{0}; t <= Cycles{200}; t += Cycles{7}) {
         for (std::size_t i = 0; i < f.ts.size(); ++i) {
             EXPECT_LE(persist.bas(i, t), baseline.bas(i, t))
                 << "i=" << i << " t=" << t;
@@ -215,14 +217,14 @@ TEST_P(BusBoundsProperty, BoundsAreMonotoneInWindowLength)
             !persistence || GetParam() == BusPolicy::kTdma ||
             GetParam() == BusPolicy::kPerfect;
         for (std::size_t i = 0; i < f.ts.size(); ++i) {
-            std::int64_t previous_bas = 0;
-            std::int64_t previous_bat = 0;
-            for (Cycles t = 0; t <= 300; ++t) {
-                const std::int64_t current_bas = bounds.bas(i, t);
+            AccessCount previous_bas{0};
+            AccessCount previous_bat{0};
+            for (Cycles t{0}; t <= Cycles{300}; t += Cycles{1}) {
+                const AccessCount current_bas = bounds.bas(i, t);
                 EXPECT_GE(current_bas, previous_bas) << "i=" << i << " t=" << t;
                 previous_bas = current_bas;
                 if (bat_monotone) {
-                    const std::int64_t current_bat =
+                    const AccessCount current_bat =
                         bounds.bat(i, t, f.response);
                     EXPECT_GE(current_bat, previous_bat)
                         << "i=" << i << " t=" << t;
@@ -254,7 +256,7 @@ TEST(BusBounds, JobBoundedCproTightensRareEvictors)
     PlatformConfig platform;
     platform.num_cores = 1;
     platform.cache_sets = 16;
-    platform.d_mem = 1;
+    platform.d_mem = Cycles{1};
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
 
     AnalysisConfig union_config;
@@ -270,8 +272,8 @@ TEST(BusBounds, JobBoundedCproTightensRareEvictors)
     // Union: min(10*4, M̂D(10) + 9*4) = min(40, 4 + 36) = 40 -> no gain.
     // Job-bounded: τ2 has ⌈100/1000⌉ + 1 = 2 jobs * overlap 4 = 8 ->
     //              min(40, 4 + 8) = 12.
-    EXPECT_EQ(by_union.bas(1, 100), 2 + 40);
-    EXPECT_EQ(by_jobs.bas(1, 100), 2 + 12);
+    EXPECT_EQ(by_union.bas(1, 100_cy), AccessCount{2 + 40});
+    EXPECT_EQ(by_jobs.bas(1, 100_cy), AccessCount{2 + 12});
 }
 
 TEST(BusBounds, JobBoundedCproNeverLooserThanUnion)
@@ -284,7 +286,7 @@ TEST(BusBounds, JobBoundedCproNeverLooserThanUnion)
                                          f.tables);
     const BusContentionAnalysis by_jobs(f.ts, f.platform, job_config,
                                         f.tables);
-    for (Cycles t = 0; t <= 200; t += 3) {
+    for (Cycles t{0}; t <= Cycles{200}; t += Cycles{3}) {
         for (std::size_t i = 0; i < f.ts.size(); ++i) {
             EXPECT_LE(by_jobs.bas(i, t), by_union.bas(i, t));
             EXPECT_LE(by_jobs.bat(i, t, f.response),
@@ -298,12 +300,13 @@ TEST(BusBounds, PairOverlapTableMatchesDefinition)
     Fig1Fixture f;
     // |PCB_1 ∩ ECB_2| = |{5,6,7,8,10} ∩ {1..6}| = 2 on core 0; τ3 is on
     // another core, so all of its pairs are zero.
-    EXPECT_EQ(f.tables.pair_overlap(0, 1), 2);
+    EXPECT_EQ(f.tables.pair_overlap(0, 1), 2_acc);
     EXPECT_EQ(f.tables.pair_overlap(1, 0),
-              0); // τ2 has no PCBs
-    EXPECT_EQ(f.tables.pair_overlap(0, 2), 0);
-    EXPECT_EQ(f.tables.pair_overlap(2, 0), 0);
-    EXPECT_EQ(f.tables.pair_overlap(0, 0), 0); // a task never evicts itself
+              0_acc); // τ2 has no PCBs
+    EXPECT_EQ(f.tables.pair_overlap(0, 2), 0_acc);
+    EXPECT_EQ(f.tables.pair_overlap(2, 0), 0_acc);
+    EXPECT_EQ(f.tables.pair_overlap(0, 0),
+              0_acc); // a task never evicts itself
 }
 
 // Documents a quirk of the published equations: when a carry-out job of
@@ -324,10 +327,10 @@ TEST(BusBounds, Lemma2CarryOutDipIsPossible)
     // priced at ceil((11+6-6-6)/1)=5 raw accesses (total 6+5=11); at t=12 it
     // becomes the second full job and the pair is re-priced at
     // M̂D(2) = min(12, 2*1+5) = 7.
-    const std::int64_t at_11 = bounds.bao(1, 2, 11, f.response);
-    const std::int64_t at_12 = bounds.bao(1, 2, 12, f.response);
-    EXPECT_EQ(at_11, 11);
-    EXPECT_EQ(at_12, 7);
+    const AccessCount at_11 = bounds.bao(1, 2, 11_cy, f.response);
+    const AccessCount at_12 = bounds.bao(1, 2, 12_cy, f.response);
+    EXPECT_EQ(at_11, 11_acc);
+    EXPECT_EQ(at_12, 7_acc);
 }
 
 TEST(BusBounds, BaoMonotoneInResponseEstimates)
@@ -336,10 +339,10 @@ TEST(BusBounds, BaoMonotoneInResponseEstimates)
     const BusContentionAnalysis bounds(
         f.ts, f.platform, config_with(false, BusPolicy::kRoundRobin),
         f.tables);
-    std::int64_t previous = 0;
-    for (Cycles r3 = 0; r3 <= 60; ++r3) {
-        const std::vector<Cycles> response{10, 60, r3};
-        const std::int64_t value = bounds.bao(1, 2, 25, response);
+    AccessCount previous{0};
+    for (Cycles r3{0}; r3 <= Cycles{60}; r3 += Cycles{1}) {
+        const std::vector<Cycles> response{10_cy, 60_cy, r3};
+        const AccessCount value = bounds.bao(1, 2, 25_cy, response);
         EXPECT_GE(value, previous) << "r3=" << r3;
         previous = value;
     }

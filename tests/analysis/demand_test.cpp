@@ -7,62 +7,64 @@
 namespace cpa::analysis {
 namespace {
 
+using namespace util::literals;
+
 tasks::Task demo_task(std::int64_t md, std::int64_t mdr,
                       std::vector<std::size_t> pcb)
 {
     tasks::Task task;
-    task.md = md;
-    task.md_residual = mdr;
+    task.md = util::AccessCount{md};
+    task.md_residual = util::AccessCount{mdr};
     task.pcb = util::SetMask::from_indices(64, std::move(pcb));
     return task;
 }
 
 TEST(MdHat, ZeroJobsZeroDemand)
 {
-    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 0), 0);
-    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), -3), 0);
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 0), 0_acc);
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), -3), 0_acc);
 }
 
 TEST(MdHat, SingleJobIsWorstCaseDemand)
 {
     // min(1*6, 1*1 + 5) = 6.
-    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 1), 6);
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 1), 6_acc);
 }
 
 TEST(MdHat, MatchesFig1ThreeJobsOfTau1)
 {
     // The paper: three jobs of τ1 access memory 6 + 1 + 1 = 8 times.
-    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 3), 8);
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 3), 8_acc);
 }
 
 TEST(MdHat, MatchesFig1FourJobsOfTau3)
 {
     // MD_3 + 3*MDr_3 = 9 in the paper's other-core example.
-    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 4), 9);
+    EXPECT_EQ(md_hat(demo_task(6, 1, {1, 2, 3, 4, 5}), 4), 9_acc);
 }
 
 TEST(MdHat, NoPersistenceReducesToLinearDemand)
 {
     // MDr == MD and PCB empty -> n*MD exactly.
-    EXPECT_EQ(md_hat(demo_task(7, 7, {}), 5), 35);
+    EXPECT_EQ(md_hat(demo_task(7, 7, {}), 5), 35_acc);
 }
 
 TEST(MdHat, NeverExceedsEitherBound)
 {
     for (std::int64_t n = 0; n <= 20; ++n) {
         const tasks::Task task = demo_task(9, 2, {0, 1, 2});
-        const std::int64_t value = md_hat(task, n);
+        const util::AccessCount value = md_hat(task, n);
         EXPECT_LE(value, n * task.md);
-        EXPECT_LE(value, n * task.md_residual + 3);
+        EXPECT_LE(value, n * task.md_residual + 3_acc);
     }
 }
 
 TEST(MdHat, MonotoneInJobCount)
 {
     const tasks::Task task = demo_task(9, 2, {0, 1, 2});
-    std::int64_t previous = 0;
+    util::AccessCount previous{0};
     for (std::int64_t n = 0; n <= 50; ++n) {
-        const std::int64_t value = md_hat(task, n);
+        const util::AccessCount value = md_hat(task, n);
         EXPECT_GE(value, previous);
         previous = value;
     }
@@ -84,7 +86,7 @@ TEST_P(MdHatCrossover, PicksTheSmallerBound)
     const tasks::Task task = demo_task(md, mdr, pcb);
     for (std::int64_t n = 1; n <= 10; ++n) {
         EXPECT_EQ(md_hat(task, n),
-                  std::min(n * md, n * mdr + pcb_count))
+                  util::AccessCount{std::min(n * md, n * mdr + pcb_count)})
             << "md=" << md << " mdr=" << mdr << " pcb=" << pcb_count
             << " n=" << n;
     }

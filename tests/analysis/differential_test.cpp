@@ -16,8 +16,8 @@ using util::SetMask;
 
 // Literal Eq. (2): γ_{i,j} = max_{g ∈ Γ_core(j) ∩ aff(i,j)}
 //                  |UCB_g ∩ ∪_{h ∈ Γ_core(j) ∩ hep(j)} ECB_h|.
-std::int64_t naive_gamma(const tasks::TaskSet& ts, std::size_t i,
-                         std::size_t j)
+util::AccessCount naive_gamma(const tasks::TaskSet& ts, std::size_t i,
+                              std::size_t j)
 {
     const std::size_t core = ts[j].core;
     SetMask evicting(ts.cache_sets());
@@ -26,22 +26,22 @@ std::int64_t naive_gamma(const tasks::TaskSet& ts, std::size_t i,
             evicting |= ts[h].ecb;
         }
     }
-    std::int64_t best = 0;
+    util::AccessCount best{0};
     bool any = false;
     for (std::size_t g = j + 1; g <= i && g < ts.size(); ++g) {
         if (ts[g].core != core) {
             continue;
         }
         any = true;
-        best = std::max(best, static_cast<std::int64_t>(
+        best = std::max(best, util::accesses_from_blocks(
                                   ts[g].ucb.intersection_count(evicting)));
     }
-    return any ? best : 0;
+    return any ? best : util::AccessCount{0};
 }
 
 // Literal Eq. (14) overlap: |PCB_j ∩ ∪_{s ∈ Γ_core(j) ∩ hep(i) \ {j}} ECB_s|.
-std::int64_t naive_cpro_overlap(const tasks::TaskSet& ts, std::size_t j,
-                                std::size_t i)
+util::AccessCount naive_cpro_overlap(const tasks::TaskSet& ts,
+                                     std::size_t j, std::size_t i)
 {
     const std::size_t core = ts[j].core;
     SetMask evictors(ts.cache_sets());
@@ -50,23 +50,23 @@ std::int64_t naive_cpro_overlap(const tasks::TaskSet& ts, std::size_t j,
             evictors |= ts[s].ecb;
         }
     }
-    return static_cast<std::int64_t>(
-        ts[j].pcb.intersection_count(evictors));
+    return util::accesses_from_blocks(ts[j].pcb.intersection_count(evictors));
 }
 
 // Literal Lemma 1 (Eq. (16)).
-std::int64_t naive_bas_hat(const tasks::TaskSet& ts, std::size_t i,
-                           util::Cycles t)
+util::AccessCount naive_bas_hat(const tasks::TaskSet& ts, std::size_t i,
+                                util::Cycles t)
 {
-    std::int64_t total = ts[i].md;
+    util::AccessCount total = ts[i].md;
     for (std::size_t j = 0; j < i; ++j) {
         if (ts[j].core != ts[i].core) {
             continue;
         }
         const std::int64_t jobs =
             util::ceil_div(t + ts[j].jitter, ts[j].period);
-        const std::int64_t rho =
-            jobs <= 1 ? 0 : (jobs - 1) * naive_cpro_overlap(ts, j, i);
+        const util::AccessCount rho =
+            jobs <= 1 ? util::AccessCount{0}
+                      : (jobs - 1) * naive_cpro_overlap(ts, j, i);
         total += std::min(jobs * ts[j].md, md_hat(ts[j], jobs) + rho) +
                  jobs * naive_gamma(ts, i, j);
     }
@@ -123,7 +123,7 @@ TEST(Differential, BasHatMatchesNaiveLemma1)
     PlatformConfig platform;
     platform.num_cores = 3;
     platform.cache_sets = 128;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     AnalysisConfig config;
     config.persistence_aware = true;
 
@@ -143,18 +143,19 @@ TEST(Differential, BasHatMatchesNaiveLemma1)
 }
 
 // Literal Lemma 2: Σ over Γ_core ∩ hep(k) of Ŵ + W_cout with Eq. (5)-(6).
-std::int64_t naive_bao_hat(const tasks::TaskSet& ts,
-                           const analysis::PlatformConfig& platform,
-                           std::size_t core, std::size_t k, util::Cycles t,
-                           const std::vector<util::Cycles>& response)
+util::AccessCount naive_bao_hat(const tasks::TaskSet& ts,
+                                const analysis::PlatformConfig& platform,
+                                std::size_t core, std::size_t k,
+                                util::Cycles t,
+                                const std::vector<util::Cycles>& response)
 {
-    std::int64_t total = 0;
+    util::AccessCount total{0};
     for (std::size_t l = 0; l <= k && l < ts.size(); ++l) {
         if (ts[l].core != core) {
             continue;
         }
-        const std::int64_t gamma = naive_gamma(ts, k, l);
-        const std::int64_t per_job = ts[l].md + gamma;
+        const util::AccessCount gamma = naive_gamma(ts, k, l);
+        const util::AccessCount per_job = ts[l].md + gamma;
         // Eq. (6) with the jitter widening.
         std::int64_t n_full =
             util::floor_div(t + response[l] + ts[l].jitter -
@@ -162,18 +163,19 @@ std::int64_t naive_bao_hat(const tasks::TaskSet& ts,
                             ts[l].period);
         n_full = std::max<std::int64_t>(n_full, 0);
         // Eq. (18).
-        const std::int64_t rho =
-            n_full <= 1 ? 0 : (n_full - 1) * naive_cpro_overlap(ts, l, k);
-        const std::int64_t w_full =
+        const util::AccessCount rho =
+            n_full <= 1 ? util::AccessCount{0}
+                        : (n_full - 1) * naive_cpro_overlap(ts, l, k);
+        const util::AccessCount w_full =
             std::min(n_full * ts[l].md, md_hat(ts[l], n_full) + rho) +
             n_full * gamma;
         // Eq. (5).
         const util::Cycles leftover = t + response[l] + ts[l].jitter -
                                       per_job * platform.d_mem -
                                       n_full * ts[l].period;
-        const std::int64_t w_cout =
-            std::clamp(util::ceil_div_signed(leftover, platform.d_mem),
-                       std::int64_t{0}, per_job);
+        const util::AccessCount w_cout =
+            std::clamp(util::accesses_covering(leftover, platform.d_mem),
+                       util::AccessCount{0}, per_job);
         total += w_full + w_cout;
     }
     return total;
@@ -184,7 +186,7 @@ TEST(Differential, BaoHatMatchesNaiveLemma2)
     PlatformConfig platform;
     platform.num_cores = 3;
     platform.cache_sets = 128;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     AnalysisConfig config;
     config.persistence_aware = true;
 
@@ -220,7 +222,7 @@ TEST(Differential, BaselineBasMatchesNaiveEq1)
     PlatformConfig platform;
     platform.num_cores = 3;
     platform.cache_sets = 128;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     AnalysisConfig config;
     config.persistence_aware = false;
 
@@ -231,7 +233,7 @@ TEST(Differential, BaselineBasMatchesNaiveEq1)
         for (std::size_t i = 0; i < ts.size(); ++i) {
             // Eq. (1): MD_i + Σ E_j (MD_j + γ).
             const util::Cycles t = ts[i].period / 2;
-            std::int64_t expected = ts[i].md;
+            util::AccessCount expected = ts[i].md;
             for (std::size_t j = 0; j < i; ++j) {
                 if (ts[j].core != ts[i].core) {
                     continue;

@@ -12,6 +12,8 @@
 namespace cpa::analysis {
 namespace {
 
+using namespace util::literals;
+
 class Fig1Example : public ::testing::Test {
 protected:
     Fig1Example()
@@ -22,12 +24,12 @@ protected:
     {
         platform_.num_cores = 2;
         platform_.cache_sets = 16;
-        platform_.d_mem = 1;
+        platform_.d_mem = 1_cy;
         platform_.slot_size = 1; // the example uses s = 1
         // τ3's response-time estimate: chosen so that exactly four jobs of
         // τ3 fit in the window with no carry-out, matching the schedule the
         // paper draws (N_{3,3}(R_2) = 4, Eq. (13)).
-        response_ = {10, 60, 5};
+        response_ = {10_cy, 60_cy, 5_cy};
     }
 
     [[nodiscard]] BusContentionAnalysis bounds(bool persistence) const
@@ -38,7 +40,7 @@ protected:
         return BusContentionAnalysis(ts_, platform_, config, tables_);
     }
 
-    static constexpr Cycles kWindow = 25; // E_1(R_2) = 3 jobs of τ1
+    static constexpr Cycles kWindow{25}; // E_1(R_2) = 3 jobs of τ1
 
     tasks::TaskSet ts_;
     PlatformConfig platform_;
@@ -49,59 +51,59 @@ protected:
 TEST_F(Fig1Example, CrpdGammaIsTwo)
 {
     // γ_{2,1,x} = |UCB_2 ∩ ECB_1| = |{5,6}| = 2 (Eq. (2)).
-    EXPECT_EQ(tables_.gamma(1, 0), 2);
+    EXPECT_EQ(tables_.gamma(1, 0), 2_acc);
 }
 
 TEST_F(Fig1Example, ThreeJobsOfTau1AccessMemoryEightTimes)
 {
     // "MD_1 + MD_1^r + MD_1^r = 6 + 1 + 1 = 8, much lower than 3*MD_1 = 18".
-    EXPECT_EQ(md_hat(ts_[0], 3), 8);
+    EXPECT_EQ(md_hat(ts_[0], 3), 8_acc);
 }
 
 TEST_F(Fig1Example, CproOfTau1DuringTau2ResponseIsFour)
 {
     // ρ̂_{1,2,x}(3) = 2 * |PCB_1 ∩ ECB_2| = 2 * 2 = 4 (Eq. (14)).
-    EXPECT_EQ(tables_.rho_hat(0, 1, 3), 4);
+    EXPECT_EQ(tables_.rho_hat(0, 1, 3), 4_acc);
 }
 
 TEST_F(Fig1Example, BasWithoutPersistenceIs32)
 {
     // Eq. (12): BAS_2^x(R_2) = 8 + 3*(6+2) = 32.
-    EXPECT_EQ(bounds(false).bas(1, kWindow), 32);
+    EXPECT_EQ(bounds(false).bas(1, kWindow), 32_acc);
 }
 
 TEST_F(Fig1Example, BasWithPersistenceIs26)
 {
     // Eq. (15): MD_2 + MD_1 + 2 MD_1^r + ρ̂ + 3γ = 8 + 8 + 4 + 6 = 26.
-    EXPECT_EQ(bounds(true).bas(1, kWindow), 26);
+    EXPECT_EQ(bounds(true).bas(1, kWindow), 26_acc);
 }
 
 TEST_F(Fig1Example, BaoWithoutPersistenceIs24)
 {
     // Eq. (13): BAO_3^y(R_2) = N_{3,3}(R_2) * MD_3 = 4 * 6 = 24.
-    EXPECT_EQ(bounds(false).bao(1, 2, kWindow, response_), 24);
+    EXPECT_EQ(bounds(false).bao(1, 2, kWindow, response_), 24_acc);
 }
 
 TEST_F(Fig1Example, BaoWithPersistenceIsNine)
 {
     // "MD_3 + 3*MD_3^r = 6 + 3 = 9, much lower than BAO_3^y(R_2) = 24".
-    EXPECT_EQ(bounds(true).bao(1, 2, kWindow, response_), 9);
+    EXPECT_EQ(bounds(true).bao(1, 2, kWindow, response_), 9_acc);
 }
 
 TEST_F(Fig1Example, RoundRobinTotalsCombinePerEq11)
 {
     // Eq. (11): BAT_2 = BAS_2 + min(BAO_3; BAS_2), no +1 because τ2 is the
     // lowest-priority task on its core.
-    EXPECT_EQ(bounds(false).bat(1, kWindow, response_), 32 + 24);
-    EXPECT_EQ(bounds(true).bat(1, kWindow, response_), 26 + 9);
+    EXPECT_EQ(bounds(false).bat(1, kWindow, response_), util::AccessCount{32 + 24});
+    EXPECT_EQ(bounds(true).bat(1, kWindow, response_), util::AccessCount{26 + 9});
 }
 
 TEST_F(Fig1Example, PersistenceSavesSixAccessesSameCore)
 {
     // The paper highlights 26 vs 32: six same-core accesses saved.
-    const std::int64_t saved =
+    const util::AccessCount saved =
         bounds(false).bas(1, kWindow) - bounds(true).bas(1, kWindow);
-    EXPECT_EQ(saved, 6);
+    EXPECT_EQ(saved, 6_acc);
 }
 
 } // namespace

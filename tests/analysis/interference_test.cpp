@@ -10,15 +10,16 @@ namespace {
 using cpa::testing::fig1_task_set;
 using cpa::testing::make_task_set;
 using cpa::testing::TaskSpec;
+using namespace util::literals;
 
 TEST(Interference, GammaZeroOnDiagonalAndForLowerPriorityPreempter)
 {
     const tasks::TaskSet ts = fig1_task_set();
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
     for (std::size_t i = 0; i < ts.size(); ++i) {
-        EXPECT_EQ(tables.gamma(i, i), 0) << i;
+        EXPECT_EQ(tables.gamma(i, i), 0_acc) << i;
         for (std::size_t j = i + 1; j < ts.size(); ++j) {
-            EXPECT_EQ(tables.gamma(i, j), 0)
+            EXPECT_EQ(tables.gamma(i, j), 0_acc)
                 << "lower-priority task cannot preempt (" << i << "," << j
                 << ")";
         }
@@ -31,7 +32,7 @@ TEST(Interference, GammaMatchesFig1Example)
     // hep(τ1) = {τ1}).
     const tasks::TaskSet ts = fig1_task_set();
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
-    EXPECT_EQ(tables.gamma(1, 0), 2);
+    EXPECT_EQ(tables.gamma(1, 0), 2_acc);
 }
 
 TEST(Interference, GammaIgnoresTasksOnOtherCores)
@@ -42,7 +43,7 @@ TEST(Interference, GammaIgnoresTasksOnOtherCores)
     const tasks::TaskSet ts = fig1_task_set();
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
     for (std::size_t i = 0; i < ts.size(); ++i) {
-        EXPECT_EQ(tables.gamma(i, 2), 0);
+        EXPECT_EQ(tables.gamma(i, 2), 0_acc);
     }
 }
 
@@ -58,11 +59,11 @@ TEST(Interference, GammaTakesMaxOverAffectedTasks)
             {0, 1, 0, 0, 40, 0, {3, 9}, {3, 9}, {}},
         });
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
-    EXPECT_EQ(tables.gamma(1, 0), 3); // only τ1 affected
-    EXPECT_EQ(tables.gamma(2, 0), 3); // max(3, 1)
+    EXPECT_EQ(tables.gamma(1, 0), 3_acc); // only τ1 affected
+    EXPECT_EQ(tables.gamma(2, 0), 3_acc); // max(3, 1)
     // γ_{2,1}: evicting union = ECB_0 ∪ ECB_1 = {0,1,2,3}; aff = {τ2} ->
     // |{3,9} ∩ {0..3}| = 1.
-    EXPECT_EQ(tables.gamma(2, 1), 1);
+    EXPECT_EQ(tables.gamma(2, 1), 1_acc);
 }
 
 TEST(Interference, UcbOnlyAndEcbOnlyBracketEcbUnion)
@@ -83,9 +84,9 @@ TEST(Interference, UcbOnlyAndEcbOnlyBracketEcbUnion)
             EXPECT_LE(ecb_union.gamma(i, j), ecb_only.gamma(i, j));
         }
     }
-    EXPECT_EQ(ucb_only.gamma(2, 0), 3);  // max(|UCB_1|, |UCB_2|)
-    EXPECT_EQ(ecb_only.gamma(2, 0), 4);  // |ECB_0|
-    EXPECT_EQ(ecb_only.gamma(2, 1), 6);  // |ECB_0 ∪ ECB_1|
+    EXPECT_EQ(ucb_only.gamma(2, 0), 3_acc);  // max(|UCB_1|, |UCB_2|)
+    EXPECT_EQ(ecb_only.gamma(2, 0), 4_acc);  // |ECB_0|
+    EXPECT_EQ(ecb_only.gamma(2, 1), 6_acc);  // |ECB_0 ∪ ECB_1|
 }
 
 TEST(Interference, CproOverlapMatchesFig1Example)
@@ -94,16 +95,16 @@ TEST(Interference, CproOverlapMatchesFig1Example)
     // ρ̂_{1,2,x}(3) = (3-1)*2 = 4 as computed in the paper.
     const tasks::TaskSet ts = fig1_task_set();
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
-    EXPECT_EQ(tables.cpro_overlap(0, 1), 2);
-    EXPECT_EQ(tables.rho_hat(0, 1, 3), 4);
+    EXPECT_EQ(tables.cpro_overlap(0, 1), 2_acc);
+    EXPECT_EQ(tables.rho_hat(0, 1, 3), 4_acc);
 }
 
 TEST(Interference, RhoHatZeroForAtMostOneJob)
 {
     const tasks::TaskSet ts = fig1_task_set();
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
-    EXPECT_EQ(tables.rho_hat(0, 1, 0), 0);
-    EXPECT_EQ(tables.rho_hat(0, 1, 1), 0);
+    EXPECT_EQ(tables.rho_hat(0, 1, 0), 0_acc);
+    EXPECT_EQ(tables.rho_hat(0, 1, 1), 0_acc);
 }
 
 TEST(Interference, CproExcludesTheTaskItself)
@@ -112,7 +113,7 @@ TEST(Interference, CproExcludesTheTaskItself)
     const tasks::TaskSet ts = fig1_task_set();
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
     for (std::size_t i = 0; i < ts.size(); ++i) {
-        EXPECT_EQ(tables.cpro_overlap(2, i), 0) << i;
+        EXPECT_EQ(tables.cpro_overlap(2, i), 0_acc) << i;
     }
 }
 
@@ -127,11 +128,11 @@ TEST(Interference, CproGrowsWithAnalysisLevel)
         });
     const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
     // At level 0 only τ1 itself is in hep -> nothing evicts its PCBs.
-    EXPECT_EQ(tables.cpro_overlap(0, 0), 0);
+    EXPECT_EQ(tables.cpro_overlap(0, 0), 0_acc);
     // At level 1, τ2's ECBs {2,3} overlap.
-    EXPECT_EQ(tables.cpro_overlap(0, 1), 2);
+    EXPECT_EQ(tables.cpro_overlap(0, 1), 2_acc);
     // At level 2, τ3 adds {0}.
-    EXPECT_EQ(tables.cpro_overlap(0, 2), 3);
+    EXPECT_EQ(tables.cpro_overlap(0, 2), 3_acc);
 }
 
 TEST(Interference, CproIndependentOfCrpdMethod)

@@ -15,13 +15,14 @@ namespace {
 
 using cpa::testing::make_task_set;
 using cpa::testing::TaskSpec;
+using namespace util::literals;
 
 PlatformConfig one_core_platform()
 {
     PlatformConfig platform;
     platform.num_cores = 1;
     platform.cache_sets = 16;
-    platform.d_mem = 2;
+    platform.d_mem = 2_cy;
     platform.slot_size = 1;
     return platform;
 }
@@ -31,16 +32,16 @@ TEST(Jitter, ValidateRejectsJitterBeyondSlack)
     tasks::TaskSet ts(1, 16);
     tasks::Task task;
     task.core = 0;
-    task.pd = 1;
-    task.period = 100;
-    task.deadline = 90;
-    task.jitter = 11; // J + D > T
+    task.pd = 1_cy;
+    task.period = 100_cy;
+    task.deadline = 90_cy;
+    task.jitter = 11_cy; // J + D > T
     task.ecb = util::SetMask(16);
     task.ucb = util::SetMask(16);
     task.pcb = util::SetMask(16);
     ts.add_task(task);
     EXPECT_THROW(ts.validate(), std::invalid_argument);
-    ts[0].jitter = 10; // exactly J + D = T is fine
+    ts[0].jitter = 10_cy; // exactly J + D = T is fine
     EXPECT_NO_THROW(ts.validate());
 }
 
@@ -54,7 +55,7 @@ TEST(Jitter, WidensPreemptionWindow)
             {0, 4, 2, 2, 20, 10, {}, {}, {}},
             {0, 5, 1, 1, 100, 0, {}, {}, {}},
         });
-    with_jitter[0].jitter = 5;
+    with_jitter[0].jitter = 5_cy;
     with_jitter.validate();
     const tasks::TaskSet without = make_task_set(
         1, 16,
@@ -70,8 +71,8 @@ TEST(Jitter, WidensPreemptionWindow)
                                          config, tables_j);
     const BusContentionAnalysis bounds_n(without, one_core_platform(),
                                          config, tables_n);
-    EXPECT_EQ(bounds_n.bas(1, 36), 1 + 2 * 2);
-    EXPECT_EQ(bounds_j.bas(1, 36), 1 + 3 * 2);
+    EXPECT_EQ(bounds_n.bas(1, 36_cy), util::AccessCount{1 + 2 * 2});
+    EXPECT_EQ(bounds_j.bas(1, 36_cy), util::AccessCount{1 + 3 * 2});
 }
 
 TEST(Jitter, ShrinksResponseBudget)
@@ -83,11 +84,11 @@ TEST(Jitter, ShrinksResponseBudget)
     AnalysisConfig config;
     EXPECT_TRUE(
         compute_wcrt(ts, one_core_platform(), config).schedulable);
-    ts[0].jitter = 2;
+    ts[0].jitter = 2_cy;
     ts.validate();
     const WcrtResult result = compute_wcrt(ts, one_core_platform(), config);
     EXPECT_FALSE(result.schedulable);
-    EXPECT_EQ(result.failed_task, 0u);
+    EXPECT_EQ(result.failed_task, util::TaskId{0});
 }
 
 TEST(Jitter, ZeroJitterLeavesFig1Untouched)
@@ -95,19 +96,19 @@ TEST(Jitter, ZeroJitterLeavesFig1Untouched)
     // Regression guard: the golden Fig. 1 numbers with explicit J = 0.
     tasks::TaskSet ts = cpa::testing::fig1_task_set(10, 60, 6);
     for (std::size_t i = 0; i < ts.size(); ++i) {
-        ts[i].jitter = 0;
+        ts[i].jitter = 0_cy;
     }
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 16;
-    platform.d_mem = 1;
+    platform.d_mem = 1_cy;
     platform.slot_size = 1;
     AnalysisConfig config;
     config.policy = BusPolicy::kRoundRobin;
     config.persistence_aware = false;
     const InterferenceTables tables(ts, config.crpd);
     const BusContentionAnalysis bounds(ts, platform, config, tables);
-    EXPECT_EQ(bounds.bas(1, 25), 32);
+    EXPECT_EQ(bounds.bas(1, 25_cy), 32_acc);
 }
 
 TEST(Jitter, GeneratorAppliesFraction)
@@ -124,7 +125,7 @@ TEST(Jitter, GeneratorAppliesFraction)
         benchdata::derive_all(benchdata::full_benchmark_table(), 64);
     const tasks::TaskSet ts = benchdata::generate_task_set(rng, gen, pool);
     for (const tasks::Task& task : ts.tasks()) {
-        EXPECT_GT(task.jitter, 0) << task.name;
+        EXPECT_GT(task.jitter, 0_cy) << task.name;
         EXPECT_LE(task.jitter + task.deadline, task.period) << task.name;
     }
     gen.jitter_fraction = 1.0;
@@ -151,7 +152,7 @@ TEST(Jitter, SoundnessAgainstJitteredSimulation)
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = 10_cy;
     platform.slot_size = 2;
 
     int checked = 0;
@@ -167,7 +168,7 @@ TEST(Jitter, SoundnessAgainstJitteredSimulation)
         }
         ++checked;
 
-        Cycles max_period = 0;
+        Cycles max_period{0};
         for (const tasks::Task& task : ts.tasks()) {
             max_period = std::max(max_period, task.period);
         }

@@ -20,7 +20,7 @@ PlatformConfig small_platform()
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
     return platform;
 }
@@ -37,7 +37,7 @@ make_footprints(std::size_t l2_sets,
         L2Footprint fp;
         fp.ecb2 = util::SetMask::from_indices(l2_sets, ecb2);
         fp.pcb2 = util::SetMask::from_indices(l2_sets, pcb2);
-        fp.md_residual_l2 = mdr2;
+        fp.md_residual_l2 = util::AccessCount{mdr2};
         footprints.push_back(std::move(fp));
     }
     return footprints;
@@ -58,12 +58,12 @@ TEST(L2Interference, OverlapSpansAllCores)
     const L2InterferenceTables tables(ts, footprints);
     // At level 1 (hep = both tasks): τ1's PCB2 {10,11,12} ∩ τ2's ECB2
     // {11,12,13} = 2.
-    EXPECT_EQ(tables.overlap(0, 1), 2);
-    EXPECT_EQ(tables.rho2_hat(0, 1, 4), 6);
+    EXPECT_EQ(tables.overlap(0, 1), util::AccessCount{2});
+    EXPECT_EQ(tables.rho2_hat(0, 1, 4), util::AccessCount{6});
     // At level 0, hep(0)\{0} is empty -> no evictors.
-    EXPECT_EQ(tables.overlap(0, 0), 0);
+    EXPECT_EQ(tables.overlap(0, 0), util::AccessCount{0});
     // τ2's PCB2 {13} ∩ τ1's ECB2 {10,11,12} = 0.
-    EXPECT_EQ(tables.overlap(1, 1), 0);
+    EXPECT_EQ(tables.overlap(1, 1), util::AccessCount{0});
 }
 
 TEST(L2Interference, RejectsMismatchedFootprintCount)
@@ -80,14 +80,14 @@ TEST(Multilevel, LookupLatencyExtendsSingleTaskResponse)
     const auto footprints = make_footprints(128, {{{}, {}, 3}});
     AnalysisConfig config;
     L2Config l2;
-    l2.d_l2 = 2;
+    l2.d_l2 = util::Cycles{2};
     const InterferenceTables tables(ts, config.crpd);
     const L2InterferenceTables l2_tables(ts, footprints);
     const WcrtResult result = compute_wcrt_multilevel(
         ts, small_platform(), config, l2, footprints, tables, l2_tables);
     ASSERT_TRUE(result.schedulable);
     // 10 (PD) + 3 requests * 2 (L2 lookup) + 3 accesses * 10 (memory).
-    EXPECT_EQ(result.response[0], 10 + 6 + 30);
+    EXPECT_EQ(result.response[0], util::Cycles{10 + 6 + 30});
 }
 
 TEST(Multilevel, SharedL2PersistenceCutsCrossCoreBusDemand)
@@ -111,7 +111,7 @@ TEST(Multilevel, SharedL2PersistenceCutsCrossCoreBusDemand)
     const L2InterferenceTables l2_tables(ts, footprints);
 
     L2Config l2;
-    l2.d_l2 = 0; // isolate the bus effect from the lookup latency
+    l2.d_l2 = util::Cycles{0}; // isolate the bus effect from the lookup latency
     const WcrtResult multilevel = compute_wcrt_multilevel(
         ts, small_platform(), config, l2, footprints, tables, l2_tables);
     const WcrtResult single =
@@ -143,7 +143,7 @@ TEST(Multilevel, DegeneratesToBaselineWithoutPersistence)
     const InterferenceTables tables(ts, config.crpd);
     const L2InterferenceTables l2_tables(ts, footprints);
     L2Config l2;
-    l2.d_l2 = 0;
+    l2.d_l2 = util::Cycles{0};
 
     const WcrtResult multilevel = compute_wcrt_multilevel(
         ts, small_platform(), config, l2, footprints, tables, l2_tables);
@@ -174,7 +174,7 @@ TEST(Multilevel, AttachedFootprintsRespectInvariants)
     for (std::size_t i = 0; i < ts.size(); ++i) {
         EXPECT_TRUE(footprints[i].pcb2.is_subset_of(footprints[i].ecb2));
         EXPECT_LE(footprints[i].md_residual_l2, ts[i].md_residual) << i;
-        EXPECT_GE(footprints[i].md_residual_l2, 0) << i;
+        EXPECT_GE(footprints[i].md_residual_l2, util::AccessCount{0}) << i;
         EXPECT_EQ(footprints[i].ecb2.universe(), 1024u);
     }
 }
@@ -193,7 +193,7 @@ TEST(Multilevel, LargerL2ImprovesSchedulability)
     AnalysisConfig config;
     config.policy = BusPolicy::kFixedPriority;
     L2Config l2;
-    l2.d_l2 = 1;
+    l2.d_l2 = util::Cycles{1};
 
     int small_l2 = 0;
     int big_l2 = 0;
@@ -227,18 +227,18 @@ TEST(Multilevel, SimulatorHonorsL2Persistence)
                                2}});
     sim::SimConfig config;
     config.policy = BusPolicy::kPerfect;
-    config.horizon = 10000;
+    config.horizon = util::Cycles{10000};
     config.l2_footprints = &footprints;
     config.l2.sets = 256;
-    config.l2.d_l2 = 3;
+    config.l2.d_l2 = util::Cycles{3};
 
     const sim::SimResult result =
         sim::simulate(ts, small_platform(), config);
     ASSERT_EQ(result.jobs_completed[0], 5);
     // Bus: 8 (cold) + 4 * 2 (warm L2) = 16.
-    EXPECT_EQ(result.bus_accesses[0], 16);
+    EXPECT_EQ(result.bus_accesses[0], util::AccessCount{16});
     // First job response: 100 PD + 8 requests * 3 (lookups) + 8 * 10 (bus).
-    EXPECT_EQ(result.max_response[0], 100 + 24 + 80);
+    EXPECT_EQ(result.max_response[0], util::Cycles{100 + 24 + 80});
 }
 
 TEST(Multilevel, SimulatorCrossCoreL2Eviction)
@@ -257,10 +257,10 @@ TEST(Multilevel, SimulatorCrossCoreL2Eviction)
               {{0, 1, 2, 3}, {0, 1, 2, 3}, 1}});
     sim::SimConfig config;
     config.policy = BusPolicy::kPerfect;
-    config.horizon = 20000;
+    config.horizon = util::Cycles{20000};
     config.l2_footprints = &footprints;
     config.l2.sets = 256;
-    config.l2.d_l2 = 0;
+    config.l2.d_l2 = util::Cycles{0};
 
     const sim::SimResult result =
         sim::simulate(ts, small_platform(), config);
@@ -271,8 +271,8 @@ TEST(Multilevel, SimulatorCrossCoreL2Eviction)
     // 5+5+1+5+1 = 17 over five jobs — far above the 9 a private L2 would
     // give (5 cold + 4x1 warm).
     ASSERT_EQ(result.jobs_completed[0], 5);
-    EXPECT_EQ(result.bus_accesses[0], 17);
-    EXPECT_EQ(result.bus_accesses[1], 17);
+    EXPECT_EQ(result.bus_accesses[0], util::AccessCount{17});
+    EXPECT_EQ(result.bus_accesses[1], util::AccessCount{17});
 }
 
 TEST(Multilevel, AnalysisBoundsL2Simulation)
@@ -290,7 +290,7 @@ TEST(Multilevel, AnalysisBoundsL2Simulation)
     PlatformConfig platform = small_platform();
     L2Config l2;
     l2.sets = 512;
-    l2.d_l2 = 2;
+    l2.d_l2 = util::Cycles{2};
 
     util::Rng rng(616);
     int checked = 0;
@@ -312,7 +312,7 @@ TEST(Multilevel, AnalysisBoundsL2Simulation)
         }
         ++checked;
 
-        Cycles max_period = 0;
+        Cycles max_period{0};
         for (const tasks::Task& task : ts.tasks()) {
             max_period = std::max(max_period, task.period);
         }
@@ -339,9 +339,9 @@ TEST(Multilevel, AttachRejectsUnknownBenchmark)
     tasks::Task task;
     task.name = "not-a-benchmark";
     task.core = 0;
-    task.pd = 1;
-    task.period = 10;
-    task.deadline = 10;
+    task.pd = util::Cycles{1};
+    task.period = util::Cycles{10};
+    task.deadline = util::Cycles{10};
     task.ecb = util::SetMask(64);
     task.ucb = util::SetMask(64);
     task.pcb = util::SetMask(64);

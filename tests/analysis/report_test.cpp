@@ -16,7 +16,7 @@ PlatformConfig demo_platform()
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 16;
-    platform.d_mem = 2;
+    platform.d_mem = util::Cycles{2};
     platform.slot_size = 1;
     return platform;
 }
@@ -49,11 +49,11 @@ TEST(Report, SingleTaskIsAllSelfDemand)
     AnalysisConfig config;
     const auto breakdowns = explain_responses(ts, demo_platform(), config);
     const ResponseBreakdown& b = breakdowns.at(0);
-    EXPECT_EQ(b.cpu_self, 10);
-    EXPECT_EQ(b.cpu_preemption, 0);
-    EXPECT_EQ(b.bus_same_core, 3 * 2);
-    EXPECT_EQ(b.bus_cross_core, 0);
-    EXPECT_EQ(b.response, 16);
+    EXPECT_EQ(b.cpu_self, util::Cycles{10});
+    EXPECT_EQ(b.cpu_preemption, util::Cycles{0});
+    EXPECT_EQ(b.bus_same_core, util::Cycles{3 * 2});
+    EXPECT_EQ(b.bus_cross_core, util::Cycles{0});
+    EXPECT_EQ(b.response, util::Cycles{16});
 }
 
 TEST(Report, PreemptionAttributedToCpuComponent)
@@ -68,10 +68,10 @@ TEST(Report, PreemptionAttributedToCpuComponent)
     const auto breakdowns = explain_responses(ts, demo_platform(), config);
     // From wcrt_test: R_2 = 15 = 5 (self) + 4 (preemption) + 6 (bus).
     const ResponseBreakdown& b = breakdowns.at(1);
-    EXPECT_EQ(b.cpu_self, 5);
-    EXPECT_EQ(b.cpu_preemption, 4);
-    EXPECT_EQ(b.bus_same_core, 6);
-    EXPECT_EQ(b.response, 15);
+    EXPECT_EQ(b.cpu_self, util::Cycles{5});
+    EXPECT_EQ(b.cpu_preemption, util::Cycles{4});
+    EXPECT_EQ(b.bus_same_core, util::Cycles{6});
+    EXPECT_EQ(b.response, util::Cycles{15});
 }
 
 TEST(Report, CrossCoreComponentReflectsContention)
@@ -86,7 +86,7 @@ TEST(Report, CrossCoreComponentReflectsContention)
     config.policy = BusPolicy::kFixedPriority;
     const auto breakdowns = explain_responses(ts, demo_platform(), config);
     // τ2 shares the bus with τ1's higher-priority accesses.
-    EXPECT_GT(breakdowns.at(1).bus_cross_core, 0);
+    EXPECT_GT(breakdowns.at(1).bus_cross_core, util::Cycles{0});
     EXPECT_EQ(breakdowns.at(1).total(), breakdowns.at(1).response);
 }
 
@@ -123,7 +123,7 @@ TEST(Report, MatchesComputeWcrtResponses)
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
     AnalysisConfig config;
     config.policy = BusPolicy::kRoundRobin;

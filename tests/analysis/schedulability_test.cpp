@@ -17,7 +17,7 @@ PlatformConfig default_platform(std::size_t cores = 2,
     PlatformConfig platform;
     platform.num_cores = cores;
     platform.cache_sets = cache_sets;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
     return platform;
 }

@@ -15,6 +15,8 @@
 namespace cpa::analysis {
 namespace {
 
+using namespace util::literals;
+
 using cpa::testing::make_task_set;
 
 PlatformConfig small_platform(std::size_t cores, Cycles d_mem)
@@ -84,9 +86,9 @@ TEST_F(WcrtObsTest, OuterIterationsMatchTracedEvents)
 {
     const tasks::TaskSet ts = cross_core_set();
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(2, 2), fp_config());
+        compute_wcrt(ts, small_platform(2, 2_cy), fp_config());
     ASSERT_TRUE(result.schedulable);
-    EXPECT_STREQ(result.stop_reason, "converged");
+    EXPECT_STREQ(to_string(result.stop_reason), "converged");
     EXPECT_GE(result.outer_iterations, 2u);
 
 #if CPA_OBS_ENABLED
@@ -101,7 +103,7 @@ TEST_F(WcrtObsTest, MetricsMirrorIterationCounts)
 {
     const tasks::TaskSet ts = cross_core_set();
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(2, 2), fp_config());
+        compute_wcrt(ts, small_platform(2, 2_cy), fp_config());
     ASSERT_TRUE(result.schedulable);
 
 #if CPA_OBS_ENABLED
@@ -127,10 +129,10 @@ TEST_F(WcrtObsTest, DeadlineMissEmitsWarnEventAndStopReason)
             {0, 50, 5, 5, 100, 70, {}, {}, {}},
         });
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(1, 2), fp_config());
+        compute_wcrt(ts, small_platform(1, 2_cy), fp_config());
     ASSERT_FALSE(result.schedulable);
-    EXPECT_STREQ(result.stop_reason, "deadline_miss");
-    EXPECT_EQ(result.failed_task, 1u);
+    EXPECT_STREQ(to_string(result.stop_reason), "deadline_miss");
+    EXPECT_EQ(result.failed_task, util::TaskId{1});
 
 #if CPA_OBS_ENABLED
     const std::string text = captured_.str();
@@ -149,7 +151,7 @@ TEST_F(WcrtObsTest, InnerIterationsAccumulateAcrossOuterRounds)
 {
     const tasks::TaskSet ts = cross_core_set();
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(2, 2), fp_config());
+        compute_wcrt(ts, small_platform(2, 2_cy), fp_config());
     ASSERT_TRUE(result.schedulable);
     // Every task runs its inner fixed point at least once per outer round.
     EXPECT_GE(result.inner_iterations,

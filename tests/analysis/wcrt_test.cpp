@@ -10,6 +10,7 @@ namespace {
 
 using cpa::testing::make_task_set;
 using cpa::testing::TaskSpec;
+using namespace util::literals;
 
 PlatformConfig small_platform(std::size_t cores, Cycles d_mem)
 {
@@ -33,7 +34,7 @@ TEST(Wcrt, RejectsTaskSetWiderThanPlatform)
 {
     const tasks::TaskSet ts = make_task_set(
         4, 16, {{3, 10, 3, 3, 100, 0, {}, {}, {}}});
-    EXPECT_THROW((void)compute_wcrt(ts, small_platform(2, 2), fp_config()),
+    EXPECT_THROW((void)compute_wcrt(ts, small_platform(2, 2_cy), fp_config()),
                  std::invalid_argument);
 }
 
@@ -42,9 +43,9 @@ TEST(Wcrt, SingleTaskResponseIsIsolatedDemand)
     const tasks::TaskSet ts =
         make_task_set(1, 16, {{0, 10, 3, 3, 100, 0, {}, {}, {}}});
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(1, 2), fp_config());
+        compute_wcrt(ts, small_platform(1, 2_cy), fp_config());
     ASSERT_TRUE(result.schedulable);
-    EXPECT_EQ(result.response[0], 10 + 3 * 2);
+    EXPECT_EQ(result.response[0], util::Cycles{10 + 3 * 2});
 }
 
 TEST(Wcrt, TwoTasksSameCoreClassicPreemption)
@@ -56,13 +57,13 @@ TEST(Wcrt, TwoTasksSameCoreClassicPreemption)
                                                 {0, 5, 1, 1, 50, 0, {}, {}, {}},
                                             });
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(1, 2), fp_config());
+        compute_wcrt(ts, small_platform(1, 2_cy), fp_config());
     ASSERT_TRUE(result.schedulable);
     // τ1 has a lower-priority task on its core, so Eq. (7) adds the +1
     // blocking access: R_1 = 4 + (2 + 1)*2 = 10.
-    EXPECT_EQ(result.response[0], 10);
+    EXPECT_EQ(result.response[0], 10_cy);
     // R_2 = 5 + 1*4 (CPU) + (1 + 1*2) * 2 (bus, no blocking: lowest) = 15.
-    EXPECT_EQ(result.response[1], 15);
+    EXPECT_EQ(result.response[1], 15_cy);
 }
 
 TEST(Wcrt, ReportsFirstFailingTask)
@@ -76,9 +77,9 @@ TEST(Wcrt, ReportsFirstFailingTask)
             {0, 50, 5, 5, 100, 70, {}, {}, {}},
         });
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(1, 2), fp_config());
+        compute_wcrt(ts, small_platform(1, 2_cy), fp_config());
     EXPECT_FALSE(result.schedulable);
-    EXPECT_EQ(result.failed_task, 1u);
+    EXPECT_EQ(result.failed_task, util::TaskId{1});
     EXPECT_GT(result.response[1], ts[1].deadline);
 }
 
@@ -93,7 +94,7 @@ TEST(Wcrt, CrossCoreContentionRaisesResponse)
                           {0, 10, 4, 4, 200, 0, {}, {}, {}},
                           {1, 10, 8, 8, 100, 0, {}, {}, {}},
                       });
-    const PlatformConfig platform = small_platform(2, 3);
+    const PlatformConfig platform = small_platform(2, 3_cy);
     const WcrtResult r_alone = compute_wcrt(alone, platform, fp_config());
     const WcrtResult r_contended =
         compute_wcrt(contended, platform, fp_config());
@@ -115,12 +116,12 @@ TEST(Wcrt, OuterLoopConvergesOnMutualDependency)
             {1, 30, 4, 4, 400, 0, {7, 8}, {7, 8}, {}},
         });
     const WcrtResult result =
-        compute_wcrt(ts, small_platform(2, 2), fp_config());
+        compute_wcrt(ts, small_platform(2, 2_cy), fp_config());
     ASSERT_TRUE(result.schedulable);
     EXPECT_GE(result.outer_iterations, 2u);
     for (std::size_t i = 0; i < ts.size(); ++i) {
         EXPECT_GE(result.response[i],
-                  ts[i].isolated_demand(2)); // at least isolation
+                  ts[i].isolated_demand(2_cy)); // at least isolation
         EXPECT_LE(result.response[i], ts[i].deadline);
     }
 }
@@ -141,7 +142,7 @@ TEST_P(WcrtPolicyTest, PersistenceAwareResponseNeverLarger)
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = 10_cy;
     platform.slot_size = 2;
 
     for (int repeat = 0; repeat < 20; ++repeat) {
@@ -183,7 +184,7 @@ TEST(Wcrt, PerfectBusResponseLowerBoundsRealPolicies)
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = 10_cy;
     platform.slot_size = 2;
 
     for (int repeat = 0; repeat < 10; ++repeat) {

@@ -66,14 +66,14 @@ TEST(BenchmarkTable, ReferenceDemandsMatchTableI)
     // (util::kExtractionLatencyCycles).
     const BenchmarkParams lcdnum =
         derive_params(find("lcdnum"), kReferenceCacheSets);
-    EXPECT_EQ(lcdnum.pd, 984);
-    EXPECT_EQ(lcdnum.md, 144); // ceil(1440/10)
-    EXPECT_EQ(lcdnum.md_residual, 20);
+    EXPECT_EQ(lcdnum.pd, util::Cycles{984});
+    EXPECT_EQ(lcdnum.md, util::AccessCount{144}); // ceil(1440/10)
+    EXPECT_EQ(lcdnum.md_residual, util::AccessCount{20});
 
     const BenchmarkParams nsichneu =
         derive_params(find("nsichneu"), kReferenceCacheSets);
-    EXPECT_EQ(nsichneu.md, 14720);
-    EXPECT_EQ(nsichneu.md_residual, 14720); // no persistence at 256 sets
+    EXPECT_EQ(nsichneu.md, util::AccessCount{14720});
+    EXPECT_EQ(nsichneu.md_residual, util::AccessCount{14720}); // no persistence at 256 sets
 
     // Access counts must cover at least one cold miss per block; this is
     // what pins the 10-cycle extraction latency (DESIGN.md §3.3).
@@ -84,7 +84,7 @@ TEST(BenchmarkTable, ReferenceDemandsMatchTableI)
         }
         const BenchmarkParams params =
             derive_params(spec, kReferenceCacheSets);
-        EXPECT_GE(params.md, static_cast<std::int64_t>(blocks)) << spec.name;
+        EXPECT_GE(params.md, util::accesses_from_blocks(blocks)) << spec.name;
     }
 }
 
@@ -95,7 +95,7 @@ TEST(BenchmarkTable, ResidualNeverExceedsDemand)
             const BenchmarkParams params = derive_params(spec, sets);
             EXPECT_LE(params.md_residual, params.md)
                 << spec.name << " @" << sets;
-            EXPECT_GE(params.md, 1) << spec.name << " @" << sets;
+            EXPECT_GE(params.md, util::AccessCount{1}) << spec.name << " @" << sets;
             EXPECT_LE(params.pcb_count, params.ecb_count)
                 << spec.name << " @" << sets;
             EXPECT_LE(params.ucb_count, params.ecb_count)
@@ -127,7 +127,8 @@ TEST(BenchmarkTable, PersistentShareGrowsWithCacheSize)
 TEST(BenchmarkTable, DemandShrinksWithCacheSize)
 {
     for (const BenchmarkSpec& spec : full_benchmark_table()) {
-        std::int64_t previous_md = std::numeric_limits<std::int64_t>::max();
+        util::AccessCount previous_md{
+            std::numeric_limits<std::int64_t>::max()};
         for (const std::size_t sets : {32u, 64u, 128u, 256u, 512u, 1024u}) {
             const BenchmarkParams params = derive_params(spec, sets);
             EXPECT_LE(params.md, previous_md) << spec.name << " @" << sets;

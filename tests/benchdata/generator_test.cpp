@@ -40,10 +40,10 @@ TEST(Generator, PeriodsFollowGenerationRecipe)
     for (const tasks::Task& task : ts.tasks()) {
         EXPECT_EQ(task.deadline, task.period);
         if (task.utilization > 1e-6) {
-            const double cost = static_cast<double>(
+            const double cost = util::to_double(
                 task.pd + task.md * util::kExtractionLatencyCycles);
             const double expected = cost / task.utilization;
-            EXPECT_NEAR(static_cast<double>(task.period), expected,
+            EXPECT_NEAR(util::to_double(task.period), expected,
                         expected * 1e-6 + 1.0)
                 << task.name;
         }
@@ -196,9 +196,9 @@ TEST(Generator, UtilizationOneKeepsPerTaskUtilizationAtMostOne)
     const tasks::TaskSet ts =
         generate_task_set(rng, default_config(1.0), pool);
     for (const tasks::Task& task : ts.tasks()) {
-        const double cost = static_cast<double>(
+        const double cost = util::to_double(
             task.pd + task.md * util::kExtractionLatencyCycles);
-        EXPECT_LE(cost, static_cast<double>(task.period) * (1.0 + 1e-9))
+        EXPECT_LE(cost, util::to_double(task.period) * (1.0 + 1e-9))
             << task.name;
     }
 }

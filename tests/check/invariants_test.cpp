@@ -79,7 +79,7 @@ TEST(CheckInvariants, JitteredConstrainedDeadlineSetPasses)
     tasks::TaskSet jittered(2, 16);
     for (const tasks::Task& original : ts.tasks()) {
         tasks::Task task = original;
-        task.jitter = 2;
+        task.jitter = util::Cycles{2};
         jittered.add_task(std::move(task));
     }
     jittered.validate();

@@ -76,11 +76,11 @@ TEST(CheckMutation, StructureFootprintsFires)
     tasks::Task task;
     task.name = "bad";
     task.core = 0;
-    task.pd = 2;
-    task.md = 3;
-    task.md_residual = 1;
-    task.period = 50;
-    task.deadline = 50;
+    task.pd = Cycles{2};
+    task.md = AccessCount{3};
+    task.md_residual = AccessCount{1};
+    task.period = Cycles{50};
+    task.deadline = Cycles{50};
     task.ecb = util::SetMask::from_indices(16, {0, 1});
     task.ucb = util::SetMask::from_indices(16, {0});
     task.pcb = util::SetMask::from_indices(16, {5}); // not in ECB
@@ -96,11 +96,11 @@ TEST(CheckMutation, StructureDemandFires)
     tasks::Task task;
     task.name = "bad";
     task.core = 0;
-    task.pd = 2;
-    task.md = 3;
-    task.md_residual = 7; // MDr > MD
-    task.period = 50;
-    task.deadline = 50;
+    task.pd = Cycles{2};
+    task.md = AccessCount{3};
+    task.md_residual = AccessCount{7}; // MDr > MD
+    task.period = Cycles{50};
+    task.deadline = Cycles{50};
     task.ecb = util::SetMask(16);
     task.ucb = util::SetMask(16);
     task.pcb = util::SetMask(16);
@@ -116,11 +116,11 @@ TEST(CheckMutation, StructureWindowsFires)
     tasks::Task task;
     task.name = "bad";
     task.core = 0;
-    task.pd = 2;
-    task.md = 3;
-    task.md_residual = 1;
-    task.period = 50;
-    task.deadline = 60; // D > T
+    task.pd = Cycles{2};
+    task.md = AccessCount{3};
+    task.md_residual = AccessCount{1};
+    task.period = Cycles{50};
+    task.deadline = Cycles{60}; // D > T
     task.ecb = util::SetMask(16);
     task.ucb = util::SetMask(16);
     task.pcb = util::SetMask(16);
@@ -151,10 +151,10 @@ TEST(CheckMutation, DemandDominanceFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t md_hat(std::size_t i, std::int64_t n) const override
+        AccessCount md_hat(std::size_t i, std::int64_t n) const override
         {
             // Exceeds n * MD: the Eq. (10) cap is gone.
-            return AnalysisOracle::md_hat(i, n) + (n > 0 ? n * 100 : 0);
+            return AnalysisOracle::md_hat(i, n) + AccessCount{n > 0 ? n * 100 : 0};
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -166,9 +166,9 @@ TEST(CheckMutation, DemandMonotoneFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t md_hat(std::size_t, std::int64_t n) const override
+        AccessCount md_hat(std::size_t, std::int64_t n) const override
         {
-            return -n; // strictly decreasing
+            return AccessCount{-n}; // strictly decreasing
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -180,9 +180,9 @@ TEST(CheckMutation, DemandSubadditiveFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t md_hat(std::size_t, std::int64_t n) const override
+        AccessCount md_hat(std::size_t, std::int64_t n) const override
         {
-            return n * n; // superadditive
+            return AccessCount{n * n}; // superadditive
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -194,10 +194,10 @@ TEST(CheckMutation, GammaShapeFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t gamma(std::size_t i, std::size_t j) const override
+        AccessCount gamma(std::size_t i, std::size_t j) const override
         {
             // Nonzero CRPD charged against a lower-priority "preempter".
-            return j >= i ? 3 : AnalysisOracle::gamma(i, j);
+            return j >= i ? AccessCount{3} : AnalysisOracle::gamma(i, j);
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -209,9 +209,9 @@ TEST(CheckMutation, CproShapeFiresOnNegativeOverlap)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t cpro_overlap(std::size_t, std::size_t) const override
+        AccessCount cpro_overlap(std::size_t, std::size_t) const override
         {
-            return -1;
+            return AccessCount{-1};
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -223,9 +223,9 @@ TEST(CheckMutation, CproShapeFiresOnCrossCorePairOverlap)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t pair_overlap(std::size_t, std::size_t) const override
+        AccessCount pair_overlap(std::size_t, std::size_t) const override
         {
-            return 1; // also nonzero for cross-core / self pairs
+            return AccessCount{1}; // also nonzero for cross-core / self pairs
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -237,12 +237,12 @@ TEST(CheckMutation, Lemma1DominanceFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t bas(const AnalysisConfig& config, std::size_t i,
-                         Cycles t) const override
+        AccessCount bas(const AnalysisConfig& config, std::size_t i,
+                        Cycles t) const override
         {
             // Persistence-aware BAS inflated above the plain bound.
-            const std::int64_t real = AnalysisOracle::bas(config, i, t);
-            return config.persistence_aware ? real + 50 : real;
+            const AccessCount real = AnalysisOracle::bas(config, i, t);
+            return config.persistence_aware ? real + AccessCount{50} : real;
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -254,10 +254,10 @@ TEST(CheckMutation, BasMonotoneFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t bas(const AnalysisConfig&, std::size_t,
-                         Cycles t) const override
+        AccessCount bas(const AnalysisConfig&, std::size_t,
+                        Cycles t) const override
         {
-            return std::max<std::int64_t>(0, 100 - t); // decreasing in t
+            return AccessCount{std::max<std::int64_t>(0, 100 - t.count())}; // decreasing in t
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -269,13 +269,13 @@ TEST(CheckMutation, Lemma2DominanceFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t bao(const AnalysisConfig& config, std::size_t core,
-                         std::size_t k, Cycles t,
-                         const std::vector<Cycles>& response) const override
+        AccessCount bao(const AnalysisConfig& config, std::size_t core,
+                        std::size_t k, Cycles t,
+                        const std::vector<Cycles>& response) const override
         {
-            const std::int64_t real =
+            const AccessCount real =
                 AnalysisOracle::bao(config, core, k, t, response);
-            return config.persistence_aware ? real + 25 : real;
+            return config.persistence_aware ? real + AccessCount{25} : real;
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -287,12 +287,12 @@ TEST(CheckMutation, BatDominatesBasFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t bat(const AnalysisConfig& config, std::size_t i,
-                         Cycles t,
-                         const std::vector<Cycles>&) const override
+        AccessCount bat(const AnalysisConfig& config, std::size_t i,
+                        Cycles t,
+                        const std::vector<Cycles>&) const override
         {
             // Below the same-config BAS term: same-core accesses un-priced.
-            return AnalysisOracle::bas(config, i, t) - 1;
+            return AnalysisOracle::bas(config, i, t) - AccessCount{1};
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -304,13 +304,13 @@ TEST(CheckMutation, BatPersistenceDominanceFires)
     const tasks::TaskSet ts = testing::fig1_task_set();
     class Oracle : public MutatedOracle {
         using MutatedOracle::MutatedOracle;
-        std::int64_t bat(const AnalysisConfig& config, std::size_t i,
-                         Cycles t,
-                         const std::vector<Cycles>& response) const override
+        AccessCount bat(const AnalysisConfig& config, std::size_t i,
+                        Cycles t,
+                        const std::vector<Cycles>& response) const override
         {
-            const std::int64_t real =
+            const AccessCount real =
                 AnalysisOracle::bat(config, i, t, response);
-            return config.persistence_aware ? real + 40 : real;
+            return config.persistence_aware ? real + AccessCount{40} : real;
         }
     } oracle(ts, fig1_platform());
     const CheckResult result = run_with(oracle);
@@ -329,7 +329,7 @@ TEST(CheckMutation, WcrtFixedPointFires)
             // contention: rhs(R) > R for the tasks with cross-core load.
             analysis::WcrtResult result;
             result.schedulable = true;
-            result.stop_reason = "mutated";
+            result.stop_reason = analysis::StopReason::kConverged;
             for (const tasks::Task& task : task_set().tasks()) {
                 result.response.push_back(
                     task.isolated_demand(platform().d_mem));
@@ -352,8 +352,8 @@ TEST(CheckMutation, WcrtResponseBoundsFires)
             // R below the isolated demand is impossible for a sound bound.
             analysis::WcrtResult result;
             result.schedulable = true;
-            result.stop_reason = "mutated";
-            result.response.assign(task_set().size(), 1);
+            result.stop_reason = analysis::StopReason::kConverged;
+            result.response.assign(task_set().size(), Cycles{1});
             return result;
         }
     } oracle(ts, fig1_platform());
@@ -374,7 +374,7 @@ TEST(CheckMutation, WcrtPersistenceDominanceFiresOnVerdictFlip)
                 // Persistence-aware analysis "loses" a set the baseline
                 // accepts — the refinement of Eq. (16)-(18) forbids this.
                 result.schedulable = false;
-                result.stop_reason = "mutated";
+                result.stop_reason = analysis::StopReason::kConverged;
             }
             return result;
         }
@@ -395,7 +395,7 @@ TEST(CheckMutation, WcrtPersistenceDominanceFiresOnLargerResponses)
             if (config.persistence_aware && result.schedulable &&
                 !result.response.empty()) {
                 // Far above anything the baseline can report for this set.
-                result.response[0] += 500;
+                result.response[0] += Cycles{500};
             }
             return result;
         }
@@ -414,9 +414,9 @@ TEST(CheckMutation, SimSoundnessFires)
             // Observed responses far above any analytical bound.
             sim::SimResult result;
             const std::size_t n = task_set().size();
-            result.max_response.assign(n, 1'000'000);
+            result.max_response.assign(n, Cycles{1'000'000});
             result.jobs_completed.assign(n, 1);
-            result.bus_accesses.assign(n, 0);
+            result.bus_accesses.assign(n, AccessCount{0});
             return result;
         }
     } oracle(ts, fig1_platform());

@@ -22,23 +22,23 @@ TEST(TasksetIo, ParsesDemoFile)
     const ParsedSystem parsed = parse_task_set(in);
     EXPECT_EQ(parsed.platform.num_cores, 2u);
     EXPECT_EQ(parsed.platform.cache_sets, 64u);
-    EXPECT_EQ(parsed.platform.d_mem, 10); // 5 us
+    EXPECT_EQ(parsed.platform.d_mem, util::Cycles{10}); // 5 us
     EXPECT_EQ(parsed.platform.slot_size, 2);
     ASSERT_EQ(parsed.ts.size(), 2u);
 
     const tasks::Task& ctrl = parsed.ts[0];
     EXPECT_EQ(ctrl.name, "ctrl");
     EXPECT_EQ(ctrl.core, 0u);
-    EXPECT_EQ(ctrl.pd, 1000);
-    EXPECT_EQ(ctrl.md, 20);
-    EXPECT_EQ(ctrl.md_residual, 4);
-    EXPECT_EQ(ctrl.period, 100000);
-    EXPECT_EQ(ctrl.deadline, 100000); // implicit
+    EXPECT_EQ(ctrl.pd, util::Cycles{1000});
+    EXPECT_EQ(ctrl.md, util::AccessCount{20});
+    EXPECT_EQ(ctrl.md_residual, util::AccessCount{4});
+    EXPECT_EQ(ctrl.period, util::Cycles{100000});
+    EXPECT_EQ(ctrl.deadline, util::Cycles{100000}); // implicit
     EXPECT_EQ(ctrl.ecb.count(), 20u);
     EXPECT_EQ(ctrl.ucb.count(), 16u);
 
     const tasks::Task& log = parsed.ts[1];
-    EXPECT_EQ(log.deadline, 150000);
+    EXPECT_EQ(log.deadline, util::Cycles{150000});
     EXPECT_EQ(log.ecb.count(), 11u); // 30-39 plus 42
     EXPECT_TRUE(log.ecb.contains(42));
     EXPECT_TRUE(log.ucb.empty());
@@ -133,13 +133,13 @@ TEST(TasksetIo, JitterFieldRoundTrips)
 task t core=0 pd=1 md=0 mdr=0 period=100 deadline=80 jitter=15
 )");
     const ParsedSystem parsed = parse_task_set(in);
-    EXPECT_EQ(parsed.ts[0].jitter, 15);
+    EXPECT_EQ(parsed.ts[0].jitter, util::Cycles{15});
 
     std::ostringstream written;
     write_task_set(written, parsed.platform, parsed.ts);
     EXPECT_NE(written.str().find("jitter=15"), std::string::npos);
     std::istringstream again(written.str());
-    EXPECT_EQ(parse_task_set(again).ts[0].jitter, 15);
+    EXPECT_EQ(parse_task_set(again).ts[0].jitter, util::Cycles{15});
 }
 
 TEST(TasksetIo, JitterBeyondSlackRejected)
@@ -159,13 +159,13 @@ task b core=1 pd=100 md=10 mdr=10 period=10000 ecb=5-14
     const ParsedSystem parsed = parse_task_set(in);
     ASSERT_TRUE(parsed.l2.has_value());
     EXPECT_EQ(parsed.l2->sets, 256u);
-    EXPECT_EQ(parsed.l2->d_l2, 2); // 1 us
+    EXPECT_EQ(parsed.l2->d_l2, util::Cycles{2}); // 1 us
     ASSERT_EQ(parsed.l2_footprints.size(), 2u);
     EXPECT_EQ(parsed.l2_footprints[0].ecb2.count(), 20u);
-    EXPECT_EQ(parsed.l2_footprints[0].md_residual_l2, 2);
+    EXPECT_EQ(parsed.l2_footprints[0].md_residual_l2, util::AccessCount{2});
     // Task b: default footprint, mdr2 defaults to mdr.
     EXPECT_TRUE(parsed.l2_footprints[1].ecb2.empty());
-    EXPECT_EQ(parsed.l2_footprints[1].md_residual_l2, 10);
+    EXPECT_EQ(parsed.l2_footprints[1].md_residual_l2, util::AccessCount{10});
 }
 
 TEST(TasksetIo, L2FieldErrors)

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: adding an access count to a cycle count mixes
+// dimensions; the only legal combination is AccessCount * Cycles -> Cycles.
+#include "util/units.hpp"
+
+cpa::util::Cycles bad()
+{
+    return cpa::util::Cycles{1} + cpa::util::AccessCount{1};
+}

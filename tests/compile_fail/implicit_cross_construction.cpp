@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: Quantity construction is explicit, so neither a raw
+// integer nor another dimension silently becomes a Cycles value.
+#include "util/units.hpp"
+
+cpa::util::Cycles bad_from_raw()
+{
+    return 42; // would re-open the door to unit-less arithmetic
+}
+
+cpa::util::Cycles bad_from_other_dimension(cpa::util::AccessCount count)
+{
+    return count;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: microseconds and cycles are different dimensions; a
+// comparison requires an explicit conversion (util::cycles_from_microseconds)
+// so the 2-cycles-per-microsecond platform constant is never applied
+// implicitly.
+#include "util/units.hpp"
+
+bool bad()
+{
+    return cpa::util::Microseconds{5} < cpa::util::Cycles{5};
+}

@@ -1,0 +1,12 @@
+// Positive control for the compile-fail harness: this file uses the same
+// include path and dialect as the MUST-NOT-COMPILE cases and is expected to
+// compile. If it fails, the harness (not the unit system) is broken, and
+// every red case would be a false positive.
+#include "util/units.hpp"
+
+using namespace cpa::util::literals;
+
+cpa::util::Cycles good(cpa::util::AccessCount accesses)
+{
+    return accesses * cpa::util::Cycles{10} + 4_cy;
+}

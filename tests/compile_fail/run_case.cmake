@@ -1,0 +1,35 @@
+# Compile-fail test driver: syntax-checks one translation unit and asserts
+# the expected outcome. Invoked by ctest (see CMakeLists.txt here) as
+#   cmake -DCXX=... -DSRC=... -DINCLUDE_DIR=... -DEXPECT=FAIL|PASS
+#         -P run_case.cmake
+# Running at test time (not configure time) keeps the red cases honest:
+# a regression that makes them compile turns the ctest run red.
+foreach(required CXX SRC INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "run_case.cmake: missing -D${required}=")
+  endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CXX} -std=c++20 -fsyntax-only -I${INCLUDE_DIR} ${SRC}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "expected compilation of ${SRC} to FAIL, but it succeeded — the "
+        "dimension-safety guarantee this case documents has been lost")
+  endif()
+  message(STATUS "${SRC} rejected as expected")
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "positive control ${SRC} failed to compile — the harness flags or "
+        "include path are broken:\n${err}")
+  endif()
+  message(STATUS "${SRC} compiled as expected")
+else()
+  message(FATAL_ERROR "run_case.cmake: EXPECT must be FAIL or PASS")
+endif()

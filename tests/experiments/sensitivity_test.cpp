@@ -16,7 +16,7 @@ analysis::PlatformConfig small_platform()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
     return platform;
 }
@@ -29,8 +29,8 @@ TEST(CriticalDmem, FindsExactThreshold)
         make_task_set(1, 64, {{0, 40, 6, 6, 100, 0, {}, {}, {}}});
     analysis::AnalysisConfig config;
     const util::Cycles critical =
-        critical_d_mem(ts, small_platform(), config, 1000);
-    EXPECT_EQ(critical, 10);
+        critical_d_mem(ts, small_platform(), config, util::Cycles{1000});
+    EXPECT_EQ(critical, util::Cycles{10});
 }
 
 TEST(CriticalDmem, ZeroWhenNeverSchedulable)
@@ -38,7 +38,8 @@ TEST(CriticalDmem, ZeroWhenNeverSchedulable)
     const tasks::TaskSet ts =
         make_task_set(1, 64, {{0, 200, 6, 6, 100, 0, {}, {}, {}}});
     analysis::AnalysisConfig config;
-    EXPECT_EQ(critical_d_mem(ts, small_platform(), config, 1000), 0);
+    EXPECT_EQ(critical_d_mem(ts, small_platform(), config, util::Cycles{1000}),
+              util::Cycles{0});
 }
 
 TEST(CriticalDmem, SaturatesAtUpperBound)
@@ -46,7 +47,8 @@ TEST(CriticalDmem, SaturatesAtUpperBound)
     const tasks::TaskSet ts =
         make_task_set(1, 64, {{0, 1, 1, 1, 1000000, 0, {}, {}, {}}});
     analysis::AnalysisConfig config;
-    EXPECT_EQ(critical_d_mem(ts, small_platform(), config, 50), 50);
+    EXPECT_EQ(critical_d_mem(ts, small_platform(), config, util::Cycles{50}),
+              util::Cycles{50});
 }
 
 TEST(CriticalDmem, RejectsBadUpperBound)
@@ -54,7 +56,8 @@ TEST(CriticalDmem, RejectsBadUpperBound)
     const tasks::TaskSet ts =
         make_task_set(1, 64, {{0, 1, 1, 1, 100, 0, {}, {}, {}}});
     analysis::AnalysisConfig config;
-    EXPECT_THROW((void)critical_d_mem(ts, small_platform(), config, 0),
+    EXPECT_THROW((void)critical_d_mem(ts, small_platform(), config,
+                                      util::Cycles{0}),
                  std::invalid_argument);
 }
 
@@ -75,9 +78,9 @@ TEST(CriticalDmem, SchedulabilityAntitoneInDmemAroundThreshold)
     config.policy = analysis::BusPolicy::kRoundRobin;
 
     const util::Cycles critical =
-        critical_d_mem(ts, small_platform(), config, 200);
+        critical_d_mem(ts, small_platform(), config, util::Cycles{200});
     const analysis::InterferenceTables tables(ts, config.crpd);
-    for (util::Cycles d = 1; d <= 60; ++d) {
+    for (util::Cycles d{1}; d <= util::Cycles{60}; d += util::Cycles{1}) {
         analysis::PlatformConfig platform = small_platform();
         platform.d_mem = d;
         EXPECT_EQ(analysis::is_schedulable(ts, platform, config, tables),

@@ -32,7 +32,7 @@ analysis::PlatformConfig small_platform()
     analysis::PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
     return platform;
 }

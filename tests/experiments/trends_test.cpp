@@ -59,7 +59,7 @@ TEST(Trends, PersistenceGapShrinksWithDmem)
     for (const auto& [d_mem_us, gap] :
          {std::pair<int, double*>{2, &gap_small}, {10, &gap_large}}) {
         analysis::PlatformConfig p = platform(4);
-        p.d_mem = util::cycles_from_microseconds(d_mem_us);
+        p.d_mem = util::cycles_from_microseconds(util::Microseconds{d_mem_us});
         const UtilizationSweep sweep = run_utilization_sweep(
             generation(4), p, variants, small_sweep());
         *gap = weighted_schedulability(sweep, 0) -

@@ -8,13 +8,15 @@
 
 namespace cpa::testing {
 
+// Raw integers on purpose: specs are written as brace literals in the
+// tests; make_task_set() is the single place they acquire their dimension.
 struct TaskSpec {
     std::size_t core = 0;
-    util::Cycles pd = 1;
-    std::int64_t md = 0;
-    std::int64_t md_residual = 0;
-    util::Cycles period = 100;
-    util::Cycles deadline = 0; // 0 -> implicit (= period)
+    std::int64_t pd = 1;          // cycles
+    std::int64_t md = 0;          // accesses
+    std::int64_t md_residual = 0; // accesses
+    std::int64_t period = 100;    // cycles
+    std::int64_t deadline = 0;    // cycles; 0 -> implicit (= period)
     std::vector<std::size_t> ecb;
     std::vector<std::size_t> ucb;
     std::vector<std::size_t> pcb;
@@ -36,11 +38,12 @@ inline tasks::TaskSet make_task_set(std::size_t num_cores,
         task.name = "t";
         task.name += std::to_string(++index);
         task.core = spec.core;
-        task.pd = spec.pd;
-        task.md = spec.md;
-        task.md_residual = spec.md_residual;
-        task.period = spec.period;
-        task.deadline = spec.deadline > 0 ? spec.deadline : spec.period;
+        task.pd = util::Cycles{spec.pd};
+        task.md = util::AccessCount{spec.md};
+        task.md_residual = util::AccessCount{spec.md_residual};
+        task.period = util::Cycles{spec.period};
+        task.deadline =
+            util::Cycles{spec.deadline > 0 ? spec.deadline : spec.period};
         task.ecb = util::SetMask::from_indices(cache_sets, spec.ecb);
         task.ucb = util::SetMask::from_indices(cache_sets, spec.ucb);
         task.pcb = util::SetMask::from_indices(cache_sets, spec.pcb);
@@ -52,9 +55,9 @@ inline tasks::TaskSet make_task_set(std::size_t num_cores,
 
 // The example of the paper's Fig. 1: τ1, τ2 on core 0, τ3 on core 1.
 // Parameters exactly as printed under the figure.
-inline tasks::TaskSet fig1_task_set(util::Cycles t1_period = 10,
-                                    util::Cycles t2_period = 60,
-                                    util::Cycles t3_period = 6)
+inline tasks::TaskSet fig1_task_set(std::int64_t t1_period = 10,
+                                    std::int64_t t2_period = 60,
+                                    std::int64_t t3_period = 6)
 {
     return make_task_set(
         2, 16,

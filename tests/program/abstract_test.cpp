@@ -15,10 +15,10 @@ const cache::CacheGeometry kGeo8{8, 32, 1};
 const cache::CacheGeometry kGeo256{256, 32, 1};
 
 // Counts the misses of one concrete trace from a cold (or PCB-warm) cache.
-std::int64_t concrete_misses(const Program& p,
-                             const cache::CacheGeometry& geo,
-                             const BranchSelector& selector,
-                             bool preload_pcbs = false)
+util::AccessCount concrete_misses(const Program& p,
+                                  const cache::CacheGeometry& geo,
+                                  const BranchSelector& selector,
+                                  bool preload_pcbs = false)
 {
     cache::DirectMappedCache cache({geo.sets, geo.block_bytes});
     if (preload_pcbs) {
@@ -32,10 +32,10 @@ std::int64_t concrete_misses(const Program& p,
             }
         }
     }
-    std::int64_t misses = 0;
+    util::AccessCount misses{0};
     for (const std::size_t block : p.reference_trace(selector)) {
         if (!cache.access(block)) {
-            ++misses;
+            misses += util::AccessCount{1};
         }
     }
     return misses;
@@ -103,9 +103,10 @@ TEST(AbstractAnalysis, BoundsEveryBranchResolution)
     };
     for (std::size_t s = 0; s < selectors.size(); ++s) {
         call = 0;
-        const std::int64_t cold = concrete_misses(p, kGeo8, selectors[s]);
+        const util::AccessCount cold =
+            concrete_misses(p, kGeo8, selectors[s]);
         call = 0;
-        const std::int64_t warm =
+        const util::AccessCount warm =
             concrete_misses(p, kGeo8, selectors[s], true);
         EXPECT_GE(bound.md, cold) << "selector " << s;
         EXPECT_GE(bound.md_residual, warm) << "selector " << s;
@@ -118,7 +119,7 @@ TEST(AbstractAnalysis, AlternatingBranchesForceConservativeLoopBound)
     // blocks (aliasing). Abstract bound must cover it: 2 (init) + 6*4 + 2.
     const Program p = branchy_program();
     const AbstractExtraction bound = analyze_program(p, kGeo8);
-    EXPECT_GE(bound.md, 2 + 6 * 4 + 2);
+    EXPECT_GE(bound.md, util::AccessCount{2 + 6 * 4 + 2});
 }
 
 TEST(AbstractAnalysis, PdTakesTheLongestBranch)
@@ -154,8 +155,8 @@ TEST(AbstractAnalysis, LoopInvariantStateKeepsPersistentHits)
     b.end_loop();
     const Program p = std::move(b).build();
     const AbstractExtraction bound = analyze_program(p, kGeo8);
-    EXPECT_EQ(bound.md, 6);
-    EXPECT_EQ(bound.md_residual, 0); // all six blocks are PCBs
+    EXPECT_EQ(bound.md, util::AccessCount{6});
+    EXPECT_EQ(bound.md_residual, util::AccessCount{0}); // all six blocks are PCBs
 }
 
 TEST(AbstractAnalysis, SelfConflictingLoopChargedEveryIteration)
@@ -166,7 +167,7 @@ TEST(AbstractAnalysis, SelfConflictingLoopChargedEveryIteration)
     b.end_loop();
     const Program p = std::move(b).build();
     const AbstractExtraction bound = analyze_program(p, kGeo8);
-    EXPECT_EQ(bound.md, 20);
+    EXPECT_EQ(bound.md, util::AccessCount{20});
     EXPECT_EQ(bound.pcb.count(), 0u);
 }
 
@@ -178,8 +179,8 @@ TEST(AbstractAnalysis, ZeroIterationLoopContributesNothing)
     b.end_loop();
     const Program p = std::move(b).build();
     const AbstractExtraction bound = analyze_program(p, kGeo8);
-    EXPECT_EQ(bound.md, 0);
-    EXPECT_EQ(bound.pd, 0);
+    EXPECT_EQ(bound.md, util::AccessCount{0});
+    EXPECT_EQ(bound.pd, util::Cycles{0});
 }
 
 TEST(AbstractAnalysis, NestedBranchInLoopStaysSound)
@@ -226,7 +227,7 @@ TEST(AbstractAnalysis, SharedProcedureReusedAcrossCallSites)
     const Program p = std::move(b).build();
 
     const AbstractExtraction bound = analyze_program(p, kGeo8);
-    EXPECT_EQ(bound.md, 5); // blocks 0, 1, 4, 5, 6 — each once
+    EXPECT_EQ(bound.md, util::AccessCount{5}); // blocks 0, 1, 4, 5, 6 — each once
     // And the abstract bound matches the exact trace extraction.
     const ExtractedParams exact = extract_parameters(p, kGeo8);
     EXPECT_EQ(bound.md, exact.md);
@@ -258,7 +259,7 @@ TEST(AbstractAnalysis, ProcedureCalledFromBothBranchesStaysSound)
     const AbstractExtraction bound = analyze_program(p, kGeo8);
     // Worst branch misses: 1 (own block) + 2 (helper) = 3; the trailing
     // call hits both helper blocks.
-    EXPECT_EQ(bound.md, 3);
+    EXPECT_EQ(bound.md, util::AccessCount{3});
     for (const auto& selector :
          {BranchSelector{[](std::size_t) { return 0u; }},
           BranchSelector{[](std::size_t) { return 1u; }}}) {

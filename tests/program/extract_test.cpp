@@ -7,6 +7,8 @@
 namespace cpa::program {
 namespace {
 
+using namespace util::literals;
+
 Program small_loop()
 {
     // 4 straight blocks, then a loop of 6 blocks where blocks 8,9 alias
@@ -23,8 +25,10 @@ TEST(Extract, PdIsTraceLengthTimesFetchCost)
 {
     const Program p = small_loop();
     const ExtractedParams params = extract_parameters(p, {8, 32});
-    EXPECT_EQ(params.pd, static_cast<util::Cycles>(
-                             p.reference_trace().size() * 2));
+    EXPECT_EQ(params.pd,
+              util::Cycles{static_cast<std::int64_t>(
+                               p.reference_trace().size()) *
+                           2});
 }
 
 TEST(Extract, EcbIsEverySetTouched)
@@ -53,7 +57,7 @@ TEST(Extract, MdEqualsResidualPlusPcbCount)
                 extract_parameters(p, {sets, 32});
             EXPECT_EQ(params.md,
                       params.md_residual +
-                          static_cast<std::int64_t>(params.pcb.count()))
+                          util::accesses_from_blocks(params.pcb.count()))
                 << p.name() << " @" << sets;
         }
     }
@@ -66,10 +70,10 @@ TEST(Extract, ColdMissCountMatchesHandComputation)
     // evict/reload against 0,1 -> but 0,1 are never re-accessed, so 8,9 stay
     // cached: only the first iteration misses them. Total = 10.
     const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
-    EXPECT_EQ(params.md, 10);
+    EXPECT_EQ(params.md, 10_acc);
     // With PCBs (sets 2..7, blocks 2..7... precisely blocks 2,3,4,5,6,7)
     // preloaded, misses are blocks 0,1,8,9 -> 4.
-    EXPECT_EQ(params.md_residual, 4);
+    EXPECT_EQ(params.md_residual, 4_acc);
 }
 
 TEST(Extract, UcbContainsReusedBlocksOnly)
@@ -97,10 +101,10 @@ TEST(Extract, PingPongLoopHasNoUsefulConflictingBlocks)
     b.end_loop();
     const Program p = std::move(b).build();
     const ExtractedParams params = extract_parameters(p, {8, 32});
-    EXPECT_EQ(params.md, 20);
+    EXPECT_EQ(params.md, 20_acc);
     EXPECT_EQ(params.ucb.count(), 0u);
     EXPECT_EQ(params.pcb.count(), 0u);
-    EXPECT_EQ(params.md_residual, 20);
+    EXPECT_EQ(params.md_residual, 20_acc);
 }
 
 TEST(Extract, BiggerCacheRemovesConflicts)
@@ -111,8 +115,8 @@ TEST(Extract, BiggerCacheRemovesConflicts)
     b.end_loop();
     const Program p = std::move(b).build();
     const ExtractedParams params = extract_parameters(p, {16, 32});
-    EXPECT_EQ(params.md, 2); // both blocks persistent now
-    EXPECT_EQ(params.md_residual, 0);
+    EXPECT_EQ(params.md, 2_acc); // both blocks persistent now
+    EXPECT_EQ(params.md_residual, 0_acc);
     EXPECT_EQ(params.pcb.count(), 2u);
 }
 
@@ -136,18 +140,19 @@ TEST(Extract, AssociativityRemovesPingPongMisses)
 
     const ExtractedParams one_way = extract_parameters(p, {8, 32, 1});
     const ExtractedParams two_way = extract_parameters(p, {8, 32, 2});
-    EXPECT_EQ(one_way.md, 20);
-    EXPECT_EQ(two_way.md, 2);
+    EXPECT_EQ(one_way.md, 20_acc);
+    EXPECT_EQ(two_way.md, 2_acc);
     EXPECT_EQ(one_way.pcb.count(), 0u);
     EXPECT_EQ(two_way.pcb.count(), 1u); // both blocks live in set 0
-    EXPECT_EQ(two_way.md_residual, 0);
+    EXPECT_EQ(two_way.md_residual, 0_acc);
 }
 
 TEST(Extract, PersistenceGrowsWithWays)
 {
     for (const Program& p : synthetic_suite()) {
         std::size_t previous_pcb = 0;
-        std::int64_t previous_md = std::numeric_limits<std::int64_t>::max();
+        util::AccessCount previous_md{
+            std::numeric_limits<std::int64_t>::max()};
         for (const std::size_t ways : {1u, 2u, 4u}) {
             const ExtractedParams params =
                 extract_parameters(p, {256, 32, ways});
@@ -164,10 +169,10 @@ TEST(Extract, PersistenceGrowsWithWays)
 TEST(Extract, ToTaskCopiesEverything)
 {
     const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
-    const tasks::Task task = to_task(params, 1, 1000);
+    const tasks::Task task = to_task(params, 1, 1000_cy);
     EXPECT_EQ(task.core, 1u);
-    EXPECT_EQ(task.period, 1000);
-    EXPECT_EQ(task.deadline, 1000);
+    EXPECT_EQ(task.period, 1000_cy);
+    EXPECT_EQ(task.deadline, 1000_cy);
     EXPECT_EQ(task.md, params.md);
     EXPECT_EQ(task.md_residual, params.md_residual);
     EXPECT_TRUE(task.pcb == params.pcb);
@@ -180,7 +185,7 @@ TEST(Extract, TaskInvariantsHoldForSyntheticSuite)
     for (const Program& p : synthetic_suite()) {
         const ExtractedParams params = extract_parameters(p, {256, 32});
         tasks::TaskSet ts(1, 256);
-        ts.add_task(to_task(params, 0, 100'000'000));
+        ts.add_task(to_task(params, 0, util::Cycles{100'000'000}));
         EXPECT_NO_THROW(ts.validate()) << p.name();
     }
 }

@@ -253,7 +253,7 @@ TEST(Program, DistinctBlocksSortedUnique)
 
 TEST(Program, RejectsNonPositiveFetchCost)
 {
-    EXPECT_THROW(Program("bad", {}, 0), std::invalid_argument);
+    EXPECT_THROW(Program("bad", {}, util::Cycles{0}), std::invalid_argument);
 }
 
 } // namespace

@@ -21,8 +21,8 @@ TEST(Synthetic, LcdnumFullyPersistentSmallFootprint)
     const ExtractedParams params = extract(synthetic_lcdnum());
     EXPECT_EQ(params.ecb.count(), 20u);
     EXPECT_EQ(params.pcb.count(), 20u); // everything fits -> all persistent
-    EXPECT_EQ(params.md, 20);
-    EXPECT_EQ(params.md_residual, 0);
+    EXPECT_EQ(params.md, util::AccessCount{20});
+    EXPECT_EQ(params.md_residual, util::AccessCount{0});
 }
 
 TEST(Synthetic, Bsort100TinyCodeHugeReuse)
@@ -31,7 +31,8 @@ TEST(Synthetic, Bsort100TinyCodeHugeReuse)
     EXPECT_EQ(params.ecb.count(), 20u);
     EXPECT_EQ(params.pcb.count(), 20u);
     // PD dwarfs MD: the paper's bsort100 row has PD/MD ratio ~8.
-    EXPECT_GT(params.pd, 8 * params.md * 100);
+    EXPECT_GT(params.pd,
+              params.md * util::Cycles{8 * 100}); // PD > 800 * MD accesses
 }
 
 TEST(Synthetic, LudcmpMediumFootprintFullyPersistent)
@@ -47,7 +48,7 @@ TEST(Synthetic, FdctSelfConflictingRegions)
     EXPECT_EQ(params.ecb.count(), 106u);
     EXPECT_EQ(params.pcb.count(), 22u); // Table I: |PCB| = 22
     // The aliasing halves re-miss every iteration: MDʳ stays large.
-    EXPECT_GT(params.md_residual, 8 * 84);
+    EXPECT_GT(params.md_residual, util::AccessCount{8 * 84});
 }
 
 TEST(Synthetic, NsichneuNothingPersistsAt256Sets)
@@ -56,7 +57,7 @@ TEST(Synthetic, NsichneuNothingPersistsAt256Sets)
     EXPECT_EQ(params.ecb.count(), 256u);
     EXPECT_EQ(params.pcb.count(), 0u);
     EXPECT_EQ(params.md, params.md_residual); // Table I: MD == MDʳ
-    EXPECT_EQ(params.md, 2 * 1374);           // every fetch misses
+    EXPECT_EQ(params.md, util::AccessCount{2 * 1374}); // every fetch misses
 }
 
 TEST(Synthetic, StatematePersistentTailOf36Sets)
@@ -72,8 +73,8 @@ TEST(Synthetic, LargerCachesIncreasePersistence)
     // programs instead of the scaling model.
     for (const Program& p : synthetic_suite()) {
         std::size_t previous_pcb = 0;
-        std::int64_t previous_md =
-            std::numeric_limits<std::int64_t>::max();
+        util::AccessCount previous_md{
+            std::numeric_limits<std::int64_t>::max()};
         for (const std::size_t sets : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
             const ExtractedParams params =
                 extract_parameters(p, {sets, 32});
@@ -131,9 +132,9 @@ TEST(Synthetic, ExtendedSuiteInvariantsHoldAcrossGeometries)
     for (const Program& p : synthetic_suite_extended()) {
         for (const std::size_t sets : {64u, 256u, 1024u}) {
             const ExtractedParams params = extract_parameters(p, {sets, 32});
-            EXPECT_EQ(params.md, params.md_residual +
-                                     static_cast<std::int64_t>(
-                                         params.pcb.count()))
+            EXPECT_EQ(params.md,
+                      params.md_residual +
+                          util::accesses_from_blocks(params.pcb.count()))
                 << p.name() << " @" << sets;
             EXPECT_TRUE(params.pcb.is_subset_of(params.ecb)) << p.name();
             EXPECT_TRUE(params.ucb.is_subset_of(params.ecb)) << p.name();

@@ -6,147 +6,149 @@ namespace cpa::sim {
 namespace {
 
 using analysis::BusPolicy;
+using util::Cycles;
+using namespace util::literals;
 
 TEST(BusArbiter, RejectsBadConfiguration)
 {
-    EXPECT_THROW(BusArbiter(BusPolicy::kFixedPriority, 0, 10, 2),
+    EXPECT_THROW(BusArbiter(BusPolicy::kFixedPriority, 0, Cycles{10}, 2),
                  std::invalid_argument);
-    EXPECT_THROW(BusArbiter(BusPolicy::kFixedPriority, 2, 0, 2),
+    EXPECT_THROW(BusArbiter(BusPolicy::kFixedPriority, 2, Cycles{0}, 2),
                  std::invalid_argument);
-    EXPECT_THROW(BusArbiter(BusPolicy::kFixedPriority, 2, 10, 0),
+    EXPECT_THROW(BusArbiter(BusPolicy::kFixedPriority, 2, Cycles{10}, 0),
                  std::invalid_argument);
 }
 
 TEST(BusArbiter, PerfectServesImmediately)
 {
-    BusArbiter arbiter(BusPolicy::kPerfect, 2, 10, 2);
-    EXPECT_EQ(arbiter.request(0, 5, 100), 110);
-    EXPECT_EQ(arbiter.request(1, 7, 100), 110); // no contention
+    BusArbiter arbiter(BusPolicy::kPerfect, 2, Cycles{10}, 2);
+    EXPECT_EQ(arbiter.request(CoreId{0}, TaskId{5}, 100_cy), 110_cy);
+    EXPECT_EQ(arbiter.request(CoreId{1}, TaskId{7}, 100_cy), 110_cy); // no contention
 }
 
 TEST(BusArbiter, FpIdleBusGrantsImmediately)
 {
-    BusArbiter arbiter(BusPolicy::kFixedPriority, 2, 10, 2);
-    EXPECT_EQ(arbiter.request(0, 5, 0), 10);
+    BusArbiter arbiter(BusPolicy::kFixedPriority, 2, Cycles{10}, 2);
+    EXPECT_EQ(arbiter.request(CoreId{0}, TaskId{5}, 0_cy), 10_cy);
 }
 
 TEST(BusArbiter, FpQueuesWhenBusyAndPicksHighestPriority)
 {
-    BusArbiter arbiter(BusPolicy::kFixedPriority, 3, 10, 2);
-    ASSERT_EQ(arbiter.request(0, 9, 0), 10);
-    EXPECT_EQ(arbiter.request(1, 5, 2), std::nullopt); // queued
-    EXPECT_EQ(arbiter.request(2, 3, 4), std::nullopt); // queued, higher
-    const auto grant = arbiter.complete(0, 10);
+    BusArbiter arbiter(BusPolicy::kFixedPriority, 3, Cycles{10}, 2);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{9}, 0_cy), 10_cy);
+    EXPECT_EQ(arbiter.request(CoreId{1}, TaskId{5}, 2_cy), std::nullopt); // queued
+    EXPECT_EQ(arbiter.request(CoreId{2}, TaskId{3}, 4_cy), std::nullopt); // queued, higher
+    const auto grant = arbiter.complete(CoreId{0}, 10_cy);
     ASSERT_TRUE(grant.has_value());
-    EXPECT_EQ(grant->first, 2u); // priority 3 beats 5
-    EXPECT_EQ(grant->second, 20);
-    const auto grant2 = arbiter.complete(2, 20);
+    EXPECT_EQ(grant->first, CoreId{2}); // priority 3 beats 5
+    EXPECT_EQ(grant->second, 20_cy);
+    const auto grant2 = arbiter.complete(CoreId{2}, 20_cy);
     ASSERT_TRUE(grant2.has_value());
-    EXPECT_EQ(grant2->first, 1u);
+    EXPECT_EQ(grant2->first, CoreId{1});
 }
 
 TEST(BusArbiter, FpRejectsDoubleRequest)
 {
-    BusArbiter arbiter(BusPolicy::kFixedPriority, 2, 10, 2);
-    ASSERT_EQ(arbiter.request(0, 1, 0), 10);
-    ASSERT_EQ(arbiter.request(1, 2, 0), std::nullopt);
-    EXPECT_THROW((void)arbiter.request(1, 2, 1), std::logic_error);
+    BusArbiter arbiter(BusPolicy::kFixedPriority, 2, Cycles{10}, 2);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 0_cy), 10_cy);
+    ASSERT_EQ(arbiter.request(CoreId{1}, TaskId{2}, 0_cy), std::nullopt);
+    EXPECT_THROW((void)arbiter.request(CoreId{1}, TaskId{2}, 1_cy), std::logic_error);
 }
 
 TEST(BusArbiter, RoundRobinHonorsSlotBudget)
 {
     // slot_size = 2: core 0 gets two back-to-back grants while core 1
     // waits, then the turn passes.
-    BusArbiter arbiter(BusPolicy::kRoundRobin, 2, 10, 2);
-    ASSERT_EQ(arbiter.request(0, 1, 0), 10); // turn: core0, used 1
-    ASSERT_EQ(arbiter.request(1, 1, 1), std::nullopt);
+    BusArbiter arbiter(BusPolicy::kRoundRobin, 2, Cycles{10}, 2);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 0_cy), 10_cy); // turn: core0, used 1
+    ASSERT_EQ(arbiter.request(CoreId{1}, TaskId{1}, 1_cy), std::nullopt);
     // Core 0 finishes and immediately requests again.
-    auto grant = arbiter.complete(0, 10);
+    auto grant = arbiter.complete(CoreId{0}, 10_cy);
     ASSERT_TRUE(grant.has_value());
-    EXPECT_EQ(grant->first, 1u); // core0 has nothing pending -> turn passes
+    EXPECT_EQ(grant->first, CoreId{1}); // core0 has nothing pending -> turn passes
     // Queue another core-0 request while core 1 is in service.
-    ASSERT_EQ(arbiter.request(0, 1, 12), std::nullopt);
-    grant = arbiter.complete(1, 20);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 12_cy), std::nullopt);
+    grant = arbiter.complete(CoreId{1}, 20_cy);
     ASSERT_TRUE(grant.has_value());
-    EXPECT_EQ(grant->first, 0u);
+    EXPECT_EQ(grant->first, CoreId{0});
 }
 
 TEST(BusArbiter, RoundRobinConsecutiveGrantsCapThenRotate)
 {
-    BusArbiter arbiter(BusPolicy::kRoundRobin, 2, 10, 2);
-    ASSERT_EQ(arbiter.request(0, 1, 0), 10); // used = 1
-    ASSERT_EQ(arbiter.request(1, 1, 0), std::nullopt);
+    BusArbiter arbiter(BusPolicy::kRoundRobin, 2, Cycles{10}, 2);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 0_cy), 10_cy); // used = 1
+    ASSERT_EQ(arbiter.request(CoreId{1}, TaskId{1}, 0_cy), std::nullopt);
     // Re-request from core 0 before completion (not allowed: one
     // outstanding per core) — so emulate: complete, core0 requests again
     // instantly; it still has a slot left in its turn.
-    auto grant = arbiter.complete(0, 10);
+    auto grant = arbiter.complete(CoreId{0}, 10_cy);
     ASSERT_TRUE(grant.has_value()); // grant goes to... core0 has nothing
-    EXPECT_EQ(grant->first, 1u);
-    (void)arbiter.complete(1, 20);
+    EXPECT_EQ(grant->first, CoreId{1});
+    (void)arbiter.complete(CoreId{1}, 20_cy);
 
     // Fresh round: both queue while busy with core 0.
-    ASSERT_EQ(arbiter.request(0, 1, 30), 40); // new turn for core 0, used 1
-    ASSERT_EQ(arbiter.request(1, 1, 31), std::nullopt);
-    grant = arbiter.complete(0, 40);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 30_cy), 40_cy); // new turn for core 0, used 1
+    ASSERT_EQ(arbiter.request(CoreId{1}, TaskId{1}, 31_cy), std::nullopt);
+    grant = arbiter.complete(CoreId{0}, 40_cy);
     ASSERT_TRUE(grant.has_value());
-    ASSERT_EQ(arbiter.request(0, 1, 41), std::nullopt);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 41_cy), std::nullopt);
     // Core 0 already used 1 of 2; when core 1's access finishes the
     // pending core-0 request is served... rotation state decides; what we
     // require is that NOBODY starves:
     grant = arbiter.complete(grant->first, grant->second);
     ASSERT_TRUE(grant.has_value());
-    EXPECT_EQ(grant->first, 0u);
+    EXPECT_EQ(grant->first, CoreId{0});
 }
 
 TEST(BusArbiter, TdmaTokenRotation)
 {
     // 2 cores, slot 1, d_mem 10: core 0 owns [0,10), [20,30)...; core 1
     // owns [10,20), [30,40)...
-    BusArbiter arbiter(BusPolicy::kTdma, 2, 10, 1);
-    EXPECT_EQ(arbiter.request(0, 1, 0), 10);    // own token right now
-    EXPECT_EQ(arbiter.request(1, 1, 0), 20);    // waits for [10,20)
+    BusArbiter arbiter(BusPolicy::kTdma, 2, Cycles{10}, 1);
+    EXPECT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 0_cy), 10_cy);    // own token right now
+    EXPECT_EQ(arbiter.request(CoreId{1}, TaskId{1}, 0_cy), 20_cy);    // waits for [10,20)
     // Mid-token start is allowed:
-    BusArbiter arbiter2(BusPolicy::kTdma, 2, 10, 1);
-    EXPECT_EQ(arbiter2.request(0, 1, 5), 15);   // starts at 5 within token
+    BusArbiter arbiter2(BusPolicy::kTdma, 2, Cycles{10}, 1);
+    EXPECT_EQ(arbiter2.request(CoreId{0}, TaskId{1}, 5_cy), 15_cy);   // starts at 5 within token
     // Just after the token: wait for the next one.
-    BusArbiter arbiter3(BusPolicy::kTdma, 2, 10, 1);
-    EXPECT_EQ(arbiter3.request(0, 1, 10), 30);  // next own token at 20
+    BusArbiter arbiter3(BusPolicy::kTdma, 2, Cycles{10}, 1);
+    EXPECT_EQ(arbiter3.request(CoreId{0}, TaskId{1}, 10_cy), 30_cy);  // next own token at 20
 }
 
 TEST(BusArbiter, TdmaSlotSizeGroupsSlots)
 {
     // slot_size 2: core 0 owns [0,20), core 1 [20,40), cycle 40.
-    BusArbiter arbiter(BusPolicy::kTdma, 2, 10, 2);
-    EXPECT_EQ(arbiter.request(1, 1, 0), 30);  // waits for 20
-    EXPECT_EQ(arbiter.request(0, 1, 15), 25); // mid-token start
+    BusArbiter arbiter(BusPolicy::kTdma, 2, Cycles{10}, 2);
+    EXPECT_EQ(arbiter.request(CoreId{1}, TaskId{1}, 0_cy), 30_cy);  // waits for 20
+    EXPECT_EQ(arbiter.request(CoreId{0}, TaskId{1}, 15_cy), 25_cy); // mid-token start
 }
 
 TEST(BusArbiter, TdmaIgnoresComplete)
 {
-    BusArbiter arbiter(BusPolicy::kTdma, 2, 10, 1);
-    (void)arbiter.request(0, 1, 0);
-    EXPECT_EQ(arbiter.complete(0, 10), std::nullopt);
+    BusArbiter arbiter(BusPolicy::kTdma, 2, Cycles{10}, 1);
+    (void)arbiter.request(CoreId{0}, TaskId{1}, 0_cy);
+    EXPECT_EQ(arbiter.complete(CoreId{0}, 10_cy), std::nullopt);
 }
 
 TEST(BusArbiter, WorstCaseFpWaitIsBoundedByAllOthers)
 {
     // 4 cores: core 3's request waits for the in-flight access plus all
     // higher-priority pending ones: <= 4 * d_mem total.
-    BusArbiter arbiter(BusPolicy::kFixedPriority, 4, 10, 1);
-    ASSERT_EQ(arbiter.request(0, 9, 0), 10);
-    ASSERT_EQ(arbiter.request(1, 1, 1), std::nullopt);
-    ASSERT_EQ(arbiter.request(2, 2, 2), std::nullopt);
-    ASSERT_EQ(arbiter.request(3, 8, 3), std::nullopt);
-    util::Cycles t = 10;
-    std::size_t served_core = 0;
+    BusArbiter arbiter(BusPolicy::kFixedPriority, 4, Cycles{10}, 1);
+    ASSERT_EQ(arbiter.request(CoreId{0}, TaskId{9}, 0_cy), 10_cy);
+    ASSERT_EQ(arbiter.request(CoreId{1}, TaskId{1}, 1_cy), std::nullopt);
+    ASSERT_EQ(arbiter.request(CoreId{2}, TaskId{2}, 2_cy), std::nullopt);
+    ASSERT_EQ(arbiter.request(CoreId{3}, TaskId{8}, 3_cy), std::nullopt);
+    Cycles t{10};
+    CoreId served_core{0};
     for (int i = 0; i < 3; ++i) {
         const auto grant = arbiter.complete(served_core, t);
         ASSERT_TRUE(grant.has_value());
         served_core = grant->first;
         t = grant->second;
     }
-    EXPECT_EQ(served_core, 3u); // served last
-    EXPECT_LE(t, 40);
+    EXPECT_EQ(served_core, CoreId{3}); // served last
+    EXPECT_LE(t, 40_cy);
 }
 
 } // namespace

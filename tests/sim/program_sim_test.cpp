@@ -10,6 +10,8 @@
 namespace cpa::sim {
 namespace {
 
+using namespace util::literals;
+
 PlatformConfig platform(std::size_t cores, std::size_t sets, Cycles d_mem)
 {
     PlatformConfig p;
@@ -56,7 +58,7 @@ TEST(ProgramSim, SingleTaskMissesMatchExtraction)
 
     const int kJobs = 6;
     const ProgramSimResult result = simulate_programs(
-        workload, platform(1, 8, 5),
+        workload, platform(1, 8, 5_cy),
         config(BusPolicy::kPerfect, kJobs * task.period));
     EXPECT_FALSE(result.deadline_missed);
     ASSERT_EQ(result.jobs_completed[0], kJobs);
@@ -73,10 +75,10 @@ TEST(ProgramSim, FirstJobResponseIsPdPlusMdTimesDmem)
     task.core = 0;
     task.period = 10 * params.pd;
     const ProgramSimResult result = simulate_programs(
-        {task}, platform(1, 8, 5),
+        {task}, platform(1, 8, 5_cy),
         config(BusPolicy::kPerfect, task.period));
     // Exactly one job, cold cache.
-    EXPECT_EQ(result.max_response[0], params.pd + params.md * 5);
+    EXPECT_EQ(result.max_response[0], params.pd + params.md * 5_cy);
 }
 
 TEST(ProgramSim, HitCountsAreComplementOfMisses)
@@ -85,12 +87,12 @@ TEST(ProgramSim, HitCountsAreComplementOfMisses)
     ProgramTask task;
     task.program = &p;
     task.core = 0;
-    task.period = 100000;
+    task.period = Cycles{100000};
     const ProgramSimResult result = simulate_programs(
-        {task}, platform(1, 8, 5), config(BusPolicy::kPerfect, 300000));
+        {task}, platform(1, 8, 5_cy), config(BusPolicy::kPerfect, 300000_cy));
     const auto trace_len =
         static_cast<std::int64_t>(p.reference_trace().size());
-    EXPECT_EQ(result.cache_hits[0] + result.bus_accesses[0],
+    EXPECT_EQ(result.cache_hits[0] + result.bus_accesses[0].count(),
               result.jobs_completed[0] * trace_len);
 }
 
@@ -101,7 +103,7 @@ TEST(ProgramSim, DisjointFootprintsKeepPersistence)
     // missing only their self-conflicting blocks.
     const program::Program p = small_loop(); // blocks 0..9
     const auto params = program::extract_parameters(p, {32, 32});
-    ASSERT_EQ(params.md_residual, 0); // no self conflicts at 32 sets
+    ASSERT_EQ(params.md_residual, 0_acc); // no self conflicts at 32 sets
 
     ProgramTask high;
     high.program = &p;
@@ -112,7 +114,7 @@ TEST(ProgramSim, DisjointFootprintsKeepPersistence)
     low.period = 30 * params.pd;
 
     const ProgramSimResult result = simulate_programs(
-        {high, low}, platform(1, 32, 5),
+        {high, low}, platform(1, 32, 5_cy),
         config(BusPolicy::kPerfect, 120 * params.pd));
     EXPECT_FALSE(result.deadline_missed);
     // Only the cold start misses: MD each, nothing afterwards.
@@ -138,7 +140,7 @@ TEST(ProgramSim, OverlappingFootprintsCauseCpro)
     low.offset = 10 * params.pd; // interleave releases
 
     const ProgramSimResult result = simulate_programs(
-        {high, low}, platform(1, 32, 5),
+        {high, low}, platform(1, 32, 5_cy),
         config(BusPolicy::kPerfect, 100 * params.pd));
     EXPECT_FALSE(result.deadline_missed);
     // Every job of each task reloads (almost) its whole footprint because
@@ -167,19 +169,19 @@ TEST(ProgramSim, PreemptionCausesCrpdReloads)
     ProgramTask high;
     high.program = &preempter;
     high.core = 0;
-    high.period = 500; // preempts the victim repeatedly
+    high.period = Cycles{500}; // preempts the victim repeatedly
     ProgramTask low;
     low.program = &victim;
     low.core = 0;
-    low.period = 100000;
+    low.period = Cycles{100000};
 
     const ProgramSimResult result = simulate_programs(
-        {high, low}, platform(1, 8, 5),
-        config(BusPolicy::kPerfect, 100000));
+        {high, low}, platform(1, 8, 5_cy),
+        config(BusPolicy::kPerfect, 100000_cy));
     ASSERT_GT(result.jobs_completed[1], 0);
     // In isolation the victim would miss 6 times; preemptions force
     // re-fetches of the evicted loop blocks.
-    EXPECT_GT(result.bus_accesses[1], 6);
+    EXPECT_GT(result.bus_accesses[1], 6_acc);
 }
 
 TEST(ProgramSim, DeadlineMissDetected)
@@ -191,10 +193,10 @@ TEST(ProgramSim, DeadlineMissDetected)
     task.core = 0;
     task.period = params.pd; // impossible: no time for the misses
     const ProgramSimResult result = simulate_programs(
-        {task}, platform(1, 8, 5),
+        {task}, platform(1, 8, 5_cy),
         config(BusPolicy::kPerfect, 10 * params.pd));
     EXPECT_TRUE(result.deadline_missed);
-    EXPECT_EQ(result.missed_task, 0u);
+    EXPECT_EQ(result.missed_task, util::TaskId{0});
 }
 
 TEST(ProgramSim, ValidatesInputs)
@@ -203,18 +205,18 @@ TEST(ProgramSim, ValidatesInputs)
     ProgramTask task;
     task.program = &p;
     task.core = 5; // invalid
-    task.period = 1000;
-    EXPECT_THROW((void)simulate_programs({task}, platform(2, 8, 5),
-                                         config(BusPolicy::kPerfect, 100)),
+    task.period = Cycles{1000};
+    EXPECT_THROW((void)simulate_programs({task}, platform(2, 8, 5_cy),
+                                         config(BusPolicy::kPerfect, 100_cy)),
                  std::invalid_argument);
     task.core = 0;
-    task.period = 0;
-    EXPECT_THROW((void)simulate_programs({task}, platform(2, 8, 5),
-                                         config(BusPolicy::kPerfect, 100)),
+    task.period = Cycles{0};
+    EXPECT_THROW((void)simulate_programs({task}, platform(2, 8, 5_cy),
+                                         config(BusPolicy::kPerfect, 100_cy)),
                  std::invalid_argument);
-    task.period = 100;
-    EXPECT_THROW((void)simulate_programs({task}, platform(2, 8, 5),
-                                         config(BusPolicy::kPerfect, 0)),
+    task.period = Cycles{100};
+    EXPECT_THROW((void)simulate_programs({task}, platform(2, 8, 5_cy),
+                                         config(BusPolicy::kPerfect, 0_cy)),
                  std::invalid_argument);
 }
 
@@ -223,41 +225,41 @@ TEST(ProgramSim, PartialFetchProgressSurvivesHarmlessPreemption)
     // A victim with large per-fetch cost is preempted mid-fetch by a task
     // whose footprint does NOT alias the victim's. Total victim execution
     // must equal exactly PD + MD*d_mem — no work may be lost or duplicated.
-    program::ProgramBuilder vb("victim", /*cycles_per_fetch=*/100);
+    program::ProgramBuilder vb("victim", /*cycles_per_fetch=*/Cycles{100});
     vb.straight(0, 6);
     const program::Program victim = std::move(vb).build();
 
-    program::ProgramBuilder hb("preempter", 1);
+    program::ProgramBuilder hb("preempter", Cycles{1});
     hb.straight(100, 2); // blocks 100,101 -> sets 4,5 of 8? no: 100%8=4...
     const program::Program preempter = std::move(hb).build();
 
     // Use 16 sets: victim blocks 0..5 -> sets 0..5; preempter 100,101 ->
     // sets 4,5. That ALIASES. Shift preempter to 104,105 -> sets 8,9.
-    program::ProgramBuilder hb2("preempter2", 1);
+    program::ProgramBuilder hb2("preempter2", Cycles{1});
     hb2.straight(104, 2);
     const program::Program preempter2 = std::move(hb2).build();
 
     sim::ProgramTask high;
     high.program = &preempter2;
     high.core = 0;
-    high.period = 150; // preempts the victim mid-fetch repeatedly
+    high.period = Cycles{150}; // preempts the victim mid-fetch repeatedly
     sim::ProgramTask low;
     low.program = &victim;
     low.core = 0;
-    low.period = 100000;
+    low.period = Cycles{100000};
 
     const ProgramSimResult result = simulate_programs(
-        {high, low}, platform(1, 16, 5), config(BusPolicy::kPerfect, 100000));
+        {high, low}, platform(1, 16, 5_cy), config(BusPolicy::kPerfect, 100000_cy));
     ASSERT_EQ(result.jobs_completed[1], 1);
     // Victim demand: 6 misses * 5 + 6 fetches * 100 = 630 cycles of its own
     // work. With no aliasing it must not pay any reload.
-    EXPECT_EQ(result.bus_accesses[1], 6);
+    EXPECT_EQ(result.bus_accesses[1], 6_acc);
     // Exact timeline: the preempter's first job is cold (2*(5+1) = 12
     // cycles, delaying the victim's start to t = 12); its jobs at 150, 300,
     // 450 and 600 run warm (2 cycles each) and preempt the victim mid-fetch
     // without losing progress. Completion = 12 + 630 + 4*2 = 650 — any
     // lost or duplicated partial-fetch cycles would shift this.
-    EXPECT_EQ(result.max_response[1], 650);
+    EXPECT_EQ(result.max_response[1], 650_cy);
 }
 
 TEST(ProgramSim, DeterministicAcrossRuns)
@@ -266,14 +268,14 @@ TEST(ProgramSim, DeterministicAcrossRuns)
     ProgramTask a;
     a.program = &p;
     a.core = 0;
-    a.period = 4000;
+    a.period = Cycles{4000};
     ProgramTask b = a;
     b.core = 1;
     b.address_base = 64;
-    const auto r1 = simulate_programs({a, b}, platform(2, 8, 5),
-                                      config(BusPolicy::kRoundRobin, 40000));
-    const auto r2 = simulate_programs({a, b}, platform(2, 8, 5),
-                                      config(BusPolicy::kRoundRobin, 40000));
+    const auto r1 = simulate_programs({a, b}, platform(2, 8, 5_cy),
+                                      config(BusPolicy::kRoundRobin, 40000_cy));
+    const auto r2 = simulate_programs({a, b}, platform(2, 8, 5_cy),
+                                      config(BusPolicy::kRoundRobin, 40000_cy));
     EXPECT_EQ(r1.max_response, r2.max_response);
     EXPECT_EQ(r1.bus_accesses, r2.bus_accesses);
 }
@@ -290,7 +292,7 @@ class ProgramSimSoundness : public ::testing::TestWithParam<PolicyCase> {};
 TEST_P(ProgramSimSoundness, AnalysisBoundsGroundTruthExecution)
 {
     const PolicyCase c = GetParam();
-    const PlatformConfig plat = platform(2, 256, 10);
+    const PlatformConfig plat = platform(2, 256, 10_cy);
 
     // Workload: four synthetic-suite programs at staggered addresses.
     const program::Program p0 = program::synthetic_lcdnum();
@@ -302,7 +304,7 @@ TEST_P(ProgramSimSoundness, AnalysisBoundsGroundTruthExecution)
         const program::Program* program;
         std::size_t core;
         std::size_t base;
-        Cycles period_factor;
+        std::int64_t period_factor;
     };
     const std::vector<Placement> placements = {
         {&p0, 0, 0, 30},
@@ -342,7 +344,7 @@ TEST_P(ProgramSimSoundness, AnalysisBoundsGroundTruthExecution)
     ASSERT_TRUE(wcrt.schedulable)
         << "test workload should be analyzable as schedulable";
 
-    Cycles max_period = 0;
+    Cycles max_period{0};
     for (const ProgramTask& task : workload) {
         max_period = std::max(max_period, task.period);
     }

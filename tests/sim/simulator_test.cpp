@@ -9,6 +9,7 @@ namespace {
 
 using cpa::testing::make_task_set;
 using cpa::testing::TaskSpec;
+using namespace util::literals;
 
 PlatformConfig platform(std::size_t cores, Cycles d_mem, std::int64_t slot = 1)
 {
@@ -34,10 +35,10 @@ TEST(Simulator, SingleTaskResponseIsIsolatedDemand)
     const tasks::TaskSet ts =
         make_task_set(1, 16, {{0, 10, 2, 0, 100, 0, {1, 2}, {}, {1, 2}}});
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 500));
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 500_cy));
     EXPECT_FALSE(result.deadline_missed);
     EXPECT_EQ(result.jobs_completed[0], 5);
-    EXPECT_EQ(result.max_response[0], 20);
+    EXPECT_EQ(result.max_response[0], 20_cy);
 }
 
 TEST(Simulator, PersistenceReducesLaterJobsAccesses)
@@ -47,8 +48,8 @@ TEST(Simulator, PersistenceReducesLaterJobsAccesses)
     const tasks::TaskSet ts =
         make_task_set(1, 16, {{0, 10, 2, 0, 100, 0, {1, 2}, {}, {1, 2}}});
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 500));
-    EXPECT_EQ(result.bus_accesses[0], 2);
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 500_cy));
+    EXPECT_EQ(result.bus_accesses[0], 2_acc);
 }
 
 TEST(Simulator, NoPersistenceKeepsFullDemandEveryJob)
@@ -56,8 +57,8 @@ TEST(Simulator, NoPersistenceKeepsFullDemandEveryJob)
     const tasks::TaskSet ts =
         make_task_set(1, 16, {{0, 10, 2, 2, 100, 0, {1, 2}, {}, {}}});
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 500));
-    EXPECT_EQ(result.bus_accesses[0], 10); // 5 jobs * 2
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 500_cy));
+    EXPECT_EQ(result.bus_accesses[0], 10_acc); // 5 jobs * 2
 }
 
 TEST(Simulator, CproEvictionForcesPcbReload)
@@ -71,11 +72,11 @@ TEST(Simulator, CproEvictionForcesPcbReload)
             {0, 10, 2, 0, 100, 0, {1, 2}, {}, {1, 2}},
         });
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 500));
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 500_cy));
     // Each task: 5 jobs, every one cold because the other task evicted the
     // footprint in between -> 2 accesses each time.
-    EXPECT_EQ(result.bus_accesses[0], 10);
-    EXPECT_EQ(result.bus_accesses[1], 10);
+    EXPECT_EQ(result.bus_accesses[0], 10_acc);
+    EXPECT_EQ(result.bus_accesses[1], 10_acc);
 }
 
 TEST(Simulator, PreemptionDelaysLowPriorityTask)
@@ -87,12 +88,12 @@ TEST(Simulator, PreemptionDelaysLowPriorityTask)
                                                 {0, 30, 0, 0, 200, 0, {}, {}, {}},
                                             });
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 200));
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 200_cy));
     EXPECT_FALSE(result.deadline_missed);
-    EXPECT_EQ(result.max_response[0], 20);
+    EXPECT_EQ(result.max_response[0], 20_cy);
     // τ2: runs 20..50 (30 demanded, 30 left at t=50? no: executes 30 cycles
     // in [20,50) -> done exactly at 50... executes 30 cycles: [20,50) = 30.
-    EXPECT_EQ(result.max_response[1], 50);
+    EXPECT_EQ(result.max_response[1], 50_cy);
 }
 
 TEST(Simulator, CrpdReloadChargedOnResume)
@@ -106,12 +107,12 @@ TEST(Simulator, CrpdReloadChargedOnResume)
             {0, 50, 2, 2, 300, 0, {1, 2, 3}, {1, 2}, {}},
         });
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 300));
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 300_cy));
     EXPECT_FALSE(result.deadline_missed);
     // τ1: 5 jobs * 1 access. τ2: 1 job with 2 base accesses + reloads for
     // each of the preemptions that actually evicted its UCBs.
-    EXPECT_EQ(result.bus_accesses[0], 5);
-    EXPECT_GE(result.bus_accesses[1], 2 + 2);
+    EXPECT_EQ(result.bus_accesses[0], 5_acc);
+    EXPECT_GE(result.bus_accesses[1], util::AccessCount{2 + 2});
 }
 
 TEST(Simulator, DeadlineMissDetected)
@@ -119,9 +120,9 @@ TEST(Simulator, DeadlineMissDetected)
     const tasks::TaskSet ts =
         make_task_set(1, 16, {{0, 120, 0, 0, 100, 0, {}, {}, {}}});
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 1000));
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 1000_cy));
     EXPECT_TRUE(result.deadline_missed);
-    EXPECT_EQ(result.missed_task, 0u);
+    EXPECT_EQ(result.missed_task, util::TaskId{0});
 }
 
 TEST(Simulator, FpBusServesHigherPriorityFirst)
@@ -135,11 +136,11 @@ TEST(Simulator, FpBusServesHigherPriorityFirst)
             {1, 10, 5, 5, 200, 0, {}, {}, {}},
         });
     const SimResult result =
-        simulate(ts, platform(2, 10), config(BusPolicy::kFixedPriority, 200));
+        simulate(ts, platform(2, 10_cy), config(BusPolicy::kFixedPriority, 200_cy));
     EXPECT_FALSE(result.deadline_missed);
     // τ1 isolated: 10 + 50 = 60; plus at most one d_mem of blocking per
     // access: <= 60 + 5*10.
-    EXPECT_LE(result.max_response[0], 110);
+    EXPECT_LE(result.max_response[0], 110_cy);
     EXPECT_GE(result.max_response[1], result.max_response[0]);
 }
 
@@ -150,9 +151,9 @@ TEST(Simulator, TdmaIsNonWorkConserving)
     const tasks::TaskSet ts =
         make_task_set(2, 16, {{0, 0, 3, 3, 1000, 0, {}, {}, {}}});
     const SimResult with_tdma =
-        simulate(ts, platform(2, 10, 1), config(BusPolicy::kTdma, 1000));
+        simulate(ts, platform(2, 10_cy, 1), config(BusPolicy::kTdma, 1000_cy));
     const SimResult with_perfect =
-        simulate(ts, platform(2, 10, 1), config(BusPolicy::kPerfect, 1000));
+        simulate(ts, platform(2, 10_cy, 1), config(BusPolicy::kPerfect, 1000_cy));
     EXPECT_GT(with_tdma.max_response[0], with_perfect.max_response[0]);
 }
 
@@ -163,9 +164,9 @@ TEST(Simulator, RoundRobinSkipsIdleCores)
     const tasks::TaskSet ts =
         make_task_set(2, 16, {{0, 0, 3, 3, 1000, 0, {}, {}, {}}});
     const SimResult with_rr =
-        simulate(ts, platform(2, 10, 1), config(BusPolicy::kRoundRobin, 1000));
+        simulate(ts, platform(2, 10_cy, 1), config(BusPolicy::kRoundRobin, 1000_cy));
     const SimResult with_perfect =
-        simulate(ts, platform(2, 10, 1), config(BusPolicy::kPerfect, 1000));
+        simulate(ts, platform(2, 10_cy, 1), config(BusPolicy::kPerfect, 1000_cy));
     EXPECT_EQ(with_rr.max_response[0], with_perfect.max_response[0]);
 }
 
@@ -173,8 +174,8 @@ TEST(Simulator, RejectsNonPositiveHorizon)
 {
     const tasks::TaskSet ts =
         make_task_set(1, 16, {{0, 1, 0, 0, 10, 0, {}, {}, {}}});
-    EXPECT_THROW((void)simulate(ts, platform(1, 5),
-                                config(BusPolicy::kFixedPriority, 0)),
+    EXPECT_THROW((void)simulate(ts, platform(1, 5_cy),
+                                config(BusPolicy::kFixedPriority, 0_cy)),
                  std::invalid_argument);
 }
 
@@ -182,7 +183,7 @@ TEST(Simulator, EmptyTaskSetYieldsEmptyResult)
 {
     const tasks::TaskSet ts(1, 16);
     const SimResult result =
-        simulate(ts, platform(1, 5), config(BusPolicy::kFixedPriority, 100));
+        simulate(ts, platform(1, 5_cy), config(BusPolicy::kFixedPriority, 100_cy));
     EXPECT_TRUE(result.max_response.empty());
     EXPECT_FALSE(result.deadline_missed);
 }
@@ -197,9 +198,9 @@ TEST(Simulator, OverloadedTaskTerminatesWithJobsInReleaseOrder)
     // drained them. Jobs of one task must run in release order instead.
     const tasks::TaskSet ts = make_task_set(
         1, 16, {{0, 100, 8, 8, 60, 0, {1, 2, 3, 4}, {1, 2}, {}}});
-    SimConfig cfg = config(BusPolicy::kFixedPriority, 600);
+    SimConfig cfg = config(BusPolicy::kFixedPriority, 600_cy);
     cfg.stop_on_deadline_miss = false; // keep going past the miss pile-up
-    const SimResult result = simulate(ts, platform(1, 5), cfg);
+    const SimResult result = simulate(ts, platform(1, 5_cy), cfg);
     EXPECT_TRUE(result.deadline_missed);
     EXPECT_GE(result.jobs_completed[0], 2);
 }
@@ -222,10 +223,10 @@ TEST(Simulator, StalledCoreInheritsPriorityForQueuedRequest)
                               {2, 5, 50, 50, 2000, 0, {3}, {}, {}},
                               {0, 10, 2, 2, 1000, 0, {4}, {}, {}}});
     const SimResult result =
-        simulate(ts, platform(3, 10), config(BusPolicy::kFixedPriority, 600));
+        simulate(ts, platform(3, 10_cy), config(BusPolicy::kFixedPriority, 600_cy));
     EXPECT_FALSE(result.deadline_missed);
     EXPECT_GE(result.jobs_completed[0], 2);
-    EXPECT_LT(result.max_response[0], 100);
+    EXPECT_LT(result.max_response[0], 100_cy);
 }
 
 } // namespace

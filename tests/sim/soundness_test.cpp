@@ -36,7 +36,7 @@ TEST_P(SoundnessTest, SimulatedResponseNeverExceedsWcrtOnRandomSets)
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
 
     benchdata::GenerationConfig gen;
@@ -64,7 +64,7 @@ TEST_P(SoundnessTest, SimulatedResponseNeverExceedsWcrtOnRandomSets)
             }
             ++checked;
 
-            Cycles max_period = 0;
+            Cycles max_period{0};
             for (const tasks::Task& task : ts.tasks()) {
                 max_period = std::max(max_period, task.period);
             }
@@ -104,7 +104,7 @@ TEST(Soundness, HoldsUnderRandomReleaseOffsets)
     PlatformConfig platform;
     platform.num_cores = 2;
     platform.cache_sets = 64;
-    platform.d_mem = 10;
+    platform.d_mem = util::Cycles{10};
     platform.slot_size = 2;
 
     benchdata::GenerationConfig gen;
@@ -129,7 +129,7 @@ TEST(Soundness, HoldsUnderRandomReleaseOffsets)
         }
         ++checked;
 
-        Cycles max_period = 0;
+        Cycles max_period{0};
         for (const tasks::Task& task : ts.tasks()) {
             max_period = std::max(max_period, task.period);
         }
@@ -138,8 +138,8 @@ TEST(Soundness, HoldsUnderRandomReleaseOffsets)
             sim_config.policy = BusPolicy::kFixedPriority;
             sim_config.horizon = 4 * max_period;
             for (std::size_t i = 0; i < ts.size(); ++i) {
-                sim_config.release_offsets.push_back(
-                    child.uniform_int(0, ts[i].period));
+                sim_config.release_offsets.push_back(util::Cycles{
+                    child.uniform_int(0, ts[i].period.count())});
             }
             const SimResult sim = simulate(ts, platform, sim_config);
             for (std::size_t i = 0; i < ts.size(); ++i) {
@@ -158,16 +158,16 @@ TEST(Soundness, OffsetVectorValidation)
     PlatformConfig platform;
     platform.num_cores = 1;
     platform.cache_sets = 16;
-    platform.d_mem = 5;
+    platform.d_mem = util::Cycles{5};
 
     SimConfig config;
     config.policy = BusPolicy::kFixedPriority;
-    config.horizon = 1000;
-    config.release_offsets = {10, 20}; // wrong size
+    config.horizon = util::Cycles{1000};
+    config.release_offsets = {util::Cycles{10}, util::Cycles{20}}; // wrong size
     EXPECT_THROW((void)simulate(ts, platform, config), std::invalid_argument);
-    config.release_offsets = {-1};
+    config.release_offsets = {util::Cycles{-1}};
     EXPECT_THROW((void)simulate(ts, platform, config), std::invalid_argument);
-    config.release_offsets = {40};
+    config.release_offsets = {util::Cycles{40}};
     const SimResult result = simulate(ts, platform, config);
     EXPECT_EQ(result.jobs_completed[0], 10); // releases at 40, 140, ..., 940
 }
@@ -186,20 +186,20 @@ TEST(Soundness, SimulatedAccessesBoundedByMdHatPlusCpro)
     PlatformConfig platform;
     platform.num_cores = 1;
     platform.cache_sets = 16;
-    platform.d_mem = 5;
+    platform.d_mem = util::Cycles{5};
     platform.slot_size = 1;
 
     SimConfig config;
     config.policy = BusPolicy::kFixedPriority;
-    config.horizon = 1000; // 10 jobs of τ1
+    config.horizon = util::Cycles{1000}; // 10 jobs of τ1
     const SimResult sim = simulate(ts, platform, config);
     ASSERT_FALSE(sim.deadline_missed);
     ASSERT_EQ(sim.jobs_completed[0], 10);
 
     const analysis::InterferenceTables tables(
         ts, analysis::CrpdMethod::kEcbUnion);
-    const std::int64_t md_hat_bound = analysis::md_hat(ts[0], 10);
-    const std::int64_t cpro_bound = tables.rho_hat(0, 1, 10);
+    const util::AccessCount md_hat_bound = analysis::md_hat(ts[0], 10);
+    const util::AccessCount cpro_bound = tables.rho_hat(0, 1, 10);
     EXPECT_LE(sim.bus_accesses[0], md_hat_bound + cpro_bound);
 }
 

@@ -14,7 +14,7 @@ using cpa::testing::TaskSpec;
 
 // Tasks with given loads (pd over period 100, no memory) and ECB ranges.
 std::vector<Task> demo_tasks(
-    const std::vector<std::pair<util::Cycles, std::vector<std::size_t>>>&
+    const std::vector<std::pair<std::int64_t, std::vector<std::size_t>>>&
         specs)
 {
     std::vector<Task> tasks;
@@ -24,9 +24,9 @@ std::vector<Task> demo_tasks(
         // operator+(const char*, std::string&&).
         task.name = "t";
         task.name += std::to_string(tasks.size());
-        task.pd = pd;
-        task.period = 100;
-        task.deadline = 100;
+        task.pd = util::Cycles{pd};
+        task.period = util::Cycles{100};
+        task.deadline = util::Cycles{100};
         task.ecb = util::SetMask::from_indices(16, ecb);
         task.ucb = util::SetMask(16);
         task.pcb = util::SetMask(16);
@@ -38,14 +38,14 @@ std::vector<Task> demo_tasks(
 TEST(Partition, RejectsZeroCores)
 {
     std::vector<Task> tasks = demo_tasks({{10, {}}});
-    EXPECT_THROW(partition_tasks(tasks, 0, PartitionHeuristic::kWorstFit, 1),
+    EXPECT_THROW(partition_tasks(tasks, 0, PartitionHeuristic::kWorstFit, util::Cycles{1}),
                  std::invalid_argument);
 }
 
 TEST(Partition, EmptyTaskListIsNoop)
 {
     std::vector<Task> tasks;
-    partition_tasks(tasks, 4, PartitionHeuristic::kWorstFit, 1);
+    partition_tasks(tasks, 4, PartitionHeuristic::kWorstFit, util::Cycles{1});
     EXPECT_TRUE(tasks.empty());
 }
 
@@ -57,11 +57,11 @@ TEST(Partition, WorstFitBalancesLoad)
     // 40 -> B (90); 30 -> A (90). Perfect balance.
     std::vector<Task> tasks =
         demo_tasks({{60, {}}, {50, {}}, {40, {}}, {30, {}}});
-    partition_tasks(tasks, 2, PartitionHeuristic::kWorstFit, 1);
+    partition_tasks(tasks, 2, PartitionHeuristic::kWorstFit, util::Cycles{1});
     double loads[2] = {0, 0};
     for (const Task& task : tasks) {
         ASSERT_LT(task.core, 2u);
-        loads[task.core] += static_cast<double>(task.pd) / 100.0;
+        loads[task.core] += util::to_double(task.pd) / 100.0;
     }
     EXPECT_DOUBLE_EQ(loads[0], 0.9);
     EXPECT_DOUBLE_EQ(loads[1], 0.9);
@@ -73,7 +73,7 @@ TEST(Partition, FirstFitPacksGreedily)
     // core1: 0.5+0.3.
     std::vector<Task> tasks =
         demo_tasks({{60, {}}, {50, {}}, {40, {}}, {30, {}}});
-    partition_tasks(tasks, 2, PartitionHeuristic::kFirstFit, 1);
+    partition_tasks(tasks, 2, PartitionHeuristic::kFirstFit, util::Cycles{1});
     EXPECT_EQ(tasks[0].core, 0u);
     EXPECT_EQ(tasks[1].core, 1u);
     EXPECT_EQ(tasks[2].core, 0u);
@@ -83,7 +83,7 @@ TEST(Partition, FirstFitPacksGreedily)
 TEST(Partition, FirstFitFallsBackWhenNothingFits)
 {
     std::vector<Task> tasks = demo_tasks({{90, {}}, {90, {}}, {90, {}}});
-    partition_tasks(tasks, 2, PartitionHeuristic::kFirstFit, 1);
+    partition_tasks(tasks, 2, PartitionHeuristic::kFirstFit, util::Cycles{1});
     // Third task does not fit anywhere; it must still get a core.
     for (const Task& task : tasks) {
         EXPECT_LT(task.core, 2u);
@@ -100,7 +100,7 @@ TEST(Partition, CacheAwareSeparatesOverlappingFootprints)
         {40, {8, 9}},
         {40, {8, 9}},
     });
-    partition_tasks(tasks, 2, PartitionHeuristic::kCacheAware, 1);
+    partition_tasks(tasks, 2, PartitionHeuristic::kCacheAware, util::Cycles{1});
     EXPECT_NE(tasks[0].core, tasks[1].core);
     EXPECT_NE(tasks[2].core, tasks[3].core);
     EXPECT_EQ(same_core_overlap(tasks, 2), 0u);
@@ -117,8 +117,8 @@ TEST(Partition, CacheAwareBeatsWorstFitOnOverlap)
         {25, {5, 6, 7}},
     });
     std::vector<Task> by_worst_fit = tasks;
-    partition_tasks(by_worst_fit, 2, PartitionHeuristic::kWorstFit, 1);
-    partition_tasks(tasks, 2, PartitionHeuristic::kCacheAware, 1);
+    partition_tasks(by_worst_fit, 2, PartitionHeuristic::kWorstFit, util::Cycles{1});
+    partition_tasks(tasks, 2, PartitionHeuristic::kCacheAware, util::Cycles{1});
     EXPECT_LE(same_core_overlap(tasks, 2),
               same_core_overlap(by_worst_fit, 2));
 }

@@ -9,6 +9,7 @@ namespace {
 
 using cpa::testing::make_task_set;
 using cpa::testing::TaskSpec;
+using namespace util::literals;
 
 TEST(TaskSet, RequiresAtLeastOneCoreAndOneSet)
 {
@@ -56,8 +57,8 @@ TEST(TaskSet, UtilizationAccountsForMemoryTime)
     // One task: PD=10, MD=5, T=100, d_mem=4 -> (10 + 20)/100 = 0.3
     const TaskSet ts =
         make_task_set(1, 16, {{0, 10, 5, 5, 100, 0, {}, {}, {}}});
-    EXPECT_DOUBLE_EQ(ts.core_utilization(0, 4), 0.3);
-    EXPECT_DOUBLE_EQ(ts.bus_utilization(4), 0.2);
+    EXPECT_DOUBLE_EQ(ts.core_utilization(0, 4_cy), 0.3);
+    EXPECT_DOUBLE_EQ(ts.bus_utilization(4_cy), 0.2);
 }
 
 TEST(TaskSet, DeadlineMonotonicSortsByDeadline)
@@ -69,9 +70,9 @@ TEST(TaskSet, DeadlineMonotonicSortsByDeadline)
                                    {0, 1, 0, 0, 20, 20, {}, {}, {}},
                                });
     ts.assign_priorities_deadline_monotonic();
-    EXPECT_EQ(ts[0].deadline, 10);
-    EXPECT_EQ(ts[1].deadline, 20);
-    EXPECT_EQ(ts[2].deadline, 30);
+    EXPECT_EQ(ts[0].deadline, 10_cy);
+    EXPECT_EQ(ts[1].deadline, 20_cy);
+    EXPECT_EQ(ts[2].deadline, 30_cy);
     EXPECT_EQ(ts.tasks_on_core(0), (std::vector<std::size_t>{0, 1, 2}));
 }
 
@@ -83,8 +84,8 @@ TEST(TaskSet, RateMonotonicSortsByPeriod)
                                    {0, 1, 0, 0, 10, 9, {}, {}, {}},
                                });
     ts.assign_priorities_rate_monotonic();
-    EXPECT_EQ(ts[0].period, 10);
-    EXPECT_EQ(ts[1].period, 30);
+    EXPECT_EQ(ts[0].period, 10_cy);
+    EXPECT_EQ(ts[1].period, 30_cy);
 }
 
 TEST(TaskSet, ValidateRejectsResidualAboveMd)
@@ -92,11 +93,11 @@ TEST(TaskSet, ValidateRejectsResidualAboveMd)
     TaskSet ts(1, 16);
     Task task;
     task.core = 0;
-    task.pd = 1;
-    task.md = 2;
-    task.md_residual = 3;
-    task.period = 10;
-    task.deadline = 10;
+    task.pd = 1_cy;
+    task.md = 2_acc;
+    task.md_residual = 3_acc;
+    task.period = 10_cy;
+    task.deadline = 10_cy;
     task.ecb = util::SetMask(16);
     task.ucb = util::SetMask(16);
     task.pcb = util::SetMask(16);
@@ -109,11 +110,11 @@ TEST(TaskSet, ValidateRejectsUcbOutsideEcb)
     TaskSet ts(1, 16);
     Task task;
     task.core = 0;
-    task.pd = 1;
-    task.md = 2;
-    task.md_residual = 1;
-    task.period = 10;
-    task.deadline = 10;
+    task.pd = 1_cy;
+    task.md = 2_acc;
+    task.md_residual = 1_acc;
+    task.period = 10_cy;
+    task.deadline = 10_cy;
     task.ecb = util::SetMask::from_indices(16, {1});
     task.ucb = util::SetMask::from_indices(16, {2});
     task.pcb = util::SetMask(16);
@@ -126,9 +127,9 @@ TEST(TaskSet, ValidateRejectsDeadlineBeyondPeriod)
     TaskSet ts(1, 16);
     Task task;
     task.core = 0;
-    task.pd = 1;
-    task.period = 10;
-    task.deadline = 11;
+    task.pd = 1_cy;
+    task.period = 10_cy;
+    task.deadline = 11_cy;
     task.ecb = util::SetMask(16);
     task.ucb = util::SetMask(16);
     task.pcb = util::SetMask(16);
@@ -139,9 +140,9 @@ TEST(TaskSet, ValidateRejectsDeadlineBeyondPeriod)
 TEST(Task, IsolatedDemandCombinesCpuAndMemory)
 {
     Task task;
-    task.pd = 100;
-    task.md = 7;
-    EXPECT_EQ(task.isolated_demand(10), 170);
+    task.pd = 100_cy;
+    task.md = 7_acc;
+    EXPECT_EQ(task.isolated_demand(10_cy), 170_cy);
 }
 
 } // namespace

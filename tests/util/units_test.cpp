@@ -4,15 +4,120 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <sstream>
+#include <type_traits>
+
 namespace cpa::util {
 namespace {
 
+using namespace literals;
+
+// ---------------------------------------------------------------------------
+// Quantity arithmetic within one dimension.
+
+TEST(Quantity, SameDimensionArithmetic)
+{
+    EXPECT_EQ(3_cy + 4_cy, 7_cy);
+    EXPECT_EQ(10_cy - 4_cy, 6_cy);
+    EXPECT_EQ(-(5_cy), Cycles{-5});
+    Cycles c{10};
+    c += 5_cy;
+    EXPECT_EQ(c, 15_cy);
+    c -= 20_cy;
+    EXPECT_EQ(c, Cycles{-5});
+    EXPECT_EQ(2_acc + 2_acc, 4_acc);
+    EXPECT_EQ(7_us - 2_us, 5_us);
+}
+
+TEST(Quantity, ScalarScaling)
+{
+    EXPECT_EQ(3 * 4_cy, 12_cy);
+    EXPECT_EQ(4_cy * 3, 12_cy);
+    EXPECT_EQ(12_cy / 4, 3_cy);
+    AccessCount a{6};
+    a *= 2;
+    EXPECT_EQ(a, 12_acc);
+}
+
+TEST(Quantity, SameDimensionRatioIsDimensionless)
+{
+    const std::int64_t ratio = 12_cy / 5_cy;
+    EXPECT_EQ(ratio, 2);
+    EXPECT_EQ(12_cy % 5_cy, 2_cy);
+}
+
+TEST(Quantity, Comparisons)
+{
+    EXPECT_LT(3_cy, 4_cy);
+    EXPECT_GE(4_acc, 4_acc);
+    EXPECT_EQ(Cycles{}, 0_cy);
+    EXPECT_NE(1_us, 2_us);
+}
+
+TEST(Quantity, AccessTimesLatencyIsTime)
+{
+    // The one legal cross-dimension product (the BAT * d_mem shape).
+    EXPECT_EQ(3_acc * 5_cy, 15_cy);
+    EXPECT_EQ(5_cy * 3_acc, 15_cy);
+    EXPECT_EQ(3_acc * 5_us, 15_us);
+    EXPECT_EQ(5_us * 3_acc, 15_us);
+    static_assert(std::is_same_v<decltype(3_acc * 5_cy), Cycles>);
+    static_assert(std::is_same_v<decltype(3_acc * 5_us), Microseconds>);
+}
+
+TEST(Quantity, CrossDimensionOperationsDoNotCompile)
+{
+    // The negative space is enforced by tests/compile_fail/; here we only
+    // pin down the traits that make those cases ill-formed.
+    static_assert(!std::is_convertible_v<std::int64_t, Cycles>);
+    static_assert(!std::is_convertible_v<Cycles, std::int64_t>);
+    static_assert(!std::is_convertible_v<Cycles, AccessCount>);
+    static_assert(!std::is_convertible_v<AccessCount, Cycles>);
+    static_assert(!std::is_convertible_v<Microseconds, Cycles>);
+}
+
+TEST(Quantity, StreamingAndToString)
+{
+    EXPECT_EQ(to_string(42_cy), "42");
+    EXPECT_EQ(to_string(Cycles{-3}), "-3");
+    std::ostringstream out;
+    out << 7_acc;
+    EXPECT_EQ(out.str(), "7");
+    EXPECT_DOUBLE_EQ(to_double(5_cy), 5.0);
+}
+
+TEST(Quantity, MathHelpers)
+{
+    EXPECT_EQ(ceil_div(10_cy, 4_cy), 3);
+    EXPECT_EQ(floor_div(10_cy, 4_cy), 2);
+    EXPECT_EQ(ceil_div_signed(Cycles{-3}, 4_cy), 0);
+    EXPECT_EQ(clamp_non_negative(Cycles{-7}), 0_cy);
+    EXPECT_EQ(clamp_non_negative(7_cy), 7_cy);
+    EXPECT_EQ(saturating_lcm(4_cy, 6_cy, 1000_cy), 12_cy);
+    EXPECT_EQ(saturating_lcm(7_cy, 11_cy, 10_cy), 10_cy);
+}
+
+// ---------------------------------------------------------------------------
+// Conversions: the only places dimensions change.
+
 TEST(Units, MicrosecondRoundTrip)
 {
-    EXPECT_EQ(cycles_from_microseconds(5), 10);
-    EXPECT_EQ(cycles_from_microseconds(0), 0);
-    EXPECT_DOUBLE_EQ(microseconds_from_cycles(10), 5.0);
-    EXPECT_DOUBLE_EQ(microseconds_from_cycles(1), 0.5);
+    EXPECT_EQ(cycles_from_microseconds(5_us), 10_cy);
+    EXPECT_EQ(cycles_from_microseconds(0_us), 0_cy);
+    EXPECT_DOUBLE_EQ(microseconds_from_cycles(10_cy), 5.0);
+    EXPECT_DOUBLE_EQ(microseconds_from_cycles(1_cy), 0.5);
+}
+
+TEST(Units, AccessTimeConversions)
+{
+    EXPECT_EQ(cycles_from_accesses(3_acc, 5_cy), 15_cy);
+    // floor / signed-ceil pair behind Eq. (5)'s carry-out.
+    EXPECT_EQ(accesses_fitting(14_cy, 5_cy), 2_acc);
+    EXPECT_EQ(accesses_covering(14_cy, 5_cy), 3_acc);
+    EXPECT_EQ(accesses_covering(Cycles{-1}, 5_cy), 0_acc);
+    EXPECT_EQ(accesses_from_md_cycles(18257_cy), 1826_acc);
+    EXPECT_EQ(accesses_from_blocks(std::size_t{476}), 476_acc);
 }
 
 TEST(Units, DefaultDmemEqualsExtractionLatency)
@@ -22,8 +127,48 @@ TEST(Units, DefaultDmemEqualsExtractionLatency)
     // generation utilization equals platform utilization at defaults.
     const analysis::PlatformConfig platform;
     EXPECT_EQ(platform.d_mem, kExtractionLatencyCycles);
-    EXPECT_EQ(cycles_from_microseconds(5), kExtractionLatencyCycles);
+    EXPECT_EQ(cycles_from_microseconds(5_us), kExtractionLatencyCycles);
 }
+
+// ---------------------------------------------------------------------------
+// Strong ids.
+
+TEST(Ids, TaskIdAndCoreIdAreDistinctTypes)
+{
+    static_assert(!std::is_same_v<TaskId, CoreId>);
+    static_assert(!std::is_convertible_v<TaskId, CoreId>);
+    static_assert(!std::is_convertible_v<std::size_t, TaskId>);
+}
+
+TEST(Ids, ValueAndValidity)
+{
+    const TaskId t{3};
+    EXPECT_EQ(t.value(), 3u);
+    EXPECT_TRUE(t.is_valid());
+    EXPECT_FALSE(TaskId::invalid().is_valid());
+    EXPECT_EQ(TaskId::invalid(), TaskId{static_cast<std::size_t>(-1)});
+    EXPECT_TRUE(CoreId{}.is_valid());
+}
+
+TEST(Ids, OrderingMatchesPriorityOrder)
+{
+    // TaskId doubles as the priority index: lower value = more urgent.
+    EXPECT_LT(TaskId{0}, TaskId{1});
+    EXPECT_EQ(TaskId{2}, TaskId{2});
+    EXPECT_GT(CoreId{3}, CoreId{1});
+}
+
+TEST(Ids, ToStringShowsInvalidAsNone)
+{
+    EXPECT_EQ(to_string(TaskId{7}), "7");
+    EXPECT_EQ(to_string(TaskId::invalid()), "none");
+    std::ostringstream out;
+    out << CoreId{2};
+    EXPECT_EQ(out.str(), "2");
+}
+
+// ---------------------------------------------------------------------------
+// Enum names (unchanged by the dimensional layer).
 
 TEST(Units, PolicyNames)
 {
