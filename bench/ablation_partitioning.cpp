@@ -7,12 +7,14 @@
 // as the reference.
 #include "analysis/schedulability.hpp"
 #include "benchdata/generator.hpp"
+#include "obs/parallel.hpp"
 #include "common.hpp"
 
 int main()
 {
     using namespace cpa;
     bench::BenchReport bench_report("ablation_partitioning");
+    util::ThreadPool threads(bench_report.jobs());
     using tasks::PartitionHeuristic;
 
     const std::size_t task_sets = experiments::task_sets_from_env(120);
@@ -41,21 +43,28 @@ int main()
         benchdata::GenerationConfig gen = generation;
         gen.per_core_utilization = u;
 
-        std::size_t paper_count = 0;
-        std::vector<std::size_t> counts(heuristics.size(), 0);
-        std::vector<double> overlaps(heuristics.size(), 0.0);
+        // Per-trial verdict slots, reduced in index order below so the
+        // overlap sums (floating point) accumulate exactly as the old
+        // serial loop did.
+        struct TrialOutcome {
+            std::uint8_t paper = 0;
+            std::vector<std::uint8_t> scheduled;
+            std::vector<double> overlap;
+        };
+        std::vector<TrialOutcome> outcomes(task_sets);
 
-        util::Rng master(4040);
-        for (std::size_t n = 0; n < task_sets; ++n) {
-            util::Rng seed = master.fork();
-            // Reuse the same child seed for every variant so they see the
+        obs::run_indexed_trials(threads, task_sets, [&](std::size_t n) {
+            TrialOutcome& outcome = outcomes[n];
+            outcome.scheduled.assign(heuristics.size(), 0);
+            outcome.overlap.assign(heuristics.size(), 0.0);
+            // Reuse the same trial seed for every variant so they see the
             // same draws.
-            const auto seed_state = seed.engine()();
+            const auto seed_state = util::seed_for(4040, n);
             {
                 util::Rng rng(seed_state);
                 const tasks::TaskSet ts =
                     benchdata::generate_task_set(rng, gen, pool);
-                paper_count +=
+                outcome.paper =
                     analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
             }
             for (std::size_t h = 0; h < heuristics.size(); ++h) {
@@ -63,11 +72,23 @@ int main()
                 const tasks::TaskSet ts =
                     benchdata::generate_task_set_partitioned(
                         rng, gen, pool, heuristics[h].second);
-                counts[h] +=
+                outcome.scheduled[h] =
                     analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
-                overlaps[h] += static_cast<double>(tasks::same_core_overlap(
-                                   ts.tasks(), gen.num_cores)) /
-                               static_cast<double>(task_sets);
+                outcome.overlap[h] =
+                    static_cast<double>(tasks::same_core_overlap(
+                        ts.tasks(), gen.num_cores)) /
+                    static_cast<double>(task_sets);
+            }
+        });
+
+        std::size_t paper_count = 0;
+        std::vector<std::size_t> counts(heuristics.size(), 0);
+        std::vector<double> overlaps(heuristics.size(), 0.0);
+        for (const TrialOutcome& outcome : outcomes) {
+            paper_count += outcome.paper;
+            for (std::size_t h = 0; h < heuristics.size(); ++h) {
+                counts[h] += outcome.scheduled[h];
+                overlaps[h] += outcome.overlap[h];
             }
         }
 

@@ -15,6 +15,7 @@
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 #include <chrono>
@@ -41,6 +42,7 @@ class BenchReport {
 public:
     explicit BenchReport(std::string name, bool enable_metrics = true)
         : name_(std::move(name)), enable_metrics_(enable_metrics),
+          jobs_(util::resolve_jobs(0)),
           started_(std::chrono::steady_clock::now())
     {
         if (enable_metrics_) {
@@ -48,6 +50,11 @@ public:
             obs::set_metrics_enabled(true);
         }
     }
+
+    // The resolved worker count benches should hand to their thread pools,
+    // recorded in the JSON so BENCH_*.json trajectories can relate wall
+    // clock to parallelism.
+    [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
     BenchReport(const BenchReport&) = delete;
     BenchReport& operator=(const BenchReport&) = delete;
@@ -72,6 +79,11 @@ public:
         obs::RunReport report("bench");
         report.set("bench", obs::JsonValue(name_));
         report.set("total_seconds", obs::JsonValue(total_seconds));
+        report.set("elapsed_ms",
+                   obs::JsonValue(static_cast<std::int64_t>(
+                       total_seconds * 1000.0)));
+        report.set("jobs",
+                   obs::JsonValue(static_cast<std::int64_t>(jobs_)));
         obs::JsonValue& section_list = report.list("sections");
         for (const auto& [section_name, seconds] : sections_) {
             obs::JsonValue entry = obs::JsonValue::object();
@@ -114,6 +126,7 @@ private:
 
     std::string name_;
     bool enable_metrics_;
+    std::size_t jobs_;
     std::chrono::steady_clock::time_point started_;
     std::string current_section_;
     std::chrono::steady_clock::time_point section_started_{};

@@ -15,12 +15,14 @@
 // crossover is the interesting output.
 #include "analysis/schedulability.hpp"
 #include "benchdata/generator.hpp"
+#include "obs/parallel.hpp"
 #include "common.hpp"
 
 int main()
 {
     using namespace cpa;
     bench::BenchReport bench_report("extension_cache_partitioning");
+    util::ThreadPool threads(bench_report.jobs());
 
     const std::size_t task_sets = experiments::task_sets_from_env(120);
     const auto platform = bench::default_platform();
@@ -47,18 +49,19 @@ int main()
 
     for (double u = 0.05; u <= 1.0 + 1e-9; u += 0.05) {
         generation.per_core_utilization = u;
-        std::size_t shared_count = 0;
-        std::size_t partitioned_count = 0;
 
-        util::Rng master(31415);
-        for (std::size_t n = 0; n < task_sets; ++n) {
-            const auto seed_state = master.fork().engine()();
+        // verdicts[2n] = shared, verdicts[2n+1] = partitioned; each trial
+        // owns its slot pair and seeds from its index, so the counts below
+        // are independent of the pool's schedule.
+        std::vector<std::uint8_t> verdicts(2 * task_sets, 0);
+        obs::run_indexed_trials(threads, task_sets, [&](std::size_t n) {
+            const auto seed_state = util::seed_for(31415, n);
             {
                 util::Rng rng(seed_state);
                 const tasks::TaskSet ts =
                     benchdata::generate_task_set(rng, generation,
                                                  shared_pool);
-                shared_count +=
+                verdicts[2 * n] =
                     analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
             }
             {
@@ -89,9 +92,16 @@ int main()
                     ts.add_task(std::move(task));
                 }
                 ts.validate();
-                partitioned_count +=
+                verdicts[2 * n + 1] =
                     analysis::is_schedulable(ts, platform, config) ? 1u : 0u;
             }
+        });
+
+        std::size_t shared_count = 0;
+        std::size_t partitioned_count = 0;
+        for (std::size_t n = 0; n < task_sets; ++n) {
+            shared_count += verdicts[2 * n];
+            partitioned_count += verdicts[2 * n + 1];
         }
         table.add_row({util::TextTable::num(u, 2),
                        std::to_string(shared_count),

@@ -9,12 +9,14 @@
 #include "analysis/multilevel.hpp"
 #include "analysis/schedulability.hpp"
 #include "benchdata/generator.hpp"
+#include "obs/parallel.hpp"
 #include "common.hpp"
 
 int main()
 {
     using namespace cpa;
     bench::BenchReport bench_report("extension_multilevel");
+    util::ThreadPool threads(bench_report.jobs());
 
     const std::size_t task_sets = experiments::task_sets_from_env(100);
     const auto platform = bench::default_platform();
@@ -46,18 +48,25 @@ int main()
         benchdata::GenerationConfig gen = generation;
         gen.per_core_utilization = u;
 
-        std::size_t single = 0;
-        std::size_t ideal = 0;
-        std::vector<std::size_t> multi(l2_sizes.size(), 0);
+        // One verdict row per trial (seeded from the trial index — the same
+        // draws for every utilization column as before), reduced in index
+        // order after the parallel region.
+        struct TrialOutcome {
+            std::uint8_t single = 0;
+            std::uint8_t ideal = 0;
+            std::vector<std::uint8_t> multi;
+        };
+        std::vector<TrialOutcome> outcomes(task_sets);
 
-        util::Rng master(77777);
-        for (std::size_t n = 0; n < task_sets; ++n) {
-            util::Rng child = master.fork();
+        obs::run_indexed_trials(threads, task_sets, [&](std::size_t n) {
+            TrialOutcome& outcome = outcomes[n];
+            outcome.multi.assign(l2_sizes.size(), 0);
+            util::Rng child(util::seed_for(77777, n));
             const tasks::TaskSet ts =
                 benchdata::generate_task_set(child, gen, pool);
             const analysis::InterferenceTables tables(
                 ts, analysis::CrpdMethod::kEcbUnion);
-            single +=
+            outcome.single =
                 analysis::is_schedulable(ts, platform, config, tables) ? 1u
                                                                        : 0u;
             for (std::size_t s = 0; s < l2_sizes.size(); ++s) {
@@ -69,22 +78,33 @@ int main()
                 sized.sets = l2_sizes[s];
                 const analysis::L2InterferenceTables l2_tables(ts,
                                                                footprints);
-                multi[s] += analysis::compute_wcrt_multilevel(
-                                ts, platform, config, sized, footprints,
-                                tables, l2_tables)
-                                    .schedulable
-                                ? 1u
-                                : 0u;
+                outcome.multi[s] = analysis::compute_wcrt_multilevel(
+                                       ts, platform, config, sized,
+                                       footprints, tables, l2_tables)
+                                           .schedulable
+                                       ? 1u
+                                       : 0u;
                 if (s + 1 == l2_sizes.size()) {
                     analysis::L2Config free_lookup = sized;
                     free_lookup.d_l2 = util::Cycles{0};
-                    ideal += analysis::compute_wcrt_multilevel(
-                                 ts, platform, config, free_lookup,
-                                 footprints, tables, l2_tables)
-                                     .schedulable
-                                 ? 1u
-                                 : 0u;
+                    outcome.ideal = analysis::compute_wcrt_multilevel(
+                                        ts, platform, config, free_lookup,
+                                        footprints, tables, l2_tables)
+                                            .schedulable
+                                        ? 1u
+                                        : 0u;
                 }
+            }
+        });
+
+        std::size_t single = 0;
+        std::size_t ideal = 0;
+        std::vector<std::size_t> multi(l2_sizes.size(), 0);
+        for (const TrialOutcome& outcome : outcomes) {
+            single += outcome.single;
+            ideal += outcome.ideal;
+            for (std::size_t s = 0; s < l2_sizes.size(); ++s) {
+                multi[s] += outcome.multi[s];
             }
         }
 

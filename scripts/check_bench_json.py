@@ -12,6 +12,8 @@ docs/observability.md:
     tool           : "bench"
     bench          : non-empty string
     total_seconds  : number >= 0
+    elapsed_ms     : int >= 0 (wall clock, for speedup trajectories)
+    jobs           : int >= 1 (resolved worker count of the run)
     sections       : list of {"name": str, "seconds": number >= 0}
     metrics        : {"counters": {str: int},
                       "gauges": {str: int},
@@ -109,6 +111,9 @@ def check_report(path):
         ok = fail(path, f"file name does not match bench name {bench!r}")
     ok = check_number(path, report.get("total_seconds"), "total_seconds",
                       minimum=0) and ok
+    ok = check_int(path, report.get("elapsed_ms"), "elapsed_ms",
+                   minimum=0) and ok
+    ok = check_int(path, report.get("jobs"), "jobs", minimum=1) and ok
 
     sections = report.get("sections")
     if not isinstance(sections, list):

@@ -22,6 +22,8 @@ def valid_report(bench="demo"):
         "tool": "bench",
         "bench": bench,
         "total_seconds": 1.25,
+        "elapsed_ms": 1250,
+        "jobs": 4,
         "sections": [{"name": "warmup", "seconds": 0.25}],
         "metrics": {
             "counters": {"wcrt.calls": 10},
@@ -92,6 +94,26 @@ class CheckBenchJsonTest(unittest.TestCase):
         path = self.dir / "BENCH_demo.json"
         path.write_text(json.dumps(report) + "\n")
         self.assertFalse(check_bench_json.check_report(path))
+
+    def test_missing_jobs_rejected(self):
+        report = valid_report()
+        del report["jobs"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_zero_jobs_rejected(self):
+        report = valid_report()
+        report["jobs"] = 0
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_missing_elapsed_ms_rejected(self):
+        report = valid_report()
+        del report["elapsed_ms"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_float_elapsed_ms_rejected(self):
+        report = valid_report()
+        report["elapsed_ms"] = 1250.5
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
 
     def test_boolean_counter_rejected(self):
         report = valid_report()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two run reports (or directories of BENCH_*.json) for determinism.
+
+Usage:
+    compare_run_reports.py A B
+
+A and B are either two JSON report files or two directories; directories are
+matched by file name (both must contain the same set of BENCH_*.json files).
+Before comparison, every field that legitimately varies between runs is
+normalized away:
+
+    total_seconds, elapsed_ms         (wall clock)
+    sections[].seconds                (wall clock)
+    metrics.timers.*.total_ns         (wall clock; counts are kept)
+    jobs                              (the quantity under test)
+
+Everything else — counters, gauges, timer counts, schedulability results,
+config echoes — must match exactly: that is the serial == parallel contract
+of the deterministic trial engine (see docs/architecture.md). Exit 0 when
+the reports agree, 1 otherwise. Stdlib only.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+WALL_CLOCK_KEYS = {"total_seconds", "elapsed_ms", "jobs"}
+
+
+def normalize(value, key=None):
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if k in WALL_CLOCK_KEYS or k == "total_ns" or k == "seconds":
+                out[k] = 0
+            else:
+                out[k] = normalize(v, k)
+        return out
+    if isinstance(value, list):
+        return [normalize(item) for item in value]
+    return value
+
+
+def load(path):
+    with open(path) as handle:
+        return normalize(json.load(handle))
+
+
+def diff_paths(a, b, prefix=""):
+    """Yields human-readable locations where the two normalized trees differ."""
+    if type(a) is not type(b):
+        yield f"{prefix or '<root>'}: type {type(a).__name__} vs {type(b).__name__}"
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            where = f"{prefix}.{key}" if prefix else key
+            if key not in a:
+                yield f"{where}: only in B"
+            elif key not in b:
+                yield f"{where}: only in A"
+            else:
+                yield from diff_paths(a[key], b[key], where)
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            yield f"{prefix}: list length {len(a)} vs {len(b)}"
+            return
+        for index, (left, right) in enumerate(zip(a, b)):
+            yield from diff_paths(left, right, f"{prefix}[{index}]")
+    elif a != b:
+        yield f"{prefix or '<root>'}: {a!r} vs {b!r}"
+
+
+def compare_files(path_a, path_b):
+    differences = list(diff_paths(load(path_a), load(path_b)))
+    for where in differences[:20]:
+        print(f"{path_a} vs {path_b}: {where}", file=sys.stderr)
+    return not differences
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    a, b = Path(argv[1]), Path(argv[2])
+
+    if a.is_dir() != b.is_dir():
+        print("compare_run_reports: cannot compare a file to a directory",
+              file=sys.stderr)
+        return 2
+
+    if not a.is_dir():
+        pairs = [(a, b)]
+    else:
+        names_a = {p.name for p in a.glob("BENCH_*.json")}
+        names_b = {p.name for p in b.glob("BENCH_*.json")}
+        if not names_a:
+            print(f"compare_run_reports: no BENCH_*.json in {a}",
+                  file=sys.stderr)
+            return 1
+        if names_a != names_b:
+            print(f"compare_run_reports: report sets differ: "
+                  f"{sorted(names_a ^ names_b)}", file=sys.stderr)
+            return 1
+        pairs = [(a / name, b / name) for name in sorted(names_a)]
+
+    ok = True
+    for path_a, path_b in pairs:
+        if compare_files(path_a, path_b):
+            print(f"{path_a.name}: identical after normalization")
+        else:
+            ok = False
+    if not ok:
+        print("compare_run_reports: reports differ — the worker count "
+              "leaked into the results", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

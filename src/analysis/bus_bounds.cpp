@@ -23,6 +23,38 @@ namespace {
 // Eq. (7)-(9) into same-core demand (BAS), cross-core interference, and
 // blocking. Counter references are resolved once per policy (cold path);
 // the recording itself only runs when metrics are enabled.
+struct BatNames {
+    const char* calls;
+    const char* same_core;
+    const char* cross_core;
+    const char* blocking;
+};
+
+const BatNames& bat_names(BusPolicy policy)
+{
+    static constexpr BatNames fp{"bat.fp.calls", "bat.fp.same_core",
+                                 "bat.fp.cross_core", "bat.fp.blocking"};
+    static constexpr BatNames rr{"bat.rr.calls", "bat.rr.same_core",
+                                 "bat.rr.cross_core", "bat.rr.blocking"};
+    static constexpr BatNames tdma{"bat.tdma.calls", "bat.tdma.same_core",
+                                   "bat.tdma.cross_core",
+                                   "bat.tdma.blocking"};
+    static constexpr BatNames perfect{
+        "bat.perfect.calls", "bat.perfect.same_core",
+        "bat.perfect.cross_core", "bat.perfect.blocking"};
+    switch (policy) {
+    case BusPolicy::kFixedPriority:
+        return fp;
+    case BusPolicy::kRoundRobin:
+        return rr;
+    case BusPolicy::kTdma:
+        return tdma;
+    case BusPolicy::kPerfect:
+        break;
+    }
+    return perfect;
+}
+
 struct BatCounters {
     obs::Counter& calls;
     obs::Counter& same_core;
@@ -30,23 +62,36 @@ struct BatCounters {
     obs::Counter& blocking;
 };
 
-BatCounters make_bat_counters(const char* policy)
+BatCounters make_bat_counters(const BatNames& names)
 {
     auto& registry = obs::MetricsRegistry::global();
-    const std::string prefix = std::string("bat.") + policy;
-    return BatCounters{registry.counter(prefix + ".calls"),
-                       registry.counter(prefix + ".same_core"),
-                       registry.counter(prefix + ".cross_core"),
-                       registry.counter(prefix + ".blocking")};
+    return BatCounters{registry.counter(names.calls),
+                       registry.counter(names.same_core),
+                       registry.counter(names.cross_core),
+                       registry.counter(names.blocking)};
 }
 
 void record_bat(BusPolicy policy, AccessCount same_core,
                 AccessCount cross_core, AccessCount blocking)
 {
-    static BatCounters fp = make_bat_counters("fp");
-    static BatCounters rr = make_bat_counters("rr");
-    static BatCounters tdma = make_bat_counters("tdma");
-    static BatCounters perfect = make_bat_counters("perfect");
+    const BatNames& names = bat_names(policy);
+    // Inside a parallel trial the events stage in the thread's buffer (same
+    // contract as the obs.hpp macros); otherwise fall back to the cached
+    // registry references so the serial hot path stays one atomic add.
+    if (obs::MetricsBuffer* buffer = obs::current_metrics_buffer()) {
+        buffer->add_counter(names.calls, 1);
+        buffer->add_counter(names.same_core, same_core.count());
+        buffer->add_counter(names.cross_core, cross_core.count());
+        buffer->add_counter(names.blocking, blocking.count());
+        return;
+    }
+    static BatCounters fp =
+        make_bat_counters(bat_names(BusPolicy::kFixedPriority));
+    static BatCounters rr =
+        make_bat_counters(bat_names(BusPolicy::kRoundRobin));
+    static BatCounters tdma = make_bat_counters(bat_names(BusPolicy::kTdma));
+    static BatCounters perfect =
+        make_bat_counters(bat_names(BusPolicy::kPerfect));
     BatCounters* counters = &perfect;
     switch (policy) {
     case BusPolicy::kFixedPriority:

@@ -3,10 +3,13 @@
 #include "benchdata/generator.hpp"
 #include "check/assert.hpp"
 #include "obs/obs.hpp"
+#include "obs/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace cpa::check {
 
@@ -37,28 +40,40 @@ RandomCheckResult run_random_checks(const RandomCheckConfig& config)
     platform.num_cores = config.num_cores;
     platform.cache_sets = config.cache_sets;
 
-    RandomCheckResult result;
-    util::Rng master(config.seed);
-    for (std::size_t trial = 0; trial < config.trials; ++trial) {
-        util::Rng stream = master.fork();
-        const auto trial_seed = stream.engine()();
-        util::Rng rng(trial_seed);
+    // Each trial computes into its own slot; the loop below then reduces the
+    // slots in trial order, so the aggregate (and the failure list order) is
+    // identical no matter how the pool schedules the trials.
+    struct TrialOutcome {
+        std::uint64_t seed = 0;
+        double utilization = 0.0;
+        std::size_t checks_run = 0;
+        std::vector<Violation> violations;
+    };
+    std::vector<TrialOutcome> outcomes(config.trials);
 
-        generation.per_core_utilization =
+    util::ThreadPool threads(util::resolve_jobs(config.jobs));
+    obs::run_indexed_trials(threads, config.trials, [&](std::size_t trial) {
+        TrialOutcome& outcome = outcomes[trial];
+        outcome.seed = util::seed_for(config.seed, trial);
+        util::Rng rng(outcome.seed);
+
+        benchdata::GenerationConfig trial_generation = generation;
+        trial_generation.per_core_utilization =
             rng.uniform_real(config.min_utilization, config.max_utilization);
+        outcome.utilization = trial_generation.per_core_utilization;
         // Constrained deadlines + jitter on a subset of trials so the
         // J-dependent and D<T paths of the bounds are exercised too.
         if (config.jitter_period != 0 &&
             trial % config.jitter_period == config.jitter_period - 1) {
-            generation.deadline_ratio = 0.9;
-            generation.jitter_fraction = 0.05;
+            trial_generation.deadline_ratio = 0.9;
+            trial_generation.jitter_fraction = 0.05;
         } else {
-            generation.deadline_ratio = 1.0;
-            generation.jitter_fraction = 0.0;
+            trial_generation.deadline_ratio = 1.0;
+            trial_generation.jitter_fraction = 0.0;
         }
 
         const tasks::TaskSet ts =
-            benchdata::generate_task_set(rng, generation, pool);
+            benchdata::generate_task_set(rng, trial_generation, pool);
         CheckResult trial_result;
         try {
             trial_result = check_task_set(ts, platform, config.options);
@@ -74,18 +89,23 @@ RandomCheckResult run_random_checks(const RandomCheckConfig& config)
                 "selftest.injected",
                 "synthetic violation requested via inject_violation"});
         }
-
-        ++result.trials_run;
-        result.checks_run += trial_result.checks_run;
+        outcome.checks_run = trial_result.checks_run;
+        outcome.violations = std::move(trial_result.violations);
         CPA_COUNT("check.trials");
-        if (!trial_result.ok()) {
-            for (const Violation& violation : trial_result.violations) {
+    });
+
+    RandomCheckResult result;
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+        TrialOutcome& outcome = outcomes[trial];
+        ++result.trials_run;
+        result.checks_run += outcome.checks_run;
+        if (!outcome.violations.empty()) {
+            for (const Violation& violation : outcome.violations) {
                 ++result.violations_by_invariant[violation.invariant];
             }
-            result.failures.push_back(
-                TrialFailure{trial, trial_seed,
-                             generation.per_core_utilization,
-                             std::move(trial_result.violations)});
+            result.failures.push_back(TrialFailure{
+                trial, outcome.seed, outcome.utilization,
+                std::move(outcome.violations)});
         }
     }
     return result;

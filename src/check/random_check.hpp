@@ -32,6 +32,10 @@ struct RandomCheckConfig {
     // violation per trial so the reporting and --fail-on-violation exit-code
     // paths can be exercised end-to-end against the (sound) real analysis.
     bool inject_violation = false;
+    // Worker count for the trial loop (`cpa check --jobs N`): 0 = auto
+    // (CPA_JOBS env, then hardware concurrency). Trials seed from their
+    // index, so the result is identical for every value.
+    std::size_t jobs = 0;
     CheckOptions options;
 };
 

@@ -43,11 +43,16 @@ usage:
   cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
                [--utilization U] [--seed S]
   cpa sweep    [--cores N] [--tasks-per-core N] [--cache-sets N]
-               [--task-sets N] [--seed S] [--csv]
+               [--task-sets N] [--seed S] [--jobs N] [--csv]
   cpa check    [--seed S] [--trials N] [--cores N] [--tasks-per-core N]
                [--cache-sets N] [--min-utilization U] [--max-utilization U]
-               [--skip-sim] [--fail-on-violation] [--list]
+               [--jobs N] [--skip-sim] [--fail-on-violation] [--list]
   cpa help
+
+`--jobs N` sets the trial-loop worker count (default: the CPA_JOBS
+environment variable, then hardware concurrency). Every job count produces
+byte-identical output — trials are seeded from their index, not from a
+shared stream.
 
 `cpa check` draws seeded random task sets and verifies the analytical
 invariant catalog (Lemma 1/2 dominance, Eq. 10/19 consistency, simulator
@@ -522,6 +527,8 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
         std::stoll(flags.take("--task-sets", "100")));
     sweep_config.seed = static_cast<std::uint64_t>(
         std::stoll(flags.take("--seed", "20200309")));
+    sweep_config.jobs =
+        static_cast<std::size_t>(std::stoll(flags.take("--jobs", "0")));
     const bool csv = flags.take_switch("--csv");
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
@@ -620,6 +627,8 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
         std::stoll(flags.take("--cache-sets", "64")));
     config.min_utilization = std::stod(flags.take("--min-utilization", "0.1"));
     config.max_utilization = std::stod(flags.take("--max-utilization", "0.7"));
+    config.jobs =
+        static_cast<std::size_t>(std::stoll(flags.take("--jobs", "0")));
     config.options.check_simulation = !flags.take_switch("--skip-sim");
     // Undocumented self-test hook: forces a synthetic violation per trial so
     // the reporting/exit-code path itself can be tested (the real analysis

@@ -1,8 +1,12 @@
 #include "experiments/sensitivity.hpp"
 
 #include "analysis/schedulability.hpp"
+#include "obs/parallel.hpp"
+#include "util/thread_pool.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace cpa::experiments {
 
@@ -48,20 +52,34 @@ double breakdown_utilization(
     const std::vector<benchdata::BenchmarkParams>& pool,
     const analysis::PlatformConfig& platform,
     const analysis::AnalysisConfig& config, std::uint64_t seed,
-    double u_step)
+    double u_step, std::size_t jobs)
 {
     if (u_step <= 0.0) {
         throw std::invalid_argument("breakdown_utilization: bad step");
     }
-    double best = 0.0;
+    // The grid is materialized with the same accumulated addition as the
+    // original serial loop, so the exact double values (and thus the
+    // generated task sets) are unchanged by the parallel evaluation.
+    std::vector<double> grid;
     for (double u = u_step; u <= 1.0 + 1e-9; u += u_step) {
+        grid.push_back(u);
+    }
+    std::vector<std::uint8_t> schedulable(grid.size(), 0);
+    util::ThreadPool threads(util::resolve_jobs(jobs));
+    obs::run_indexed_trials(threads, grid.size(), [&](std::size_t i) {
         benchdata::GenerationConfig scaled = generation;
-        scaled.per_core_utilization = u;
+        scaled.per_core_utilization = grid[i];
         util::Rng rng(seed);
         const tasks::TaskSet ts =
             benchdata::generate_task_set(rng, scaled, pool);
         if (analysis::is_schedulable(ts, platform, config)) {
-            best = u;
+            schedulable[i] = 1;
+        }
+    });
+    double best = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (schedulable[i] != 0) {
+            best = grid[i];
         }
     }
     return best;

@@ -9,6 +9,8 @@
 #include "tasks/task.hpp"
 #include "util/rng.hpp"
 
+#include <cstddef>
+
 namespace cpa::experiments {
 
 // Largest memory latency (cycles) at which `ts` stays schedulable under
@@ -24,11 +26,15 @@ critical_d_mem(const tasks::TaskSet& ts,
 // step `u_step` at which the task set freshly generated from `generation`
 // (same seed, scaled utilization) is schedulable. This is the quantity the
 // bus_policy_selection example reports per arbitration policy.
+//
+// `jobs` parallelizes the grid evaluation (every point re-seeds from the
+// same stored seed, so scheduling order cannot change the draws): 1 = serial
+// (default), 0 = auto (CPA_JOBS env, then hardware concurrency).
 [[nodiscard]] double breakdown_utilization(
     const benchdata::GenerationConfig& generation,
     const std::vector<benchdata::BenchmarkParams>& pool,
     const analysis::PlatformConfig& platform,
     const analysis::AnalysisConfig& config, std::uint64_t seed,
-    double u_step = 0.05);
+    double u_step = 0.05, std::size_t jobs = 1);
 
 } // namespace cpa::experiments

@@ -4,7 +4,9 @@
 #include "analysis/schedulability.hpp"
 #include "benchdata/benchmark.hpp"
 #include "obs/obs.hpp"
+#include "obs/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include <chrono>
 #include <cmath>
@@ -70,11 +72,13 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
     result.variants = variants;
     result.task_sets_per_point = sweep.task_sets_per_point;
 
-    util::Rng master(sweep.seed);
+    util::ThreadPool threads(util::resolve_jobs(sweep.jobs));
 
     // Progress bookkeeping for the "sweep" trace channel: grid size is known
     // up front, so each finished point can report a progress fraction and a
     // wall-clock ETA extrapolated from the mean point duration so far.
+    // Points run sequentially (trials within a point are the parallel axis),
+    // which keeps these per-point progress events meaningful.
     const auto total_points = static_cast<std::size_t>(
         std::floor((sweep.u_max - sweep.u_min) / sweep.u_step + 1e-9)) + 1;
     const auto sweep_started = std::chrono::steady_clock::now();
@@ -83,6 +87,7 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
     for (double u = sweep.u_min; u <= sweep.u_max + 1e-9; u += sweep.u_step) {
         CPA_SCOPED_TIMER("sweep.point");
         const auto point_started = std::chrono::steady_clock::now();
+        const std::size_t point_index = points_done;
         SweepPoint point;
         point.utilization = u;
         point.schedulable.assign(variants.size(), 0);
@@ -90,9 +95,14 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
         benchdata::GenerationConfig gen = generation;
         gen.per_core_utilization = u;
 
-        for (std::size_t set_index = 0;
-             set_index < sweep.task_sets_per_point; ++set_index) {
-            util::Rng rng = master.fork();
+        // verdicts[set * V + v] = 1 iff variant v schedules task set `set`.
+        // Each trial owns its slot range and seeds from its global trial
+        // index, so the fill order cannot affect the result.
+        const std::size_t trials = sweep.task_sets_per_point;
+        std::vector<std::uint8_t> verdicts(trials * variants.size(), 0);
+        obs::run_indexed_trials(threads, trials, [&](std::size_t set_index) {
+            util::Rng rng(util::seed_for(sweep.seed,
+                                         point_index * trials + set_index));
             const tasks::TaskSet ts =
                 benchdata::generate_task_set(rng, gen, pool);
 
@@ -112,8 +122,14 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
                 }
                 if (analysis::is_schedulable(ts, platform, config,
                                              it->second)) {
-                    point.schedulable[v] += 1;
+                    verdicts[set_index * variants.size() + v] = 1;
                 }
+            }
+        });
+        for (std::size_t set_index = 0; set_index < trials; ++set_index) {
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                point.schedulable[v] +=
+                    verdicts[set_index * variants.size() + v];
             }
         }
 

@@ -34,6 +34,11 @@ struct SweepConfig {
     double u_step = 0.05;
     std::size_t task_sets_per_point = 100;
     std::uint64_t seed = 20200309; // DATE 2020 start date
+    // Worker count for the per-point trial loop: 0 = auto (CPA_JOBS env,
+    // then hardware concurrency). Results are byte-identical for every
+    // value — each trial is seeded from its index (util::seed_for) and
+    // writes into its own slot.
+    std::size_t jobs = 0;
 };
 
 struct SweepPoint {

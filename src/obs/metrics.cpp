@@ -6,6 +6,10 @@ namespace {
 
 std::atomic<bool> g_metrics_enabled{false};
 
+// Per-thread staging buffer; installed by ScopedMetricsBuffer for the
+// duration of one parallel trial body.
+thread_local MetricsBuffer* t_metrics_buffer = nullptr;
+
 // Generic find-or-create over the heterogeneous maps; heap allocation keeps
 // the handed-out references stable across rehashing/rebalancing. Callers
 // hold the registry mutex (enforced at the call sites by util::MutexLock).
@@ -30,6 +34,39 @@ bool metrics_enabled() noexcept
 void set_metrics_enabled(bool enabled) noexcept
 {
     g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsBuffer* current_metrics_buffer() noexcept
+{
+    return t_metrics_buffer;
+}
+
+ScopedMetricsBuffer::ScopedMetricsBuffer(MetricsBuffer& buffer) noexcept
+    : previous_(t_metrics_buffer)
+{
+    t_metrics_buffer = &buffer;
+}
+
+ScopedMetricsBuffer::~ScopedMetricsBuffer()
+{
+    t_metrics_buffer = previous_;
+}
+
+void MetricsBuffer::flush_to_global()
+{
+    MetricsRegistry& registry = MetricsRegistry::global();
+    for (const auto& [name, delta] : counters_) {
+        registry.counter(name).add(delta);
+    }
+    for (const auto& [name, value] : gauges_) {
+        registry.gauge(name).set(value);
+    }
+    for (const auto& [name, stat] : timers_) {
+        registry.timer(name).add(stat.total_ns, stat.count);
+    }
+    counters_.clear();
+    gauges_.clear();
+    timers_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::global()

@@ -70,6 +70,12 @@ public:
         total_ns_.fetch_add(ns, std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
     }
+    // Merges a pre-aggregated contribution (a MetricsBuffer flush).
+    void add(std::int64_t total_ns, std::int64_t count) noexcept
+    {
+        total_ns_.fetch_add(total_ns, std::memory_order_relaxed);
+        count_.fetch_add(count, std::memory_order_relaxed);
+    }
     [[nodiscard]] std::int64_t total_ns() const noexcept
     {
         return total_ns_.load(std::memory_order_relaxed);
@@ -128,24 +134,105 @@ private:
         CPA_GUARDED_BY(mutex_);
 };
 
+// Single-thread staging area for metric events, used by the parallel trial
+// engine (obs/parallel.hpp). While installed on a thread (ScopedMetricsBuffer
+// / current_metrics_buffer), the obs.hpp macros deposit events here instead
+// of in the global registry; the orchestrator later flushes one buffer per
+// trial *in trial-index order*, so gauges (last-writer-wins) land exactly as
+// a serial run would have written them. Not thread-safe by design — each
+// buffer belongs to exactly one in-flight trial.
+class MetricsBuffer {
+public:
+    void add_counter(std::string_view name, std::int64_t delta)
+    {
+        find_or_zero(counters_, name) += delta;
+    }
+    void set_gauge(std::string_view name, std::int64_t value)
+    {
+        find_or_zero(gauges_, name) = value;
+        // Distinguishes "set to 0" from "never set": only touched gauges are
+        // replayed into the registry.
+    }
+    void record_timer_ns(std::string_view name, std::int64_t ns)
+    {
+        TimerStat& stat = timers_
+                              .try_emplace(std::string(name))
+                              .first->second;
+        stat.total_ns += ns;
+        stat.count += 1;
+    }
+
+    [[nodiscard]] bool empty() const noexcept
+    {
+        return counters_.empty() && gauges_.empty() && timers_.empty();
+    }
+
+    // Replays the buffered events into the global registry and clears the
+    // buffer. The caller sequences flushes (trial-index order) to keep
+    // gauge values deterministic.
+    void flush_to_global();
+
+private:
+    template <typename Map>
+    static std::int64_t& find_or_zero(Map& map, std::string_view name)
+    {
+        auto it = map.find(name);
+        if (it == map.end()) {
+            it = map.emplace(std::string(name), 0).first;
+        }
+        return it->second;
+    }
+
+    std::map<std::string, std::int64_t, std::less<>> counters_;
+    std::map<std::string, std::int64_t, std::less<>> gauges_;
+    std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+// The buffer installed on the calling thread, or nullptr when metric events
+// should go straight to the global registry (the default).
+[[nodiscard]] MetricsBuffer* current_metrics_buffer() noexcept;
+
+// RAII install/restore of a thread's metrics buffer.
+class ScopedMetricsBuffer {
+public:
+    explicit ScopedMetricsBuffer(MetricsBuffer& buffer) noexcept;
+    ~ScopedMetricsBuffer();
+    ScopedMetricsBuffer(const ScopedMetricsBuffer&) = delete;
+    ScopedMetricsBuffer& operator=(const ScopedMetricsBuffer&) = delete;
+
+private:
+    MetricsBuffer* previous_ = nullptr;
+};
+
 // RAII wall-clock scope feeding a Timer metric. Inactive (and skipping the
-// clock reads) when metrics are disabled at construction time.
+// clock reads) when metrics are disabled at construction time. Routes into
+// the thread's MetricsBuffer when one is installed.
 class ScopedTimer {
 public:
     explicit ScopedTimer(std::string_view name)
     {
         if (metrics_enabled()) {
-            timer_ = &MetricsRegistry::global().timer(name);
+            if ((buffer_ = current_metrics_buffer()) != nullptr) {
+                name_ = name;
+            } else {
+                timer_ = &MetricsRegistry::global().timer(name);
+            }
             start_ = std::chrono::steady_clock::now();
         }
     }
     ~ScopedTimer()
     {
-        if (timer_ != nullptr) {
-            const auto elapsed = std::chrono::steady_clock::now() - start_;
-            timer_->record_ns(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                    .count());
+        if (timer_ == nullptr && buffer_ == nullptr) {
+            return;
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count();
+        if (buffer_ != nullptr) {
+            buffer_->record_timer_ns(name_, ns);
+        } else {
+            timer_->record_ns(ns);
         }
     }
     ScopedTimer(const ScopedTimer&) = delete;
@@ -153,6 +240,8 @@ public:
 
 private:
     Timer* timer_ = nullptr;
+    MetricsBuffer* buffer_ = nullptr;
+    std::string name_; // only populated on the buffered path
     std::chrono::steady_clock::time_point start_{};
 };
 

@@ -32,26 +32,42 @@
 
 #if CPA_OBS_ENABLED
 
-// Adds `delta` to the named counter when metrics are enabled.
+// Adds `delta` to the named counter when metrics are enabled. Inside a
+// parallel trial (a MetricsBuffer installed on this thread) the event is
+// staged thread-locally and merged later in trial-index order, which keeps
+// the buffered path off the shared registry entirely.
 #define CPA_COUNT_ADD(name, delta)                                          \
     do {                                                                    \
         if (::cpa::obs::metrics_enabled()) {                                \
-            static ::cpa::obs::Counter& cpa_obs_counter_ =                  \
-                ::cpa::obs::MetricsRegistry::global().counter(name);        \
-            cpa_obs_counter_.add(delta);                                    \
+            if (::cpa::obs::MetricsBuffer* cpa_obs_buffer_ =                \
+                    ::cpa::obs::current_metrics_buffer()) {                 \
+                cpa_obs_buffer_->add_counter(name, delta);                  \
+            } else {                                                        \
+                static ::cpa::obs::Counter& cpa_obs_counter_ =              \
+                    ::cpa::obs::MetricsRegistry::global().counter(name);    \
+                cpa_obs_counter_.add(delta);                                \
+            }                                                               \
         }                                                                   \
     } while (0)
 
 // Increments the named counter by one when metrics are enabled.
 #define CPA_COUNT(name) CPA_COUNT_ADD(name, 1)
 
-// Sets the named gauge when metrics are enabled.
+// Sets the named gauge when metrics are enabled. Gauges are last-writer-wins
+// — the one metric kind whose value depends on ordering — so the buffered
+// path (merged in trial-index order) is what keeps parallel runs identical
+// to serial ones.
 #define CPA_GAUGE_SET(name, value)                                          \
     do {                                                                    \
         if (::cpa::obs::metrics_enabled()) {                                \
-            static ::cpa::obs::Gauge& cpa_obs_gauge_ =                      \
-                ::cpa::obs::MetricsRegistry::global().gauge(name);          \
-            cpa_obs_gauge_.set(value);                                      \
+            if (::cpa::obs::MetricsBuffer* cpa_obs_buffer_ =                \
+                    ::cpa::obs::current_metrics_buffer()) {                 \
+                cpa_obs_buffer_->set_gauge(name, value);                    \
+            } else {                                                        \
+                static ::cpa::obs::Gauge& cpa_obs_gauge_ =                  \
+                    ::cpa::obs::MetricsRegistry::global().gauge(name);      \
+                cpa_obs_gauge_.set(value);                                  \
+            }                                                               \
         }                                                                   \
     } while (0)
 

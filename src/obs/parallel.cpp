@@ -1,0 +1,30 @@
+#include "obs/parallel.hpp"
+
+#include "obs/metrics.hpp"
+
+#include <vector>
+
+namespace cpa::obs {
+
+void run_indexed_trials(util::ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body)
+{
+    if (!metrics_enabled()) {
+        pool.parallel_for_indexed(count, body);
+        return;
+    }
+    // One buffer per trial (not per thread): the merge order must be the
+    // trial order, which a per-thread buffer could not reconstruct. Buffers
+    // stage even on a 1-job pool so the serial and parallel paths execute
+    // the exact same metric machinery.
+    std::vector<MetricsBuffer> buffers(count);
+    pool.parallel_for_indexed(count, [&](std::size_t index) {
+        ScopedMetricsBuffer scope(buffers[index]);
+        body(index);
+    });
+    for (MetricsBuffer& buffer : buffers) {
+        buffer.flush_to_global();
+    }
+}
+
+} // namespace cpa::obs

@@ -1,0 +1,31 @@
+// Deterministic parallel trial driver: util::ThreadPool fan-out plus the
+// per-trial metrics staging that keeps observability output byte-identical
+// between serial and parallel runs.
+//
+// Layering: obs may depend on util only (see scripts/check_layers.py), so
+// the pool lives in util and this header is the one place the two meet.
+// Experiment/bench/check code calls run_indexed_trials instead of touching
+// MetricsBuffer directly.
+#pragma once
+
+#include "util/thread_pool.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace cpa::obs {
+
+// Runs body(i) for every i in [0, count) on the pool. When metrics are
+// enabled, each trial records into its own MetricsBuffer (installed on the
+// executing thread for the duration of that trial) and the buffers are
+// flushed into the global registry in trial-index order after the batch
+// drains. That ordering makes every metric kind — including last-writer-wins
+// gauges — land exactly as a serial 0..count-1 loop would have written it,
+// regardless of how the pool scheduled the trials.
+//
+// The body must follow the pool's determinism contract: seed from the trial
+// index (util::seed_for) and write results only into its own pre-sized slot.
+void run_indexed_trials(util::ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body);
+
+} // namespace cpa::obs

@@ -12,6 +12,33 @@
 
 namespace cpa::util {
 
+// One output of the SplitMix64 generator (Steele, Lea & Flood; the seeding
+// recommendation of Vigna's xoshiro family): a bijective avalanche mix of
+// the counter `base + index * golden_gamma`. Bijectivity is what makes the
+// derived streams collision-free for a fixed base (pinned by the RNG
+// property tests).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+// Deterministic per-trial seed derivation: the seed of trial `trial_index`
+// under experiment seed `base_seed`. This is the contract that makes the
+// parallel trial engine order-independent — every trial's stream depends
+// only on (base_seed, trial_index), never on which thread runs it or how
+// many trials ran before. Equivalent to the (trial_index + 1)-th output of
+// a SplitMix64 sequence started at base_seed. The exact values are pinned
+// by tests/util/rng_test.cpp; changing this function invalidates every
+// golden file and stored-seed reproduction.
+[[nodiscard]] constexpr std::uint64_t
+seed_for(std::uint64_t base_seed, std::uint64_t trial_index) noexcept
+{
+    return splitmix64(base_seed + trial_index * 0x9E3779B97F4A7C15ULL);
+}
+
 class Rng {
 public:
     explicit Rng(std::uint64_t seed) : engine_(seed) {}

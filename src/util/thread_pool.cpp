@@ -1,0 +1,136 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+
+namespace cpa::util {
+
+ThreadPool::ThreadPool(std::size_t jobs)
+{
+    const std::size_t workers = jobs <= 1 ? 0 : jobs - 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        MutexLock lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void ThreadPool::run_slice(Batch& batch)
+{
+    for (;;) {
+        const std::size_t index =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= batch.count) {
+            return;
+        }
+        try {
+            (*batch.body)(index);
+        } catch (...) {
+            batch.errors[index] = std::current_exception();
+        }
+        batch.completed.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void ThreadPool::worker_loop()
+{
+    std::uint64_t seen_seq = 0;
+    for (;;) {
+        Batch* batch = nullptr;
+        {
+            MutexLock lock(mutex_);
+            // Plain wait loop instead of the predicate overload: clang's
+            // thread-safety analysis does not propagate the held lock into
+            // a predicate lambda, and cv_.wait(mutex_) itself is analyzed
+            // as a system-header call.
+            while (!stop_ && (batch_ == nullptr || batch_seq_ == seen_seq)) {
+                cv_.wait(mutex_);
+            }
+            if (stop_) {
+                return;
+            }
+            seen_seq = batch_seq_;
+            batch = batch_;
+            ++busy_workers_;
+        }
+        run_slice(*batch);
+        {
+            MutexLock lock(mutex_);
+            --busy_workers_;
+        }
+        // Wakes the orchestrator waiting for quiescence (and is harmless for
+        // sibling workers, which re-check their predicate and sleep again).
+        cv_.notify_all();
+    }
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& body)
+{
+    if (count == 0) {
+        return;
+    }
+    if (workers_.empty() || count == 1) {
+        // Serial reference path: the parallel path must be byte-identical
+        // to this plain loop (the determinism test suite pins it).
+        for (std::size_t i = 0; i < count; ++i) {
+            body(i);
+        }
+        return;
+    }
+
+    Batch batch;
+    batch.body = &body;
+    batch.count = count;
+    batch.errors.assign(count, nullptr);
+    {
+        MutexLock lock(mutex_);
+        batch_ = &batch;
+        ++batch_seq_;
+    }
+    cv_.notify_all();
+    run_slice(batch);
+    {
+        MutexLock lock(mutex_);
+        // `completed == count` means every body ran; `busy_workers_ == 0`
+        // means no worker still holds a pointer into the stack Batch.
+        while (busy_workers_ != 0 ||
+               batch.completed.load(std::memory_order_acquire) != count) {
+            cv_.wait(mutex_);
+        }
+        batch_ = nullptr;
+    }
+    for (const std::exception_ptr& error : batch.errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+std::size_t resolve_jobs(std::size_t requested)
+{
+    if (requested >= 1) {
+        return requested;
+    }
+    if (const char* raw = std::getenv("CPA_JOBS"); raw != nullptr) {
+        const long value = std::strtol(raw, nullptr, 10);
+        if (value > 0) {
+            return static_cast<std::size_t>(value);
+        }
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+} // namespace cpa::util

@@ -1,0 +1,82 @@
+// Fixed-size worker pool for the embarrassingly parallel trial loops
+// (utilization sweeps, `cpa check --trials`, the soundness benches).
+//
+// Design constraints:
+//  * Deterministic results: parallel_for_indexed hands out raw indices, so a
+//    body that (a) seeds its RNG from the index (util::seed_for) and
+//    (b) writes into pre-sized slot `i` produces results independent of the
+//    scheduling order. The engine guarantees nothing about *which* thread
+//    runs an index — only that every index in [0, count) runs exactly once.
+//  * Single orchestrator: one thread owns the pool and issues batches;
+//    parallel_for_indexed must not be called concurrently or reentrantly
+//    (the trial bodies themselves never need nested parallelism).
+//  * The calling thread participates, so ThreadPool(jobs) spawns jobs - 1
+//    workers and a 1-job pool degrades to a plain serial loop with zero
+//    thread traffic.
+#pragma once
+
+#include "util/thread_safety.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cpa::util {
+
+class ThreadPool {
+public:
+    // Spawns `jobs - 1` workers (clamped to at least a 1-job serial pool).
+    explicit ThreadPool(std::size_t jobs);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    // Total job count, including the calling thread.
+    [[nodiscard]] std::size_t jobs() const noexcept
+    {
+        return workers_.size() + 1;
+    }
+
+    // Runs body(i) for every i in [0, count), distributing indices over the
+    // workers plus the calling thread; blocks until every index completed.
+    // If any body throws, the exception of the LOWEST failing index is
+    // rethrown after the batch drains (a deterministic choice, so error
+    // behavior does not depend on scheduling).
+    void parallel_for_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& body);
+
+private:
+    // One parallel_for_indexed invocation. Lives on the caller's stack; the
+    // caller waits until no worker references it before returning.
+    struct Batch {
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> completed{0};
+        std::vector<std::exception_ptr> errors; // slot per index
+    };
+
+    void worker_loop();
+    static void run_slice(Batch& batch);
+
+    std::vector<std::thread> workers_;
+    Mutex mutex_;
+    std::condition_variable_any cv_;
+    bool stop_ CPA_GUARDED_BY(mutex_) = false;
+    std::uint64_t batch_seq_ CPA_GUARDED_BY(mutex_) = 0;
+    Batch* batch_ CPA_GUARDED_BY(mutex_) = nullptr;
+    std::size_t busy_workers_ CPA_GUARDED_BY(mutex_) = 0;
+};
+
+// Resolves a requested job count: values >= 1 pass through; 0 means "auto" —
+// the CPA_JOBS environment variable if set to a positive integer, otherwise
+// std::thread::hardware_concurrency() (at least 1). This is the single
+// interpretation point for SweepConfig::jobs / RandomCheckConfig::jobs /
+// the CLI --jobs flag.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested = 0);
+
+} // namespace cpa::util

@@ -1,0 +1,131 @@
+// Golden-file CLI regression tests: the exact bytes of the main CLI
+// surfaces, pinned as committed fixtures under tests/cli/golden/. Any
+// behavior change — an analysis result, a table column, a report field, the
+// RNG scheme — shows up as a readable fixture diff instead of slipping
+// through, replacing the by-hand pre/post-migration diffing of earlier PRs.
+//
+// Refresh workflow (after an INTENDED output change):
+//   CPA_UPDATE_GOLDEN=1 ctest --test-dir build -R CliGolden
+// then review `git diff tests/cli/golden/` like any other code change.
+// Wall-clock timer totals inside run reports are normalized to 0 before
+// comparison, so fixtures are stable across machines.
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cpa::cli {
+namespace {
+
+std::string golden_dir()
+{
+    return std::string(CPA_SOURCE_DIR) + "/tests/cli/golden/";
+}
+
+std::string normalize(std::string text)
+{
+    static const std::regex total_ns("\"total_ns\":-?[0-9]+");
+    return std::regex_replace(text, total_ns, "\"total_ns\":0");
+}
+
+// Runs the CLI in-process and compares stdout against the named fixture.
+// With CPA_UPDATE_GOLDEN=1 the fixture is rewritten instead.
+void expect_golden(const std::string& name,
+                   const std::vector<std::string>& args,
+                   int expected_exit = 0)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    const int exit_code = run_cli(args, out, err);
+    EXPECT_EQ(exit_code, expected_exit) << err.str();
+    const std::string actual = normalize(out.str());
+
+    const std::string path = golden_dir() + name + ".txt";
+    if (const char* update = std::getenv("CPA_UPDATE_GOLDEN");
+        update != nullptr && update[0] == '1') {
+        std::ofstream file(path, std::ios::binary);
+        ASSERT_TRUE(file) << "cannot write " << path;
+        file << actual;
+        return;
+    }
+
+    std::ifstream file(path, std::ios::binary);
+    ASSERT_TRUE(file) << "missing fixture " << path
+                      << " — run with CPA_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream expected;
+    expected << file.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << "CLI output diverged from " << path
+        << "\nIf the change is intended, refresh with:\n"
+           "  CPA_UPDATE_GOLDEN=1 ctest --test-dir build -R CliGolden";
+}
+
+std::string input_taskset()
+{
+    return golden_dir() + "input.taskset";
+}
+
+TEST(CliGolden, Generate)
+{
+    expect_golden("generate",
+                  {"generate", "--cores", "2", "--tasks-per-core", "2",
+                   "--cache-sets", "64", "--utilization", "0.4", "--seed",
+                   "5"});
+}
+
+TEST(CliGolden, Analyze)
+{
+    expect_golden("analyze", {"analyze", input_taskset()});
+}
+
+TEST(CliGolden, AnalyzeReportCsv)
+{
+    expect_golden("analyze_report_csv",
+                  {"analyze", input_taskset(), "--policy", "fp", "--report",
+                   "--csv"});
+}
+
+TEST(CliGolden, SimulateRoundRobin)
+{
+    expect_golden("simulate_rr",
+                  {"simulate", input_taskset(), "--policy", "rr",
+                   "--horizon-periods", "3"});
+}
+
+TEST(CliGolden, SweepCsv)
+{
+    expect_golden("sweep_csv",
+                  {"sweep", "--cores", "2", "--tasks-per-core", "2",
+                   "--cache-sets", "64", "--task-sets", "4", "--seed", "3",
+                   "--csv"});
+}
+
+TEST(CliGolden, SweepMetricsReport)
+{
+    expect_golden("sweep_metrics",
+                  {"sweep", "--cores", "2", "--tasks-per-core", "2",
+                   "--cache-sets", "64", "--task-sets", "4", "--seed", "3",
+                   "--metrics-out", "-"});
+}
+
+TEST(CliGolden, CheckMetricsReport)
+{
+    expect_golden("check_metrics",
+                  {"check", "--seed", "2", "--trials", "3", "--cores", "2",
+                   "--tasks-per-core", "2", "--cache-sets", "64",
+                   "--skip-sim", "--metrics-out", "-"});
+}
+
+TEST(CliGolden, CheckList)
+{
+    expect_golden("check_list", {"check", "--list"});
+}
+
+} // namespace
+} // namespace cpa::cli

@@ -1,0 +1,259 @@
+// Serial == parallel, forever: the contract of the parallel trial engine
+// (util::ThreadPool + util::seed_for + obs::run_indexed_trials) is that the
+// worker count is invisible in every output — schedulability counts, check
+// results, run-report JSON (timers carry wall clock and are stripped), CLI
+// stdout. These tests pin that contract for sweep, sensitivity, and
+// `cpa check` across several seeds; CI additionally runs them under TSan
+// to race-check the pool and the thread-local metric staging.
+#include "benchdata/generator.hpp"
+#include "check/random_check.hpp"
+#include "cli/commands.hpp"
+#include "experiments/sensitivity.hpp"
+#include "experiments/sweep.hpp"
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cpa {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 7, 20200309};
+
+benchdata::GenerationConfig small_generation()
+{
+    benchdata::GenerationConfig generation;
+    generation.num_cores = 2;
+    generation.tasks_per_core = 2;
+    generation.cache_sets = 64;
+    return generation;
+}
+
+analysis::PlatformConfig small_platform()
+{
+    analysis::PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 64;
+    return platform;
+}
+
+experiments::SweepConfig small_sweep(std::uint64_t seed, std::size_t jobs)
+{
+    experiments::SweepConfig sweep;
+    sweep.u_min = 0.2;
+    sweep.u_max = 0.6;
+    sweep.u_step = 0.2;
+    sweep.task_sets_per_point = 6;
+    sweep.seed = seed;
+    sweep.jobs = jobs;
+    return sweep;
+}
+
+// Everything deterministic in a metrics snapshot: counter values, gauge
+// values, and timer *counts* (total_ns is wall clock).
+struct DeterministicMetrics {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, std::int64_t> timer_counts;
+
+    bool operator==(const DeterministicMetrics&) const = default;
+
+    static DeterministicMetrics capture()
+    {
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::global().snapshot();
+        DeterministicMetrics result;
+        result.counters = snap.counters;
+        result.gauges = snap.gauges;
+        for (const auto& [name, stat] : snap.timers) {
+            result.timer_counts.emplace(name, stat.count);
+        }
+        return result;
+    }
+};
+
+// Scoped metrics-on with a clean registry, so each run's snapshot reflects
+// exactly that run.
+class MetricsSession {
+public:
+    MetricsSession()
+    {
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+    }
+    ~MetricsSession()
+    {
+        obs::set_metrics_enabled(false);
+        obs::MetricsRegistry::global().reset();
+    }
+    MetricsSession(const MetricsSession&) = delete;
+    MetricsSession& operator=(const MetricsSession&) = delete;
+};
+
+TEST(SweepDeterminism, JobCountIsInvisibleInResultsAndMetrics)
+{
+    for (const std::uint64_t seed : kSeeds) {
+        std::vector<std::vector<std::size_t>> serial_counts;
+        DeterministicMetrics serial_metrics;
+        {
+            MetricsSession session;
+            const auto sweep = experiments::run_utilization_sweep(
+                small_generation(), small_platform(),
+                experiments::standard_variants(), small_sweep(seed, 1));
+            for (const auto& point : sweep.points) {
+                serial_counts.push_back(point.schedulable);
+            }
+            serial_metrics = DeterministicMetrics::capture();
+        }
+
+        std::vector<std::vector<std::size_t>> parallel_counts;
+        DeterministicMetrics parallel_metrics;
+        {
+            MetricsSession session;
+            const auto sweep = experiments::run_utilization_sweep(
+                small_generation(), small_platform(),
+                experiments::standard_variants(), small_sweep(seed, 8));
+            for (const auto& point : sweep.points) {
+                parallel_counts.push_back(point.schedulable);
+            }
+            parallel_metrics = DeterministicMetrics::capture();
+        }
+
+        EXPECT_EQ(serial_counts, parallel_counts) << "seed " << seed;
+        EXPECT_EQ(serial_metrics, parallel_metrics) << "seed " << seed;
+    }
+}
+
+TEST(SensitivityDeterminism, BreakdownUtilizationMatchesAcrossJobs)
+{
+    const auto pool = benchdata::derive_all(
+        benchdata::full_benchmark_table(), 64);
+    analysis::AnalysisConfig config;
+    for (const std::uint64_t seed : kSeeds) {
+        const double serial = experiments::breakdown_utilization(
+            small_generation(), pool, small_platform(), config, seed, 0.1,
+            1);
+        const double parallel = experiments::breakdown_utilization(
+            small_generation(), pool, small_platform(), config, seed, 0.1,
+            8);
+        EXPECT_EQ(serial, parallel) << "seed " << seed;
+    }
+}
+
+check::RandomCheckConfig small_check(std::uint64_t seed, std::size_t jobs)
+{
+    check::RandomCheckConfig config;
+    config.seed = seed;
+    config.trials = 6;
+    config.num_cores = 2;
+    config.tasks_per_core = 2;
+    config.cache_sets = 64;
+    config.jobs = jobs;
+    config.options.check_simulation = false;
+    return config;
+}
+
+TEST(CheckDeterminism, ResultsMatchAcrossJobs)
+{
+    for (const std::uint64_t seed : kSeeds) {
+        const auto serial =
+            check::run_random_checks(small_check(seed, 1));
+        const auto parallel =
+            check::run_random_checks(small_check(seed, 8));
+        EXPECT_EQ(serial.trials_run, parallel.trials_run);
+        EXPECT_EQ(serial.checks_run, parallel.checks_run) << "seed " << seed;
+        EXPECT_EQ(serial.violations_by_invariant,
+                  parallel.violations_by_invariant);
+        ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+        for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+            EXPECT_EQ(serial.failures[i].trial, parallel.failures[i].trial);
+            EXPECT_EQ(serial.failures[i].seed, parallel.failures[i].seed);
+            EXPECT_EQ(serial.failures[i].utilization,
+                      parallel.failures[i].utilization);
+        }
+    }
+}
+
+TEST(CheckDeterminism, InjectedFailuresKeepTrialOrderAcrossJobs)
+{
+    // Force every trial to fail so the failure-list *order* (not just the
+    // counts) is exercised under parallel execution.
+    auto make = [](std::size_t jobs) {
+        check::RandomCheckConfig config = small_check(3, jobs);
+        config.inject_violation = true;
+        return check::run_random_checks(config);
+    };
+    const auto serial = make(1);
+    const auto parallel = make(8);
+    ASSERT_EQ(serial.failures.size(), 6u);
+    ASSERT_EQ(parallel.failures.size(), 6u);
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+        EXPECT_EQ(serial.failures[i].trial, i);
+        EXPECT_EQ(parallel.failures[i].trial, i);
+        EXPECT_EQ(serial.failures[i].seed, parallel.failures[i].seed);
+    }
+}
+
+// CLI-level byte-identity: `--jobs 1` and `--jobs 8` must produce the same
+// stdout, and the same run report once the wall-clock timer totals are
+// normalized.
+std::string strip_timer_totals(std::string text)
+{
+    static const std::regex total_ns("\"total_ns\":-?[0-9]+");
+    return std::regex_replace(text, total_ns, "\"total_ns\":0");
+}
+
+std::string run_cli_capture(const std::vector<std::string>& args)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    const int exit_code = cli::run_cli(args, out, err);
+    EXPECT_EQ(exit_code, 0) << err.str();
+    return out.str();
+}
+
+TEST(CliDeterminism, SweepStdoutAndReportAreByteIdenticalAcrossJobs)
+{
+    for (const std::uint64_t seed : kSeeds) {
+        const std::vector<std::string> base = {
+            "sweep",        "--cores",      "2",  "--tasks-per-core",
+            "2",            "--cache-sets", "64", "--task-sets",
+            "4",            "--seed",       std::to_string(seed),
+            "--metrics-out", "-"};
+        auto with_jobs = [&](const std::string& jobs) {
+            std::vector<std::string> args = base;
+            args.push_back("--jobs");
+            args.push_back(jobs);
+            return strip_timer_totals(run_cli_capture(args));
+        };
+        EXPECT_EQ(with_jobs("1"), with_jobs("8")) << "seed " << seed;
+    }
+}
+
+TEST(CliDeterminism, CheckStdoutAndReportAreByteIdenticalAcrossJobs)
+{
+    for (const std::uint64_t seed : kSeeds) {
+        const std::vector<std::string> base = {
+            "check",     "--seed",     std::to_string(seed),
+            "--trials",  "5",          "--cores",
+            "2",         "--tasks-per-core", "2",
+            "--cache-sets", "64",      "--skip-sim",
+            "--metrics-out", "-"};
+        auto with_jobs = [&](const std::string& jobs) {
+            std::vector<std::string> args = base;
+            args.push_back("--jobs");
+            args.push_back(jobs);
+            return strip_timer_totals(run_cli_capture(args));
+        };
+        EXPECT_EQ(with_jobs("1"), with_jobs("8")) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace cpa

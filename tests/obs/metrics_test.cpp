@@ -109,6 +109,73 @@ TEST_F(MetricsTest, CountMacroRespectsRuntimeFlag)
 #endif
 }
 
+TEST_F(MetricsTest, BufferStagesEventsAwayFromRegistry)
+{
+    MetricsBuffer buffer;
+    {
+        ScopedMetricsBuffer scope(buffer);
+        ASSERT_EQ(current_metrics_buffer(), &buffer);
+        CPA_COUNT_ADD("test.buffered", 5);
+        CPA_GAUGE_SET("test.buffered_gauge", 42);
+        {
+            ScopedTimer timer("test.buffered_timer");
+        }
+    }
+    EXPECT_EQ(current_metrics_buffer(), nullptr);
+#if CPA_OBS_ENABLED
+    // Nothing reached the registry while staged...
+    MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_FALSE(snap.counters.contains("test.buffered"));
+    EXPECT_FALSE(snap.gauges.contains("test.buffered_gauge"));
+    EXPECT_FALSE(snap.timers.contains("test.buffered_timer"));
+    EXPECT_FALSE(buffer.empty());
+    // ...until the flush.
+    buffer.flush_to_global();
+    EXPECT_TRUE(buffer.empty());
+    snap = MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.counters.at("test.buffered"), 5);
+    EXPECT_EQ(snap.gauges.at("test.buffered_gauge"), 42);
+    EXPECT_EQ(snap.timers.at("test.buffered_timer").count, 1);
+#endif
+}
+
+TEST_F(MetricsTest, BufferFlushOrderDecidesGaugeValue)
+{
+    // Gauges are last-writer-wins; flushing buffers in trial-index order
+    // must reproduce the serial outcome no matter which "trial" ran first.
+    MetricsBuffer first;
+    MetricsBuffer second;
+    first.set_gauge("test.order_gauge", 1);
+    second.set_gauge("test.order_gauge", 2);
+    first.add_counter("test.order_counter", 10);
+    second.add_counter("test.order_counter", 20);
+    // "second" finished before "first", but index order flushes first, then
+    // second — the gauge lands on trial 1's value, as a serial run would.
+    second.record_timer_ns("test.order_timer", 7);
+    first.flush_to_global();
+    second.flush_to_global();
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.gauges.at("test.order_gauge"), 2);
+    EXPECT_EQ(snap.counters.at("test.order_counter"), 30);
+    EXPECT_EQ(snap.timers.at("test.order_timer").count, 1);
+    EXPECT_EQ(snap.timers.at("test.order_timer").total_ns, 7);
+}
+
+TEST_F(MetricsTest, ScopedBufferNestsAndRestores)
+{
+    MetricsBuffer outer;
+    MetricsBuffer inner;
+    {
+        ScopedMetricsBuffer outer_scope(outer);
+        {
+            ScopedMetricsBuffer inner_scope(inner);
+            EXPECT_EQ(current_metrics_buffer(), &inner);
+        }
+        EXPECT_EQ(current_metrics_buffer(), &outer);
+    }
+    EXPECT_EQ(current_metrics_buffer(), nullptr);
+}
+
 TEST_F(MetricsTest, ConcurrentIncrementsAreNotLost)
 {
     Counter& counter = MetricsRegistry::global().counter("test.threads");

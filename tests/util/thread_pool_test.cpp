@@ -1,0 +1,135 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cpa::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    const std::size_t count = 1000;
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for_indexed(count, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, SingleJobPoolRunsSeriallyInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallel_for_indexed(10, [&](std::size_t i) {
+        order.push_back(i); // safe: no workers, caller runs everything
+    });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ZeroJobsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.jobs(), 1u);
+}
+
+TEST(ThreadPool, CountZeroIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallel_for_indexed(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, CountSmallerThanJobsCompletes)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallel_for_indexed(3, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(hits[i].load(), 1);
+    }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallel_for_indexed(100, [&](std::size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    // Indices 3 and 7 both throw; the lowest index must win regardless of
+    // which thread hit its exception first.
+    for (int round = 0; round < 10; ++round) {
+        try {
+            pool.parallel_for_indexed(16, [&](std::size_t i) {
+                if (i == 3 || i == 7) {
+                    throw std::runtime_error("boom " + std::to_string(i));
+                }
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& error) {
+            EXPECT_STREQ(error.what(), "boom 3");
+        }
+    }
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbandonRemainingIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    EXPECT_THROW(pool.parallel_for_indexed(64,
+                                           [&](std::size_t i) {
+                                               hits[i].fetch_add(1);
+                                               if (i == 0) {
+                                                   throw std::runtime_error(
+                                                       "first");
+                                               }
+                                           }),
+                 std::runtime_error);
+    // The batch drains fully before rethrow: every index still ran once.
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ResolveJobs, ExplicitRequestPassesThrough)
+{
+    EXPECT_EQ(resolve_jobs(1), 1u);
+    EXPECT_EQ(resolve_jobs(8), 8u);
+}
+
+TEST(ResolveJobs, EnvOverrideAppliesWhenAuto)
+{
+    ASSERT_EQ(setenv("CPA_JOBS", "5", 1), 0);
+    EXPECT_EQ(resolve_jobs(0), 5u);
+    EXPECT_EQ(resolve_jobs(2), 2u); // explicit beats env
+    ASSERT_EQ(setenv("CPA_JOBS", "0", 1), 0);
+    EXPECT_GE(resolve_jobs(0), 1u); // invalid env falls back to hardware
+    ASSERT_EQ(unsetenv("CPA_JOBS"), 0);
+    EXPECT_GE(resolve_jobs(0), 1u);
+}
+
+} // namespace
+} // namespace cpa::util
