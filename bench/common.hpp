@@ -91,7 +91,26 @@ public:
             entry.set("seconds", obs::JsonValue(seconds));
             section_list.push(std::move(entry));
         }
-        report.set_metrics(obs::MetricsRegistry::global().snapshot());
+
+        // Wall-clock histograms injected directly into the snapshot (not
+        // via the registry) so they appear even when the bench runs with
+        // metrics disabled (analysis_perf) — the schema requires p50/p90/
+        // p99 in every BENCH_*.json. "_ns" marks them as noise for
+        // bench_compare.py.
+        obs::MetricsSnapshot snapshot =
+            obs::MetricsRegistry::global().snapshot();
+        obs::HistogramData total_hist;
+        total_hist.record(static_cast<std::int64_t>(total_seconds * 1e9));
+        snapshot.histograms["bench.total_ns"] = total_hist.stat();
+        if (!sections_.empty()) {
+            obs::HistogramData section_hist;
+            for (const auto& [section_name, seconds] : sections_) {
+                section_hist.record(
+                    static_cast<std::int64_t>(seconds * 1e9));
+            }
+            snapshot.histograms["bench.section_ns"] = section_hist.stat();
+        }
+        report.set_metrics(snapshot);
 
         std::filesystem::path dir = ".";
         if (const char* env_dir = std::getenv("CPA_BENCH_JSON_DIR");

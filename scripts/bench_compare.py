@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate: compare a bench run against a baseline.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--wall-tolerance 0.5]
+
+BASELINE and CURRENT are each either a consolidated history entry written
+by bench_history.py (one JSON file with a "benches" map) or a directory of
+raw BENCH_*.json reports. Every bench present in the baseline must also be
+present in the current run.
+
+Two classes of comparison, matching the determinism contract of the trial
+engine (docs/architecture.md):
+
+  HARD GATE (any mismatch fails the run, exit 1):
+    * metrics.counters          — exact equality
+    * metrics.gauges            — exact equality
+    * metrics.timers.*.count    — exact equality (total_ns is wall clock)
+    * metrics.histograms counts — exact equality for every histogram
+    * metrics.histograms values — exact equality for histograms whose name
+      does NOT end in "_ns" (iteration-count distributions are
+      deterministic; wall-clock latency histograms are not)
+
+  ADVISORY (reported, never fails — wall clock is noisy on shared CI):
+    * total_seconds / elapsed_ms exceeding baseline * (1 + tolerance)
+    * per-timer total_ns exceeding the same threshold
+
+The advisory threshold defaults to 0.5 (50% slower than baseline before a
+warning prints); tune with --wall-tolerance. Exit 0 when the hard gate
+passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HISTOGRAM_VALUE_KEYS = ("sum", "min", "max", "p50", "p90", "p99")
+
+
+def load_run(path):
+    """Returns {bench name: report} from a history entry or a directory."""
+    path = Path(path)
+    if path.is_dir():
+        reports = {}
+        for report_path in sorted(path.glob("BENCH_*.json")):
+            with open(report_path) as handle:
+                report = json.load(handle)
+            reports[report["bench"]] = report
+        return reports
+    with open(path) as handle:
+        entry = json.load(handle)
+    if "benches" in entry:
+        return entry["benches"]
+    return {entry["bench"]: entry}
+
+
+class Gate:
+    def __init__(self, wall_tolerance):
+        self.wall_tolerance = wall_tolerance
+        self.failures = []
+        self.advisories = []
+
+    def hard(self, where, base, cur):
+        if base != cur:
+            self.failures.append(f"{where}: baseline {base!r}, got {cur!r}")
+
+    def wall(self, where, base, cur):
+        if base is None or cur is None:
+            return
+        threshold = base * (1.0 + self.wall_tolerance)
+        if base > 0 and cur > threshold:
+            self.advisories.append(
+                f"{where}: {cur} vs baseline {base} "
+                f"(+{(cur / base - 1.0) * 100.0:.0f}%, advisory only)")
+
+    def compare_bench(self, name, base, cur):
+        where = f"[{name}]"
+        base_metrics = base.get("metrics", {})
+        cur_metrics = cur.get("metrics", {})
+
+        for group in ("counters", "gauges"):
+            self.compare_int_map(f"{where} {group}",
+                                 base_metrics.get(group, {}),
+                                 cur_metrics.get(group, {}))
+
+        base_timers = base_metrics.get("timers", {})
+        cur_timers = cur_metrics.get("timers", {})
+        for timer in sorted(set(base_timers) | set(cur_timers)):
+            tw = f"{where} timers[{timer!r}]"
+            if timer not in cur_timers:
+                self.failures.append(f"{tw}: missing from current run")
+                continue
+            if timer not in base_timers:
+                self.failures.append(f"{tw}: not in baseline (new metric — "
+                                     "refresh the baseline)")
+                continue
+            self.hard(f"{tw}.count", base_timers[timer].get("count"),
+                      cur_timers[timer].get("count"))
+            self.wall(f"{tw}.total_ns", base_timers[timer].get("total_ns"),
+                      cur_timers[timer].get("total_ns"))
+
+        base_hists = base_metrics.get("histograms", {})
+        cur_hists = cur_metrics.get("histograms", {})
+        for hist in sorted(set(base_hists) | set(cur_hists)):
+            hw = f"{where} histograms[{hist!r}]"
+            if hist not in cur_hists:
+                self.failures.append(f"{hw}: missing from current run")
+                continue
+            if hist not in base_hists:
+                self.failures.append(f"{hw}: not in baseline (new metric — "
+                                     "refresh the baseline)")
+                continue
+            self.hard(f"{hw}.count", base_hists[hist].get("count"),
+                      cur_hists[hist].get("count"))
+            if not hist.endswith("_ns"):
+                for key in HISTOGRAM_VALUE_KEYS:
+                    self.hard(f"{hw}.{key}", base_hists[hist].get(key),
+                              cur_hists[hist].get(key))
+
+        self.wall(f"{where} elapsed_ms", base.get("elapsed_ms"),
+                  cur.get("elapsed_ms"))
+        self.wall(f"{where} total_seconds", base.get("total_seconds"),
+                  cur.get("total_seconds"))
+
+    def compare_int_map(self, where, base, cur):
+        for key in sorted(set(base) | set(cur)):
+            if key not in cur:
+                self.failures.append(f"{where}[{key!r}]: missing from "
+                                     "current run")
+            elif key not in base:
+                self.failures.append(f"{where}[{key!r}]: not in baseline "
+                                     "(new metric — refresh the baseline)")
+            else:
+                self.hard(f"{where}[{key!r}]", base[key], cur[key])
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_compare",
+        description="Gate the current bench run against a baseline.")
+    parser.add_argument("baseline", help="history entry file or bench dir")
+    parser.add_argument("current", help="history entry file or bench dir")
+    parser.add_argument("--wall-tolerance", type=float, default=0.5,
+                        help="advisory wall-clock slowdown threshold "
+                             "(fraction, default 0.5 = +50%%)")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        baseline = load_run(args.baseline)
+        current = load_run(args.current)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"bench_compare: cannot load runs: {error!r}", file=sys.stderr)
+        return 1
+    if not baseline:
+        print(f"bench_compare: no benches in baseline {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    gate = Gate(args.wall_tolerance)
+    for name in sorted(baseline):
+        if name not in current:
+            gate.failures.append(f"[{name}]: bench missing from current run")
+            continue
+        gate.compare_bench(name, baseline[name], current[name])
+    for name in sorted(set(current) - set(baseline)):
+        print(f"bench_compare: note: [{name}] not in baseline (skipped)")
+
+    for line in gate.advisories:
+        print(f"bench_compare: advisory: {line}")
+    if gate.failures:
+        for line in gate.failures:
+            print(f"bench_compare: FAIL: {line}", file=sys.stderr)
+        print(f"bench_compare: {len(gate.failures)} deterministic "
+              "regression(s) against the baseline", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {len(baseline)} bench(es) match the baseline "
+          f"({len(gate.advisories)} wall-clock advisory/ies)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Self-test for bench_compare.py and bench_history.py (stdlib unittest).
+
+The load-bearing property: an injected deterministic-counter regression
+must FAIL the gate, while wall-clock noise (slower elapsed_ms, different
+_ns histogram value statistics) must PASS it — otherwise the gate is either
+blind or flaky.
+"""
+
+import io
+import json
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_compare  # noqa: E402
+import bench_history  # noqa: E402
+
+
+def make_report(bench="fig2_core_utilization", sha="a" * 40):
+    return {
+        "schema_version": 2,
+        "tool": "bench",
+        "provenance": {
+            "version": "1.0.0",
+            "git_sha": sha,
+            "git_dirty": "clean",
+            "compiler": "GNU 12.2.0",
+            "build_type": "Release",
+            "obs": True,
+            "check": True,
+            "sanitize": "",
+        },
+        "bench": bench,
+        "total_seconds": 1.0,
+        "elapsed_ms": 1000,
+        "jobs": 4,
+        "sections": [{"name": "sweep", "seconds": 1.0}],
+        "metrics": {
+            "counters": {"wcrt.calls": 320, "wcrt.outer_iterations": 2100},
+            "gauges": {"tables.tasks": 32},
+            "timers": {"wcrt.compute": {"total_ns": 900000, "count": 320}},
+            "histograms": {
+                "bench.total_ns": {"count": 1, "sum": 10 ** 9,
+                                   "min": 10 ** 9, "max": 10 ** 9,
+                                   "p50": 10 ** 9, "p90": 10 ** 9,
+                                   "p99": 10 ** 9},
+                "trial.wall_ns": {"count": 80, "sum": 800000, "min": 5000,
+                                  "max": 30000, "p50": 8191, "p90": 16383,
+                                  "p99": 30000},
+                "wcrt.inner_iterations_per_call": {
+                    "count": 320, "sum": 4800, "min": 1, "max": 90,
+                    "p50": 15, "p90": 31, "p99": 63},
+            },
+        },
+    }
+
+
+def run_compare(baseline_dir, current_dir, extra=()):
+    out = io.StringIO()
+    err = io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = bench_compare.main(
+            ["bench_compare", str(baseline_dir), str(current_dir)]
+            + list(extra))
+    return code, out.getvalue(), err.getvalue()
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.base_dir = root / "baseline"
+        self.cur_dir = root / "current"
+        self.base_dir.mkdir()
+        self.cur_dir.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, directory, report):
+        path = directory / f"BENCH_{report['bench']}.json"
+        path.write_text(json.dumps(report) + "\n")
+        return path
+
+    def test_identical_runs_pass(self):
+        self.write(self.base_dir, make_report())
+        self.write(self.cur_dir, make_report())
+        code, out, _ = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("match the baseline", out)
+
+    def test_injected_counter_regression_fails(self):
+        self.write(self.base_dir, make_report())
+        regressed = make_report()
+        regressed["metrics"]["counters"]["wcrt.outer_iterations"] += 150
+        self.write(self.cur_dir, regressed)
+        code, _, err = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("wcrt.outer_iterations", err)
+
+    def test_wall_clock_noise_passes(self):
+        self.write(self.base_dir, make_report())
+        noisy = make_report()
+        # Twice as slow, different latency statistics: all wall clock.
+        noisy["elapsed_ms"] = 2000
+        noisy["total_seconds"] = 2.0
+        noisy["metrics"]["timers"]["wcrt.compute"]["total_ns"] = 1800000
+        wall = noisy["metrics"]["histograms"]["trial.wall_ns"]
+        for key in ("sum", "min", "max", "p50", "p90", "p99"):
+            wall[key] *= 2
+        self.write(self.cur_dir, noisy)
+        code, out, _ = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("advisory", out)  # slower, but never a failure
+
+    def test_wall_clock_within_tolerance_has_no_advisory(self):
+        self.write(self.base_dir, make_report())
+        slightly = make_report()
+        slightly["elapsed_ms"] = 1100  # +10% < default 50% tolerance
+        self.write(self.cur_dir, slightly)
+        code, out, _ = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 0)
+        self.assertNotIn("advisory:", out)
+
+    def test_deterministic_histogram_value_change_fails(self):
+        self.write(self.base_dir, make_report())
+        regressed = make_report()
+        hist = regressed["metrics"]["histograms"]
+        hist["wcrt.inner_iterations_per_call"]["p90"] = 127
+        self.write(self.cur_dir, regressed)
+        code, _, err = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("wcrt.inner_iterations_per_call", err)
+
+    def test_wall_histogram_count_change_fails(self):
+        # Counts are deterministic even for latency histograms: a different
+        # sample count means work was added or lost, not noise.
+        self.write(self.base_dir, make_report())
+        regressed = make_report()
+        regressed["metrics"]["histograms"]["trial.wall_ns"]["count"] = 79
+        self.write(self.cur_dir, regressed)
+        code, _, err = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("trial.wall_ns", err)
+
+    def test_missing_bench_fails(self):
+        self.write(self.base_dir, make_report())
+        self.write(self.base_dir, make_report(bench="soundness_sim"))
+        self.write(self.cur_dir, make_report())
+        code, _, err = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("soundness_sim", err)
+
+    def test_extra_bench_in_current_is_noted_not_failed(self):
+        self.write(self.base_dir, make_report())
+        self.write(self.cur_dir, make_report())
+        self.write(self.cur_dir, make_report(bench="soundness_sim"))
+        code, out, _ = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("not in baseline", out)
+
+    def test_missing_counter_fails(self):
+        self.write(self.base_dir, make_report())
+        regressed = make_report()
+        del regressed["metrics"]["counters"]["wcrt.calls"]
+        self.write(self.cur_dir, regressed)
+        code, _, err = run_compare(self.base_dir, self.cur_dir)
+        self.assertEqual(code, 1)
+        self.assertIn("wcrt.calls", err)
+
+    def test_history_entry_as_baseline(self):
+        # The committed baseline is a bench_history.py consolidated entry;
+        # the gate must accept it directly against a raw bench directory.
+        self.write(self.base_dir, make_report())
+        entry_path = Path(self._tmp.name) / "baseline-entry.json"
+        code = bench_history.main(["bench_history", str(self.base_dir),
+                                   "--out", str(entry_path)])
+        self.assertEqual(code, 0)
+        self.write(self.cur_dir, make_report())
+        code, out, _ = run_compare(entry_path, self.cur_dir)
+        self.assertEqual(code, 0)
+        self.assertIn("match the baseline", out)
+
+    def test_history_keys_entry_by_sha(self):
+        self.write(self.base_dir, make_report())
+        out_dir = Path(self._tmp.name) / "history"
+        code = bench_history.main(["bench_history", str(self.base_dir),
+                                   "--out-dir", str(out_dir)])
+        self.assertEqual(code, 0)
+        entry_path = out_dir / f"run-{'a' * 12}.json"
+        self.assertTrue(entry_path.exists())
+        entry = json.loads(entry_path.read_text())
+        self.assertEqual(entry["git_sha"], "a" * 40)
+        self.assertIn("fig2_core_utilization", entry["benches"])
+        self.assertEqual(entry["provenance"]["build_type"], "Release")
+
+    def test_history_rejects_mixed_shas(self):
+        self.write(self.base_dir, make_report())
+        self.write(self.base_dir,
+                   make_report(bench="soundness_sim", sha="b" * 40))
+        err = io.StringIO()
+        with redirect_stderr(err):
+            code = bench_history.main(
+                ["bench_history", str(self.base_dir),
+                 "--out-dir", str(Path(self._tmp.name) / "history")])
+        self.assertEqual(code, 1)
+        self.assertIn("multiple commits", err.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Append a bench run to the perf-trajectory history.
+
+Usage:
+    bench_history.py BENCH_JSON_DIR [--out-dir bench/history] [--out FILE]
+
+Collects every BENCH_*.json in BENCH_JSON_DIR into one consolidated run
+entry keyed by the git SHA from the reports' provenance block:
+
+    {
+      "schema_version": 1,
+      "git_sha": "<sha>",
+      "provenance": { ...first report's provenance... },
+      "benches": { "<bench name>": <full BENCH report>, ... }
+    }
+
+and writes it to <out-dir>/run-<sha12>.json (pretty-printed, stable key
+order, so history diffs review like code). Re-running at the same SHA
+overwrites that SHA's entry — the history tracks one snapshot per commit,
+not per invocation. With --out FILE the entry is written to FILE instead
+(used to refresh the committed baseline, e.g.
+bench/history/baseline-small.json).
+
+Every report in the directory must carry the same git_sha; mixing runs from
+different commits into one entry would make the trajectory meaningless.
+Exit 0 on success, 1 on any error. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(message):
+    print(f"bench_history: {message}", file=sys.stderr)
+    return 1
+
+
+def load_reports(bench_dir):
+    reports = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        with open(path) as handle:
+            report = json.load(handle)
+        bench = report.get("bench")
+        if not isinstance(bench, str) or not bench:
+            raise ValueError(f"{path}: missing bench name")
+        reports[bench] = report
+    return reports
+
+
+def build_entry(reports):
+    shas = {report.get("provenance", {}).get("git_sha", "unknown")
+            for report in reports.values()}
+    if len(shas) > 1:
+        raise ValueError(f"reports span multiple commits: {sorted(shas)}")
+    sha = shas.pop()
+    provenance = next(iter(reports.values())).get("provenance", {})
+    return {
+        "schema_version": 1,
+        "git_sha": sha,
+        "provenance": provenance,
+        "benches": {name: reports[name] for name in sorted(reports)},
+    }
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_history",
+        description="Append a bench run to bench/history/.")
+    parser.add_argument("bench_dir", type=Path,
+                        help="directory containing BENCH_*.json reports")
+    parser.add_argument("--out-dir", type=Path,
+                        default=Path("bench/history"),
+                        help="history directory (default: bench/history)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the entry to this exact file instead")
+    args = parser.parse_args(argv[1:])
+
+    if not args.bench_dir.is_dir():
+        return fail(f"{args.bench_dir} is not a directory")
+    try:
+        reports = load_reports(args.bench_dir)
+    except (OSError, ValueError) as error:
+        return fail(str(error))
+    if not reports:
+        return fail(f"no BENCH_*.json in {args.bench_dir}")
+
+    try:
+        entry = build_entry(reports)
+    except ValueError as error:
+        return fail(str(error))
+
+    if args.out is not None:
+        target = args.out
+    else:
+        sha12 = entry["git_sha"][:12] or "unknown"
+        target = args.out_dir / f"run-{sha12}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    print(f"bench_history: wrote {target} "
+          f"({len(entry['benches'])} bench(es), sha {entry['git_sha'][:12]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

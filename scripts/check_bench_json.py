@@ -8,8 +8,11 @@ Directories are scanned (non-recursively) for BENCH_*.json. Every file must
 be a single-line JSON object matching the RunReport schema documented in
 docs/observability.md:
 
-    schema_version : int == 1
+    schema_version : int == 2
     tool           : "bench"
+    provenance     : {"version": str, "git_sha": str, "git_dirty": str,
+                      "compiler": str, "build_type": str, "obs": bool,
+                      "check": bool, "sanitize": str}
     bench          : non-empty string
     total_seconds  : number >= 0
     elapsed_ms     : int >= 0 (wall clock, for speedup trajectories)
@@ -18,7 +21,16 @@ docs/observability.md:
     metrics        : {"counters": {str: int},
                       "gauges": {str: int},
                       "timers": {str: {"total_ns": int >= 0,
-                                       "count": int >= 0}}}
+                                       "count": int >= 0}},
+                      "histograms": {str: {"count": int >= 0, "sum": int,
+                                           "min": int, "max": int,
+                                           "p50": int >= 0, "p90": int >= 0,
+                                           "p99": int >= 0}}}
+
+Histogram percentiles must be non-negative and ordered
+(min <= p50 <= p90 <= p99 <= max when count > 0), and every bench report
+must carry the "bench.total_ns" histogram (the BenchReport emitter always
+injects it, even with metrics disabled).
 
 Exit status 0 when every report validates, 1 otherwise. Stdlib only.
 """
@@ -28,7 +40,12 @@ import math
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+HISTOGRAM_KEYS = ("count", "sum", "min", "max", "p50", "p90", "p99")
+PROVENANCE_STRING_KEYS = ("version", "git_sha", "git_dirty", "compiler",
+                          "build_type", "sanitize")
+PROVENANCE_BOOL_KEYS = ("obs", "check")
 
 
 def fail(path, message):
@@ -60,11 +77,56 @@ def check_int(path, value, what, minimum=None):
     return True
 
 
-def check_metrics(path, metrics):
+def check_histogram(path, what, stat):
+    if not isinstance(stat, dict):
+        return fail(path, f"{what} must be an object, got {stat!r}")
+    ok = True
+    for key in HISTOGRAM_KEYS:
+        if key not in stat:
+            ok = fail(path, f"{what}.{key} missing")
+    ok = check_int(path, stat.get("count", 0), f"{what}.count",
+                   minimum=0) and ok
+    for key in ("sum", "min", "max"):
+        ok = check_int(path, stat.get(key, 0), f"{what}.{key}") and ok
+    for key in ("p50", "p90", "p99"):
+        # Negative percentiles would mean the estimator escaped the
+        # observed-value envelope (all recorded samples are >= 0 here).
+        ok = check_int(path, stat.get(key, 0), f"{what}.{key}",
+                       minimum=0) and ok
+    if ok and stat["count"] > 0:
+        chain = [("min", stat["min"]), ("p50", stat["p50"]),
+                 ("p90", stat["p90"]), ("p99", stat["p99"]),
+                 ("max", stat["max"])]
+        for (lo_name, lo), (hi_name, hi) in zip(chain, chain[1:]):
+            if lo > hi:
+                ok = fail(path, f"{what}: {lo_name} ({lo}) > "
+                                f"{hi_name} ({hi})")
+    return ok
+
+
+def check_provenance(path, provenance):
+    if not isinstance(provenance, dict):
+        return fail(path,
+                    f"provenance must be an object, got {provenance!r}")
+    ok = True
+    for key in PROVENANCE_STRING_KEYS:
+        value = provenance.get(key)
+        if not isinstance(value, str):
+            ok = fail(path,
+                      f"provenance.{key} must be a string, got {value!r}")
+    for key in PROVENANCE_BOOL_KEYS:
+        value = provenance.get(key)
+        if not isinstance(value, bool):
+            ok = fail(path,
+                      f"provenance.{key} must be a boolean, got {value!r}")
+    return ok
+
+
+def check_metrics(path, metrics, require_bench_histograms=True):
     ok = True
     if not isinstance(metrics, dict):
         return fail(path, f"metrics must be an object, got {metrics!r}")
-    for group in ("counters", "gauges", "timers"):
+    for group in ("counters", "gauges", "timers", "histograms"):
         if group not in metrics:
             ok = fail(path, f"metrics.{group} missing")
     for group in ("counters", "gauges"):
@@ -79,6 +141,18 @@ def check_metrics(path, metrics):
                        minimum=0) and ok
         ok = check_int(path, stat.get("count"), f"{what}.count",
                        minimum=0) and ok
+    histograms = metrics.get("histograms")
+    if isinstance(histograms, dict):
+        for name, stat in histograms.items():
+            ok = check_histogram(path, f"metrics.histograms[{name!r}]",
+                                 stat) and ok
+        if require_bench_histograms and "bench.total_ns" not in histograms:
+            ok = fail(path, "metrics.histograms['bench.total_ns'] missing "
+                            "(every bench report carries its wall-time "
+                            "histogram)")
+    elif "histograms" in metrics:
+        ok = fail(path,
+                  f"metrics.histograms must be an object, got {histograms!r}")
     return ok
 
 
@@ -104,6 +178,10 @@ def check_report(path):
             f"got {report.get('schema_version')!r}")
     if report.get("tool") != "bench":
         ok = fail(path, f"tool must be 'bench', got {report.get('tool')!r}")
+    if "provenance" not in report:
+        ok = fail(path, "provenance missing")
+    else:
+        ok = check_provenance(path, report["provenance"]) and ok
     bench = report.get("bench")
     if not isinstance(bench, str) or not bench:
         ok = fail(path, f"bench must be a non-empty string, got {bench!r}")

@@ -16,10 +16,26 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import check_bench_json  # noqa: E402
 
 
+def valid_histogram(count=10, sum_=1000, min_=50, max_=200,
+                    p50=100, p90=180, p99=200):
+    return {"count": count, "sum": sum_, "min": min_, "max": max_,
+            "p50": p50, "p90": p90, "p99": p99}
+
+
 def valid_report(bench="demo"):
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "tool": "bench",
+        "provenance": {
+            "version": "1.0.0",
+            "git_sha": "0" * 40,
+            "git_dirty": "clean",
+            "compiler": "GNU 12.2.0",
+            "build_type": "Release",
+            "obs": True,
+            "check": True,
+            "sanitize": "",
+        },
         "bench": bench,
         "total_seconds": 1.25,
         "elapsed_ms": 1250,
@@ -29,6 +45,17 @@ def valid_report(bench="demo"):
             "counters": {"wcrt.calls": 10},
             "gauges": {"tables.tasks": 4},
             "timers": {"wcrt.compute": {"total_ns": 1000, "count": 10}},
+            "histograms": {
+                "bench.total_ns": valid_histogram(count=1, sum_=1250000000,
+                                                  min_=1250000000,
+                                                  max_=1250000000,
+                                                  p50=1250000000,
+                                                  p90=1250000000,
+                                                  p99=1250000000),
+                "wcrt.compute_ns": valid_histogram(),
+                "wcrt.inner_iterations_per_call": valid_histogram(
+                    sum_=120, min_=2, max_=40, p50=7, p90=31, p99=40),
+            },
         },
     }
 
@@ -86,7 +113,7 @@ class CheckBenchJsonTest(unittest.TestCase):
 
     def test_wrong_schema_version_rejected(self):
         report = valid_report()
-        report["schema_version"] = 2
+        report["schema_version"] = 1
         self.assertFalse(check_bench_json.check_report(self.write(report)))
 
     def test_mismatched_file_name_rejected(self):
@@ -124,6 +151,59 @@ class CheckBenchJsonTest(unittest.TestCase):
         report = valid_report()
         del report["metrics"]
         self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_missing_provenance_rejected(self):
+        report = valid_report()
+        del report["provenance"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_non_string_git_sha_rejected(self):
+        report = valid_report()
+        report["provenance"]["git_sha"] = 12345
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_non_bool_obs_flag_rejected(self):
+        report = valid_report()
+        report["provenance"]["obs"] = "on"
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_missing_histograms_group_rejected(self):
+        report = valid_report()
+        del report["metrics"]["histograms"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_missing_bench_total_histogram_rejected(self):
+        report = valid_report()
+        del report["metrics"]["histograms"]["bench.total_ns"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_negative_percentile_rejected(self):
+        report = valid_report()
+        report["metrics"]["histograms"]["wcrt.compute_ns"]["p90"] = -1
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_unordered_percentiles_rejected(self):
+        report = valid_report()
+        hist = report["metrics"]["histograms"]["wcrt.compute_ns"]
+        hist["p50"], hist["p99"] = hist["p99"], hist["p50"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_percentile_above_max_rejected(self):
+        report = valid_report()
+        hist = report["metrics"]["histograms"]["wcrt.compute_ns"]
+        hist["p99"] = hist["max"] + 1
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_missing_histogram_key_rejected(self):
+        report = valid_report()
+        del report["metrics"]["histograms"]["wcrt.compute_ns"]["p50"]
+        self.assertFalse(check_bench_json.check_report(self.write(report)))
+
+    def test_empty_histogram_passes(self):
+        report = valid_report()
+        report["metrics"]["histograms"]["wcrt.compute_ns"] = valid_histogram(
+            count=0, sum_=0, min_=0, max_=0, p50=0, p90=0, p99=0)
+        self.assertTrue(check_bench_json.check_report(self.write(report)))
 
     def test_main_flags_invalid_file(self):
         report = valid_report()

@@ -12,7 +12,13 @@ normalized away:
     total_seconds, elapsed_ms         (wall clock)
     sections[].seconds                (wall clock)
     metrics.timers.*.total_ns         (wall clock; counts are kept)
+    metrics.histograms.<name>_ns.*    (wall-clock latency histograms; the
+                                       sample counts are kept, the value
+                                       statistics are zeroed)
     jobs                              (the quantity under test)
+
+Histograms NOT ending in "_ns" (e.g. wcrt.inner_iterations_per_call) are
+deterministic iteration-count distributions and must match exactly.
 
 Everything else — counters, gauges, timer counts, schedulability results,
 config echoes — must match exactly: that is the serial == parallel contract
@@ -25,6 +31,8 @@ import sys
 from pathlib import Path
 
 WALL_CLOCK_KEYS = {"total_seconds", "elapsed_ms", "jobs"}
+# Value statistics of a wall-clock histogram; "count" stays significant.
+HISTOGRAM_VALUE_KEYS = {"sum", "min", "max", "p50", "p90", "p99"}
 
 
 def normalize(value, key=None):
@@ -33,6 +41,10 @@ def normalize(value, key=None):
         for k, v in value.items():
             if k in WALL_CLOCK_KEYS or k == "total_ns" or k == "seconds":
                 out[k] = 0
+            elif (isinstance(k, str) and k.endswith("_ns")
+                    and isinstance(v, dict)):
+                out[k] = {hk: (0 if hk in HISTOGRAM_VALUE_KEYS else hv)
+                          for hk, hv in v.items()}
             else:
                 out[k] = normalize(v, k)
         return out

@@ -17,6 +17,7 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                                        CrpdMethod method)
 {
     CPA_SCOPED_TIMER("tables.build");
+    CPA_PROFILE_SPAN("tables.build");
     CPA_COUNT("tables.builds");
     const std::size_t n = ts.size();
     gamma_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));

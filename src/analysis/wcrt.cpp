@@ -45,6 +45,7 @@ Cycles inner_fixed_point(const tasks::TaskSet& ts,
                          const std::vector<Cycles>& response,
                          std::size_t& iterations_used)
 {
+    CPA_PROFILE_SPAN_ARG("wcrt.inner", "task", i);
     const tasks::Task& task = ts[i];
     const Cycles start =
         std::max(response[i], task.isolated_demand(platform.d_mem));
@@ -104,6 +105,13 @@ void record_metrics(const WcrtResult& result)
                   static_cast<std::int64_t>(result.outer_iterations));
     CPA_COUNT_ADD("wcrt.inner_iterations",
                   static_cast<std::int64_t>(result.inner_iterations));
+    // Per-call iteration distributions (deterministic — no "_ns" suffix —
+    // so bench_compare.py hard-gates them): how hard the fixed points had
+    // to work, not just the totals.
+    CPA_HISTOGRAM("wcrt.outer_iterations_per_call",
+                  static_cast<std::int64_t>(result.outer_iterations));
+    CPA_HISTOGRAM("wcrt.inner_iterations_per_call",
+                  static_cast<std::int64_t>(result.inner_iterations));
     if (!result.schedulable) {
         CPA_COUNT("wcrt.unschedulable");
     }
@@ -121,6 +129,7 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
             "compute_wcrt: task set uses more cores than the platform has");
     }
     CPA_SCOPED_TIMER("wcrt.compute");
+    CPA_PROFILE_SPAN("wcrt.compute");
     WcrtResult result;
     const std::size_t n = ts.size();
     result.response.resize(n);
@@ -133,6 +142,7 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
     const BusContentionAnalysis bounds(ts, platform, config, tables);
 
     for (std::size_t outer = 0; outer < kMaxOuterIterations; ++outer) {
+        CPA_PROFILE_SPAN_ARG("wcrt.outer", "iter", outer + 1);
         result.outer_iterations = outer + 1;
         bool changed = false;
         std::size_t inner_this_round = 0;

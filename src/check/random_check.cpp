@@ -7,6 +7,7 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -52,7 +53,7 @@ RandomCheckResult run_random_checks(const RandomCheckConfig& config)
     std::vector<TrialOutcome> outcomes(config.trials);
 
     util::ThreadPool threads(util::resolve_jobs(config.jobs));
-    obs::run_indexed_trials(threads, config.trials, [&](std::size_t trial) {
+    const auto run_trial = [&](std::size_t trial) {
         TrialOutcome& outcome = outcomes[trial];
         outcome.seed = util::seed_for(config.seed, trial);
         util::Rng rng(outcome.seed);
@@ -92,7 +93,24 @@ RandomCheckResult run_random_checks(const RandomCheckConfig& config)
         outcome.checks_run = trial_result.checks_run;
         outcome.violations = std::move(trial_result.violations);
         CPA_COUNT("check.trials");
-    });
+    };
+    if (!config.progress) {
+        obs::run_indexed_trials(threads, config.trials, run_trial);
+    } else {
+        // Index-ordered batches sized to keep the pool saturated while
+        // still yielding progress events; batch b covers global trials
+        // [b*chunk, b*chunk+n), so seeds and flush order match the
+        // single-batch path exactly.
+        const std::size_t chunk =
+            std::max<std::size_t>(std::size_t{4} * threads.jobs(), 1);
+        for (std::size_t begin = 0; begin < config.trials; begin += chunk) {
+            const std::size_t n = std::min(chunk, config.trials - begin);
+            obs::run_indexed_trials(threads, n, [&](std::size_t offset) {
+                run_trial(begin + offset);
+            });
+            config.progress(begin + n, config.trials);
+        }
+    }
 
     RandomCheckResult result;
     for (std::size_t trial = 0; trial < config.trials; ++trial) {

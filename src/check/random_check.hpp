@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +37,12 @@ struct RandomCheckConfig {
     // (CPA_JOBS env, then hardware concurrency). Trials seed from their
     // index, so the result is identical for every value.
     std::size_t jobs = 0;
+    // Optional progress observer, called from the orchestrator thread with
+    // (trials_done, trials_total) as trial batches complete. When set, the
+    // trial loop runs in index-ordered batches so there is something to
+    // report between start and finish; results are identical either way
+    // (trials seed from their global index and flush in index order).
+    std::function<void(std::size_t done, std::size_t total)> progress;
     CheckOptions options;
 };
 

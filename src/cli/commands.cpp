@@ -8,6 +8,7 @@
 #include "check/random_check.hpp"
 #include "experiments/sweep.hpp"
 #include "cli/taskset_io.hpp"
+#include "obs/build_info.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
 #include "sim/simulator.hpp"
@@ -15,7 +16,9 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -47,6 +50,7 @@ usage:
   cpa check    [--seed S] [--trials N] [--cores N] [--tasks-per-core N]
                [--cache-sets N] [--min-utilization U] [--max-utilization U]
                [--jobs N] [--skip-sim] [--fail-on-violation] [--list]
+  cpa version  [--json]
   cpa help
 
 `--jobs N` sets the trial-loop worker count (default: the CPA_JOBS
@@ -62,9 +66,16 @@ catalog.
 
 observability (analyze, simulate, sweep, check; see docs/observability.md):
   --metrics-out FILE   write a JSON run report (iteration counts, per-
-                       arbiter BAT stats, timers); FILE '-' = stdout
+                       arbiter BAT stats, timers, latency histograms);
+                       FILE '-' = stdout
   --trace SUBSYS[,..]  stream NDJSON trace events to stderr; subsystems:
                        wcrt, bus, sweep, sim, or 'all'
+  --profile-out FILE   record hierarchical phase spans (WCRT fixed points,
+                       table builds, trials, simulator) and write a Chrome
+                       Trace Event JSON file — open in Perfetto
+                       (https://ui.perfetto.dev) or chrome://tracing
+  --progress           (sweep, check) print trial-count + ETA lines to
+                       stderr; stdout stays byte-identical
 
 Flags accept both '--key value' and '--key=value'. The task-set file format
 is documented in docs/file-format.md.
@@ -132,9 +143,23 @@ private:
 class ObsSession {
 public:
     ObsSession(const std::string& metrics_out, const std::string& trace_spec,
-               std::ostream& err)
+               const std::string& profile_out, std::ostream& err)
         : metrics_requested_(!metrics_out.empty())
     {
+        if (!profile_out.empty()) {
+            // Open up front so a bad path fails before hours of sweep work;
+            // the trace itself is written in the destructor, once the
+            // command (and its thread pools) are done and the rings are
+            // quiescent.
+            profile_file_.open(profile_out);
+            if (!profile_file_) {
+                throw std::runtime_error("cannot write profile file '" +
+                                         profile_out + "'");
+            }
+            obs::Profiler::global().reset();
+            obs::Profiler::global().start();
+            profiling_ = true;
+        }
         if (!trace_spec.empty()) {
             std::set<std::string> subsystems;
             std::string current;
@@ -161,6 +186,10 @@ public:
 
     ~ObsSession()
     {
+        if (profiling_) {
+            obs::Profiler::global().stop();
+            obs::Profiler::global().write_chrome_trace(profile_file_);
+        }
         if (metrics_requested_) {
             obs::set_metrics_enabled(false);
         }
@@ -176,7 +205,35 @@ public:
 private:
     bool metrics_requested_ = false;
     bool trace_installed_ = false;
+    bool profiling_ = false;
+    std::ofstream profile_file_;
 };
+
+// Progress reporter for the long-running commands: plain lines on stderr
+// (never stdout — golden transcripts and determinism diffs compare stdout),
+// with an ETA extrapolated from the mean time per completed unit.
+[[nodiscard]] std::function<void(std::size_t, std::size_t)>
+make_progress_printer(std::ostream& err, const char* unit)
+{
+    const auto started = std::chrono::steady_clock::now();
+    return [&err, unit, started](std::size_t done, std::size_t total) {
+        const auto elapsed_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        const double fraction =
+            total == 0 ? 1.0
+                       : static_cast<double>(done) /
+                             static_cast<double>(total);
+        const double eta_s =
+            fraction > 0.0 ? static_cast<double>(elapsed_ms) / 1000.0 *
+                                 (1.0 - fraction) / fraction
+                           : 0.0;
+        err << "progress: " << done << '/' << total << ' ' << unit << " ("
+            << static_cast<int>(fraction * 100.0) << "%), eta "
+            << util::TextTable::num(eta_s, 1) << "s\n";
+    };
+}
 
 // Writes the run report to `path` ('-' = the command's output stream). The
 // metrics snapshot is taken here, after the command's work is done.
@@ -225,8 +282,9 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
     const bool sim_check = flags.take_switch("--sim-check");
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
+    const std::string profile_out = flags.take("--profile-out", "");
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, err);
+    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
 
     const ParsedSystem parsed = parse_task_set_file(path);
     if (report && parsed.l2.has_value()) {
@@ -424,8 +482,9 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
     const bool hyperperiod = flags.take_switch("--hyperperiod");
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
+    const std::string profile_out = flags.take("--profile-out", "");
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, err);
+    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
     if (horizon_periods <= 0) {
         throw std::runtime_error("--horizon-periods must be positive");
     }
@@ -532,8 +591,12 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
     const bool csv = flags.take_switch("--csv");
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
+    const std::string profile_out = flags.take("--profile-out", "");
+    if (flags.take_switch("--progress")) {
+        sweep_config.progress = make_progress_printer(err, "points");
+    }
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, err);
+    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
 
     analysis::PlatformConfig platform;
     platform.num_cores = generation.num_cores;
@@ -581,6 +644,28 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
                 obs::JsonValue(static_cast<std::int64_t>(sweep_config.seed)));
         write_run_report(run_report, metrics_out, out);
     }
+    return 0;
+}
+
+int cmd_version(Flags flags, std::ostream& out)
+{
+    const bool json = flags.take_switch("--json");
+    flags.expect_empty();
+    const obs::BuildInfo& info = obs::build_info();
+    if (json) {
+        // The same provenance block every run report embeds, so tooling can
+        // key bench history off `cpa version --json` output directly.
+        obs::provenance_json().write(out);
+        out << '\n';
+        return 0;
+    }
+    out << "cpa " << info.version << " (" << info.git_sha << ", "
+        << info.git_dirty << ")\n"
+        << "compiler: " << info.compiler << '\n'
+        << "build type: " << info.build_type << '\n'
+        << "features: obs=" << (info.obs ? "on" : "off")
+        << " check=" << (info.check ? "on" : "off") << " sanitize="
+        << (info.sanitize[0] == '\0' ? "off" : info.sanitize) << '\n';
     return 0;
 }
 
@@ -637,8 +722,12 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
     const bool fail_on_violation = flags.take_switch("--fail-on-violation");
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
+    const std::string profile_out = flags.take("--profile-out", "");
+    if (flags.take_switch("--progress")) {
+        config.progress = make_progress_printer(err, "trials");
+    }
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, err);
+    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
     AssertionSession assertion_session;
 
     const check::RandomCheckResult result = check::run_random_checks(config);
@@ -717,6 +806,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         if (command == "check") {
             return cmd_check(Flags({args.begin() + 1, args.end()}), out,
                              err);
+        }
+        if (command == "version" || command == "--version") {
+            return cmd_version(Flags({args.begin() + 1, args.end()}), out);
         }
         if (command == "analyze" || command == "simulate") {
             if (args.size() < 2 || args[1].rfind("--", 0) == 0) {

@@ -86,6 +86,7 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
 
     for (double u = sweep.u_min; u <= sweep.u_max + 1e-9; u += sweep.u_step) {
         CPA_SCOPED_TIMER("sweep.point");
+        CPA_PROFILE_SPAN_ARG("sweep.point", "index", points_done);
         const auto point_started = std::chrono::steady_clock::now();
         const std::size_t point_index = points_done;
         SweepPoint point;
@@ -134,6 +135,9 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
         }
 
         points_done += 1;
+        if (sweep.progress) {
+            sweep.progress(points_done, total_points);
+        }
         CPA_COUNT("sweep.points");
         CPA_COUNT_ADD("sweep.task_sets",
                       static_cast<std::int64_t>(sweep.task_sets_per_point));

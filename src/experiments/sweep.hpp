@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ struct SweepConfig {
     // value — each trial is seeded from its index (util::seed_for) and
     // writes into its own slot.
     std::size_t jobs = 0;
+    // Optional progress observer, called from the orchestrator thread after
+    // each finished sweep point with (points_done, total_points). Pure
+    // reporting — it cannot influence results. `cpa sweep --progress`
+    // routes this to stderr so golden stdout transcripts stay identical.
+    std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
 struct SweepPoint {

@@ -1,0 +1,24 @@
+// Build provenance captured at configure time (git SHA, compiler, build
+// type, feature gates). The definitions live in build_info.cpp, generated
+// by CMake from build_info.cpp.in into the build tree, so reports and
+// `cpa version --json` can state exactly which build produced them —
+// the key the bench-trajectory history (scripts/bench_history.py) files
+// runs under.
+#pragma once
+
+namespace cpa::obs {
+
+struct BuildInfo {
+    const char* version;    // project version (CMake project() VERSION)
+    const char* git_sha;    // full commit SHA, "unknown" outside a checkout
+    const char* git_dirty;  // "clean", "dirty", or "unknown"
+    const char* compiler;   // "<id> <version>", e.g. "GNU 13.2.0"
+    const char* build_type; // CMAKE_BUILD_TYPE, e.g. "Release"
+    bool obs;               // CPA_OBS: observability layer compiled in
+    bool check;             // CPA_CHECK: analytical assertions compiled in
+    const char* sanitize;   // CPA_SANITIZE value, "" when off
+};
+
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+} // namespace cpa::obs

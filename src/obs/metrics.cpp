@@ -1,5 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace cpa::obs {
 
 namespace {
@@ -52,6 +55,113 @@ ScopedMetricsBuffer::~ScopedMetricsBuffer()
     t_metrics_buffer = previous_;
 }
 
+void HistogramData::record(std::int64_t value) noexcept
+{
+    if (count == 0) {
+        min = value;
+        max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    count += 1;
+    sum += value;
+    buckets[histogram_bucket(value)] += 1;
+}
+
+namespace {
+
+// Shared percentile math over raw bucket counts: for rank q*count, walk the
+// cumulative distribution and report the bucket's upper bound, clamped to
+// the exact [min, max] envelope so estimates never escape observed values.
+HistogramStat stat_from_buckets(
+    std::int64_t count, std::int64_t sum, std::int64_t min, std::int64_t max,
+    const std::array<std::int64_t, HistogramData::kBuckets>& buckets)
+{
+    HistogramStat stat;
+    stat.count = count;
+    stat.sum = sum;
+    if (count <= 0) {
+        return stat;
+    }
+    stat.min = min;
+    stat.max = max;
+
+    const auto percentile = [&](double q) {
+        const auto rank = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   std::ceil(q * static_cast<double>(count))));
+        std::int64_t cumulative = 0;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            cumulative += buckets[i];
+            if (cumulative >= rank) {
+                // Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
+                const std::int64_t upper =
+                    i == 0 ? 0
+                           : static_cast<std::int64_t>(
+                                 (std::uint64_t{1} << std::min<std::size_t>(
+                                      i, 62)) -
+                                 1);
+                return std::clamp(upper, min, max);
+            }
+        }
+        return max;
+    };
+    stat.p50 = percentile(0.50);
+    stat.p90 = percentile(0.90);
+    stat.p99 = percentile(0.99);
+    return stat;
+}
+
+} // namespace
+
+HistogramStat HistogramData::stat() const noexcept
+{
+    return stat_from_buckets(count, sum, count > 0 ? min : 0,
+                             count > 0 ? max : 0, buckets);
+}
+
+void Histogram::merge(const HistogramData& data) noexcept
+{
+    if (data.count == 0) {
+        return;
+    }
+    count_.fetch_add(data.count, std::memory_order_relaxed);
+    sum_.fetch_add(data.sum, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+        if (data.buckets[i] != 0) {
+            buckets_[i].fetch_add(data.buckets[i],
+                                  std::memory_order_relaxed);
+        }
+    }
+    update_min(data.min);
+    update_max(data.max);
+}
+
+HistogramStat Histogram::stat() const noexcept
+{
+    std::array<std::int64_t, HistogramData::kBuckets> buckets{};
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    const std::int64_t count = count_.load(std::memory_order_relaxed);
+    return stat_from_buckets(
+        count, sum_.load(std::memory_order_relaxed),
+        count > 0 ? min_.load(std::memory_order_relaxed) : 0,
+        count > 0 ? max_.load(std::memory_order_relaxed) : 0, buckets);
+}
+
+void Histogram::reset() noexcept
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(INT64_MAX, std::memory_order_relaxed);
+    max_.store(INT64_MIN, std::memory_order_relaxed);
+    for (auto& bucket : buckets_) {
+        bucket.store(0, std::memory_order_relaxed);
+    }
+}
+
 void MetricsBuffer::flush_to_global()
 {
     MetricsRegistry& registry = MetricsRegistry::global();
@@ -64,9 +174,13 @@ void MetricsBuffer::flush_to_global()
     for (const auto& [name, stat] : timers_) {
         registry.timer(name).add(stat.total_ns, stat.count);
     }
+    for (const auto& [name, data] : histograms_) {
+        registry.histogram(name).merge(data);
+    }
     counters_.clear();
     gauges_.clear();
     timers_.clear();
+    histograms_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::global()
@@ -93,6 +207,12 @@ Timer& MetricsRegistry::timer(std::string_view name)
     return find_or_create(timers_, name);
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name)
+{
+    util::MutexLock lock(mutex_);
+    return find_or_create(histograms_, name);
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const
 {
     util::MutexLock lock(mutex_);
@@ -106,6 +226,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const
     for (const auto& [name, timer] : timers_) {
         snap.timers.emplace(name,
                             TimerStat{timer->total_ns(), timer->count()});
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        snap.histograms.emplace(name, histogram->stat());
     }
     return snap;
 }
@@ -121,6 +244,9 @@ void MetricsRegistry::reset()
     }
     for (const auto& [name, timer] : timers_) {
         timer->reset();
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        histogram->reset();
     }
 }
 

@@ -14,7 +14,9 @@
 
 #include "util/thread_safety.hpp"
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -100,11 +102,101 @@ struct TimerStat {
     std::int64_t count = 0;
 };
 
+// Aggregated view of one histogram, as surfaced in reports. Percentiles are
+// upper-bound estimates from the log2 buckets, clamped to [min, max], so
+// p50 <= p90 <= p99 <= max always holds (schema-checked by
+// scripts/check_bench_json.py).
+struct HistogramStat {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::int64_t p50 = 0;
+    std::int64_t p90 = 0;
+    std::int64_t p99 = 0;
+};
+
+// Pre-aggregated histogram contribution: the raw bucket counts plus the
+// exact extrema, used by MetricsBuffer staging and by direct producers
+// (bench::BenchReport) that aggregate outside the registry.
+struct HistogramData {
+    static constexpr std::size_t kBuckets = 64;
+
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0; // only meaningful when count > 0
+    std::int64_t max = 0;
+    std::array<std::int64_t, kBuckets> buckets{};
+
+    void record(std::int64_t value) noexcept;
+    [[nodiscard]] HistogramStat stat() const noexcept;
+};
+
+// Maps a sample to its log2 bucket: bucket 0 holds values <= 0, bucket i
+// holds [2^(i-1), 2^i - 1]. Same spacing for the 200 ns inner solve and the
+// 2 s sweep point, which is what makes one histogram type serve latency
+// nanoseconds and iteration counts alike.
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::int64_t value) noexcept
+{
+    if (value <= 0) {
+        return 0;
+    }
+    return static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+// Concurrent log-bucketed histogram: relaxed atomic bucket counts plus
+// exact min/max/sum, so recording stays lock-free on the hot path while
+// snapshots can derive p50/p90/p99 bounds. Values are int64 samples
+// (nanoseconds, iteration counts); negative samples clamp into bucket 0.
+class Histogram {
+public:
+    void record(std::int64_t value) noexcept
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+        buckets_[histogram_bucket(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        update_min(value);
+        update_max(value);
+    }
+
+    // Merges a pre-aggregated contribution (a MetricsBuffer flush or a
+    // direct producer). Commutative, so flush order cannot matter.
+    void merge(const HistogramData& data) noexcept;
+
+    [[nodiscard]] HistogramStat stat() const noexcept;
+    void reset() noexcept;
+
+private:
+    void update_min(std::int64_t value) noexcept
+    {
+        std::int64_t seen = min_.load(std::memory_order_relaxed);
+        while (value < seen && !min_.compare_exchange_weak(
+                                   seen, value, std::memory_order_relaxed)) {
+        }
+    }
+    void update_max(std::int64_t value) noexcept
+    {
+        std::int64_t seen = max_.load(std::memory_order_relaxed);
+        while (value > seen && !max_.compare_exchange_weak(
+                                   seen, value, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<std::int64_t> sum_{0};
+    std::atomic<std::int64_t> min_{INT64_MAX};
+    std::atomic<std::int64_t> max_{INT64_MIN};
+    std::array<std::atomic<std::int64_t>, HistogramData::kBuckets> buckets_{};
+};
+
 // Point-in-time copy of every registered metric, for reports.
 struct MetricsSnapshot {
     std::map<std::string, std::int64_t> counters;
     std::map<std::string, std::int64_t> gauges;
     std::map<std::string, TimerStat> timers;
+    std::map<std::string, HistogramStat> histograms;
 };
 
 class MetricsRegistry {
@@ -117,6 +209,8 @@ public:
         CPA_EXCLUDES(mutex_);
     [[nodiscard]] Gauge& gauge(std::string_view name) CPA_EXCLUDES(mutex_);
     [[nodiscard]] Timer& timer(std::string_view name) CPA_EXCLUDES(mutex_);
+    [[nodiscard]] Histogram& histogram(std::string_view name)
+        CPA_EXCLUDES(mutex_);
 
     [[nodiscard]] MetricsSnapshot snapshot() const CPA_EXCLUDES(mutex_);
 
@@ -131,6 +225,8 @@ private:
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
         CPA_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+        CPA_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
         CPA_GUARDED_BY(mutex_);
 };
 
@@ -161,10 +257,16 @@ public:
         stat.total_ns += ns;
         stat.count += 1;
     }
+    void record_histogram(std::string_view name, std::int64_t value)
+    {
+        histograms_.try_emplace(std::string(name))
+            .first->second.record(value);
+    }
 
     [[nodiscard]] bool empty() const noexcept
     {
-        return counters_.empty() && gauges_.empty() && timers_.empty();
+        return counters_.empty() && gauges_.empty() && timers_.empty() &&
+               histograms_.empty();
     }
 
     // Replays the buffered events into the global registry and clears the
@@ -186,6 +288,7 @@ private:
     std::map<std::string, std::int64_t, std::less<>> counters_;
     std::map<std::string, std::int64_t, std::less<>> gauges_;
     std::map<std::string, TimerStat, std::less<>> timers_;
+    std::map<std::string, HistogramData, std::less<>> histograms_;
 };
 
 // The buffer installed on the calling thread, or nullptr when metric events
@@ -204,9 +307,12 @@ private:
     MetricsBuffer* previous_ = nullptr;
 };
 
-// RAII wall-clock scope feeding a Timer metric. Inactive (and skipping the
-// clock reads) when metrics are disabled at construction time. Routes into
-// the thread's MetricsBuffer when one is installed.
+// RAII wall-clock scope feeding a Timer metric plus a latency histogram
+// named "<name>_ns" (the per-phase duration distributions surfaced as
+// p50/p90/p99 in run reports; the "_ns" suffix marks them wall-clock so
+// comparison tooling knows to treat their values as noise). Inactive (and
+// skipping the clock reads) when metrics are disabled at construction time.
+// Routes into the thread's MetricsBuffer when one is installed.
 class ScopedTimer {
 public:
     explicit ScopedTimer(std::string_view name)
@@ -215,7 +321,10 @@ public:
             if ((buffer_ = current_metrics_buffer()) != nullptr) {
                 name_ = name;
             } else {
+                name_ = name;
                 timer_ = &MetricsRegistry::global().timer(name);
+                histogram_ = &MetricsRegistry::global().histogram(
+                    std::string(name) + "_ns");
             }
             start_ = std::chrono::steady_clock::now();
         }
@@ -231,8 +340,10 @@ public:
                 .count();
         if (buffer_ != nullptr) {
             buffer_->record_timer_ns(name_, ns);
+            buffer_->record_histogram(name_ + "_ns", ns);
         } else {
             timer_->record_ns(ns);
+            histogram_->record(ns);
         }
     }
     ScopedTimer(const ScopedTimer&) = delete;
@@ -240,8 +351,9 @@ public:
 
 private:
     Timer* timer_ = nullptr;
+    Histogram* histogram_ = nullptr;
     MetricsBuffer* buffer_ = nullptr;
-    std::string name_; // only populated on the buffered path
+    std::string name_;
     std::chrono::steady_clock::time_point start_{};
 };
 

@@ -28,6 +28,7 @@
 // (`if (CPA_TRACE_ENABLED(...)) { ... }`) still type-check when disabled —
 // the constant-false condition lets the compiler drop the block entirely.
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 #if CPA_OBS_ENABLED
@@ -71,12 +72,43 @@
         }                                                                   \
     } while (0)
 
+// Records one sample into the named log-bucketed histogram when metrics are
+// enabled (surfaced as count/sum/min/max/p50/p90/p99 in reports). Same
+// buffered-vs-registry routing as counters; names ending "_ns" are
+// wall-clock by convention and treated as noise by comparison tooling.
+#define CPA_HISTOGRAM(name, value)                                          \
+    do {                                                                    \
+        if (::cpa::obs::metrics_enabled()) {                                \
+            if (::cpa::obs::MetricsBuffer* cpa_obs_buffer_ =                \
+                    ::cpa::obs::current_metrics_buffer()) {                 \
+                cpa_obs_buffer_->record_histogram(name, value);             \
+            } else {                                                        \
+                static ::cpa::obs::Histogram& cpa_obs_histogram_ =          \
+                    ::cpa::obs::MetricsRegistry::global().histogram(name);  \
+                cpa_obs_histogram_.record(value);                           \
+            }                                                               \
+        }                                                                   \
+    } while (0)
+
 // Accumulates wall-clock time spent in the enclosing scope into the named
 // timer metric (total nanoseconds + invocation count).
 #define CPA_OBS_CONCAT_(a, b) a##b
 #define CPA_OBS_CONCAT(a, b) CPA_OBS_CONCAT_(a, b)
 #define CPA_SCOPED_TIMER(name)                                              \
     ::cpa::obs::ScopedTimer CPA_OBS_CONCAT(cpa_obs_timer_, __LINE__)(name)
+
+// Hierarchical profiling span covering the enclosing scope, recorded into
+// the Chrome-trace profiler (obs/profiler.hpp) when `cpa --profile-out`
+// armed it. `name` (and `key` in the _ARG form) must be string literals.
+// Inactive spans cost one relaxed atomic load.
+#define CPA_PROFILE_SPAN(name)                                              \
+    ::cpa::obs::ScopedSpan CPA_OBS_CONCAT(cpa_obs_span_, __LINE__)(name)
+
+// Span with one integer argument (e.g. the outer-iteration index), shown
+// in the viewer's args panel.
+#define CPA_PROFILE_SPAN_ARG(name, key, value)                              \
+    ::cpa::obs::ScopedSpan CPA_OBS_CONCAT(cpa_obs_span_, __LINE__)(         \
+        name, key, static_cast<std::int64_t>(value))
 
 // True when a trace sink is installed and `subsystem` passes its filter.
 // Call sites guard event construction with this so the formatting cost is
@@ -95,7 +127,16 @@
 #define CPA_GAUGE_SET(name, value)                                          \
     do {                                                                    \
     } while (0)
+#define CPA_HISTOGRAM(name, value)                                          \
+    do {                                                                    \
+    } while (0)
 #define CPA_SCOPED_TIMER(name)                                              \
+    do {                                                                    \
+    } while (0)
+#define CPA_PROFILE_SPAN(name)                                              \
+    do {                                                                    \
+    } while (0)
+#define CPA_PROFILE_SPAN_ARG(name, key, value)                              \
     do {                                                                    \
     } while (0)
 #define CPA_TRACE_ENABLED(subsystem) false

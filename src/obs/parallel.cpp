@@ -1,7 +1,9 @@
 #include "obs/parallel.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
+#include <chrono>
 #include <vector>
 
 namespace cpa::obs {
@@ -10,7 +12,11 @@ void run_indexed_trials(util::ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& body)
 {
     if (!metrics_enabled()) {
-        pool.parallel_for_indexed(count, body);
+        pool.parallel_for_indexed(count, [&](std::size_t index) {
+            ScopedSpan span("trial", "index",
+                            static_cast<std::int64_t>(index));
+            body(index);
+        });
         return;
     }
     // One buffer per trial (not per thread): the merge order must be the
@@ -19,8 +25,17 @@ void run_indexed_trials(util::ThreadPool& pool, std::size_t count,
     // the exact same metric machinery.
     std::vector<MetricsBuffer> buffers(count);
     pool.parallel_for_indexed(count, [&](std::size_t index) {
+        ScopedSpan span("trial", "index", static_cast<std::int64_t>(index));
         ScopedMetricsBuffer scope(buffers[index]);
+        const auto start = std::chrono::steady_clock::now();
         body(index);
+        // Per-trial wall time, staged in the trial's buffer so the global
+        // histogram is built in trial-index order like everything else.
+        buffers[index].record_histogram(
+            "trial.wall_ns",
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     });
     for (MetricsBuffer& buffer : buffers) {
         buffer.flush_to_global();

@@ -1,0 +1,158 @@
+#include "obs/profiler.hpp"
+
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cpa::obs {
+
+namespace {
+
+// This thread's ring, once registered. Rings outlive threads (the Profiler
+// owns them), so a stale pointer after pool teardown is never dereferenced
+// by anyone but a new span on the same (reused) thread — still valid.
+thread_local SpanRing* t_span_ring = nullptr;
+
+// Microsecond timestamp with nanosecond precision ("1234.567"), the unit
+// Chrome Trace Event Format expects for ts/dur.
+void write_us(std::ostream& out, std::int64_t ns)
+{
+    if (ns < 0) {
+        ns = 0;
+    }
+    out << ns / 1000 << '.';
+    const auto frac = ns % 1000;
+    out << static_cast<char>('0' + frac / 100)
+        << static_cast<char>('0' + frac / 10 % 10)
+        << static_cast<char>('0' + frac % 10);
+}
+
+} // namespace
+
+std::vector<SpanRecord> SpanRing::collect() const
+{
+    const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+    const auto capacity = static_cast<std::uint64_t>(slots_.size());
+    const std::uint64_t retained = std::min(pushed, capacity);
+    std::vector<SpanRecord> out;
+    out.reserve(static_cast<std::size_t>(retained));
+    for (std::uint64_t i = pushed - retained; i < pushed; ++i) {
+        out.push_back(slots_[static_cast<std::size_t>(i % capacity)]);
+    }
+    return out;
+}
+
+std::uint64_t SpanRing::dropped() const noexcept
+{
+    const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+    const auto capacity = static_cast<std::uint64_t>(slots_.size());
+    return pushed > capacity ? pushed - capacity : 0;
+}
+
+Profiler& Profiler::global()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void Profiler::start()
+{
+    epoch_ = std::chrono::steady_clock::now();
+    active_.store(true, std::memory_order_relaxed);
+}
+
+void Profiler::reset()
+{
+    util::MutexLock lock(mutex_);
+    for (const auto& ring : rings_) {
+        ring->clear();
+    }
+}
+
+SpanRing& Profiler::ring_for_this_thread()
+{
+    if (t_span_ring == nullptr) {
+        util::MutexLock lock(mutex_);
+        rings_.push_back(std::make_unique<SpanRing>(kRingCapacity));
+        t_span_ring = rings_.back().get();
+    }
+    return *t_span_ring;
+}
+
+void Profiler::record(const SpanRecord& record)
+{
+    ring_for_this_thread().push(record);
+}
+
+std::size_t Profiler::write_chrome_trace(std::ostream& out) const
+{
+    util::MutexLock lock(mutex_);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    std::size_t events = 0;
+    std::size_t spans = 0;
+    const auto comma = [&] {
+        if (events > 0) {
+            out << ',';
+        }
+        ++events;
+    };
+    for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+        // Thread metadata: tid 1 is whichever thread emitted first (the
+        // orchestrator in every CLI path); workers follow in first-span
+        // order.
+        comma();
+        out << R"({"name":"thread_name","ph":"M","pid":1,"tid":)"
+            << tid + 1 << R"(,"args":{"name":")"
+            << (tid == 0 ? "main" : "worker") << '-' << tid + 1 << "\"}}";
+
+        std::vector<SpanRecord> records = rings_[tid]->collect();
+        // Parents before children: earlier start first, longer span first
+        // on ties. Viewers nest by containment, but a deterministic order
+        // keeps traces diffable for one recording.
+        std::stable_sort(records.begin(), records.end(),
+                         [](const SpanRecord& a, const SpanRecord& b) {
+                             if (a.start_ns != b.start_ns) {
+                                 return a.start_ns < b.start_ns;
+                             }
+                             return a.dur_ns > b.dur_ns;
+                         });
+        for (const SpanRecord& record : records) {
+            comma();
+            ++spans;
+            out << "{\"name\":\"";
+            write_json_escaped(out, record.name);
+            out << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid + 1
+                << ",\"ts\":";
+            write_us(out, record.start_ns);
+            out << ",\"dur\":";
+            write_us(out, record.dur_ns);
+            if (record.arg_key != nullptr) {
+                out << ",\"args\":{\"";
+                write_json_escaped(out, record.arg_key);
+                out << "\":" << record.arg << '}';
+            }
+            out << '}';
+        }
+        const std::uint64_t dropped = rings_[tid]->dropped();
+        if (dropped > 0) {
+            comma();
+            out << R"({"name":"dropped_spans","ph":"M","pid":1,"tid":)"
+                << tid + 1 << R"(,"args":{"count":)" << dropped << "}}";
+        }
+    }
+    out << "]}\n";
+    return spans;
+}
+
+std::uint64_t Profiler::dropped_spans() const
+{
+    util::MutexLock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) {
+        total += ring->dropped();
+    }
+    return total;
+}
+
+} // namespace cpa::obs

@@ -1,0 +1,171 @@
+// Hierarchical phase profiler with Chrome Trace Event export.
+//
+// Recording model: each thread that emits a span lazily registers one
+// single-writer ring buffer with the global Profiler (mutex only on that
+// first touch), then every span completion is one store into the ring plus
+// one release store of the write index — no locks, no allocation, safe
+// under util::ThreadPool workers. When the ring wraps, the oldest records
+// are overwritten and counted as dropped.
+//
+// Gating matches the rest of the obs layer: compiled out entirely under
+// CPA_OBS_DISABLE (obs.hpp macros), and behind `Profiler::active()` — one
+// relaxed atomic load — at run time. The profiler is off unless the CLI
+// installed it via `--profile-out FILE`.
+//
+// Export (`write_chrome_trace`) must run while emitters are quiescent (the
+// CLI writes after command work and thread pools have finished). Spans are
+// emitted as Chrome "X" (complete) events; viewers (Perfetto,
+// chrome://tracing) nest same-thread events by time containment, so the
+// outer/inner WCRT fixed-point hierarchy renders as a flame graph without
+// explicit parent links.
+#pragma once
+
+#include "util/thread_safety.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+namespace cpa::obs {
+
+// One completed span. Name/arg-key point at string literals from the call
+// site (CPA_PROFILE_SPAN), which is what keeps records POD and the ring
+// allocation-free.
+struct SpanRecord {
+    const char* name = nullptr;
+    const char* arg_key = nullptr; // nullptr = no argument
+    std::int64_t arg = 0;
+    std::int64_t start_ns = 0; // relative to the profiler epoch
+    std::int64_t dur_ns = 0;
+};
+
+// Fixed-capacity single-writer ring of span records. The owning thread is
+// the only writer; the collector reads the release-stored push count when
+// the writer is quiescent.
+class SpanRing {
+public:
+    explicit SpanRing(std::size_t capacity) : slots_(capacity) {}
+
+    void push(const SpanRecord& record) noexcept
+    {
+        const std::uint64_t n = pushed_.load(std::memory_order_relaxed);
+        slots_[static_cast<std::size_t>(n % slots_.size())] = record;
+        pushed_.store(n + 1, std::memory_order_release);
+    }
+
+    // Oldest-first copy of the retained records (collector side; writer
+    // must be quiescent).
+    [[nodiscard]] std::vector<SpanRecord> collect() const;
+    // Records lost to wrapping.
+    [[nodiscard]] std::uint64_t dropped() const noexcept;
+    void clear() noexcept { pushed_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::vector<SpanRecord> slots_;
+    std::atomic<std::uint64_t> pushed_{0};
+};
+
+class Profiler {
+public:
+    // Retained spans per thread; at 48 bytes a record this is ~3 MiB per
+    // emitting thread, enough for every phase-level span of a large sweep.
+    static constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+
+    [[nodiscard]] static Profiler& global();
+
+    [[nodiscard]] bool active() const noexcept
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    // Sets the epoch to "now" and starts accepting spans.
+    void start();
+    // Stops accepting spans (in-flight ScopedSpans re-check on completion
+    // and drop themselves).
+    void stop() noexcept { active_.store(false, std::memory_order_relaxed); }
+    // Clears every registered ring. Emitters must be quiescent.
+    void reset() CPA_EXCLUDES(mutex_);
+
+    // Nanoseconds since the epoch set by start().
+    [[nodiscard]] std::int64_t now_ns() const noexcept
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+    // Deposits one completed span into this thread's ring (registering the
+    // ring on first use).
+    void record(const SpanRecord& record) CPA_EXCLUDES(mutex_);
+
+    // Writes every retained span as Chrome Trace Event Format JSON
+    // ({"traceEvents":[...]}). Emitters must be quiescent. Returns the
+    // number of span events written.
+    std::size_t write_chrome_trace(std::ostream& out) const
+        CPA_EXCLUDES(mutex_);
+
+    // Total records lost to ring wrap-around, across all threads.
+    [[nodiscard]] std::uint64_t dropped_spans() const CPA_EXCLUDES(mutex_);
+
+private:
+    [[nodiscard]] SpanRing& ring_for_this_thread() CPA_EXCLUDES(mutex_);
+
+    std::atomic<bool> active_{false};
+    std::chrono::steady_clock::time_point epoch_{};
+    mutable util::Mutex mutex_;
+    // Rings are heap-allocated and never removed, so the thread-cached
+    // pointer stays valid even after the owning thread exits (ThreadPool
+    // teardown) — the records survive for export.
+    std::vector<std::unique_ptr<SpanRing>> rings_ CPA_GUARDED_BY(mutex_);
+};
+
+// RAII span: captures the start timestamp if the profiler is active at
+// construction, deposits the completed record at destruction. `name` and
+// `arg_key` must be string literals (or otherwise outlive the export).
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const char* name) noexcept : ScopedSpan(name, nullptr, 0)
+    {
+    }
+    ScopedSpan(const char* name, const char* arg_key,
+               std::int64_t arg) noexcept
+    {
+        Profiler& profiler = Profiler::global();
+        if (profiler.active()) {
+            name_ = name;
+            arg_key_ = arg_key;
+            arg_ = arg;
+            start_ns_ = profiler.now_ns();
+        }
+    }
+    ~ScopedSpan()
+    {
+        if (name_ == nullptr) {
+            return;
+        }
+        Profiler& profiler = Profiler::global();
+        if (!profiler.active()) {
+            return;
+        }
+        SpanRecord record;
+        record.name = name_;
+        record.arg_key = arg_key_;
+        record.arg = arg_;
+        record.start_ns = start_ns_;
+        record.dur_ns = profiler.now_ns() - start_ns_;
+        profiler.record(record);
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    const char* name_ = nullptr;
+    const char* arg_key_ = nullptr;
+    std::int64_t arg_ = 0;
+    std::int64_t start_ns_ = 0;
+};
+
+} // namespace cpa::obs

@@ -1,5 +1,7 @@
 #include "obs/run_report.hpp"
 
+#include "obs/build_info.hpp"
+
 #include <ostream>
 #include <sstream>
 
@@ -9,6 +11,7 @@ RunReport::RunReport(std::string_view tool) : root_(JsonValue::object())
 {
     root_.set("schema_version", JsonValue(kRunReportSchemaVersion));
     root_.set("tool", JsonValue(tool));
+    root_.set("provenance", provenance_json());
 }
 
 void RunReport::set(std::string_view key, JsonValue value)
@@ -67,7 +70,41 @@ JsonValue metrics_to_json(const MetricsSnapshot& snapshot)
         timers.set(name, std::move(entry));
     }
     metrics.set("timers", std::move(timers));
+
+    JsonValue histograms = JsonValue::object();
+    for (const auto& [name, stat] : snapshot.histograms) {
+        histograms.set(name, histogram_to_json(stat));
+    }
+    metrics.set("histograms", std::move(histograms));
     return metrics;
+}
+
+JsonValue histogram_to_json(const HistogramStat& stat)
+{
+    JsonValue entry = JsonValue::object();
+    entry.set("count", JsonValue(stat.count));
+    entry.set("sum", JsonValue(stat.sum));
+    entry.set("min", JsonValue(stat.min));
+    entry.set("max", JsonValue(stat.max));
+    entry.set("p50", JsonValue(stat.p50));
+    entry.set("p90", JsonValue(stat.p90));
+    entry.set("p99", JsonValue(stat.p99));
+    return entry;
+}
+
+JsonValue provenance_json()
+{
+    const BuildInfo& info = build_info();
+    JsonValue block = JsonValue::object();
+    block.set("version", JsonValue(info.version));
+    block.set("git_sha", JsonValue(info.git_sha));
+    block.set("git_dirty", JsonValue(info.git_dirty));
+    block.set("compiler", JsonValue(info.compiler));
+    block.set("build_type", JsonValue(info.build_type));
+    block.set("obs", JsonValue(info.obs));
+    block.set("check", JsonValue(info.check));
+    block.set("sanitize", JsonValue(info.sanitize));
+    return block;
 }
 
 } // namespace cpa::obs

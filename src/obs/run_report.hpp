@@ -4,15 +4,22 @@
 // MetricsSnapshot, and serializes the whole thing as a single JSON object:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "tool": "cpa analyze",
+//     "provenance": {"git_sha": "...", "compiler": "...", ...},
 //     ...caller metadata...,
 //     "metrics": {
-//       "counters": {"wcrt.outer_iterations": 12, ...},
-//       "gauges":   {"tables.gamma_nonzero": 42, ...},
-//       "timers":   {"tables.build": {"total_ns": 1234, "count": 1}, ...}
+//       "counters":   {"wcrt.outer_iterations": 12, ...},
+//       "gauges":     {"tables.gamma_nonzero": 42, ...},
+//       "timers":     {"tables.build": {"total_ns": 1234, "count": 1}, ...},
+//       "histograms": {"wcrt.compute_ns": {"count": 3, "sum": 900,
+//                       "min": 200, "max": 400, "p50": 255, "p90": 400,
+//                       "p99": 400}, ...}
 //     }
 //   }
+//
+// Schema history: v2 added the provenance block and the histograms metric
+// group (both required by scripts/check_bench_json.py).
 //
 // The same shape is used by `cpa --metrics-out` and the bench BENCH_*.json
 // emitter (validated by scripts/check_bench_json.py).
@@ -26,7 +33,7 @@
 
 namespace cpa::obs {
 
-inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr int kRunReportSchemaVersion = 2;
 
 class RunReport {
 public:
@@ -50,7 +57,15 @@ private:
     JsonValue root_;
 };
 
-// Converts a snapshot to the {"counters":…,"gauges":…,"timers":…} object.
+// Converts a snapshot to the
+// {"counters":…,"gauges":…,"timers":…,"histograms":…} object.
 [[nodiscard]] JsonValue metrics_to_json(const MetricsSnapshot& snapshot);
+
+// One histogram as its report object (count/sum/min/max/p50/p90/p99).
+[[nodiscard]] JsonValue histogram_to_json(const HistogramStat& stat);
+
+// The build-provenance block embedded in every report (obs/build_info.hpp)
+// and printed by `cpa version --json`.
+[[nodiscard]] JsonValue provenance_json();
 
 } // namespace cpa::obs

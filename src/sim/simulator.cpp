@@ -480,6 +480,7 @@ SimResult simulate(const tasks::TaskSet& ts, const PlatformConfig& platform,
     if (ts.empty()) {
         return SimResult{};
     }
+    CPA_PROFILE_SPAN("sim.run");
     Simulation simulation(ts, platform, config);
     return simulation.run();
 }

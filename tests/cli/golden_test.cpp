@@ -31,7 +31,26 @@ std::string golden_dir()
 std::string normalize(std::string text)
 {
     static const std::regex total_ns("\"total_ns\":-?[0-9]+");
-    return std::regex_replace(text, total_ns, "\"total_ns\":0");
+    text = std::regex_replace(text, total_ns, "\"total_ns\":0");
+    // Wall-clock ("_ns"-suffixed) histogram value statistics vary between
+    // machines; their sample counts stay significant. Deterministic
+    // histograms (no "_ns") are left untouched and pinned exactly.
+    static const std::regex ns_histogram(
+        "(\"[^\"]*_ns\":\\{\"count\":-?[0-9]+,)\"sum\":-?[0-9]+,"
+        "\"min\":-?[0-9]+,\"max\":-?[0-9]+,\"p50\":-?[0-9]+,"
+        "\"p90\":-?[0-9]+,\"p99\":-?[0-9]+");
+    text = std::regex_replace(
+        text, ns_histogram,
+        "$1\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0");
+    // Build provenance differs per checkout/toolchain; keep the key order,
+    // zero the values.
+    static const std::regex provenance("\"provenance\":\\{[^}]*\\}");
+    text = std::regex_replace(
+        text, provenance,
+        "\"provenance\":{\"version\":\"\",\"git_sha\":\"\","
+        "\"git_dirty\":\"\",\"compiler\":\"\",\"build_type\":\"\","
+        "\"obs\":true,\"check\":true,\"sanitize\":\"\"}");
+    return text;
 }
 
 // Runs the CLI in-process and compares stdout against the named fixture.

@@ -201,12 +201,22 @@ TEST(CheckDeterminism, InjectedFailuresKeepTrialOrderAcrossJobs)
 }
 
 // CLI-level byte-identity: `--jobs 1` and `--jobs 8` must produce the same
-// stdout, and the same run report once the wall-clock timer totals are
-// normalized.
+// stdout, and the same run report once the wall-clock values are
+// normalized: timer totals, and the value statistics of "_ns"-suffixed
+// (latency) histograms. Histogram sample counts and every non-"_ns"
+// histogram stay significant — iteration-count distributions must be
+// byte-identical across job counts.
 std::string strip_timer_totals(std::string text)
 {
     static const std::regex total_ns("\"total_ns\":-?[0-9]+");
-    return std::regex_replace(text, total_ns, "\"total_ns\":0");
+    text = std::regex_replace(text, total_ns, "\"total_ns\":0");
+    static const std::regex ns_histogram(
+        "(\"[^\"]*_ns\":\\{\"count\":-?[0-9]+,)\"sum\":-?[0-9]+,"
+        "\"min\":-?[0-9]+,\"max\":-?[0-9]+,\"p50\":-?[0-9]+,"
+        "\"p90\":-?[0-9]+,\"p99\":-?[0-9]+");
+    return std::regex_replace(
+        text, ns_histogram,
+        "$1\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0");
 }
 
 std::string run_cli_capture(const std::vector<std::string>& args)

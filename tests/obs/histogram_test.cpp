@@ -1,0 +1,228 @@
+// Unit tests for the log2-bucketed latency histogram (obs/metrics.hpp):
+// bucket mapping, percentile estimation and its ordering guarantee, merge
+// commutativity (the property the deterministic parallel flush relies on),
+// and concurrent recording.
+#include "obs/metrics.hpp"
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cpa::obs {
+namespace {
+
+class HistogramTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        MetricsRegistry::global().reset();
+        set_metrics_enabled(true);
+    }
+    void TearDown() override
+    {
+        set_metrics_enabled(false);
+        MetricsRegistry::global().reset();
+    }
+};
+
+TEST_F(HistogramTest, BucketMappingIsLogTwo)
+{
+    EXPECT_EQ(histogram_bucket(-5), 0u);
+    EXPECT_EQ(histogram_bucket(0), 0u);
+    EXPECT_EQ(histogram_bucket(1), 1u);
+    EXPECT_EQ(histogram_bucket(2), 2u);
+    EXPECT_EQ(histogram_bucket(3), 2u);
+    EXPECT_EQ(histogram_bucket(4), 3u);
+    EXPECT_EQ(histogram_bucket(7), 3u);
+    EXPECT_EQ(histogram_bucket(8), 4u);
+    EXPECT_EQ(histogram_bucket(INT64_MAX), 63u);
+}
+
+TEST_F(HistogramTest, EmptyHistogramStatIsAllZero)
+{
+    Histogram histogram;
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.count, 0);
+    EXPECT_EQ(stat.sum, 0);
+    EXPECT_EQ(stat.min, 0);
+    EXPECT_EQ(stat.max, 0);
+    EXPECT_EQ(stat.p50, 0);
+    EXPECT_EQ(stat.p99, 0);
+}
+
+TEST_F(HistogramTest, SingleSampleCollapsesEveryStatistic)
+{
+    Histogram histogram;
+    histogram.record(1234);
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.count, 1);
+    EXPECT_EQ(stat.sum, 1234);
+    EXPECT_EQ(stat.min, 1234);
+    EXPECT_EQ(stat.max, 1234);
+    // One sample: every percentile is clamped into [min, max] = {1234}.
+    EXPECT_EQ(stat.p50, 1234);
+    EXPECT_EQ(stat.p90, 1234);
+    EXPECT_EQ(stat.p99, 1234);
+}
+
+TEST_F(HistogramTest, PercentilesAreOrderedAndBracketedByExtrema)
+{
+    std::mt19937_64 rng(7);
+    std::uniform_int_distribution<std::int64_t> dist(0, 1'000'000);
+    Histogram histogram;
+    std::int64_t lo = INT64_MAX;
+    std::int64_t hi = INT64_MIN;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t value = dist(rng);
+        histogram.record(value);
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.min, lo);
+    EXPECT_EQ(stat.max, hi);
+    EXPECT_LE(stat.min, stat.p50);
+    EXPECT_LE(stat.p50, stat.p90);
+    EXPECT_LE(stat.p90, stat.p99);
+    EXPECT_LE(stat.p99, stat.max);
+}
+
+TEST_F(HistogramTest, PercentileIsAnUpperBoundOfItsBucket)
+{
+    // 90 samples at 10 (bucket [8,15]) and 10 at 1000 (bucket [512,1023]):
+    // p50 must resolve inside the low bucket, p99 inside the high one.
+    Histogram histogram;
+    for (int i = 0; i < 90; ++i) {
+        histogram.record(10);
+    }
+    for (int i = 0; i < 10; ++i) {
+        histogram.record(1000);
+    }
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.p50, 15);   // bucket upper bound 2^4 - 1
+    EXPECT_EQ(stat.p90, 15);   // rank 90 still lands in the low bucket
+    EXPECT_EQ(stat.p99, 1000); // bucket bound 1023 clamped to max
+}
+
+TEST_F(HistogramTest, NegativeSamplesClampIntoBucketZero)
+{
+    Histogram histogram;
+    histogram.record(-50);
+    histogram.record(3);
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.count, 2);
+    EXPECT_EQ(stat.min, -50);
+    EXPECT_EQ(stat.max, 3);
+    EXPECT_GE(stat.p50, stat.min);
+    EXPECT_LE(stat.p99, stat.max);
+}
+
+TEST_F(HistogramTest, MergeIsCommutative)
+{
+    HistogramData a;
+    HistogramData b;
+    for (std::int64_t value : {5, 80, 80, 3000}) {
+        a.record(value);
+    }
+    for (std::int64_t value : {1, 9, 512}) {
+        b.record(value);
+    }
+
+    Histogram ab;
+    ab.merge(a);
+    ab.merge(b);
+    Histogram ba;
+    ba.merge(b);
+    ba.merge(a);
+
+    const HistogramStat x = ab.stat();
+    const HistogramStat y = ba.stat();
+    EXPECT_EQ(x.count, y.count);
+    EXPECT_EQ(x.sum, y.sum);
+    EXPECT_EQ(x.min, y.min);
+    EXPECT_EQ(x.max, y.max);
+    EXPECT_EQ(x.p50, y.p50);
+    EXPECT_EQ(x.p90, y.p90);
+    EXPECT_EQ(x.p99, y.p99);
+    EXPECT_EQ(x.count, 7);
+    EXPECT_EQ(x.min, 1);
+    EXPECT_EQ(x.max, 3000);
+}
+
+TEST_F(HistogramTest, MergingEmptyDataIsANoOp)
+{
+    Histogram histogram;
+    histogram.record(42);
+    histogram.merge(HistogramData{});
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.count, 1);
+    EXPECT_EQ(stat.min, 42);
+    EXPECT_EQ(stat.max, 42);
+}
+
+TEST_F(HistogramTest, ResetClearsButKeepsTheReferenceUsable)
+{
+    Histogram& histogram =
+        MetricsRegistry::global().histogram("test.histogram");
+    histogram.record(100);
+    MetricsRegistry::global().reset();
+    EXPECT_EQ(histogram.stat().count, 0);
+    histogram.record(7);
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.count, 1);
+    EXPECT_EQ(stat.min, 7);
+}
+
+TEST_F(HistogramTest, SnapshotCarriesRegisteredHistograms)
+{
+    MetricsRegistry::global().histogram("test.snap").record(64);
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    ASSERT_TRUE(snap.histograms.contains("test.snap"));
+    EXPECT_EQ(snap.histograms.at("test.snap").count, 1);
+    EXPECT_EQ(snap.histograms.at("test.snap").max, 64);
+}
+
+TEST_F(HistogramTest, BufferStagesAndFlushesToGlobal)
+{
+    MetricsBuffer buffer;
+    buffer.record_histogram("test.buffered", 10);
+    buffer.record_histogram("test.buffered", 300);
+    // Nothing visible globally until the flush.
+    EXPECT_FALSE(MetricsRegistry::global()
+                     .snapshot()
+                     .histograms.contains("test.buffered"));
+    buffer.flush_to_global();
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    ASSERT_TRUE(snap.histograms.contains("test.buffered"));
+    EXPECT_EQ(snap.histograms.at("test.buffered").count, 2);
+    EXPECT_EQ(snap.histograms.at("test.buffered").min, 10);
+    EXPECT_EQ(snap.histograms.at("test.buffered").max, 300);
+}
+
+TEST_F(HistogramTest, ConcurrentRecordLosesNoSamples)
+{
+    Histogram& histogram =
+        MetricsRegistry::global().histogram("test.concurrent");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10'000;
+    util::ThreadPool pool(kThreads);
+    pool.parallel_for_indexed(kThreads, [&](std::size_t thread) {
+        for (int i = 0; i < kPerThread; ++i) {
+            histogram.record(static_cast<std::int64_t>(thread) * kPerThread
+                             + i + 1);
+        }
+    });
+    const HistogramStat stat = histogram.stat();
+    EXPECT_EQ(stat.count, kThreads * kPerThread);
+    EXPECT_EQ(stat.min, 1);
+    EXPECT_EQ(stat.max, kThreads * kPerThread);
+    EXPECT_LE(stat.p50, stat.p99);
+}
+
+} // namespace
+} // namespace cpa::obs

@@ -1,0 +1,193 @@
+// Tests for the hierarchical phase profiler (obs/profiler.hpp): activation
+// gating, span recording, ring wrap-around accounting, Chrome Trace Event
+// export shape, same-thread nesting by time containment, and recording from
+// util::ThreadPool workers.
+#include "obs/profiler.hpp"
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace cpa::obs {
+namespace {
+
+// The profiler is a process-wide singleton; stop + reset around every test
+// so spans cannot leak between cases.
+class ProfilerTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        Profiler::global().stop();
+        Profiler::global().reset();
+    }
+    void TearDown() override
+    {
+        Profiler::global().stop();
+        Profiler::global().reset();
+    }
+
+    static std::string export_trace(std::size_t* spans = nullptr)
+    {
+        std::ostringstream out;
+        const std::size_t n = Profiler::global().write_chrome_trace(out);
+        if (spans != nullptr) {
+            *spans = n;
+        }
+        return out.str();
+    }
+};
+
+TEST_F(ProfilerTest, InactiveProfilerRecordsNothing)
+{
+    ASSERT_FALSE(Profiler::global().active());
+    {
+        ScopedSpan span("should.not.appear");
+    }
+    std::size_t spans = 0;
+    const std::string trace = export_trace(&spans);
+    EXPECT_EQ(spans, 0u);
+    EXPECT_EQ(trace.find("should.not.appear"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ActiveProfilerCapturesScopedSpans)
+{
+    Profiler::global().start();
+    {
+        ScopedSpan outer("outer.phase");
+        ScopedSpan inner("inner.phase", "iter", 3);
+    }
+    Profiler::global().stop();
+
+    std::size_t spans = 0;
+    const std::string trace = export_trace(&spans);
+    EXPECT_EQ(spans, 2u);
+    EXPECT_NE(trace.find("\"name\":\"outer.phase\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"inner.phase\""), std::string::npos);
+    EXPECT_NE(trace.find("\"args\":{\"iter\":3}"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, SpanStartedWhileInactiveIsDropped)
+{
+    ASSERT_FALSE(Profiler::global().active());
+    {
+        // Construction sees an inactive profiler, so even though it becomes
+        // active before destruction the span has no start timestamp and
+        // must not be deposited.
+        ScopedSpan span("late.span");
+        Profiler::global().start();
+    }
+    Profiler::global().stop();
+    std::size_t spans = 0;
+    export_trace(&spans);
+    EXPECT_EQ(spans, 0u);
+}
+
+TEST_F(ProfilerTest, TraceIsAChromeTraceEventObject)
+{
+    Profiler::global().start();
+    {
+        ScopedSpan span("one.span");
+    }
+    Profiler::global().stop();
+
+    const std::string trace = export_trace();
+    EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+              0u);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(trace.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+    // Thread-name metadata event for the emitting (main) thread.
+    EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_EQ(trace.back(), '\n');
+}
+
+TEST_F(ProfilerTest, NestedSpansAreContainedInTime)
+{
+    Profiler::global().start();
+    {
+        ScopedSpan outer("nest.outer");
+        {
+            ScopedSpan inner("nest.inner");
+        }
+    }
+    Profiler::global().stop();
+
+    // Same-thread records are sorted by (start ascending, duration
+    // descending), so the outer span is emitted first and must contain the
+    // inner one — that containment is exactly what makes Perfetto render
+    // the flame graph without explicit parent links.
+    const std::string trace = export_trace();
+    const std::size_t outer_pos = trace.find("\"name\":\"nest.outer\"");
+    const std::size_t inner_pos = trace.find("\"name\":\"nest.inner\"");
+    ASSERT_NE(outer_pos, std::string::npos);
+    ASSERT_NE(inner_pos, std::string::npos);
+    EXPECT_LT(outer_pos, inner_pos);
+}
+
+TEST_F(ProfilerTest, RingWrapCountsDroppedSpans)
+{
+    SpanRing ring(4);
+    SpanRecord record;
+    record.name = "wrap";
+    for (int i = 0; i < 10; ++i) {
+        record.start_ns = i;
+        ring.push(record);
+    }
+    EXPECT_EQ(ring.dropped(), 6u);
+    const std::vector<SpanRecord> kept = ring.collect();
+    ASSERT_EQ(kept.size(), 4u);
+    // Oldest-first over the retained window: pushes 6..9 survive.
+    EXPECT_EQ(kept.front().start_ns, 6);
+    EXPECT_EQ(kept.back().start_ns, 9);
+}
+
+TEST_F(ProfilerTest, ClearEmptiesTheRing)
+{
+    SpanRing ring(4);
+    ring.push(SpanRecord{});
+    ring.clear();
+    EXPECT_TRUE(ring.collect().empty());
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST_F(ProfilerTest, ThreadPoolWorkersEachGetARing)
+{
+    Profiler::global().start();
+    {
+        util::ThreadPool pool(4);
+        pool.parallel_for_indexed(64, [&](std::size_t index) {
+            ScopedSpan span("pool.task", "index",
+                            static_cast<std::int64_t>(index));
+        });
+    } // pool destroyed: worker threads exit, but their rings survive
+    Profiler::global().stop();
+
+    std::size_t spans = 0;
+    const std::string trace = export_trace(&spans);
+    EXPECT_EQ(spans, 64u);
+    EXPECT_EQ(Profiler::global().dropped_spans(), 0u);
+    EXPECT_NE(trace.find("\"name\":\"pool.task\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetDiscardsRecordedSpans)
+{
+    Profiler::global().start();
+    {
+        ScopedSpan span("gone.after.reset");
+    }
+    Profiler::global().stop();
+    Profiler::global().reset();
+    std::size_t spans = 0;
+    const std::string trace = export_trace(&spans);
+    EXPECT_EQ(spans, 0u);
+    EXPECT_EQ(trace.find("gone.after.reset"), std::string::npos);
+}
+
+} // namespace
+} // namespace cpa::obs

@@ -14,10 +14,28 @@ TEST(RunReport, HeaderComesFirstAndKeepsInsertionOrder)
     RunReport report("cpa analyze");
     report.set("file", "demo.taskset");
     const std::string json = report.to_json();
-    EXPECT_EQ(json.rfind("{\"schema_version\":1,\"tool\":\"cpa analyze\","
-                         "\"file\":\"demo.taskset\"",
+    // Fixed header order: schema_version, tool, provenance, then caller
+    // metadata. Provenance values vary by machine, so only the shape is
+    // pinned here (the keys are checked below).
+    EXPECT_EQ(json.rfind("{\"schema_version\":2,\"tool\":\"cpa analyze\","
+                         "\"provenance\":{\"version\":\"",
                          0),
               0u);
+    const std::size_t provenance_pos = json.find("\"provenance\"");
+    const std::size_t file_pos = json.find("\"file\":\"demo.taskset\"");
+    ASSERT_NE(provenance_pos, std::string::npos);
+    ASSERT_NE(file_pos, std::string::npos);
+    EXPECT_LT(provenance_pos, file_pos);
+}
+
+TEST(RunReport, ProvenanceCarriesTheBuildInfoKeys)
+{
+    const std::string json = RunReport("test").to_json();
+    for (const char* key :
+         {"\"version\"", "\"git_sha\"", "\"git_dirty\"", "\"compiler\"",
+          "\"build_type\"", "\"obs\"", "\"check\"", "\"sanitize\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
 }
 
 TEST(RunReport, SectionsAndListsNest)
@@ -36,12 +54,14 @@ TEST(RunReport, SectionsAndListsNest)
               std::string::npos);
 }
 
-TEST(RunReport, MetricsSnapshotSerializesAllThreeKinds)
+TEST(RunReport, MetricsSnapshotSerializesAllFourKinds)
 {
     MetricsSnapshot snapshot;
     snapshot.counters["wcrt.calls"] = 2;
     snapshot.gauges["tables.tasks"] = 8;
     snapshot.timers["tables.build"] = TimerStat{1500, 3};
+    snapshot.histograms["trial.wall_ns"] =
+        HistogramStat{4, 100, 10, 40, 20, 40, 40};
 
     RunReport report("test");
     report.set_metrics(snapshot);
@@ -53,6 +73,10 @@ TEST(RunReport, MetricsSnapshotSerializesAllThreeKinds)
     EXPECT_NE(
         json.find(R"("timers":{"tables.build":{"total_ns":1500,"count":3}})"),
         std::string::npos);
+    EXPECT_NE(json.find(R"("histograms":{"trial.wall_ns":{"count":4,)"
+                        R"("sum":100,"min":10,"max":40,"p50":20,"p90":40,)"
+                        R"("p99":40}})"),
+              std::string::npos);
 }
 
 TEST(RunReport, WriteJsonEmitsExactlyOneLine)

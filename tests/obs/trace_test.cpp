@@ -2,11 +2,14 @@
 
 #include "obs/json.hpp"
 
+#include "util/thread_pool.hpp"
+
 #include <gtest/gtest.h>
 
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
 
 namespace cpa::obs {
 namespace {
@@ -101,6 +104,104 @@ TEST_F(TraceTest, EveryEmittedLineIsOneJsonObject)
         EXPECT_EQ(line.back(), '}');
     }
     EXPECT_EQ(count, 2);
+}
+
+TEST_F(TraceTest, NdjsonEscapesControlCharactersAsUnicode)
+{
+    // Bytes below 0x20 without a shorthand escape must become \u00XX, or
+    // the NDJSON line stops being parseable JSON.
+    std::string raw = "a";
+    raw += '\x01';
+    raw += 'b';
+    raw += '\x1f';
+    raw += 'c';
+    raw += '\x7f';
+    const std::string line = TraceEvent("sim", Severity::kInfo, "weird")
+                                 .field("raw", raw)
+                                 .to_ndjson();
+    EXPECT_NE(line.find("\\u0001"), std::string::npos);
+    EXPECT_NE(line.find("\\u001f"), std::string::npos);
+    // 0x7f (DEL) is not a control char below 0x20; it passes through.
+    EXPECT_EQ(line.find("\\u007f"), std::string::npos);
+}
+
+TEST_F(TraceTest, NdjsonEscapesTabAndCarriageReturnShorthand)
+{
+    const std::string line = TraceEvent("sim", Severity::kInfo, "ws")
+                                 .field("v", "a\tb\rc")
+                                 .to_ndjson();
+    EXPECT_NE(line.find(R"("v":"a\tb\rc")"), std::string::npos);
+}
+
+TEST_F(TraceTest, EscapingAppliesToKeysAndEventNames)
+{
+    const std::string line =
+        TraceEvent("wcrt", Severity::kInfo, "quote\"name")
+            .field("key\\slash", std::int64_t{1})
+            .to_ndjson();
+    EXPECT_NE(line.find(R"("event":"quote\"name")"), std::string::npos);
+    EXPECT_NE(line.find(R"("key\\slash":1)"), std::string::npos);
+}
+
+TEST_F(TraceTest, SubsystemAndSeverityFiltersCompose)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out),
+                              {"wcrt"}, Severity::kWarn);
+
+    // Only the (matching subsystem, >= floor severity) combination lands.
+    Tracer::global().emit(TraceEvent("wcrt", Severity::kInfo, "w_info"));
+    Tracer::global().emit(TraceEvent("wcrt", Severity::kWarn, "w_warn"));
+    Tracer::global().emit(TraceEvent("sweep", Severity::kError, "s_error"));
+    Tracer::global().emit(TraceEvent("sweep", Severity::kInfo, "s_info"));
+
+    const std::string text = out.str();
+    EXPECT_EQ(text.find("w_info"), std::string::npos);
+    EXPECT_NE(text.find("w_warn"), std::string::npos);
+    EXPECT_EQ(text.find("s_error"), std::string::npos);
+    EXPECT_EQ(text.find("s_info"), std::string::npos);
+}
+
+TEST_F(TraceTest, SeverityFloorAppliesUnderAllKeyword)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out),
+                              {"all"}, Severity::kError);
+    Tracer::global().emit(TraceEvent("bus", Severity::kWarn, "below"));
+    Tracer::global().emit(TraceEvent("bus", Severity::kError, "at_floor"));
+    const std::string text = out.str();
+    EXPECT_EQ(text.find("below"), std::string::npos);
+    EXPECT_NE(text.find("at_floor"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentEmitKeepsLinesIntact)
+{
+    std::ostringstream out;
+    Tracer::global().set_sink(std::make_shared<StreamTraceSink>(out));
+
+    constexpr std::size_t kEvents = 200;
+    {
+        util::ThreadPool pool(4);
+        pool.parallel_for_indexed(kEvents, [&](std::size_t index) {
+            Tracer::global().emit(
+                TraceEvent("bus", Severity::kDebug, "concurrent")
+                    .field("index", index));
+        });
+    }
+
+    // The sink serializes whole lines, so every line must still be one
+    // complete JSON object — interleaving torn halves would break here.
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"event\":\"concurrent\""), std::string::npos);
+    }
+    EXPECT_EQ(count, kEvents);
 }
 
 TEST_F(TraceTest, JsonNumberClampsNonFinite)
