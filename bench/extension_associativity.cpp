@@ -38,8 +38,8 @@ int main()
             extraction.add_row({std::to_string(ways), e.name,
                                 util::to_string(e.md),
                                 util::to_string(e.md_residual),
-                                std::to_string(e.pcb.count()),
-                                std::to_string(e.ecb.count())});
+                                std::to_string(e.pcb.popcount()),
+                                std::to_string(e.ecb.popcount())});
         }
         pools.push_back(std::move(pool));
     }

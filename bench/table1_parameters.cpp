@@ -66,9 +66,9 @@ int main()
         extraction.add_row({params.name, util::to_string(params.pd),
                             util::to_string(params.md),
                             util::to_string(params.md_residual),
-                            std::to_string(params.ecb.count()),
-                            std::to_string(params.pcb.count()),
-                            std::to_string(params.ucb.count()),
+                            std::to_string(params.ecb.popcount()),
+                            std::to_string(params.pcb.popcount()),
+                            std::to_string(params.ucb.popcount()),
                             std::to_string(params.ucb_max_point)});
     }
     extraction.print(std::cout);
@@ -84,8 +84,8 @@ int main()
             scaling.add_row({params.name, std::to_string(sets),
                              util::to_string(params.md),
                              util::to_string(params.md_residual),
-                             std::to_string(params.ecb.count()),
-                             std::to_string(params.pcb.count())});
+                             std::to_string(params.ecb.popcount()),
+                             std::to_string(params.pcb.popcount())});
         }
     }
     scaling.print(std::cout);

@@ -64,7 +64,7 @@ int main()
     std::cout << "Abstract analysis of '" << encoder.name()
               << "' (64 sets): MD <= " << bound.md
               << ", MDr <= " << bound.md_residual << ", PD <= " << bound.pd
-              << ", |PCB| = " << bound.pcb.count() << "\n";
+              << ", |PCB| = " << bound.pcb.popcount() << "\n";
     for (const auto& [label, selector] :
          {std::pair<const char*, program::BranchSelector>{
               "always compress", [](std::size_t) { return 0u; }},

@@ -47,9 +47,9 @@ int main()
         table.add_row({std::to_string(sets), util::to_string(params.pd),
                        util::to_string(params.md),
                        util::to_string(params.md_residual),
-                       std::to_string(params.ecb.count()),
-                       std::to_string(params.pcb.count()),
-                       std::to_string(params.ucb.count())});
+                       std::to_string(params.ecb.popcount()),
+                       std::to_string(params.pcb.popcount()),
+                       std::to_string(params.ucb.popcount())});
     }
     table.print(std::cout);
     std::cout << "\nAt 128 sets the two filter stages alias: persistence "

@@ -1,0 +1,1111 @@
+#!/usr/bin/env python3
+"""cpa-lint: project-specific static analysis for the CPA reproduction.
+
+Generic clang-tidy cannot express the three disciplines this codebase
+hand-enforces, so this tool checks them mechanically (stdlib only, no
+third-party deps):
+
+  unit pack      — the dimensional type system (util::Quantity / util::Id)
+                   may only be unwrapped at the named conversion points of
+                   src/util/units.hpp. Raw `.count()` / `.value()` calls and
+                   integer-literal arithmetic on raw representations are
+                   findings anywhere else.
+  det pack       — worker-count determinism: no std::rand/srand/time-based
+                   seeding, no std::random_device, no unordered containers
+                   (iteration order leaks into reports), RNG engines seeded
+                   through util::seed_for, and no shared-accumulator updates
+                   or sequential RNG forks inside parallel_for_indexed /
+                   run_indexed_trials bodies (the pre-sized-slot reduction
+                   idiom is the only sanctioned shape).
+  ovf pack       — overflow discipline in 64-bit cycle space: raw-rep
+                   multiplication and narrowing casts of quantity
+                   representations bypass the CPA_CHECKED_ARITH trapping
+                   operators and are findings. (The build-side half of this
+                   pack is -DCPA_CHECKED_ARITH=ON; see units.hpp.)
+  layering pack  — folds scripts/check_layers.py in as a pass so one entry
+                   point runs every structural check.
+
+Backends: a tokenizer backend that always works (the container toolchain is
+gcc-only) and a clang `-ast-dump=json` backend used when clang is available.
+The tool never silently skips: if the requested backend is unavailable it
+fails loudly. `--self-test` runs both backends over the fixture suite in
+tests/lint_fixtures/ and requires them to agree.
+
+Suppressions: `// cpa-lint: allow(<rule>): <reason>` on the offending line
+or on a standalone comment line directly above it. The reason is mandatory;
+a missing reason is itself a finding (meta.bad-suppression). File-level
+exemptions live in scripts/cpa_lint_whitelist.txt (rule-glob + path-glob +
+mandatory trailing comment).
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# ---------------------------------------------------------------------------
+# Rule registry. Every rule has a stable id (findings, suppressions, the
+# whitelist, and the docs catalog all key on it), the pack it belongs to,
+# and a one-line rationale tied to the discipline that motivated it.
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    pack: str
+    rationale: str
+
+
+RULES = [
+    Rule("unit.raw-count", "unit",
+         "Raw Quantity::count() outside units.hpp bypasses the named "
+         "conversion points (PR 3's dimensional-safety contract)."),
+    Rule("unit.raw-value", "unit",
+         "Raw Id::value() outside units.hpp bypasses to_index(); swapped "
+         "TaskId/CoreId subscripts become invisible again."),
+    Rule("unit.literal-arith", "unit",
+         "Integer-literal arithmetic on a raw representation re-creates the "
+         "unnamed conversion factors units.hpp exists to eliminate."),
+    Rule("det.banned-call", "det",
+         "std::rand/srand/time seeds break worker-count determinism and "
+         "golden-file reproducibility (PR 4)."),
+    Rule("det.random-device", "det",
+         "std::random_device is nondeterministic by definition; every "
+         "stream must derive from the experiment seed."),
+    Rule("det.unordered-container", "det",
+         "unordered_{map,set} iteration order depends on libstdc++ details "
+         "and hash seeding; iterating one into a RunReport breaks "
+         "byte-identical golden transcripts."),
+    Rule("det.raw-seed", "det",
+         "RNG engines must seed from util::seed_for / a *seed* value so "
+         "per-trial streams depend only on (base_seed, trial_index)."),
+    Rule("det.parallel-accum", "det",
+         "A shared accumulator updated inside a parallel_for_indexed body "
+         "makes results depend on thread interleaving; use the pre-sized "
+         "slot + trial-index-order reduction idiom."),
+    Rule("det.fork-in-parallel", "det",
+         "Rng::fork() inside a parallel body re-creates the order-dependent "
+         "sequential-fork scheme PR 4 removed; use util::seed_for."),
+    Rule("ovf.raw-mul", "ovf",
+         "Multiplying raw .count()/.value() representations sidesteps the "
+         "CPA_CHECKED_ARITH trapping operators; Eq. 19 multiplies access "
+         "counts by d_mem at scales where silent wrap-around is plausible."),
+    Rule("ovf.narrowing-cast", "ovf",
+         "Casting a 64-bit quantity representation to 32 bits or less "
+         "truncates exactly where the analysis accumulates cycle values."),
+    Rule("meta.bad-suppression", "meta",
+         "allow() comments must carry a reason and name a known rule; a "
+         "bare suppression is indistinguishable from a stale one."),
+    Rule("layering.violation", "layering",
+         "The module include graph must respect the DAG of "
+         "docs/architecture.md (scripts/check_layers.py, folded in as a "
+         "pass)."),
+]
+RULE_IDS = {r.id for r in RULES}
+
+BANNED_CALLS = {"rand", "srand"}
+UNORDERED_CONTAINERS = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+}
+RNG_ENGINES = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "knuth_b",
+}
+PARALLEL_ENTRY_POINTS = {"parallel_for_indexed", "run_indexed_trials"}
+NARROW_TYPES = {
+    "int", "unsigned", "short", "char", "int8_t", "uint8_t", "int16_t",
+    "uint16_t", "int32_t", "uint32_t",
+}
+COMPOUND_ASSIGN_OPS = {"+=", "-=", "*=", "/="}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def key(self):
+        return (self.rule, self.path, self.line)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer backend: a small C++ lexer. Comments are captured separately
+# (they drive suppressions for BOTH backends); strings/chars are skipped.
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # ident | number | punct
+    text: str
+    line: int
+
+
+MULTI_PUNCT = [
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||", "++",
+    "--",
+]
+
+
+def tokenize(text: str):
+    """Returns (tokens, comments) where comments is [(line, text, standalone)]."""
+    tokens: list[Token] = []
+    comments: list[tuple[int, str, bool]] = []
+    i, n, line = 0, len(text), 1
+    line_has_code = False
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            line_has_code = False
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor directives are not analyzed (so `#include
+        # <unordered_map>` in a header shim never fires the det pack —
+        # the clang backend only sees declarations, and the backends must
+        # agree). Honors backslash continuations.
+        if c == "#" and not line_has_code:
+            while i < n:
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                if text[i:j].rstrip().endswith("\\"):
+                    line += 1
+                    i = j + 1
+                else:
+                    break
+            i = j if j == n else j
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comments.append((line, text[i:j], not line_has_code))
+            i = j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            body = text[i:j + 2]
+            comments.append((line, body, not line_has_code))
+            line += body.count("\n")
+            i = j + 2
+            continue
+        if c == '"':
+            # Raw string literals: R"delim( ... )delim"
+            if tokens and tokens[-1].kind == "ident" and \
+                    tokens[-1].text.endswith("R") and i > 0 and \
+                    text[i - 1] == "R" or text.startswith('R"', i - 1):
+                m = re.match(r'"([^(\s"]*)\(', text[i:])
+                if m:
+                    closer = ")" + m.group(1) + '"'
+                    j = text.find(closer, i)
+                    j = n - len(closer) if j == -1 else j
+                    line += text.count("\n", i, j)
+                    i = j + len(closer)
+                    line_has_code = True
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            line += text.count("\n", i, j)
+            i = j + 1
+            line_has_code = True
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            i = j + 1
+            line_has_code = True
+            continue
+        line_has_code = True
+        if c.isalpha() or c == "_":
+            m = re.match(r"[A-Za-z_]\w*", text[i:])
+            tokens.append(Token("ident", m.group(0), line))
+            i += m.end()
+            continue
+        if c.isdigit():
+            m = re.match(r"(0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'.xXeEpP+-]*)"
+                         r"[uUlLzZfF]*", text[i:])
+            tokens.append(Token("number", m.group(0), line))
+            i += m.end()
+            continue
+        for p in MULTI_PUNCT:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens, comments
+
+
+ALLOW_RE = re.compile(r"cpa-lint:\s*allow\(([^)]*)\)\s*:?\s*(.*?)\s*(\*/)?$")
+
+
+def parse_suppressions(comments, tokens):
+    """Returns ({line: [(rule_glob, reason)]}, [Finding for malformed])."""
+    code_lines = sorted({t.line for t in tokens})
+    allows: dict[int, list[tuple[str, str]]] = {}
+    bad: list[tuple[int, str]] = []
+    for line, text, standalone in comments:
+        m = ALLOW_RE.search(text)
+        if m is None:
+            if "cpa-lint" in text and "allow" in text:
+                bad.append((line, "unparseable cpa-lint allow comment"))
+            continue
+        rule_glob = m.group(1).strip()
+        reason = m.group(2).strip()
+        if not reason:
+            bad.append((line, "allow(%s) without a reason" % rule_glob))
+            continue
+        if not any(fnmatch.fnmatchcase(rid, rule_glob) for rid in RULE_IDS):
+            bad.append((line, "allow(%s) names no known rule" % rule_glob))
+            continue
+        target = line
+        if standalone:
+            later = [ln for ln in code_lines if ln > line]
+            if not later:
+                bad.append((line, "allow(%s) precedes no code" % rule_glob))
+                continue
+            target = later[0]
+        allows.setdefault(target, []).append((rule_glob, reason))
+    return allows, bad
+
+
+class TokenizerBackend:
+    name = "tokenizer"
+
+    def analyze(self, path: Path, rel: str) -> list[Finding]:
+        text = path.read_text()
+        tokens, _ = tokenize(text)
+        findings: list[Finding] = []
+        findings += self._unit_and_ovf(tokens, rel)
+        findings += self._determinism(tokens, rel)
+        return findings
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _statement_start(tokens, i):
+        j = i
+        while j > 0 and tokens[j].text not in (";", "{", "}"):
+            j -= 1
+        return j
+
+    @staticmethod
+    def _expr_start(tokens, dot_index):
+        """Index of the first token of the member-access object expression."""
+        j = dot_index - 1
+        while j >= 0:
+            t = tokens[j]
+            if t.text in (")", "]"):
+                opener = "(" if t.text == ")" else "["
+                closer = t.text
+                depth = 0
+                while j >= 0:
+                    if tokens[j].text == closer:
+                        depth += 1
+                    elif tokens[j].text == opener:
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j -= 1
+                j -= 1
+            elif t.kind in ("ident", "number"):
+                j -= 1
+            elif t.text in (".", "->", "::"):
+                j -= 1
+            else:
+                break
+        return j + 1
+
+    @staticmethod
+    def _match_balanced(tokens, open_index):
+        """Index just past the paren/brace group opening at open_index."""
+        opener = tokens[open_index].text
+        closer = {"(": ")", "{": "}", "[": "]"}[opener]
+        depth = 0
+        for j in range(open_index, len(tokens)):
+            if tokens[j].text == opener:
+                depth += 1
+            elif tokens[j].text == closer:
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+        return len(tokens)
+
+    # -- unit + ovf packs --------------------------------------------------
+
+    def _unit_and_ovf(self, tokens, rel):
+        findings = []
+        for i, tok in enumerate(tokens):
+            if tok.kind != "ident" or tok.text not in ("count", "value"):
+                continue
+            if i == 0 or tokens[i - 1].text != ".":
+                continue
+            if i + 2 >= len(tokens) or tokens[i + 1].text != "(" or \
+                    tokens[i + 2].text != ")":
+                continue
+            # std::chrono durations share the .count() spelling; a
+            # duration_cast earlier in the statement marks the result as a
+            # chrono duration, not a Quantity. (The clang backend decides
+            # by type instead.)
+            stmt = self._statement_start(tokens, i)
+            if tok.text == "count" and any(
+                    t.text == "duration_cast" for t in tokens[stmt:i]):
+                continue
+            rule = "unit.raw-count" if tok.text == "count" else \
+                "unit.raw-value"
+            member = "Quantity::count()" if tok.text == "count" else \
+                "Id::value()"
+            findings.append(Finding(
+                rule, rel, tok.line,
+                "raw %s escape; route through a named conversion in "
+                "units.hpp (to_metric / to_index / to_scalar / to_payload "
+                "/ ...)" % member))
+            after = tokens[i + 3] if i + 3 < len(tokens) else None
+            start = self._expr_start(tokens, i - 1)
+            before = tokens[start - 1] if start > 0 else None
+            # Integer-literal arithmetic on the raw representation.
+            # `*` is classified as ovf.raw-mul below, matching the clang
+            # backend's split.
+            if after is not None and after.text in ("+", "-", "/", "%") and \
+                    i + 4 < len(tokens) and tokens[i + 4].kind == "number":
+                findings.append(Finding(
+                    "unit.literal-arith", rel, tok.line,
+                    "integer-literal arithmetic on a raw %s "
+                    "representation" % member))
+            # Raw-representation multiplication (ovf pack).
+            if (after is not None and after.text == "*") or \
+                    (before is not None and before.text == "*"):
+                findings.append(Finding(
+                    "ovf.raw-mul", rel, tok.line,
+                    "multiplication of a raw representation bypasses the "
+                    "CPA_CHECKED_ARITH trapping operators"))
+        findings += self._narrowing_casts(tokens, rel)
+        return findings
+
+    def _narrowing_casts(self, tokens, rel):
+        findings = []
+        for i, tok in enumerate(tokens):
+            if tok.text != "static_cast" or i + 1 >= len(tokens) or \
+                    tokens[i + 1].text != "<":
+                continue
+            depth, j = 0, i + 1
+            while j < len(tokens):
+                if tokens[j].text == "<":
+                    depth += 1
+                elif tokens[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            type_tokens = [t.text for t in tokens[i + 2:j]]
+            if not any(t in NARROW_TYPES for t in type_tokens):
+                continue
+            if j + 1 >= len(tokens) or tokens[j + 1].text != "(":
+                continue
+            end = self._match_balanced(tokens, j + 1)
+            arg = tokens[j + 2:end - 1]
+            for k, t in enumerate(arg):
+                if t.text in ("count", "value") and k > 0 and \
+                        arg[k - 1].text == "." and k + 1 < len(arg) and \
+                        arg[k + 1].text == "(":
+                    findings.append(Finding(
+                        "ovf.narrowing-cast", rel, tok.line,
+                        "static_cast<%s> truncates a 64-bit quantity "
+                        "representation" % " ".join(type_tokens)))
+                    break
+        return findings
+
+    # -- det pack ----------------------------------------------------------
+
+    def _determinism(self, tokens, rel):
+        findings = []
+        for i, tok in enumerate(tokens):
+            if tok.kind != "ident":
+                continue
+            prev = tokens[i - 1] if i > 0 else None
+            nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+            if tok.text in BANNED_CALLS and nxt is not None and \
+                    nxt.text == "(" and \
+                    (prev is None or prev.text not in (".", "->")):
+                findings.append(Finding(
+                    "det.banned-call", rel, tok.line,
+                    "call to %s(): nondeterministic / global-state RNG" %
+                    tok.text))
+            elif tok.text == "time" and nxt is not None and \
+                    nxt.text == "(" and prev is not None and \
+                    prev.text == "::" and i >= 2 and \
+                    tokens[i - 2].text == "std":
+                findings.append(Finding(
+                    "det.banned-call", rel, tok.line,
+                    "std::time() used as an entropy source"))
+            elif tok.text == "random_device":
+                findings.append(Finding(
+                    "det.random-device", rel, tok.line,
+                    "std::random_device is nondeterministic"))
+            elif tok.text in UNORDERED_CONTAINERS:
+                findings.append(Finding(
+                    "det.unordered-container", rel, tok.line,
+                    "%s has unspecified iteration order; use std::map / "
+                    "std::set or a sorted vector" % tok.text))
+            elif tok.text in RNG_ENGINES:
+                f = self._check_engine_seed(tokens, i, rel)
+                if f is not None:
+                    findings.append(f)
+        findings += self._parallel_bodies(tokens, rel)
+        return findings
+
+    def _check_engine_seed(self, tokens, i, rel):
+        # Shapes: `std::mt19937_64 name(expr)`, `name{expr}`, or a
+        # temporary `std::mt19937_64(expr)`. A bare member declaration
+        # (no initializer) is fine — the constructor init list that seeds
+        # it is checked at its own site only if the engine type is visible
+        # there, so the fixture suite pins the declaration-with-initializer
+        # shapes this codebase actually uses.
+        j = i + 1
+        if j < len(tokens) and tokens[j].kind == "ident":
+            j += 1  # variable name
+        if j >= len(tokens) or tokens[j].text not in ("(", "{"):
+            return None
+        end = self._match_balanced(tokens, j)
+        args = tokens[j + 1:end - 1]
+        if not args:
+            return Finding(
+                "det.raw-seed", rel, tokens[i].line,
+                "%s default-constructed: seed it via util::seed_for" %
+                tokens[i].text)
+        if any("seed" in t.text for t in args if t.kind == "ident"):
+            return None
+        return Finding(
+            "det.raw-seed", rel, tokens[i].line,
+            "%s seeded from an expression that does not involve "
+            "util::seed_for or a *seed* value" % tokens[i].text)
+
+    def _parallel_bodies(self, tokens, rel):
+        findings = []
+        for i, tok in enumerate(tokens):
+            if tok.kind != "ident" or \
+                    tok.text not in PARALLEL_ENTRY_POINTS or \
+                    i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+                continue
+            end = self._match_balanced(tokens, i + 1)
+            body = tokens[i + 2:end - 1]
+            declared = set()
+            for k, t in enumerate(body):
+                if t.kind != "ident" or k == 0:
+                    continue
+                p = body[k - 1]
+                f = body[k + 1] if k + 1 < len(body) else None
+                if (p.kind == "ident" or p.text in (">", "&", "*")) and \
+                        f is not None and f.text in ("=", "{", "(", ";", ","):
+                    declared.add(t.text)
+            for k, t in enumerate(body):
+                if t.text in COMPOUND_ASSIGN_OPS and k > 0:
+                    lhs = body[k - 1]
+                    if lhs.kind == "ident" and lhs.text not in declared:
+                        findings.append(Finding(
+                            "det.parallel-accum", rel, lhs.line,
+                            "'%s %s' updates shared state inside a "
+                            "parallel body; write into a pre-sized "
+                            "per-index slot and reduce in trial-index "
+                            "order" % (lhs.text, t.text)))
+                elif t.text == "fork" and k > 0 and \
+                        body[k - 1].text == "." and \
+                        k + 1 < len(body) and body[k + 1].text == "(":
+                    findings.append(Finding(
+                        "det.fork-in-parallel", rel, t.line,
+                        "Rng::fork() inside a parallel body is "
+                        "order-dependent; derive the stream with "
+                        "util::seed_for(base, index)"))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Clang AST backend: same findings, decided by real types instead of token
+# heuristics. Used when clang is available; --self-test cross-checks the two
+# backends over the fixture suite.
+
+QUANTITY_TYPE_RE = re.compile(
+    r"\b(cpa::)?util::(Quantity|Cycles|Microseconds|AccessCount)\b")
+ID_TYPE_RE = re.compile(r"\b(cpa::)?util::(Id<|TaskId|CoreId)")
+CHRONO_TYPE_RE = re.compile(r"\b(std::)?chrono::")
+
+
+def clang_binary():
+    for name in ("clang++", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+class ClangAstBackend:
+    name = "clang-ast"
+
+    def __init__(self, repo: Path):
+        self.repo = repo
+        self.clang = clang_binary()
+        if self.clang is None:
+            raise RuntimeError(
+                "clang backend requested but no clang/clang++ on PATH")
+
+    def analyze(self, path: Path, rel: str) -> list[Finding]:
+        cmd = [
+            self.clang, "-std=c++20", "-fsyntax-only", "-w",
+            "-I", str(self.repo / "src"),
+            "-Xclang", "-ast-dump=json", str(path),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if not proc.stdout:
+            raise RuntimeError(
+                "clang AST dump failed for %s:\n%s" % (rel, proc.stderr))
+        root = json.loads(proc.stdout)
+        self.findings: list[Finding] = []
+        self.rel = rel
+        self.target = str(path.resolve())
+        self.cur_file = ""
+        self.cur_line = 0
+        self._walk(root, inside_lambda_decls=None)
+        return self.findings
+
+    # The clang JSON dump omits loc fields that repeat the previous
+    # value, so the walk carries (file, line) state.
+    def _update_loc(self, node):
+        loc = node.get("loc") or {}
+        for candidate in (loc.get("expansionLoc"), loc):
+            if not candidate:
+                continue
+            if "file" in candidate:
+                self.cur_file = candidate["file"]
+            if "line" in candidate:
+                self.cur_line = candidate["line"]
+                return
+        rng = node.get("range", {}).get("begin", {})
+        for candidate in (rng.get("expansionLoc"), rng):
+            if candidate and "line" in candidate:
+                if "file" in candidate:
+                    self.cur_file = candidate["file"]
+                self.cur_line = candidate["line"]
+                return
+
+    def _in_target(self):
+        return self.cur_file == self.target or \
+            Path(self.cur_file).name == Path(self.target).name
+
+    def _emit(self, rule, message):
+        if self._in_target():
+            self.findings.append(
+                Finding(rule, self.rel, self.cur_line, message))
+
+    @staticmethod
+    def _qual_types(node):
+        t = node.get("type", {})
+        return " ".join(
+            filter(None, (t.get("qualType"), t.get("desugaredQualType"))))
+
+    def _member_call_kind(self, node):
+        """'quantity' / 'id' / None for a MemberExpr .count()/.value()."""
+        if node.get("kind") != "MemberExpr":
+            return None
+        name = node.get("name")
+        if name not in ("count", "value"):
+            return None
+        inner = node.get("inner") or []
+        if not inner:
+            return None
+        base_type = self._qual_types(inner[0])
+        if CHRONO_TYPE_RE.search(base_type):
+            return None
+        if name == "count" and QUANTITY_TYPE_RE.search(base_type):
+            return "quantity"
+        if name == "value" and ID_TYPE_RE.search(base_type):
+            return "id"
+        return None
+
+    @classmethod
+    def _is_int_literal(cls, node):
+        """IntegerLiteral, possibly behind implicit casts / parens."""
+        while isinstance(node, dict):
+            kind = node.get("kind")
+            if kind == "IntegerLiteral":
+                return True
+            if kind not in ("ImplicitCastExpr", "ConstantExpr",
+                            "ParenExpr"):
+                return False
+            inner = node.get("inner") or []
+            if not inner:
+                return False
+            node = inner[0]
+        return False
+
+    def _contains_raw_unwrap(self, node):
+        if isinstance(node, dict):
+            if self._member_call_kind(node):
+                return True
+            return any(self._contains_raw_unwrap(c)
+                       for c in node.get("inner") or [])
+        return False
+
+    def _subtree_var_decl_ids(self, node, out):
+        if isinstance(node, dict):
+            if node.get("kind") in ("VarDecl", "ParmVarDecl"):
+                out.add(node.get("id"))
+            for c in node.get("inner") or []:
+                self._subtree_var_decl_ids(c, out)
+
+    def _walk(self, node, inside_lambda_decls):
+        if not isinstance(node, dict):
+            return
+        self._update_loc(node)
+        saved = (self.cur_file, self.cur_line)
+        kind = node.get("kind")
+
+        unwrap = self._member_call_kind(node)
+        if unwrap is not None:
+            member = "Quantity::count()" if unwrap == "quantity" else \
+                "Id::value()"
+            rule = "unit.raw-count" if unwrap == "quantity" else \
+                "unit.raw-value"
+            self._emit(rule,
+                       "raw %s escape; route through a named conversion "
+                       "in units.hpp" % member)
+
+        if kind == "BinaryOperator" and node.get("opcode") == "*":
+            if any(self._contains_raw_unwrap(c)
+                   for c in node.get("inner") or []):
+                self._emit("ovf.raw-mul",
+                           "multiplication of a raw representation "
+                           "bypasses CPA_CHECKED_ARITH")
+        if kind == "BinaryOperator" and \
+                node.get("opcode") in ("+", "-", "/", "%"):
+            inner = node.get("inner") or []
+            if len(inner) == 2:
+                if any(self._is_int_literal(c) for c in inner) and any(
+                        self._contains_raw_unwrap(c) for c in inner):
+                    self._emit("unit.literal-arith",
+                               "integer-literal arithmetic on a raw "
+                               "representation")
+        if kind == "CXXStaticCastExpr":
+            dest = self._qual_types(node)
+            dest_tokens = re.findall(r"\w+", dest)
+            if any(t in NARROW_TYPES for t in dest_tokens) and \
+                    self._contains_raw_unwrap(node):
+                self._emit("ovf.narrowing-cast",
+                           "static_cast<%s> truncates a 64-bit quantity "
+                           "representation" % dest)
+
+        if kind in ("DeclRefExpr", "MemberExpr"):
+            ref = node.get("referencedDecl", {})
+            name = ref.get("name") or node.get("name")
+            if name in BANNED_CALLS and \
+                    ref.get("kind") == "FunctionDecl":
+                self._emit("det.banned-call",
+                           "call to %s(): nondeterministic RNG" % name)
+            if name == "time" and ref.get("kind") == "FunctionDecl":
+                self._emit("det.banned-call",
+                           "std::time() used as an entropy source")
+        qt = self._qual_types(node)
+        if kind in ("VarDecl", "FieldDecl", "ParmVarDecl"):
+            if "random_device" in qt:
+                self._emit("det.random-device",
+                           "std::random_device is nondeterministic")
+            if any(u in qt for u in UNORDERED_CONTAINERS):
+                self._emit("det.unordered-container",
+                           "unordered container has unspecified iteration "
+                           "order")
+            engine = next((e for e in RNG_ENGINES if re.search(
+                r"\b%s\b" % e, qt)), None)
+            if engine is not None and node.get("init"):
+                names: set[str] = set()
+                self._collect_ref_names(node, names)
+                if not any("seed" in n for n in names):
+                    self._emit("det.raw-seed",
+                               "%s seeded without util::seed_for / a "
+                               "*seed* value" % engine)
+
+        if kind == "CallExpr":
+            callee_name = self._callee_name(node)
+            if callee_name in PARALLEL_ENTRY_POINTS or (
+                    kind == "CXXMemberCallExpr" and
+                    callee_name in PARALLEL_ENTRY_POINTS):
+                lam = self._find_lambda(node)
+                if lam is not None:
+                    decls: set = set()
+                    self._subtree_var_decl_ids(lam, decls)
+                    self._walk_lambda_body(lam, decls)
+        if kind == "CXXMemberCallExpr":
+            callee_name = self._callee_name(node)
+            if callee_name in PARALLEL_ENTRY_POINTS:
+                lam = self._find_lambda(node)
+                if lam is not None:
+                    decls = set()
+                    self._subtree_var_decl_ids(lam, decls)
+                    self._walk_lambda_body(lam, decls)
+
+        for child in node.get("inner") or []:
+            self._walk(child, inside_lambda_decls)
+        self.cur_file, self.cur_line = saved
+
+    def _collect_ref_names(self, node, out):
+        if isinstance(node, dict):
+            ref = node.get("referencedDecl")
+            if ref and ref.get("name"):
+                out.add(ref["name"])
+            if node.get("kind") in ("DeclRefExpr", "MemberExpr") and \
+                    node.get("name"):
+                out.add(node["name"])
+            member = node.get("name")
+            if isinstance(member, str):
+                out.add(member)
+            for c in node.get("inner") or []:
+                self._collect_ref_names(c, out)
+
+    def _callee_name(self, node):
+        inner = node.get("inner") or []
+        if not inner:
+            return None
+        names: set[str] = set()
+        self._collect_ref_names(inner[0], names)
+        for cand in PARALLEL_ENTRY_POINTS:
+            if cand in names:
+                return cand
+        return None
+
+    def _find_lambda(self, node):
+        if isinstance(node, dict):
+            if node.get("kind") == "LambdaExpr":
+                return node
+            for c in node.get("inner") or []:
+                found = self._find_lambda(c)
+                if found is not None:
+                    return found
+        return None
+
+    def _walk_lambda_body(self, node, declared_ids):
+        if not isinstance(node, dict):
+            return
+        self._update_loc(node)
+        saved = (self.cur_file, self.cur_line)
+        if node.get("kind") == "CompoundAssignOperator":
+            inner = node.get("inner") or []
+            if inner:
+                lhs = inner[0]
+                ref = lhs.get("referencedDecl", {})
+                if lhs.get("kind") == "DeclRefExpr" and \
+                        ref.get("id") not in declared_ids:
+                    self._emit("det.parallel-accum",
+                               "'%s' updated inside a parallel body; use "
+                               "the pre-sized-slot reduction idiom" %
+                               ref.get("name"))
+        if node.get("kind") in ("CXXMemberCallExpr",):
+            names: set[str] = set()
+            inner = node.get("inner") or []
+            if inner:
+                self._collect_ref_names(inner[0], names)
+            if "fork" in names:
+                self._emit("det.fork-in-parallel",
+                           "Rng::fork() inside a parallel body")
+        for c in node.get("inner") or []:
+            self._walk_lambda_body(c, declared_ids)
+        self.cur_file, self.cur_line = saved
+
+
+# ---------------------------------------------------------------------------
+# Suppression + whitelist application (backend-independent).
+
+def load_whitelist(path: Path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        code, _, comment = line.partition("#")
+        parts = code.split()
+        if len(parts) != 2 or not comment.strip():
+            raise SystemExit(
+                "cpa_lint: %s:%d: whitelist entries are "
+                "'<rule-glob> <path-glob>  # reason' (reason mandatory)" %
+                (path, lineno))
+        entries.append((parts[0], parts[1], comment.strip()))
+    return entries
+
+
+def apply_filters(findings, rel, source_text, whitelist):
+    tokens, comments = tokenize(source_text)
+    allows, bad = parse_suppressions(comments, tokens)
+    kept = []
+    for f in findings:
+        for rule_glob, path_glob, _reason in whitelist:
+            if fnmatch.fnmatchcase(f.rule, rule_glob) and \
+                    fnmatch.fnmatchcase(f.path, path_glob):
+                f.suppressed = True
+                f.suppression_reason = "whitelist: %s %s" % (
+                    rule_glob, path_glob)
+                break
+        if not f.suppressed:
+            for rule_glob, reason in allows.get(f.line, []):
+                if fnmatch.fnmatchcase(f.rule, rule_glob):
+                    f.suppressed = True
+                    f.suppression_reason = reason
+                    break
+        kept.append(f)
+    for line, message in bad:
+        kept.append(Finding("meta.bad-suppression", rel, line, message))
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Layering pass: scripts/check_layers.py folded in.
+
+def run_layering(repo: Path, findings: list[Finding]):
+    script = repo / "scripts" / "check_layers.py"
+    proc = subprocess.run(
+        [sys.executable, str(script), "--repo", str(repo), "--no-compile"],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        return
+    parsed_any = False
+    for line in (proc.stdout + proc.stderr).splitlines():
+        m = re.match(r"LAYERING VIOLATION:\s*(.*)", line.strip())
+        if m is None:
+            continue
+        problem = m.group(1)
+        # check_layers problems lead with a src-relative `path:line:` when
+        # they are tied to a file; structural problems (cycles, unknown
+        # modules) are attributed to src/ as a whole.
+        loc = re.match(r"([\w/.-]+\.(?:hpp|cpp|h|cc)):(\d+):", problem)
+        path = "src/" + loc.group(1) if loc else "src"
+        lineno = int(loc.group(2)) if loc else 0
+        findings.append(Finding("layering.violation", path, lineno,
+                                problem))
+        parsed_any = True
+    if not parsed_any:
+        findings.append(Finding(
+            "layering.violation", "src", 0,
+            "check_layers.py failed (exit %d): %s" %
+            (proc.returncode, (proc.stdout + proc.stderr).strip()[:400])))
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+
+def iter_sources(repo: Path, roots):
+    for root in roots:
+        base = repo / root
+        for ext in ("*.cpp", "*.hpp"):
+            yield from sorted(base.rglob(ext))
+
+
+def lint_tree(repo, backend, whitelist, roots, with_layering):
+    findings = []
+    for path in iter_sources(repo, roots):
+        rel = path.relative_to(repo).as_posix()
+        file_findings = backend.analyze(path, rel)
+        findings += apply_filters(file_findings, rel, path.read_text(),
+                                  whitelist)
+    if with_layering:
+        run_layering(repo, findings)
+    return findings
+
+
+def make_backend(choice, repo):
+    if choice == "tokenizer":
+        return TokenizerBackend()
+    if choice == "clang":
+        return ClangAstBackend(repo)
+    # auto: prefer clang when present, else tokenizer — never silently
+    # skip analysis altogether.
+    if clang_binary() is not None:
+        try:
+            return ClangAstBackend(repo)
+        except RuntimeError:
+            pass
+    return TokenizerBackend()
+
+
+def report(findings, as_json, backend_name, out=sys.stdout):
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    if as_json:
+        json.dump({
+            "tool": "cpa-lint",
+            "backend": backend_name,
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "message": f.message} for f in active],
+            "suppressed": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "reason": f.suppression_reason} for f in suppressed],
+            "summary": {"active": len(active),
+                        "suppressed": len(suppressed)},
+        }, out, indent=2)
+        out.write("\n")
+    else:
+        for f in active:
+            out.write("%s:%d: [%s] %s\n" % (f.path, f.line, f.rule,
+                                            f.message))
+        out.write("cpa-lint (%s): %d finding(s), %d suppressed\n" %
+                  (backend_name, len(active), len(suppressed)))
+    return 1 if active else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test over the fixture suite. Layout: tests/lint_fixtures/<rule>/
+# {bad*.cpp,good*.cpp}. Every bad fixture must trigger its rule; every good
+# fixture must not. When clang is available both backends run and must
+# agree on the per-fixture rule-hit sets.
+
+def self_test(repo: Path) -> int:
+    fixture_root = repo / "tests" / "lint_fixtures"
+    if not fixture_root.is_dir():
+        print("cpa_lint --self-test: missing %s" % fixture_root)
+        return 2
+    backends = [TokenizerBackend()]
+    if clang_binary() is not None:
+        backends.append(ClangAstBackend(repo))
+    else:
+        print("cpa_lint --self-test: clang not found; backend-agreement "
+              "half runs on the tokenizer only (CI runs both)")
+    failures = 0
+    per_backend_hits: dict[str, dict[str, set]] = {}
+    for backend in backends:
+        hits: dict[str, set] = {}
+        for rule_dir in sorted(p for p in fixture_root.iterdir()
+                               if p.is_dir()):
+            rule = rule_dir.name
+            if rule not in RULE_IDS and rule != "suppression":
+                print("FAIL: fixture dir %s names no known rule" % rule_dir)
+                failures += 1
+                continue
+            for fixture in sorted(rule_dir.glob("*.cpp")):
+                rel = fixture.relative_to(repo).as_posix()
+                raw = backend.analyze(fixture, rel)
+                filtered = apply_filters(raw, rel, fixture.read_text(), [])
+                active = {f.rule for f in filtered if not f.suppressed}
+                hits[rel] = active
+                expect_rule = rule if rule != "suppression" else \
+                    "meta.bad-suppression"
+                if fixture.name.startswith("bad"):
+                    if expect_rule not in active:
+                        print("FAIL[%s]: %s did not trigger %s (got %s)" %
+                              (backend.name, rel, expect_rule,
+                               sorted(active) or "nothing"))
+                        failures += 1
+                elif fixture.name.startswith("good"):
+                    if expect_rule in active:
+                        print("FAIL[%s]: clean fixture %s triggered %s" %
+                              (backend.name, rel, expect_rule))
+                        failures += 1
+        per_backend_hits[backend.name] = hits
+    if len(backends) == 2:
+        tok = per_backend_hits["tokenizer"]
+        cla = per_backend_hits["clang-ast"]
+        for rel in sorted(set(tok) | set(cla)):
+            if tok.get(rel, set()) != cla.get(rel, set()):
+                print("FAIL: backend disagreement on %s: tokenizer=%s "
+                      "clang=%s" % (rel, sorted(tok.get(rel, set())),
+                                    sorted(cla.get(rel, set()))))
+                failures += 1
+    # The layering pass self-check rides along so one entry point proves
+    # the whole engine.
+    proc = subprocess.run(
+        [sys.executable, str(repo / "scripts" / "check_layers.py"),
+         "--self-test"], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("FAIL: check_layers.py --self-test:\n%s" %
+              (proc.stdout + proc.stderr))
+        failures += 1
+    total_fixtures = len(list(fixture_root.glob("*/*.cpp")))
+    print("cpa_lint --self-test: %d fixtures, %d backend(s), %d failure(s)"
+          % (total_fixtures, len(backends), failures))
+    return 1 if failures else 0
+
+
+def list_rules(out=sys.stdout):
+    width = max(len(r.id) for r in RULES)
+    for r in RULES:
+        out.write("%-*s  [%s] %s\n" % (width, r.id, r.pack, r.rationale))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cpa_lint.py",
+        description="Project-specific static analysis (unit / det / ovf / "
+                    "layering rule packs)")
+    parser.add_argument("--repo", type=Path, default=REPO_ROOT,
+                        help="repository root (default: script's parent)")
+    parser.add_argument("--src", action="append", default=None,
+                        metavar="DIR",
+                        help="source roots relative to the repo "
+                             "(default: src)")
+    parser.add_argument("--backend",
+                        choices=["auto", "tokenizer", "clang"],
+                        default="auto")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--rules", metavar="GLOBS",
+                        help="comma-separated rule-id globs to keep")
+    parser.add_argument("--no-layering", action="store_true",
+                        help="skip the check_layers.py pass")
+    parser.add_argument("--whitelist", type=Path, default=None,
+                        help="whitelist file (default: "
+                             "scripts/cpa_lint_whitelist.txt)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture suite (and backend "
+                             "agreement when clang is available)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        list_rules()
+        return 0
+    repo = args.repo.resolve()
+    if args.self_test:
+        return self_test(repo)
+
+    whitelist_path = args.whitelist or \
+        repo / "scripts" / "cpa_lint_whitelist.txt"
+    whitelist = load_whitelist(whitelist_path)
+    try:
+        backend = make_backend(args.backend, repo)
+    except RuntimeError as err:
+        print("cpa_lint: %s" % err, file=sys.stderr)
+        return 2
+    roots = args.src or ["src"]
+    findings = lint_tree(repo, backend, whitelist, roots,
+                         with_layering=not args.no_layering)
+    if args.rules:
+        globs = [g.strip() for g in args.rules.split(",") if g.strip()]
+        findings = [f for f in findings if any(
+            fnmatch.fnmatchcase(f.rule, g) for g in globs)]
+    return report(findings, args.json, backend.name)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,18 +6,37 @@
 #   build-dir   directory for the compile_commands.json configure
 #               (default: build-tidy)
 #
-# Exit codes: 0 = clean (or clang-tidy unavailable — the container toolchain
-# is gcc-only, so absence is a skip, not a failure; CI installs clang-tidy
-# explicitly), 1 = diagnostics found or the configure failed.
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy). CI pins a
+#               major version here so profile behavior does not drift with
+#               the runner image.
+#   CPA_CI      when set to 1, a missing clang-tidy is a hard failure
+#               instead of a skip. Locally the container toolchain is
+#               gcc-only, so absence skips with a notice; in CI a silent
+#               skip would turn the whole job into a green no-op.
+#
+# Exit codes: 0 = clean (or skipped locally), 1 = diagnostics found,
+# missing tool under CPA_CI=1, or the configure failed.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-tidy"}
+clang_tidy=${CLANG_TIDY:-clang-tidy}
 
-if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "run_static_analysis: clang-tidy not found; skipping (install clang-tidy to run this check)"
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+    if [ "${CPA_CI:-0}" = "1" ]; then
+        echo "run_static_analysis: FATAL: '$clang_tidy' not found but CPA_CI=1" >&2
+        echo "run_static_analysis: install it (or set CLANG_TIDY) -- a skip in CI would pass vacuously" >&2
+        exit 1
+    fi
+    echo "run_static_analysis: '$clang_tidy' not found; skipping (install clang-tidy or set CLANG_TIDY to run this check)"
     exit 0
 fi
+
+# Tool versions up front so a CI log always shows what actually ran.
+echo "run_static_analysis: using $(command -v "$clang_tidy")"
+"$clang_tidy" --version | sed 's/^/run_static_analysis:   /'
+cmake --version | head -n 1 | sed 's/^/run_static_analysis:   /'
 
 # clang-tidy needs a compilation database; generate one without building.
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
@@ -27,11 +46,12 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
 files=$(find "$repo_root/src" -name '*.cpp' | sort)
 if command -v run-clang-tidy >/dev/null 2>&1; then
     # shellcheck disable=SC2086 -- word splitting of $files is intended
-    run-clang-tidy -quiet -p "$build_dir" $files
+    run-clang-tidy -quiet -p "$build_dir" \
+        -clang-tidy-binary "$(command -v "$clang_tidy")" $files
 else
     status=0
     for f in $files; do
-        clang-tidy -quiet -p "$build_dir" "$f" || status=1
+        "$clang_tidy" -quiet -p "$build_dir" "$f" || status=1
     done
     exit $status
 fi

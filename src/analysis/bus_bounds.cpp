@@ -14,6 +14,7 @@ using util::AccessCount;
 using util::ceil_div;
 using util::clamp_non_negative;
 using util::floor_div;
+using util::to_metric;
 using util::to_string;
 
 namespace {
@@ -80,9 +81,9 @@ void record_bat(BusPolicy policy, AccessCount same_core,
     // registry references so the serial hot path stays one atomic add.
     if (obs::MetricsBuffer* buffer = obs::current_metrics_buffer()) {
         buffer->add_counter(names.calls, 1);
-        buffer->add_counter(names.same_core, same_core.count());
-        buffer->add_counter(names.cross_core, cross_core.count());
-        buffer->add_counter(names.blocking, blocking.count());
+        buffer->add_counter(names.same_core, to_metric(same_core));
+        buffer->add_counter(names.cross_core, to_metric(cross_core));
+        buffer->add_counter(names.blocking, to_metric(blocking));
         return;
     }
     static BatCounters fp =
@@ -107,9 +108,9 @@ void record_bat(BusPolicy policy, AccessCount same_core,
         break;
     }
     counters->calls.add(1);
-    counters->same_core.add(same_core.count());
-    counters->cross_core.add(cross_core.count());
-    counters->blocking.add(blocking.count());
+    counters->same_core.add(to_metric(same_core));
+    counters->cross_core.add(to_metric(cross_core));
+    counters->blocking.add(to_metric(blocking));
 }
 #endif // CPA_OBS_ENABLED
 

@@ -44,10 +44,10 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                             ts[i].ucb.intersection_count(prefix_ecb));
                         break;
                     case CrpdMethod::kUcbOnly:
-                        candidate = accesses_from_blocks(ts[i].ucb.count());
+                        candidate = accesses_from_blocks(ts[i].ucb.popcount());
                         break;
                     case CrpdMethod::kEcbOnly:
-                        candidate = accesses_from_blocks(prefix_ecb.count());
+                        candidate = accesses_from_blocks(prefix_ecb.popcount());
                         break;
                     }
                     running_max = std::max(running_max, candidate);
@@ -92,7 +92,7 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
         // decreasing in the analysis level (the evictor union only grows).
         const AccessCount cache_limit = accesses_from_blocks(ts.cache_sets());
         for (std::size_t i = 0; i < n; ++i) {
-            const AccessCount pcb_i = accesses_from_blocks(ts[i].pcb.count());
+            const AccessCount pcb_i = accesses_from_blocks(ts[i].pcb.popcount());
             AccessCount previous_cpro{0};
             for (std::size_t j = 0; j < n; ++j) {
                 CPA_CHECK_ASSERT(

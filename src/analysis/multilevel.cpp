@@ -67,8 +67,8 @@ public:
         const L2Footprint& fp = footprints_[j];
         const AccessCount warm =
             n_jobs * fp.md_residual_l2 +
-            accesses_from_blocks(task.pcb.count()) +
-            accesses_from_blocks(fp.pcb2.count()) +
+            accesses_from_blocks(task.pcb.popcount()) +
+            accesses_from_blocks(fp.pcb2.popcount()) +
             tables_.rho_hat(j, level, n_jobs) +
             l2_tables_.rho2_hat(j, level, n_jobs);
         return std::min(raw, warm);

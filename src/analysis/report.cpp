@@ -15,7 +15,7 @@ explain_responses(const tasks::TaskSet& ts, const PlatformConfig& platform,
 
     std::vector<ResponseBreakdown> breakdowns(ts.size());
     const std::size_t analyzable =
-        wcrt.schedulable ? ts.size() : wcrt.failed_task.value() + 1;
+        wcrt.schedulable ? ts.size() : util::to_index(wcrt.failed_task) + 1;
 
     for (std::size_t i = 0; i < analyzable && i < ts.size(); ++i) {
         const tasks::Task& task = ts[i];

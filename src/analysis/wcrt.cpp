@@ -94,8 +94,8 @@ void trace_outer_iteration(std::size_t outer, bool changed,
             .field("iter", outer + 1)
             .field("changed", changed)
             .field("inner_iterations", inner_this_round)
-            .field("max_response", max_response.count())
-            .field("total_response", total_response.count()));
+            .field("max_response", util::to_metric(max_response))
+            .field("total_response", util::to_metric(total_response)));
 }
 
 void record_metrics(const WcrtResult& result)
@@ -169,9 +169,10 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
                             .field("task", i)
                             .field("task_name", ts[i].name)
                             .field("core", ts[i].core)
-                            .field("response", updated.count())
+                            .field("response", util::to_metric(updated))
                             .field("deadline",
-                                   ts[i].effective_deadline().count())
+                                   util::to_metric(
+                                       ts[i].effective_deadline()))
                             .field("outer_iteration", outer + 1));
                 }
                 record_metrics(result);

@@ -185,10 +185,10 @@ BenchmarkParams derive_params(const BenchmarkSpec& spec,
         ref.ecb > 0
             ? static_cast<double>(ref.pcb) / static_cast<double>(ref.ecb)
             : 0.0;
-    const AccessCount mdr{std::clamp<std::int64_t>(
-        std::llround(util::to_double(md) * residual_ratio *
-                     (1.0 - (pshare - pshare_ref))),
-        0, md.count())};
+    const AccessCount mdr = std::clamp(
+        AccessCount{std::llround(util::to_double(md) * residual_ratio *
+                                 (1.0 - (pshare - pshare_ref)))},
+        AccessCount{0}, md);
 
     BenchmarkParams params;
     params.name = spec.name;

@@ -337,7 +337,7 @@ private:
                 }
             }
             const AccessCount pcb_i =
-                util::accesses_from_blocks(ts_[i].pcb.count());
+                util::accesses_from_blocks(ts_[i].pcb.popcount());
             for (std::size_t level = 0; level < ts_.size(); ++level) {
                 const AccessCount overlap = oracle_.cpro_overlap(i, level);
                 require("tables.cpro_shape",
@@ -549,7 +549,8 @@ private:
     {
         std::int64_t total = 0;
         for (const tasks::Task& task : ts_.tasks()) {
-            total += (horizon / task.period + 1) * (task.md.count() + 2);
+            total +=
+                (horizon / task.period + 1) * (util::to_scalar(task.md) + 2);
         }
         return total;
     }

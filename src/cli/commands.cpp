@@ -340,7 +340,7 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
             std::vector<analysis::ResponseBreakdown> rows(parsed.ts.size());
             const std::size_t analyzable = wcrt.schedulable
                                                ? parsed.ts.size()
-                                               : wcrt.failed_task.value() + 1;
+                                               : util::to_index(wcrt.failed_task) + 1;
             for (std::size_t i = 0; i < analyzable && i < rows.size(); ++i) {
                 rows[i].analyzed = true;
                 rows[i].response = wcrt.response[i];
@@ -531,7 +531,8 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
         run_report.set("file", obs::JsonValue(path));
         obs::JsonValue& cfg = run_report.section("config");
         cfg.set("policy", obs::JsonValue(analysis::to_string(policy)));
-        cfg.set("horizon", obs::JsonValue(sim_config.horizon.count()));
+        cfg.set("horizon",
+                obs::JsonValue(util::to_metric(sim_config.horizon)));
         run_report.set("deadline_missed",
                        obs::JsonValue(result.deadline_missed));
         write_run_report(run_report, metrics_out, out);

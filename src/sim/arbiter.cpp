@@ -7,6 +7,7 @@ namespace cpa::sim {
 using analysis::BusPolicy;
 using util::Cycles;
 using util::MutexLock;
+using util::to_index;
 
 BusArbiter::BusArbiter(BusPolicy policy, std::size_t num_cores, Cycles d_mem,
                        std::int64_t slot_size)
@@ -22,12 +23,12 @@ Cycles BusArbiter::tdma_start(CoreId core, Cycles from) const
 {
     const auto s = static_cast<std::uint64_t>(slot_size_);
     const auto m = static_cast<std::uint64_t>(num_cores_);
-    const auto d = static_cast<std::uint64_t>(d_mem_.count());
-    std::uint64_t k = static_cast<std::uint64_t>(from.count()) / d;
+    // Slot index of `from` (same-dimension ratio, dimensionless), walked
+    // forward until the TDMA schedule hands the slot to `core`.
+    std::uint64_t k = static_cast<std::uint64_t>(from / d_mem_);
     for (std::uint64_t step = 0; step <= m * s; ++step, ++k) {
-        if ((k / s) % m == core.value()) {
-            return std::max(from,
-                            Cycles{static_cast<std::int64_t>(k * d)});
+        if ((k / s) % m == to_index(core)) {
+            return std::max(from, d_mem_ * static_cast<std::int64_t>(k));
         }
     }
     throw std::logic_error("BusArbiter::tdma_start: no slot found");
@@ -36,11 +37,11 @@ Cycles BusArbiter::tdma_start(CoreId core, Cycles from) const
 std::optional<Cycles> BusArbiter::request(CoreId core, TaskId priority,
                                           Cycles now)
 {
-    if (core.value() >= num_cores_) {
+    if (to_index(core) >= num_cores_) {
         throw std::out_of_range("BusArbiter::request: bad core");
     }
     MutexLock lock(mutex_);
-    if (pending_[core.value()].has_value()) {
+    if (pending_[to_index(core)].has_value()) {
         throw std::logic_error(
             "BusArbiter::request: core already has an outstanding request");
     }
@@ -51,14 +52,14 @@ std::optional<Cycles> BusArbiter::request(CoreId core, TaskId priority,
         return tdma_start(core, now) + d_mem_;
     case BusPolicy::kFixedPriority:
     case BusPolicy::kRoundRobin:
-        pending_[core.value()] = priority;
+        pending_[to_index(core)] = priority;
         if (busy_) {
             return std::nullopt;
         }
         // Idle bus: this request wins arbitration immediately (for RR it
         // either continues the current turn or starts a new one).
         if (const auto grant = pick_next(); grant.has_value()) {
-            pending_[grant->value()].reset();
+            pending_[to_index(*grant)].reset();
             busy_ = true;
             if (*grant == core) {
                 return now + d_mem_;
@@ -78,7 +79,7 @@ std::optional<CoreId> BusArbiter::pick_next()
         for (std::size_t c = 0; c < num_cores_; ++c) {
             if (pending_[c].has_value() &&
                 (!best.has_value() ||
-                 *pending_[c] < *pending_[best->value()])) {
+                 *pending_[c] < *pending_[to_index(*best)])) {
                 best = CoreId{c};
             }
         }
@@ -103,13 +104,13 @@ std::optional<CoreId> BusArbiter::pick_next()
 
 void BusArbiter::promote(CoreId core, TaskId priority)
 {
-    if (core.value() >= num_cores_) {
+    if (to_index(core) >= num_cores_) {
         throw std::out_of_range("BusArbiter::promote: bad core");
     }
     MutexLock lock(mutex_);
-    if (pending_[core.value()].has_value() &&
-        priority < *pending_[core.value()]) {
-        pending_[core.value()] = priority;
+    if (pending_[to_index(core)].has_value() &&
+        priority < *pending_[to_index(core)]) {
+        pending_[to_index(core)] = priority;
     }
 }
 
@@ -122,7 +123,7 @@ std::optional<std::pair<CoreId, Cycles>> BusArbiter::complete(CoreId /*core*/,
     MutexLock lock(mutex_);
     busy_ = false;
     if (const auto grant = pick_next(); grant.has_value()) {
-        pending_[grant->value()].reset();
+        pending_[to_index(*grant)].reset();
         busy_ = true;
         return std::make_pair(*grant, now + d_mem_);
     }

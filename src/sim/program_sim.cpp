@@ -11,7 +11,9 @@ namespace cpa::sim {
 
 namespace {
 
+using util::AccessCount;
 using util::CoreId;
+using util::to_index;
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -108,8 +110,8 @@ public:
         result_.max_response.assign(workload.size(), Cycles{0});
         result_.jobs_completed.assign(workload.size(), 0);
         result_.bus_accesses.assign(workload.size(), AccessCount{0});
-        result_.cache_hits.assign(workload.size(), 0);
-        fetches_completed_.assign(workload.size(), 0);
+        result_.cache_hits.assign(workload.size(), AccessCount{0});
+        fetches_completed_.assign(workload.size(), AccessCount{0});
         current_job_of_task_.assign(workload.size(), kNone);
     }
 
@@ -138,7 +140,7 @@ public:
         }
         for (std::size_t i = 0; i < workload_.size(); ++i) {
             result_.cache_hits[i] =
-                fetches_completed_[i] - result_.bus_accesses[i].count();
+                fetches_completed_[i] - result_.bus_accesses[i];
         }
         return result_;
     }
@@ -267,13 +269,13 @@ private:
                 elapsed -= first_cost;
                 job.pos += 1;
                 job.partial = Cycles{0};
-                fetches_completed_[job.task] += 1;
+                fetches_completed_[job.task] += AccessCount{1};
                 const auto more = std::min<std::size_t>(
                     static_cast<std::size_t>(elapsed / cpf),
                     job.chunk_end_pos - job.pos);
                 job.pos += more;
                 fetches_completed_[job.task] +=
-                    static_cast<std::int64_t>(more);
+                    AccessCount{static_cast<std::int64_t>(more)};
                 elapsed -= static_cast<std::int64_t>(more) * cpf;
                 job.partial = elapsed;
             } else {
@@ -295,7 +297,7 @@ private:
         }
         PJob& job = jobs_[core.running];
         fetches_completed_[job.task] +=
-            static_cast<std::int64_t>(job.chunk_end_pos - job.pos);
+            AccessCount{static_cast<std::int64_t>(job.chunk_end_pos - job.pos)};
         job.pos = job.chunk_end_pos;
         job.partial = Cycles{0};
 
@@ -333,7 +335,7 @@ private:
 
         if (const auto next = arbiter_.complete(CoreId{core_index}, now_);
             next.has_value()) {
-            push(next->second, EventType::kBusDone, next->first.value(), 0);
+            push(next->second, EventType::kBusDone, to_index(next->first), 0);
         }
     }
 
@@ -368,7 +370,7 @@ private:
     std::vector<PJob> jobs_;
     std::vector<PCore> cores_;
     std::vector<std::size_t> current_job_of_task_;
-    std::vector<std::int64_t> fetches_completed_;
+    std::vector<AccessCount> fetches_completed_;
     BusArbiter arbiter_;
 
     ProgramSimResult result_;

@@ -63,7 +63,7 @@ struct ProgramSimResult {
     std::vector<Cycles> max_response;
     std::vector<std::int64_t> jobs_completed;
     std::vector<AccessCount> bus_accesses; // = cache misses per task
-    std::vector<std::int64_t> cache_hits;
+    std::vector<AccessCount> cache_hits;
     bool deadline_missed = false;
     // The first task observed to miss, or kNoMissedTask (simulator.hpp).
     TaskId missed_task = TaskId::invalid();

@@ -19,6 +19,10 @@ namespace {
 using util::AccessCount;
 using util::CoreId;
 using util::SetMask;
+using util::to_index;
+using util::to_metric;
+using util::to_payload;
+using util::to_scalar;
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -125,7 +129,7 @@ public:
             }
             if (offset < config_.horizon) {
                 push(offset + draw_jitter(i), EventType::kRelease, i,
-                     static_cast<std::uint64_t>(offset.count()));
+                     to_payload(offset));
             }
         }
         while (!queue_.empty()) {
@@ -137,8 +141,7 @@ public:
             }
             switch (event.type) {
             case EventType::kRelease:
-                on_release(event.a,
-                           Cycles{static_cast<std::int64_t>(event.b)});
+                on_release(event.a, util::cycles_from_payload(event.b));
                 break;
             case EventType::kCpuDone:
                 on_cpu_done(event.a, event.b);
@@ -165,7 +168,7 @@ private:
                 obs::TraceEvent("sim", obs::Severity::kWarn, "deadline_miss")
                     .field("task", task)
                     .field("task_name", ts_[task].name)
-                    .field("time", now_.count()));
+                    .field("time", to_metric(now_)));
         }
         if (!result_.deadline_missed) {
             result_.deadline_missed = true;
@@ -182,6 +185,8 @@ private:
         if (jitter <= Cycles{0}) {
             return Cycles{0};
         }
+        // cpa-lint: allow(unit.raw-count): RNG distribution bound; the
+        // draw is re-wrapped into Cycles on the next line.
         std::uniform_int_distribution<std::int64_t> dist(0, jitter.count());
         return Cycles{dist(jitter_rng_)};
     }
@@ -216,8 +221,7 @@ private:
         const Cycles next_arrival = arrival + task.period;
         if (next_arrival < config_.horizon) {
             push(next_arrival + draw_jitter(task_index), EventType::kRelease,
-                 task_index,
-                 static_cast<std::uint64_t>(next_arrival.count()));
+                 task_index, to_payload(next_arrival));
         }
     }
 
@@ -349,7 +353,7 @@ private:
         Job& job = jobs_[core.running];
         const Cycles chunk =
             job.accesses_left > AccessCount{0}
-                ? job.cpu_left / (job.accesses_left.count() + 1)
+                ? job.cpu_left / (to_scalar(job.accesses_left) + 1)
                 : job.cpu_left;
         job.chunk_started = now_;
         job.chunk_len = chunk;
@@ -396,10 +400,10 @@ private:
         // stalled from issue to completion (queueing + the d_mem service).
         CPA_COUNT("sim.bus_grants");
         CPA_COUNT_ADD("sim.stall_cycles",
-                      (now_ - core.request_issued_at).count());
+                      to_metric(now_ - core.request_issued_at));
         CPA_COUNT_ADD("sim.contention_cycles",
-                      (now_ - core.request_issued_at - platform_.d_mem)
-                          .count());
+                      to_metric(now_ - core.request_issued_at -
+                                platform_.d_mem));
 
         Job& job = jobs_[job_id];
         job.accesses_left -= AccessCount{1};
@@ -414,7 +418,7 @@ private:
 
         if (const auto next = arbiter_.complete(CoreId{core_index}, now_);
             next.has_value()) {
-            push(next->second, EventType::kBusDone, next->first.value(), 0);
+            push(next->second, EventType::kBusDone, to_index(next->first), 0);
         }
     }
 

@@ -19,7 +19,7 @@ SetMask::SetMask(std::size_t universe)
 {
 }
 
-std::size_t SetMask::count() const noexcept
+std::size_t SetMask::popcount() const noexcept
 {
     std::size_t total = 0;
     for (const std::uint64_t word : words_) {
@@ -157,7 +157,7 @@ bool SetMask::operator==(const SetMask& other) const
 std::vector<std::size_t> SetMask::to_indices() const
 {
     std::vector<std::size_t> indices;
-    indices.reserve(count());
+    indices.reserve(popcount());
     for (std::size_t i = 0; i < universe_; ++i) {
         if (contains(i)) {
             indices.push_back(i);

@@ -23,10 +23,13 @@ public:
     // Universe size (number of cache sets this mask ranges over).
     [[nodiscard]] std::size_t universe() const noexcept { return universe_; }
 
-    // Number of elements (cache sets) contained.
-    [[nodiscard]] std::size_t count() const noexcept;
+    // Number of elements (cache sets) contained. Named popcount, not
+    // count, so a cardinality can never be confused with a
+    // util::Quantity::count() representation escape (scripts/cpa_lint.py
+    // flags the latter).
+    [[nodiscard]] std::size_t popcount() const noexcept;
 
-    [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+    [[nodiscard]] bool empty() const noexcept { return popcount() == 0; }
 
     [[nodiscard]] bool contains(std::size_t set_index) const;
 

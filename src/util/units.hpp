@@ -46,6 +46,62 @@
 namespace cpa::util {
 
 // ---------------------------------------------------------------------------
+// Checked representation arithmetic. With -DCPA_CHECKED_ARITH=ON (the
+// asan-ubsan preset turns it on) every Quantity add/sub/mul goes through
+// __builtin_*_overflow and traps on wrap-around — Eq. (19) multiplies access
+// counts by d_mem at sweep scale, where a silent 64-bit wrap would fold into
+// a schedulability verdict. In a constant expression an overflow is a
+// compile error instead (the trap call is not constexpr; see
+// tests/compile_fail/). Without the option these compile to plain operators.
+namespace detail {
+
+[[noreturn]] inline void overflow_trap() noexcept { __builtin_trap(); }
+
+template <typename Rep>
+[[nodiscard]] constexpr Rep checked_add(Rep a, Rep b)
+{
+#if defined(CPA_CHECKED_ARITH)
+    Rep result{};
+    if (__builtin_add_overflow(a, b, &result)) {
+        overflow_trap();
+    }
+    return result;
+#else
+    return a + b;
+#endif
+}
+
+template <typename Rep>
+[[nodiscard]] constexpr Rep checked_sub(Rep a, Rep b)
+{
+#if defined(CPA_CHECKED_ARITH)
+    Rep result{};
+    if (__builtin_sub_overflow(a, b, &result)) {
+        overflow_trap();
+    }
+    return result;
+#else
+    return a - b;
+#endif
+}
+
+template <typename Rep>
+[[nodiscard]] constexpr Rep checked_mul(Rep a, Rep b)
+{
+#if defined(CPA_CHECKED_ARITH)
+    Rep result{};
+    if (__builtin_mul_overflow(a, b, &result)) {
+        overflow_trap();
+    }
+    return result;
+#else
+    return a * b;
+#endif
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
 // Quantity: a value tagged with its physical dimension.
 
 struct CyclesDim {
@@ -73,32 +129,35 @@ public:
     // with no implicit conversion, so they fail to compile.
     friend constexpr Quantity operator+(Quantity a, Quantity b)
     {
-        return Quantity(a.value_ + b.value_);
+        return Quantity(detail::checked_add(a.value_, b.value_));
     }
     friend constexpr Quantity operator-(Quantity a, Quantity b)
     {
-        return Quantity(a.value_ - b.value_);
+        return Quantity(detail::checked_sub(a.value_, b.value_));
     }
-    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity operator-() const
+    {
+        return Quantity(detail::checked_sub(Rep{0}, value_));
+    }
     constexpr Quantity& operator+=(Quantity other)
     {
-        value_ += other.value_;
+        value_ = detail::checked_add(value_, other.value_);
         return *this;
     }
     constexpr Quantity& operator-=(Quantity other)
     {
-        value_ -= other.value_;
+        value_ = detail::checked_sub(value_, other.value_);
         return *this;
     }
 
     // Scaling by a dimensionless factor (job counts, slot counts, ...).
     friend constexpr Quantity operator*(Quantity q, Rep scale)
     {
-        return Quantity(q.value_ * scale);
+        return Quantity(detail::checked_mul(q.value_, scale));
     }
     friend constexpr Quantity operator*(Rep scale, Quantity q)
     {
-        return Quantity(scale * q.value_);
+        return Quantity(detail::checked_mul(scale, q.value_));
     }
     friend constexpr Quantity operator/(Quantity q, Rep divisor)
     {
@@ -106,7 +165,7 @@ public:
     }
     constexpr Quantity& operator*=(Rep scale)
     {
-        value_ *= scale;
+        value_ = detail::checked_mul(value_, scale);
         return *this;
     }
 
@@ -136,7 +195,7 @@ using AccessCount = Quantity<AccessCountDim>;
 // This is the `BAT · d_mem` / `MD · d_mem` shape of Eq. (19).
 [[nodiscard]] constexpr Cycles operator*(AccessCount n, Cycles per_access)
 {
-    return Cycles(n.count() * per_access.count());
+    return Cycles(detail::checked_mul(n.count(), per_access.count()));
 }
 [[nodiscard]] constexpr Cycles operator*(Cycles per_access, AccessCount n)
 {
@@ -145,7 +204,7 @@ using AccessCount = Quantity<AccessCountDim>;
 [[nodiscard]] constexpr Microseconds operator*(AccessCount n,
                                                Microseconds per_access)
 {
-    return Microseconds(n.count() * per_access.count());
+    return Microseconds(detail::checked_mul(n.count(), per_access.count()));
 }
 [[nodiscard]] constexpr Microseconds operator*(Microseconds per_access,
                                                AccessCount n)
@@ -239,7 +298,7 @@ inline constexpr Cycles kExtractionLatencyCycles{10};
 
 [[nodiscard]] constexpr Cycles cycles_from_microseconds(Microseconds us)
 {
-    return Cycles(us.count() * kCyclesPerMicrosecond);
+    return Cycles(detail::checked_mul(us.count(), kCyclesPerMicrosecond));
 }
 
 [[nodiscard]] constexpr double microseconds_from_cycles(Cycles c)
@@ -287,6 +346,43 @@ inline constexpr Cycles kExtractionLatencyCycles{10};
 }
 
 // ---------------------------------------------------------------------------
+// Boundary escapes. The analysis proper never leaves the type system; the
+// few places that must (metric counters, untyped event payloads, an access
+// count used as a plain factor) go through the named functions below so
+// every exit is grep-able and visible to `scripts/cpa_lint.py` (which flags
+// any raw `.count()`/`.value()` outside this file).
+
+// Raw value of a quantity for the observability / serialization boundary:
+// metric counters, trace-event fields, JSON report values, progress lines.
+// Never feed the result back into analysis arithmetic — convert, emit, drop.
+template <typename Dim, typename Rep>
+[[nodiscard]] constexpr Rep to_metric(Quantity<Dim, Rep> q) noexcept
+{
+    return q.count();
+}
+
+// An access count used as a dimensionless factor or divisor (chunk counts,
+// event-budget estimates): the one sanctioned AccessCount -> scalar
+// demotion. Time quantities have no such demotion on purpose.
+[[nodiscard]] constexpr std::int64_t to_scalar(AccessCount n) noexcept
+{
+    return n.count();
+}
+
+// Round-trip of a time value through an untyped std::uint64_t payload slot
+// (the simulator's Event::b carries either a generation counter or an
+// arrival time). Pack and unpack must pair up; nothing else may touch the
+// raw representation.
+[[nodiscard]] constexpr std::uint64_t to_payload(Cycles c) noexcept
+{
+    return static_cast<std::uint64_t>(c.count());
+}
+[[nodiscard]] constexpr Cycles cycles_from_payload(std::uint64_t payload)
+{
+    return Cycles(static_cast<std::int64_t>(payload));
+}
+
+// ---------------------------------------------------------------------------
 // Strong index types. TaskId doubles as the priority (tasks are stored in
 // priority order; see tasks::TaskSet), CoreId indexes the platform's cores —
 // two size_t roles that must not be swappable in an argument list.
@@ -320,6 +416,16 @@ private:
 
 using TaskId = Id<struct TaskIdTag>;
 using CoreId = Id<struct CoreIdTag>;
+
+// Ids are dense indices into per-task / per-core containers; subscripts and
+// bounds checks go through this named escape (see the boundary-escape
+// comment above). Requires a valid id — invalid() maps to SIZE_MAX, which
+// any bounds check must reject anyway.
+template <typename Tag>
+[[nodiscard]] constexpr std::size_t to_index(Id<Tag> id) noexcept
+{
+    return id.value();
+}
 
 template <typename Tag>
 [[nodiscard]] std::string to_string(Id<Tag> id)

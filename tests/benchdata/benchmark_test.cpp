@@ -148,9 +148,9 @@ TEST(PlaceFootprint, MasksMatchCountsAndSubsetInvariants)
     const BenchmarkParams params = derive_params(find("fdct"), 256);
     for (const std::size_t offset : {0u, 1u, 100u, 255u}) {
         const FootprintMasks masks = place_footprint(params, 256, offset);
-        EXPECT_EQ(masks.ecb.count(), params.ecb_count);
-        EXPECT_EQ(masks.pcb.count(), params.pcb_count);
-        EXPECT_EQ(masks.ucb.count(), params.ucb_count);
+        EXPECT_EQ(masks.ecb.popcount(), params.ecb_count);
+        EXPECT_EQ(masks.pcb.popcount(), params.pcb_count);
+        EXPECT_EQ(masks.ucb.popcount(), params.ucb_count);
         EXPECT_TRUE(masks.pcb.is_subset_of(masks.ecb));
         EXPECT_TRUE(masks.ucb.is_subset_of(masks.ecb));
     }

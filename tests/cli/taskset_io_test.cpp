@@ -34,12 +34,12 @@ TEST(TasksetIo, ParsesDemoFile)
     EXPECT_EQ(ctrl.md_residual, util::AccessCount{4});
     EXPECT_EQ(ctrl.period, util::Cycles{100000});
     EXPECT_EQ(ctrl.deadline, util::Cycles{100000}); // implicit
-    EXPECT_EQ(ctrl.ecb.count(), 20u);
-    EXPECT_EQ(ctrl.ucb.count(), 16u);
+    EXPECT_EQ(ctrl.ecb.popcount(), 20u);
+    EXPECT_EQ(ctrl.ucb.popcount(), 16u);
 
     const tasks::Task& log = parsed.ts[1];
     EXPECT_EQ(log.deadline, util::Cycles{150000});
-    EXPECT_EQ(log.ecb.count(), 11u); // 30-39 plus 42
+    EXPECT_EQ(log.ecb.popcount(), 11u); // 30-39 plus 42
     EXPECT_TRUE(log.ecb.contains(42));
     EXPECT_TRUE(log.ucb.empty());
 }
@@ -161,7 +161,7 @@ task b core=1 pd=100 md=10 mdr=10 period=10000 ecb=5-14
     EXPECT_EQ(parsed.l2->sets, 256u);
     EXPECT_EQ(parsed.l2->d_l2, util::Cycles{2}); // 1 us
     ASSERT_EQ(parsed.l2_footprints.size(), 2u);
-    EXPECT_EQ(parsed.l2_footprints[0].ecb2.count(), 20u);
+    EXPECT_EQ(parsed.l2_footprints[0].ecb2.popcount(), 20u);
     EXPECT_EQ(parsed.l2_footprints[0].md_residual_l2, util::AccessCount{2});
     // Task b: default footprint, mdr2 defaults to mdr.
     EXPECT_TRUE(parsed.l2_footprints[1].ecb2.empty());

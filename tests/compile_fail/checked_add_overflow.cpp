@@ -1,0 +1,16 @@
+// RED: with CPA_CHECKED_ARITH, an overflowing constexpr Quantity sum must
+// not compile — detail::checked_add detects the wrap and calls the trap,
+// which is not a constant expression.
+#include "util/units.hpp"
+
+#include <limits>
+
+using cpa::util::Cycles;
+
+constexpr Cycles max_cycles{std::numeric_limits<std::int64_t>::max()};
+constexpr Cycles overflowed = max_cycles + Cycles{1};
+
+int main()
+{
+    return static_cast<int>(cpa::util::to_metric(overflowed) & 1);
+}

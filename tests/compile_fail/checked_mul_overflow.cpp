@@ -1,0 +1,17 @@
+// RED: with CPA_CHECKED_ARITH, an overflowing constexpr cross-dimension
+// product (accesses x cycles-per-access, the Eq. 19 shape) must not
+// compile.
+#include "util/units.hpp"
+
+#include <limits>
+
+using cpa::util::AccessCount;
+using cpa::util::Cycles;
+
+constexpr AccessCount huge{std::numeric_limits<std::int64_t>::max() / 2};
+constexpr Cycles demand = huge * Cycles{3};
+
+int main()
+{
+    return static_cast<int>(cpa::util::to_metric(demand) & 1);
+}

@@ -1,0 +1,17 @@
+// GREEN: the checked operators are still constexpr for non-overflowing
+// values — CPA_CHECKED_ARITH must not tax ordinary dimensional code.
+#include "util/units.hpp"
+
+using cpa::util::AccessCount;
+using cpa::util::Cycles;
+
+constexpr Cycles sum = Cycles{2} + Cycles{3};
+static_assert(sum == Cycles{5});
+
+constexpr Cycles demand = AccessCount{7} * Cycles{40};
+static_assert(demand == Cycles{280});
+
+int main()
+{
+    return 0;
+}

@@ -10,8 +10,16 @@ foreach(required CXX SRC INCLUDE_DIR EXPECT)
   endif()
 endforeach()
 
+# Optional -DEXTRA_FLAGS="-DCPA_CHECKED_ARITH ..." : space-separated extra
+# compile flags (the checked-arithmetic cases opt into the trapping build).
+set(_extra_flags)
+if(DEFINED EXTRA_FLAGS)
+  separate_arguments(_extra_flags NATIVE_COMMAND "${EXTRA_FLAGS}")
+endif()
+
 execute_process(
-    COMMAND ${CXX} -std=c++20 -fsyntax-only -I${INCLUDE_DIR} ${SRC}
+    COMMAND ${CXX} -std=c++20 -fsyntax-only ${_extra_flags}
+            -I${INCLUDE_DIR} ${SRC}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)

@@ -1,0 +1,7 @@
+// Fixture: std::rand() is global-state RNG; breaks per-trial determinism.
+#include <cstdlib>
+
+int draw()
+{
+    return std::rand();
+}

@@ -1,0 +1,9 @@
+// Fixture: draws go through util::Rng, seeded by the caller.
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+std::int64_t draw(cpa::util::Rng& rng)
+{
+    return rng.uniform_int(0, 10);
+}

@@ -1,0 +1,16 @@
+// Fixture: Rng::fork() inside a parallel body is order-dependent — the
+// child stream depends on how many forks happened before it.
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+#include <cstddef>
+#include <vector>
+
+void trial_streams(cpa::util::ThreadPool& pool, cpa::util::Rng& rng,
+                   std::vector<double>& slot)
+{
+    pool.parallel_for_indexed(slot.size(), [&](std::size_t i) {
+        cpa::util::Rng local = rng.fork();
+        slot[i] = local.uniform_real();
+    });
+}

@@ -1,0 +1,17 @@
+// Fixture: per-index streams derive from (base_seed, index) — no shared
+// generator touched inside the body.
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+void trial_streams(cpa::util::ThreadPool& pool, std::uint64_t base_seed,
+                   std::vector<double>& slot)
+{
+    pool.parallel_for_indexed(slot.size(), [&](std::size_t i) {
+        cpa::util::Rng local(cpa::util::seed_for(base_seed, i));
+        slot[i] = local.uniform_real();
+    });
+}

@@ -1,0 +1,14 @@
+// Fixture: a shared accumulator updated inside a parallel body makes the
+// result depend on thread interleaving (and float addition order).
+#include "util/thread_pool.hpp"
+
+#include <cstddef>
+
+double sum_trials(cpa::util::ThreadPool& pool, std::size_t trials)
+{
+    double total = 0.0;
+    pool.parallel_for_indexed(trials, [&](std::size_t i) {
+        total += static_cast<double>(i);
+    });
+    return total;
+}

@@ -1,0 +1,19 @@
+// Fixture: the pre-sized-slot idiom — each index writes its own slot,
+// the reduction runs after the barrier in trial-index order.
+#include "util/thread_pool.hpp"
+
+#include <cstddef>
+#include <vector>
+
+double sum_trials(cpa::util::ThreadPool& pool, std::size_t trials)
+{
+    std::vector<double> slot(trials, 0.0);
+    pool.parallel_for_indexed(trials, [&](std::size_t i) {
+        slot[i] += static_cast<double>(i);
+    });
+    double total = 0.0;
+    for (double v : slot) {
+        total += v;
+    }
+    return total;
+}

@@ -1,0 +1,8 @@
+// Fixture: std::random_device is nondeterministic by definition.
+#include <random>
+
+unsigned entropy()
+{
+    std::random_device rd;
+    return rd();
+}

@@ -1,0 +1,9 @@
+// Fixture: entropy comes from the experiment seed, never the OS.
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+std::uint64_t entropy(std::uint64_t base_seed, std::uint64_t trial)
+{
+    return cpa::util::seed_for(base_seed, trial);
+}

@@ -1,0 +1,10 @@
+// Fixture: a literal-seeded engine ignores the experiment seed; every
+// stream must derive from (base_seed, trial_index) via util::seed_for.
+#include <cstdint>
+#include <random>
+
+std::uint64_t draw()
+{
+    std::mt19937_64 gen(12345);
+    return gen();
+}

@@ -1,0 +1,11 @@
+// Fixture: the per-trial seed derivation contract.
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <random>
+
+std::uint64_t draw(std::uint64_t base_seed, std::uint64_t trial)
+{
+    std::mt19937_64 gen(cpa::util::seed_for(base_seed, trial));
+    return gen();
+}

@@ -1,0 +1,10 @@
+// Fixture: unordered_map iteration order leaks libstdc++ hash details
+// into anything that serializes it.
+#include <unordered_map>
+
+int lookup()
+{
+    std::unordered_map<int, int> cache;
+    cache[3] = 4;
+    return cache[3];
+}

@@ -1,0 +1,9 @@
+// Fixture: std::map iterates in key order — reproducible reports.
+#include <map>
+
+int lookup()
+{
+    std::map<int, int> cache;
+    cache[3] = 4;
+    return cache[3];
+}

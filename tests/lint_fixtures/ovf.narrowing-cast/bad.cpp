@@ -1,0 +1,10 @@
+// Fixture: casting a 64-bit representation to 32 bits truncates exactly
+// where the analysis accumulates cycle values.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+std::int32_t truncate(cpa::util::Cycles c)
+{
+    return static_cast<std::int32_t>(c.count());
+}

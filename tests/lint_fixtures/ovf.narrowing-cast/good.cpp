@@ -1,0 +1,9 @@
+// Fixture: the named conversion keeps the full 64-bit representation.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+std::int64_t metric(cpa::util::Cycles c)
+{
+    return cpa::util::to_metric(c);
+}

@@ -1,0 +1,10 @@
+// Fixture: multiplying raw representations sidesteps the
+// CPA_CHECKED_ARITH trapping operators in units.hpp.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+std::int64_t footprint(cpa::util::AccessCount n)
+{
+    return n.count() * 8;
+}

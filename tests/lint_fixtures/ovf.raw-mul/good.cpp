@@ -1,0 +1,8 @@
+// Fixture: the cross-dimension product operator carries the overflow
+// check (and the dimensional bookkeeping) for us.
+#include "util/units.hpp"
+
+cpa::util::Cycles footprint(cpa::util::AccessCount n, cpa::util::Cycles per)
+{
+    return n * per;
+}

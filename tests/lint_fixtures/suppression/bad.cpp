@@ -1,0 +1,11 @@
+// Fixture: an allow() without a reason is itself a finding — and it does
+// NOT suppress the escape underneath it.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+// cpa-lint: allow(unit.raw-count)
+std::int64_t leak(cpa::util::Cycles c)
+{
+    return c.count();
+}

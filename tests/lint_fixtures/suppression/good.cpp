@@ -1,0 +1,14 @@
+// Fixture: a well-formed suppression — rule named, reason given, placed
+// on the standalone comment line directly above the site.
+#include "util/units.hpp"
+
+#include <cstdint>
+#include <random>
+
+std::int64_t jitter_draw(cpa::util::Cycles jitter, std::mt19937_64& gen)
+{
+    // cpa-lint: allow(unit.raw-count): RNG distribution bound; the draw
+    // is re-wrapped into Cycles by the caller.
+    std::uniform_int_distribution<std::int64_t> dist(0, jitter.count());
+    return dist(gen);
+}

@@ -1,0 +1,10 @@
+// Fixture: integer-literal arithmetic on a raw representation re-creates
+// an unnamed conversion factor.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+std::int64_t off_by_one(cpa::util::Cycles c)
+{
+    return c.count() + 1;
+}

@@ -1,0 +1,7 @@
+// Fixture: arithmetic stays inside the dimensional type.
+#include "util/units.hpp"
+
+cpa::util::Cycles off_by_one(cpa::util::Cycles c)
+{
+    return c + cpa::util::Cycles{1};
+}

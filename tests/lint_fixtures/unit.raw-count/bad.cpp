@@ -1,0 +1,9 @@
+// Fixture: raw Quantity::count() escape outside units.hpp.
+#include "util/units.hpp"
+
+#include <cstdint>
+
+std::int64_t leak_cycles(cpa::util::Cycles c)
+{
+    return c.count();
+}

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned shapes — a named conversion point, and
+// std::chrono duration .count() (same spelling, different type; exempt).
+#include "util/units.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+std::int64_t metric(cpa::util::Cycles c)
+{
+    return cpa::util::to_metric(c);
+}
+
+std::int64_t elapsed_us(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}

@@ -1,0 +1,9 @@
+// Fixture: raw Id::value() escape — the subscript loses its tag.
+#include "util/units.hpp"
+
+#include <cstddef>
+
+std::size_t leak_index(cpa::util::TaskId id)
+{
+    return id.value();
+}

@@ -1,0 +1,9 @@
+// Fixture: to_index is the named conversion for Id subscripts.
+#include "util/units.hpp"
+
+#include <cstddef>
+
+std::size_t index_of(cpa::util::TaskId id)
+{
+    return cpa::util::to_index(id);
+}

@@ -140,9 +140,9 @@ TEST(AbstractAnalysis, EcbCoversAllBranches)
     const Program p = branchy_program();
     const AbstractExtraction bound = analyze_program(p, {64, 32, 1});
     // Blocks 0..7 and 10..13 -> 12 distinct sets at 64 sets.
-    EXPECT_EQ(bound.ecb.count(), 12u);
+    EXPECT_EQ(bound.ecb.popcount(), 12u);
     // All sets single-occupancy at 64 sets -> everything persistent.
-    EXPECT_EQ(bound.pcb.count(), 12u);
+    EXPECT_EQ(bound.pcb.popcount(), 12u);
 }
 
 TEST(AbstractAnalysis, LoopInvariantStateKeepsPersistentHits)
@@ -168,7 +168,7 @@ TEST(AbstractAnalysis, SelfConflictingLoopChargedEveryIteration)
     const Program p = std::move(b).build();
     const AbstractExtraction bound = analyze_program(p, kGeo8);
     EXPECT_EQ(bound.md, util::AccessCount{20});
-    EXPECT_EQ(bound.pcb.count(), 0u);
+    EXPECT_EQ(bound.pcb.popcount(), 0u);
 }
 
 TEST(AbstractAnalysis, ZeroIterationLoopContributesNothing)

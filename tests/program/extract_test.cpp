@@ -34,7 +34,7 @@ TEST(Extract, PdIsTraceLengthTimesFetchCost)
 TEST(Extract, EcbIsEverySetTouched)
 {
     const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
-    EXPECT_EQ(params.ecb.count(), 8u); // blocks 0..9 cover all 8 sets
+    EXPECT_EQ(params.ecb.popcount(), 8u); // blocks 0..9 cover all 8 sets
 }
 
 TEST(Extract, PcbIsSingleOccupancySets)
@@ -42,7 +42,7 @@ TEST(Extract, PcbIsSingleOccupancySets)
     // Blocks 0..9 on 8 sets: sets 0,1 hold {0,8} and {1,9}; sets 2..7 hold
     // one block each -> 6 PCBs.
     const ExtractedParams params = extract_parameters(small_loop(), {8, 32});
-    EXPECT_EQ(params.pcb.count(), 6u);
+    EXPECT_EQ(params.pcb.popcount(), 6u);
     EXPECT_FALSE(params.pcb.contains(0));
     EXPECT_FALSE(params.pcb.contains(1));
 }
@@ -57,7 +57,7 @@ TEST(Extract, MdEqualsResidualPlusPcbCount)
                 extract_parameters(p, {sets, 32});
             EXPECT_EQ(params.md,
                       params.md_residual +
-                          util::accesses_from_blocks(params.pcb.count()))
+                          util::accesses_from_blocks(params.pcb.popcount()))
                 << p.name() << " @" << sets;
         }
     }
@@ -102,8 +102,8 @@ TEST(Extract, PingPongLoopHasNoUsefulConflictingBlocks)
     const Program p = std::move(b).build();
     const ExtractedParams params = extract_parameters(p, {8, 32});
     EXPECT_EQ(params.md, 20_acc);
-    EXPECT_EQ(params.ucb.count(), 0u);
-    EXPECT_EQ(params.pcb.count(), 0u);
+    EXPECT_EQ(params.ucb.popcount(), 0u);
+    EXPECT_EQ(params.pcb.popcount(), 0u);
     EXPECT_EQ(params.md_residual, 20_acc);
 }
 
@@ -117,14 +117,14 @@ TEST(Extract, BiggerCacheRemovesConflicts)
     const ExtractedParams params = extract_parameters(p, {16, 32});
     EXPECT_EQ(params.md, 2_acc); // both blocks persistent now
     EXPECT_EQ(params.md_residual, 0_acc);
-    EXPECT_EQ(params.pcb.count(), 2u);
+    EXPECT_EQ(params.pcb.popcount(), 2u);
 }
 
 TEST(Extract, UcbMaxPointBoundedByUcbCount)
 {
     for (const Program& p : synthetic_suite()) {
         const ExtractedParams params = extract_parameters(p, {256, 32});
-        EXPECT_LE(params.ucb_max_point, params.ucb.count()) << p.name();
+        EXPECT_LE(params.ucb_max_point, params.ucb.popcount()) << p.name();
     }
 }
 
@@ -142,8 +142,8 @@ TEST(Extract, AssociativityRemovesPingPongMisses)
     const ExtractedParams two_way = extract_parameters(p, {8, 32, 2});
     EXPECT_EQ(one_way.md, 20_acc);
     EXPECT_EQ(two_way.md, 2_acc);
-    EXPECT_EQ(one_way.pcb.count(), 0u);
-    EXPECT_EQ(two_way.pcb.count(), 1u); // both blocks live in set 0
+    EXPECT_EQ(one_way.pcb.popcount(), 0u);
+    EXPECT_EQ(two_way.pcb.popcount(), 1u); // both blocks live in set 0
     EXPECT_EQ(two_way.md_residual, 0_acc);
 }
 
@@ -156,11 +156,11 @@ TEST(Extract, PersistenceGrowsWithWays)
         for (const std::size_t ways : {1u, 2u, 4u}) {
             const ExtractedParams params =
                 extract_parameters(p, {256, 32, ways});
-            EXPECT_GE(params.pcb.count(), previous_pcb)
+            EXPECT_GE(params.pcb.popcount(), previous_pcb)
                 << p.name() << " ways=" << ways;
             EXPECT_LE(params.md, previous_md)
                 << p.name() << " ways=" << ways;
-            previous_pcb = params.pcb.count();
+            previous_pcb = params.pcb.popcount();
             previous_md = params.md;
         }
     }

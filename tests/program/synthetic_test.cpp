@@ -19,8 +19,8 @@ ExtractedParams extract(const Program& p)
 TEST(Synthetic, LcdnumFullyPersistentSmallFootprint)
 {
     const ExtractedParams params = extract(synthetic_lcdnum());
-    EXPECT_EQ(params.ecb.count(), 20u);
-    EXPECT_EQ(params.pcb.count(), 20u); // everything fits -> all persistent
+    EXPECT_EQ(params.ecb.popcount(), 20u);
+    EXPECT_EQ(params.pcb.popcount(), 20u); // everything fits -> all persistent
     EXPECT_EQ(params.md, util::AccessCount{20});
     EXPECT_EQ(params.md_residual, util::AccessCount{0});
 }
@@ -28,8 +28,8 @@ TEST(Synthetic, LcdnumFullyPersistentSmallFootprint)
 TEST(Synthetic, Bsort100TinyCodeHugeReuse)
 {
     const ExtractedParams params = extract(synthetic_bsort100());
-    EXPECT_EQ(params.ecb.count(), 20u);
-    EXPECT_EQ(params.pcb.count(), 20u);
+    EXPECT_EQ(params.ecb.popcount(), 20u);
+    EXPECT_EQ(params.pcb.popcount(), 20u);
     // PD dwarfs MD: the paper's bsort100 row has PD/MD ratio ~8.
     EXPECT_GT(params.pd,
               params.md * util::Cycles{8 * 100}); // PD > 800 * MD accesses
@@ -38,15 +38,15 @@ TEST(Synthetic, Bsort100TinyCodeHugeReuse)
 TEST(Synthetic, LudcmpMediumFootprintFullyPersistent)
 {
     const ExtractedParams params = extract(synthetic_ludcmp());
-    EXPECT_EQ(params.ecb.count(), 98u);
-    EXPECT_EQ(params.pcb.count(), 98u);
+    EXPECT_EQ(params.ecb.popcount(), 98u);
+    EXPECT_EQ(params.pcb.popcount(), 98u);
 }
 
 TEST(Synthetic, FdctSelfConflictingRegions)
 {
     const ExtractedParams params = extract(synthetic_fdct());
-    EXPECT_EQ(params.ecb.count(), 106u);
-    EXPECT_EQ(params.pcb.count(), 22u); // Table I: |PCB| = 22
+    EXPECT_EQ(params.ecb.popcount(), 106u);
+    EXPECT_EQ(params.pcb.popcount(), 22u); // Table I: |PCB| = 22
     // The aliasing halves re-miss every iteration: MDʳ stays large.
     EXPECT_GT(params.md_residual, util::AccessCount{8 * 84});
 }
@@ -54,8 +54,8 @@ TEST(Synthetic, FdctSelfConflictingRegions)
 TEST(Synthetic, NsichneuNothingPersistsAt256Sets)
 {
     const ExtractedParams params = extract(synthetic_nsichneu());
-    EXPECT_EQ(params.ecb.count(), 256u);
-    EXPECT_EQ(params.pcb.count(), 0u);
+    EXPECT_EQ(params.ecb.popcount(), 256u);
+    EXPECT_EQ(params.pcb.popcount(), 0u);
     EXPECT_EQ(params.md, params.md_residual); // Table I: MD == MDʳ
     EXPECT_EQ(params.md, util::AccessCount{2 * 1374}); // every fetch misses
 }
@@ -63,8 +63,8 @@ TEST(Synthetic, NsichneuNothingPersistsAt256Sets)
 TEST(Synthetic, StatematePersistentTailOf36Sets)
 {
     const ExtractedParams params = extract(synthetic_statemate());
-    EXPECT_EQ(params.ecb.count(), 256u);
-    EXPECT_EQ(params.pcb.count(), 36u); // Table I: |PCB| = 36
+    EXPECT_EQ(params.ecb.popcount(), 256u);
+    EXPECT_EQ(params.pcb.popcount(), 36u); // Table I: |PCB| = 36
 }
 
 TEST(Synthetic, LargerCachesIncreasePersistence)
@@ -78,10 +78,10 @@ TEST(Synthetic, LargerCachesIncreasePersistence)
         for (const std::size_t sets : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
             const ExtractedParams params =
                 extract_parameters(p, {sets, 32});
-            EXPECT_GE(params.pcb.count(), previous_pcb)
+            EXPECT_GE(params.pcb.popcount(), previous_pcb)
                 << p.name() << " @" << sets;
             EXPECT_LE(params.md, previous_md) << p.name() << " @" << sets;
-            previous_pcb = params.pcb.count();
+            previous_pcb = params.pcb.popcount();
             previous_md = params.md;
         }
     }
@@ -111,8 +111,8 @@ TEST_P(ExtendedSynthetic, FootprintMatchesExtendedTableRow)
             continue;
         }
         const ExtractedParams params = extract_parameters(p, kReference);
-        EXPECT_EQ(params.ecb.count(), row.ecb) << row.name;
-        EXPECT_EQ(params.pcb.count(), row.pcb) << row.name;
+        EXPECT_EQ(params.ecb.popcount(), row.ecb) << row.name;
+        EXPECT_EQ(params.pcb.popcount(), row.pcb) << row.name;
         EXPECT_LE(params.md_residual, params.md);
         return;
     }
@@ -134,7 +134,7 @@ TEST(Synthetic, ExtendedSuiteInvariantsHoldAcrossGeometries)
             const ExtractedParams params = extract_parameters(p, {sets, 32});
             EXPECT_EQ(params.md,
                       params.md_residual +
-                          util::accesses_from_blocks(params.pcb.count()))
+                          util::accesses_from_blocks(params.pcb.popcount()))
                 << p.name() << " @" << sets;
             EXPECT_TRUE(params.pcb.is_subset_of(params.ecb)) << p.name();
             EXPECT_TRUE(params.ucb.is_subset_of(params.ecb)) << p.name();

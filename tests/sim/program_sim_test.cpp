@@ -92,8 +92,8 @@ TEST(ProgramSim, HitCountsAreComplementOfMisses)
         {task}, platform(1, 8, 5_cy), config(BusPolicy::kPerfect, 300000_cy));
     const auto trace_len =
         static_cast<std::int64_t>(p.reference_trace().size());
-    EXPECT_EQ(result.cache_hits[0] + result.bus_accesses[0].count(),
-              result.jobs_completed[0] * trace_len);
+    EXPECT_EQ(result.cache_hits[0] + result.bus_accesses[0],
+              util::AccessCount{result.jobs_completed[0] * trace_len});
 }
 
 TEST(ProgramSim, DisjointFootprintsKeepPersistence)

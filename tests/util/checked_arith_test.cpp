@@ -1,0 +1,84 @@
+// Runtime half of the CPA_CHECKED_ARITH contract (the compile-time half
+// lives in tests/compile_fail/checked_*): with the option on, Quantity
+// arithmetic that wraps 64 bits traps instead of silently folding the
+// wrapped value into a bound. The asan-ubsan preset builds with
+// -DCPA_CHECKED_ARITH=ON, so the death tests run armed there; in plain
+// builds they skip (unchecked overflow is UB, not a defined wrap we could
+// assert on).
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+using cpa::util::AccessCount;
+using cpa::util::Cycles;
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+#if defined(CPA_CHECKED_ARITH)
+
+TEST(CheckedArithDeathTest, AdditionOverflowTraps)
+{
+    // volatile keeps the operands out of the constant folder so the
+    // overflow genuinely happens at run time.
+    volatile std::int64_t big = kMax;
+    EXPECT_DEATH(
+        {
+            Cycles c{big};
+            Cycles sum = c + Cycles{1};
+            (void)sum;
+        },
+        "");
+}
+
+TEST(CheckedArithDeathTest, CrossDimensionProductOverflowTraps)
+{
+    volatile std::int64_t big = kMax / 2;
+    EXPECT_DEATH(
+        {
+            AccessCount n{big};
+            Cycles demand = n * Cycles{3};
+            (void)demand;
+        },
+        "");
+}
+
+TEST(CheckedArithDeathTest, CompoundSubtractionOverflowTraps)
+{
+    volatile std::int64_t low = std::numeric_limits<std::int64_t>::min();
+    EXPECT_DEATH(
+        {
+            Cycles c{low};
+            c -= Cycles{1};
+            (void)c;
+        },
+        "");
+}
+
+#else
+
+TEST(CheckedArithDeathTest, SkippedWithoutCheckedArith)
+{
+    GTEST_SKIP() << "CPA_CHECKED_ARITH is off in this build; the trap "
+                    "behavior is exercised by the asan-ubsan preset";
+}
+
+#endif
+
+// In-range arithmetic must be unaffected either way: the checked operators
+// are the same operators, just with a wrap test in front.
+TEST(CheckedArith, InRangeArithmeticUnchanged)
+{
+    EXPECT_EQ(Cycles{2} + Cycles{3}, Cycles{5});
+    EXPECT_EQ(Cycles{5} - Cycles{7}, Cycles{-2});
+    EXPECT_EQ(AccessCount{7} * Cycles{40}, Cycles{280});
+    Cycles acc{kMax - 1};
+    acc += Cycles{1};
+    EXPECT_EQ(acc, Cycles{kMax});
+}
+
+} // namespace

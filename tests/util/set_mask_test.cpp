@@ -14,7 +14,7 @@ TEST(SetMask, StartsEmpty)
 {
     const SetMask mask(256);
     EXPECT_EQ(mask.universe(), 256u);
-    EXPECT_EQ(mask.count(), 0u);
+    EXPECT_EQ(mask.popcount(), 0u);
     EXPECT_TRUE(mask.empty());
 }
 
@@ -30,7 +30,7 @@ TEST(SetMask, InsertAndContains)
     EXPECT_TRUE(mask.contains(64));
     EXPECT_TRUE(mask.contains(99));
     EXPECT_FALSE(mask.contains(1));
-    EXPECT_EQ(mask.count(), 4u);
+    EXPECT_EQ(mask.popcount(), 4u);
 }
 
 TEST(SetMask, InsertIsIdempotent)
@@ -38,7 +38,7 @@ TEST(SetMask, InsertIsIdempotent)
     SetMask mask(10);
     mask.insert(5);
     mask.insert(5);
-    EXPECT_EQ(mask.count(), 1u);
+    EXPECT_EQ(mask.popcount(), 1u);
 }
 
 TEST(SetMask, EraseRemovesElement)
@@ -72,7 +72,7 @@ TEST(SetMask, UnionCombinesElements)
     SetMask a = SetMask::from_indices(128, {1, 2, 3});
     const SetMask b = SetMask::from_indices(128, {3, 4, 100});
     a |= b;
-    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.popcount(), 5u);
     EXPECT_TRUE(a.contains(100));
 }
 
@@ -97,7 +97,7 @@ TEST(SetMask, IntersectionCountMatchesMaterializedIntersection)
     const SetMask a = SetMask::from_indices(300, {0, 64, 128, 192, 256, 299});
     const SetMask b = SetMask::from_indices(300, {64, 192, 299, 5});
     EXPECT_EQ(a.intersection_count(b), 3u);
-    EXPECT_EQ((a & b).count(), 3u);
+    EXPECT_EQ((a & b).popcount(), 3u);
 }
 
 TEST(SetMask, IntersectsDetectsOverlap)
@@ -137,10 +137,10 @@ TEST(SetMask, WrappedRangeFullUniverse)
 {
     SetMask mask(8);
     mask.insert_wrapped_range(5, 8);
-    EXPECT_EQ(mask.count(), 8u);
+    EXPECT_EQ(mask.popcount(), 8u);
     mask.clear();
     mask.insert_wrapped_range(5, 100); // longer than universe saturates
-    EXPECT_EQ(mask.count(), 8u);
+    EXPECT_EQ(mask.popcount(), 8u);
 }
 
 TEST(SetMask, WrappedRangeOffsetBeyondUniverse)
@@ -173,7 +173,7 @@ TEST(SetMask, RotationPreservesCount)
 {
     const SetMask mask = SetMask::from_indices(100, {0, 13, 64, 99});
     for (const std::size_t offset : {1u, 50u, 99u, 150u}) {
-        EXPECT_EQ(mask.rotated(offset).count(), mask.count()) << offset;
+        EXPECT_EQ(mask.rotated(offset).popcount(), mask.popcount()) << offset;
     }
 }
 
@@ -196,7 +196,7 @@ TEST_P(SetMaskUniverseTest, CountMatchesInsertedAcrossWordBoundaries)
         mask.insert(i);
         ++inserted;
     }
-    EXPECT_EQ(mask.count(), inserted);
+    EXPECT_EQ(mask.popcount(), inserted);
     EXPECT_EQ(mask.to_indices().size(), inserted);
 }
 
@@ -245,8 +245,8 @@ TEST(SetMask, AgreesWithStdSetReference)
             }
         }
 
-        EXPECT_EQ(mask_a.count(), ref_a.size());
-        EXPECT_EQ(mask_b.count(), ref_b.size());
+        EXPECT_EQ(mask_a.popcount(), ref_a.size());
+        EXPECT_EQ(mask_b.popcount(), ref_b.size());
 
         std::set<std::size_t> ref_intersection;
         for (const std::size_t v : ref_a) {
@@ -260,7 +260,7 @@ TEST(SetMask, AgreesWithStdSetReference)
 
         std::set<std::size_t> ref_union = ref_a;
         ref_union.insert(ref_b.begin(), ref_b.end());
-        EXPECT_EQ((mask_a | mask_b).count(), ref_union.size());
+        EXPECT_EQ((mask_a | mask_b).popcount(), ref_union.size());
 
         std::set<std::size_t> ref_difference;
         for (const std::size_t v : ref_a) {
@@ -268,7 +268,7 @@ TEST(SetMask, AgreesWithStdSetReference)
                 ref_difference.insert(v);
             }
         }
-        EXPECT_EQ((mask_a - mask_b).count(), ref_difference.size());
+        EXPECT_EQ((mask_a - mask_b).popcount(), ref_difference.size());
 
         const std::vector<std::size_t> indices = mask_a.to_indices();
         EXPECT_TRUE(std::equal(indices.begin(), indices.end(),
