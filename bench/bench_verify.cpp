@@ -1,0 +1,48 @@
+// Perf trajectory of the interval prover (`cpa verify`): runs the fast and
+// full profile boxes and reports the proof-tree shape. The interesting
+// trajectory counters are verify.nodes (bisection tree size), verify.samples
+// (concrete cross-checks), and the verify.proof_depth histogram — all
+// deterministic for a fixed box, so BENCH_verify.json is hard-gated by the
+// bench-trajectory test; only wall clock is advisory.
+#include "common.hpp"
+
+#include "verify/box.hpp"
+#include "verify/prover.hpp"
+
+#include <iostream>
+#include <utility>
+
+int main()
+{
+    using namespace cpa;
+    using util::TextTable;
+    bench::BenchReport bench_report("verify");
+
+    const auto run_profile = [&](const std::string& name,
+                                 verify::ParamBox box) {
+        bench_report.section(name);
+        verify::ProverOptions options;
+        options.box = std::move(box);
+        options.jobs = bench_report.jobs();
+        const verify::VerifyReport report = verify::run_prover(options);
+
+        std::cout << "== verify --profile " << name << ": "
+                  << report.proved() << " proved, " << report.refuted()
+                  << " refuted, " << report.undecided()
+                  << " undecided ==\n";
+        TextTable table({"invariant", "verdict", "nodes", "samples",
+                         "depth"});
+        for (const verify::PropertyReport& entry : report.properties) {
+            table.add_row({entry.name, verify::to_string(entry.verdict),
+                           std::to_string(entry.nodes),
+                           std::to_string(entry.samples),
+                           std::to_string(entry.max_depth)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    };
+
+    run_profile("fast", verify::fast_box());
+    run_profile("full", verify::full_box());
+    return 0;
+}

@@ -58,14 +58,19 @@ ALLOWED = {
                     "sim", "benchdata", "check/assert"},
     "check": {"util", "obs", "cache", "tasks", "program", "analysis", "sim",
               "benchdata", "check/assert"},
+    "verify": {"util", "obs", "cache", "tasks", "program", "analysis", "sim",
+               "benchdata", "check", "check/assert"},
     "cli": {"util", "obs", "cache", "tasks", "program", "analysis", "sim",
-            "benchdata", "experiments", "check", "check/assert"},
+            "benchdata", "experiments", "check", "verify", "check/assert"},
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
-# Files of the check module that form the low "check/assert" pseudo-module.
-CHECK_LOW_STEMS = {"assert"}
+# Files of the check module that form the low "check/assert" pseudo-module:
+# the assertion gate and the shared tolerance seam. Both are leaf-ish headers
+# that lower layers (analysis, experiments) may include without pulling in
+# the full checker.
+CHECK_LOW_STEMS = {"assert", "tolerance"}
 
 
 def module_of(rel: Path) -> str:
@@ -263,11 +268,46 @@ def self_test() -> int:
                any("check/assert -> check" in p for p in problems),
                str(problems))
 
+        src = Path(tmp) / "verifyok"
+        _write_tree(src, {
+            "util/math.hpp": "#pragma once\n",
+            "analysis/wcrt.hpp": "#pragma once\n",
+            "check/invariants.hpp": "#pragma once\n",
+            "check/tolerance.hpp": "#pragma once\n",
+            "analysis/demand.cpp": '#include "check/tolerance.hpp"\n',
+            "verify/prover.cpp": '#include "analysis/wcrt.hpp"\n'
+                                 '#include "check/invariants.hpp"\n'
+                                 '#include "check/tolerance.hpp"\n'
+                                 '#include "util/math.hpp"\n',
+        })
+        expect("verify layer edges accepted", analyze(src, False, 1) == [],
+               str(analyze(src, False, 1)))
+
+        src = Path(tmp) / "verifyup"
+        _write_tree(src, {
+            "verify/interval.hpp": "#pragma once\n",
+            "analysis/bad.cpp": '#include "verify/interval.hpp"\n',
+        })
+        problems = analyze(src, False, 1)
+        expect("analysis may not include verify",
+               any("analysis -> verify" in p for p in problems),
+               str(problems))
+
+        src = Path(tmp) / "verifyexp"
+        _write_tree(src, {
+            "verify/interval.hpp": "#pragma once\n",
+            "experiments/bad.cpp": '#include "verify/interval.hpp"\n',
+        })
+        problems = analyze(src, False, 1)
+        expect("experiments may not include verify",
+               any("experiments -> verify" in p for p in problems),
+               str(problems))
+
     if failures:
         for failure in failures:
             print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
         return 1
-    print("check_layers: self-test passed (5 cases)")
+    print("check_layers: self-test passed (8 cases)")
     return 0
 
 

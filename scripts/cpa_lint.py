@@ -86,6 +86,11 @@ RULES = [
          "unordered_{map,set} iteration order depends on libstdc++ details "
          "and hash seeding; iterating one into a RunReport breaks "
          "byte-identical golden transcripts."),
+    Rule("det.unordered-iter", "det",
+         "A ranged-for over an unordered container visits elements in "
+         "hash-table order, so any result folded out of the loop body "
+         "(sums, first-match, report rows) can change across libstdc++ "
+         "versions or hash seeds; iterate a sorted view instead."),
     Rule("det.raw-seed", "det",
          "RNG engines must seed from util::seed_for / a *seed* value so "
          "per-trial streams depend only on (base_seed, trial_index)."),
@@ -476,7 +481,68 @@ class TokenizerBackend:
                 f = self._check_engine_seed(tokens, i, rel)
                 if f is not None:
                     findings.append(f)
+        findings += self._unordered_iter(tokens, rel)
         findings += self._parallel_bodies(tokens, rel)
+        return findings
+
+    def _unordered_iter(self, tokens, rel):
+        """det.unordered-iter: ranged-for whose range expression is (or
+        names a variable declared as) an unordered container."""
+        findings = []
+        # Pass 1: names declared with an unordered container type —
+        # `std::unordered_map<K, V> [&|*|const]* name`.
+        unordered_vars = set()
+        for i, tok in enumerate(tokens):
+            if tok.kind != "ident" or tok.text not in UNORDERED_CONTAINERS:
+                continue
+            j = i + 1
+            if j < len(tokens) and tokens[j].text == "<":
+                depth = 0
+                while j < len(tokens):
+                    if tokens[j].text == "<":
+                        depth += 1
+                    elif tokens[j].text == ">":
+                        depth -= 1
+                    elif tokens[j].text == ">>":
+                        depth -= 2
+                    j += 1
+                    if depth <= 0:
+                        break
+            while j < len(tokens) and (tokens[j].text in ("&", "*") or
+                                       tokens[j].text == "const"):
+                j += 1
+            if j < len(tokens) and tokens[j].kind == "ident":
+                unordered_vars.add(tokens[j].text)
+        # Pass 2: ranged-for statements (single ':' at paren depth 1).
+        for i, tok in enumerate(tokens):
+            if tok.kind != "ident" or tok.text != "for" or \
+                    i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+                continue
+            end = self._match_balanced(tokens, i + 1)
+            head = tokens[i + 2:end - 1]
+            depth, colon = 0, None
+            for k, t in enumerate(head):
+                if t.text in ("(", "[", "{"):
+                    depth += 1
+                elif t.text in (")", "]", "}"):
+                    depth -= 1
+                elif depth == 0 and t.text == ";":
+                    break  # classic for(init; cond; step)
+                elif depth == 0 and t.text == ":":
+                    colon = k
+                    break
+            if colon is None:
+                continue
+            range_expr = head[colon + 1:]
+            hit = any(t.kind == "ident" and
+                      (t.text in UNORDERED_CONTAINERS or
+                       t.text in unordered_vars) for t in range_expr)
+            if hit:
+                findings.append(Finding(
+                    "det.unordered-iter", rel, tok.line,
+                    "ranged-for over an unordered container: iteration "
+                    "order is unspecified; iterate a sorted vector / "
+                    "std::map view instead"))
         return findings
 
     def _check_engine_seed(self, tokens, i, rel):
@@ -728,6 +794,12 @@ class ClangAstBackend:
             if name == "time" and ref.get("kind") == "FunctionDecl":
                 self._emit("det.banned-call",
                            "std::time() used as an entropy source")
+        if kind == "CXXForRangeStmt" and \
+                self._range_over_unordered(node):
+            self._emit("det.unordered-iter",
+                       "ranged-for over an unordered container: iteration "
+                       "order is unspecified; iterate a sorted vector / "
+                       "std::map view instead")
         qt = self._qual_types(node)
         if kind in ("VarDecl", "FieldDecl", "ParmVarDecl"):
             if "random_device" in qt:
@@ -769,6 +841,19 @@ class ClangAstBackend:
         for child in node.get("inner") or []:
             self._walk(child, inside_lambda_decls)
         self.cur_file, self.cur_line = saved
+
+    def _range_over_unordered(self, node):
+        """True when a CXXForRangeStmt's implicit __range variable has an
+        unordered container type (clang materializes the range expression
+        into a `__rangeN` VarDecl inside the statement)."""
+        if not isinstance(node, dict):
+            return False
+        if node.get("kind") == "VarDecl" and \
+                str(node.get("name", "")).startswith("__range"):
+            qt = self._qual_types(node)
+            return any(u in qt for u in UNORDERED_CONTAINERS)
+        return any(self._range_over_unordered(c)
+                   for c in node.get("inner") or [])
 
     def _collect_ref_names(self, node, out):
         if isinstance(node, dict):

@@ -1,5 +1,7 @@
 #include "analysis/schedulability.hpp"
 
+#include "check/tolerance.hpp"
+
 namespace cpa::analysis {
 
 bool is_schedulable(const tasks::TaskSet& ts, const PlatformConfig& platform,
@@ -10,7 +12,7 @@ bool is_schedulable(const tasks::TaskSet& ts, const PlatformConfig& platform,
         return true;
     }
     if (config.policy == BusPolicy::kPerfect &&
-        ts.bus_utilization(platform.d_mem) > 1.0) {
+        check::utilization_exceeds(ts.bus_utilization(platform.d_mem), 1.0)) {
         return false;
     }
     return compute_wcrt(ts, platform, config, tables).schedulable;

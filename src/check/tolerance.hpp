@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+// The single tolerance seam shared by the random checker (cpa check), the
+// interval prover (cpa verify), and every utilization comparison in the
+// stack. Audit result for src/check/invariants.cpp: the invariant catalog is
+// integer-exact — every relation compares util::Quantity values (64-bit
+// integer cycles / accesses), so "violation" means a strict integer
+// inequality failed and no epsilon is involved. The only floating-point
+// comparisons in result-affecting code are utilization grids and the
+// Perfect-policy bus-overload test; those previously carried ad-hoc 1e-9
+// literals (experiments/sweep.cpp, experiments/sensitivity.cpp) or none at
+// all (analysis/schedulability.cpp). They now all route through this header
+// so the sampled checker and the interval prover agree on what a violation
+// means at both kinds of boundary.
+
+namespace cpa::check {
+
+// Absolute slack applied when comparing accumulated utilization ratios
+// against a grid limit. Utilization values are sums of double divisions, so
+// a grid endpoint like 0.1 * 10 lands within a few ulp of 1.0; the slack
+// keeps the intended endpoint inside the grid without admitting any point a
+// whole step away.
+inline constexpr double kUtilizationTolerance = 1e-9;
+
+// value <= limit, up to the shared utilization tolerance.
+constexpr bool utilization_within(double value, double limit)
+{
+    return value <= limit + kUtilizationTolerance;
+}
+
+// Strict overload test: the complement of utilization_within, used by the
+// Perfect-policy bus capacity check.
+constexpr bool utilization_exceeds(double value, double limit)
+{
+    return !utilization_within(value, limit);
+}
+
+// Catalog margins are exact 64-bit integers (Quantity counts). A relation is
+// violated iff its margin is negative — tolerance zero, by definition. Both
+// check::Checker semantics and verify::Prover refutations use this
+// predicate, so a prover witness is a checker violation by construction.
+constexpr bool margin_violates(std::int64_t margin)
+{
+    return margin < 0;
+}
+
+} // namespace cpa::check

@@ -6,14 +6,19 @@
 #include "benchdata/generator.hpp"
 #include "check/assert.hpp"
 #include "check/random_check.hpp"
+#include "check/tolerance.hpp"
 #include "experiments/sweep.hpp"
 #include "cli/taskset_io.hpp"
+#include "verify/box.hpp"
+#include "verify/properties.hpp"
+#include "verify/prover.hpp"
 #include "obs/build_info.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
 #include "sim/simulator.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -50,6 +55,9 @@ usage:
   cpa check    [--seed S] [--trials N] [--cores N] [--tasks-per-core N]
                [--cache-sets N] [--min-utilization U] [--max-utilization U]
                [--jobs N] [--skip-sim] [--fail-on-violation] [--list]
+  cpa verify   [--profile fast|full] [--box FILE] [--jobs N]
+               [--max-depth N] [--max-nodes N]
+               [--fail-on refuted|undecided] [--list]
   cpa version  [--json]
   cpa help
 
@@ -64,7 +72,16 @@ soundness; see docs/static-analysis.md). It exits 0 even on violations
 unless --fail-on-violation is given (then exit 3); --list prints the
 catalog.
 
-observability (analyze, simulate, sweep, check; see docs/observability.md):
+`cpa verify` statically proves the same catalog over a whole parameter box
+with an interval-domain abstract interpreter plus branch-and-bound
+bisection: every invariant ends PROVED, REFUTED (with a witness point that
+replays through the checker), or UNDECIDED — listed by name, never
+dropped. --box FILE overrides the profile box ('name lo hi' lines, see
+docs/static-analysis.md); --fail-on turns refutations (or open
+obligations) into exit 3; --list prints the per-invariant proof rules.
+
+observability (analyze, simulate, sweep, check, verify; see
+docs/observability.md):
   --metrics-out FILE   write a JSON run report (iteration counts, per-
                        arbiter BAT stats, timers, latency histograms);
                        FILE '-' = stdout
@@ -359,7 +376,8 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
                                               config, tables);
         const bool bus_ok =
             policy != BusPolicy::kPerfect ||
-            parsed.ts.bus_utilization(parsed.platform.d_mem) <= 1.0;
+            check::utilization_within(
+                parsed.ts.bus_utilization(parsed.platform.d_mem), 1.0);
         bool schedulable = bus_ok;
         for (const auto& b : breakdowns) {
             schedulable = schedulable && b.analyzed && b.meets_deadline;
@@ -785,6 +803,135 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
     return 0;
 }
 
+int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
+{
+    if (flags.take_switch("--list")) {
+        flags.expect_empty();
+        util::TextTable table({"invariant", "rule", "note"});
+        for (const verify::Property& property : verify::property_catalog()) {
+            table.add_row({std::string(property.name),
+                           property.bisectable ? "interval" : "sampled",
+                           std::string(property.note)});
+        }
+        table.print(out);
+        return 0;
+    }
+
+    const std::string profile = flags.take("--profile", "fast");
+    const std::string box_file = flags.take("--box", "");
+    verify::ProverOptions options;
+    std::string box_label;
+    if (!box_file.empty()) {
+        std::ifstream box_in(box_file);
+        if (!box_in) {
+            throw std::runtime_error("cannot read box file '" + box_file +
+                                     "'");
+        }
+        options.box = verify::parse_box(box_in);
+        box_label = "file " + box_file;
+    } else if (profile == "fast") {
+        options.box = verify::fast_box();
+        box_label = "profile fast";
+    } else if (profile == "full") {
+        options.box = verify::full_box();
+        box_label = "profile full";
+    } else {
+        throw std::runtime_error("unknown profile '" + profile +
+                                 "' (expected fast or full)");
+    }
+    options.jobs = util::resolve_jobs(static_cast<std::size_t>(
+        std::stoll(flags.take("--jobs", "0"))));
+    options.max_depth = static_cast<std::size_t>(
+        std::stoll(flags.take("--max-depth", "12")));
+    options.max_nodes = static_cast<std::size_t>(
+        std::stoll(flags.take("--max-nodes", "2048")));
+    const std::string fail_on = flags.take("--fail-on", "");
+    if (!fail_on.empty() && fail_on != "refuted" && fail_on != "undecided") {
+        throw std::runtime_error("unknown --fail-on '" + fail_on +
+                                 "' (expected refuted or undecided)");
+    }
+    const std::string metrics_out = flags.take("--metrics-out", "");
+    const std::string trace_spec = flags.take("--trace", "");
+    const std::string profile_out = flags.take("--profile-out", "");
+    flags.expect_empty();
+    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
+    AssertionSession assertion_session;
+
+    const verify::VerifyReport report = verify::run_prover(options);
+
+    out << "== interval verification: " << report.properties.size()
+        << " invariants over " << box_label << " ==\n";
+    out << "box: " << options.box.describe({}) << '\n';
+    util::TextTable table(
+        {"invariant", "verdict", "proved", "open", "nodes", "samples",
+         "depth"});
+    for (const verify::PropertyReport& entry : report.properties) {
+        table.add_row({entry.name, verify::to_string(entry.verdict),
+                       std::to_string(entry.proved_boxes),
+                       std::to_string(entry.undecided_boxes),
+                       std::to_string(entry.nodes),
+                       std::to_string(entry.samples),
+                       std::to_string(entry.max_depth)});
+    }
+    table.print(out);
+    out << "summary: " << report.proved() << " proved, " << report.refuted()
+        << " refuted, " << report.undecided() << " undecided\n";
+    // Open obligations are part of the result, never silently dropped.
+    for (const verify::PropertyReport& entry : report.properties) {
+        if (entry.verdict != verify::Verdict::kUndecided) {
+            continue;
+        }
+        out << "undecided: " << entry.name;
+        if (!entry.note.empty()) {
+            out << " (" << entry.note << ')';
+        }
+        out << '\n';
+    }
+    for (const verify::PropertyReport& entry : report.properties) {
+        for (const verify::Witness& witness : entry.witnesses) {
+            out << "witness: " << witness.property << ": " << witness.detail
+                << '\n';
+            out << "  at " << witness.describe() << '\n';
+        }
+    }
+
+    if (obs_session.metrics_requested()) {
+        obs::RunReport run_report("cpa verify");
+        obs::JsonValue& cfg = run_report.section("config");
+        cfg.set("box", obs::JsonValue(options.box.describe({})));
+        cfg.set("max_depth", obs::JsonValue(options.max_depth));
+        cfg.set("max_nodes", obs::JsonValue(options.max_nodes));
+        run_report.set("proved", obs::JsonValue(report.proved()));
+        run_report.set("refuted", obs::JsonValue(report.refuted()));
+        run_report.set("undecided", obs::JsonValue(report.undecided()));
+        obs::JsonValue& by_property = run_report.list("properties");
+        for (const verify::PropertyReport& entry : report.properties) {
+            obs::JsonValue row = obs::JsonValue::object();
+            row.set("invariant", obs::JsonValue(entry.name));
+            row.set("verdict",
+                    obs::JsonValue(std::string(
+                        verify::to_string(entry.verdict))));
+            row.set("proved_boxes", obs::JsonValue(entry.proved_boxes));
+            row.set("undecided_boxes",
+                    obs::JsonValue(entry.undecided_boxes));
+            row.set("nodes", obs::JsonValue(entry.nodes));
+            row.set("samples", obs::JsonValue(entry.samples));
+            by_property.push(std::move(row));
+        }
+        write_run_report(run_report, metrics_out, out);
+    }
+
+    const bool fail_refuted = report.refuted() > 0;
+    const bool fail_undecided = report.undecided() > 0;
+    if ((fail_on == "refuted" && fail_refuted) ||
+        (fail_on == "undecided" && (fail_refuted || fail_undecided))) {
+        err << "cpa verify: " << report.refuted() << " refuted, "
+            << report.undecided() << " undecided invariant(s)\n";
+        return 3;
+    }
+    return 0;
+}
+
 } // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -807,6 +954,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
         if (command == "check") {
             return cmd_check(Flags({args.begin() + 1, args.end()}), out,
                              err);
+        }
+        if (command == "verify") {
+            return cmd_verify(Flags({args.begin() + 1, args.end()}), out,
+                              err);
         }
         if (command == "version" || command == "--version") {
             return cmd_version(Flags({args.begin() + 1, args.end()}), out);

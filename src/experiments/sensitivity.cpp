@@ -1,6 +1,7 @@
 #include "experiments/sensitivity.hpp"
 
 #include "analysis/schedulability.hpp"
+#include "check/tolerance.hpp"
 #include "obs/parallel.hpp"
 #include "util/thread_pool.hpp"
 
@@ -61,7 +62,7 @@ double breakdown_utilization(
     // original serial loop, so the exact double values (and thus the
     // generated task sets) are unchanged by the parallel evaluation.
     std::vector<double> grid;
-    for (double u = u_step; u <= 1.0 + 1e-9; u += u_step) {
+    for (double u = u_step; check::utilization_within(u, 1.0); u += u_step) {
         grid.push_back(u);
     }
     std::vector<std::uint8_t> schedulable(grid.size(), 0);

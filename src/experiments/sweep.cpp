@@ -3,6 +3,7 @@
 #include "analysis/interference.hpp"
 #include "analysis/schedulability.hpp"
 #include "benchdata/benchmark.hpp"
+#include "check/tolerance.hpp"
 #include "obs/obs.hpp"
 #include "obs/parallel.hpp"
 #include "util/rng.hpp"
@@ -80,11 +81,13 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
     // Points run sequentially (trials within a point are the parallel axis),
     // which keeps these per-point progress events meaningful.
     const auto total_points = static_cast<std::size_t>(
-        std::floor((sweep.u_max - sweep.u_min) / sweep.u_step + 1e-9)) + 1;
+        std::floor((sweep.u_max - sweep.u_min) / sweep.u_step +
+                   check::kUtilizationTolerance)) + 1;
     const auto sweep_started = std::chrono::steady_clock::now();
     std::size_t points_done = 0;
 
-    for (double u = sweep.u_min; u <= sweep.u_max + 1e-9; u += sweep.u_step) {
+    for (double u = sweep.u_min; check::utilization_within(u, sweep.u_max);
+         u += sweep.u_step) {
         CPA_SCOPED_TIMER("sweep.point");
         CPA_PROFILE_SPAN_ARG("sweep.point", "index", points_done);
         const auto point_started = std::chrono::steady_clock::now();

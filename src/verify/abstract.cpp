@@ -1,0 +1,352 @@
+#include "verify/abstract.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace cpa::verify {
+
+using util::AccessCount;
+using util::Cycles;
+
+namespace {
+
+// The hi-endpoint ascent mirrors the concrete solver's iterate chain; the
+// concrete inner loop is capped at 100000 steps, so a generous abstract cap
+// only cuts off boxes the concrete solver would also struggle with.
+constexpr std::size_t kMaxAscentSteps = 4096;
+constexpr std::size_t kMaxSweeps = 64;
+
+[[nodiscard]] IAccess to_access(const ICount& c)
+{
+    return {AccessCount{c.lo}, AccessCount{c.hi}};
+}
+
+[[nodiscard]] ICycles to_cycles(const ICount& c)
+{
+    return {Cycles{c.lo}, Cycles{c.hi}};
+}
+
+[[nodiscard]] IAccess blocks_to_access(const ICount& blocks)
+{
+    return {util::accesses_from_blocks(static_cast<std::size_t>(blocks.lo)),
+            util::accesses_from_blocks(static_cast<std::size_t>(blocks.hi))};
+}
+
+[[nodiscard]] AccessCount md_hat_corner(std::int64_t n, AccessCount md,
+                                        AccessCount mdr, AccessCount pcb)
+{
+    if (n <= 0) {
+        return AccessCount{0};
+    }
+    return std::min(n * md, n * mdr + pcb);
+}
+
+} // namespace
+
+IAccess AbstractScenario::gamma(std::size_t i, std::size_t j) const
+{
+    const bool active = j < cores && i >= j + cores;
+    return active ? ucb : IAccess::point(AccessCount{0});
+}
+
+IAccess AbstractScenario::cpro_overlap(std::size_t j, std::size_t level) const
+{
+    return level >= partner(j) ? pcb : IAccess::point(AccessCount{0});
+}
+
+IAccess AbstractScenario::md_hat(const ICount& n) const
+{
+    // Non-decreasing in n, MD, MDʳ, and |PCB| separately, so the all-lo /
+    // all-hi corners enclose every point (MDʳ <= MD holds endpoint-wise
+    // because md_residual was clamped with an elementwise min).
+    return {md_hat_corner(n.lo, md.lo, md_residual.lo, pcb.lo),
+            md_hat_corner(n.hi, md.hi, md_residual.hi, pcb.hi)};
+}
+
+IAccess AbstractScenario::rho_hat(std::size_t j, std::size_t level,
+                                  const ICount& n) const
+{
+    // Eq. (14): (n - 1) jobs can each reload the overlap once; no reloads
+    // for n <= 1. Both factors are non-negative after the clamp.
+    return mul(clamp_non_negative(n - ICount::point(1)),
+               cpro_overlap(j, level));
+}
+
+AbstractScenario make_abstract(const ParamBox& box, std::int64_t cores)
+{
+    AbstractScenario s;
+    s.cores = static_cast<std::size_t>(cores);
+    const ICount cache =
+        ICount::point(static_cast<std::int64_t>(kScenarioCacheSets));
+    const ICount md = box[Dim::kMd];
+    s.ecb_blocks = min(box[Dim::kEcb], cache);
+    s.ucb_raw = box[Dim::kUcb];
+    s.pcb_raw = box[Dim::kPcb];
+    s.mdr_raw = box[Dim::kMdResidual];
+    s.md = to_access(md);
+    s.md_residual = to_access(min(s.mdr_raw, md));
+    s.ucb = blocks_to_access(min(s.ucb_raw, s.ecb_blocks));
+    s.pcb = blocks_to_access(min(s.pcb_raw, s.ecb_blocks));
+    s.pd = to_cycles(box[Dim::kPd]);
+    s.period = to_cycles(box[Dim::kPeriod]);
+    s.d_mem = to_cycles(box[Dim::kDmem]);
+    s.n_jobs = box[Dim::kNJobs];
+    s.window = to_cycles(box[Dim::kWindow]);
+    s.dt = to_cycles(box[Dim::kDt]);
+    return s;
+}
+
+IAccess AbstractBounds::bas(std::size_t i, const ICycles& t) const
+{
+    IAccess total = s_.md;
+    if (i >= s_.cores) {
+        // Exactly one same-core higher-priority task in this family.
+        const std::size_t j = i - s_.cores;
+        const ICount jobs = ceil_div(t, s_.period); // jitter is 0
+        const IAccess isolation = mul(jobs, s_.md);
+        IAccess demand = isolation;
+        if (config_.persistence_aware) {
+            demand = min(isolation,
+                         s_.md_hat(jobs) + s_.rho_hat(j, i, jobs));
+        }
+        total = total + demand + mul(jobs, s_.gamma(i, j));
+    }
+    return total;
+}
+
+IAccess AbstractBounds::other_core_task_accesses(
+    std::size_t k, std::size_t l, const ICycles& t,
+    const std::vector<ICycles>& response) const
+{
+    const IAccess gamma = s_.gamma(k, l);
+    const IAccess per_job = s_.md + gamma;
+    // Eq. (6): window shifted by the carry-in job's latest finish.
+    const ICycles shift = t + response[l] - mul(per_job, s_.d_mem);
+    const ICount n_full = clamp_non_negative(floor_div(shift, s_.period));
+
+    // Eq. (4)/(18): demand of the fully-contained jobs.
+    IAccess w_full = mul(n_full, per_job);
+    if (config_.persistence_aware) {
+        const IAccess capped =
+            min(mul(n_full, s_.md),
+                s_.md_hat(n_full) + s_.rho_hat(l, k, n_full));
+        w_full = capped + mul(n_full, gamma);
+    }
+
+    // Eq. (5): carry-out accesses, clamped to one job's worth.
+    const ICycles leftover = shift - mul(n_full, s_.period);
+    const IAccess w_cout =
+        clamp_to(accesses_covering(leftover, s_.d_mem), per_job);
+    return w_full + w_cout;
+}
+
+IAccess AbstractBounds::bao(std::size_t core, std::size_t k, const ICycles& t,
+                            const std::vector<ICycles>& response) const
+{
+    IAccess total = IAccess::point(AccessCount{0});
+    for (const std::size_t l : {core, core + s_.cores}) {
+        if (l <= k) {
+            total = total + other_core_task_accesses(k, l, t, response);
+        }
+    }
+    return total;
+}
+
+IAccess AbstractBounds::bao_lower(std::size_t core, std::size_t i,
+                                  const ICycles& t,
+                                  const std::vector<ICycles>& response) const
+{
+    IAccess total = IAccess::point(AccessCount{0});
+    for (const std::size_t l : {core, core + s_.cores}) {
+        if (l > i) {
+            total = total + other_core_task_accesses(i, l, t, response);
+        }
+    }
+    return total;
+}
+
+IAccess AbstractBounds::bat(std::size_t i, const ICycles& t,
+                            const std::vector<ICycles>& response) const
+{
+    const IAccess same = bas(i, t);
+    const std::size_t my_core = i % s_.cores;
+    // Round-0 tasks have a lower-priority same-core task, so one in-flight
+    // blocking access; round-1 tasks have none.
+    const IAccess blocking = i < s_.cores ? IAccess::point(AccessCount{1})
+                                          : IAccess::point(AccessCount{0});
+
+    switch (config_.policy) {
+    case analysis::BusPolicy::kPerfect:
+        return same;
+
+    case analysis::BusPolicy::kFixedPriority: {
+        IAccess higher = IAccess::point(AccessCount{0});
+        IAccess lower = IAccess::point(AccessCount{0});
+        for (std::size_t core = 0; core < s_.cores; ++core) {
+            if (core == my_core) {
+                continue;
+            }
+            higher = higher + bao(core, i, t, response);
+            lower = lower + bao_lower(core, i, t, response);
+        }
+        return same + higher + min(same, lower) + blocking;
+    }
+
+    case analysis::BusPolicy::kRoundRobin: {
+        const std::size_t lowest = s_.task_count() - 1;
+        const ICount slot = ICount::point(s_.slot_size);
+        IAccess other = IAccess::point(AccessCount{0});
+        for (std::size_t core = 0; core < s_.cores; ++core) {
+            if (core == my_core) {
+                continue;
+            }
+            other = other + min(bao(core, lowest, t, response),
+                                mul(slot, same));
+        }
+        return same + other + blocking;
+    }
+
+    case analysis::BusPolicy::kTdma: {
+        const ICount factor = ICount::point(
+            (static_cast<std::int64_t>(s_.cores) - 1) * s_.slot_size);
+        return same + mul(factor, same) + blocking;
+    }
+    }
+    return same;
+}
+
+IAccess AbstractBounds::bas_persistence_slack(std::size_t i,
+                                              const ICycles& t) const
+{
+    if (i < s_.cores) {
+        return IAccess::point(AccessCount{0}); // no same-core hp task
+    }
+    const std::size_t j = i - s_.cores;
+    const ICount jobs = ceil_div(t, s_.period);
+    const IAccess isolation = mul(jobs, s_.md);
+    const IAccess capped = s_.md_hat(jobs) + s_.rho_hat(j, i, jobs);
+    return clamp_non_negative(isolation - capped);
+}
+
+IAccess AbstractBounds::other_core_persistence_slack(
+    std::size_t k, std::size_t l, const ICycles& t,
+    const std::vector<ICycles>& response) const
+{
+    // Mirrors other_core_task_accesses: only the w_full cap differs between
+    // baseline and aware (per_job, n_full and w_cout are shared), so the
+    // gap is n_full·MD minus the Lemma 2 cap, clamped at zero.
+    const IAccess per_job = s_.md + s_.gamma(k, l);
+    const ICycles shift = t + response[l] - mul(per_job, s_.d_mem);
+    const ICount n_full = clamp_non_negative(floor_div(shift, s_.period));
+    const IAccess capped = s_.md_hat(n_full) + s_.rho_hat(l, k, n_full);
+    return clamp_non_negative(mul(n_full, s_.md) - capped);
+}
+
+IAccess AbstractBounds::bao_persistence_slack(
+    std::size_t core, std::size_t k, const ICycles& t,
+    const std::vector<ICycles>& response) const
+{
+    IAccess total = IAccess::point(AccessCount{0});
+    for (const std::size_t l : {core, core + s_.cores}) {
+        if (l <= k) {
+            total = total + other_core_persistence_slack(k, l, t, response);
+        }
+    }
+    return total;
+}
+
+IAccess AbstractBounds::bao_lower_persistence_slack(
+    std::size_t core, std::size_t i, const ICycles& t,
+    const std::vector<ICycles>& response) const
+{
+    IAccess total = IAccess::point(AccessCount{0});
+    for (const std::size_t l : {core, core + s_.cores}) {
+        if (l > i) {
+            total = total + other_core_persistence_slack(i, l, t, response);
+        }
+    }
+    return total;
+}
+
+ICycles isolated_demand(const AbstractScenario& s)
+{
+    return s.pd + mul(s.md, s.d_mem);
+}
+
+AbstractWcrt abstract_wcrt(const AbstractScenario& s,
+                           const analysis::AnalysisConfig& config)
+{
+    AbstractWcrt out;
+    const std::size_t n = s.task_count();
+    const ICycles iso = isolated_demand(s);
+
+    // Every point's Eq. 19 starting value already exceeds its deadline:
+    // the concrete solver reports a miss everywhere in the box.
+    if (iso.lo > s.period.hi) {
+        out.verdict = AbstractSchedulability::kAllUnschedulable;
+        return out;
+    }
+
+    const ICycles init{std::max(iso.lo, Cycles{1}),
+                       std::max(iso.hi, Cycles{1})};
+    std::vector<ICycles> enclosure(n, init);
+    const AbstractBounds bounds(s, config);
+
+    // Ascend the hi endpoint of τ_i's enclosure through the interval rhs
+    // until post-fixed: every concrete iterate at every point stays below
+    // the abstract chain, so the returned hi dominates the solver's result.
+    const auto ascend = [&](std::size_t i) -> std::optional<Cycles> {
+        Cycles hi = enclosure[i].hi;
+        for (std::size_t iter = 0; iter < kMaxAscentSteps; ++iter) {
+            const ICycles r{enclosure[i].lo, hi};
+            ICycles rhs = s.pd;
+            if (i >= s.cores) {
+                rhs = rhs + mul(ceil_div(r, s.period), s.pd);
+            }
+            rhs = rhs + mul(bounds.bat(i, r, enclosure), s.d_mem);
+            if (rhs.hi <= hi) {
+                return hi;
+            }
+            hi = rhs.hi;
+            if (hi > s.period.hi) {
+                // Some point may miss its deadline; the box straddles.
+                return std::nullopt;
+            }
+        }
+        return std::nullopt;
+    };
+
+    bool converged = false;
+    for (std::size_t sweep = 0; sweep < kMaxSweeps && !converged; ++sweep) {
+        out.sweeps = sweep + 1;
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::optional<Cycles> hi = ascend(i);
+            if (!hi) {
+                out.verdict = AbstractSchedulability::kUnknown;
+                return out;
+            }
+            if (*hi != enclosure[i].hi) {
+                enclosure[i] = ICycles{enclosure[i].lo, *hi};
+                changed = true;
+            }
+        }
+        converged = !changed;
+    }
+    if (!converged) {
+        out.verdict = AbstractSchedulability::kUnknown;
+        return out;
+    }
+
+    // Schedulable everywhere only if every enclosure fits under the
+    // *smallest* deadline in the box.
+    const bool all_fit = std::all_of(
+        enclosure.begin(), enclosure.end(),
+        [&](const ICycles& e) { return e.hi <= s.period.lo; });
+    out.response = std::move(enclosure);
+    out.verdict = all_fit ? AbstractSchedulability::kAllSchedulable
+                          : AbstractSchedulability::kUnknown;
+    return out;
+}
+
+} // namespace cpa::verify

@@ -1,0 +1,149 @@
+// Interval-lifted analysis model for the verify scenario family.
+//
+// AbstractScenario evaluates the same formulas as analysis/{demand,
+// interference,bus_bounds,wcrt} but over intervals, with the interference
+// geometry (gamma / CPRO tables) in closed form — possible because
+// make_scenario uses nested prefix footprints and a fixed task layout, so
+// the table entries collapse to indicator * footprint (see scenario.hpp).
+// The prover combines these enclosures with algebraic margin rewrites
+// (properties.cpp) and concrete AnalysisOracle samples: an interval proof
+// here certifies the *model*; agreement with the sampled implementation is
+// what ties the model to the code under test.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "verify/box.hpp"
+#include "verify/interval.hpp"
+#include "verify/scenario.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace cpa::verify {
+
+// Scenario parameters over a sub-box with the core count pinned to a
+// concrete value (the prover enumerates cores; everything else stays an
+// interval). Footprint dims are stored both as raw box values and as the
+// clamped effective values make_scenario realizes.
+struct AbstractScenario {
+    std::size_t cores = 0;
+    IAccess md;          // MD_i
+    IAccess md_residual; // min(box mdr, MD)
+    IAccess pcb;         // accesses_from_blocks(min(box pcb, ecb_eff))
+    IAccess ucb;         // accesses_from_blocks(min(box ucb, ecb_eff))
+    ICount ecb_blocks;   // min(box ecb, cache size), in blocks
+    ICount ucb_raw;      // box values before the subset clamps
+    ICount pcb_raw;
+    ICount mdr_raw;
+    ICycles pd;
+    ICycles period; // == deadline; jitter is 0 in this family
+    ICycles d_mem;
+    ICount n_jobs;  // quantifier for the M-hat invariants
+    ICycles window; // quantifier t for the bus-bound invariants
+    ICycles dt;     // window increment for the monotonicity invariant
+    std::int64_t slot_size = 2;
+
+    [[nodiscard]] std::size_t task_count() const { return 2 * cores; }
+
+    // Priority partner of τ_idx on its core: the round-0 task idx < cores
+    // is shadowed by idx + cores, and vice versa.
+    [[nodiscard]] std::size_t partner(std::size_t idx) const
+    {
+        return idx < cores ? idx + cores : idx - cores;
+    }
+
+    // gamma(i, j): with identical prefix masks the ECB-union CRPD is the
+    // whole UCB footprint exactly when τ_j can preempt an affected task at
+    // level i — i.e. j runs in round 0 and level i is past j's partner.
+    [[nodiscard]] IAccess gamma(std::size_t i, std::size_t j) const;
+
+    // cpro_overlap(j, level): |PCB_j ∩ ∪ ECB| over the evictors at `level`;
+    // nonzero exactly when the same-core partner of τ_j is included.
+    [[nodiscard]] IAccess cpro_overlap(std::size_t j, std::size_t level) const;
+
+    // M̂D(n) = min(n·MD, n·MDʳ + |PCB|): non-decreasing in every argument,
+    // so the lo/hi corner evaluations are the hull (monotone rule).
+    [[nodiscard]] IAccess md_hat(const ICount& n) const;
+
+    // ρ̂_{j,level}(n) = max(0, n-1) · cpro_overlap (CPRO-union, Eq. 14).
+    [[nodiscard]] IAccess rho_hat(std::size_t j, std::size_t level,
+                                  const ICount& n) const;
+};
+
+[[nodiscard]] AbstractScenario make_abstract(const ParamBox& box,
+                                             std::int64_t cores);
+
+// Interval lift of analysis::BusContentionAnalysis, term by term.
+class AbstractBounds {
+public:
+    AbstractBounds(const AbstractScenario& scenario,
+                   const analysis::AnalysisConfig& config)
+        : s_(scenario), config_(config)
+    {
+    }
+
+    [[nodiscard]] IAccess bas(std::size_t i, const ICycles& t) const;
+    [[nodiscard]] IAccess bao(std::size_t core, std::size_t k,
+                              const ICycles& t,
+                              const std::vector<ICycles>& response) const;
+    [[nodiscard]] IAccess bao_lower(std::size_t core, std::size_t i,
+                                    const ICycles& t,
+                                    const std::vector<ICycles>& response) const;
+    [[nodiscard]] IAccess bat(std::size_t i, const ICycles& t,
+                              const std::vector<ICycles>& response) const;
+
+    // Lemma 2 carry-in/carry-out window term for one other-core task.
+    [[nodiscard]] IAccess
+    other_core_task_accesses(std::size_t k, std::size_t l, const ICycles& t,
+                             const std::vector<ICycles>& response) const;
+
+    // Certified lower bounds on the persistence gap (baseline minus aware)
+    // of the corresponding bound. Both follow the rewrite
+    //   a - min(a, b) = max(0, a - b) >= 0,
+    // applied to the Lemma 1/2 demand caps, so the returned lo endpoint is
+    // non-negative whenever the box is (the machine-checked core of the
+    // dominance proofs in properties.cpp).
+    [[nodiscard]] IAccess bas_persistence_slack(std::size_t i,
+                                                const ICycles& t) const;
+    [[nodiscard]] IAccess
+    bao_persistence_slack(std::size_t core, std::size_t k, const ICycles& t,
+                          const std::vector<ICycles>& response) const;
+    [[nodiscard]] IAccess bao_lower_persistence_slack(
+        std::size_t core, std::size_t i, const ICycles& t,
+        const std::vector<ICycles>& response) const;
+
+private:
+    [[nodiscard]] IAccess
+    other_core_persistence_slack(std::size_t k, std::size_t l,
+                                 const ICycles& t,
+                                 const std::vector<ICycles>& response) const;
+
+    const AbstractScenario& s_;
+    analysis::AnalysisConfig config_;
+};
+
+// Isolated demand enclosure PD + MD·d_mem (the Eq. 19 starting point).
+[[nodiscard]] ICycles isolated_demand(const AbstractScenario& s);
+
+// Outcome of the abstract Eq. 19 fixed point over a sub-box.
+enum class AbstractSchedulability {
+    kAllSchedulable,   // every point converges with R_i <= D_i
+    kAllUnschedulable, // every point's isolated demand already misses D
+    kUnknown,          // the box straddles the boundary (or no convergence)
+};
+
+struct AbstractWcrt {
+    AbstractSchedulability verdict = AbstractSchedulability::kUnknown;
+    std::vector<ICycles> response; // per-task enclosure (when schedulable)
+    std::size_t sweeps = 0;
+};
+
+// Ascends the hi endpoints of the response enclosures through the interval
+// rhs until post-fixed (a widening to "unknown" caps divergence). Sound
+// because every concrete iterate at every point of the box is dominated by
+// the corresponding abstract hi iterate, and the concrete solver's result
+// is the supremum of its iterate chain.
+[[nodiscard]] AbstractWcrt abstract_wcrt(const AbstractScenario& s,
+                                         const analysis::AnalysisConfig& config);
+
+} // namespace cpa::verify

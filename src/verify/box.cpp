@@ -1,0 +1,204 @@
+#include "verify/box.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace cpa::verify {
+
+namespace {
+
+constexpr std::array<std::string_view, kDimCount> kDimNames = {
+    "md",     "md_residual", "pcb",   "ucb",    "ecb",    "pd",
+    "period", "d_mem",       "cores", "n_jobs", "window", "dt",
+};
+
+} // namespace
+
+std::string_view ParamBox::name(Dim d) { return kDimNames[index_of(d)]; }
+
+std::optional<Dim> ParamBox::find(std::string_view name)
+{
+    for (std::size_t i = 0; i < kDimCount; ++i) {
+        if (kDimNames[i] == name) {
+            return static_cast<Dim>(i);
+        }
+    }
+    return std::nullopt;
+}
+
+void ParamBox::validate() const
+{
+    for (std::size_t i = 0; i < kDimCount; ++i) {
+        if (dims[i].lo < 0) {
+            throw std::invalid_argument(
+                "verify box: dimension '" + std::string(kDimNames[i]) +
+                "' must be non-negative");
+        }
+    }
+    if ((*this)[Dim::kPeriod].lo < 1) {
+        throw std::invalid_argument("verify box: period must be at least 1");
+    }
+    if ((*this)[Dim::kDmem].lo < 1) {
+        throw std::invalid_argument("verify box: d_mem must be at least 1");
+    }
+    const ICount& cores = (*this)[Dim::kCores];
+    if (cores.lo < 1 || cores.hi > 8) {
+        throw std::invalid_argument("verify box: cores must lie in [1, 8]");
+    }
+}
+
+std::string ParamBox::describe(const std::vector<Dim>& used) const
+{
+    std::ostringstream out;
+    bool first = true;
+    const auto emit = [&](Dim d) {
+        if (!first) {
+            out << ' ';
+        }
+        first = false;
+        const ICount& iv = (*this)[d];
+        out << name(d) << "=[" << iv.lo << ',' << iv.hi << ']';
+    };
+    if (used.empty()) {
+        for (std::size_t i = 0; i < kDimCount; ++i) {
+            emit(static_cast<Dim>(i));
+        }
+    } else {
+        for (const Dim d : used) {
+            emit(d);
+        }
+    }
+    return out.str();
+}
+
+Point ParamBox::lo_corner() const
+{
+    Point p{};
+    for (std::size_t i = 0; i < kDimCount; ++i) {
+        p[i] = dims[i].lo;
+    }
+    return p;
+}
+
+Point ParamBox::hi_corner() const
+{
+    Point p{};
+    for (std::size_t i = 0; i < kDimCount; ++i) {
+        p[i] = dims[i].hi;
+    }
+    return p;
+}
+
+Point ParamBox::midpoint() const
+{
+    Point p{};
+    for (std::size_t i = 0; i < kDimCount; ++i) {
+        p[i] = dims[i].lo + (dims[i].hi - dims[i].lo) / 2;
+    }
+    return p;
+}
+
+std::optional<std::pair<ParamBox, ParamBox>>
+ParamBox::bisect(const std::vector<Dim>& used) const
+{
+    std::optional<Dim> widest;
+    std::int64_t width = 0;
+    for (const Dim d : used) {
+        const ICount& iv = (*this)[d];
+        const std::int64_t w = iv.hi - iv.lo;
+        if (w > width) {
+            width = w;
+            widest = d;
+        }
+    }
+    if (!widest) {
+        return std::nullopt;
+    }
+    const ICount& iv = (*this)[*widest];
+    const std::int64_t mid = iv.lo + (iv.hi - iv.lo) / 2;
+    ParamBox left = *this;
+    ParamBox right = *this;
+    left[*widest] = ICount{iv.lo, mid};
+    right[*widest] = ICount{mid + 1, iv.hi};
+    return std::pair{left, right};
+}
+
+ParamBox fast_box()
+{
+    ParamBox box;
+    box[Dim::kMd] = ICount{2, 8};
+    box[Dim::kMdResidual] = ICount{0, 4};
+    box[Dim::kPcb] = ICount{0, 6};
+    box[Dim::kUcb] = ICount{0, 6};
+    box[Dim::kEcb] = ICount{4, 16};
+    box[Dim::kPd] = ICount{40, 120};
+    box[Dim::kPeriod] = ICount{4000, 12000};
+    box[Dim::kDmem] = ICount{2, 10};
+    box[Dim::kCores] = ICount{2, 4};
+    box[Dim::kNJobs] = ICount{1, 6};
+    box[Dim::kWindow] = ICount{0, 28000};
+    box[Dim::kDt] = ICount{0, 28000};
+    return box;
+}
+
+ParamBox full_box()
+{
+    ParamBox box;
+    box[Dim::kMd] = ICount{1, 24};
+    box[Dim::kMdResidual] = ICount{0, 16};
+    box[Dim::kPcb] = ICount{0, 16};
+    box[Dim::kUcb] = ICount{0, 16};
+    box[Dim::kEcb] = ICount{0, 48};
+    box[Dim::kPd] = ICount{20, 400};
+    box[Dim::kPeriod] = ICount{2000, 40000};
+    box[Dim::kDmem] = ICount{1, 20};
+    box[Dim::kCores] = ICount{2, 6};
+    box[Dim::kNJobs] = ICount{1, 12};
+    box[Dim::kWindow] = ICount{0, 90000};
+    box[Dim::kDt] = ICount{0, 90000};
+    return box;
+}
+
+ParamBox parse_box(std::istream& in)
+{
+    ParamBox box = fast_box();
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream fields(line);
+        std::string name;
+        if (!(fields >> name)) {
+            continue; // blank or comment-only line
+        }
+        const std::optional<Dim> dim = ParamBox::find(name);
+        if (!dim) {
+            throw std::invalid_argument("verify box: unknown dimension '" +
+                                        name + "' on line " +
+                                        std::to_string(line_no));
+        }
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        std::string extra;
+        if (!(fields >> lo >> hi) || (fields >> extra)) {
+            throw std::invalid_argument(
+                "verify box: expected 'name lo hi' on line " +
+                std::to_string(line_no));
+        }
+        if (hi < lo) {
+            throw std::invalid_argument("verify box: inverted range on line " +
+                                        std::to_string(line_no));
+        }
+        box[*dim] = ICount{lo, hi};
+    }
+    box.validate();
+    return box;
+}
+
+} // namespace cpa::verify

@@ -1,0 +1,89 @@
+// Parameter boxes: the domain a proof quantifies over. Each dimension is a
+// closed integer interval; a Point is one corner/interior assignment. The
+// prover bisects boxes along their widest *used* dimension until every
+// sub-box is proved, refuted, or the depth budget runs out.
+#pragma once
+
+#include "verify/interval.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpa::verify {
+
+// The scenario family's free parameters. All values are non-negative
+// integers; footprint dimensions (pcb/ucb/ecb) count cache blocks, demand
+// dimensions count bus accesses, timing dimensions count cycles.
+enum class Dim : std::size_t {
+    kMd,         // per-job memory demand MD (accesses)
+    kMdResidual, // residual demand MDʳ (accesses; clamped to MD)
+    kPcb,        // persistent cache blocks |PCB|
+    kUcb,        // useful cache blocks |UCB|
+    kEcb,        // evicting cache blocks |ECB|
+    kPd,         // processing demand PD (cycles)
+    kPeriod,     // period == deadline T (cycles)
+    kDmem,       // bus access latency d_mem (cycles)
+    kCores,      // core count (each concrete value gets its own sub-tree)
+    kNJobs,      // job-count quantifier n for the M̂D invariants
+    kWindow,     // window quantifier t for the bus-bound invariants (cycles)
+    kDt,         // window increment for the monotonicity invariant (cycles)
+};
+
+inline constexpr std::size_t kDimCount = 12;
+
+using Point = std::array<std::int64_t, kDimCount>;
+
+[[nodiscard]] constexpr std::size_t index_of(Dim d)
+{
+    return static_cast<std::size_t>(d);
+}
+
+struct ParamBox {
+    std::array<ICount, kDimCount> dims{};
+
+    [[nodiscard]] ICount& operator[](Dim d) { return dims[index_of(d)]; }
+    [[nodiscard]] const ICount& operator[](Dim d) const
+    {
+        return dims[index_of(d)];
+    }
+
+    [[nodiscard]] static std::string_view name(Dim d);
+    [[nodiscard]] static std::optional<Dim> find(std::string_view name);
+
+    // Rejects boxes the scenario family cannot realize: every dimension
+    // must be non-negative, period and d_mem at least 1, cores in [1, 8].
+    void validate() const;
+
+    // "md=[2,8] pd=[40,120]" over the given dims (all dims when empty).
+    [[nodiscard]] std::string describe(const std::vector<Dim>& used) const;
+
+    // Lowest / highest corner and midpoint of the box.
+    [[nodiscard]] Point lo_corner() const;
+    [[nodiscard]] Point hi_corner() const;
+    [[nodiscard]] Point midpoint() const;
+
+    // Splits along the widest dimension in `used` (ties: lowest enum
+    // order). Returns nullopt when every used dimension is a point.
+    [[nodiscard]] std::optional<std::pair<ParamBox, ParamBox>>
+    bisect(const std::vector<Dim>& used) const;
+};
+
+// The seed parameter box behind `cpa verify --profile fast`: comfortably
+// schedulable scenarios so the Eq. 19 enclosure converges near the root.
+[[nodiscard]] ParamBox fast_box();
+
+// The wider `--profile full` box; wcrt invariants may legitimately end
+// UNDECIDED near the schedulability boundary here.
+[[nodiscard]] ParamBox full_box();
+
+// Box file format: one `name lo hi` triple per line, '#' comments.
+// Unlisted dimensions keep the fast-profile range.
+[[nodiscard]] ParamBox parse_box(std::istream& in);
+
+} // namespace cpa::verify

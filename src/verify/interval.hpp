@@ -1,0 +1,179 @@
+// Closed integer intervals over the util::Quantity strong types — the
+// abstract domain of `cpa verify`. All quantities in the analysis equations
+// are 64-bit integers, so addition/subtraction/multiplication of interval
+// endpoints is exact; the only rounding happens in the division wrappers,
+// which take the hull over the corner evaluations of util::ceil_div /
+// floor_div / accesses_covering. Integer division is monotone in each
+// argument separately (non-decreasing in the dividend, and monotone in the
+// divisor on either sign of the dividend), so the corner hull is the exact
+// range, i.e. outward rounding never loses a representable point.
+#pragma once
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace cpa::verify {
+
+template <typename T>
+struct Interval {
+    T lo{};
+    T hi{};
+
+    constexpr Interval() = default;
+    constexpr Interval(T low, T high) : lo(low), hi(high)
+    {
+        if (hi < lo) {
+            throw std::invalid_argument("verify::Interval: inverted bounds");
+        }
+    }
+
+    [[nodiscard]] static constexpr Interval point(T value)
+    {
+        return Interval(value, value);
+    }
+
+    [[nodiscard]] constexpr bool is_point() const { return lo == hi; }
+
+    [[nodiscard]] constexpr bool contains(T value) const
+    {
+        return lo <= value && value <= hi;
+    }
+
+    [[nodiscard]] constexpr bool contains(const Interval& other) const
+    {
+        return lo <= other.lo && other.hi <= hi;
+    }
+
+    friend constexpr bool operator==(const Interval&,
+                                     const Interval&) = default;
+};
+
+using ICount = Interval<std::int64_t>;
+using ICycles = Interval<util::Cycles>;
+using IAccess = Interval<util::AccessCount>;
+
+// -- exact endpoint arithmetic ---------------------------------------------
+
+template <typename T>
+[[nodiscard]] constexpr Interval<T> operator+(const Interval<T>& a,
+                                              const Interval<T>& b)
+{
+    return {a.lo + b.lo, a.hi + b.hi};
+}
+
+template <typename T>
+[[nodiscard]] constexpr Interval<T> operator-(const Interval<T>& a,
+                                              const Interval<T>& b)
+{
+    return {a.lo - b.hi, a.hi - b.lo};
+}
+
+// Corner-hull product. Covers scalar*Quantity and the AccessCount*Cycles
+// cross-dimension product from units.hpp; with possibly-negative operands
+// the four corners bound every pointwise product.
+template <typename A, typename B>
+[[nodiscard]] constexpr auto mul(const Interval<A>& a, const Interval<B>& b)
+    -> Interval<decltype(a.lo * b.lo)>
+{
+    const auto c1 = a.lo * b.lo;
+    const auto c2 = a.lo * b.hi;
+    const auto c3 = a.hi * b.lo;
+    const auto c4 = a.hi * b.hi;
+    return {std::min({c1, c2, c3, c4}), std::max({c1, c2, c3, c4})};
+}
+
+// Pointwise min/max are monotone non-decreasing in both arguments, so the
+// elementwise endpoints are the exact hull.
+template <typename T>
+[[nodiscard]] constexpr Interval<T> min(const Interval<T>& a,
+                                        const Interval<T>& b)
+{
+    return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+template <typename T>
+[[nodiscard]] constexpr Interval<T> max(const Interval<T>& a,
+                                        const Interval<T>& b)
+{
+    return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+template <typename T>
+[[nodiscard]] constexpr Interval<T> hull(const Interval<T>& a,
+                                         const Interval<T>& b)
+{
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+template <typename T>
+[[nodiscard]] constexpr Interval<T> clamp_non_negative(const Interval<T>& a)
+{
+    return {std::max(a.lo, T{0}), std::max(a.hi, T{0})};
+}
+
+// clamp(x, 0, hi) with an interval-valued upper bound: monotone
+// non-decreasing in both x and hi.
+template <typename T>
+[[nodiscard]] constexpr Interval<T> clamp_to(const Interval<T>& x,
+                                             const Interval<T>& hi)
+{
+    const T floor_lo = std::max(hi.lo, T{0});
+    const T floor_hi = std::max(hi.hi, T{0});
+    return {std::clamp(x.lo, T{0}, floor_lo),
+            std::clamp(x.hi, T{0}, floor_hi)};
+}
+
+// -- outward-rounded division ----------------------------------------------
+
+// util::ceil_div requires a non-negative dividend and positive divisor;
+// within that domain it is non-decreasing in the dividend and
+// non-increasing in the divisor, so the two extreme corners are exact.
+template <typename T>
+[[nodiscard]] constexpr ICount ceil_div(const Interval<T>& a,
+                                        const Interval<T>& b)
+{
+    return {util::ceil_div(a.lo, b.hi), util::ceil_div(a.hi, b.lo)};
+}
+
+// floor_div admits negative dividends; the divisor monotonicity flips with
+// the dividend sign, so take the hull over all four corners.
+template <typename T>
+[[nodiscard]] constexpr ICount floor_div(const Interval<T>& a,
+                                         const Interval<T>& b)
+{
+    const std::int64_t c1 = util::floor_div(a.lo, b.lo);
+    const std::int64_t c2 = util::floor_div(a.lo, b.hi);
+    const std::int64_t c3 = util::floor_div(a.hi, b.lo);
+    const std::int64_t c4 = util::floor_div(a.hi, b.hi);
+    return {std::min({c1, c2, c3, c4}), std::max({c1, c2, c3, c4})};
+}
+
+// Interval lift of util::accesses_covering (signed ceiling division of a
+// cycle span by d_mem); same four-corner hull as floor_div.
+[[nodiscard]] inline IAccess accesses_covering(const ICycles& span,
+                                               const ICycles& d_mem)
+{
+    const util::AccessCount c1 = util::accesses_covering(span.lo, d_mem.lo);
+    const util::AccessCount c2 = util::accesses_covering(span.lo, d_mem.hi);
+    const util::AccessCount c3 = util::accesses_covering(span.hi, d_mem.lo);
+    const util::AccessCount c4 = util::accesses_covering(span.hi, d_mem.hi);
+    return {std::min({c1, c2, c3, c4}), std::max({c1, c2, c3, c4})};
+}
+
+// -- monotone-function evaluation rule -------------------------------------
+
+// For a map that is non-decreasing in every argument, the lo/hi corner
+// evaluations give the exact hull over the box. This is how M̂D_i(n) and
+// ρ̂ are lifted without splitting their min/product structure apart.
+template <typename F, typename... T>
+[[nodiscard]] constexpr auto monotone_hull(F&& f, const Interval<T>&... args)
+{
+    using R = decltype(f(args.lo...));
+    return Interval<R>(f(args.lo...), f(args.hi...));
+}
+
+} // namespace cpa::verify

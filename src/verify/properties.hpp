@@ -1,0 +1,38 @@
+// The provable invariant catalog: one Property per entry of
+// check::invariant_catalog(), pairing the invariant name with an interval
+// margin rule over the abstract scenario.
+//
+// Margin semantics: the rule returns an enclosure of a certified lower
+// bound on the invariant's minimum slack over the sub-box.
+//   * lo >= 0  — the model satisfies the invariant everywhere in the box;
+//   * hi < 0   — the model violates it everywhere (the prover then hunts a
+//                concrete witness);
+//   * straddle — inconclusive: bisect along `used` dimensions.
+// A nullopt margin means the property has no interval rule (the event
+// simulator is outside the abstract domain); the prover only samples it and
+// reports UNDECIDED rather than silently dropping it.
+#pragma once
+
+#include "verify/abstract.hpp"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace cpa::verify {
+
+using MarginFn = std::optional<ICount> (*)(const AbstractScenario&);
+
+struct Property {
+    std::string_view name; // matches check::invariant_catalog() exactly
+    bool bisectable = true;
+    std::vector<Dim> used; // dimensions the margin rule reads
+    MarginFn margin = nullptr;
+    std::string_view note; // proof caveat surfaced in reports
+};
+
+[[nodiscard]] const std::vector<Property>& property_catalog();
+
+[[nodiscard]] const Property* find_property(std::string_view name);
+
+} // namespace cpa::verify

@@ -1,0 +1,277 @@
+#include "verify/prover.hpp"
+
+#include "obs/obs.hpp"
+#include "obs/parallel.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/abstract.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace cpa::verify {
+
+const char* to_string(Verdict verdict)
+{
+    switch (verdict) {
+    case Verdict::kProved:
+        return "PROVED";
+    case Verdict::kRefuted:
+        return "REFUTED";
+    case Verdict::kUndecided:
+        return "UNDECIDED";
+    }
+    return "UNDECIDED";
+}
+
+std::string Witness::describe() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < kDimCount; ++i) {
+        if (i > 0) {
+            out << ' ';
+        }
+        out << ParamBox::name(static_cast<Dim>(i)) << '=' << point[i];
+    }
+    return out.str();
+}
+
+std::size_t VerifyReport::proved() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        properties.begin(), properties.end(), [](const PropertyReport& p) {
+            return p.verdict == Verdict::kProved;
+        }));
+}
+
+std::size_t VerifyReport::refuted() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        properties.begin(), properties.end(), [](const PropertyReport& p) {
+            return p.verdict == Verdict::kRefuted;
+        }));
+}
+
+std::size_t VerifyReport::undecided() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        properties.begin(), properties.end(), [](const PropertyReport& p) {
+            return p.verdict == Verdict::kUndecided;
+        }));
+}
+
+namespace {
+
+// Beyond the three root samples, witness hunting in inconclusive sub-boxes
+// is capped so a degenerate box cannot turn the prover into an exhaustive
+// concrete sweep.
+constexpr std::size_t kMaxWitnessSamples = 8;
+
+struct UnitResult {
+    std::size_t nodes = 0;
+    std::size_t proved_boxes = 0;
+    std::size_t undecided_boxes = 0;
+    std::size_t samples = 0;
+    std::size_t max_depth = 0;
+    std::vector<Witness> witnesses;
+    bool budget_exhausted = false;
+    bool model_disagreement = false; // margin said false, samples disagreed
+};
+
+[[nodiscard]] std::unique_ptr<check::AnalysisOracle>
+make_oracle(const ProverOptions& options, const Scenario& scenario)
+{
+    if (options.oracle_factory) {
+        return options.oracle_factory(scenario);
+    }
+    return std::make_unique<check::AnalysisOracle>(scenario.task_set,
+                                                   scenario.platform);
+}
+
+// Replays `point` through the real checker; a violation naming this
+// property becomes a witness (replayable by construction — the witness is
+// the checker input).
+bool sample_point(const ProverOptions& options, const Property& property,
+                  const Point& point, UnitResult& result)
+{
+    const Scenario scenario = make_scenario(point);
+    const auto oracle = make_oracle(options, scenario);
+    check::CheckOptions check_options;
+    check_options.check_simulation =
+        property.name == "sim.response_soundness";
+    const check::CheckResult checked =
+        check::check_task_set(*oracle, check_options);
+    ++result.samples;
+    CPA_COUNT("verify.samples");
+    for (const check::Violation& violation : checked.violations) {
+        if (violation.invariant == property.name) {
+            result.witnesses.push_back(Witness{std::string(property.name),
+                                               point, violation.detail});
+            return true;
+        }
+    }
+    return false;
+}
+
+void run_unit(const ProverOptions& options, const Property& property,
+              std::int64_t cores, UnitResult& result)
+{
+    CPA_PROFILE_SPAN_ARG("verify.unit", "cores", cores);
+    ParamBox root = options.box;
+    root[Dim::kCores] = ICount::point(cores);
+
+    // Root cross-check: even a box the margin rule discharges immediately
+    // gets its corners and midpoint replayed through the implementation.
+    std::vector<Point> root_points = {root.lo_corner(), root.midpoint(),
+                                      root.hi_corner()};
+    root_points.erase(std::unique(root_points.begin(), root_points.end()),
+                      root_points.end());
+    for (const Point& point : root_points) {
+        sample_point(options, property, point, result);
+    }
+
+    if (!property.bisectable || property.margin == nullptr) {
+        // No interval rule: the whole box stays an open obligation.
+        result.undecided_boxes = 1;
+        return;
+    }
+
+    std::size_t extra_samples = 0;
+    const auto hunt_witness = [&](const ParamBox& box) {
+        if (extra_samples >= kMaxWitnessSamples) {
+            return false;
+        }
+        ++extra_samples;
+        return sample_point(options, property, box.midpoint(), result);
+    };
+
+    struct Node {
+        ParamBox box;
+        std::size_t depth;
+    };
+    std::vector<Node> stack;
+    stack.push_back(Node{root, 0});
+
+    while (!stack.empty()) {
+        if (result.nodes >= options.max_nodes) {
+            // Unexpanded subtrees are open obligations, never dropped.
+            result.undecided_boxes += stack.size();
+            result.budget_exhausted = true;
+            break;
+        }
+        const Node node = std::move(stack.back());
+        stack.pop_back();
+        ++result.nodes;
+        CPA_COUNT("verify.nodes");
+        result.max_depth = std::max(result.max_depth, node.depth);
+
+        const AbstractScenario abstract = make_abstract(node.box, cores);
+        const std::optional<ICount> margin = property.margin(abstract);
+        if (margin && margin->lo >= 0) {
+            ++result.proved_boxes;
+            CPA_HISTOGRAM("verify.proof_depth",
+                          static_cast<std::int64_t>(node.depth));
+            continue;
+        }
+        if (margin && margin->hi < 0) {
+            // The model claims a violation everywhere here; find a concrete
+            // witness. Failure to find one is a model/implementation
+            // disagreement worth surfacing, not a proof.
+            if (!hunt_witness(node.box)) {
+                ++result.undecided_boxes;
+                result.model_disagreement = true;
+            }
+            continue;
+        }
+        if (node.depth >= options.max_depth) {
+            ++result.undecided_boxes;
+            result.budget_exhausted = true;
+            hunt_witness(node.box);
+            continue;
+        }
+        const auto split = node.box.bisect(property.used);
+        if (!split) {
+            // Every used dimension is already a point and the margin still
+            // straddles zero: the rule cannot decide this configuration.
+            ++result.undecided_boxes;
+            hunt_witness(node.box);
+            continue;
+        }
+        // Right pushed first so the left half is explored first (a fixed
+        // DFS order keeps witness lists identical across runs).
+        stack.push_back(Node{split->second, node.depth + 1});
+        stack.push_back(Node{split->first, node.depth + 1});
+    }
+}
+
+} // namespace
+
+VerifyReport run_prover(const ProverOptions& options)
+{
+    CPA_SCOPED_TIMER("verify.prover");
+    CPA_PROFILE_SPAN("verify.prover");
+    options.box.validate();
+
+    const std::vector<Property>& catalog = property_catalog();
+    const ICount cores_range = options.box[Dim::kCores];
+    const std::size_t cores_count =
+        static_cast<std::size_t>(cores_range.hi - cores_range.lo + 1);
+    const std::size_t unit_count = catalog.size() * cores_count;
+
+    std::vector<UnitResult> units(unit_count);
+    util::ThreadPool pool(std::max<std::size_t>(options.jobs, 1));
+    obs::run_indexed_trials(pool, unit_count, [&](std::size_t index) {
+        const Property& property = catalog[index / cores_count];
+        const std::int64_t cores =
+            cores_range.lo + static_cast<std::int64_t>(index % cores_count);
+        run_unit(options, property, cores, units[index]);
+    });
+
+    VerifyReport report;
+    report.properties.reserve(catalog.size());
+    for (std::size_t p = 0; p < catalog.size(); ++p) {
+        const Property& property = catalog[p];
+        PropertyReport entry;
+        entry.name = std::string(property.name);
+        entry.note = std::string(property.note);
+        bool budget_exhausted = false;
+        bool model_disagreement = false;
+        for (std::size_t c = 0; c < cores_count; ++c) {
+            const UnitResult& unit = units[p * cores_count + c];
+            entry.nodes += unit.nodes;
+            entry.proved_boxes += unit.proved_boxes;
+            entry.undecided_boxes += unit.undecided_boxes;
+            entry.samples += unit.samples;
+            entry.max_depth = std::max(entry.max_depth, unit.max_depth);
+            entry.witnesses.insert(entry.witnesses.end(),
+                                   unit.witnesses.begin(),
+                                   unit.witnesses.end());
+            budget_exhausted = budget_exhausted || unit.budget_exhausted;
+            model_disagreement =
+                model_disagreement || unit.model_disagreement;
+        }
+        if (!entry.witnesses.empty()) {
+            entry.verdict = Verdict::kRefuted;
+        } else if (property.bisectable && entry.undecided_boxes == 0) {
+            entry.verdict = Verdict::kProved;
+        } else {
+            entry.verdict = Verdict::kUndecided;
+        }
+        const auto append_note = [&](std::string_view text) {
+            if (!entry.note.empty()) {
+                entry.note += "; ";
+            }
+            entry.note += text;
+        };
+        if (budget_exhausted) {
+            append_note("depth/node budget exhausted");
+        }
+        if (model_disagreement) {
+            append_note("abstract refutation without a concrete witness");
+        }
+        report.properties.push_back(std::move(entry));
+    }
+    return report;
+}
+
+} // namespace cpa::verify

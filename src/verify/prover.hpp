@@ -1,0 +1,83 @@
+// Branch-and-bound prover over the invariant catalog and a parameter box.
+//
+// Work is split into units of (property × concrete core count); each unit
+// runs a depth-first bisection tree over the remaining dimensions. A
+// sub-box is PROVED when the property's interval margin is non-negative,
+// REFUTED when a concretely sampled point makes check_task_set report a
+// matching violation (the sampled point IS the witness, so replay is
+// guaranteed by construction), and UNDECIDED when the depth/node budget
+// runs out or no interval rule exists — never silently dropped.
+//
+// Determinism: units are pure functions of their index writing into
+// pre-sized slots, dispatched through obs::run_indexed_trials, so reports
+// and metrics are byte-identical for any --jobs value.
+#pragma once
+
+#include "check/invariants.hpp"
+#include "verify/box.hpp"
+#include "verify/properties.hpp"
+#include "verify/scenario.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cpa::verify {
+
+enum class Verdict {
+    kProved,
+    kRefuted,
+    kUndecided,
+};
+
+[[nodiscard]] const char* to_string(Verdict verdict);
+
+struct Witness {
+    std::string property;
+    Point point;
+    std::string detail; // violation text reported by check_task_set
+
+    // "md=4 md_residual=2 ..." — the exact `--box` point-file contents
+    // that replay this witness.
+    [[nodiscard]] std::string describe() const;
+};
+
+struct PropertyReport {
+    std::string name;
+    Verdict verdict = Verdict::kUndecided;
+    std::size_t nodes = 0;           // bisection nodes explored
+    std::size_t proved_boxes = 0;    // leaves discharged by the margin rule
+    std::size_t undecided_boxes = 0; // leaves left open (budget / no rule)
+    std::size_t samples = 0;         // concrete points checked
+    std::size_t max_depth = 0;       // deepest bisection level reached
+    std::vector<Witness> witnesses;
+    std::string note;
+};
+
+struct VerifyReport {
+    std::vector<PropertyReport> properties;
+
+    [[nodiscard]] std::size_t proved() const;
+    [[nodiscard]] std::size_t refuted() const;
+    [[nodiscard]] std::size_t undecided() const;
+};
+
+// Builds the oracle a sampled point is checked through. Tests substitute
+// deliberately broken oracles to exercise the REFUTED path; the default
+// constructs the real check::AnalysisOracle.
+using OracleFactory =
+    std::function<std::unique_ptr<check::AnalysisOracle>(const Scenario&)>;
+
+struct ProverOptions {
+    ParamBox box;              // must satisfy ParamBox::validate()
+    std::size_t jobs = 1;      // worker threads (resolve upstream)
+    std::size_t max_depth = 12;
+    std::size_t max_nodes = 2048; // bisection nodes per work unit
+    OracleFactory oracle_factory; // empty: real AnalysisOracle
+};
+
+[[nodiscard]] VerifyReport run_prover(const ProverOptions& options);
+
+} // namespace cpa::verify

@@ -1,0 +1,60 @@
+#include "verify/scenario.hpp"
+
+#include "util/set_mask.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace cpa::verify {
+
+ScenarioParams clamp_params(const Point& point)
+{
+    ScenarioParams p;
+    p.md = point[index_of(Dim::kMd)];
+    p.ecb = std::min(point[index_of(Dim::kEcb)],
+                     static_cast<std::int64_t>(kScenarioCacheSets));
+    p.md_residual = std::min(point[index_of(Dim::kMdResidual)], p.md);
+    p.pcb = std::min(point[index_of(Dim::kPcb)], p.ecb);
+    p.ucb = std::min(point[index_of(Dim::kUcb)], p.ecb);
+    p.pd = point[index_of(Dim::kPd)];
+    p.period = point[index_of(Dim::kPeriod)];
+    p.d_mem = point[index_of(Dim::kDmem)];
+    p.cores = point[index_of(Dim::kCores)];
+    return p;
+}
+
+Scenario make_scenario(const Point& point)
+{
+    const ScenarioParams p = clamp_params(point);
+    const auto cores = static_cast<std::size_t>(p.cores);
+
+    tasks::TaskSet ts(cores, kScenarioCacheSets);
+    const std::size_t task_count = 2 * cores;
+    for (std::size_t i = 0; i < task_count; ++i) {
+        tasks::Task task;
+        task.name = "verify_t" + std::to_string(i);
+        task.core = i % cores;
+        task.pd = util::Cycles{p.pd};
+        task.md = util::AccessCount{p.md};
+        task.md_residual = util::AccessCount{p.md_residual};
+        task.period = util::Cycles{p.period};
+        task.deadline = util::Cycles{p.period};
+        task.jitter = util::Cycles{0};
+        task.ecb = util::SetMask(kScenarioCacheSets);
+        task.ecb.insert_wrapped_range(0, static_cast<std::size_t>(p.ecb));
+        task.ucb = util::SetMask(kScenarioCacheSets);
+        task.ucb.insert_wrapped_range(0, static_cast<std::size_t>(p.ucb));
+        task.pcb = util::SetMask(kScenarioCacheSets);
+        task.pcb.insert_wrapped_range(0, static_cast<std::size_t>(p.pcb));
+        ts.add_task(std::move(task));
+    }
+    ts.validate();
+
+    analysis::PlatformConfig platform;
+    platform.num_cores = cores;
+    platform.cache_sets = kScenarioCacheSets;
+    platform.d_mem = util::Cycles{p.d_mem};
+    return Scenario{std::move(ts), platform};
+}
+
+} // namespace cpa::verify

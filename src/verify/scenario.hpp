@@ -1,0 +1,45 @@
+// Maps a box Point to a concrete scenario the AnalysisOracle can check.
+//
+// The family is deliberately simple enough for closed-form interference
+// geometry (see abstract.hpp): `cores` cores, two tasks per core assigned
+// round-robin (core = index % cores), unique priorities equal to the task
+// index, homogeneous parameters, and nested prefix cache footprints
+// PCB ⊆ UCB-universe ⊆ ECB = [0, ecb) over a 64-set cache. The clamps below
+// (MDʳ ≤ MD, UCB/PCB ⊆ ECB) make every Point in a validated box realizable,
+// so refutation witnesses always replay through check_task_set.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "tasks/task.hpp"
+#include "verify/box.hpp"
+
+#include <cstdint>
+
+namespace cpa::verify {
+
+inline constexpr std::size_t kScenarioCacheSets = 64;
+
+// The clamped parameter values a Point actually realizes. Shared with the
+// abstract evaluators so model and scenario cannot drift apart.
+struct ScenarioParams {
+    std::int64_t md = 0;
+    std::int64_t md_residual = 0; // min(md_residual, md)
+    std::int64_t pcb = 0;         // min(pcb, ecb)
+    std::int64_t ucb = 0;         // min(ucb, ecb)
+    std::int64_t ecb = 0;         // min(ecb, kScenarioCacheSets)
+    std::int64_t pd = 0;
+    std::int64_t period = 0;
+    std::int64_t d_mem = 0;
+    std::int64_t cores = 0;
+};
+
+[[nodiscard]] ScenarioParams clamp_params(const Point& point);
+
+struct Scenario {
+    tasks::TaskSet task_set;
+    analysis::PlatformConfig platform;
+};
+
+[[nodiscard]] Scenario make_scenario(const Point& point);
+
+} // namespace cpa::verify

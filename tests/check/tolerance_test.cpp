@@ -1,0 +1,45 @@
+// Pins the shared tolerance seam (check/tolerance.hpp). The exact value is
+// part of the checker/prover contract: both `cpa check` and `cpa verify`
+// decide "violation" through these predicates, so a silent change would
+// shift what every gate in the repo accepts.
+#include "check/tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::check {
+namespace {
+
+TEST(Tolerance, SharedUtilizationToleranceIsPinned)
+{
+    // 1e-9: absorbs the few-ulp error of summed double divisions at a grid
+    // endpoint without admitting any point a whole grid step away.
+    EXPECT_DOUBLE_EQ(kUtilizationTolerance, 1e-9);
+}
+
+TEST(Tolerance, WithinAcceptsUlpNoiseRejectsRealExcess)
+{
+    EXPECT_TRUE(utilization_within(1.0, 1.0));
+    EXPECT_TRUE(utilization_within(1.0 + 5e-10, 1.0)); // summed-ulp noise
+    EXPECT_TRUE(utilization_within(0.999999999, 1.0));
+    EXPECT_FALSE(utilization_within(1.0 + 2e-9, 1.0)); // beyond tolerance
+    EXPECT_FALSE(utilization_within(1.01, 1.0));
+}
+
+TEST(Tolerance, ExceedsIsTheExactComplement)
+{
+    for (const double value : {0.5, 1.0, 1.0 + 5e-10, 1.0 + 2e-9, 2.0}) {
+        EXPECT_EQ(utilization_exceeds(value, 1.0),
+                  !utilization_within(value, 1.0));
+    }
+}
+
+TEST(Tolerance, IntegerMarginsAreExact)
+{
+    // Catalog relations compare 64-bit integer quantities: tolerance zero.
+    EXPECT_FALSE(margin_violates(0));
+    EXPECT_FALSE(margin_violates(1));
+    EXPECT_TRUE(margin_violates(-1));
+}
+
+} // namespace
+} // namespace cpa::check

@@ -146,5 +146,21 @@ TEST(CliGolden, CheckList)
     expect_golden("check_list", {"check", "--list"});
 }
 
+TEST(CliGolden, VerifyFast)
+{
+    expect_golden("verify_fast", {"verify", "--profile", "fast"});
+}
+
+TEST(CliGolden, VerifyList)
+{
+    expect_golden("verify_list", {"verify", "--list"});
+}
+
+TEST(CliGolden, VerifyMetricsReport)
+{
+    expect_golden("verify_metrics",
+                  {"verify", "--profile", "fast", "--metrics-out", "-"});
+}
+
 } // namespace
 } // namespace cpa::cli

@@ -1,0 +1,16 @@
+// Ranged-for over an unordered container: the fold below visits entries in
+// hash-table order, so the first-negative-wins result is unspecified.
+#include <unordered_map>
+
+int first_negative()
+{
+    std::unordered_map<int, int> deltas;
+    deltas[3] = -1;
+    deltas[7] = -2;
+    for (const auto& [key, delta] : deltas) {
+        if (delta < 0) {
+            return key;
+        }
+    }
+    return 0;
+}

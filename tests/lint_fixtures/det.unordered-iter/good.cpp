@@ -1,0 +1,17 @@
+// Unordered lookups are fine; only iterating the container leaks hash
+// order. The loop walks a deterministically ordered key vector instead.
+#include <unordered_map>
+#include <vector>
+
+int total_weight()
+{
+    std::unordered_map<int, int> weights;
+    weights[1] = 10;
+    weights[2] = 20;
+    const std::vector<int> keys{1, 2};
+    int sum = 0;
+    for (const int key : keys) {
+        sum += weights.at(key);
+    }
+    return sum;
+}

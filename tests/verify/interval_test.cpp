@@ -1,0 +1,337 @@
+// Property tests for the verify interval domain.
+//
+// Two layers: (1) outward rounding — for every operation, an exhaustive
+// sweep over small intervals checks that each pointwise evaluation lies
+// inside the interval evaluation, and that the exact ops attain their
+// endpoints (no over-widening); (2) model soundness — at 10,000 random
+// points of the fast box, every abstract enclosure (tables, M̂D, BAS, BAO,
+// BAT, the Eq. 19 fixed point) must contain the value the real
+// AnalysisOracle computes at that point.
+#include "verify/interval.hpp"
+
+#include "check/invariants.hpp"
+#include "util/rng.hpp"
+#include "verify/abstract.hpp"
+#include "verify/box.hpp"
+#include "verify/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace cpa::verify {
+namespace {
+
+using util::AccessCount;
+using util::Cycles;
+
+// All closed intervals with endpoints in [lo, hi].
+std::vector<ICount> small_intervals(std::int64_t lo, std::int64_t hi)
+{
+    std::vector<ICount> out;
+    for (std::int64_t a = lo; a <= hi; ++a) {
+        for (std::int64_t b = a; b <= hi; ++b) {
+            out.push_back(ICount{a, b});
+        }
+    }
+    return out;
+}
+
+TEST(Interval, InvertedBoundsThrow)
+{
+    EXPECT_THROW(ICount(2, 1), std::invalid_argument);
+    EXPECT_NO_THROW(ICount(2, 2));
+    EXPECT_TRUE(ICount::point(3).is_point());
+}
+
+TEST(Interval, ExactOpsContainEveryPointAndAttainEndpoints)
+{
+    const auto intervals = small_intervals(-3, 3);
+    for (const ICount& a : intervals) {
+        for (const ICount& b : intervals) {
+            const ICount sum = a + b;
+            const ICount diff = a - b;
+            const ICount prod = mul(a, b);
+            const ICount lo_of = min(a, b);
+            const ICount hi_of = max(a, b);
+            const ICount joined = hull(a, b);
+            std::int64_t seen_sum_lo = sum.hi, seen_sum_hi = sum.lo;
+            std::int64_t seen_prod_lo = prod.hi, seen_prod_hi = prod.lo;
+            for (std::int64_t x = a.lo; x <= a.hi; ++x) {
+                for (std::int64_t y = b.lo; y <= b.hi; ++y) {
+                    ASSERT_TRUE(sum.contains(x + y));
+                    ASSERT_TRUE(diff.contains(x - y));
+                    ASSERT_TRUE(prod.contains(x * y));
+                    ASSERT_TRUE(lo_of.contains(std::min(x, y)));
+                    ASSERT_TRUE(hi_of.contains(std::max(x, y)));
+                    ASSERT_TRUE(joined.contains(x));
+                    ASSERT_TRUE(joined.contains(y));
+                    seen_sum_lo = std::min(seen_sum_lo, x + y);
+                    seen_sum_hi = std::max(seen_sum_hi, x + y);
+                    seen_prod_lo = std::min(seen_prod_lo, x * y);
+                    seen_prod_hi = std::max(seen_prod_hi, x * y);
+                }
+            }
+            // Addition and multiplication are exact hulls: the interval
+            // endpoints are attained by actual point pairs.
+            EXPECT_EQ(sum.lo, seen_sum_lo);
+            EXPECT_EQ(sum.hi, seen_sum_hi);
+            EXPECT_EQ(prod.lo, seen_prod_lo);
+            EXPECT_EQ(prod.hi, seen_prod_hi);
+        }
+    }
+}
+
+TEST(Interval, CeilDivIsTheExactRange)
+{
+    for (const ICount& a : small_intervals(0, 7)) {
+        for (const ICount& b : small_intervals(1, 4)) {
+            const ICount q = ceil_div(a, b);
+            std::int64_t seen_lo = q.hi, seen_hi = q.lo;
+            for (std::int64_t x = a.lo; x <= a.hi; ++x) {
+                for (std::int64_t y = b.lo; y <= b.hi; ++y) {
+                    const std::int64_t v = util::ceil_div(x, y);
+                    ASSERT_TRUE(q.contains(v))
+                        << x << "/" << y << " = " << v << " outside ["
+                        << q.lo << "," << q.hi << "]";
+                    seen_lo = std::min(seen_lo, v);
+                    seen_hi = std::max(seen_hi, v);
+                }
+            }
+            EXPECT_EQ(q.lo, seen_lo);
+            EXPECT_EQ(q.hi, seen_hi);
+        }
+    }
+}
+
+TEST(Interval, FloorDivIsTheExactRange)
+{
+    for (const ICount& a : small_intervals(-5, 5)) {
+        for (const ICount& b : small_intervals(1, 3)) {
+            const ICount q = floor_div(a, b);
+            std::int64_t seen_lo = q.hi, seen_hi = q.lo;
+            for (std::int64_t x = a.lo; x <= a.hi; ++x) {
+                for (std::int64_t y = b.lo; y <= b.hi; ++y) {
+                    const std::int64_t v = util::floor_div(x, y);
+                    ASSERT_TRUE(q.contains(v));
+                    seen_lo = std::min(seen_lo, v);
+                    seen_hi = std::max(seen_hi, v);
+                }
+            }
+            EXPECT_EQ(q.lo, seen_lo);
+            EXPECT_EQ(q.hi, seen_hi);
+        }
+    }
+}
+
+TEST(Interval, AccessesCoveringContainsEveryPoint)
+{
+    for (const ICount& a : small_intervals(-6, 6)) {
+        for (const ICount& b : small_intervals(1, 4)) {
+            const ICycles span{Cycles{a.lo}, Cycles{a.hi}};
+            const ICycles d_mem{Cycles{b.lo}, Cycles{b.hi}};
+            const IAccess n = accesses_covering(span, d_mem);
+            for (std::int64_t x = a.lo; x <= a.hi; ++x) {
+                for (std::int64_t y = b.lo; y <= b.hi; ++y) {
+                    ASSERT_TRUE(n.contains(
+                        util::accesses_covering(Cycles{x}, Cycles{y})));
+                }
+            }
+        }
+    }
+}
+
+TEST(Interval, ClampToContainsEveryPoint)
+{
+    for (const ICount& x : small_intervals(-3, 4)) {
+        for (const ICount& cap : small_intervals(-2, 4)) {
+            const ICount c = clamp_to(x, cap);
+            const ICount nn = clamp_non_negative(x);
+            for (std::int64_t xv = x.lo; xv <= x.hi; ++xv) {
+                ASSERT_TRUE(nn.contains(std::max<std::int64_t>(xv, 0)));
+                for (std::int64_t cv = cap.lo; cv <= cap.hi; ++cv) {
+                    const std::int64_t v = std::clamp<std::int64_t>(
+                        xv, 0, std::max<std::int64_t>(cv, 0));
+                    ASSERT_TRUE(c.contains(v));
+                }
+            }
+        }
+    }
+}
+
+TEST(Interval, MonotoneHullContainsEveryPointOfAMonotoneMap)
+{
+    // The M̂D shape: min(n*md, n*mdr + pcb), non-decreasing in all four.
+    const auto md_hat = [](std::int64_t n, std::int64_t md, std::int64_t mdr,
+                           std::int64_t pcb) {
+        return std::min(n * md, n * mdr + pcb);
+    };
+    for (const ICount& n : small_intervals(0, 3)) {
+        for (const ICount& md : small_intervals(0, 3)) {
+            for (const ICount& mdr : small_intervals(0, 2)) {
+                for (const ICount& pcb : small_intervals(0, 2)) {
+                    const auto h = monotone_hull(md_hat, n, md, mdr, pcb);
+                    for (std::int64_t a = n.lo; a <= n.hi; ++a) {
+                        for (std::int64_t b = md.lo; b <= md.hi; ++b) {
+                            for (std::int64_t c = mdr.lo; c <= mdr.hi; ++c) {
+                                for (std::int64_t d = pcb.lo; d <= pcb.hi;
+                                     ++d) {
+                                    ASSERT_TRUE(
+                                        h.contains(md_hat(a, b, c, d)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- model soundness against the concrete implementation -----------------
+
+Point random_point(const ParamBox& box, util::Rng& rng)
+{
+    Point point{};
+    for (std::size_t d = 0; d < kDimCount; ++d) {
+        point[d] = rng.uniform_int(box.dims[d].lo, box.dims[d].hi);
+    }
+    return point;
+}
+
+ParamBox point_box(const Point& point)
+{
+    ParamBox box;
+    for (std::size_t d = 0; d < kDimCount; ++d) {
+        box.dims[d] = ICount::point(point[d]);
+    }
+    return box;
+}
+
+std::vector<analysis::AnalysisConfig> all_configs()
+{
+    std::vector<analysis::AnalysisConfig> configs;
+    for (const analysis::BusPolicy policy :
+         {analysis::BusPolicy::kFixedPriority,
+          analysis::BusPolicy::kRoundRobin, analysis::BusPolicy::kTdma}) {
+        for (const bool aware : {true, false}) {
+            analysis::AnalysisConfig config;
+            config.policy = policy;
+            config.persistence_aware = aware;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+// At a degenerate (point) box the abstract model must enclose the concrete
+// oracle values: tables, M̂D, and the three bus bounds, for every policy and
+// both persistence modes. 10,000 seeded random points of the fast box.
+TEST(AbstractSoundness, EnclosuresContainOracleValuesAtRandomPoints)
+{
+    const ParamBox box = fast_box();
+    const std::vector<analysis::AnalysisConfig> configs = all_configs();
+    util::Rng rng(20260808);
+    for (int trial = 0; trial < 10000; ++trial) {
+        const Point point = random_point(box, rng);
+        const AbstractScenario abs =
+            make_abstract(point_box(point), point[index_of(Dim::kCores)]);
+        const Scenario concrete = make_scenario(point);
+        const check::AnalysisOracle oracle(concrete.task_set,
+                                           concrete.platform);
+        const std::size_t n = abs.task_count();
+        ASSERT_EQ(n, concrete.task_set.size());
+
+        const std::int64_t n_jobs = point[index_of(Dim::kNJobs)];
+        const Cycles window{point[index_of(Dim::kWindow)]};
+        const ICycles window_i = ICycles::point(window);
+        std::vector<Cycles> response;
+        std::vector<ICycles> response_i;
+        for (std::size_t k = 0; k < n; ++k) {
+            const Cycles iso = concrete.task_set.tasks()[k].isolated_demand(
+                concrete.platform.d_mem);
+            response.push_back(iso);
+            response_i.push_back(ICycles::point(iso));
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(abs.md_hat(ICount::point(n_jobs))
+                            .contains(oracle.md_hat(i, n_jobs)))
+                << "md_hat trial " << trial << " task " << i;
+            for (std::size_t j = 0; j < n; ++j) {
+                ASSERT_TRUE(abs.gamma(i, j).contains(oracle.gamma(i, j)))
+                    << "gamma trial " << trial << " (" << i << "," << j
+                    << ")";
+                ASSERT_TRUE(abs.cpro_overlap(j, i).contains(
+                    oracle.cpro_overlap(j, i)))
+                    << "cpro trial " << trial << " (" << j << "," << i
+                    << ")";
+            }
+        }
+
+        for (const analysis::AnalysisConfig& config : configs) {
+            const AbstractBounds bounds(abs, config);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_TRUE(bounds.bas(i, window_i)
+                                .contains(oracle.bas(config, i, window)))
+                    << "bas trial " << trial << " task " << i;
+                ASSERT_TRUE(
+                    bounds.bat(i, window_i, response_i)
+                        .contains(oracle.bat(config, i, window, response)))
+                    << "bat trial " << trial << " task " << i << " policy "
+                    << analysis::to_string(config.policy);
+            }
+            for (std::size_t core = 0; core < abs.cores; ++core) {
+                for (std::size_t k = 0; k < n; ++k) {
+                    ASSERT_TRUE(
+                        bounds.bao(core, k, window_i, response_i)
+                            .contains(oracle.bao(config, core, k, window,
+                                                 response)))
+                        << "bao trial " << trial << " core " << core
+                        << " level " << k;
+                }
+            }
+        }
+    }
+}
+
+// The abstract Eq. 19 resolution may only claim what the concrete solver
+// confirms: kAllSchedulable implies the real fixed point converges with
+// every response inside its enclosure; kAllUnschedulable implies the real
+// solver rejects the set.
+TEST(AbstractSoundness, WcrtVerdictMatchesOracleAtRandomPoints)
+{
+    const ParamBox box = fast_box();
+    const std::vector<analysis::AnalysisConfig> configs = all_configs();
+    util::Rng rng(77002);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const Point point = random_point(box, rng);
+        const AbstractScenario abs =
+            make_abstract(point_box(point), point[index_of(Dim::kCores)]);
+        const Scenario concrete = make_scenario(point);
+        const check::AnalysisOracle oracle(concrete.task_set,
+                                           concrete.platform);
+        for (const analysis::AnalysisConfig& config : configs) {
+            const AbstractWcrt abstract = abstract_wcrt(abs, config);
+            if (abstract.verdict == AbstractSchedulability::kUnknown) {
+                continue;
+            }
+            const analysis::WcrtResult real = oracle.wcrt(config);
+            if (abstract.verdict ==
+                AbstractSchedulability::kAllUnschedulable) {
+                EXPECT_FALSE(real.schedulable) << "trial " << trial;
+                continue;
+            }
+            ASSERT_TRUE(real.schedulable) << "trial " << trial;
+            ASSERT_EQ(abstract.response.size(), real.response.size());
+            for (std::size_t i = 0; i < real.response.size(); ++i) {
+                EXPECT_TRUE(abstract.response[i].contains(real.response[i]))
+                    << "trial " << trial << " task " << i;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace cpa::verify

@@ -1,0 +1,202 @@
+// Branch-and-bound prover tests: the fast box proves the catalog with no
+// refutations, the verdicts are jobs-invariant, a deliberately corrupted
+// oracle is REFUTED with a replayable witness, and the property catalog
+// stays in lockstep with the checker's invariant catalog.
+#include "verify/prover.hpp"
+
+#include "check/invariants.hpp"
+#include "verify/box.hpp"
+#include "verify/properties.hpp"
+#include "verify/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace cpa::verify {
+namespace {
+
+const PropertyReport* find_report(const VerifyReport& report,
+                                  std::string_view name)
+{
+    for (const PropertyReport& entry : report.properties) {
+        if (entry.name == name) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+TEST(PropertyCatalog, MatchesCheckerInvariantCatalogExactly)
+{
+    const auto& properties = property_catalog();
+    const auto& invariants = check::invariant_catalog();
+    ASSERT_EQ(properties.size(), invariants.size());
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+        EXPECT_EQ(properties[i].name, invariants[i].name);
+    }
+    EXPECT_NE(find_property("wcrt.fixed_point"), nullptr);
+    EXPECT_EQ(find_property("no.such.invariant"), nullptr);
+}
+
+TEST(Prover, FastBoxProvesCatalogWithoutRefutations)
+{
+    ProverOptions options;
+    options.box = fast_box();
+    const VerifyReport report = run_prover(options);
+
+    ASSERT_EQ(report.properties.size(), check::invariant_catalog().size());
+    EXPECT_EQ(report.refuted(), 0u);
+    EXPECT_GE(report.proved(), 12u);
+
+    // The simulator has no interval rule; it must surface as a named open
+    // obligation, never disappear.
+    const PropertyReport* sim =
+        find_report(report, "sim.response_soundness");
+    ASSERT_NE(sim, nullptr);
+    EXPECT_EQ(sim->verdict, Verdict::kUndecided);
+    EXPECT_GT(sim->undecided_boxes, 0u);
+    EXPECT_GT(sim->samples, 0u); // sampled even without a rule
+
+    for (const PropertyReport& entry : report.properties) {
+        // Every property was cross-checked on concrete points.
+        EXPECT_GT(entry.samples, 0u) << entry.name;
+        if (entry.verdict == Verdict::kProved) {
+            EXPECT_EQ(entry.undecided_boxes, 0u) << entry.name;
+            EXPECT_GT(entry.proved_boxes, 0u) << entry.name;
+        }
+    }
+}
+
+TEST(Prover, ReportIsIdenticalAcrossJobCounts)
+{
+    ProverOptions options;
+    options.box = fast_box();
+    options.jobs = 1;
+    const VerifyReport serial = run_prover(options);
+    options.jobs = 8;
+    const VerifyReport parallel = run_prover(options);
+
+    ASSERT_EQ(serial.properties.size(), parallel.properties.size());
+    for (std::size_t i = 0; i < serial.properties.size(); ++i) {
+        const PropertyReport& a = serial.properties[i];
+        const PropertyReport& b = parallel.properties[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.verdict, b.verdict) << a.name;
+        EXPECT_EQ(a.nodes, b.nodes) << a.name;
+        EXPECT_EQ(a.proved_boxes, b.proved_boxes) << a.name;
+        EXPECT_EQ(a.undecided_boxes, b.undecided_boxes) << a.name;
+        EXPECT_EQ(a.samples, b.samples) << a.name;
+        EXPECT_EQ(a.max_depth, b.max_depth) << a.name;
+        EXPECT_EQ(a.note, b.note) << a.name;
+        ASSERT_EQ(a.witnesses.size(), b.witnesses.size()) << a.name;
+        for (std::size_t w = 0; w < a.witnesses.size(); ++w) {
+            EXPECT_EQ(a.witnesses[w].point, b.witnesses[w].point);
+            EXPECT_EQ(a.witnesses[w].detail, b.witnesses[w].detail);
+        }
+    }
+}
+
+// M̂D inflated by n*100: the checker's demand.md_hat_dominance fires on
+// every sampled point, so the prover must refute it and the witness must
+// replay as a failing trial through the same oracle.
+TEST(Prover, CorruptedOracleIsRefutedWithReplayableWitness)
+{
+    class BrokenOracle : public check::AnalysisOracle {
+    public:
+        using AnalysisOracle::AnalysisOracle;
+        util::AccessCount md_hat(std::size_t i,
+                                 std::int64_t n) const override
+        {
+            return AnalysisOracle::md_hat(i, n) +
+                   util::AccessCount{n > 0 ? n * 100 : 0};
+        }
+    };
+
+    ProverOptions options;
+    options.box = fast_box();
+    options.oracle_factory = [](const Scenario& scenario) {
+        return std::unique_ptr<check::AnalysisOracle>(
+            new BrokenOracle(scenario.task_set, scenario.platform));
+    };
+    const VerifyReport report = run_prover(options);
+
+    const PropertyReport* dominance =
+        find_report(report, "demand.md_hat_dominance");
+    ASSERT_NE(dominance, nullptr);
+    EXPECT_EQ(dominance->verdict, Verdict::kRefuted);
+    ASSERT_FALSE(dominance->witnesses.empty());
+
+    // Replay: the witness point IS the checker input that failed.
+    const Witness& witness = dominance->witnesses.front();
+    const Scenario scenario = make_scenario(witness.point);
+    const BrokenOracle replayed(scenario.task_set, scenario.platform);
+    check::CheckOptions check_options;
+    check_options.check_simulation = false;
+    const check::CheckResult result =
+        check::check_task_set(replayed, check_options);
+    bool fired = false;
+    for (const check::Violation& violation : result.violations) {
+        fired = fired || violation.invariant == witness.property;
+    }
+    EXPECT_TRUE(fired) << "witness did not replay: " << witness.describe();
+
+    // The genuine implementation is untouched — the same point passes the
+    // real oracle, so the refutation is attributable to the mutation alone.
+    const check::AnalysisOracle honest(scenario.task_set, scenario.platform);
+    const check::CheckResult clean =
+        check::check_task_set(honest, check_options);
+    EXPECT_TRUE(clean.ok());
+}
+
+TEST(Prover, BudgetExhaustionReportsOpenBoxesNotSilence)
+{
+    ProverOptions options;
+    options.box = full_box();
+    options.max_nodes = 4;
+    const VerifyReport report = run_prover(options);
+    const PropertyReport* wcrt = find_report(report, "wcrt.fixed_point");
+    ASSERT_NE(wcrt, nullptr);
+    EXPECT_EQ(wcrt->verdict, Verdict::kUndecided);
+    EXPECT_GT(wcrt->undecided_boxes, 0u);
+    EXPECT_NE(wcrt->note.find("budget"), std::string::npos) << wcrt->note;
+}
+
+TEST(ParamBox, ParseAppliesOverridesAndRejectsGarbage)
+{
+    std::istringstream good("# comment\nmd 3 5\n\ncores 2 2\n");
+    const ParamBox box = parse_box(good);
+    EXPECT_EQ(box[Dim::kMd], (ICount{3, 5}));
+    EXPECT_EQ(box[Dim::kCores], ICount::point(2));
+    // Unlisted dimensions keep the fast-profile range.
+    EXPECT_EQ(box[Dim::kPd], fast_box()[Dim::kPd]);
+
+    std::istringstream unknown("bogus 1 2\n");
+    EXPECT_THROW((void)parse_box(unknown), std::invalid_argument);
+    std::istringstream inverted("md 5 3\n");
+    EXPECT_THROW((void)parse_box(inverted), std::invalid_argument);
+    std::istringstream malformed("md 5\n");
+    EXPECT_THROW((void)parse_box(malformed), std::invalid_argument);
+}
+
+TEST(ParamBox, BisectSplitsTheWidestUsedDimension)
+{
+    ParamBox box = fast_box();
+    const auto split = box.bisect({Dim::kMd, Dim::kPeriod});
+    ASSERT_TRUE(split.has_value());
+    // period ([4000,12000]) is far wider than md ([2,8]).
+    EXPECT_EQ(split->first[Dim::kPeriod].lo, box[Dim::kPeriod].lo);
+    EXPECT_EQ(split->second[Dim::kPeriod].hi, box[Dim::kPeriod].hi);
+    EXPECT_EQ(split->first[Dim::kPeriod].hi + 1,
+              split->second[Dim::kPeriod].lo);
+    EXPECT_EQ(split->first[Dim::kMd], box[Dim::kMd]);
+
+    ParamBox degenerate = fast_box();
+    degenerate[Dim::kMd] = ICount::point(4);
+    EXPECT_FALSE(degenerate.bisect({Dim::kMd}).has_value());
+}
+
+} // namespace
+} // namespace cpa::verify
