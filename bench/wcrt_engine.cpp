@@ -1,0 +1,199 @@
+// Engine-vs-engine perf bench for the Eq. (19) inner fixed point: runs the
+// reference (paper-shaped) and incremental (breakpoint-driven) WCRT solvers
+// over the same task sets and reports wall time plus a deterministic result
+// checksum per engine. The checksums and iteration totals are emitted as
+// obs counters so bench_compare.py hard-gates them against
+// bench/history/baseline-small.json: any divergence between the engines —
+// or any change to either engine's iterate sequence — fails the trajectory
+// gate, not just the differential test suite. Exits nonzero if the two
+// engines disagree on any profile.
+//
+// Profiles: "small" is the paper's default scale (4 cores x 8 tasks/core),
+// "large" is the 16 cores x 32 tasks/core stress scale where the
+// incremental engine's asymptotic advantage (O(changed terms) instead of
+// O(n) work per iteration) dominates. CPA_TASKSETS scales the set count.
+#include "analysis/wcrt.hpp"
+#include "benchdata/generator.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace cpa;
+
+struct EngineOutcome {
+    std::uint64_t checksum = 14695981039346656037ULL; // FNV-1a offset basis
+    std::int64_t inner_iterations = 0;
+    std::int64_t outer_iterations = 0;
+    std::int64_t schedulable = 0;
+    double seconds = 0.0;
+
+    void fold(std::uint64_t value)
+    {
+        checksum ^= value;
+        checksum *= 1099511628211ULL; // FNV-1a prime
+    }
+};
+
+struct Profile {
+    std::string name;
+    analysis::PlatformConfig platform;
+    benchdata::GenerationConfig generation;
+    std::size_t task_sets = 0;
+};
+
+EngineOutcome run_profile(const Profile& profile,
+                          analysis::WcrtEngine engine)
+{
+    const auto pool = benchdata::derive_all(
+        benchdata::full_benchmark_table(), profile.generation.cache_sets);
+    EngineOutcome outcome;
+    for (std::size_t n = 0; n < profile.task_sets; ++n) {
+        util::Rng rng(util::seed_for(2020, n));
+        const tasks::TaskSet ts =
+            benchdata::generate_task_set(rng, profile.generation, pool);
+        // Table construction is engine-independent; keep it outside the
+        // timed region so `seconds` isolates the solver loops.
+        const analysis::InterferenceTables tables(
+            ts, analysis::CrpdMethod::kEcbUnion);
+        for (const analysis::BusPolicy policy :
+             {analysis::BusPolicy::kFixedPriority,
+              analysis::BusPolicy::kRoundRobin,
+              analysis::BusPolicy::kTdma}) {
+            analysis::AnalysisConfig config;
+            config.policy = policy;
+            config.persistence_aware = true;
+            config.wcrt_engine = engine;
+
+            const auto start = std::chrono::steady_clock::now();
+            const analysis::WcrtResult result =
+                analysis::compute_wcrt(ts, profile.platform, config, tables);
+            outcome.seconds += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+
+            for (const util::Cycles r : result.response) {
+                outcome.fold(
+                    static_cast<std::uint64_t>(util::to_metric(r)));
+            }
+            outcome.fold(result.schedulable ? 1 : 2);
+            outcome.fold(static_cast<std::uint64_t>(result.outer_iterations));
+            outcome.fold(static_cast<std::uint64_t>(result.inner_iterations));
+            outcome.inner_iterations +=
+                static_cast<std::int64_t>(result.inner_iterations);
+            outcome.outer_iterations +=
+                static_cast<std::int64_t>(result.outer_iterations);
+            outcome.schedulable += result.schedulable ? 1 : 0;
+        }
+    }
+    return outcome;
+}
+
+// Deterministic counters for the trajectory gate. Written via the registry
+// directly (not CPA_COUNT) because the bench runs with metrics disabled to
+// time the uninstrumented hot path.
+void record(const std::string& profile, const std::string& engine,
+            const EngineOutcome& outcome)
+{
+    auto& registry = obs::MetricsRegistry::global();
+    const std::string prefix = "wcrt_engine." + profile + "." + engine;
+    // Counters are int64; drop the checksum's top bit so the JSON value
+    // stays non-negative.
+    registry.counter(prefix + ".checksum")
+        .add(static_cast<std::int64_t>(outcome.checksum >> 1));
+    registry.counter(prefix + ".inner_iterations")
+        .add(outcome.inner_iterations);
+    registry.counter(prefix + ".outer_iterations")
+        .add(outcome.outer_iterations);
+    registry.counter(prefix + ".schedulable").add(outcome.schedulable);
+}
+
+} // namespace
+
+int main()
+{
+    // enable_metrics=false: the timed loops measure the uninstrumented hot
+    // path (as analysis_perf does); the gate counters are recorded
+    // explicitly afterwards.
+    bench::BenchReport bench_report("wcrt_engine",
+                                    /*enable_metrics=*/false);
+
+    const std::size_t small_sets = experiments::task_sets_from_env(12);
+    const std::size_t large_sets = std::max<std::size_t>(1, small_sets / 4);
+
+    std::vector<Profile> profiles;
+    {
+        Profile small{"small", bench::default_platform(),
+                      bench::default_generation(), small_sets};
+        small.generation.per_core_utilization = 0.5;
+        profiles.push_back(std::move(small));
+    }
+    {
+        Profile large;
+        large.name = "large";
+        large.platform.num_cores = 16;
+        large.platform.cache_sets = 256;
+        large.platform.d_mem =
+            util::cycles_from_microseconds(util::Microseconds{5});
+        large.platform.slot_size = 2;
+        large.generation = bench::default_generation();
+        large.generation.num_cores = 16;
+        large.generation.tasks_per_core = 32;
+        large.generation.per_core_utilization = 0.35;
+        large.task_sets = large_sets;
+        profiles.push_back(std::move(large));
+    }
+
+    util::TextTable table({"profile", "task sets", "engine",
+                           "inner iterations", "seconds", "speedup"});
+    bool mismatch = false;
+    for (const Profile& profile : profiles) {
+        bench_report.section(profile.name);
+        const EngineOutcome reference =
+            run_profile(profile, analysis::WcrtEngine::kReference);
+        const EngineOutcome incremental =
+            run_profile(profile, analysis::WcrtEngine::kIncremental);
+
+        if (reference.checksum != incremental.checksum ||
+            reference.inner_iterations != incremental.inner_iterations ||
+            reference.outer_iterations != incremental.outer_iterations ||
+            reference.schedulable != incremental.schedulable) {
+            std::cerr << "wcrt_engine: ENGINE MISMATCH on profile '"
+                      << profile.name << "' (checksum " << reference.checksum
+                      << " vs " << incremental.checksum << ", inner "
+                      << reference.inner_iterations << " vs "
+                      << incremental.inner_iterations << ")\n";
+            mismatch = true;
+        }
+        record(profile.name, "reference", reference);
+        record(profile.name, "incremental", incremental);
+
+        const double speedup = incremental.seconds > 0.0
+                                   ? reference.seconds / incremental.seconds
+                                   : 0.0;
+        table.add_row({profile.name, std::to_string(profile.task_sets),
+                       "reference",
+                       std::to_string(reference.inner_iterations),
+                       util::TextTable::num(reference.seconds, 4), "1.00"});
+        table.add_row({profile.name, std::to_string(profile.task_sets),
+                       "incremental",
+                       std::to_string(incremental.inner_iterations),
+                       util::TextTable::num(incremental.seconds, 4),
+                       util::TextTable::num(speedup, 2)});
+    }
+
+    std::cout << "== WCRT engine comparison: reference vs incremental ==\n"
+              << "(identical iterate sequences required; speedup = "
+                 "reference/incremental wall time)\n";
+    table.print(std::cout);
+    bench::maybe_write_csv("wcrt-engine", table);
+    return mismatch ? 1 : 0;
+}

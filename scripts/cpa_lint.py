@@ -101,6 +101,11 @@ RULES = [
     Rule("det.fork-in-parallel", "det",
          "Rng::fork() inside a parallel body re-creates the order-dependent "
          "sequential-fork scheme PR 4 removed; use util::seed_for."),
+    Rule("det.wcrt-reference-loop", "det",
+         "The Eq. (19) reference inner fixed point may only be constructed "
+         "behind the WcrtEngine seam in wcrt.cpp; a hand-rolled copy "
+         "elsewhere escapes the differential harness that pins the "
+         "reference and incremental engines byte-identical."),
     Rule("ovf.raw-mul", "ovf",
          "Multiplying raw .count()/.value() representations sidesteps the "
          "CPA_CHECKED_ARITH trapping operators; Eq. 19 multiplies access "
@@ -119,6 +124,10 @@ RULES = [
 RULE_IDS = {r.id for r in RULES}
 
 BANNED_CALLS = {"rand", "srand"}
+# The reference Eq. (19) solver. Only src/analysis/wcrt.cpp (whitelisted)
+# may define or call it; everything else selects an engine through
+# AnalysisConfig::wcrt_engine so the differential harness covers it.
+REFERENCE_WCRT_LOOP = "inner_fixed_point"
 UNORDERED_CONTAINERS = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset",
@@ -461,6 +470,14 @@ class TokenizerBackend:
                     "det.banned-call", rel, tok.line,
                     "call to %s(): nondeterministic / global-state RNG" %
                     tok.text))
+            elif tok.text == REFERENCE_WCRT_LOOP and nxt is not None and \
+                    nxt.text == "(" and \
+                    (prev is None or prev.text not in (".", "->")):
+                findings.append(Finding(
+                    "det.wcrt-reference-loop", rel, tok.line,
+                    "reference Eq. (19) loop constructed outside the "
+                    "WcrtEngine seam; select an engine via "
+                    "AnalysisConfig::wcrt_engine instead"))
             elif tok.text == "time" and nxt is not None and \
                     nxt.text == "(" and prev is not None and \
                     prev.text == "::" and i >= 2 and \
@@ -794,6 +811,17 @@ class ClangAstBackend:
             if name == "time" and ref.get("kind") == "FunctionDecl":
                 self._emit("det.banned-call",
                            "std::time() used as an entropy source")
+            if name == REFERENCE_WCRT_LOOP and \
+                    ref.get("kind") == "FunctionDecl":
+                self._emit("det.wcrt-reference-loop",
+                           "reference Eq. (19) loop constructed outside "
+                           "the WcrtEngine seam; select an engine via "
+                           "AnalysisConfig::wcrt_engine instead")
+        if kind == "FunctionDecl" and \
+                node.get("name") == REFERENCE_WCRT_LOOP:
+            self._emit("det.wcrt-reference-loop",
+                       "definition of the reference Eq. (19) loop outside "
+                       "the WcrtEngine seam; only wcrt.cpp may host it")
         if kind == "CXXForRangeStmt" and \
                 self._range_over_unordered(node):
             self._emit("det.unordered-iter",

@@ -72,9 +72,22 @@ BatCounters make_bat_counters(const BatNames& names)
                        registry.counter(names.blocking)};
 }
 
-void record_bat(BusPolicy policy, AccessCount same_core,
-                AccessCount cross_core, AccessCount blocking)
+#endif // CPA_OBS_ENABLED
+
+} // namespace
+
+void record_bat_breakdown(BusPolicy policy, AccessCount same_core,
+                          AccessCount cross_core, AccessCount blocking)
 {
+#if !CPA_OBS_ENABLED
+    (void)policy;
+    (void)same_core;
+    (void)cross_core;
+    (void)blocking;
+#else
+    if (!obs::metrics_enabled()) {
+        return;
+    }
     const BatNames& names = bat_names(policy);
     // Inside a parallel trial the events stage in the thread's buffer (same
     // contract as the obs.hpp macros); otherwise fall back to the cached
@@ -111,10 +124,8 @@ void record_bat(BusPolicy policy, AccessCount same_core,
     counters->same_core.add(to_metric(same_core));
     counters->cross_core.add(to_metric(cross_core));
     counters->blocking.add(to_metric(blocking));
-}
 #endif // CPA_OBS_ENABLED
-
-} // namespace
+}
 
 BusContentionAnalysis::BusContentionAnalysis(const tasks::TaskSet& ts,
                                              const PlatformConfig& platform,
@@ -332,11 +343,8 @@ AccessCount BusContentionAnalysis::bat(std::size_t i, Cycles t,
     }
     }
 
-#if CPA_OBS_ENABLED
-    if (obs::metrics_enabled()) {
-        record_bat(config_.policy, same_core, cross_core, blocking_charged);
-    }
-#endif
+    record_bat_breakdown(config_.policy, same_core, cross_core,
+                         blocking_charged);
     // Every arbiter of Eq. (7)-(9) adds contention on top of the core's own
     // demand; a BAT below its BAS term would un-price same-core accesses.
     CPA_CHECK_ASSERT(total >= same_core, "bat.dominates_bas",

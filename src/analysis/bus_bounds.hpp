@@ -17,6 +17,14 @@
 
 namespace cpa::analysis {
 
+// Records one BAT evaluation in the per-policy metric breakdown
+// (bat.<policy>.{calls,same_core,cross_core,blocking}). Shared by the
+// reference BAT below and the incremental WCRT engine so both emit the
+// exact same counter profile (the bench-trajectory gate pins it); no-op
+// when the observability layer is compiled out or metrics are disabled.
+void record_bat_breakdown(BusPolicy policy, AccessCount same_core,
+                          AccessCount cross_core, AccessCount blocking);
+
 class BusContentionAnalysis {
 public:
     // All referenced objects must outlive the analysis.

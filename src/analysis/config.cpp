@@ -41,4 +41,15 @@ std::string to_string(CproMethod method)
     return "unknown";
 }
 
+std::string to_string(WcrtEngine engine)
+{
+    switch (engine) {
+    case WcrtEngine::kReference:
+        return "reference";
+    case WcrtEngine::kIncremental:
+        return "incremental";
+    }
+    return "unknown";
+}
+
 } // namespace cpa::analysis

@@ -41,6 +41,17 @@ enum class CproMethod {
     kJobBound, // min(Eq. (14), per-evictor job-count cap)
 };
 
+// Which implementation solves the Eq. (19) inner fixed point. Both compute
+// the exact same recurrence sequence (proven by the differential suite in
+// tests/analysis/wcrt_differential_test.cpp); they differ only in cost:
+// kReference re-evaluates every term from scratch each iteration, while
+// kIncremental only re-adds the terms whose ⌈t/T⌉-style job count changed
+// since r is non-decreasing within a solve (see docs/performance.md).
+enum class WcrtEngine {
+    kReference,   // the paper-shaped loop, kept verbatim as the oracle
+    kIncremental, // breakpoint-driven evaluator (default)
+};
+
 struct PlatformConfig {
     std::size_t num_cores = 4;
     std::size_t cache_sets = 256;
@@ -55,10 +66,12 @@ struct AnalysisConfig {
     bool persistence_aware = true; // use Lemmas 1-2 instead of Eq. (1)/(3)
     CrpdMethod crpd = CrpdMethod::kEcbUnion;
     CproMethod cpro = CproMethod::kUnion; // the paper's choice
+    WcrtEngine wcrt_engine = WcrtEngine::kIncremental;
 };
 
 [[nodiscard]] std::string to_string(BusPolicy policy);
 [[nodiscard]] std::string to_string(CrpdMethod method);
 [[nodiscard]] std::string to_string(CproMethod method);
+[[nodiscard]] std::string to_string(WcrtEngine engine);
 
 } // namespace cpa::analysis

@@ -20,8 +20,9 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
     CPA_PROFILE_SPAN("tables.build");
     CPA_COUNT("tables.builds");
     const std::size_t n = ts.size();
-    gamma_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
-    cpro_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
+    n_ = n;
+    gamma_.assign(n * n, AccessCount{0});
+    cpro_.assign(n * n, AccessCount{0});
 
     // γ table. For a fixed preempting task τ_j (on core y), the evicting
     // union ∪_{h ∈ Γ_y ∩ hep(j)} ECB_h is fixed, and as the analysis level i
@@ -53,18 +54,18 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
                     running_max = std::max(running_max, candidate);
                 }
                 if (any_affected) {
-                    gamma_[i][j] = running_max;
+                    gamma_[i * n + j] = running_max;
                 }
             }
         }
     }
 
     // Pairwise eviction potentials for the job-bounded CPRO refinement.
-    pair_overlap_.assign(n, std::vector<AccessCount>(n, AccessCount{0}));
+    pair_overlap_.assign(n * n, AccessCount{0});
     for (std::size_t j = 0; j < n; ++j) {
         for (std::size_t s = 0; s < n; ++s) {
             if (s != j && ts[s].core == ts[j].core) {
-                pair_overlap_[j][s] = accesses_from_blocks(
+                pair_overlap_[j * n + s] = accesses_from_blocks(
                     ts[j].pcb.intersection_count(ts[s].ecb));
             }
         }
@@ -79,7 +80,7 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
             if (i != j && ts[i].core == core) {
                 evictors |= ts[i].ecb;
             }
-            cpro_[j][i] = accesses_from_blocks(
+            cpro_[j * n + i] = accesses_from_blocks(
                 ts[j].pcb.intersection_count(evictors));
         }
     }
@@ -96,19 +97,20 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
             AccessCount previous_cpro{0};
             for (std::size_t j = 0; j < n; ++j) {
                 CPA_CHECK_ASSERT(
-                    gamma_[i][j] >= AccessCount{0} &&
-                        gamma_[i][j] <= cache_limit &&
-                        (j < i || gamma_[i][j] == AccessCount{0}),
+                    gamma_[i * n + j] >= AccessCount{0} &&
+                        gamma_[i * n + j] <= cache_limit &&
+                        (j < i || gamma_[i * n + j] == AccessCount{0}),
                     "tables.gamma_shape",
                     "gamma(" + std::to_string(i) + "," + std::to_string(j) +
-                        ")=" + to_string(gamma_[i][j]));
+                        ")=" + to_string(gamma_[i * n + j]));
                 CPA_CHECK_ASSERT(
-                    cpro_[i][j] >= AccessCount{0} && cpro_[i][j] <= pcb_i &&
-                        cpro_[i][j] >= previous_cpro,
+                    cpro_[i * n + j] >= AccessCount{0} &&
+                        cpro_[i * n + j] <= pcb_i &&
+                        cpro_[i * n + j] >= previous_cpro,
                     "tables.cpro_shape",
                     "cpro(" + std::to_string(i) + "," + std::to_string(j) +
-                        ")=" + to_string(cpro_[i][j]));
-                previous_cpro = cpro_[i][j];
+                        ")=" + to_string(cpro_[i * n + j]));
+                previous_cpro = cpro_[i * n + j];
             }
         }
     }
@@ -121,11 +123,9 @@ InterferenceTables::InterferenceTables(const tasks::TaskSet& ts,
         // task set, shared by every analysis variant).
         std::int64_t gamma_nonzero = 0;
         std::int64_t cpro_nonzero = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < n; ++j) {
-                gamma_nonzero += gamma_[i][j] != AccessCount{0} ? 1 : 0;
-                cpro_nonzero += cpro_[i][j] != AccessCount{0} ? 1 : 0;
-            }
+        for (std::size_t e = 0; e < n * n; ++e) {
+            gamma_nonzero += gamma_[e] != AccessCount{0} ? 1 : 0;
+            cpro_nonzero += cpro_[e] != AccessCount{0} ? 1 : 0;
         }
         CPA_GAUGE_SET("tables.tasks", static_cast<std::int64_t>(n));
         CPA_GAUGE_SET("tables.gamma_nonzero", gamma_nonzero);

@@ -34,14 +34,14 @@ public:
     // i == j.
     [[nodiscard]] AccessCount gamma(std::size_t i, std::size_t j) const
     {
-        return gamma_[i][j];
+        return gamma_[i * n_ + j];
     }
 
     // |PCB_j ∩ ∪_{s ∈ Γ_core(j) ∩ hep(i) \ {j}} ECB_s|: the per-rerun CPRO
     // cost of τ_j inside a priority-i window (the multiplier of Eq. (14)).
     [[nodiscard]] AccessCount cpro_overlap(std::size_t j, std::size_t i) const
     {
-        return cpro_[j][i];
+        return cpro_[j * n_ + i];
     }
 
     // ρ̂_{j,i}(n): additional bus accesses caused by CPRO across n successive
@@ -52,7 +52,7 @@ public:
         if (n_jobs <= 1) {
             return AccessCount{0};
         }
-        return (n_jobs - 1) * cpro_[j][i];
+        return (n_jobs - 1) * cpro_[j * n_ + i];
     }
 
     // |PCB_j ∩ ECB_s| for two tasks on the SAME core (0 otherwise): the
@@ -61,15 +61,31 @@ public:
     [[nodiscard]] AccessCount pair_overlap(std::size_t j,
                                            std::size_t s) const
     {
-        return pair_overlap_[j][s];
+        return pair_overlap_[j * n_ + s];
     }
 
-    [[nodiscard]] std::size_t size() const noexcept { return gamma_.size(); }
+    // Contiguous row views for the hot loops of the incremental WCRT engine
+    // (wcrt_incremental.cpp): γ indexed by the analysis level i, pair
+    // overlaps indexed by the reloading task j. Rows are n() entries long.
+    [[nodiscard]] const AccessCount* gamma_row(std::size_t i) const
+    {
+        return gamma_.data() + i * n_;
+    }
+    [[nodiscard]] const AccessCount* pair_overlap_row(std::size_t j) const
+    {
+        return pair_overlap_.data() + j * n_;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
 private:
-    std::vector<std::vector<AccessCount>> gamma_;
-    std::vector<std::vector<AccessCount>> cpro_;
-    std::vector<std::vector<AccessCount>> pair_overlap_;
+    // All three tables are dense n×n matrices flattened into contiguous
+    // row-major arenas: one allocation each, no per-row pointer chasing in
+    // bus_bounds.cpp / wcrt_incremental.cpp.
+    std::size_t n_ = 0;
+    std::vector<AccessCount> gamma_;
+    std::vector<AccessCount> cpro_;
+    std::vector<AccessCount> pair_overlap_;
 };
 
 } // namespace cpa::analysis

@@ -1,10 +1,12 @@
 #include "analysis/wcrt.hpp"
 
+#include "analysis/wcrt_incremental.hpp"
 #include "check/assert.hpp"
 #include "obs/obs.hpp"
 #include "util/math.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -26,7 +28,8 @@ const char* to_string(StopReason reason)
 namespace {
 
 constexpr std::size_t kMaxOuterIterations = 256;
-constexpr std::size_t kMaxInnerIterations = 100000;
+// kMaxInnerIterations lives in wcrt_incremental.hpp: the budget is shared
+// by both engines so they exhaust (and report) identically.
 
 constexpr std::string_view kTraceSubsystem = "wcrt";
 
@@ -38,12 +41,17 @@ constexpr std::string_view kTraceSubsystem = "wcrt";
 // is a sound response-time bound even though the persistence-aware rhs is
 // not perfectly monotone (Lemma 2's carry-out re-pricing; see
 // bus_bounds_test.cpp, Lemma2CarryOutDipIsPossible).
-// `iterations_used` reports how many recurrence steps were taken.
+// `iterations_used` reports how many recurrence steps were taken;
+// `budget_exhausted` is set when the iteration budget ran out. This is
+// WcrtEngine::kReference — the oracle the incremental engine
+// (wcrt_incremental.cpp) is differentially tested against; keep its loop
+// shape verbatim.
 Cycles inner_fixed_point(const tasks::TaskSet& ts,
                          const PlatformConfig& platform,
                          const BusContentionAnalysis& bounds, std::size_t i,
                          const std::vector<Cycles>& response,
-                         std::size_t& iterations_used)
+                         std::size_t& iterations_used,
+                         bool& budget_exhausted)
 {
     CPA_PROFILE_SPAN_ARG("wcrt.inner", "task", i);
     const tasks::Task& task = ts[i];
@@ -71,8 +79,27 @@ Cycles inner_fixed_point(const tasks::TaskSet& ts,
         }
     }
     // Did not converge within the iteration budget: report a value that the
-    // caller will classify as a deadline miss (conservative).
+    // caller will classify as a deadline miss (conservative). The caller
+    // emits the wcrt.budget_exhausted counter + trace event so this is
+    // distinguishable from a real miss.
+    budget_exhausted = true;
     return task.effective_deadline() + Cycles{1};
+}
+
+void trace_budget_exhausted(const tasks::TaskSet& ts, std::size_t i,
+                            std::size_t outer)
+{
+    CPA_COUNT("wcrt.budget_exhausted");
+    if (!CPA_TRACE_ENABLED(kTraceSubsystem)) {
+        return;
+    }
+    obs::Tracer::global().emit(
+        obs::TraceEvent(kTraceSubsystem, obs::Severity::kWarn,
+                        "inner_budget_exhausted")
+            .field("task", i)
+            .field("task_name", ts[i].name)
+            .field("inner_budget", kMaxInnerIterations)
+            .field("outer_iteration", outer + 1));
 }
 
 void trace_outer_iteration(std::size_t outer, bool changed,
@@ -141,6 +168,16 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
 
     const BusContentionAnalysis bounds(ts, platform, config, tables);
 
+    // The engine seam: both solvers compute the exact same Eq. (19) iterate
+    // sequence (differentially tested); the incremental one is constructed
+    // once so its scratch arenas are reused across all inner solves.
+    const bool incremental =
+        config.wcrt_engine == WcrtEngine::kIncremental;
+    std::optional<IncrementalWcrtSolver> solver;
+    if (incremental) {
+        solver.emplace(ts, platform, config, tables);
+    }
+
     for (std::size_t outer = 0; outer < kMaxOuterIterations; ++outer) {
         CPA_PROFILE_SPAN_ARG("wcrt.outer", "iter", outer + 1);
         result.outer_iterations = outer + 1;
@@ -148,10 +185,20 @@ WcrtResult compute_wcrt(const tasks::TaskSet& ts,
         std::size_t inner_this_round = 0;
         for (std::size_t i = 0; i < n; ++i) {
             std::size_t inner_used = 0;
-            const Cycles updated = inner_fixed_point(
-                ts, platform, bounds, i, result.response, inner_used);
+            bool budget_exhausted = false;
+            const Cycles updated =
+                incremental
+                    ? solver->solve(i, result.response, inner_used,
+                                    budget_exhausted)
+                    : inner_fixed_point(ts, platform, bounds, i,
+                                        result.response, inner_used,
+                                        budget_exhausted);
             inner_this_round += inner_used;
             result.inner_iterations += inner_used;
+            if (budget_exhausted) {
+                result.inner_budget_exhausted = true;
+                trace_budget_exhausted(ts, i, outer);
+            }
             if (updated > ts[i].effective_deadline()) {
                 result.schedulable = false;
                 result.failed_task = TaskId{i};

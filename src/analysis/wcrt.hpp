@@ -47,6 +47,12 @@ struct WcrtResult {
     // when schedulable.
     TaskId failed_task = kNoFailedTask;
     StopReason stop_reason = StopReason::kConverged;
+    // True when some inner solve hit its iteration budget and fell back to
+    // the conservative deadline+1 answer — a kDeadlineMiss verdict with this
+    // flag set is a solver capitulation, not a proven miss (also surfaced as
+    // the wcrt.budget_exhausted counter and an "inner_budget_exhausted"
+    // trace event).
+    bool inner_budget_exhausted = false;
 };
 
 // Computes WCRTs for every task of `ts`, sharing pre-computed interference

@@ -1,0 +1,416 @@
+#include "analysis/wcrt_incremental.hpp"
+
+#include "analysis/bus_bounds.hpp"
+#include "analysis/demand.hpp"
+#include "check/assert.hpp"
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace cpa::analysis {
+
+using util::to_string;
+
+IncrementalWcrtSolver::IncrementalWcrtSolver(const tasks::TaskSet& ts,
+                                             const PlatformConfig& platform,
+                                             const AnalysisConfig& config,
+                                             const InterferenceTables& tables)
+    : ts_(ts), platform_(platform), config_(config), tables_(tables)
+{
+    const std::size_t n = ts.size();
+    pcb_loads_.reserve(n);
+    has_lower_on_core_.assign(n, false);
+    for (std::size_t j = 0; j < n; ++j) {
+        pcb_loads_.push_back(
+            util::accesses_from_blocks(ts[j].pcb.popcount()));
+        const auto& on_core = ts.tasks_on_core(ts[j].core);
+        has_lower_on_core_[j] = !on_core.empty() && on_core.back() > j;
+    }
+    count_.assign(n, 0);
+    count_valid_until_.assign(n, Cycles{0});
+    core_count_changed_.assign(ts.num_cores(), false);
+    w_full_core_sum_.assign(ts.num_cores(), AccessCount{0});
+    w_cout_core_sum_.assign(ts.num_cores(), AccessCount{0});
+    cpu_terms_.reserve(n);
+    bas_terms_.reserve(n);
+    bao_terms_.reserve(n);
+    tracked_counts_.reserve(n);
+}
+
+// Mirrors BusContentionAnalysis::cpro_reload_bound with the evictor job
+// counts ⌈(t+J_s)/T_s⌉ read from the maintained cursors instead of being
+// re-derived (init_solve tracks every possible evictor of the solve).
+AccessCount IncrementalWcrtSolver::cpro_reload(std::size_t j,
+                                               std::size_t level,
+                                               std::int64_t n_jobs) const
+{
+    const AccessCount by_union = tables_.rho_hat(j, level, n_jobs);
+    if (config_.cpro == CproMethod::kUnion || by_union == AccessCount{0}) {
+        return by_union;
+    }
+    AccessCount by_jobs{0};
+    const AccessCount* overlaps = tables_.pair_overlap_row(j);
+    for (const std::size_t s : ts_.tasks_on_core(ts_[j].core)) {
+        if (s > level) {
+            break; // evictors are Γ ∩ hep(level) \ {j}
+        }
+        if (s == j) {
+            continue;
+        }
+        by_jobs += (count_[s] + 1) * overlaps[s];
+    }
+    return std::min(by_union, by_jobs);
+}
+
+// One Eq. (16) same-core term at the cached job count: the same arithmetic
+// as the loop body of BusContentionAnalysis::bas.
+AccessCount IncrementalWcrtSolver::bas_term_value(std::size_t i,
+                                                  const BasTerm& term) const
+{
+    const tasks::Task& hp_task = ts_[term.task];
+    const std::int64_t jobs = term.jobs;
+    const AccessCount isolation = jobs * hp_task.md;
+    AccessCount demand = isolation;
+    if (config_.persistence_aware) {
+        demand = std::min(isolation,
+                          md_hat(hp_task, jobs, pcb_loads_[term.task]) +
+                              cpro_reload(term.task, i, jobs));
+    }
+    CPA_CHECK_ASSERT(demand >= AccessCount{0} && demand <= isolation,
+                     "lemma1.cap",
+                     "task " + hp_task.name + ": capped demand " +
+                         to_string(demand) + " outside [0, " +
+                         to_string(isolation) + "]");
+    return demand + jobs * term.gamma;
+}
+
+// The W_{k,l} full-job part of Eq. (4)/(18) at the cached N_l: the same
+// arithmetic as BusContentionAnalysis::other_core_task_accesses minus the
+// per-iteration carry-out term.
+AccessCount IncrementalWcrtSolver::w_full_value(const BaoTerm& term) const
+{
+    const tasks::Task& task = ts_[term.task];
+    AccessCount w_full = term.n_full * term.per_job;
+    if (config_.persistence_aware) {
+        const AccessCount capped =
+            std::min(term.n_full * task.md,
+                     md_hat(task, term.n_full, pcb_loads_[term.task]) +
+                         cpro_reload(term.task, bao_level_, term.n_full));
+        CPA_CHECK_ASSERT(capped >= AccessCount{0} &&
+                             capped <= term.n_full * task.md,
+                         "lemma2.cap",
+                         "task " + task.name + ": capped full-job demand " +
+                             to_string(capped) + " outside [0, " +
+                             to_string(term.n_full * task.md) + "]");
+        w_full = capped + term.n_full * term.gamma;
+    }
+    return w_full;
+}
+
+void IncrementalWcrtSolver::init_solve(std::size_t i, Cycles t,
+                                       const std::vector<Cycles>& response)
+{
+    const tasks::Task& task = ts_[i];
+    const std::size_t my_core = task.core;
+    const bool job_bound = config_.persistence_aware &&
+                           config_.cpro == CproMethod::kJobBound;
+    const bool has_bao = config_.policy == BusPolicy::kFixedPriority ||
+                         config_.policy == BusPolicy::kRoundRobin;
+    bao_level_ = config_.policy == BusPolicy::kRoundRobin ? ts_.size() - 1 : i;
+
+    cpu_terms_.clear();
+    bas_terms_.clear();
+    bao_terms_.clear();
+    tracked_counts_.clear();
+    cpu_sum_ = Cycles{0};
+    bas_sum_ = AccessCount{0};
+    w_full_hep_sum_ = AccessCount{0};
+    w_full_lp_sum_ = AccessCount{0};
+    std::fill(w_full_core_sum_.begin(), w_full_core_sum_.end(),
+              AccessCount{0});
+
+    const auto track = [&](std::size_t s) {
+        count_[s] = jitter_job_count(t, ts_[s].jitter, ts_[s].period);
+        count_valid_until_[s] = jitter_job_count_valid_until(
+            count_[s], ts_[s].jitter, ts_[s].period);
+        tracked_counts_.push_back(s);
+    };
+
+    // Own core: ⌈t/T⌉ CPU terms and E_j cursors for every hp task; τ_i
+    // itself is tracked only as a kJobBound evictor of its hp tasks' ρ̂.
+    for (const std::size_t j : ts_.tasks_on_core(my_core)) {
+        if (j > i) {
+            break;
+        }
+        if (j == i) {
+            if (job_bound) {
+                track(j);
+            }
+            break;
+        }
+        track(j);
+        CpuTerm cpu{j, cpu_job_count(t, ts_[j].period), Cycles{0}};
+        cpu.valid_until = cpu_job_count_valid_until(cpu.count,
+                                                    ts_[j].period);
+        cpu_sum_ += cpu.count * ts_[j].pd;
+        cpu_terms_.push_back(cpu);
+    }
+
+    // Evictor cursors on the other cores must exist before any coupled
+    // BAO term value is derived.
+    if (has_bao && job_bound) {
+        for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+            if (core == my_core) {
+                continue;
+            }
+            for (const std::size_t s : ts_.tasks_on_core(core)) {
+                if (s > bao_level_) {
+                    break;
+                }
+                track(s);
+            }
+        }
+    }
+
+    // Second pass: cached term values (the cursors they read are in place).
+    for (const std::size_t j : ts_.tasks_on_core(my_core)) {
+        if (j >= i) {
+            break;
+        }
+        BasTerm term{};
+        term.task = j;
+        term.jobs = count_[j];
+        term.gamma = tables_.gamma(i, j);
+        term.coupled =
+            job_bound && tables_.cpro_overlap(j, i) > AccessCount{0};
+        term.value = bas_term_value(i, term);
+        bas_sum_ += term.value;
+        bas_terms_.push_back(term);
+    }
+
+    if (has_bao) {
+        for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+            if (core == my_core) {
+                continue;
+            }
+            // Every task of the core contributes: under FP all of
+            // hep(i) ∪ lp(i) (Eq. (7) charges both), under RR the BAO level
+            // is the lowest priority n-1, which covers the whole core.
+            for (const std::size_t l : ts_.tasks_on_core(core)) {
+                BaoTerm term{};
+                term.task = l;
+                term.core = core;
+                term.gamma = tables_.gamma(bao_level_, l);
+                term.per_job = ts_[l].md + term.gamma;
+                term.offset = response[l] + ts_[l].jitter -
+                              term.per_job * platform_.d_mem;
+                term.period = ts_[l].period;
+                term.n_full = full_job_count(t, term.offset, term.period);
+                term.n_full_valid_until = full_job_count_valid_until(
+                    term.n_full, term.offset, term.period);
+                term.coupled = job_bound && tables_.cpro_overlap(
+                                                l, bao_level_) >
+                                                AccessCount{0};
+                term.lower = l > i;
+                term.w_full = w_full_value(term);
+                if (config_.policy == BusPolicy::kRoundRobin) {
+                    w_full_core_sum_[core] += term.w_full;
+                } else if (term.lower) {
+                    w_full_lp_sum_ += term.w_full;
+                } else {
+                    w_full_hep_sum_ += term.w_full;
+                }
+                bao_terms_.push_back(term);
+            }
+        }
+    }
+}
+
+void IncrementalWcrtSolver::refresh(std::size_t i, Cycles t)
+{
+    std::fill(core_count_changed_.begin(), core_count_changed_.end(), false);
+    bool any_count_changed = false;
+    for (const std::size_t s : tracked_counts_) {
+        if (t <= count_valid_until_[s]) {
+            continue;
+        }
+        count_[s] = jitter_job_count(t, ts_[s].jitter, ts_[s].period);
+        count_valid_until_[s] = jitter_job_count_valid_until(
+            count_[s], ts_[s].jitter, ts_[s].period);
+        core_count_changed_[ts_[s].core] = true;
+        any_count_changed = true;
+    }
+
+    for (CpuTerm& term : cpu_terms_) {
+        if (t <= term.valid_until) {
+            continue;
+        }
+        const std::int64_t updated = cpu_job_count(t, ts_[term.task].period);
+        cpu_sum_ += (updated - term.count) * ts_[term.task].pd;
+        term.count = updated;
+        term.valid_until =
+            cpu_job_count_valid_until(updated, ts_[term.task].period);
+    }
+
+    if (any_count_changed) {
+        const bool own_changed = core_count_changed_[ts_[i].core];
+        for (BasTerm& term : bas_terms_) {
+            const std::int64_t jobs_now = count_[term.task];
+            if (jobs_now == term.jobs && !(term.coupled && own_changed)) {
+                continue;
+            }
+            term.jobs = jobs_now;
+            const AccessCount updated = bas_term_value(i, term);
+            bas_sum_ += updated - term.value;
+            term.value = updated;
+        }
+    }
+
+    for (BaoTerm& term : bao_terms_) {
+        const bool n_full_stale = t > term.n_full_valid_until;
+        if (!n_full_stale &&
+            !(term.coupled && core_count_changed_[term.core])) {
+            continue;
+        }
+        if (n_full_stale) {
+            term.n_full = full_job_count(t, term.offset, term.period);
+            term.n_full_valid_until = full_job_count_valid_until(
+                term.n_full, term.offset, term.period);
+        }
+        const AccessCount updated = w_full_value(term);
+        if (config_.policy == BusPolicy::kRoundRobin) {
+            w_full_core_sum_[term.core] += updated - term.w_full;
+        } else if (term.lower) {
+            w_full_lp_sum_ += updated - term.w_full;
+        } else {
+            w_full_hep_sum_ += updated - term.w_full;
+        }
+        term.w_full = updated;
+    }
+}
+
+Cycles IncrementalWcrtSolver::solve(std::size_t i,
+                                    const std::vector<Cycles>& response,
+                                    std::size_t& iterations_used,
+                                    bool& budget_exhausted)
+{
+    CPA_PROFILE_SPAN_ARG("wcrt.inner", "task", i);
+    const tasks::Task& task = ts_[i];
+    const Cycles start =
+        std::max(response[i], task.isolated_demand(platform_.d_mem));
+    Cycles r = std::max(start, Cycles{1});
+    init_solve(i, r, response);
+
+    const auto hp_count = static_cast<std::int64_t>(bas_terms_.size());
+    const AccessCount blocking =
+        has_lower_on_core_[i] ? AccessCount{1} : AccessCount{0};
+
+    // The per-iteration carry-out of one other-core task (Eq. (5)): varies
+    // at d_mem granularity, hence re-derived fresh at every iterate.
+    const auto w_cout_value = [&](const BaoTerm& term, Cycles t) {
+        const Cycles leftover =
+            t + term.offset - term.n_full * term.period;
+        const AccessCount w_cout =
+            std::clamp(util::accesses_covering(leftover, platform_.d_mem),
+                       AccessCount{0}, term.per_job);
+        CPA_CHECK_ASSERT(w_cout >= AccessCount{0} && w_cout <= term.per_job,
+                         "lemma2.carry_out_range",
+                         "task " + ts_[term.task].name +
+                             ": carry-out accesses " + to_string(w_cout) +
+                             " outside [0, " + to_string(term.per_job) +
+                             "]");
+        return w_cout;
+    };
+
+    for (std::size_t iter = 0; iter < kMaxInnerIterations; ++iter) {
+        iterations_used = iter + 1;
+        refresh(i, r);
+
+        // Metric parity with the reference engine's bas() call: one
+        // bas.calls tick per inner iteration plus one γ lookup per hp task.
+        CPA_COUNT("bas.calls");
+        if (hp_count > 0) {
+            CPA_COUNT_ADD("tables.gamma_lookups", hp_count);
+        }
+        const AccessCount same_core = task.md + bas_sum_;
+
+        AccessCount cross_core{0};
+        AccessCount blocking_charged{0};
+        AccessCount total = same_core;
+        switch (config_.policy) {
+        case BusPolicy::kPerfect:
+            total = same_core;
+            break;
+
+        case BusPolicy::kFixedPriority: {
+            AccessCount higher = w_full_hep_sum_;
+            AccessCount lower = w_full_lp_sum_;
+            for (const BaoTerm& term : bao_terms_) {
+                const AccessCount w_cout = w_cout_value(term, r);
+                if (term.lower) {
+                    lower += w_cout;
+                } else {
+                    higher += w_cout;
+                }
+            }
+            cross_core = higher + std::min(same_core, lower);
+            blocking_charged = blocking;
+            total = same_core + cross_core + blocking_charged;
+            break;
+        }
+
+        case BusPolicy::kRoundRobin: {
+            std::fill(w_cout_core_sum_.begin(), w_cout_core_sum_.end(),
+                      AccessCount{0});
+            for (const BaoTerm& term : bao_terms_) {
+                w_cout_core_sum_[term.core] += w_cout_value(term, r);
+            }
+            AccessCount other{0};
+            for (std::size_t core = 0; core < ts_.num_cores(); ++core) {
+                if (core == task.core) {
+                    continue;
+                }
+                other += std::min(w_full_core_sum_[core] +
+                                      w_cout_core_sum_[core],
+                                  platform_.slot_size * same_core);
+            }
+            cross_core = other;
+            blocking_charged = blocking;
+            total = same_core + cross_core + blocking_charged;
+            break;
+        }
+
+        case BusPolicy::kTdma: {
+            const auto cycle_cores =
+                static_cast<std::int64_t>(platform_.num_cores);
+            cross_core = (cycle_cores - 1) * platform_.slot_size * same_core;
+            blocking_charged = blocking;
+            total = same_core + cross_core + blocking_charged;
+            break;
+        }
+        }
+
+        record_bat_breakdown(config_.policy, same_core, cross_core,
+                             blocking_charged);
+        CPA_CHECK_ASSERT(total >= same_core, "bat.dominates_bas",
+                         "task " + task.name + ": BAT " + to_string(total) +
+                             " below its own BAS term " +
+                             to_string(same_core));
+
+        const Cycles rhs = task.pd + cpu_sum_ + total * platform_.d_mem;
+        if (rhs <= r) {
+            return r; // busy window closed: all delaying work fits in r
+        }
+        r = rhs;
+        if (r > task.effective_deadline()) {
+            return r; // deadline already missed; no need to converge
+        }
+    }
+    // Same conservative fallback as the reference loop; the caller emits
+    // the wcrt.budget_exhausted counter + trace event.
+    budget_exhausted = true;
+    return task.effective_deadline() + Cycles{1};
+}
+
+} // namespace cpa::analysis

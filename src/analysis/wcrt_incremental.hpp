@@ -1,0 +1,193 @@
+// Breakpoint-driven solver for the Eq. (19) inner fixed point
+// (WcrtEngine::kIncremental).
+//
+// The reference loop in wcrt.cpp re-evaluates every ⌈·/T⌉ job count and the
+// full BAT sum (Eq. (1)-(9), Lemmas 1-2) from scratch on each iteration.
+// But within one inner solve the iterate r is non-decreasing, and each job
+// count is a step function of the window length t:
+//
+//   ⌈t/T_j⌉           steps exactly at the multiples of T_j,
+//   ⌈(t+J_j)/T_j⌉     steps at the multiples of T_j shifted left by J_j,
+//   ⌊(t+c_l)/T_l⌋     steps at the multiples of T_l shifted left by c_l,
+//
+// so the solver keeps a per-count "valid-until" cursor and only re-derives
+// the terms (PD, M̂D, γ, ρ̂ contributions) whose count actually changed when
+// r crossed a breakpoint. The Lemma-2 carry-out W_cout is the one term that
+// varies at d_mem granularity (and can even dip, see bus_bounds_test.cpp
+// Lemma2CarryOutDipIsPossible), so it is recomputed every iteration — it is
+// a handful of arithmetic ops per other-core task, with no table lookups.
+//
+// The engine computes the exact same rhs(r) as the reference at every
+// iterate, so the recurrence visits the same sequence of r values, returns
+// bit-identical responses and iteration counts, and emits the same metric
+// profile (bas.calls, tables.gamma_lookups, bat.*). The differential suite
+// in tests/analysis/wcrt_differential_test.cpp enforces this.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/interference.hpp"
+#include "tasks/task.hpp"
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cpa::analysis {
+
+using util::AccessCount;
+using util::Cycles;
+
+// Inner-iteration budget shared by both engines (the reference loop in
+// wcrt.cpp and the incremental solver); exhaustion is reported through
+// WcrtResult::inner_budget_exhausted plus the wcrt.budget_exhausted counter.
+inline constexpr std::size_t kMaxInnerIterations = 100000;
+
+// --- Breakpoint-cursor primitives -----------------------------------------
+//
+// Pure helpers shared by the solver and property-tested in
+// tests/analysis/wcrt_stress_test.cpp: each *_valid_until(count, ...) is the
+// largest window length t for which the paired count function still returns
+// `count`, so the count is stale exactly when t crosses the next (shifted)
+// multiple of the period.
+
+// E_j(t) = ⌈(t + J_j)/T_j⌉: interfering jobs with release jitter (Eq. (1)).
+[[nodiscard]] inline std::int64_t jitter_job_count(Cycles t, Cycles jitter,
+                                                   Cycles period)
+{
+    return util::ceil_div(t + jitter, period);
+}
+
+[[nodiscard]] inline Cycles jitter_job_count_valid_until(std::int64_t count,
+                                                         Cycles jitter,
+                                                         Cycles period)
+{
+    return count * period - jitter;
+}
+
+// ⌈t/T_j⌉: the CPU-preemption job count of Eq. (19) (no jitter term).
+[[nodiscard]] inline std::int64_t cpu_job_count(Cycles t, Cycles period)
+{
+    return util::ceil_div(t, period);
+}
+
+[[nodiscard]] inline Cycles cpu_job_count_valid_until(std::int64_t count,
+                                                      Cycles period)
+{
+    return count * period;
+}
+
+// N_l(t) = max(0, ⌊(t + c_l)/T_l⌋) with the per-solve constant
+// c_l = R_l + J_l - (MD_l + γ)·d_mem: fully-executed other-core jobs
+// (Eq. (6)). `count` is the already-clamped value.
+[[nodiscard]] inline std::int64_t full_job_count(Cycles t, Cycles offset,
+                                                 Cycles period)
+{
+    return util::clamp_non_negative(util::floor_div(t + offset, period));
+}
+
+[[nodiscard]] inline Cycles full_job_count_valid_until(std::int64_t count,
+                                                       Cycles offset,
+                                                       Cycles period)
+{
+    return (count + 1) * period - offset - Cycles{1};
+}
+
+// --- The solver -----------------------------------------------------------
+
+class IncrementalWcrtSolver {
+public:
+    // All referenced objects must outlive the solver. The scratch arenas are
+    // sized once here and reused across solve() calls (one solver instance
+    // serves a whole compute_wcrt outer loop).
+    IncrementalWcrtSolver(const tasks::TaskSet& ts,
+                          const PlatformConfig& platform,
+                          const AnalysisConfig& config,
+                          const InterferenceTables& tables);
+
+    // Solves the per-task recurrence of Eq. (19) for τ_i with the other
+    // tasks' estimates frozen in `response` — the same contract, iterate
+    // sequence, return value, and metric emission as the reference loop in
+    // wcrt.cpp. Sets `budget_exhausted` when kMaxInnerIterations was hit.
+    [[nodiscard]] Cycles solve(std::size_t i,
+                               const std::vector<Cycles>& response,
+                               std::size_t& iterations_used,
+                               bool& budget_exhausted);
+
+private:
+    // One ⌈r/T_j⌉·PD_j CPU-interference term (higher-priority, same core).
+    struct CpuTerm {
+        std::size_t task;
+        std::int64_t count;
+        Cycles valid_until;
+    };
+
+    // One Eq. (16) same-core demand term: capped demand + E_j·γ_{i,j}.
+    struct BasTerm {
+        std::size_t task;
+        std::int64_t jobs;  // the E_j the cached value was derived at
+        AccessCount gamma;  // γ_{i,j}, constant per solve
+        AccessCount value;
+        bool coupled; // kJobBound ρ̂ depends on other same-core counts
+    };
+
+    // One other-core task's Lemma-2 state (Eq. (4)-(6)/(17)-(18)).
+    struct BaoTerm {
+        std::size_t task;
+        std::size_t core;
+        AccessCount gamma;   // γ_{level,l}, constant per solve
+        AccessCount per_job; // MD_l + γ_{level,l}
+        Cycles offset;       // R_l + J_l - per_job·d_mem (constant per solve)
+        Cycles period;
+        std::int64_t n_full;
+        Cycles n_full_valid_until;
+        AccessCount w_full;
+        bool coupled; // kJobBound ρ̂ depends on core-local jitter counts
+        bool lower;   // τ_l ∈ lp(i) (FP bus bound splits hep/lp)
+    };
+
+    void init_solve(std::size_t i, Cycles t,
+                    const std::vector<Cycles>& response);
+    void refresh(std::size_t i, Cycles t);
+
+    [[nodiscard]] AccessCount cpro_reload(std::size_t j, std::size_t level,
+                                          std::int64_t n_jobs) const;
+    [[nodiscard]] AccessCount bas_term_value(std::size_t i,
+                                             const BasTerm& term) const;
+    [[nodiscard]] AccessCount w_full_value(const BaoTerm& term) const;
+
+    const tasks::TaskSet& ts_;
+    PlatformConfig platform_; // by value: callers often pass temporaries
+    AnalysisConfig config_;
+    const InterferenceTables& tables_;
+
+    // Loop-invariant per-task data, computed once per solver.
+    std::vector<AccessCount> pcb_loads_; // |PCB_j| access loads for M̂D
+    std::vector<bool> has_lower_on_core_;
+
+    // Per-solve state. Backing arenas keep their capacity across solves.
+    std::size_t bao_level_ = 0; // γ/ρ̂ analysis level of the BAO terms
+    std::vector<CpuTerm> cpu_terms_;
+    std::vector<BasTerm> bas_terms_;
+    std::vector<BaoTerm> bao_terms_;
+    Cycles cpu_sum_{0};
+    AccessCount bas_sum_{0};
+    AccessCount w_full_hep_sum_{0};
+    AccessCount w_full_lp_sum_{0};
+    std::vector<AccessCount> w_full_core_sum_; // per core (RR bound)
+
+    // ⌈(t+J_s)/T_s⌉ cursors for every task the solve references as a demand
+    // source or kJobBound evictor, indexed by task id; `tracked_counts_`
+    // lists the live ids, `core_count_changed_` flags per-core staleness for
+    // the coupled-term invalidation.
+    std::vector<std::int64_t> count_;
+    std::vector<Cycles> count_valid_until_;
+    std::vector<std::size_t> tracked_counts_;
+    std::vector<bool> core_count_changed_;
+
+    // Per-iteration scratch for the carry-out accumulation (RR).
+    std::vector<AccessCount> w_cout_core_sum_;
+};
+
+} // namespace cpa::analysis

@@ -194,6 +194,7 @@ private:
         config.persistence_aware = persistence;
         config.crpd = options_.crpd;
         config.cpro = options_.cpro;
+        config.wcrt_engine = options_.engine;
         return config;
     }
 

@@ -75,6 +75,10 @@ struct CheckOptions {
     std::int64_t sim_event_budget = 1'000'000;
     // Largest job count the M̂D invariants probe.
     std::int64_t max_demand_jobs = 16;
+    // WCRT engine the WCRT-level invariants run against (`cpa check
+    // --engine`). Checking the reference engine validates the oracle the
+    // differential harness compares the incremental solver to.
+    analysis::WcrtEngine engine = analysis::WcrtEngine::kIncremental;
 };
 
 struct CheckResult {

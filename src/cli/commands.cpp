@@ -45,21 +45,29 @@ usage:
   cpa analyze  <file> [--policy fp|rr|tdma|perfect|all] [--no-persistence]
                       [--crpd ecb-union|ucb-only|ecb-only]
                       [--cpro union|job-bound] [--report] [--csv]
-                      [--sim-check]
+                      [--sim-check] [--engine reference|incremental]
   cpa simulate <file> [--policy fp|rr|tdma|perfect]
                       [--horizon-periods N | --hyperperiod]
   cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
                [--utilization U] [--seed S]
   cpa sweep    [--cores N] [--tasks-per-core N] [--cache-sets N]
                [--task-sets N] [--seed S] [--jobs N] [--csv]
+               [--engine reference|incremental]
   cpa check    [--seed S] [--trials N] [--cores N] [--tasks-per-core N]
                [--cache-sets N] [--min-utilization U] [--max-utilization U]
                [--jobs N] [--skip-sim] [--fail-on-violation] [--list]
+               [--engine reference|incremental]
   cpa verify   [--profile fast|full] [--box FILE] [--jobs N]
                [--max-depth N] [--max-nodes N]
                [--fail-on refuted|undecided] [--list]
+               [--engine reference|incremental]
   cpa version  [--json]
   cpa help
+
+`--engine` selects the Eq. (19) WCRT solver: 'incremental' (default, the
+breakpoint-driven hot path) or 'reference' (the paper-shaped loop kept as
+the differential-testing oracle). Both produce byte-identical results and
+deterministic metrics (see docs/performance.md).
 
 `--jobs N` sets the trial-loop worker count (default: the CPA_JOBS
 environment variable, then hardware concurrency). Every job count produces
@@ -287,6 +295,18 @@ BusPolicy parse_policy(const std::string& name)
                              "' (fp, rr, tdma, perfect)");
 }
 
+analysis::WcrtEngine parse_engine(const std::string& name)
+{
+    if (name == "incremental") {
+        return analysis::WcrtEngine::kIncremental;
+    }
+    if (name == "reference") {
+        return analysis::WcrtEngine::kReference;
+    }
+    throw std::runtime_error("unknown engine '" + name +
+                             "' (reference, incremental)");
+}
+
 int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
                 std::ostream& err)
 {
@@ -297,6 +317,8 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
     const bool report = flags.take_switch("--report");
     const bool csv = flags.take_switch("--csv");
     const bool sim_check = flags.take_switch("--sim-check");
+    const analysis::WcrtEngine engine =
+        parse_engine(flags.take("--engine", "incremental"));
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
     const std::string profile_out = flags.take("--profile-out", "");
@@ -312,6 +334,7 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
 
     AnalysisConfig config;
     config.persistence_aware = persistence;
+    config.wcrt_engine = engine;
     if (crpd_name == "ecb-union") {
         config.crpd = analysis::CrpdMethod::kEcbUnion;
     } else if (crpd_name == "ucb-only") {
@@ -607,6 +630,7 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
         std::stoll(flags.take("--seed", "20200309")));
     sweep_config.jobs =
         static_cast<std::size_t>(std::stoll(flags.take("--jobs", "0")));
+    sweep_config.engine = parse_engine(flags.take("--engine", "incremental"));
     const bool csv = flags.take_switch("--csv");
     const std::string metrics_out = flags.take("--metrics-out", "");
     const std::string trace_spec = flags.take("--trace", "");
@@ -734,6 +758,7 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
     config.jobs =
         static_cast<std::size_t>(std::stoll(flags.take("--jobs", "0")));
     config.options.check_simulation = !flags.take_switch("--skip-sim");
+    config.options.engine = parse_engine(flags.take("--engine", "incremental"));
     // Undocumented self-test hook: forces a synthetic violation per trial so
     // the reporting/exit-code path itself can be tested (the real analysis
     // is sound, so nothing else makes `cpa check` fail on purpose).
@@ -845,6 +870,7 @@ int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
         std::stoll(flags.take("--max-depth", "12")));
     options.max_nodes = static_cast<std::size_t>(
         std::stoll(flags.take("--max-nodes", "2048")));
+    options.engine = parse_engine(flags.take("--engine", "incremental"));
     const std::string fail_on = flags.take("--fail-on", "");
     if (!fail_on.empty() && fail_on != "refuted" && fail_on != "undecided") {
         throw std::runtime_error("unknown --fail-on '" + fail_on +

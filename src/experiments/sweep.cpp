@@ -115,7 +115,8 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
             std::map<analysis::CrpdMethod, analysis::InterferenceTables>
                 tables;
             for (std::size_t v = 0; v < variants.size(); ++v) {
-                const AnalysisConfig& config = variants[v].config;
+                AnalysisConfig config = variants[v].config;
+                config.wcrt_engine = sweep.engine;
                 auto it = tables.find(config.crpd);
                 if (it == tables.end()) {
                     it = tables

@@ -45,6 +45,10 @@ struct SweepConfig {
     // reporting — it cannot influence results. `cpa sweep --progress`
     // routes this to stderr so golden stdout transcripts stay identical.
     std::function<void(std::size_t done, std::size_t total)> progress;
+    // WCRT engine applied to every variant (`cpa sweep --engine`). Both
+    // engines produce byte-identical sweeps (wcrt_differential_test); the
+    // reference engine exists for cross-checking and debugging.
+    analysis::WcrtEngine engine = analysis::WcrtEngine::kIncremental;
 };
 
 struct SweepPoint {

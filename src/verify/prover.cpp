@@ -99,6 +99,7 @@ bool sample_point(const ProverOptions& options, const Property& property,
     check::CheckOptions check_options;
     check_options.check_simulation =
         property.name == "sim.response_soundness";
+    check_options.engine = options.engine;
     const check::CheckResult checked =
         check::check_task_set(*oracle, check_options);
     ++result.samples;

@@ -76,6 +76,10 @@ struct ProverOptions {
     std::size_t max_depth = 12;
     std::size_t max_nodes = 2048; // bisection nodes per work unit
     OracleFactory oracle_factory; // empty: real AnalysisOracle
+    // WCRT engine the sampled checker runs under (`cpa verify --engine`):
+    // witness replay must hold under either engine, which the differential
+    // harness guarantees by making them byte-identical.
+    analysis::WcrtEngine engine = analysis::WcrtEngine::kIncremental;
 };
 
 [[nodiscard]] VerifyReport run_prover(const ProverOptions& options);

@@ -1,0 +1,209 @@
+// Differential harness for the WCRT engine seam: WcrtEngine::kIncremental
+// (the breakpoint-driven solver of wcrt_incremental.cpp) must be EXACT
+// against WcrtEngine::kReference (the paper-shaped loop kept verbatim in
+// wcrt.cpp) on randomized task sets.
+//
+// Which fields must match exactly: ALL of them. The incremental engine
+// computes the identical rhs(r) at every iterate, so not just the verdict
+// and the response vector but also outer_iterations, inner_iterations,
+// failed_task, stop_reason, and inner_budget_exhausted are byte-identical
+// by construction — and the suite pins that. The iteration-count equality
+// is what keeps the metric goldens (tests/cli/golden/*_metrics.txt) and
+// the bench-trajectory baseline valid regardless of the default engine:
+// wcrt.inner_iterations, bas.calls, tables.gamma_lookups, and the bat.*
+// breakdown are all per-iteration counters.
+#include "analysis/wcrt.hpp"
+
+#include "benchdata/generator.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace cpa::analysis {
+namespace {
+
+tasks::TaskSet random_set(std::uint64_t seed, double utilization,
+                          double jitter_fraction)
+{
+    util::Rng rng(seed);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 3;
+    gen.tasks_per_core = 4;
+    gen.cache_sets = 128;
+    gen.per_core_utilization = utilization;
+    gen.jitter_fraction = jitter_fraction;
+    static const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 128);
+    return benchdata::generate_task_set(rng, gen, pool);
+}
+
+PlatformConfig test_platform()
+{
+    PlatformConfig platform;
+    platform.num_cores = 3;
+    platform.cache_sets = 128;
+    platform.d_mem = Cycles{10};
+    platform.slot_size = 2;
+    return platform;
+}
+
+void expect_identical(const WcrtResult& reference,
+                      const WcrtResult& incremental,
+                      const std::string& context)
+{
+    EXPECT_EQ(reference.schedulable, incremental.schedulable) << context;
+    EXPECT_EQ(reference.response, incremental.response) << context;
+    EXPECT_EQ(reference.outer_iterations, incremental.outer_iterations)
+        << context;
+    EXPECT_EQ(reference.inner_iterations, incremental.inner_iterations)
+        << context;
+    EXPECT_EQ(reference.failed_task, incremental.failed_task) << context;
+    EXPECT_EQ(reference.stop_reason, incremental.stop_reason) << context;
+    EXPECT_EQ(reference.inner_budget_exhausted,
+              incremental.inner_budget_exhausted)
+        << context;
+}
+
+// Runs both engines on `seeds` random sets per persistence setting and
+// compares every WcrtResult field. Utilization cycles through 0.3-0.9 so
+// both schedulable and deadline-missing sets are exercised.
+void run_differential(BusPolicy policy, std::uint64_t seeds,
+                      double jitter_fraction, CproMethod cpro)
+{
+    const PlatformConfig platform = test_platform();
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const double utilization = 0.3 + 0.1 * static_cast<double>(seed % 7);
+        const tasks::TaskSet ts =
+            random_set(seed, utilization, jitter_fraction);
+        const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+        for (const bool persistence : {true, false}) {
+            AnalysisConfig config;
+            config.policy = policy;
+            config.persistence_aware = persistence;
+            config.cpro = cpro;
+
+            config.wcrt_engine = WcrtEngine::kReference;
+            const WcrtResult reference =
+                compute_wcrt(ts, platform, config, tables);
+            config.wcrt_engine = WcrtEngine::kIncremental;
+            const WcrtResult incremental =
+                compute_wcrt(ts, platform, config, tables);
+
+            expect_identical(reference, incremental,
+                             "policy=" + to_string(policy) +
+                                 " seed=" + std::to_string(seed) +
+                                 " persistence=" +
+                                 (persistence ? "on" : "off"));
+            if (::testing::Test::HasFailure()) {
+                return; // one counterexample is enough to debug
+            }
+        }
+    }
+}
+
+TEST(WcrtEngineDifferential, FixedPriorityMatchesReference)
+{
+    run_differential(BusPolicy::kFixedPriority, 200, 0.0,
+                     CproMethod::kUnion);
+}
+
+TEST(WcrtEngineDifferential, RoundRobinMatchesReference)
+{
+    run_differential(BusPolicy::kRoundRobin, 200, 0.0, CproMethod::kUnion);
+}
+
+TEST(WcrtEngineDifferential, TdmaMatchesReference)
+{
+    run_differential(BusPolicy::kTdma, 200, 0.0, CproMethod::kUnion);
+}
+
+TEST(WcrtEngineDifferential, PerfectBusMatchesReference)
+{
+    run_differential(BusPolicy::kPerfect, 50, 0.0, CproMethod::kUnion);
+}
+
+// Release jitter shifts every breakpoint family (⌈(t+J)/T⌉ steps early,
+// Eq. (6) windows stretch), so the cursor bookkeeping gets its own sweep.
+TEST(WcrtEngineDifferential, JitterMatchesReference)
+{
+    run_differential(BusPolicy::kFixedPriority, 60, 0.25,
+                     CproMethod::kUnion);
+    run_differential(BusPolicy::kRoundRobin, 60, 0.25, CproMethod::kUnion);
+    run_differential(BusPolicy::kTdma, 60, 0.25, CproMethod::kUnion);
+}
+
+// CproMethod::kJobBound couples each cached ρ̂ term to the job counts of
+// every same-core evictor — the hardest invalidation path of the
+// incremental engine.
+TEST(WcrtEngineDifferential, JobBoundCproMatchesReference)
+{
+    run_differential(BusPolicy::kFixedPriority, 60, 0.0,
+                     CproMethod::kJobBound);
+    run_differential(BusPolicy::kRoundRobin, 60, 0.0,
+                     CproMethod::kJobBound);
+    run_differential(BusPolicy::kFixedPriority, 40, 0.25,
+                     CproMethod::kJobBound);
+}
+
+#if CPA_OBS_ENABLED
+// The two engines must emit the exact same deterministic metric profile
+// (counters and non-"_ns" histograms): this is what keeps the pinned CLI
+// metric goldens and bench/history/baseline-small.json engine-independent.
+TEST(WcrtEngineDifferential, MetricProfileIdenticalAcrossEngines)
+{
+    const PlatformConfig platform = test_platform();
+    auto run_with_engine = [&](WcrtEngine engine) {
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            const tasks::TaskSet ts = random_set(seed, 0.5, 0.0);
+            const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+            for (const BusPolicy policy :
+                 {BusPolicy::kFixedPriority, BusPolicy::kRoundRobin,
+                  BusPolicy::kTdma, BusPolicy::kPerfect}) {
+                AnalysisConfig config;
+                config.policy = policy;
+                config.wcrt_engine = engine;
+                (void)compute_wcrt(ts, platform, config, tables);
+            }
+        }
+        obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::global().snapshot();
+        obs::set_metrics_enabled(false);
+        obs::MetricsRegistry::global().reset();
+        return snap;
+    };
+
+    const obs::MetricsSnapshot reference =
+        run_with_engine(WcrtEngine::kReference);
+    const obs::MetricsSnapshot incremental =
+        run_with_engine(WcrtEngine::kIncremental);
+
+    EXPECT_EQ(reference.counters, incremental.counters);
+    ASSERT_EQ(reference.histograms.size(), incremental.histograms.size());
+    for (const auto& [name, stat] : reference.histograms) {
+        if (name.ends_with("_ns")) {
+            continue; // wall-clock histograms are inherently nondeterministic
+        }
+        ASSERT_TRUE(incremental.histograms.contains(name)) << name;
+        const obs::HistogramStat& other = incremental.histograms.at(name);
+        EXPECT_EQ(stat.count, other.count) << name;
+        EXPECT_EQ(stat.sum, other.sum) << name;
+        EXPECT_EQ(stat.min, other.min) << name;
+        EXPECT_EQ(stat.max, other.max) << name;
+    }
+    // Timers differ in total_ns but must agree on call counts.
+    ASSERT_EQ(reference.timers.size(), incremental.timers.size());
+    for (const auto& [name, stat] : reference.timers) {
+        ASSERT_TRUE(incremental.timers.contains(name)) << name;
+        EXPECT_EQ(stat.count, incremental.timers.at(name).count) << name;
+    }
+}
+#endif // CPA_OBS_ENABLED
+
+} // namespace
+} // namespace cpa::analysis

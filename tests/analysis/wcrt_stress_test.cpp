@@ -1,0 +1,304 @@
+// Scale/stress tier for the incremental WCRT engine plus property tests of
+// its breakpoint-cursor primitives (all pinned constants — nothing here
+// depends on wall clock or randomness beyond seeded generators).
+#include "analysis/wcrt.hpp"
+#include "analysis/wcrt_incremental.hpp"
+
+#include "benchdata/generator.hpp"
+#include "helpers.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+
+// --- Breakpoint-cursor properties -----------------------------------------
+
+// Walking t upward one cycle at a time, the cursor must (a) always agree
+// with the direct count function and (b) be refreshed exactly when t
+// crosses a (jitter-shifted) multiple of the period — nowhere else.
+TEST(WcrtBreakpointProperty, JitterCountStepsExactlyAtShiftedMultiples)
+{
+    struct Pin {
+        std::int64_t period;
+        std::int64_t jitter;
+        std::int64_t window;
+    };
+    const std::vector<Pin> pins = {
+        {7, 3, 200}, {10, 0, 300}, {1, 0, 50}, {12, 9, 400}, {100, 99, 950},
+    };
+    for (const Pin& pin : pins) {
+        const Cycles period{pin.period};
+        const Cycles jitter{pin.jitter};
+        std::int64_t count = jitter_job_count(Cycles{1}, jitter, period);
+        Cycles valid_until =
+            jitter_job_count_valid_until(count, jitter, period);
+        std::vector<std::int64_t> refreshed_at;
+        for (std::int64_t raw_t = 1; raw_t <= pin.window; ++raw_t) {
+            const Cycles t{raw_t};
+            if (t > valid_until) {
+                count = jitter_job_count(t, jitter, period);
+                valid_until =
+                    jitter_job_count_valid_until(count, jitter, period);
+                refreshed_at.push_back(raw_t);
+            }
+            ASSERT_EQ(count, jitter_job_count(t, jitter, period))
+                << "T=" << pin.period << " J=" << pin.jitter
+                << " t=" << raw_t;
+        }
+        // The refresh points are exactly the multiples of T shifted left by
+        // J, plus one (the first t past each breakpoint).
+        std::vector<std::int64_t> expected;
+        const std::int64_t first =
+            jitter_job_count(Cycles{1}, jitter, period);
+        for (std::int64_t k = first;; ++k) {
+            const std::int64_t breakpoint = k * pin.period - pin.jitter + 1;
+            if (breakpoint > pin.window) {
+                break;
+            }
+            if (breakpoint >= 2) {
+                expected.push_back(breakpoint);
+            }
+        }
+        EXPECT_EQ(refreshed_at, expected)
+            << "T=" << pin.period << " J=" << pin.jitter;
+    }
+}
+
+TEST(WcrtBreakpointProperty, CpuCountStepsExactlyAtMultiples)
+{
+    const std::vector<std::int64_t> periods = {1, 2, 7, 10, 33};
+    const std::int64_t window = 250;
+    for (const std::int64_t raw_period : periods) {
+        const Cycles period{raw_period};
+        std::int64_t count = cpu_job_count(Cycles{1}, period);
+        Cycles valid_until = cpu_job_count_valid_until(count, period);
+        std::vector<std::int64_t> refreshed_at;
+        for (std::int64_t raw_t = 1; raw_t <= window; ++raw_t) {
+            const Cycles t{raw_t};
+            if (t > valid_until) {
+                count = cpu_job_count(t, period);
+                valid_until = cpu_job_count_valid_until(count, period);
+                refreshed_at.push_back(raw_t);
+            }
+            ASSERT_EQ(count, cpu_job_count(t, period))
+                << "T=" << raw_period << " t=" << raw_t;
+        }
+        std::vector<std::int64_t> expected;
+        for (std::int64_t k = 1;; ++k) {
+            const std::int64_t breakpoint = k * raw_period + 1;
+            if (breakpoint > window) {
+                break;
+            }
+            if (breakpoint >= 2) {
+                expected.push_back(breakpoint);
+            }
+        }
+        EXPECT_EQ(refreshed_at, expected) << "T=" << raw_period;
+    }
+}
+
+// The Eq. (6) full-job cursor with positive, negative, and zero offsets
+// (c_l = R_l + J_l - per_job·d_mem can have any sign), including the
+// clamped-at-zero regime.
+TEST(WcrtBreakpointProperty, FullJobCountStepsExactlyAtOffsetMultiples)
+{
+    struct Pin {
+        std::int64_t period;
+        std::int64_t offset;
+        std::int64_t window;
+    };
+    const std::vector<Pin> pins = {
+        {10, 0, 300}, {10, 37, 300}, {10, -37, 300},
+        {7, -100, 400}, {1, 5, 60},
+    };
+    for (const Pin& pin : pins) {
+        const Cycles period{pin.period};
+        const Cycles offset{pin.offset};
+        std::int64_t count = full_job_count(Cycles{1}, offset, period);
+        Cycles valid_until =
+            full_job_count_valid_until(count, offset, period);
+        for (std::int64_t raw_t = 1; raw_t <= pin.window; ++raw_t) {
+            const Cycles t{raw_t};
+            if (t > valid_until) {
+                const std::int64_t previous = count;
+                count = full_job_count(t, offset, period);
+                valid_until =
+                    full_job_count_valid_until(count, offset, period);
+                EXPECT_GT(count, previous)
+                    << "stale cursor must mean the count grew: T="
+                    << pin.period << " c=" << pin.offset << " t=" << raw_t;
+            }
+            ASSERT_EQ(count, full_job_count(t, offset, period))
+                << "T=" << pin.period << " c=" << pin.offset
+                << " t=" << raw_t;
+        }
+    }
+}
+
+// Cursor arithmetic at large magnitudes (the overflow paths a 16-core
+// stress window exercises): jumping from breakpoint to breakpoint must
+// advance the count by exactly one per period crossed.
+TEST(WcrtBreakpointProperty, LargeMagnitudeBreakpointJumps)
+{
+    const Cycles period{1'000'000'000};
+    const Cycles jitter{123'456'789};
+    Cycles t{1};
+    std::int64_t count = jitter_job_count(t, jitter, period);
+    for (int step = 0; step < 1000; ++step) {
+        const Cycles valid_until =
+            jitter_job_count_valid_until(count, jitter, period);
+        ASSERT_EQ(count, jitter_job_count(valid_until, jitter, period));
+        t = valid_until + Cycles{1};
+        const std::int64_t next = jitter_job_count(t, jitter, period);
+        ASSERT_EQ(next, count + 1) << "step=" << step;
+        count = next;
+    }
+    EXPECT_EQ(count, jitter_job_count(Cycles{1}, jitter, period) + 1000);
+}
+
+// --- 16 cores x 32 tasks/core stress tier ---------------------------------
+
+tasks::TaskSet stress_set(std::uint64_t seed, double utilization)
+{
+    util::Rng rng(seed);
+    benchdata::GenerationConfig gen;
+    gen.num_cores = 16;
+    gen.tasks_per_core = 32;
+    gen.cache_sets = 256;
+    gen.per_core_utilization = utilization;
+    static const auto pool =
+        benchdata::derive_all(benchdata::full_benchmark_table(), 256);
+    return benchdata::generate_task_set(rng, gen, pool);
+}
+
+TEST(WcrtStress, SixteenCoresMatchAcrossEngines)
+{
+    PlatformConfig platform;
+    platform.num_cores = 16;
+    platform.cache_sets = 256;
+    platform.d_mem = Cycles{5};
+    platform.slot_size = 2;
+
+    const tasks::TaskSet ts = stress_set(1, 0.3);
+    ASSERT_EQ(ts.size(), 16u * 32u);
+    const InterferenceTables tables(ts, CrpdMethod::kEcbUnion);
+
+    for (const BusPolicy policy :
+         {BusPolicy::kFixedPriority, BusPolicy::kRoundRobin,
+          BusPolicy::kTdma}) {
+        AnalysisConfig config;
+        config.policy = policy;
+        config.persistence_aware = true;
+
+        config.wcrt_engine = WcrtEngine::kReference;
+        const WcrtResult reference = compute_wcrt(ts, platform, config,
+                                                  tables);
+        config.wcrt_engine = WcrtEngine::kIncremental;
+        const WcrtResult incremental = compute_wcrt(ts, platform, config,
+                                                    tables);
+
+        EXPECT_EQ(reference.schedulable, incremental.schedulable)
+            << to_string(policy);
+        EXPECT_EQ(reference.response, incremental.response)
+            << to_string(policy);
+        EXPECT_EQ(reference.outer_iterations, incremental.outer_iterations)
+            << to_string(policy);
+        EXPECT_EQ(reference.inner_iterations, incremental.inner_iterations)
+            << to_string(policy);
+        EXPECT_EQ(reference.failed_task, incremental.failed_task)
+            << to_string(policy);
+        EXPECT_EQ(reference.stop_reason, incremental.stop_reason)
+            << to_string(policy);
+    }
+}
+
+// --- Inner-iteration budget exhaustion (regression) ------------------------
+
+// Two highest-priority tasks saturate the core (utilization exactly 1), so
+// the lowest-priority recurrence creeps upward by 1-2 cycles per iteration
+// and can neither converge nor cross its (huge) deadline within
+// kMaxInnerIterations. d_mem is zero so the unconditional lower-priority
+// blocking charge does not push the CPU-saturated high-priority tasks past
+// their own tight deadlines. Before the fix this was silently classified as
+// a plain deadline miss; now both engines must report the capitulation via
+// WcrtResult::inner_budget_exhausted plus the wcrt.budget_exhausted
+// counter.
+TEST(WcrtStress, InnerBudgetExhaustionIsReportedByBothEngines)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 1, 0, 0, 2, 0, {}, {}, {}},
+            {0, 1, 0, 0, 2, 0, {}, {}, {}},
+            {0, 1, 0, 0, 1'000'000, 0, {}, {}, {}},
+        });
+    PlatformConfig platform;
+    platform.num_cores = 1;
+    platform.cache_sets = 16;
+    platform.d_mem = Cycles{0};
+
+    for (const WcrtEngine engine :
+         {WcrtEngine::kReference, WcrtEngine::kIncremental}) {
+#if CPA_OBS_ENABLED
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+#endif
+        AnalysisConfig config;
+        config.policy = BusPolicy::kFixedPriority;
+        config.wcrt_engine = engine;
+        const WcrtResult result = compute_wcrt(ts, platform, config);
+
+        const std::string context = to_string(engine);
+        EXPECT_FALSE(result.schedulable) << context;
+        EXPECT_TRUE(result.inner_budget_exhausted) << context;
+        EXPECT_EQ(result.stop_reason, StopReason::kDeadlineMiss) << context;
+        EXPECT_EQ(result.failed_task, util::TaskId{2}) << context;
+        // The conservative fallback value, not a genuine fixed point.
+        EXPECT_EQ(result.response[2], Cycles{1'000'001}) << context;
+
+#if CPA_OBS_ENABLED
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::global().snapshot();
+        EXPECT_EQ(snap.counters.at("wcrt.budget_exhausted"), 1) << context;
+        obs::set_metrics_enabled(false);
+        obs::MetricsRegistry::global().reset();
+#endif
+    }
+}
+
+// A convergent set must never raise the budget flag (the counter stays
+// untouched, keeping it out of every metrics golden).
+TEST(WcrtStress, ConvergentSetDoesNotRaiseBudgetFlag)
+{
+    const tasks::TaskSet ts = make_task_set(
+        1, 16,
+        {
+            {0, 10, 2, 1, 100, 0, {1, 2}, {1}, {1}},
+            {0, 20, 3, 1, 200, 0, {2, 3}, {3}, {3}},
+        });
+    PlatformConfig platform;
+    platform.num_cores = 1;
+    platform.cache_sets = 16;
+    platform.d_mem = Cycles{2};
+
+    for (const WcrtEngine engine :
+         {WcrtEngine::kReference, WcrtEngine::kIncremental}) {
+        AnalysisConfig config;
+        config.wcrt_engine = engine;
+        const WcrtResult result = compute_wcrt(ts, platform, config);
+        EXPECT_TRUE(result.schedulable) << to_string(engine);
+        EXPECT_FALSE(result.inner_budget_exhausted) << to_string(engine);
+    }
+}
+
+} // namespace
+} // namespace cpa::analysis

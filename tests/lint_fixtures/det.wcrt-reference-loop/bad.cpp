@@ -1,0 +1,21 @@
+// Fixture: a hand-rolled copy of the Eq. (19) reference inner fixed point.
+// Re-implementing the loop outside the WcrtEngine seam escapes the
+// differential harness that proves the engines byte-identical.
+#include <cstdint>
+
+std::int64_t inner_fixed_point(std::int64_t pd, std::int64_t bus)
+{
+    std::int64_t r = pd;
+    for (;;) {
+        const std::int64_t next = pd + bus * r;
+        if (next == r) {
+            return r;
+        }
+        r = next;
+    }
+}
+
+std::int64_t response_time(std::int64_t pd, std::int64_t bus)
+{
+    return inner_fixed_point(pd, bus);
+}

@@ -1,0 +1,14 @@
+// Fixture: callers pick a solver through the WcrtEngine seam instead of
+// constructing the reference loop themselves; both engines stay covered by
+// the differential harness.
+#include "analysis/wcrt.hpp"
+
+cpa::analysis::WcrtResult
+solve(const cpa::tasks::TaskSet& ts,
+      const cpa::analysis::PlatformConfig& platform,
+      const cpa::analysis::InterferenceTables& tables)
+{
+    cpa::analysis::AnalysisConfig config;
+    config.wcrt_engine = cpa::analysis::WcrtEngine::kReference;
+    return cpa::analysis::compute_wcrt(ts, platform, config, tables);
+}
