@@ -1,0 +1,239 @@
+// Warm-vs-cold bench for the batch analysis service: runs the same
+// policy x CRPD x CPRO request matrix (each configuration issued twice, the
+// revisit pattern batch drivers produce) through
+//
+//   cold: the one-shot path the CLI used to pay per request — fresh
+//         InterferenceTables + compute_wcrt for every single request;
+//   warm: one analysis::Session per task set — tables cached per CRPD
+//         method, repeated configurations served from the result memo.
+//
+// Both modes fold every response into an FNV-1a checksum; the bench exits
+// nonzero if they diverge, so the warm path is pinned byte-identical to the
+// cold path at bench scale. The checksums, schedulable counts and the
+// session's table/memo counters are emitted as deterministic obs counters
+// for the bench_compare.py trajectory gate; wall clock is advisory there,
+// but the warm-vs-cold speedup itself is hard-gated here (>= 2x by
+// default; CPA_BENCH_MIN_SPEEDUP overrides, 0 disables — the margin is
+// structural: cold builds task_sets x requests tables, warm builds
+// task_sets x CRPD-methods).
+#include "analysis/request.hpp"
+#include "analysis/session.hpp"
+#include "benchdata/generator.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace cpa;
+
+struct ModeOutcome {
+    std::uint64_t checksum = 14695981039346656037ULL; // FNV-1a offset basis
+    std::int64_t schedulable = 0;
+    std::int64_t table_builds = 0;
+    std::int64_t memo_hits = 0;
+    double seconds = 0.0;
+
+    void fold(std::uint64_t value)
+    {
+        checksum ^= value;
+        checksum *= 1099511628211ULL; // FNV-1a prime
+    }
+
+    void fold_result(const analysis::SessionResult& result)
+    {
+        fold(result.schedulable ? 1 : 2);
+        fold(result.bus_ok ? 1 : 2);
+        for (const util::Cycles r : result.wcrt.response) {
+            fold(static_cast<std::uint64_t>(util::to_metric(r)));
+        }
+        schedulable += result.schedulable ? 1 : 0;
+    }
+};
+
+// The request matrix: every policy x CRPD x CPRO combination, issued twice.
+std::vector<analysis::AnalysisRequest> request_matrix()
+{
+    std::vector<analysis::AnalysisRequest> requests;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+        for (const analysis::BusPolicy policy :
+             {analysis::BusPolicy::kFixedPriority,
+              analysis::BusPolicy::kRoundRobin, analysis::BusPolicy::kTdma}) {
+            for (const analysis::CrpdMethod crpd :
+                 {analysis::CrpdMethod::kEcbUnion,
+                  analysis::CrpdMethod::kUcbOnly,
+                  analysis::CrpdMethod::kEcbOnly}) {
+                for (const analysis::CproMethod cpro :
+                     {analysis::CproMethod::kUnion,
+                      analysis::CproMethod::kJobBound}) {
+                    analysis::AnalysisRequest request;
+                    request.config.policy = policy;
+                    request.config.crpd = crpd;
+                    request.config.cpro = cpro;
+                    requests.push_back(request);
+                }
+            }
+        }
+    }
+    return requests;
+}
+
+tasks::TaskSet make_set(std::size_t index,
+                        const benchdata::GenerationConfig& gen,
+                        const std::vector<benchdata::BenchmarkParams>& pool)
+{
+    util::Rng rng(util::seed_for(3031, index));
+    return benchdata::generate_task_set(rng, gen, pool);
+}
+
+// What the CLI used to do per request: rebuild the interference tables and
+// run the fixed point from scratch.
+ModeOutcome run_cold(std::size_t task_sets,
+                     const std::vector<analysis::AnalysisRequest>& requests,
+                     const analysis::PlatformConfig& platform,
+                     const benchdata::GenerationConfig& gen,
+                     const std::vector<benchdata::BenchmarkParams>& pool)
+{
+    ModeOutcome outcome;
+    for (std::size_t n = 0; n < task_sets; ++n) {
+        const tasks::TaskSet ts = make_set(n, gen, pool);
+        const auto start = std::chrono::steady_clock::now();
+        for (const analysis::AnalysisRequest& request : requests) {
+            const analysis::InterferenceTables tables(ts,
+                                                      request.config.crpd);
+            outcome.table_builds += 1;
+            analysis::SessionResult result;
+            result.wcrt =
+                analysis::compute_wcrt(ts, platform, request.config, tables);
+            result.schedulable = result.wcrt.schedulable;
+            outcome.fold_result(result);
+        }
+        outcome.seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    }
+    return outcome;
+}
+
+ModeOutcome run_warm(std::size_t task_sets,
+                     const std::vector<analysis::AnalysisRequest>& requests,
+                     const analysis::PlatformConfig& platform,
+                     const benchdata::GenerationConfig& gen,
+                     const std::vector<benchdata::BenchmarkParams>& pool)
+{
+    ModeOutcome outcome;
+    for (std::size_t n = 0; n < task_sets; ++n) {
+        tasks::TaskSet ts = make_set(n, gen, pool);
+        const auto start = std::chrono::steady_clock::now();
+        analysis::Session session(std::move(ts), platform);
+        for (const analysis::AnalysisRequest& request : requests) {
+            outcome.fold_result(session.analyze(request));
+        }
+        outcome.seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        outcome.table_builds +=
+            static_cast<std::int64_t>(session.stats().table_misses);
+        outcome.memo_hits +=
+            static_cast<std::int64_t>(session.stats().result_hits);
+    }
+    return outcome;
+}
+
+// Deterministic counters for the trajectory gate, recorded via the registry
+// directly because the timed loops run with metrics disabled.
+void record(const std::string& mode, const ModeOutcome& outcome)
+{
+    auto& registry = obs::MetricsRegistry::global();
+    const std::string prefix = "batch_bench." + mode;
+    // Counters are int64; drop the checksum's top bit so the JSON value
+    // stays non-negative.
+    registry.counter(prefix + ".checksum")
+        .add(static_cast<std::int64_t>(outcome.checksum >> 1));
+    registry.counter(prefix + ".schedulable").add(outcome.schedulable);
+    registry.counter(prefix + ".table_builds").add(outcome.table_builds);
+    registry.counter(prefix + ".memo_hits").add(outcome.memo_hits);
+}
+
+double min_speedup_from_env()
+{
+    const char* raw = std::getenv("CPA_BENCH_MIN_SPEEDUP");
+    if (raw == nullptr) {
+        return 2.0;
+    }
+    return std::strtod(raw, nullptr);
+}
+
+} // namespace
+
+int main()
+{
+    // enable_metrics=false: the timed loops measure the uninstrumented hot
+    // path; the gate counters are recorded explicitly afterwards.
+    bench::BenchReport bench_report("batch", /*enable_metrics=*/false);
+
+    const std::size_t task_sets = experiments::task_sets_from_env(6);
+    const analysis::PlatformConfig platform = bench::default_platform();
+    benchdata::GenerationConfig gen = bench::default_generation();
+    gen.per_core_utilization = 0.4;
+    const auto pool = benchdata::derive_all(benchdata::full_benchmark_table(),
+                                            gen.cache_sets);
+    const std::vector<analysis::AnalysisRequest> requests = request_matrix();
+
+    bench_report.section("cold");
+    const ModeOutcome cold =
+        run_cold(task_sets, requests, platform, gen, pool);
+    bench_report.section("warm");
+    const ModeOutcome warm =
+        run_warm(task_sets, requests, platform, gen, pool);
+
+    bool failed = false;
+    if (cold.checksum != warm.checksum ||
+        cold.schedulable != warm.schedulable) {
+        std::cerr << "batch: WARM/COLD MISMATCH (checksum " << cold.checksum
+                  << " vs " << warm.checksum << ", schedulable "
+                  << cold.schedulable << " vs " << warm.schedulable << ")\n";
+        failed = true;
+    }
+    record("cold", cold);
+    record("warm", warm);
+
+    const double speedup =
+        warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+    const double min_speedup = min_speedup_from_env();
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::cerr << "batch: warm speedup " << speedup
+                  << "x below required " << min_speedup << "x\n";
+        failed = true;
+    }
+
+    util::TextTable table({"mode", "task sets", "requests", "table builds",
+                           "memo hits", "seconds", "speedup"});
+    const std::string request_count =
+        std::to_string(task_sets * requests.size());
+    table.add_row({"cold", std::to_string(task_sets), request_count,
+                   std::to_string(cold.table_builds),
+                   std::to_string(cold.memo_hits),
+                   util::TextTable::num(cold.seconds, 4), "1.00"});
+    table.add_row({"warm", std::to_string(task_sets), request_count,
+                   std::to_string(warm.table_builds),
+                   std::to_string(warm.memo_hits),
+                   util::TextTable::num(warm.seconds, 4),
+                   util::TextTable::num(speedup, 2)});
+
+    std::cout << "== Batch analysis service: cold per-request vs warm "
+                 "Session ==\n"
+              << "(identical checksums required; speedup = cold/warm wall "
+                 "time)\n";
+    table.print(std::cout);
+    bench::maybe_write_csv("batch-service", table);
+    return failed ? 1 : 0;
+}

@@ -1,0 +1,108 @@
+#include "analysis/request.hpp"
+
+namespace cpa::analysis {
+
+std::optional<BusPolicy> bus_policy_from_string(std::string_view name)
+{
+    if (name == "fp") {
+        return BusPolicy::kFixedPriority;
+    }
+    if (name == "rr") {
+        return BusPolicy::kRoundRobin;
+    }
+    if (name == "tdma") {
+        return BusPolicy::kTdma;
+    }
+    if (name == "perfect") {
+        return BusPolicy::kPerfect;
+    }
+    return std::nullopt;
+}
+
+std::optional<CrpdMethod> crpd_method_from_string(std::string_view name)
+{
+    if (name == "ecb-union") {
+        return CrpdMethod::kEcbUnion;
+    }
+    if (name == "ucb-only") {
+        return CrpdMethod::kUcbOnly;
+    }
+    if (name == "ecb-only") {
+        return CrpdMethod::kEcbOnly;
+    }
+    return std::nullopt;
+}
+
+std::optional<CproMethod> cpro_method_from_string(std::string_view name)
+{
+    if (name == "union") {
+        return CproMethod::kUnion;
+    }
+    if (name == "job-bound") {
+        return CproMethod::kJobBound;
+    }
+    return std::nullopt;
+}
+
+std::optional<WcrtEngine> wcrt_engine_from_string(std::string_view name)
+{
+    if (name == "reference") {
+        return WcrtEngine::kReference;
+    }
+    if (name == "incremental") {
+        return WcrtEngine::kIncremental;
+    }
+    return std::nullopt;
+}
+
+std::string_view spelling(BusPolicy policy)
+{
+    switch (policy) {
+    case BusPolicy::kFixedPriority:
+        return "fp";
+    case BusPolicy::kRoundRobin:
+        return "rr";
+    case BusPolicy::kTdma:
+        return "tdma";
+    case BusPolicy::kPerfect:
+        return "perfect";
+    }
+    return "unknown";
+}
+
+std::string_view spelling(CrpdMethod method)
+{
+    switch (method) {
+    case CrpdMethod::kEcbUnion:
+        return "ecb-union";
+    case CrpdMethod::kUcbOnly:
+        return "ucb-only";
+    case CrpdMethod::kEcbOnly:
+        return "ecb-only";
+    }
+    return "unknown";
+}
+
+std::string_view spelling(CproMethod method)
+{
+    switch (method) {
+    case CproMethod::kUnion:
+        return "union";
+    case CproMethod::kJobBound:
+        return "job-bound";
+    }
+    return "unknown";
+}
+
+std::string_view spelling(WcrtEngine engine)
+{
+    switch (engine) {
+    case WcrtEngine::kReference:
+        return "reference";
+    case WcrtEngine::kIncremental:
+        return "incremental";
+    }
+    return "unknown";
+}
+
+} // namespace cpa::analysis

@@ -1,0 +1,58 @@
+// AnalysisRequest: the single serializable request type of the analysis
+// service layer. One request = "analyze this task set under this
+// configuration"; every front end (cpa analyze flags, cpa batch NDJSON
+// lines, the experiments sweep, library callers) builds one of these and
+// hands it to analysis::Session, replacing the per-command hand-rolled
+// config assembly the CLI used to carry. The stable surface is documented
+// in docs/api.md.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "util/units.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cpa::analysis {
+
+struct AnalysisRequest {
+    // Free-form tag echoed back in results (the batch codec's "id" field);
+    // never interpreted.
+    std::string id;
+    // Task-set reference. The Session is bound to one task set and ignores
+    // this; the batch front end uses it to route requests to sessions ("" =
+    // the command-line default task set).
+    std::string taskset;
+    // The analysis configuration (policy, persistence, CRPD, CPRO, engine).
+    AnalysisConfig config;
+    // Platform overrides relative to the session's base platform; absent
+    // fields keep the base value. Only the bus-timing knobs are per-request
+    // — core count and cache geometry are properties of the task set.
+    std::optional<util::Cycles> d_mem;
+    std::optional<std::int64_t> slot_size;
+};
+
+// Name <-> enum mappings shared by the CLI flag parser, the batch codec and
+// the NDJSON emitters, so the accepted spellings cannot drift between
+// front ends. Parsers return nullopt on unknown names; callers own the
+// error message (they know which flag or field was being parsed).
+[[nodiscard]] std::optional<BusPolicy>
+bus_policy_from_string(std::string_view name);
+[[nodiscard]] std::optional<CrpdMethod>
+crpd_method_from_string(std::string_view name);
+[[nodiscard]] std::optional<CproMethod>
+cpro_method_from_string(std::string_view name);
+[[nodiscard]] std::optional<WcrtEngine>
+wcrt_engine_from_string(std::string_view name);
+
+// Lower-case canonical spellings accepted by the parsers above and used in
+// batch result records ("fp", "ecb-union", ...). The to_string overloads in
+// config.hpp are display names ("FP") and do not round-trip.
+[[nodiscard]] std::string_view spelling(BusPolicy policy);
+[[nodiscard]] std::string_view spelling(CrpdMethod method);
+[[nodiscard]] std::string_view spelling(CproMethod method);
+[[nodiscard]] std::string_view spelling(WcrtEngine engine);
+
+} // namespace cpa::analysis

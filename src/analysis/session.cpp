@@ -1,0 +1,131 @@
+#include "analysis/session.hpp"
+
+#include "check/tolerance.hpp"
+#include "obs/obs.hpp"
+
+#include <utility>
+
+namespace cpa::analysis {
+
+Session::Session(tasks::TaskSet ts, PlatformConfig base_platform)
+    : Session(std::move(ts), base_platform, Options())
+{
+}
+
+Session::Session(tasks::TaskSet ts, PlatformConfig base_platform,
+                 Options options)
+    : ts_(std::move(ts)), base_platform_(base_platform), options_(options)
+{
+}
+
+PlatformConfig Session::resolve_platform(const AnalysisRequest& request) const
+{
+    PlatformConfig platform = base_platform_;
+    if (request.d_mem.has_value()) {
+        platform.d_mem = *request.d_mem;
+    }
+    if (request.slot_size.has_value()) {
+        platform.slot_size = *request.slot_size;
+    }
+    return platform;
+}
+
+RequestKey Session::key_for(const AnalysisRequest& request) const
+{
+    const PlatformConfig platform = resolve_platform(request);
+    RequestKey key;
+    key.policy = request.config.policy;
+    key.persistence_aware = request.config.persistence_aware;
+    key.crpd = request.config.crpd;
+    key.cpro = request.config.cpro;
+    key.engine = request.config.wcrt_engine;
+    key.d_mem = platform.d_mem;
+    key.slot_size = platform.slot_size;
+    return key;
+}
+
+const InterferenceTables& Session::tables(CrpdMethod method)
+{
+    auto it = tables_.find(method);
+    if (it != tables_.end()) {
+        ++stats_.table_hits;
+        CPA_COUNT("session.tables.hit");
+        lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+        return it->second.tables;
+    }
+    ++stats_.table_misses;
+    CPA_COUNT("session.tables.miss");
+    if (options_.table_capacity > 0 &&
+        tables_.size() >= options_.table_capacity) {
+        ++stats_.table_evictions;
+        CPA_COUNT("session.tables.evict");
+        tables_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(method);
+    auto [pos, inserted] = tables_.emplace(
+        method, TableEntry{InterferenceTables(ts_, method), lru_.begin()});
+    (void)inserted;
+    return pos->second.tables;
+}
+
+SessionResult Session::evaluate(const AnalysisRequest& request,
+                                const InterferenceTables& request_tables) const
+{
+    SessionResult result;
+    result.platform = resolve_platform(request);
+    result.config = request.config;
+    if (ts_.empty()) {
+        result.schedulable = true;
+        result.wcrt.schedulable = true;
+        return result;
+    }
+    // Mirror is_schedulable()'s perfect-bus admission test exactly: a
+    // perfect bus with total utilization > 1 is rejected without running
+    // the fixed point, so Session-served verdicts stay byte-identical to
+    // the one-shot path.
+    if (request.config.policy == BusPolicy::kPerfect &&
+        check::utilization_exceeds(
+            ts_.bus_utilization(result.platform.d_mem), 1.0)) {
+        result.bus_ok = false;
+        result.schedulable = false;
+        return result;
+    }
+    result.wcrt =
+        compute_wcrt(ts_, result.platform, request.config, request_tables);
+    result.schedulable = result.wcrt.schedulable;
+    return result;
+}
+
+const SessionResult& Session::analyze(const AnalysisRequest& request)
+{
+    const RequestKey key = key_for(request);
+    if (const SessionResult* cached = find_result(key)) {
+        return *cached;
+    }
+    return store_result(key, evaluate(request, tables(request.config.crpd)));
+}
+
+const SessionResult* Session::find_result(const RequestKey& key)
+{
+    auto it = results_.find(key);
+    if (it != results_.end()) {
+        ++stats_.result_hits;
+        CPA_COUNT("session.results.hit");
+        return it->second.get();
+    }
+    ++stats_.result_misses;
+    CPA_COUNT("session.results.miss");
+    return nullptr;
+}
+
+const SessionResult& Session::store_result(const RequestKey& key,
+                                           SessionResult result)
+{
+    auto [it, inserted] = results_.emplace(
+        key, std::make_unique<SessionResult>(std::move(result)));
+    (void)inserted;
+    return *it->second;
+}
+
+} // namespace cpa::analysis

@@ -1,0 +1,470 @@
+#include "cli/batch.hpp"
+
+#include "analysis/request.hpp"
+#include "analysis/session.hpp"
+#include "cli/json_reader.hpp"
+#include "cli/taskset_io.hpp"
+#include "obs/obs.hpp"
+#include "obs/parallel.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+#include <istream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpa::cli {
+
+namespace {
+
+using analysis::AnalysisRequest;
+using analysis::RequestKey;
+using analysis::Session;
+using analysis::SessionResult;
+
+// The request schema version this codec speaks. Bump only with docs/batch.md.
+constexpr std::int64_t kSchemaVersion = 1;
+
+constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
+struct BatchError {
+    std::string kind; // "bad-request" | "bad-taskset" | "budget-exhausted"
+    std::string message;
+};
+
+// One input line after phase A: either an error, or a routed request with
+// its session and unique-solve slot.
+struct Row {
+    AnalysisRequest request;
+    std::string taskset_ref; // as written in the request / --taskset
+    std::optional<BatchError> error;
+    Session* session = nullptr;
+    RequestKey key;
+    std::size_t job = kNoJob;
+};
+
+// One unique (session, key) solve, fanned out in phase B.
+struct Job {
+    Session* session = nullptr;
+    const analysis::InterferenceTables* tables = nullptr;
+    AnalysisRequest request;
+    RequestKey key;
+    SessionResult result; // pre-sized slot, written by exactly one trial
+};
+
+[[nodiscard]] std::string resolve_taskset_path(const std::string& base_dir,
+                                               const std::string& ref)
+{
+    if (base_dir.empty() || ref.empty() || ref.front() == '/') {
+        return ref;
+    }
+    return base_dir + "/" + ref;
+}
+
+// Validates one parsed NDJSON line against schema v1 and fills
+// `row.request`. Throws std::runtime_error (caught into a bad-request
+// record) on any violation — unknown fields included, so typos fail loudly
+// instead of silently analyzing the default configuration.
+void decode_request(const JsonReader& json, Row& row)
+{
+    if (json.kind() != JsonReader::Kind::kObject) {
+        throw std::runtime_error("request must be a JSON object");
+    }
+    for (const std::string& key : json.keys()) {
+        if (key != "schema" && key != "id" && key != "taskset" &&
+            key != "policy" && key != "persistence" && key != "crpd" &&
+            key != "cpro" && key != "engine" && key != "d_mem_cycles" &&
+            key != "d_mem_us" && key != "slot_size") {
+            throw std::runtime_error("unknown field \"" + key + "\"");
+        }
+    }
+
+    const JsonReader* schema = json.find("schema");
+    if (schema == nullptr) {
+        throw std::runtime_error("missing required field \"schema\"");
+    }
+    if (schema->as_int() != std::optional<std::int64_t>(kSchemaVersion)) {
+        throw std::runtime_error("unsupported schema version (expected " +
+                                 std::to_string(kSchemaVersion) + ")");
+    }
+
+    const auto take_string = [&](const char* field) -> const std::string* {
+        const JsonReader* value = json.find(field);
+        if (value == nullptr) {
+            return nullptr;
+        }
+        const std::string* text = value->as_string();
+        if (text == nullptr) {
+            throw std::runtime_error(std::string("field \"") + field +
+                                     "\" must be a string");
+        }
+        return text;
+    };
+
+    if (const std::string* id = take_string("id")) {
+        row.request.id = *id;
+    }
+    if (const std::string* taskset = take_string("taskset")) {
+        row.request.taskset = *taskset;
+    }
+    if (const std::string* policy = take_string("policy")) {
+        const auto parsed = analysis::bus_policy_from_string(*policy);
+        if (!parsed) {
+            throw std::runtime_error("unknown policy \"" + *policy + "\"");
+        }
+        row.request.config.policy = *parsed;
+    }
+    if (const JsonReader* persistence = json.find("persistence")) {
+        const auto value = persistence->as_bool();
+        if (!value) {
+            throw std::runtime_error(
+                "field \"persistence\" must be a boolean");
+        }
+        row.request.config.persistence_aware = *value;
+    }
+    if (const std::string* crpd = take_string("crpd")) {
+        const auto parsed = analysis::crpd_method_from_string(*crpd);
+        if (!parsed) {
+            throw std::runtime_error("unknown crpd method \"" + *crpd +
+                                     "\"");
+        }
+        row.request.config.crpd = *parsed;
+    }
+    if (const std::string* cpro = take_string("cpro")) {
+        const auto parsed = analysis::cpro_method_from_string(*cpro);
+        if (!parsed) {
+            throw std::runtime_error("unknown cpro method \"" + *cpro +
+                                     "\"");
+        }
+        row.request.config.cpro = *parsed;
+    }
+    if (const std::string* engine = take_string("engine")) {
+        const auto parsed = analysis::wcrt_engine_from_string(*engine);
+        if (!parsed) {
+            throw std::runtime_error("unknown engine \"" + *engine + "\"");
+        }
+        row.request.config.wcrt_engine = *parsed;
+    }
+
+    const JsonReader* d_mem_cycles = json.find("d_mem_cycles");
+    const JsonReader* d_mem_us = json.find("d_mem_us");
+    if (d_mem_cycles != nullptr && d_mem_us != nullptr) {
+        throw std::runtime_error("give d_mem_cycles or d_mem_us, not both");
+    }
+    if (d_mem_cycles != nullptr) {
+        const auto value = d_mem_cycles->as_int();
+        if (!value || *value < 0) {
+            throw std::runtime_error(
+                "field \"d_mem_cycles\" must be a non-negative integer");
+        }
+        row.request.d_mem = util::Cycles{*value};
+    }
+    if (d_mem_us != nullptr) {
+        const auto value = d_mem_us->as_int();
+        if (!value || *value < 0) {
+            throw std::runtime_error(
+                "field \"d_mem_us\" must be a non-negative integer");
+        }
+        row.request.d_mem =
+            util::cycles_from_microseconds(util::Microseconds{*value});
+    }
+    if (const JsonReader* slot_size = json.find("slot_size")) {
+        const auto value = slot_size->as_int();
+        if (!value || *value <= 0) {
+            throw std::runtime_error(
+                "field \"slot_size\" must be a positive integer");
+        }
+        row.request.slot_size = *value;
+    }
+}
+
+// Loads task-set files once per batch run; parse failures are cached too so
+// a bad reference costs one parse attempt, not one per request.
+class SessionPool {
+public:
+    explicit SessionPool(std::string base_dir)
+        : base_dir_(std::move(base_dir))
+    {
+    }
+
+    // Returns the session for `ref` or throws std::runtime_error (caught
+    // into a bad-taskset record). `use_base_dir` = resolve a relative ref
+    // against the input file's directory (request-local references); the
+    // --taskset default was typed relative to the CWD and is used as-is.
+    [[nodiscard]] Session& session_for(const std::string& ref,
+                                       bool use_base_dir)
+    {
+        const std::string path =
+            use_base_dir ? resolve_taskset_path(base_dir_, ref) : ref;
+        if (const auto failed = failures_.find(path);
+            failed != failures_.end()) {
+            throw std::runtime_error(failed->second);
+        }
+        if (const auto hit = sessions_.find(path); hit != sessions_.end()) {
+            return *hit->second;
+        }
+        try {
+            ParsedSystem parsed = parse_task_set_file(path);
+            if (parsed.l2.has_value()) {
+                throw std::runtime_error(
+                    "task sets with a shared L2 are not supported by cpa "
+                    "batch (use cpa analyze)");
+            }
+            auto session = std::make_unique<Session>(std::move(parsed.ts),
+                                                     parsed.platform);
+            return *sessions_.emplace(path, std::move(session))
+                        .first->second;
+        } catch (const std::exception& error) {
+            failures_.emplace(path, error.what());
+            throw;
+        }
+    }
+
+private:
+    std::string base_dir_;
+    std::map<std::string, std::unique_ptr<Session>> sessions_;
+    std::map<std::string, std::string> failures_; // path -> parse error
+};
+
+[[nodiscard]] obs::JsonValue record_header(std::size_t index,
+                                           const Row& row)
+{
+    obs::JsonValue record = obs::JsonValue::object();
+    record.set("schema", obs::JsonValue(kSchemaVersion));
+    record.set("index", obs::JsonValue(index));
+    if (!row.request.id.empty()) {
+        record.set("id", obs::JsonValue(row.request.id));
+    }
+    return record;
+}
+
+[[nodiscard]] obs::JsonValue error_record(std::size_t index, const Row& row,
+                                          const BatchError& error)
+{
+    obs::JsonValue record = record_header(index, row);
+    record.set("status", obs::JsonValue("error"));
+    obs::JsonValue detail = obs::JsonValue::object();
+    detail.set("kind", obs::JsonValue(error.kind));
+    detail.set("message", obs::JsonValue(error.message));
+    record.set("error", std::move(detail));
+    return record;
+}
+
+[[nodiscard]] obs::JsonValue ok_record(std::size_t index, const Row& row,
+                                       const SessionResult& result)
+{
+    obs::JsonValue record = record_header(index, row);
+    record.set("status", obs::JsonValue("ok"));
+    record.set("taskset", obs::JsonValue(row.taskset_ref));
+    record.set("policy",
+               obs::JsonValue(analysis::spelling(result.config.policy)));
+    record.set("persistence",
+               obs::JsonValue(result.config.persistence_aware));
+    record.set("crpd", obs::JsonValue(analysis::spelling(result.config.crpd)));
+    record.set("cpro", obs::JsonValue(analysis::spelling(result.config.cpro)));
+    record.set("engine",
+               obs::JsonValue(analysis::spelling(result.config.wcrt_engine)));
+    record.set("d_mem_cycles",
+               obs::JsonValue(util::to_metric(result.platform.d_mem)));
+    record.set("slot_size", obs::JsonValue(result.platform.slot_size));
+    record.set("schedulable", obs::JsonValue(result.schedulable));
+    record.set("bus_ok", obs::JsonValue(result.bus_ok));
+    if (!result.bus_ok) {
+        // Rejected by the perfect-bus utilization test; no fixed point ran,
+        // so there are no per-task responses to report.
+        return record;
+    }
+    const analysis::WcrtResult& wcrt = result.wcrt;
+    record.set("stop_reason",
+               obs::JsonValue(analysis::to_string(wcrt.stop_reason)));
+    record.set("outer_iterations", obs::JsonValue(wcrt.outer_iterations));
+    record.set("inner_iterations", obs::JsonValue(wcrt.inner_iterations));
+    const tasks::TaskSet& ts = row.session->task_set();
+    if (!wcrt.schedulable && wcrt.failed_task != analysis::kNoFailedTask) {
+        record.set("failed_task",
+                   obs::JsonValue(
+                       ts[util::to_index(wcrt.failed_task)].name));
+    }
+    // Responses are reported for the analyzed prefix only: on a deadline
+    // miss the outer loop stops at the failing task and later entries hold
+    // no meaningful bound.
+    const std::size_t analyzable =
+        wcrt.schedulable
+            ? ts.size()
+            : (wcrt.failed_task == analysis::kNoFailedTask
+                   ? ts.size()
+                   : util::to_index(wcrt.failed_task) + 1);
+    obs::JsonValue& responses = record.set("responses",
+                                           obs::JsonValue::array());
+    for (std::size_t i = 0; i < analyzable && i < ts.size(); ++i) {
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry.set("task", obs::JsonValue(ts[i].name));
+        entry.set("core", obs::JsonValue(ts[i].core));
+        entry.set("response", obs::JsonValue(util::to_metric(
+                                  wcrt.response[i])));
+        entry.set("deadline",
+                  obs::JsonValue(util::to_metric(ts[i].deadline)));
+        entry.set("ok", obs::JsonValue(wcrt.response[i] <= ts[i].deadline));
+        responses.push(std::move(entry));
+    }
+    return record;
+}
+
+// An exhausted iteration budget means the solver capitulated, not that the
+// verdict is proven — surfaced as an error record so batch drivers can
+// tell "analyzed as unschedulable" from "gave up".
+[[nodiscard]] std::optional<BatchError>
+budget_error(const SessionResult& result)
+{
+    if (!result.bus_ok) {
+        return std::nullopt;
+    }
+    if (result.wcrt.inner_budget_exhausted) {
+        return BatchError{
+            "budget-exhausted",
+            "inner fixed-point iteration budget exhausted; the "
+            "unschedulable verdict is conservative, not proven"};
+    }
+    if (result.wcrt.stop_reason == analysis::StopReason::kNoOuterConvergence) {
+        return BatchError{
+            "budget-exhausted",
+            "outer iteration budget exhausted before a fixed point"};
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+ExitCode run_batch(const BatchOptions& options, std::istream& in,
+                   std::ostream& out)
+{
+    // ---- Phase A (serial, input order): parse, route, dedup. -------------
+    // All session-cache traffic happens here, on one thread, in request
+    // order — the hit/miss/evict counters cannot depend on --jobs.
+    SessionPool sessions(options.base_dir);
+    std::vector<Row> rows;
+    std::vector<Job> jobs;
+    // (session, request key) -> unique solve, first occurrence wins. The
+    // pointer key is only ever looked up, never iterated, so its address-
+    // dependent ordering cannot leak into output or counters.
+    std::map<std::pair<const Session*, RequestKey>, std::size_t> job_index;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        if (line.find_first_not_of(" \t") == std::string::npos) {
+            continue; // blank lines separate nothing in NDJSON
+        }
+        Row row;
+        CPA_COUNT("batch.requests");
+        try {
+            decode_request(JsonReader::parse(line), row);
+            row.taskset_ref = row.request.taskset.empty()
+                                  ? options.default_taskset
+                                  : row.request.taskset;
+            if (row.taskset_ref.empty()) {
+                throw std::runtime_error(
+                    "no task set: request has no \"taskset\" field and no "
+                    "--taskset default was given");
+            }
+        } catch (const std::exception& error) {
+            row.error = BatchError{"bad-request", error.what()};
+            rows.push_back(std::move(row));
+            continue;
+        }
+        try {
+            row.session = &sessions.session_for(
+                row.taskset_ref, !row.request.taskset.empty());
+        } catch (const std::exception& error) {
+            row.error = BatchError{"bad-taskset", error.what()};
+            rows.push_back(std::move(row));
+            continue;
+        }
+        row.key = row.session->key_for(row.request);
+        const auto [slot, inserted] = job_index.emplace(
+            std::pair(static_cast<const Session*>(row.session), row.key),
+            jobs.size());
+        if (inserted) {
+            Job job;
+            job.session = row.session;
+            // Table build/reuse is charged to the unique solve, serially.
+            job.tables = &row.session->tables(row.request.config.crpd);
+            job.request = row.request;
+            job.key = row.key;
+            jobs.push_back(std::move(job));
+        }
+        row.job = slot->second;
+        rows.push_back(std::move(row));
+    }
+    if (in.bad()) {
+        throw std::runtime_error("error reading batch input");
+    }
+
+    // ---- Phase B (parallel): the unique solves. --------------------------
+    // Sessions are only read here (evaluate is const and bypasses every
+    // cache); each job writes its pre-sized slot, and run_indexed_trials
+    // flushes per-trial metrics in index order.
+    CPA_COUNT_ADD("batch.unique_solves",
+                  static_cast<std::int64_t>(jobs.size()));
+    util::ThreadPool pool(util::resolve_jobs(options.jobs));
+    obs::run_indexed_trials(pool, jobs.size(), [&jobs](std::size_t i) {
+        Job& job = jobs[i];
+        job.result = job.session->evaluate(job.request, *job.tables);
+    });
+
+    // ---- Phase C (serial, request order): memoize + emit. ----------------
+    bool any_error = false;
+    bool any_unschedulable = false;
+    for (std::size_t index = 0; index < rows.size(); ++index) {
+        Row& row = rows[index];
+        obs::JsonValue record = obs::JsonValue::object();
+        if (row.error.has_value()) {
+            record = error_record(index, row, *row.error);
+            any_error = true;
+            CPA_COUNT("batch.results.error");
+        } else {
+            // First occurrence of a key stores the solved result; repeats
+            // are session warm hits (session.results.hit).
+            const SessionResult* result = row.session->find_result(row.key);
+            if (result == nullptr) {
+                result = &row.session->store_result(
+                    row.key, std::move(jobs[row.job].result));
+            }
+            if (const auto exhausted = budget_error(*result)) {
+                record = error_record(index, row, *exhausted);
+                any_error = true;
+                CPA_COUNT("batch.results.error");
+            } else {
+                record = ok_record(index, row, *result);
+                any_unschedulable =
+                    any_unschedulable || !result->schedulable;
+                CPA_COUNT("batch.results.ok");
+            }
+        }
+        record.write(out);
+        out << '\n';
+        if (CPA_TRACE_ENABLED("batch")) {
+            obs::Tracer::global().emit(
+                obs::TraceEvent("batch", obs::Severity::kInfo,
+                                "request_done")
+                    .field("index", static_cast<std::int64_t>(index))
+                    .field("status",
+                           row.error.has_value() ? "error" : "ok"));
+        }
+    }
+
+    if (any_error) {
+        return ExitCode::kViolation;
+    }
+    return any_unschedulable ? ExitCode::kUnschedulable : ExitCode::kOk;
+}
+
+} // namespace cpa::cli

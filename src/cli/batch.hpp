@@ -1,0 +1,42 @@
+// `cpa batch` — the NDJSON request service over analysis::Session.
+//
+// One request per input line (schema v1, docs/batch.md), one result record
+// per request on stdout, in request order. The runner is deterministic by
+// construction: requests are parsed, routed to per-task-set Sessions and
+// deduplicated serially in input order (so every session cache counter is
+// worker-count-invariant), the unique solves fan out over util::ThreadPool
+// with pre-sized result slots, and records are emitted serially in request
+// order again — `--jobs 8` output is byte-identical to `--jobs 1`.
+//
+// Per-request isolation: a malformed line, an unloadable task set, or an
+// iteration-budget exhaustion yields a structured error record
+// ({"status":"error","error":{"kind":...,"message":...}}) and the batch
+// keeps going; an unschedulable set is a normal "ok" record with
+// "schedulable":false. Exit code: 3 if any error record was emitted, else
+// 2 if any request was unschedulable, else 0.
+#pragma once
+
+#include "cli/commands.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace cpa::cli {
+
+struct BatchOptions {
+    // Directory request-local "taskset" references resolve against ("" =
+    // process CWD; cmd_batch sets it to the --input file's directory).
+    std::string base_dir;
+    // Task-set file for requests without a "taskset" field (--taskset).
+    std::string default_taskset;
+    std::size_t jobs = 0; // 0 = resolve via CPA_JOBS / hardware concurrency
+};
+
+// Reads NDJSON requests from `in` and writes one NDJSON record per request
+// to `out`. Throws only on broken streams — request-level problems become
+// error records.
+[[nodiscard]] ExitCode run_batch(const BatchOptions& options,
+                                 std::istream& in, std::ostream& out);
+
+} // namespace cpa::cli

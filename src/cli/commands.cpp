@@ -2,12 +2,15 @@
 
 #include "analysis/multilevel.hpp"
 #include "analysis/report.hpp"
+#include "analysis/request.hpp"
 #include "analysis/schedulability.hpp"
 #include "benchdata/generator.hpp"
 #include "check/assert.hpp"
 #include "check/random_check.hpp"
 #include "check/tolerance.hpp"
 #include "experiments/sweep.hpp"
+#include "cli/batch.hpp"
+#include "cli/options.hpp"
 #include "cli/taskset_io.hpp"
 #include "verify/box.hpp"
 #include "verify/properties.hpp"
@@ -21,13 +24,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <fstream>
-#include <functional>
-#include <map>
+#include <iostream>
 #include <memory>
 #include <ostream>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,294 +36,21 @@ namespace cpa::cli {
 namespace {
 
 using analysis::AnalysisConfig;
+using analysis::AnalysisRequest;
 using analysis::BusPolicy;
 
-constexpr const char* kUsage =
-    R"(cpa - cache persistence-aware memory bus contention analysis
-
-usage:
-  cpa analyze  <file> [--policy fp|rr|tdma|perfect|all] [--no-persistence]
-                      [--crpd ecb-union|ucb-only|ecb-only]
-                      [--cpro union|job-bound] [--report] [--csv]
-                      [--sim-check] [--engine reference|incremental]
-  cpa simulate <file> [--policy fp|rr|tdma|perfect]
-                      [--horizon-periods N | --hyperperiod]
-  cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
-               [--utilization U] [--seed S]
-  cpa sweep    [--cores N] [--tasks-per-core N] [--cache-sets N]
-               [--task-sets N] [--seed S] [--jobs N] [--csv]
-               [--engine reference|incremental]
-  cpa check    [--seed S] [--trials N] [--cores N] [--tasks-per-core N]
-               [--cache-sets N] [--min-utilization U] [--max-utilization U]
-               [--jobs N] [--skip-sim] [--fail-on-violation] [--list]
-               [--engine reference|incremental]
-  cpa verify   [--profile fast|full] [--box FILE] [--jobs N]
-               [--max-depth N] [--max-nodes N]
-               [--fail-on refuted|undecided] [--list]
-               [--engine reference|incremental]
-  cpa version  [--json]
-  cpa help
-
-`--engine` selects the Eq. (19) WCRT solver: 'incremental' (default, the
-breakpoint-driven hot path) or 'reference' (the paper-shaped loop kept as
-the differential-testing oracle). Both produce byte-identical results and
-deterministic metrics (see docs/performance.md).
-
-`--jobs N` sets the trial-loop worker count (default: the CPA_JOBS
-environment variable, then hardware concurrency). Every job count produces
-byte-identical output — trials are seeded from their index, not from a
-shared stream.
-
-`cpa check` draws seeded random task sets and verifies the analytical
-invariant catalog (Lemma 1/2 dominance, Eq. 10/19 consistency, simulator
-soundness; see docs/static-analysis.md). It exits 0 even on violations
-unless --fail-on-violation is given (then exit 3); --list prints the
-catalog.
-
-`cpa verify` statically proves the same catalog over a whole parameter box
-with an interval-domain abstract interpreter plus branch-and-bound
-bisection: every invariant ends PROVED, REFUTED (with a witness point that
-replays through the checker), or UNDECIDED — listed by name, never
-dropped. --box FILE overrides the profile box ('name lo hi' lines, see
-docs/static-analysis.md); --fail-on turns refutations (or open
-obligations) into exit 3; --list prints the per-invariant proof rules.
-
-observability (analyze, simulate, sweep, check, verify; see
-docs/observability.md):
-  --metrics-out FILE   write a JSON run report (iteration counts, per-
-                       arbiter BAT stats, timers, latency histograms);
-                       FILE '-' = stdout
-  --trace SUBSYS[,..]  stream NDJSON trace events to stderr; subsystems:
-                       wcrt, bus, sweep, sim, or 'all'
-  --profile-out FILE   record hierarchical phase spans (WCRT fixed points,
-                       table builds, trials, simulator) and write a Chrome
-                       Trace Event JSON file — open in Perfetto
-                       (https://ui.perfetto.dev) or chrome://tracing
-  --progress           (sweep, check) print trial-count + ETA lines to
-                       stderr; stdout stays byte-identical
-
-Flags accept both '--key value' and '--key=value'. The task-set file format
-is documented in docs/file-format.md.
-)";
-
-// Simple flag cursor: --key value pairs after the positional arguments.
-// `--key=value` spellings are normalized to the two-token form up front.
-class Flags {
-public:
-    Flags(std::vector<std::string> args)
-    {
-        for (std::string& arg : args) {
-            const std::size_t eq = arg.find('=');
-            if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-                args_.push_back(arg.substr(0, eq));
-                args_.push_back(arg.substr(eq + 1));
-            } else {
-                args_.push_back(std::move(arg));
-            }
-        }
-    }
-
-    [[nodiscard]] std::string take(const std::string& key,
-                                   const std::string& fallback)
-    {
-        for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-            if (args_[i] == key) {
-                const std::string value = args_[i + 1];
-                args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
-                            args_.begin() + static_cast<std::ptrdiff_t>(i) +
-                                2);
-                return value;
-            }
-        }
-        return fallback;
-    }
-
-    [[nodiscard]] bool take_switch(const std::string& key)
-    {
-        const auto it = std::find(args_.begin(), args_.end(), key);
-        if (it == args_.end()) {
-            return false;
-        }
-        args_.erase(it);
-        return true;
-    }
-
-    void expect_empty() const
-    {
-        if (!args_.empty()) {
-            throw std::runtime_error("unknown argument '" + args_.front() +
-                                     "'");
-        }
-    }
-
-private:
-    std::vector<std::string> args_;
-};
-
-// Scoped activation of the observability layer for one CLI command: installs
-// a trace sink on `err` when --trace was given, and enables + resets the
-// metrics registry when --metrics-out was given. The destructor restores the
-// inactive defaults so in-process callers (tests) don't leak state between
-// invocations.
-class ObsSession {
-public:
-    ObsSession(const std::string& metrics_out, const std::string& trace_spec,
-               const std::string& profile_out, std::ostream& err)
-        : metrics_requested_(!metrics_out.empty())
-    {
-        if (!profile_out.empty()) {
-            // Open up front so a bad path fails before hours of sweep work;
-            // the trace itself is written in the destructor, once the
-            // command (and its thread pools) are done and the rings are
-            // quiescent.
-            profile_file_.open(profile_out);
-            if (!profile_file_) {
-                throw std::runtime_error("cannot write profile file '" +
-                                         profile_out + "'");
-            }
-            obs::Profiler::global().reset();
-            obs::Profiler::global().start();
-            profiling_ = true;
-        }
-        if (!trace_spec.empty()) {
-            std::set<std::string> subsystems;
-            std::string current;
-            for (const char ch : trace_spec + ",") {
-                if (ch == ',') {
-                    if (!current.empty()) {
-                        subsystems.insert(current);
-                        current.clear();
-                    }
-                } else {
-                    current += ch;
-                }
-            }
-            obs::Tracer::global().set_sink(
-                std::make_shared<obs::StreamTraceSink>(err),
-                std::move(subsystems));
-            trace_installed_ = true;
-        }
-        if (metrics_requested_) {
-            obs::MetricsRegistry::global().reset();
-            obs::set_metrics_enabled(true);
-        }
-    }
-
-    ~ObsSession()
-    {
-        if (profiling_) {
-            obs::Profiler::global().stop();
-            obs::Profiler::global().write_chrome_trace(profile_file_);
-        }
-        if (metrics_requested_) {
-            obs::set_metrics_enabled(false);
-        }
-        if (trace_installed_) {
-            obs::Tracer::global().set_sink(nullptr);
-        }
-    }
-    ObsSession(const ObsSession&) = delete;
-    ObsSession& operator=(const ObsSession&) = delete;
-
-    [[nodiscard]] bool metrics_requested() const { return metrics_requested_; }
-
-private:
-    bool metrics_requested_ = false;
-    bool trace_installed_ = false;
-    bool profiling_ = false;
-    std::ofstream profile_file_;
-};
-
-// Progress reporter for the long-running commands: plain lines on stderr
-// (never stdout — golden transcripts and determinism diffs compare stdout),
-// with an ETA extrapolated from the mean time per completed unit.
-[[nodiscard]] std::function<void(std::size_t, std::size_t)>
-make_progress_printer(std::ostream& err, const char* unit)
+ExitCode cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
+                     std::ostream& err)
 {
-    const auto started = std::chrono::steady_clock::now();
-    return [&err, unit, started](std::size_t done, std::size_t total) {
-        const auto elapsed_ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - started)
-                .count();
-        const double fraction =
-            total == 0 ? 1.0
-                       : static_cast<double>(done) /
-                             static_cast<double>(total);
-        const double eta_s =
-            fraction > 0.0 ? static_cast<double>(elapsed_ms) / 1000.0 *
-                                 (1.0 - fraction) / fraction
-                           : 0.0;
-        err << "progress: " << done << '/' << total << ' ' << unit << " ("
-            << static_cast<int>(fraction * 100.0) << "%), eta "
-            << util::TextTable::num(eta_s, 1) << "s\n";
-    };
-}
-
-// Writes the run report to `path` ('-' = the command's output stream). The
-// metrics snapshot is taken here, after the command's work is done.
-void write_run_report(obs::RunReport& report, const std::string& path,
-                      std::ostream& out)
-{
-    report.set_metrics(obs::MetricsRegistry::global().snapshot());
-    if (path == "-") {
-        report.write_json(out);
-        return;
-    }
-    std::ofstream file(path);
-    if (!file) {
-        throw std::runtime_error("cannot write metrics file '" + path + "'");
-    }
-    report.write_json(file);
-}
-
-BusPolicy parse_policy(const std::string& name)
-{
-    if (name == "fp") {
-        return BusPolicy::kFixedPriority;
-    }
-    if (name == "rr") {
-        return BusPolicy::kRoundRobin;
-    }
-    if (name == "tdma") {
-        return BusPolicy::kTdma;
-    }
-    if (name == "perfect") {
-        return BusPolicy::kPerfect;
-    }
-    throw std::runtime_error("unknown policy '" + name +
-                             "' (fp, rr, tdma, perfect)");
-}
-
-analysis::WcrtEngine parse_engine(const std::string& name)
-{
-    if (name == "incremental") {
-        return analysis::WcrtEngine::kIncremental;
-    }
-    if (name == "reference") {
-        return analysis::WcrtEngine::kReference;
-    }
-    throw std::runtime_error("unknown engine '" + name +
-                             "' (reference, incremental)");
-}
-
-int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
-                std::ostream& err)
-{
-    const std::string policy_name = flags.take("--policy", "all");
-    const bool persistence = !flags.take_switch("--no-persistence");
-    const std::string crpd_name = flags.take("--crpd", "ecb-union");
-    const std::string cpro_name = flags.take("--cpro", "union");
-    const bool report = flags.take_switch("--report");
-    const bool csv = flags.take_switch("--csv");
-    const bool sim_check = flags.take_switch("--sim-check");
-    const analysis::WcrtEngine engine =
-        parse_engine(flags.take("--engine", "incremental"));
-    const std::string metrics_out = flags.take("--metrics-out", "");
-    const std::string trace_spec = flags.take("--trace", "");
-    const std::string profile_out = flags.take("--profile-out", "");
+    std::string policy_name;
+    const AnalysisRequest request =
+        take_analysis_request(flags, opt::kPolicyAll, &policy_name);
+    const bool report = flags.take_switch(opt::kReport);
+    const bool csv = flags.take_switch(opt::kCsv);
+    const bool sim_check = flags.take_switch(opt::kSimCheck);
+    const ObsOptions obs_options = ObsOptions::take(flags);
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
+    ObsScope obs_scope(obs_options, err);
 
     const ParsedSystem parsed = parse_task_set_file(path);
     if (report && parsed.l2.has_value()) {
@@ -332,32 +59,15 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
             "multilevel analysis)");
     }
 
-    AnalysisConfig config;
-    config.persistence_aware = persistence;
-    config.wcrt_engine = engine;
-    if (crpd_name == "ecb-union") {
-        config.crpd = analysis::CrpdMethod::kEcbUnion;
-    } else if (crpd_name == "ucb-only") {
-        config.crpd = analysis::CrpdMethod::kUcbOnly;
-    } else if (crpd_name == "ecb-only") {
-        config.crpd = analysis::CrpdMethod::kEcbOnly;
-    } else {
-        throw std::runtime_error("unknown CRPD method '" + crpd_name + "'");
-    }
-    if (cpro_name == "union") {
-        config.cpro = analysis::CproMethod::kUnion;
-    } else if (cpro_name == "job-bound") {
-        config.cpro = analysis::CproMethod::kJobBound;
-    } else {
-        throw std::runtime_error("unknown CPRO method '" + cpro_name + "'");
-    }
+    AnalysisConfig config = request.config;
+    const bool persistence = config.persistence_aware;
 
     std::vector<BusPolicy> policies;
     if (policy_name == "all") {
         policies = {BusPolicy::kFixedPriority, BusPolicy::kRoundRobin,
                     BusPolicy::kTdma, BusPolicy::kPerfect};
     } else {
-        policies = {parse_policy(policy_name)};
+        policies = {config.policy};
     }
 
     const analysis::InterferenceTables tables(parsed.ts, config.crpd);
@@ -492,13 +202,13 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
         out << '\n';
     }
 
-    if (obs_session.metrics_requested()) {
+    if (obs_scope.metrics_requested()) {
         obs::RunReport run_report("cpa analyze");
         run_report.set("file", obs::JsonValue(path));
         obs::JsonValue& cfg = run_report.section("config");
         cfg.set("persistence_aware", obs::JsonValue(persistence));
-        cfg.set("crpd", obs::JsonValue(crpd_name));
-        cfg.set("cpro", obs::JsonValue(cpro_name));
+        cfg.set("crpd", obs::JsonValue(analysis::spelling(config.crpd)));
+        cfg.set("cpro", obs::JsonValue(analysis::spelling(config.cpro)));
         cfg.set("tasks", obs::JsonValue(parsed.ts.size()));
         cfg.set("cores", obs::JsonValue(parsed.ts.num_cores()));
         obs::JsonValue& verdicts = run_report.list("policies");
@@ -509,23 +219,21 @@ int cmd_analyze(Flags flags, const std::string& path, std::ostream& out,
             verdicts.push(std::move(entry));
         }
         run_report.set("all_schedulable", obs::JsonValue(all_schedulable));
-        write_run_report(run_report, metrics_out, out);
+        write_run_report(run_report, obs_options.metrics_out, out);
     }
-    return all_schedulable ? 0 : 2;
+    return all_schedulable ? ExitCode::kOk : ExitCode::kUnschedulable;
 }
 
-int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
-                 std::ostream& err)
+ExitCode cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
+                      std::ostream& err)
 {
-    const BusPolicy policy = parse_policy(flags.take("--policy", "fp"));
+    const BusPolicy policy = parse_policy(flags.take(opt::kPolicy));
     const std::int64_t horizon_periods =
-        std::stoll(flags.take("--horizon-periods", "4"));
-    const bool hyperperiod = flags.take_switch("--hyperperiod");
-    const std::string metrics_out = flags.take("--metrics-out", "");
-    const std::string trace_spec = flags.take("--trace", "");
-    const std::string profile_out = flags.take("--profile-out", "");
+        std::stoll(flags.take(opt::kHorizonPeriods));
+    const bool hyperperiod = flags.take_switch(opt::kHyperperiod);
+    const ObsOptions obs_options = ObsOptions::take(flags);
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
+    ObsScope obs_scope(obs_options, err);
     if (horizon_periods <= 0) {
         throw std::runtime_error("--horizon-periods must be positive");
     }
@@ -567,7 +275,7 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
     }
     table.print(out);
 
-    if (obs_session.metrics_requested()) {
+    if (obs_scope.metrics_requested()) {
         obs::RunReport run_report("cpa simulate");
         run_report.set("file", obs::JsonValue(path));
         obs::JsonValue& cfg = run_report.section("config");
@@ -576,12 +284,12 @@ int cmd_simulate(Flags flags, const std::string& path, std::ostream& out,
                 obs::JsonValue(util::to_metric(sim_config.horizon)));
         run_report.set("deadline_missed",
                        obs::JsonValue(result.deadline_missed));
-        write_run_report(run_report, metrics_out, out);
+        write_run_report(run_report, obs_options.metrics_out, out);
     }
-    return result.deadline_missed ? 2 : 0;
+    return result.deadline_missed ? ExitCode::kUnschedulable : ExitCode::kOk;
 }
 
-int cmd_generate(Flags flags, std::ostream& out)
+ExitCode cmd_generate(Flags flags, std::ostream& out)
 {
     benchdata::GenerationConfig generation;
     generation.num_cores = static_cast<std::size_t>(
@@ -591,9 +299,9 @@ int cmd_generate(Flags flags, std::ostream& out)
     generation.cache_sets = static_cast<std::size_t>(
         std::stoll(flags.take("--cache-sets", "256")));
     generation.per_core_utilization =
-        std::stod(flags.take("--utilization", "0.3"));
+        std::stod(flags.take(opt::kUtilization));
     const auto seed = static_cast<std::uint64_t>(
-        std::stoll(flags.take("--seed", "1")));
+        std::stoll(flags.take(opt::kSeedGenerate)));
     flags.expect_empty();
 
     const auto pool = benchdata::derive_all(
@@ -611,10 +319,10 @@ int cmd_generate(Flags flags, std::ostream& out)
         << " tasks/core, U/core=" << generation.per_core_utilization
         << ", seed=" << seed << '\n';
     write_task_set(out, platform, ts);
-    return 0;
+    return ExitCode::kOk;
 }
 
-int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
+ExitCode cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
 {
     benchdata::GenerationConfig generation;
     generation.num_cores = static_cast<std::size_t>(
@@ -625,21 +333,20 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
         std::stoll(flags.take("--cache-sets", "256")));
     experiments::SweepConfig sweep_config;
     sweep_config.task_sets_per_point = static_cast<std::size_t>(
-        std::stoll(flags.take("--task-sets", "100")));
+        std::stoll(flags.take(opt::kTaskSets)));
     sweep_config.seed = static_cast<std::uint64_t>(
-        std::stoll(flags.take("--seed", "20200309")));
-    sweep_config.jobs =
-        static_cast<std::size_t>(std::stoll(flags.take("--jobs", "0")));
-    sweep_config.engine = parse_engine(flags.take("--engine", "incremental"));
-    const bool csv = flags.take_switch("--csv");
-    const std::string metrics_out = flags.take("--metrics-out", "");
-    const std::string trace_spec = flags.take("--trace", "");
-    const std::string profile_out = flags.take("--profile-out", "");
-    if (flags.take_switch("--progress")) {
+        std::stoll(flags.take(opt::kSeedSweep)));
+    const EngineOptions engine_options = EngineOptions::take(flags);
+    sweep_config.jobs = engine_options.jobs;
+    sweep_config.engine = engine_options.engine;
+    const bool csv = flags.take_switch(opt::kCsv);
+    const ObsOptions obs_options =
+        ObsOptions::take(flags, /*with_progress=*/true);
+    if (obs_options.progress) {
         sweep_config.progress = make_progress_printer(err, "points");
     }
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
+    ObsScope obs_scope(obs_options, err);
 
     analysis::PlatformConfig platform;
     platform.num_cores = generation.num_cores;
@@ -675,7 +382,7 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
         table.print(out);
     }
 
-    if (obs_session.metrics_requested()) {
+    if (obs_scope.metrics_requested()) {
         obs::RunReport run_report("cpa sweep");
         obs::JsonValue& cfg = run_report.section("config");
         cfg.set("cores", obs::JsonValue(generation.num_cores));
@@ -685,14 +392,54 @@ int cmd_sweep(Flags flags, std::ostream& out, std::ostream& err)
                 obs::JsonValue(sweep_config.task_sets_per_point));
         cfg.set("seed",
                 obs::JsonValue(static_cast<std::int64_t>(sweep_config.seed)));
-        write_run_report(run_report, metrics_out, out);
+        write_run_report(run_report, obs_options.metrics_out, out);
     }
-    return 0;
+    return ExitCode::kOk;
 }
 
-int cmd_version(Flags flags, std::ostream& out)
+ExitCode cmd_batch(Flags flags, std::ostream& out, std::ostream& err)
 {
-    const bool json = flags.take_switch("--json");
+    BatchOptions batch_options;
+    const std::string input = flags.take(opt::kInput);
+    batch_options.default_taskset = flags.take(opt::kTaskset);
+    batch_options.jobs = static_cast<std::size_t>(
+        std::stoll(flags.take(opt::kJobs)));
+    const ObsOptions obs_options = ObsOptions::take(flags);
+    flags.expect_empty();
+    ObsScope obs_scope(obs_options, err);
+
+    std::ifstream file;
+    if (input != "-") {
+        file.open(input);
+        if (!file) {
+            throw std::runtime_error("cannot open batch input '" + input +
+                                     "'");
+        }
+        // Request-local "taskset" references resolve against the request
+        // file's directory, so committed request files stay relocatable.
+        const std::size_t slash = input.rfind('/');
+        batch_options.base_dir =
+            slash == std::string::npos ? "" : input.substr(0, slash);
+    }
+    std::istream& in = input == "-" ? std::cin : file;
+
+    const ExitCode code = run_batch(batch_options, in, out);
+
+    if (obs_scope.metrics_requested()) {
+        obs::RunReport run_report("cpa batch");
+        obs::JsonValue& cfg = run_report.section("config");
+        cfg.set("input", obs::JsonValue(input));
+        cfg.set("jobs", obs::JsonValue(util::resolve_jobs(
+                            batch_options.jobs)));
+        run_report.set("exit_code", obs::JsonValue(to_exit_status(code)));
+        write_run_report(run_report, obs_options.metrics_out, out);
+    }
+    return code;
+}
+
+ExitCode cmd_version(Flags flags, std::ostream& out)
+{
+    const bool json = flags.take_switch(opt::kJson);
     flags.expect_empty();
     const obs::BuildInfo& info = obs::build_info();
     if (json) {
@@ -700,7 +447,7 @@ int cmd_version(Flags flags, std::ostream& out)
         // key bench history off `cpa version --json` output directly.
         obs::provenance_json().write(out);
         out << '\n';
-        return 0;
+        return ExitCode::kOk;
     }
     out << "cpa " << info.version << " (" << info.git_sha << ", "
         << info.git_dirty << ")\n"
@@ -709,7 +456,7 @@ int cmd_version(Flags flags, std::ostream& out)
         << "features: obs=" << (info.obs ? "on" : "off")
         << " check=" << (info.check ? "on" : "off") << " sanitize="
         << (info.sanitize[0] == '\0' ? "off" : info.sanitize) << '\n';
-    return 0;
+    return ExitCode::kOk;
 }
 
 // Scoped activation of the analysis-core runtime assertions: `cpa check`
@@ -729,9 +476,9 @@ private:
     bool previous_;
 };
 
-int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
+ExitCode cmd_check(Flags flags, std::ostream& out, std::ostream& err)
 {
-    if (flags.take_switch("--list")) {
+    if (flags.take_switch(opt::kList)) {
         flags.expect_empty();
         util::TextTable table({"invariant", "checks"});
         for (const check::InvariantInfo& info : check::invariant_catalog()) {
@@ -739,39 +486,38 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
                            std::string(info.summary)});
         }
         table.print(out);
-        return 0;
+        return ExitCode::kOk;
     }
 
     check::RandomCheckConfig config;
     config.seed = static_cast<std::uint64_t>(
-        std::stoll(flags.take("--seed", "1")));
+        std::stoll(flags.take(opt::kSeedCheck)));
     config.trials = static_cast<std::size_t>(
-        std::stoll(flags.take("--trials", "50")));
+        std::stoll(flags.take(opt::kTrials)));
     config.num_cores = static_cast<std::size_t>(
         std::stoll(flags.take("--cores", "4")));
     config.tasks_per_core = static_cast<std::size_t>(
         std::stoll(flags.take("--tasks-per-core", "4")));
     config.cache_sets = static_cast<std::size_t>(
         std::stoll(flags.take("--cache-sets", "64")));
-    config.min_utilization = std::stod(flags.take("--min-utilization", "0.1"));
-    config.max_utilization = std::stod(flags.take("--max-utilization", "0.7"));
-    config.jobs =
-        static_cast<std::size_t>(std::stoll(flags.take("--jobs", "0")));
-    config.options.check_simulation = !flags.take_switch("--skip-sim");
-    config.options.engine = parse_engine(flags.take("--engine", "incremental"));
+    config.min_utilization = std::stod(flags.take(opt::kMinUtilization));
+    config.max_utilization = std::stod(flags.take(opt::kMaxUtilization));
+    config.options.check_simulation = !flags.take_switch(opt::kSkipSim);
+    const EngineOptions engine_options = EngineOptions::take(flags);
+    config.jobs = engine_options.jobs;
+    config.options.engine = engine_options.engine;
     // Undocumented self-test hook: forces a synthetic violation per trial so
     // the reporting/exit-code path itself can be tested (the real analysis
     // is sound, so nothing else makes `cpa check` fail on purpose).
     config.inject_violation = flags.take_switch("--inject-violation");
-    const bool fail_on_violation = flags.take_switch("--fail-on-violation");
-    const std::string metrics_out = flags.take("--metrics-out", "");
-    const std::string trace_spec = flags.take("--trace", "");
-    const std::string profile_out = flags.take("--profile-out", "");
-    if (flags.take_switch("--progress")) {
+    const bool fail_on_violation = flags.take_switch(opt::kFailOnViolation);
+    const ObsOptions obs_options =
+        ObsOptions::take(flags, /*with_progress=*/true);
+    if (obs_options.progress) {
         config.progress = make_progress_printer(err, "trials");
     }
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
+    ObsScope obs_scope(obs_options, err);
     AssertionSession assertion_session;
 
     const check::RandomCheckResult result = check::run_random_checks(config);
@@ -796,7 +542,7 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
         }
     }
 
-    if (obs_session.metrics_requested()) {
+    if (obs_scope.metrics_requested()) {
         obs::RunReport run_report("cpa check");
         obs::JsonValue& cfg = run_report.section("config");
         cfg.set("seed", obs::JsonValue(static_cast<std::int64_t>(config.seed)));
@@ -816,21 +562,21 @@ int cmd_check(Flags flags, std::ostream& out, std::ostream& err)
             entry.set("count", obs::JsonValue(count));
             by_invariant.push(std::move(entry));
         }
-        write_run_report(run_report, metrics_out, out);
+        write_run_report(run_report, obs_options.metrics_out, out);
     }
 
     if (!result.ok() && fail_on_violation) {
         err << "cpa check: " << result.violation_count()
             << " invariant violation(s) across " << result.failures.size()
             << " of " << result.trials_run << " trials\n";
-        return 3;
+        return ExitCode::kViolation;
     }
-    return 0;
+    return ExitCode::kOk;
 }
 
-int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
+ExitCode cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
 {
-    if (flags.take_switch("--list")) {
+    if (flags.take_switch(opt::kList)) {
         flags.expect_empty();
         util::TextTable table({"invariant", "rule", "note"});
         for (const verify::Property& property : verify::property_catalog()) {
@@ -839,11 +585,11 @@ int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
                            std::string(property.note)});
         }
         table.print(out);
-        return 0;
+        return ExitCode::kOk;
     }
 
-    const std::string profile = flags.take("--profile", "fast");
-    const std::string box_file = flags.take("--box", "");
+    const std::string profile = flags.take(opt::kProfile);
+    const std::string box_file = flags.take(opt::kBox);
     verify::ProverOptions options;
     std::string box_label;
     if (!box_file.empty()) {
@@ -864,23 +610,21 @@ int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
         throw std::runtime_error("unknown profile '" + profile +
                                  "' (expected fast or full)");
     }
-    options.jobs = util::resolve_jobs(static_cast<std::size_t>(
-        std::stoll(flags.take("--jobs", "0"))));
     options.max_depth = static_cast<std::size_t>(
-        std::stoll(flags.take("--max-depth", "12")));
+        std::stoll(flags.take(opt::kMaxDepth)));
     options.max_nodes = static_cast<std::size_t>(
-        std::stoll(flags.take("--max-nodes", "2048")));
-    options.engine = parse_engine(flags.take("--engine", "incremental"));
-    const std::string fail_on = flags.take("--fail-on", "");
+        std::stoll(flags.take(opt::kMaxNodes)));
+    const EngineOptions engine_options = EngineOptions::take(flags);
+    options.jobs = util::resolve_jobs(engine_options.jobs);
+    options.engine = engine_options.engine;
+    const std::string fail_on = flags.take(opt::kFailOn);
     if (!fail_on.empty() && fail_on != "refuted" && fail_on != "undecided") {
         throw std::runtime_error("unknown --fail-on '" + fail_on +
                                  "' (expected refuted or undecided)");
     }
-    const std::string metrics_out = flags.take("--metrics-out", "");
-    const std::string trace_spec = flags.take("--trace", "");
-    const std::string profile_out = flags.take("--profile-out", "");
+    const ObsOptions obs_options = ObsOptions::take(flags);
     flags.expect_empty();
-    ObsSession obs_session(metrics_out, trace_spec, profile_out, err);
+    ObsScope obs_scope(obs_options, err);
     AssertionSession assertion_session;
 
     const verify::VerifyReport report = verify::run_prover(options);
@@ -921,7 +665,7 @@ int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
         }
     }
 
-    if (obs_session.metrics_requested()) {
+    if (obs_scope.metrics_requested()) {
         obs::RunReport run_report("cpa verify");
         obs::JsonValue& cfg = run_report.section("config");
         cfg.set("box", obs::JsonValue(options.box.describe({})));
@@ -944,7 +688,7 @@ int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
             row.set("samples", obs::JsonValue(entry.samples));
             by_property.push(std::move(row));
         }
-        write_run_report(run_report, metrics_out, out);
+        write_run_report(run_report, obs_options.metrics_out, out);
     }
 
     const bool fail_refuted = report.refuted() > 0;
@@ -953,9 +697,23 @@ int cmd_verify(Flags flags, std::ostream& out, std::ostream& err)
         (fail_on == "undecided" && (fail_refuted || fail_undecided))) {
         err << "cpa verify: " << report.refuted() << " refuted, "
             << report.undecided() << " undecided invariant(s)\n";
-        return 3;
+        return ExitCode::kViolation;
     }
-    return 0;
+    return ExitCode::kOk;
+}
+
+ExitCode cmd_help(const std::vector<std::string>& args, std::ostream& out)
+{
+    if (args.empty()) {
+        print_usage(out);
+        return ExitCode::kOk;
+    }
+    if (args.size() > 1 || !print_command_help(args[0], out)) {
+        throw std::runtime_error("unknown command '" +
+                                 (args.empty() ? "" : args[0]) +
+                                 "' (try `cpa help`)");
+    }
+    return ExitCode::kOk;
 }
 
 } // namespace
@@ -964,44 +722,48 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err)
 {
     try {
-        if (args.empty() || args[0] == "help" || args[0] == "--help") {
-            out << kUsage;
-            return args.empty() ? 1 : 0;
+        if (args.empty()) {
+            print_usage(out);
+            return to_exit_status(ExitCode::kUsage);
+        }
+        if (args[0] == "help" || args[0] == "--help") {
+            return to_exit_status(
+                cmd_help({args.begin() + 1, args.end()}, out));
         }
         const std::string command = args[0];
+        ExitCode code = ExitCode::kUsage;
         if (command == "generate") {
-            return cmd_generate(
-                Flags({args.begin() + 1, args.end()}), out);
-        }
-        if (command == "sweep") {
-            return cmd_sweep(Flags({args.begin() + 1, args.end()}), out,
+            code = cmd_generate(Flags({args.begin() + 1, args.end()}), out);
+        } else if (command == "sweep") {
+            code = cmd_sweep(Flags({args.begin() + 1, args.end()}), out,
                              err);
-        }
-        if (command == "check") {
-            return cmd_check(Flags({args.begin() + 1, args.end()}), out,
+        } else if (command == "batch") {
+            code = cmd_batch(Flags({args.begin() + 1, args.end()}), out,
                              err);
-        }
-        if (command == "verify") {
-            return cmd_verify(Flags({args.begin() + 1, args.end()}), out,
+        } else if (command == "check") {
+            code = cmd_check(Flags({args.begin() + 1, args.end()}), out,
+                             err);
+        } else if (command == "verify") {
+            code = cmd_verify(Flags({args.begin() + 1, args.end()}), out,
                               err);
-        }
-        if (command == "version" || command == "--version") {
-            return cmd_version(Flags({args.begin() + 1, args.end()}), out);
-        }
-        if (command == "analyze" || command == "simulate") {
+        } else if (command == "version" || command == "--version") {
+            code = cmd_version(Flags({args.begin() + 1, args.end()}), out);
+        } else if (command == "analyze" || command == "simulate") {
             if (args.size() < 2 || args[1].rfind("--", 0) == 0) {
                 throw std::runtime_error(command +
                                          " requires a task-set file");
             }
             Flags flags({args.begin() + 2, args.end()});
-            return command == "analyze"
+            code = command == "analyze"
                        ? cmd_analyze(std::move(flags), args[1], out, err)
                        : cmd_simulate(std::move(flags), args[1], out, err);
+        } else {
+            throw std::runtime_error("unknown command '" + command + "'");
         }
-        throw std::runtime_error("unknown command '" + command + "'");
+        return to_exit_status(code);
     } catch (const std::exception& error) {
         err << "cpa: " << error.what() << '\n';
-        return 1;
+        return to_exit_status(ExitCode::kUsage);
     }
 }
 

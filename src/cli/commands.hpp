@@ -1,24 +1,33 @@
 // Command dispatch of the `cpa` tool. Kept out of main() so the tests can
 // drive the tool in-process with captured streams.
 //
-//   cpa analyze  <file> [--policy fp|rr|tdma|perfect|all] [--no-persistence]
-//                       [--crpd ecb-union|ucb-only|ecb-only]
-//                       [--cpro union|job-bound] [--report]
-//   cpa simulate <file> [--policy fp|rr|tdma|perfect]
-//                       [--horizon-periods N]
-//   cpa generate [--cores N] [--tasks-per-core N] [--cache-sets N]
-//                [--utilization U] [--seed S]
-//   cpa check    [--seed S] [--trials N] [--skip-sim] [--fail-on-violation]
-//                [--list]
-//   cpa help
+// Commands (the usage text and `cpa help <command>` are generated from the
+// option registry in cli/options.hpp, so run `cpa help` for the full list):
 //
-// `check` runs the analytical invariant catalog (src/check) over seeded
-// random task sets; exit 0 unless --fail-on-violation is given, in which
-// case any violation exits 3. See docs/static-analysis.md.
+//   cpa analyze <file>   schedulability analysis of a task-set file
+//   cpa simulate <file>  discrete-event simulation
+//   cpa generate         emit a random task-set file
+//   cpa sweep            schedulability-vs-utilization sweep
+//   cpa batch            NDJSON request service on a warm analysis::Session
+//   cpa check            invariant catalog on random task sets
+//   cpa verify           interval prover over a parameter box
+//   cpa version          build provenance
+//   cpa help [command]   generated usage / option tables
 //
-// analyze/simulate/sweep additionally accept the observability flags
-// --metrics-out FILE (JSON run report; '-' = stdout) and
-// --trace SUBSYS[,...] (NDJSON events on stderr); see docs/observability.md.
+// Exit-code convention (cli::ExitCode, uniform across commands):
+//
+//   code | meaning
+//   -----+---------------------------------------------------------------
+//     0  | success; for analysis commands: everything schedulable
+//     1  | usage error, unreadable input, or other failure to run
+//     2  | analysis completed and something was NOT schedulable
+//        | (analyze: some policy; simulate: deadline miss observed;
+//        |  batch: >=1 request returned schedulable=false)
+//     3  | violation: `check --fail-on-violation` found an invariant
+//        | violation, `verify --fail-on` refuted/left open an obligation,
+//        |  or `batch` emitted >=1 structured error record
+//
+// Batch precedence: 3 (any error record) beats 2 (any unschedulable).
 #pragma once
 
 #include <iosfwd>
@@ -27,9 +36,22 @@
 
 namespace cpa::cli {
 
-// Runs one invocation; returns the process exit code (0 = success; for
-// `analyze`, 0 also means the set was schedulable under every requested
-// policy and 2 means at least one was not).
+// The uniform process exit codes (see the table above). Scoped enum on
+// purpose: command implementations return ExitCode and only run_cli's
+// caller converts to int.
+enum class ExitCode : int {
+    kOk = 0,            // success / schedulable
+    kUsage = 1,         // bad invocation or failure to run
+    kUnschedulable = 2, // analysis ran; result is "not schedulable"
+    kViolation = 3,     // invariant violation / refutation / error records
+};
+
+[[nodiscard]] constexpr int to_exit_status(ExitCode code)
+{
+    return static_cast<int>(code);
+}
+
+// Runs one invocation; returns the process exit status per the table above.
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 

@@ -1,0 +1,397 @@
+#include "cli/json_reader.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace cpa::cli {
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    [[nodiscard]] JsonReader run()
+    {
+        JsonReader value = parse_value();
+        skip_whitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing content after JSON value");
+        }
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_whitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] char peek()
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char ch)
+    {
+        if (peek() != ch) {
+            fail(std::string("expected '") + ch + "'");
+        }
+        ++pos_;
+    }
+
+    void expect_literal(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            fail("invalid literal");
+        }
+        pos_ += literal.size();
+    }
+
+    JsonReader parse_value()
+    {
+        skip_whitespace();
+        switch (peek()) {
+        case '{':
+            return parse_object();
+        case '[':
+            return parse_array();
+        case '"':
+            return make_string(parse_string());
+        case 't':
+            expect_literal("true");
+            return make_bool(true);
+        case 'f':
+            expect_literal("false");
+            return make_bool(false);
+        case 'n':
+            expect_literal("null");
+            return JsonReader{};
+        default:
+            return parse_number();
+        }
+    }
+
+    JsonReader parse_object()
+    {
+        JsonReader value;
+        value.kind_ = JsonReader::Kind::kObject;
+        expect('{');
+        skip_whitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            skip_whitespace();
+            std::string key = parse_string();
+            skip_whitespace();
+            expect(':');
+            value.keys_.push_back(std::move(key));
+            value.members_.push_back(parse_value());
+            skip_whitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonReader parse_array()
+    {
+        JsonReader value;
+        value.kind_ = JsonReader::Kind::kArray;
+        expect('[');
+        skip_whitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        while (true) {
+            value.elements_.push_back(parse_value());
+            skip_whitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string result;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const char ch = text_[pos_];
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                fail("unescaped control character in string");
+            }
+            ++pos_;
+            if (ch == '"') {
+                return result;
+            }
+            if (ch != '\\') {
+                result += ch;
+                continue;
+            }
+            switch (peek()) {
+            case '"':
+            case '\\':
+            case '/':
+                result += text_[pos_++];
+                break;
+            case 'b':
+                result += '\b';
+                ++pos_;
+                break;
+            case 'f':
+                result += '\f';
+                ++pos_;
+                break;
+            case 'n':
+                result += '\n';
+                ++pos_;
+                break;
+            case 'r':
+                result += '\r';
+                ++pos_;
+                break;
+            case 't':
+                result += '\t';
+                ++pos_;
+                break;
+            case 'u':
+                ++pos_;
+                append_utf8(result, parse_codepoint());
+                break;
+            default:
+                fail("invalid escape");
+            }
+        }
+    }
+
+    [[nodiscard]] std::uint32_t parse_hex4()
+    {
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char ch = peek();
+            ++pos_;
+            value <<= 4U;
+            if (ch >= '0' && ch <= '9') {
+                value |= static_cast<std::uint32_t>(ch - '0');
+            } else if (ch >= 'a' && ch <= 'f') {
+                value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+            } else if (ch >= 'A' && ch <= 'F') {
+                value |= static_cast<std::uint32_t>(ch - 'A' + 10);
+            } else {
+                fail("invalid \\u escape");
+            }
+        }
+        return value;
+    }
+
+    [[nodiscard]] std::uint32_t parse_codepoint()
+    {
+        const std::uint32_t unit = parse_hex4();
+        if (unit < 0xD800 || unit > 0xDFFF) {
+            return unit;
+        }
+        // Surrogate pair: a high surrogate must be followed by \uDC00-DFFF.
+        if (unit > 0xDBFF) {
+            fail("unpaired low surrogate");
+        }
+        if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+            text_[pos_ + 1] != 'u') {
+            fail("unpaired high surrogate");
+        }
+        pos_ += 2;
+        const std::uint32_t low = parse_hex4();
+        if (low < 0xDC00 || low > 0xDFFF) {
+            fail("invalid surrogate pair");
+        }
+        return 0x10000 + ((unit - 0xD800) << 10U) + (low - 0xDC00);
+    }
+
+    static void append_utf8(std::string& out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6U));
+            out += static_cast<char>(0x80 | (cp & 0x3FU));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12U));
+            out += static_cast<char>(0x80 | ((cp >> 6U) & 0x3FU));
+            out += static_cast<char>(0x80 | (cp & 0x3FU));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18U));
+            out += static_cast<char>(0x80 | ((cp >> 12U) & 0x3FU));
+            out += static_cast<char>(0x80 | ((cp >> 6U) & 0x3FU));
+            out += static_cast<char>(0x80 | (cp & 0x3FU));
+        }
+    }
+
+    JsonReader parse_number()
+    {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        if (peek() == '0') {
+            ++pos_;
+        } else if (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                       0) {
+                ++pos_;
+            }
+        } else {
+            fail("invalid value");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+                fail("digit expected after decimal point");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                       0) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+                fail("digit expected in exponent");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])) !=
+                       0) {
+                ++pos_;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (integral) {
+            errno = 0;
+            char* end = nullptr;
+            const long long parsed = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end != nullptr && *end == '\0') {
+                JsonReader value;
+                value.kind_ = JsonReader::Kind::kInt;
+                value.int_ = parsed;
+                return value;
+            }
+            // Out of std::int64_t range: fall through to double.
+        }
+        const double parsed = std::strtod(token.c_str(), nullptr);
+        if (!std::isfinite(parsed)) {
+            fail("number out of range");
+        }
+        JsonReader value;
+        value.kind_ = JsonReader::Kind::kDouble;
+        value.double_ = parsed;
+        return value;
+    }
+
+    static JsonReader make_bool(bool value)
+    {
+        JsonReader reader;
+        reader.kind_ = JsonReader::Kind::kBool;
+        reader.bool_ = value;
+        return reader;
+    }
+
+    static JsonReader make_string(std::string value)
+    {
+        JsonReader reader;
+        reader.kind_ = JsonReader::Kind::kString;
+        reader.string_ = std::move(value);
+        return reader;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+std::optional<bool> JsonReader::as_bool() const
+{
+    if (kind_ != Kind::kBool) {
+        return std::nullopt;
+    }
+    return bool_;
+}
+
+std::optional<std::int64_t> JsonReader::as_int() const
+{
+    if (kind_ != Kind::kInt) {
+        return std::nullopt;
+    }
+    return int_;
+}
+
+std::optional<double> JsonReader::as_double() const
+{
+    if (kind_ == Kind::kDouble) {
+        return double_;
+    }
+    if (kind_ == Kind::kInt) {
+        return static_cast<double>(int_);
+    }
+    return std::nullopt;
+}
+
+const std::string* JsonReader::as_string() const
+{
+    if (kind_ != Kind::kString) {
+        return nullptr;
+    }
+    return &string_;
+}
+
+const JsonReader* JsonReader::find(std::string_view key) const
+{
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key) {
+            return &members_[i];
+        }
+    }
+    return nullptr;
+}
+
+JsonReader JsonReader::parse(std::string_view text)
+{
+    return JsonParser(text).run();
+}
+
+} // namespace cpa::cli
+

@@ -1,0 +1,79 @@
+// Minimal JSON reader for the `cpa batch` NDJSON request codec.
+//
+// The obs::JsonValue tree is deliberately write-only (the repo ships no
+// JSON dependency), so the one place that must *consume* JSON — batch
+// request lines — gets this small recursive-descent parser. It accepts
+// strict JSON (RFC 8259): objects, arrays, strings with the standard
+// escapes (\uXXXX included, encoded as UTF-8), integers, doubles, bools,
+// null. No comments, no trailing commas, no NaN/Infinity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpa::cli {
+
+// Parsed JSON value. Numbers keep their integer identity when the text has
+// no fraction/exponent and fits std::int64_t — batch request fields are
+// cycle counts and must not round-trip through double.
+class JsonReader {
+public:
+    enum class Kind : std::uint8_t {
+        kNull,
+        kBool,
+        kInt,
+        kDouble,
+        kString,
+        kObject,
+        kArray,
+    };
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+    // Typed accessors; return nullopt/nullptr on kind mismatch (callers
+    // build their own field-aware error messages). as_double also accepts
+    // kInt; as_int does NOT accept kDouble.
+    [[nodiscard]] std::optional<bool> as_bool() const;
+    [[nodiscard]] std::optional<std::int64_t> as_int() const;
+    [[nodiscard]] std::optional<double> as_double() const;
+    [[nodiscard]] const std::string* as_string() const;
+
+    // Object access: nullptr when absent or when this is not an object.
+    [[nodiscard]] const JsonReader* find(std::string_view key) const;
+    // Keys in document order, for unknown-field rejection.
+    [[nodiscard]] const std::vector<std::string>& keys() const
+    {
+        return keys_;
+    }
+    [[nodiscard]] const std::vector<JsonReader>& elements() const
+    {
+        return elements_;
+    }
+
+    // Parses exactly one JSON document; the whole input must be consumed
+    // (trailing whitespace allowed). Throws std::runtime_error with a
+    // byte-offset message on malformed input.
+    [[nodiscard]] static JsonReader parse(std::string_view text);
+
+private:
+    friend class JsonParser; // the recursive-descent builder (json_reader.cpp)
+
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    // Objects: parallel keys_/members_ keep document order; lookup is
+    // linear (request lines have ~10 fields).
+    std::vector<std::string> keys_;
+    std::vector<JsonReader> members_;
+    std::vector<JsonReader> elements_; // arrays
+};
+
+} // namespace cpa::cli

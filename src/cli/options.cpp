@@ -1,0 +1,447 @@
+#include "cli/options.hpp"
+
+#include "obs/obs.hpp"
+#include "obs/run_report.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace cpa::cli {
+
+Flags::Flags(std::vector<std::string> args)
+{
+    for (std::string& arg : args) {
+        const std::size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args_.push_back(arg.substr(0, eq));
+            args_.push_back(arg.substr(eq + 1));
+        } else {
+            args_.push_back(std::move(arg));
+        }
+    }
+}
+
+std::string Flags::take(const std::string& key, const std::string& fallback)
+{
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+        if (args_[i] == key) {
+            const std::string value = args_[i + 1];
+            args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                        args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return value;
+        }
+    }
+    return fallback;
+}
+
+bool Flags::take_switch(const std::string& key)
+{
+    const auto it = std::find(args_.begin(), args_.end(), key);
+    if (it == args_.end()) {
+        return false;
+    }
+    args_.erase(it);
+    return true;
+}
+
+void Flags::expect_empty() const
+{
+    if (!args_.empty()) {
+        throw std::runtime_error("unknown argument '" + args_.front() + "'");
+    }
+}
+
+namespace opt {
+const OptionSpec kMetricsOut{
+    "--metrics-out", "FILE", "",
+    "write a JSON run report (iteration counts, timers, latency "
+    "histograms); FILE '-' = stdout"};
+const OptionSpec kTrace{
+    "--trace", "SUBSYS[,..]", "",
+    "stream NDJSON trace events to stderr (wcrt, bus, sweep, sim, batch, "
+    "or 'all')"};
+const OptionSpec kProfileOut{
+    "--profile-out", "FILE", "",
+    "write hierarchical phase spans as a Chrome Trace Event JSON file "
+    "(open in Perfetto or chrome://tracing)"};
+const OptionSpec kProgress{
+    "--progress", "", "",
+    "print unit-count + ETA lines to stderr; stdout stays byte-identical"};
+const OptionSpec kEngine{
+    "--engine", "reference|incremental", "incremental",
+    "Eq. (19) WCRT solver: the breakpoint-driven hot path or the "
+    "paper-shaped differential oracle (byte-identical results)"};
+const OptionSpec kJobs{
+    "--jobs", "N", "0",
+    "trial-loop worker count (default: CPA_JOBS env, then hardware "
+    "concurrency); every value produces byte-identical output"};
+const OptionSpec kPolicy{"--policy", "fp|rr|tdma|perfect", "fp",
+                         "bus arbitration policy"};
+const OptionSpec kPolicyAll{"--policy", "fp|rr|tdma|perfect|all", "all",
+                            "bus arbitration policy ('all' = one verdict "
+                            "block per policy)"};
+const OptionSpec kNoPersistence{"--no-persistence", "", "",
+                                "disable the cache-persistence refinement "
+                                "(analyze with CRPD only)"};
+const OptionSpec kCrpd{"--crpd", "ecb-union|ucb-only|ecb-only", "ecb-union",
+                       "cache-related preemption delay method (Eq. (2))"};
+const OptionSpec kCpro{"--cpro", "union|job-bound", "union",
+                       "cache persistence reload overhead method (Eq. (14))"};
+const OptionSpec kReport{"--report", "", "",
+                         "add per-task response-time breakdown columns "
+                         "(cpu, preemption, bus-same, bus-cross)"};
+const OptionSpec kCsv{"--csv", "", "", "emit CSV instead of an ASCII table"};
+const OptionSpec kSimCheck{
+    "--sim-check", "", "",
+    "cross-check the bounds against the discrete-event simulator over a "
+    "4-hyperperiod window"};
+const OptionSpec kHorizonPeriods{"--horizon-periods", "N", "4",
+                                 "simulate N times the largest period"};
+const OptionSpec kHyperperiod{"--hyperperiod", "", "",
+                              "simulate exactly one hyperperiod (rejected "
+                              "above 1e12 cycles)"};
+const OptionSpec kCores{"--cores", "N", "", "number of cores"};
+const OptionSpec kTasksPerCore{"--tasks-per-core", "N", "",
+                               "tasks generated per core"};
+const OptionSpec kCacheSets{"--cache-sets", "N", "", "cache sets per core"};
+const OptionSpec kUtilization{"--utilization", "U", "0.3",
+                              "per-core utilization of the generated set"};
+const OptionSpec kSeedGenerate{"--seed", "S", "1", "generator seed"};
+const OptionSpec kSeedSweep{"--seed", "S", "20200309",
+                            "sweep seed (trials derive per-index seeds)"};
+const OptionSpec kSeedCheck{"--seed", "S", "1",
+                            "check seed (trials derive per-index seeds)"};
+const OptionSpec kTaskSets{"--task-sets", "N", "100",
+                           "task sets drawn per utilization point"};
+const OptionSpec kTrials{"--trials", "N", "50", "random task sets to draw"};
+const OptionSpec kMinUtilization{"--min-utilization", "U", "0.1",
+                                 "lower end of the sampled per-core "
+                                 "utilization range"};
+const OptionSpec kMaxUtilization{"--max-utilization", "U", "0.7",
+                                 "upper end of the sampled per-core "
+                                 "utilization range"};
+const OptionSpec kSkipSim{"--skip-sim", "", "",
+                          "skip the simulator soundness relations"};
+const OptionSpec kFailOnViolation{"--fail-on-violation", "", "",
+                                  "exit 3 when any invariant is violated "
+                                  "(CI mode)"};
+const OptionSpec kList{"--list", "", "", "print the catalog and exit"};
+const OptionSpec kProfile{"--profile", "fast|full", "fast",
+                          "parameter box the prover explores"};
+const OptionSpec kBox{"--box", "FILE", "",
+                      "override the profile box ('name lo hi' lines; see "
+                      "docs/static-analysis.md)"};
+const OptionSpec kMaxDepth{"--max-depth", "N", "12",
+                           "branch-and-bound bisection depth limit"};
+const OptionSpec kMaxNodes{"--max-nodes", "N", "2048",
+                           "branch-and-bound node budget per invariant"};
+const OptionSpec kFailOn{"--fail-on", "refuted|undecided", "",
+                         "exit 3 on refuted invariants (or on any open "
+                         "obligation)"};
+const OptionSpec kJson{"--json", "", "",
+                       "emit the build-provenance JSON block"};
+const OptionSpec kInput{"--input", "FILE", "-",
+                        "NDJSON request file; '-' = stdin"};
+const OptionSpec kTaskset{"--taskset", "FILE", "",
+                          "default task-set file for requests without a "
+                          "\"taskset\" field"};
+} // namespace opt
+
+ObsOptions ObsOptions::take(Flags& flags, bool with_progress)
+{
+    ObsOptions options;
+    options.metrics_out = flags.take(opt::kMetricsOut);
+    options.trace_spec = flags.take(opt::kTrace);
+    options.profile_out = flags.take(opt::kProfileOut);
+    if (with_progress) {
+        options.progress = flags.take_switch(opt::kProgress);
+    }
+    return options;
+}
+
+EngineOptions EngineOptions::take(Flags& flags, bool with_jobs)
+{
+    EngineOptions options;
+    options.engine = parse_engine(flags.take(opt::kEngine));
+    if (with_jobs) {
+        options.jobs = static_cast<std::size_t>(
+            std::stoll(flags.take(opt::kJobs)));
+    }
+    return options;
+}
+
+ObsScope::ObsScope(const ObsOptions& options, std::ostream& err)
+    : metrics_requested_(!options.metrics_out.empty())
+{
+    if (!options.profile_out.empty()) {
+        // Open up front so a bad path fails before hours of sweep work; the
+        // trace itself is written in the destructor, once the command (and
+        // its thread pools) are done and the rings are quiescent.
+        profile_file_.open(options.profile_out);
+        if (!profile_file_) {
+            throw std::runtime_error("cannot write profile file '" +
+                                     options.profile_out + "'");
+        }
+        obs::Profiler::global().reset();
+        obs::Profiler::global().start();
+        profiling_ = true;
+    }
+    if (!options.trace_spec.empty()) {
+        std::set<std::string> subsystems;
+        std::string current;
+        for (const char ch : options.trace_spec + ",") {
+            if (ch == ',') {
+                if (!current.empty()) {
+                    subsystems.insert(current);
+                    current.clear();
+                }
+            } else {
+                current += ch;
+            }
+        }
+        obs::Tracer::global().set_sink(
+            std::make_shared<obs::StreamTraceSink>(err),
+            std::move(subsystems));
+        trace_installed_ = true;
+    }
+    if (metrics_requested_) {
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+    }
+}
+
+ObsScope::~ObsScope()
+{
+    if (profiling_) {
+        obs::Profiler::global().stop();
+        obs::Profiler::global().write_chrome_trace(profile_file_);
+    }
+    if (metrics_requested_) {
+        obs::set_metrics_enabled(false);
+    }
+    if (trace_installed_) {
+        obs::Tracer::global().set_sink(nullptr);
+    }
+}
+
+std::function<void(std::size_t, std::size_t)>
+make_progress_printer(std::ostream& err, const char* unit)
+{
+    const auto started = std::chrono::steady_clock::now();
+    return [&err, unit, started](std::size_t done, std::size_t total) {
+        const auto elapsed_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        const double fraction =
+            total == 0 ? 1.0
+                       : static_cast<double>(done) /
+                             static_cast<double>(total);
+        const double eta_s =
+            fraction > 0.0 ? static_cast<double>(elapsed_ms) / 1000.0 *
+                                 (1.0 - fraction) / fraction
+                           : 0.0;
+        err << "progress: " << done << '/' << total << ' ' << unit << " ("
+            << static_cast<int>(fraction * 100.0) << "%), eta "
+            << util::TextTable::num(eta_s, 1) << "s\n";
+    };
+}
+
+void write_run_report(obs::RunReport& report, const std::string& path,
+                      std::ostream& out)
+{
+    report.set_metrics(obs::MetricsRegistry::global().snapshot());
+    if (path == "-") {
+        report.write_json(out);
+        return;
+    }
+    std::ofstream file(path);
+    if (!file) {
+        throw std::runtime_error("cannot write metrics file '" + path + "'");
+    }
+    report.write_json(file);
+}
+
+analysis::BusPolicy parse_policy(const std::string& name)
+{
+    if (const auto policy = analysis::bus_policy_from_string(name)) {
+        return *policy;
+    }
+    throw std::runtime_error("unknown policy '" + name +
+                             "' (fp, rr, tdma, perfect)");
+}
+
+analysis::CrpdMethod parse_crpd(const std::string& name)
+{
+    if (const auto method = analysis::crpd_method_from_string(name)) {
+        return *method;
+    }
+    throw std::runtime_error("unknown CRPD method '" + name + "'");
+}
+
+analysis::CproMethod parse_cpro(const std::string& name)
+{
+    if (const auto method = analysis::cpro_method_from_string(name)) {
+        return *method;
+    }
+    throw std::runtime_error("unknown CPRO method '" + name + "'");
+}
+
+analysis::WcrtEngine parse_engine(const std::string& name)
+{
+    if (const auto engine = analysis::wcrt_engine_from_string(name)) {
+        return *engine;
+    }
+    throw std::runtime_error("unknown engine '" + name +
+                             "' (reference, incremental)");
+}
+
+analysis::AnalysisRequest take_analysis_request(Flags& flags,
+                                                const OptionSpec& policy_spec,
+                                                std::string* policy_name)
+{
+    analysis::AnalysisRequest request;
+    const std::string name = flags.take(policy_spec);
+    if (policy_name != nullptr) {
+        *policy_name = name;
+    }
+    if (name != "all") {
+        request.config.policy = parse_policy(name);
+    } else if (policy_name == nullptr) {
+        // Single-policy commands never pass 'all' through.
+        throw std::runtime_error("unknown policy 'all'");
+    }
+    request.config.persistence_aware =
+        !flags.take_switch(opt::kNoPersistence);
+    request.config.crpd = parse_crpd(flags.take(opt::kCrpd));
+    request.config.cpro = parse_cpro(flags.take(opt::kCpro));
+    request.config.wcrt_engine = parse_engine(flags.take(opt::kEngine));
+    return request;
+}
+
+const std::vector<CommandSpec>& command_registry()
+{
+    static const std::vector<CommandSpec> registry = {
+        {"analyze", "<file>",
+         "schedulability analysis of a task-set file (docs/file-format.md)",
+         {&opt::kPolicyAll, &opt::kNoPersistence, &opt::kCrpd, &opt::kCpro,
+          &opt::kReport, &opt::kCsv, &opt::kSimCheck, &opt::kEngine,
+          &opt::kMetricsOut, &opt::kTrace, &opt::kProfileOut}},
+        {"simulate", "<file>",
+         "discrete-event bus/CPU simulation of a task-set file",
+         {&opt::kPolicy, &opt::kHorizonPeriods, &opt::kHyperperiod,
+          &opt::kMetricsOut, &opt::kTrace, &opt::kProfileOut}},
+        {"generate", "",
+         "emit a random task-set file drawn from the benchmark table",
+         {&opt::kCores, &opt::kTasksPerCore, &opt::kCacheSets,
+          &opt::kUtilization, &opt::kSeedGenerate}},
+        {"sweep", "",
+         "schedulability-vs-utilization sweep over random task sets",
+         {&opt::kCores, &opt::kTasksPerCore, &opt::kCacheSets,
+          &opt::kTaskSets, &opt::kSeedSweep, &opt::kJobs, &opt::kCsv,
+          &opt::kEngine, &opt::kMetricsOut, &opt::kTrace, &opt::kProfileOut,
+          &opt::kProgress}},
+        {"batch", "",
+         "serve a stream of NDJSON analysis requests from a warm "
+         "analysis::Session (docs/batch.md)",
+         {&opt::kInput, &opt::kTaskset, &opt::kJobs, &opt::kMetricsOut,
+          &opt::kTrace, &opt::kProfileOut}},
+        {"check", "",
+         "verify the analytical invariant catalog on seeded random task "
+         "sets (docs/static-analysis.md)",
+         {&opt::kSeedCheck, &opt::kTrials, &opt::kCores, &opt::kTasksPerCore,
+          &opt::kCacheSets, &opt::kMinUtilization, &opt::kMaxUtilization,
+          &opt::kJobs, &opt::kSkipSim, &opt::kFailOnViolation, &opt::kList,
+          &opt::kEngine, &opt::kMetricsOut, &opt::kTrace, &opt::kProfileOut,
+          &opt::kProgress}},
+        {"verify", "",
+         "prove the invariant catalog over a parameter box (interval "
+         "abstract interpretation + branch and bound)",
+         {&opt::kProfile, &opt::kBox, &opt::kJobs, &opt::kMaxDepth,
+          &opt::kMaxNodes, &opt::kFailOn, &opt::kList, &opt::kEngine,
+          &opt::kMetricsOut, &opt::kTrace, &opt::kProfileOut}},
+        {"version", "", "print build provenance", {&opt::kJson}},
+        {"help", "[command]", "this overview, or one command's option table",
+         {}},
+    };
+    return registry;
+}
+
+void print_usage(std::ostream& out)
+{
+    out << "cpa - cache persistence-aware memory bus contention analysis\n"
+           "\n"
+           "usage:\n";
+    for (const CommandSpec& command : command_registry()) {
+        out << "  cpa " << command.name;
+        if (command.positional[0] != '\0') {
+            out << ' ' << command.positional;
+        }
+        if (!command.options.empty()) {
+            out << " [options]";
+        }
+        out << "\n      " << command.summary << '\n';
+    }
+    out << R"(
+`cpa help <command>` lists that command's options with defaults. Flags
+accept both '--key value' and '--key=value'.
+
+exit codes (see commands.hpp):
+  0  success; for analysis commands: schedulable
+  1  usage error or failure to run
+  2  analysis completed: not schedulable (batch: >=1 unschedulable request)
+  3  violation found under --fail-on-violation / --fail-on (batch: >=1
+     structured error record)
+
+`--jobs N` sets the trial-loop worker count (default: the CPA_JOBS
+environment variable, then hardware concurrency). Every job count produces
+byte-identical output — trials are seeded from their index, not from a
+shared stream.
+
+The task-set file format is documented in docs/file-format.md, the batch
+NDJSON request schema in docs/batch.md, observability flags in
+docs/observability.md.
+)";
+}
+
+bool print_command_help(const std::string& name, std::ostream& out)
+{
+    for (const CommandSpec& command : command_registry()) {
+        if (name != command.name) {
+            continue;
+        }
+        out << "usage: cpa " << command.name;
+        if (command.positional[0] != '\0') {
+            out << ' ' << command.positional;
+        }
+        if (!command.options.empty()) {
+            out << " [options]";
+        }
+        out << "\n\n" << command.summary << "\n\n";
+        if (command.options.empty()) {
+            return true;
+        }
+        util::TextTable table({"option", "default", "description"});
+        for (const OptionSpec* spec : command.options) {
+            std::string flag = spec->flag;
+            if (!spec->is_switch()) {
+                flag += ' ';
+                flag += spec->value;
+            }
+            table.add_row({std::move(flag),
+                           spec->fallback[0] == '\0' ? "-" : spec->fallback,
+                           spec->help});
+        }
+        table.print(out);
+        return true;
+    }
+    return false;
+}
+
+} // namespace cpa::cli

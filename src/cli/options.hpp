@@ -1,0 +1,212 @@
+// Declarative CLI option layer.
+//
+// Every flag the `cpa` tool accepts is declared exactly once as an
+// OptionSpec (name, value placeholder, default, help line); the per-command
+// parsers consume specs through Flags::take/take_switch and the
+// command registry renders `cpa help [command]` and the top-level usage from
+// the same tables — so the parser and its documentation cannot drift.
+//
+// The cross-cutting flag groups every analysis command shares are bundled:
+//   ObsOptions     --metrics-out / --trace / --profile-out [/ --progress]
+//   EngineOptions  --engine [/ --jobs]
+// parsed once here instead of copy-pasted per command, with ObsScope as the
+// RAII activation of the observability layer for the command's duration.
+#pragma once
+
+#include "analysis/config.hpp"
+#include "analysis/request.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpa::obs {
+class RunReport;
+}
+
+namespace cpa::cli {
+
+// One command-line option, declared once and consumed by both the parser
+// and the generated help.
+struct OptionSpec {
+    const char* flag;     // "--metrics-out"
+    const char* value;    // value placeholder ("FILE", "N"); "" = switch
+    const char* fallback; // default value; "" = none (or switch)
+    const char* help;     // one-line description for `cpa help <command>`
+    [[nodiscard]] bool is_switch() const { return value[0] == '\0'; }
+};
+
+// Simple flag cursor: --key value pairs after the positional arguments.
+// `--key=value` spellings are normalized to the two-token form up front.
+class Flags {
+public:
+    Flags(std::vector<std::string> args);
+
+    // Spec-driven accessors — the preferred interface; the spec carries the
+    // flag name and its default.
+    [[nodiscard]] std::string take(const OptionSpec& spec)
+    {
+        return take(spec.flag, spec.fallback);
+    }
+    [[nodiscard]] bool take_switch(const OptionSpec& spec)
+    {
+        return take_switch(std::string(spec.flag));
+    }
+
+    [[nodiscard]] std::string take(const std::string& key,
+                                   const std::string& fallback);
+    [[nodiscard]] bool take_switch(const std::string& key);
+    void expect_empty() const;
+
+private:
+    std::vector<std::string> args_;
+};
+
+// The option vocabulary. Grouped so a command's registry entry can list the
+// exact specs its parser consumes.
+namespace opt {
+// Observability (shared by every analysis command; docs/observability.md).
+extern const OptionSpec kMetricsOut;
+extern const OptionSpec kTrace;
+extern const OptionSpec kProfileOut;
+extern const OptionSpec kProgress;
+// Engine selection (shared; docs/performance.md).
+extern const OptionSpec kEngine;
+extern const OptionSpec kJobs;
+// Analysis configuration.
+extern const OptionSpec kPolicy;    // fp|rr|tdma|perfect (default fp)
+extern const OptionSpec kPolicyAll; // analyze's variant with 'all'
+extern const OptionSpec kNoPersistence;
+extern const OptionSpec kCrpd;
+extern const OptionSpec kCpro;
+// analyze/simulate extras.
+extern const OptionSpec kReport;
+extern const OptionSpec kCsv;
+extern const OptionSpec kSimCheck;
+extern const OptionSpec kHorizonPeriods;
+extern const OptionSpec kHyperperiod;
+// Generation / sweep / check knobs.
+extern const OptionSpec kCores;
+extern const OptionSpec kTasksPerCore;
+extern const OptionSpec kCacheSets;
+extern const OptionSpec kUtilization;
+extern const OptionSpec kSeedGenerate;
+extern const OptionSpec kSeedSweep;
+extern const OptionSpec kSeedCheck;
+extern const OptionSpec kTaskSets;
+extern const OptionSpec kTrials;
+extern const OptionSpec kMinUtilization;
+extern const OptionSpec kMaxUtilization;
+extern const OptionSpec kSkipSim;
+extern const OptionSpec kFailOnViolation;
+extern const OptionSpec kList;
+// verify.
+extern const OptionSpec kProfile;
+extern const OptionSpec kBox;
+extern const OptionSpec kMaxDepth;
+extern const OptionSpec kMaxNodes;
+extern const OptionSpec kFailOn;
+// version.
+extern const OptionSpec kJson;
+// batch.
+extern const OptionSpec kInput;
+extern const OptionSpec kTaskset;
+} // namespace opt
+
+// The observability flag bundle, parsed in one call so no command can
+// accept a subset by accident.
+struct ObsOptions {
+    std::string metrics_out;
+    std::string trace_spec;
+    std::string profile_out;
+    bool progress = false;
+
+    // `with_progress`: only the long-running trial commands accept
+    // --progress.
+    [[nodiscard]] static ObsOptions take(Flags& flags,
+                                         bool with_progress = false);
+};
+
+// The engine/parallelism bundle.
+struct EngineOptions {
+    analysis::WcrtEngine engine = analysis::WcrtEngine::kIncremental;
+    std::size_t jobs = 0; // 0 = resolve via CPA_JOBS / hardware concurrency
+
+    [[nodiscard]] static EngineOptions take(Flags& flags,
+                                            bool with_jobs = true);
+};
+
+// Scoped activation of the observability layer for one CLI command: installs
+// a trace sink on `err` when --trace was given, and enables + resets the
+// metrics registry when --metrics-out was given. The destructor restores the
+// inactive defaults so in-process callers (tests) don't leak state between
+// invocations.
+class ObsScope {
+public:
+    ObsScope(const ObsOptions& options, std::ostream& err);
+    ~ObsScope();
+    ObsScope(const ObsScope&) = delete;
+    ObsScope& operator=(const ObsScope&) = delete;
+
+    [[nodiscard]] bool metrics_requested() const { return metrics_requested_; }
+
+private:
+    bool metrics_requested_ = false;
+    bool trace_installed_ = false;
+    bool profiling_ = false;
+    std::ofstream profile_file_;
+};
+
+// Progress reporter for the long-running commands: plain lines on stderr
+// (never stdout — golden transcripts and determinism diffs compare stdout),
+// with an ETA extrapolated from the mean time per completed unit.
+[[nodiscard]] std::function<void(std::size_t, std::size_t)>
+make_progress_printer(std::ostream& err, const char* unit);
+
+// Writes the run report to `path` ('-' = the command's output stream). The
+// metrics snapshot is taken here, after the command's work is done.
+void write_run_report(obs::RunReport& report, const std::string& path,
+                      std::ostream& out);
+
+// Throwing wrappers over the analysis::*_from_string parsers, with the
+// flag-appropriate error messages.
+[[nodiscard]] analysis::BusPolicy parse_policy(const std::string& name);
+[[nodiscard]] analysis::CrpdMethod parse_crpd(const std::string& name);
+[[nodiscard]] analysis::CproMethod parse_cpro(const std::string& name);
+[[nodiscard]] analysis::WcrtEngine parse_engine(const std::string& name);
+
+// Parses the shared analysis-configuration flags (--policy/--no-persistence/
+// --crpd/--cpro/--engine) into the library's request type; the CLI commands
+// then carry one AnalysisRequest instead of loose config fields.
+// `policy_spec` distinguishes commands whose --policy accepts 'all'
+// (cmd_analyze; then request.config.policy is unset and *policy_name is
+// "all") from single-policy commands.
+[[nodiscard]] analysis::AnalysisRequest
+take_analysis_request(Flags& flags, const OptionSpec& policy_spec,
+                      std::string* policy_name = nullptr);
+
+// One row of the command registry: everything `cpa help [command]` and the
+// top-level usage render.
+struct CommandSpec {
+    const char* name;
+    const char* positional; // "<file>" or ""
+    const char* summary;    // one-line description
+    std::vector<const OptionSpec*> options;
+};
+
+// All commands, in usage order. Single source for dispatch validation and
+// help rendering.
+[[nodiscard]] const std::vector<CommandSpec>& command_registry();
+
+// Top-level usage text (command list generated from the registry).
+void print_usage(std::ostream& out);
+
+// `cpa help <command>`: the command's summary + generated option table.
+// Returns false when `name` is not a registered command.
+[[nodiscard]] bool print_command_help(const std::string& name,
+                                      std::ostream& out);
+
+} // namespace cpa::cli

@@ -1,7 +1,7 @@
 #include "experiments/sweep.hpp"
 
-#include "analysis/interference.hpp"
-#include "analysis/schedulability.hpp"
+#include "analysis/request.hpp"
+#include "analysis/session.hpp"
 #include "benchdata/benchmark.hpp"
 #include "check/tolerance.hpp"
 #include "obs/obs.hpp"
@@ -107,26 +107,18 @@ run_utilization_sweep(const benchdata::GenerationConfig& generation,
         obs::run_indexed_trials(threads, trials, [&](std::size_t set_index) {
             util::Rng rng(util::seed_for(sweep.seed,
                                          point_index * trials + set_index));
-            const tasks::TaskSet ts =
-                benchdata::generate_task_set(rng, gen, pool);
+            tasks::TaskSet ts = benchdata::generate_task_set(rng, gen, pool);
 
-            // One interference table per CRPD method, shared by every
-            // variant of the same method (tables are policy-independent).
-            std::map<analysis::CrpdMethod, analysis::InterferenceTables>
-                tables;
+            // One warm Session per task set: interference tables are built
+            // once per CRPD method and shared by every variant (tables are
+            // policy-independent), with reuse surfaced as the
+            // session.tables.* counters.
+            analysis::Session session(std::move(ts), platform);
             for (std::size_t v = 0; v < variants.size(); ++v) {
-                AnalysisConfig config = variants[v].config;
-                config.wcrt_engine = sweep.engine;
-                auto it = tables.find(config.crpd);
-                if (it == tables.end()) {
-                    it = tables
-                             .emplace(config.crpd,
-                                      analysis::InterferenceTables(
-                                          ts, config.crpd))
-                             .first;
-                }
-                if (analysis::is_schedulable(ts, platform, config,
-                                             it->second)) {
+                analysis::AnalysisRequest request;
+                request.config = variants[v].config;
+                request.config.wcrt_engine = sweep.engine;
+                if (session.analyze(request).schedulable) {
                     verdicts[set_index * variants.size() + v] = 1;
                 }
             }

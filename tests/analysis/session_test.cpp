@@ -1,0 +1,205 @@
+// analysis::Session unit tests: table-cache hit/miss/evict accounting (both
+// SessionStats and the session.* obs counters), result memoization with
+// stable references, equivalence of the warm path with the one-shot
+// is_schedulable()/compute_wcrt() path, and request-key resolution of
+// platform overrides.
+#include "analysis/session.hpp"
+
+#include "analysis/schedulability.hpp"
+#include "helpers.hpp"
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::analysis {
+namespace {
+
+using cpa::testing::make_task_set;
+
+PlatformConfig small_platform()
+{
+    PlatformConfig platform;
+    platform.num_cores = 2;
+    platform.cache_sets = 16;
+    platform.d_mem = util::Cycles{10};
+    platform.slot_size = 2;
+    return platform;
+}
+
+tasks::TaskSet cross_core_set()
+{
+    return make_task_set(2, 16,
+                         {
+                             {0, 10, 4, 4, 100, 0, {1, 2, 3}, {1, 2}, {1, 2}},
+                             {0, 20, 6, 6, 200, 0, {2, 3, 4}, {3}, {}},
+                             {1, 15, 5, 5, 150, 0, {1, 2, 3}, {1, 2}, {1, 2}},
+                         });
+}
+
+TEST(Session, TableCacheHitsAndMisses)
+{
+    Session session(cross_core_set(), small_platform());
+    const InterferenceTables& first = session.tables(CrpdMethod::kEcbUnion);
+    const InterferenceTables& again = session.tables(CrpdMethod::kEcbUnion);
+    EXPECT_EQ(&first, &again);
+    (void)session.tables(CrpdMethod::kUcbOnly);
+
+    const SessionStats& stats = session.stats();
+    EXPECT_EQ(stats.table_misses, 2u);
+    EXPECT_EQ(stats.table_hits, 1u);
+    EXPECT_EQ(stats.table_evictions, 0u);
+}
+
+TEST(Session, TableCacheEvictsLeastRecentlyUsed)
+{
+    Session::Options options;
+    options.table_capacity = 1;
+    Session session(cross_core_set(), small_platform(), options);
+    (void)session.tables(CrpdMethod::kEcbUnion); // miss
+    (void)session.tables(CrpdMethod::kUcbOnly);  // miss, evicts kEcbUnion
+    (void)session.tables(CrpdMethod::kEcbUnion); // miss again, evicts back
+
+    const SessionStats& stats = session.stats();
+    EXPECT_EQ(stats.table_misses, 3u);
+    EXPECT_EQ(stats.table_hits, 0u);
+    EXPECT_EQ(stats.table_evictions, 2u);
+}
+
+TEST(Session, AnalyzeMemoizesByRequestKey)
+{
+    Session session(cross_core_set(), small_platform());
+    AnalysisRequest request;
+    const SessionResult& first = session.analyze(request);
+    const SessionResult& again = session.analyze(request);
+    EXPECT_EQ(&first, &again); // reference-stable memo, not a recompute
+
+    AnalysisRequest different = request;
+    different.config.policy = BusPolicy::kRoundRobin;
+    const SessionResult& other = session.analyze(different);
+    EXPECT_NE(&first, &other);
+
+    const SessionStats& stats = session.stats();
+    EXPECT_EQ(stats.result_misses, 2u);
+    EXPECT_EQ(stats.result_hits, 1u);
+    // Both requests share the kEcbUnion tables.
+    EXPECT_EQ(stats.table_misses, 1u);
+    EXPECT_EQ(stats.table_hits, 1u);
+}
+
+TEST(Session, ObsCountersMirrorStats)
+{
+    obs::MetricsRegistry::global().reset();
+    obs::set_metrics_enabled(true);
+    {
+        Session session(cross_core_set(), small_platform());
+        AnalysisRequest request;
+        (void)session.analyze(request);
+        (void)session.analyze(request);
+    }
+#if CPA_OBS_ENABLED
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.counters.at("session.tables.miss"), 1);
+    EXPECT_EQ(snap.counters.at("session.results.miss"), 1);
+    EXPECT_EQ(snap.counters.at("session.results.hit"), 1);
+    EXPECT_FALSE(snap.counters.contains("session.tables.evict"));
+#endif
+    obs::set_metrics_enabled(false);
+    obs::MetricsRegistry::global().reset();
+}
+
+TEST(Session, AgreesWithOneShotPath)
+{
+    const tasks::TaskSet ts = cross_core_set();
+    const PlatformConfig platform = small_platform();
+    Session session(cross_core_set(), platform);
+
+    for (const BusPolicy policy :
+         {BusPolicy::kFixedPriority, BusPolicy::kRoundRobin, BusPolicy::kTdma,
+          BusPolicy::kPerfect}) {
+        for (const bool persistence : {true, false}) {
+            AnalysisRequest request;
+            request.config.policy = policy;
+            request.config.persistence_aware = persistence;
+            const SessionResult& warm = session.analyze(request);
+            EXPECT_EQ(warm.schedulable,
+                      is_schedulable(ts, platform, request.config))
+                << to_string(policy) << " persistence=" << persistence;
+            if (warm.bus_ok && !ts.empty()) {
+                const WcrtResult cold =
+                    compute_wcrt(ts, platform, request.config);
+                ASSERT_EQ(warm.wcrt.response.size(), cold.response.size());
+                EXPECT_EQ(warm.wcrt.response, cold.response);
+                EXPECT_EQ(warm.wcrt.outer_iterations, cold.outer_iterations);
+            }
+        }
+    }
+}
+
+TEST(Session, PerfectBusOverloadShortCircuits)
+{
+    // MD*d_mem/T = 80*10/500 = 1.6 > 1: the perfect-bus admission test
+    // rejects without running the fixed point, exactly like is_schedulable.
+    Session session(
+        make_task_set(2, 16, {{0, 10, 80, 80, 500, 0, {}, {}, {}}}),
+        small_platform());
+    AnalysisRequest request;
+    request.config.policy = BusPolicy::kPerfect;
+    const SessionResult& result = session.analyze(request);
+    EXPECT_FALSE(result.schedulable);
+    EXPECT_FALSE(result.bus_ok);
+    EXPECT_TRUE(result.wcrt.response.empty());
+}
+
+TEST(Session, EmptyTaskSetIsSchedulable)
+{
+    Session session(tasks::TaskSet(2, 16), small_platform());
+    AnalysisRequest request;
+    const SessionResult& result = session.analyze(request);
+    EXPECT_TRUE(result.schedulable);
+    EXPECT_TRUE(result.bus_ok);
+}
+
+TEST(Session, PlatformOverridesEnterTheKey)
+{
+    Session session(cross_core_set(), small_platform());
+
+    AnalysisRequest base;
+    AnalysisRequest slower = base;
+    slower.d_mem = util::Cycles{20};
+    AnalysisRequest slotted = base;
+    slotted.slot_size = 5;
+
+    EXPECT_FALSE(session.key_for(base) < session.key_for(base));
+    EXPECT_TRUE(session.key_for(base) < session.key_for(slower) ||
+                session.key_for(slower) < session.key_for(base));
+    EXPECT_TRUE(session.key_for(base) < session.key_for(slotted) ||
+                session.key_for(slotted) < session.key_for(base));
+
+    EXPECT_EQ(session.resolve_platform(slower).d_mem, util::Cycles{20});
+    EXPECT_EQ(session.resolve_platform(slower).slot_size, 2);
+    EXPECT_EQ(session.resolve_platform(slotted).slot_size, 5);
+
+    (void)session.analyze(base);
+    (void)session.analyze(slower);
+    (void)session.analyze(slotted);
+    EXPECT_EQ(session.stats().result_misses, 3u);
+    EXPECT_EQ(session.stats().result_hits, 0u);
+}
+
+TEST(Session, EvaluateMatchesAnalyze)
+{
+    Session session(cross_core_set(), small_platform());
+    AnalysisRequest request;
+    request.config.policy = BusPolicy::kRoundRobin;
+    const SessionResult detached =
+        session.evaluate(request, session.tables(request.config.crpd));
+    const SessionResult& memoized = session.analyze(request);
+    EXPECT_EQ(detached.schedulable, memoized.schedulable);
+    EXPECT_EQ(detached.wcrt.response, memoized.wcrt.response);
+    // evaluate() bypassed the result memo: only analyze() recorded a miss.
+    EXPECT_EQ(session.stats().result_misses, 1u);
+}
+
+} // namespace
+} // namespace cpa::analysis

@@ -1,0 +1,225 @@
+// `cpa batch` tests: the golden NDJSON transcript (every record kind the
+// schema can produce, including malformed-request and budget-exhausted
+// error records), the jobs=1-vs-jobs=8 byte-identity contract, per-request
+// isolation, and the exit-code precedence (error > unschedulable > ok).
+#include "cli/batch.hpp"
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cpa::cli {
+namespace {
+
+std::string golden_dir()
+{
+    return std::string(CPA_SOURCE_DIR) + "/tests/cli/golden/";
+}
+
+// Same normalization as golden_test.cpp, plus source-tree paths: bad-taskset
+// error messages echo the resolved path, which differs per checkout.
+std::string normalize(std::string text)
+{
+    static const std::regex total_ns("\"total_ns\":-?[0-9]+");
+    text = std::regex_replace(text, total_ns, "\"total_ns\":0");
+    static const std::regex ns_histogram(
+        "(\"[^\"]*_ns\":\\{\"count\":-?[0-9]+,)\"sum\":-?[0-9]+,"
+        "\"min\":-?[0-9]+,\"max\":-?[0-9]+,\"p50\":-?[0-9]+,"
+        "\"p90\":-?[0-9]+,\"p99\":-?[0-9]+");
+    text = std::regex_replace(
+        text, ns_histogram,
+        "$1\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0");
+    static const std::regex provenance("\"provenance\":\\{[^}]*\\}");
+    text = std::regex_replace(
+        text, provenance,
+        "\"provenance\":{\"version\":\"\",\"git_sha\":\"\","
+        "\"git_dirty\":\"\",\"compiler\":\"\",\"build_type\":\"\","
+        "\"obs\":true,\"check\":true,\"sanitize\":\"\"}");
+    std::string::size_type pos = 0;
+    while ((pos = text.find(golden_dir(), pos)) != std::string::npos) {
+        text.erase(pos, golden_dir().size());
+    }
+    return text;
+}
+
+void expect_golden(const std::string& name,
+                   const std::vector<std::string>& args, int expected_exit)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    const int exit_code = run_cli(args, out, err);
+    EXPECT_EQ(exit_code, expected_exit) << err.str();
+    const std::string actual = normalize(out.str());
+
+    const std::string path = golden_dir() + name + ".txt";
+    if (const char* update = std::getenv("CPA_UPDATE_GOLDEN");
+        update != nullptr && update[0] == '1') {
+        std::ofstream file(path, std::ios::binary);
+        ASSERT_TRUE(file) << "cannot write " << path;
+        file << actual;
+        return;
+    }
+
+    std::ifstream file(path, std::ios::binary);
+    ASSERT_TRUE(file) << "missing fixture " << path
+                      << " — run with CPA_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream expected;
+    expected << file.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << "CLI output diverged from " << path
+        << "\nIf the change is intended, refresh with:\n"
+           "  CPA_UPDATE_GOLDEN=1 ctest --test-dir build -R CliGolden";
+}
+
+std::string requests_file()
+{
+    return golden_dir() + "batch_requests.ndjson";
+}
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file) << "cannot read " << path;
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+}
+
+// Runs the batch engine directly over `ndjson` with the golden directory as
+// the taskset base, returning (exit code, output bytes).
+std::pair<ExitCode, std::string> run(const std::string& ndjson,
+                                     std::size_t jobs)
+{
+    BatchOptions options;
+    options.base_dir = std::string(CPA_SOURCE_DIR) + "/tests/cli/golden";
+    options.jobs = jobs;
+    std::istringstream in(ndjson);
+    std::ostringstream out;
+    const ExitCode code = run_batch(options, in, out);
+    return {code, out.str()};
+}
+
+// The full fixture transcript: ok rows (schedulable, unschedulable with a
+// failed task, perfect-bus rejection), result-memo repeats, and one of each
+// error kind. Exit code 3: error records take precedence.
+TEST(CliGolden, Batch)
+{
+    expect_golden("batch",
+                  {"batch", "--input", requests_file(), "--jobs", "2"}, 3);
+}
+
+// Same batch with --metrics-out -: pins the deterministic batch.* and
+// session.* counters (table hits > 0 on the matrix workload is an
+// acceptance criterion, visible in the fixture).
+TEST(CliGolden, BatchMetricsReport)
+{
+    expect_golden("batch_metrics",
+                  {"batch", "--input", requests_file(), "--jobs", "2",
+                   "--metrics-out", "-"},
+                  3);
+}
+
+// The determinism contract: output bytes and exit code are identical for
+// any worker count. (Name matters: the determinism-tsan CI job selects on
+// "Determinism".)
+TEST(BatchDeterminism, OutputBytesIndependentOfJobs)
+{
+    const std::string ndjson = read_file(requests_file());
+    const auto [code1, out1] = run(ndjson, 1);
+    const auto [code8, out8] = run(ndjson, 8);
+    EXPECT_EQ(code1, code8);
+    EXPECT_EQ(out1, out8);
+    EXPECT_EQ(code1, ExitCode::kViolation);
+}
+
+TEST(BatchExitCode, AllSchedulableIsOk)
+{
+    const auto [code, out] = run(
+        R"({"schema": 1, "taskset": "input.taskset"})"
+        "\n"
+        R"({"schema": 1, "taskset": "input.taskset", "policy": "rr"})"
+        "\n",
+        1);
+    EXPECT_EQ(code, ExitCode::kOk);
+    EXPECT_NE(out.find("\"schedulable\":true"), std::string::npos);
+}
+
+TEST(BatchExitCode, UnschedulableWinsOverOk)
+{
+    const auto [code, out] = run(
+        R"({"schema": 1, "taskset": "input.taskset"})"
+        "\n"
+        R"({"schema": 1, "taskset": "input.taskset", "d_mem_cycles": 5000})"
+        "\n",
+        1);
+    EXPECT_EQ(code, ExitCode::kUnschedulable);
+    EXPECT_NE(out.find("\"schedulable\":false"), std::string::npos);
+}
+
+TEST(BatchExitCode, ErrorWinsOverUnschedulable)
+{
+    const auto [code, out] = run(
+        R"({"schema": 1, "taskset": "input.taskset", "d_mem_cycles": 5000})"
+        "\n"
+        "not json\n",
+        1);
+    EXPECT_EQ(code, ExitCode::kViolation);
+    EXPECT_NE(out.find("\"status\":\"error\""), std::string::npos);
+}
+
+// A malformed line must not take down the batch: every input line still
+// produces exactly one output record, in order.
+TEST(BatchIsolation, MalformedLineDoesNotKillBatch)
+{
+    const auto [code, out] = run(
+        R"({"schema": 1, "id": "a", "taskset": "input.taskset"})"
+        "\n"
+        "{broken\n"
+        R"({"schema": 1, "id": "b", "taskset": "input.taskset"})"
+        "\n",
+        1);
+    EXPECT_EQ(code, ExitCode::kViolation);
+    std::istringstream lines(out);
+    std::string line;
+    std::vector<std::string> records;
+    while (std::getline(lines, line)) {
+        records.push_back(line);
+    }
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_NE(records[0].find("\"id\":\"a\""), std::string::npos);
+    EXPECT_NE(records[1].find("\"kind\":\"bad-request\""),
+              std::string::npos);
+    EXPECT_NE(records[2].find("\"id\":\"b\""), std::string::npos);
+}
+
+// A budget-exhausted solve is an error record, not a fake unschedulable
+// verdict.
+TEST(BatchIsolation, BudgetExhaustionBecomesErrorRecord)
+{
+    const auto [code, out] = run(
+        R"({"schema": 1, "id": "hog", "taskset": "exhaust.taskset"})"
+        "\n",
+        1);
+    EXPECT_EQ(code, ExitCode::kViolation);
+    EXPECT_NE(out.find("\"kind\":\"budget-exhausted\""), std::string::npos);
+}
+
+// Missing input file: usage error (exit 1) via the CLI wrapper.
+TEST(BatchCli, MissingInputFileIsUsageError)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    const int exit_code =
+        run_cli({"batch", "--input", "/nonexistent/x.ndjson"}, out, err);
+    EXPECT_EQ(exit_code, to_exit_status(ExitCode::kUsage));
+    EXPECT_NE(err.str().find("cpa:"), std::string::npos);
+}
+
+} // namespace
+} // namespace cpa::cli
